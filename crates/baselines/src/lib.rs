@@ -1,0 +1,21 @@
+//! The two file-update disciplines §3 of the paper compares update-in-place
+//! against:
+//!
+//! * **CICO** ([`cico::CicoManager`]) — check-in/check-out: "DBMS controls
+//!   who can checkout what file ... Before the lock is removed explicitly,
+//!   no other application is allowed to check-out the same file." The lock
+//!   is explicit, held across the entire edit session, and costs "an extra
+//!   database update operation for both check-out and check-in requests."
+//! * **CAU** ([`cau::CauManager`]) — copy-and-update: applications take
+//!   private copies and merge on check-in; "a lost update can occur with
+//!   this approach, if not done carefully, and it does occur."
+//!
+//! Both are built on the same substrates as the real system (dl-minidb for
+//! the lock/version state, dl-fskit for the files) so benchmark A1 compares
+//! disciplines, not implementations.
+
+pub mod cau;
+pub mod cico;
+
+pub use cau::{CauCopy, CauManager, CheckinOutcome, MergePolicy};
+pub use cico::{CheckoutTicket, CicoError, CicoManager};

@@ -1,0 +1,194 @@
+//! Criterion benches, one group per paper experiment (see DESIGN.md and the
+//! `report` binary for the full-table variants).
+//!
+//! Run with `cargo bench -p dl-bench`; filter by experiment id, e.g.
+//! `cargo bench -p dl-bench -- e1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dl_bench::{fixture, make_content, FixtureOptions, APP, SRV, TABLE};
+use dl_core::{ControlMode, TokenKind};
+use dl_fskit::memfs::IoModel;
+use dl_fskit::OpenOptions;
+use dl_minidb::Value;
+
+/// E1 — DATALINK retrieval with and without token generation (§3.2).
+fn bench_e1_select_datalink(c: &mut Criterion) {
+    let f = fixture(FixtureOptions::default());
+    let mut group = c.benchmark_group("e1_select_datalink");
+    group.bench_function("select_url_only", |b| {
+        b.iter(|| f.sys.select_datalink_url(TABLE, &Value::Int(0), "body").unwrap())
+    });
+    group.bench_function("select_with_token", |b| {
+        b.iter(|| {
+            f.sys
+                .select_datalink(TABLE, &Value::Int(0), "body", TokenKind::Read)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// E2 — open/read/close of a small file: plain vs DataLinks-managed (§3.2).
+fn bench_e2_open_close(c: &mut Criterion) {
+    let f = fixture(FixtureOptions { file_size: 1024, ..Default::default() });
+    f.sys
+        .raw_fs(SRV)
+        .unwrap()
+        .write_file(&APP, "/data/control.bin", &make_content(1024))
+        .unwrap();
+    let mut group = c.benchmark_group("e2_open_read_close_1k");
+    group.bench_function("plain", |b| b.iter(|| f.plain_read("/data/control.bin")));
+    group.bench_function("rdd_linked", |b| b.iter(|| f.managed_read(0)));
+    group.finish();
+}
+
+/// E3 — full-file read, linked vs plain, across sizes (§3.2). CPU-only here;
+/// the `report` binary adds the disk-model arm.
+fn bench_e3_read_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_read_sweep");
+    group.sample_size(10);
+    for size_kib in [64usize, 1024, 4096] {
+        let f = fixture(FixtureOptions {
+            file_size: size_kib * 1024,
+            n_files: 1,
+            io: IoModel::default(),
+            ..Default::default()
+        });
+        f.sys
+            .raw_fs(SRV)
+            .unwrap()
+            .write_file(&APP, "/data/control.bin", &make_content(size_kib * 1024))
+            .unwrap();
+        group.throughput(Throughput::Bytes((size_kib * 1024) as u64));
+        group.bench_with_input(BenchmarkId::new("plain", size_kib), &size_kib, |b, _| {
+            b.iter(|| f.plain_read("/data/control.bin"))
+        });
+        group.bench_with_input(BenchmarkId::new("linked", size_kib), &size_kib, |b, _| {
+            b.iter(|| f.managed_read(0))
+        });
+    }
+    group.finish();
+}
+
+/// E4 — open-for-write latency by control mode (§5).
+fn bench_e4_open_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_open_write");
+    {
+        let f = fixture(FixtureOptions { n_files: 1, ..Default::default() });
+        let raw = f.sys.raw_fs(SRV).unwrap();
+        raw.write_file(&APP, "/data/unmanaged.bin", b"x").unwrap();
+        let fs = f.sys.fs(SRV).unwrap();
+        group.bench_function("plain", |b| {
+            b.iter(|| {
+                let fd = fs.open(&APP, "/data/unmanaged.bin", OpenOptions::write_only()).unwrap();
+                fs.close(fd).unwrap();
+            })
+        });
+    }
+    for mode in [ControlMode::Rfd, ControlMode::Rdd] {
+        let f = fixture(FixtureOptions { mode, n_files: 1, ..Default::default() });
+        let fs = f.sys.fs(SRV).unwrap();
+        let path = f.token_path(0, TokenKind::Write);
+        group.bench_function(mode.to_string(), |b| {
+            b.iter(|| {
+                let fd = fs.open(&APP, &path, OpenOptions::write_only()).unwrap();
+                fs.close(fd).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A3 — read-open path: rfd (no upcalls) vs rdd (token + sync entries).
+fn bench_a3_read_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_read_open");
+    for mode in [ControlMode::Rfd, ControlMode::Rdd] {
+        let f = fixture(FixtureOptions { mode, n_files: 1, ..Default::default() });
+        let fs = f.sys.fs(SRV).unwrap();
+        let path = if mode == ControlMode::Rdd {
+            f.token_path(0, TokenKind::Read)
+        } else {
+            f.paths[0].clone()
+        };
+        group.bench_function(mode.to_string(), |b| {
+            b.iter(|| {
+                let fd = fs.open(&APP, &path, OpenOptions::read_only()).unwrap();
+                fs.close(fd).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A4 — Sync-table read tracking on/off (§4.5).
+fn bench_a4_sync_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_sync_table");
+    for track in [true, false] {
+        let f = fixture(FixtureOptions {
+            mode: ControlMode::Rdd,
+            n_files: 1,
+            track_read_sync: track,
+            ..Default::default()
+        });
+        let fs = f.sys.fs(SRV).unwrap();
+        let path = f.token_path(0, TokenKind::Read);
+        group.bench_function(if track { "tracking_on" } else { "tracking_off" }, |b| {
+            b.iter(|| {
+                let fd = fs.open(&APP, &path, OpenOptions::read_only()).unwrap();
+                fs.close(fd).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A5 — close latency with async vs sync archiving (§4.4).
+fn bench_a5_archive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a5_update_cycle_64k");
+    group.sample_size(10);
+    for sync in [false, true] {
+        let f = fixture(FixtureOptions {
+            n_files: 1,
+            file_size: 64 * 1024,
+            sync_archive: sync,
+            ..Default::default()
+        });
+        let content = make_content(64 * 1024);
+        group.bench_function(if sync { "sync_archive" } else { "async_archive" }, |b| {
+            b.iter(|| f.managed_update(0, &content))
+        });
+    }
+    group.finish();
+}
+
+/// Full update-in-place cycle (the headline operation of the paper).
+fn bench_update_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uip_full_cycle");
+    group.sample_size(20);
+    for size_kib in [4usize, 64] {
+        let f = fixture(FixtureOptions {
+            n_files: 1,
+            file_size: size_kib * 1024,
+            ..Default::default()
+        });
+        let content = make_content(size_kib * 1024);
+        group.bench_with_input(BenchmarkId::new("rdd", size_kib), &size_kib, |b, _| {
+            b.iter(|| f.managed_update(0, &content))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e1_select_datalink,
+    bench_e2_open_close,
+    bench_e3_read_sweep,
+    bench_e4_open_write,
+    bench_a3_read_path,
+    bench_a4_sync_table,
+    bench_a5_archive,
+    bench_update_cycle,
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Regenerates the paper's evaluation as printable tables.
+//!
+//! ```text
+//! cargo run -p dl-bench --release --bin report            # everything
+//! cargo run -p dl-bench --release --bin report -- t1 e3   # a subset
+//! cargo run -p dl-bench --release --bin report -- --quick # fewer iterations
+//! ```
+
+use dl_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let want = |id: &str| filter.is_empty() || filter.iter().any(|f| f.as_str() == id);
+
+    let iters: u64 = if quick { 50 } else { 500 };
+    let heavy_iters: u64 = if quick { 5 } else { 25 };
+
+    println!("DataLinks update-in-place — experiment report");
+    println!(
+        "(reproducing Mittal & Hsiao, ICDE 2001; shapes matter, absolute numbers are this \
+         machine's)\n"
+    );
+
+    if want("t1") {
+        println!("{}", exp::t1_control_modes().render());
+    }
+    if want("e1") {
+        println!("{}", exp::e1_select_datalink(iters * 4).render());
+    }
+    if want("e2") {
+        println!("{}", exp::e2_open_close_overhead(iters).render());
+    }
+    if want("e3") {
+        println!("{}", exp::e3_read_overhead_sweep(heavy_iters, false).render());
+        println!("{}", exp::e3_read_overhead_sweep(heavy_iters, true).render());
+    }
+    if want("e4") {
+        println!("{}", exp::e4_open_write_modes(iters).render());
+    }
+    if want("a1") {
+        let (writers, updates) = if quick { (4, 5) } else { (8, 25) };
+        println!("{}", exp::a1_disciplines(writers, updates).render());
+    }
+    if want("a2") {
+        println!("{}", exp::a2_txn_boundary(&[1, 8, 64, 256]).render());
+    }
+    if want("a3") {
+        println!("{}", exp::a3_read_path(iters).render());
+    }
+    if want("a4") {
+        println!("{}", exp::a4_sync_table_cost(iters).render());
+    }
+    if want("a5") {
+        println!("{}", exp::a5_archive_async(&[64, 512, 2048], heavy_iters).render());
+    }
+    if want("a6") {
+        println!("{}", exp::a6_crash_atomicity(if quick { 3 } else { 10 }).render());
+    }
+    if want("a7") {
+        println!("{}", exp::a7_point_in_time(5).render());
+    }
+    if want("a8") {
+        println!("{}", exp::a8_strict_link(iters).render());
+    }
+
+    if want("appendix") || filter.is_empty() {
+        println!("== appendix: read-open latency distribution by mode ==");
+        println!("{:6}  {:>12}  {:>12}  {:>12}", "mode", "p50", "p99", "max");
+        for mode in [dl_core::ControlMode::Rff, dl_core::ControlMode::Rfd, dl_core::ControlMode::Rdd]
+        {
+            let (p50, p99, max) = exp::open_latency_distribution(mode, if quick { 50 } else { 400 });
+            println!(
+                "{:6}  {:>12}  {:>12}  {:>12}",
+                mode.to_string(),
+                dl_bench::fmt_ns(p50 as f64),
+                dl_bench::fmt_ns(p99 as f64),
+                dl_bench::fmt_ns(max as f64),
+            );
+        }
+    }
+}

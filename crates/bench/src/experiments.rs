@@ -1,0 +1,785 @@
+//! Experiment runners — one per table/figure/claim in DESIGN.md.
+//!
+//! Each runner returns a printable table so `cargo run -p dl-bench --bin
+//! report` regenerates the paper's evaluation (shapes, not absolute 1998
+//! numbers) and EXPERIMENTS.md can quote the output verbatim.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dl_baselines::{CauManager, CicoManager, MergePolicy};
+use dl_core::{ControlMode, TokenKind};
+use dl_fskit::memfs::IoModel;
+use dl_fskit::{Cred, FileSystem, Lfs, MemFs, OpenOptions};
+use dl_minidb::{Database, StorageEnv, Value};
+
+use crate::{fixture, fmt_ns, make_content, percentile, run_threads, time_ns, Fixture, FixtureOptions, APP, SRV, TABLE};
+
+/// A printable experiment result.
+pub struct Table {
+    pub id: &'static str,
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = format!("== {}: {} ==\n", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+}
+
+fn s(x: impl ToString) -> String {
+    x.to_string()
+}
+
+// ===========================================================================
+// T1 — Table 1 control-mode semantics matrix
+// ===========================================================================
+
+/// Reproduces Table 1 (plus the new rfd/rdd rows) as *observed behaviour*:
+/// for each mode, what actually happens when an application reads, writes,
+/// or removes the linked file, with and without a token.
+pub fn t1_control_modes() -> Table {
+    let mut rows = Vec::new();
+    for mode in ControlMode::ALL {
+        let f = fixture(FixtureOptions { mode, n_files: 1, ..Default::default() });
+        let fs = f.sys.fs(SRV).expect("fs");
+        let path = &f.paths[0];
+
+        let plain_read = fs
+            .open(&APP, path, OpenOptions::read_only())
+            .map(|fd| {
+                fs.close(fd).ok();
+            })
+            .is_ok();
+        let token_read = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tp = f.token_path(0, TokenKind::Read);
+            fs.open(&APP, &tp, OpenOptions::read_only())
+                .map(|fd| {
+                    fs.close(fd).ok();
+                })
+                .is_ok()
+        }))
+        .unwrap_or(false);
+        let plain_write = fs
+            .open(&APP, path, OpenOptions::write_only())
+            .map(|fd| {
+                fs.close(fd).ok();
+            })
+            .is_ok();
+        let token_write = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tp = f.token_path(0, TokenKind::Write);
+            fs.open(&APP, &tp, OpenOptions::write_only())
+                .map(|fd| {
+                    fs.close(fd).ok();
+                })
+                .is_ok()
+        }))
+        .unwrap_or(false);
+        let remove = fs.remove(&APP, path).is_ok();
+        // Recreate if the nff remove actually went through.
+        if remove {
+            f.sys
+                .raw_fs(SRV)
+                .expect("raw")
+                .write_file(&APP, path, b"recreated")
+                .expect("recreate");
+        }
+
+        let yn = |b: bool| if b { "allow" } else { "deny " }.to_string();
+        rows.push(vec![
+            mode.to_string(),
+            s(mode.referential_integrity()),
+            format!("{:?}", mode.read_control()),
+            format!("{:?}", mode.write_control()),
+            yn(plain_read),
+            yn(token_read),
+            yn(plain_write),
+            yn(token_write),
+            yn(remove),
+        ]);
+    }
+    Table {
+        id: "T1",
+        title: "control-mode semantics (observed behaviour; paper Table 1 + new rfd/rdd)".into(),
+        header: [
+            "mode", "ref.int", "read-ctl", "write-ctl", "read", "read+tok", "write",
+            "write+tok", "remove",
+        ]
+        .iter()
+        .map(|h| h.to_string())
+        .collect(),
+        rows,
+        notes: vec![
+            "rdb/rdd deny plain reads and grant token reads (read control = DBMS)".into(),
+            "rfd/rdd grant writes only with a write token (the paper's new modes)".into(),
+            "remove of a linked file is denied for all r?? modes (referential integrity)".into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// E1 — DATALINK retrieval incl. token generation (§3.2: < 3 ms in 1998)
+// ===========================================================================
+
+pub fn e1_select_datalink(iters: u64) -> Table {
+    let f = fixture(FixtureOptions::default());
+    let plain = time_ns(iters, || {
+        f.sys
+            .select_datalink_url(TABLE, &Value::Int(0), "body")
+            .expect("select");
+    });
+    let with_token = time_ns(iters, || {
+        f.sys
+            .select_datalink(TABLE, &Value::Int(0), "body", TokenKind::Read)
+            .expect("select+token");
+    });
+    Table {
+        id: "E1",
+        title: "DATALINK column retrieval at the host DB (paper §3.2: <3 ms incl. token)".into(),
+        header: vec![s("operation"), s("ns/op"), s("time")],
+        rows: vec![
+            vec![s("SELECT datalink (no token)"), s(format!("{plain:.0}")), fmt_ns(plain)],
+            vec![
+                s("SELECT datalink + token generation"),
+                s(format!("{with_token:.0}")),
+                fmt_ns(with_token),
+            ],
+            vec![
+                s("token generation overhead"),
+                s(format!("{:.0}", with_token - plain)),
+                fmt_ns(with_token - plain),
+            ],
+        ],
+        notes: vec![
+            "paper: <3ms on a 200MHz PowerPC 604; the claim is 'small constant overhead'".into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// E2 — DLFS + token validation overhead on open/read/close (§3.2: ~1 ms)
+// ===========================================================================
+
+pub fn e2_open_close_overhead(iters: u64) -> Table {
+    let f = fixture(FixtureOptions { file_size: 1024, ..Default::default() });
+    // Control file: same stack (LFS over DLFS), not linked.
+    f.sys
+        .raw_fs(SRV)
+        .expect("raw")
+        .write_file(&APP, "/data/control.bin", &make_content(1024))
+        .expect("control");
+
+    let plain = time_ns(iters, || {
+        f.plain_read("/data/control.bin");
+    });
+    // Token validated once per open (embedded in every open's lookup).
+    let managed = time_ns(iters, || {
+        f.managed_read(0);
+    });
+    Table {
+        id: "E2",
+        title: "open+read+close of a 1 KiB file: DLFS+token vs plain (paper §3.2: ~1 ms added)".into(),
+        header: vec![s("path"), s("ns/cycle"), s("time"), s("overhead")],
+        rows: vec![
+            vec![s("plain file through DLFS"), s(format!("{plain:.0}")), fmt_ns(plain), s("--")],
+            vec![
+                s("rdd-linked file (token + upcalls)"),
+                s(format!("{managed:.0}")),
+                fmt_ns(managed),
+                s(format!("+{}", fmt_ns(managed - plain))),
+            ],
+        ],
+        notes: vec![
+            "managed cycle = token validation upcall + open-check upcall + close upcall + sync entries".into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// E3 — read overhead sweep by file size (§3.2: <1% CPU+I/O, ~3% CPU at 1MB)
+// ===========================================================================
+
+pub fn e3_read_overhead_sweep(iters: u64, with_io: bool) -> Table {
+    let sizes = [64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024];
+    let io = if with_io { IoModel::disk_like() } else { IoModel::default() };
+    let mut rows = Vec::new();
+    for size in sizes {
+        let f = fixture(FixtureOptions { file_size: size, n_files: 1, io, ..Default::default() });
+        f.sys
+            .raw_fs(SRV)
+            .expect("raw")
+            .write_file(&APP, "/data/control.bin", &make_content(size))
+            .expect("control");
+        let plain = time_ns(iters, || {
+            f.plain_read("/data/control.bin");
+        });
+        let managed = time_ns(iters, || {
+            f.managed_read(0);
+        });
+        let overhead_pct = (managed - plain) / plain * 100.0;
+        rows.push(vec![
+            s(format!("{} KiB", size / 1024)),
+            fmt_ns(plain),
+            fmt_ns(managed),
+            s(format!("{overhead_pct:.2}%")),
+        ]);
+    }
+    Table {
+        id: "E3",
+        title: format!(
+            "full-file read overhead vs size ({}) — paper §3.2: <1% CPU+I/O, ~3% CPU-only at 1MB",
+            if with_io { "CPU+I/O: disk-like model" } else { "CPU only" }
+        ),
+        header: vec![s("file size"), s("plain read"), s("DataLinks read"), s("overhead")],
+        rows,
+        notes: vec![
+            "shape to verify: fixed per-open cost amortizes — overhead % falls as size grows".into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// E4 — open-for-write response time by mode (§5: 'only minor difference')
+// ===========================================================================
+
+pub fn e4_open_write_modes(iters: u64) -> Table {
+    let mut rows = Vec::new();
+
+    // Plain (unlinked) baseline.
+    let f = fixture(FixtureOptions { n_files: 1, ..Default::default() });
+    let raw = f.sys.raw_fs(SRV).expect("raw");
+    raw.write_file(&APP, "/data/unmanaged.bin", b"x").expect("seed");
+    let fs = f.sys.fs(SRV).expect("fs");
+    let plain = time_ns(iters, || {
+        let fd = fs.open(&APP, "/data/unmanaged.bin", OpenOptions::write_only()).expect("open");
+        fs.close(fd).expect("close");
+    });
+    rows.push(vec![s("plain file"), s(format!("{plain:.0}")), fmt_ns(plain), s("--")]);
+
+    for mode in [ControlMode::Rfd, ControlMode::Rdd] {
+        let f = fixture(FixtureOptions { mode, n_files: 1, ..Default::default() });
+        let fs = f.sys.fs(SRV).expect("fs");
+        // Open-for-write + close (unmodified, so no archive/commit path) —
+        // measures exactly the grant/release and update-status maintenance.
+        let path = f.token_path(0, TokenKind::Write);
+        let ns = time_ns(iters, || {
+            let fd = fs.open(&APP, &path, OpenOptions::write_only()).expect("open");
+            fs.close(fd).expect("close");
+        });
+        rows.push(vec![
+            s(format!("{mode}-linked")),
+            s(format!("{ns:.0}")),
+            fmt_ns(ns),
+            s(format!("+{}", fmt_ns(ns - plain))),
+        ]);
+    }
+    Table {
+        id: "E4",
+        title: "open-for-write + close latency by control mode (paper §5: minor difference; \
+                update-status maintenance 'insignificant')"
+            .into(),
+        header: vec![s("file"), s("ns/cycle"), s("time"), s("vs plain")],
+        rows,
+        notes: vec![
+            "rfd pays: failed physical open + takeover upcall + UIP/sync entries + release".into(),
+            "rdd pays: open-check upcall + UIP/sync entries + release".into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// A1 — UIP vs CICO vs CAU under concurrent writers (§3)
+// ===========================================================================
+
+pub fn a1_disciplines(writers: usize, updates_per_writer: usize) -> Table {
+    let content = make_content(2048);
+
+    // --- UIP: the real system, one shared file, blocking writers.
+    let f = fixture(FixtureOptions { n_files: 1, sync_archive: true, ..Default::default() });
+    let uip_elapsed = run_threads(writers, |_| {
+        for _ in 0..updates_per_writer {
+            let path = f.token_path(0, TokenKind::Write);
+            let fs = f.sys.fs(SRV).expect("fs");
+            let fd = fs.open(&APP, &path, OpenOptions::write_truncate()).expect("open");
+            fs.write(fd, &content).expect("write");
+            fs.close(fd).expect("close");
+        }
+    });
+    let uip_version = f
+        .sys
+        .node(SRV)
+        .expect("node")
+        .server
+        .repository()
+        .get_file(&f.paths[0])
+        .expect("entry")
+        .cur_version;
+
+    // --- CICO: explicit checkout lock with retry loop.
+    let db = Database::open(StorageEnv::mem()).expect("db");
+    let mem = Arc::new(MemFs::new());
+    let lfs = Arc::new(Lfs::new(mem as Arc<dyn FileSystem>));
+    lfs.write_file(&APP, "/shared.bin", &content).expect("seed");
+    lfs.setattr(&APP, "/shared.bin", &dl_fskit::SetAttr::chmod(0o666)).expect("chmod");
+    let cico = CicoManager::new(db, Arc::clone(&lfs)).expect("cico");
+    let retries = AtomicU64::new(0);
+    let cico_elapsed = run_threads(writers, |t| {
+        let cred = Cred::user(100 + t as u32);
+        for _ in 0..updates_per_writer {
+            let ticket = loop {
+                match cico.checkout(&cred, "/shared.bin") {
+                    Ok(t) => break t,
+                    Err(_) => {
+                        retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    }
+                }
+            };
+            cico.fs.write_file(&cred, "/shared.bin", &content).expect("write");
+            cico.checkin(&ticket).expect("checkin");
+        }
+    });
+
+    // --- CAU last-writer-wins: never blocks, loses updates.
+    let db = Database::open(StorageEnv::mem()).expect("db");
+    let mem = Arc::new(MemFs::new());
+    let lfs = Arc::new(Lfs::new(mem as Arc<dyn FileSystem>));
+    lfs.setattr(&Cred::root(), "/", &dl_fskit::SetAttr::chmod(0o777)).expect("chmod root");
+    lfs.write_file(&APP, "/shared.bin", &content).expect("seed");
+    lfs.setattr(&APP, "/shared.bin", &dl_fskit::SetAttr::chmod(0o666)).expect("chmod");
+    let cau = CauManager::new(db, lfs).expect("cau");
+    let cau_elapsed = run_threads(writers, |t| {
+        let cred = Cred::user(100 + t as u32);
+        for _ in 0..updates_per_writer {
+            let copy = cau.copy_out(&cred, "/shared.bin").expect("copy");
+            cau.fs.write_file(&cred, &copy.copy, &content).expect("edit");
+            cau.check_in(&cred, &copy, MergePolicy::LastWriterWins).expect("checkin");
+        }
+    });
+    let lost = cau.lost_updates.load(Ordering::Relaxed);
+
+    let total = (writers * updates_per_writer) as f64;
+    let thr = |d: std::time::Duration| total / d.as_secs_f64();
+    Table {
+        id: "A1",
+        title: format!(
+            "update disciplines, {writers} writers x {updates_per_writer} updates of one file (§3)"
+        ),
+        header: vec![
+            s("discipline"),
+            s("elapsed"),
+            s("updates/s"),
+            s("lost updates"),
+            s("notes"),
+        ],
+        rows: vec![
+            vec![
+                s("UIP (this paper)"),
+                s(format!("{:.1?}", uip_elapsed)),
+                s(format!("{:.0}", thr(uip_elapsed))),
+                s(0),
+                s(format!("all {uip_version}-1 updates serialized at open, none lost")),
+            ],
+            vec![
+                s("CICO"),
+                s(format!("{:.1?}", cico_elapsed)),
+                s(format!("{:.0}", thr(cico_elapsed))),
+                s(0),
+                s(format!("{} busy retries; 2 DB updates per session", retries.load(Ordering::Relaxed))),
+            ],
+            vec![
+                s("CAU (last-writer-wins)"),
+                s(format!("{:.1?}", cau_elapsed)),
+                s(format!("{:.0}", thr(cau_elapsed))),
+                s(lost),
+                s("no blocking, but committed updates silently lost"),
+            ],
+        ],
+        notes: vec![
+            "expected shape: CAU fastest but unsafe; UIP and CICO serialize, with CICO paying \
+             explicit lock-table writes and retry spinning"
+                .into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// A2 — transaction boundary: per-write upcalls vs open/close (§3.1)
+// ===========================================================================
+
+pub fn a2_txn_boundary(writes_per_open: &[usize]) -> Table {
+    let f = fixture(FixtureOptions { n_files: 1, sync_archive: true, ..Default::default() });
+    let fs = f.sys.fs(SRV).expect("fs");
+    let chunk = make_content(512);
+    let client = f.sys.node(SRV).expect("node").dlfs.upcall_client().clone();
+
+    let mut rows = Vec::new();
+    for &n in writes_per_open {
+        // Actual design: upcalls only at open/close.
+        let before = client.round_trip_count();
+        let path = f.token_path(0, TokenKind::Write);
+        let fd = fs.open(&APP, &path, OpenOptions::write_truncate()).expect("open");
+        for k in 0..n {
+            fs.write_at(fd, (k * chunk.len()) as u64, &chunk).expect("write");
+        }
+        fs.close(fd).expect("close");
+        let actual = client.round_trip_count() - before;
+
+        // Rejected design (§3.1): every fs_readwrite would also upcall —
+        // cost modelled as actual + n extra round-trips of the measured
+        // upcall latency.
+        let upcall_ns = time_ns(200, || {
+            let _ = client.mutation_check("/data/doesnotexist");
+        });
+        rows.push(vec![
+            s(n),
+            s(actual),
+            s(actual as usize + n),
+            fmt_ns(upcall_ns * n as f64),
+        ]);
+    }
+    Table {
+        id: "A2",
+        title: "transaction boundary ablation (§3.1): upcalls per update session".into(),
+        header: vec![
+            s("writes per open"),
+            s("upcalls (open/close boundary)"),
+            s("upcalls (per-write boundary)"),
+            s("extra upcall time at per-write"),
+        ],
+        rows,
+        notes: vec![
+            "open/close boundary keeps the upcall count constant regardless of write count —\
+             the paper's argument for treating open..close as the transaction"
+                .into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// A3 — read path: rfd vs rdd (§4.2/§5)
+// ===========================================================================
+
+pub fn a3_read_path(iters: u64) -> Table {
+    let mut rows = Vec::new();
+    for mode in [ControlMode::Rfd, ControlMode::Rdd] {
+        let f = fixture(FixtureOptions { mode, n_files: 1, file_size: 4096, ..Default::default() });
+        let client = f.sys.node(SRV).expect("node").dlfs.upcall_client().clone();
+        let fs = f.sys.fs(SRV).expect("fs");
+
+        // rfd reads need no token; rdd reads do (prime the token entry once
+        // so the steady-state cost is visible separately).
+        let path = if mode == ControlMode::Rdd {
+            f.token_path(0, TokenKind::Read)
+        } else {
+            f.paths[0].clone()
+        };
+        let before = client.round_trip_count();
+        let ns = time_ns(iters, || {
+            let fd = fs.open(&APP, &path, OpenOptions::read_only()).expect("open");
+            fs.close(fd).expect("close");
+        });
+        let upcalls = client.round_trip_count() - before;
+        rows.push(vec![
+            mode.to_string(),
+            s(format!("{ns:.0}")),
+            fmt_ns(ns),
+            s(format!("{:.2}", upcalls as f64 / iters as f64)),
+        ]);
+    }
+    Table {
+        id: "A3",
+        title: "read-open cost: rfd (FS-controlled reads) vs rdd (DBMS-controlled) — §4.2".into(),
+        header: vec![s("mode"), s("ns/open+close"), s("time"), s("upcalls/open")],
+        rows,
+        notes: vec![
+            "rfd: zero upcalls on the read path — the paper's key optimization; the price is \
+             the §5 read/write anomaly (demonstrated by test \
+             rfd_write_takes_slow_path_and_reads_stay_fast)"
+                .into(),
+            "rdd: every open pays token-entry check + sync entries (per-open upcalls >= 2)".into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// A4 — Sync-table read tracking cost (§4.5: 2 extra DB updates + 1 upcall)
+// ===========================================================================
+
+pub fn a4_sync_table_cost(iters: u64) -> Table {
+    let mut rows = Vec::new();
+    for track in [true, false] {
+        let f = fixture(FixtureOptions {
+            mode: ControlMode::Rdd,
+            n_files: 1,
+            track_read_sync: track,
+            ..Default::default()
+        });
+        let fs = f.sys.fs(SRV).expect("fs");
+        let path = f.token_path(0, TokenKind::Read);
+        let repo_before = f.sys.node(SRV).expect("node").server.repository().update_op_count();
+        let ns = time_ns(iters, || {
+            let fd = fs.open(&APP, &path, OpenOptions::read_only()).expect("open");
+            fs.close(fd).expect("close");
+        });
+        let repo_ops = f.sys.node(SRV).expect("node").server.repository().update_op_count()
+            - repo_before;
+        rows.push(vec![
+            s(if track { "sync entries on (default)" } else { "sync entries off (ablation)" }),
+            s(format!("{ns:.0}")),
+            fmt_ns(ns),
+            s(format!("{:.2}", repo_ops as f64 / iters as f64)),
+        ]);
+    }
+    Table {
+        id: "A4",
+        title: "Sync-table read tracking (§4.5: 'two extra database update operations and one \
+                extra upcall for every request that opens file for read')"
+            .into(),
+        header: vec![s("configuration"), s("ns/open+close"), s("time"), s("repo updates/open")],
+        rows,
+        notes: vec![
+            "with tracking on, each read open inserts and purges a Sync row (2 repo updates); \
+             the ablation drops them at the price of the read/unlink race"
+                .into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// A5 — async vs sync archiving (§4.4)
+// ===========================================================================
+
+pub fn a5_archive_async(sizes_kib: &[usize], iters: u64) -> Table {
+    let mut rows = Vec::new();
+    for &kib in sizes_kib {
+        let mut cells = vec![s(format!("{kib} KiB"))];
+        for sync in [false, true] {
+            let f = fixture(FixtureOptions {
+                n_files: 1,
+                file_size: kib * 1024,
+                sync_archive: sync,
+                io: IoModel::disk_like(),
+                ..Default::default()
+            });
+            let fs = f.sys.fs(SRV).expect("fs");
+            let content = make_content(kib * 1024);
+            // Measure the close() call alone: that is where §4.4's
+            // asynchronous archiving pays off.
+            let mut close_ns = 0u128;
+            for _ in 0..iters {
+                let path = f.token_path(0, TokenKind::Write);
+                let fd = fs.open(&APP, &path, OpenOptions::write_truncate()).expect("open");
+                fs.write(fd, &content).expect("write");
+                let t = std::time::Instant::now();
+                fs.close(fd).expect("close");
+                close_ns += t.elapsed().as_nanos();
+                f.sys
+                    .node(SRV)
+                    .expect("node")
+                    .server
+                    .archive_store()
+                    .wait_archived(&f.paths[0]);
+            }
+            cells.push(fmt_ns(close_ns as f64 / iters as f64));
+        }
+        rows.push(cells);
+    }
+    Table {
+        id: "A5",
+        title: "archiving policy (§4.4): close() latency, async (paper) vs sync (ablation)"
+            .into(),
+        header: vec![s("file size"), s("close, async archive"), s("close, sync archive")],
+        rows,
+        notes: vec![
+            "async archiving moves the content copy off the close path; a new update to the \
+             same file still blocks until the archive completes (the §4.4 blocking rule)"
+                .into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// A6 — atomicity under crash injection (§4.2)
+// ===========================================================================
+
+pub fn a6_crash_atomicity(rounds: usize) -> Table {
+    use dl_core::DataLinksSystem;
+    let mut survived = 0usize;
+    let mut restored = 0usize;
+    for round in 0..rounds {
+        let f = fixture(FixtureOptions { n_files: 1, ..Default::default() });
+        let committed = make_content(1024 + round);
+        f.managed_update(0, &committed);
+
+        // Start another update, write garbage, crash before close.
+        let path = f.token_path(0, TokenKind::Write);
+        let fs = f.sys.fs(SRV).expect("fs");
+        let fd = fs.open(&APP, &path, OpenOptions::write_truncate()).expect("open");
+        fs.write(fd, b"doomed").expect("write");
+        let Fixture { sys, paths, .. } = f;
+        let image = sys.crash();
+        let (sys, _) = DataLinksSystem::recover(image).expect("recover");
+
+        let data = sys
+            .raw_fs(SRV)
+            .expect("raw")
+            .read_file(&Cred::root(), &paths[0])
+            .expect("read");
+        if data == committed {
+            restored += 1;
+        }
+        survived += 1;
+    }
+    Table {
+        id: "A6",
+        title: "atomicity: crash mid-update always restores the last committed version (§4.2)"
+            .into(),
+        header: vec![s("crash rounds"), s("recovered"), s("content == last committed")],
+        rows: vec![vec![s(rounds), s(survived), s(restored)]],
+        notes: vec!["property-based variants live in tests/crash_recovery.rs".into()],
+    }
+}
+
+// ===========================================================================
+// A7 — coordinated point-in-time restore (§4.4)
+// ===========================================================================
+
+pub fn a7_point_in_time(versions: usize) -> Table {
+    let f = fixture(FixtureOptions { n_files: 1, ..Default::default() });
+    let mut states = vec![f.sys.state_id()];
+    let mut contents = vec![f.sys.raw_fs(SRV).unwrap().read_file(&Cred::root(), &f.paths[0]).unwrap()];
+    for v in 2..=versions {
+        let content = make_content(512 + v);
+        f.managed_update(0, &content);
+        states.push(f.sys.state_id());
+        contents.push(content);
+    }
+    let backup = f.sys.backup().expect("backup");
+
+    let mut rows = Vec::new();
+    let mut sys = f.sys;
+    let paths = f.paths;
+    for (i, state) in states.iter().enumerate().rev() {
+        let (restored, report) = sys.restore(&backup, *state).expect("restore");
+        let data = restored
+            .raw_fs(SRV)
+            .expect("raw")
+            .read_file(&Cred::root(), &paths[0])
+            .expect("read");
+        let matches = data == contents[i];
+        rows.push(vec![
+            s(format!("v{}", i + 1)),
+            s(*state),
+            s(report.files_rolled_back),
+            s(matches),
+        ]);
+        sys = restored;
+    }
+    Table {
+        id: "A7",
+        title: "coordinated point-in-time restore: file content matches restored metadata (§4.4)"
+            .into(),
+        header: vec![s("target version"), s("state id (LSN)"), s("files rolled back"), s("content matches")],
+        rows,
+        notes: vec!["restore walks backwards v5→v1; every step must land on that version's bytes".into()],
+    }
+}
+
+// ===========================================================================
+// A8 — strict-link extension cost (§4.5 future work, implemented)
+// ===========================================================================
+
+pub fn a8_strict_link(iters: u64) -> Table {
+    let mut rows = Vec::new();
+    for strict in [false, true] {
+        let f = fixture(FixtureOptions { strict, n_files: 1, ..Default::default() });
+        f.sys
+            .raw_fs(SRV)
+            .expect("raw")
+            .write_file(&APP, "/data/unlinked.bin", b"plain")
+            .expect("seed");
+        let fs = f.sys.fs(SRV).expect("fs");
+        let client = f.sys.node(SRV).expect("node").dlfs.upcall_client().clone();
+        let before = client.round_trip_count();
+        let ns = time_ns(iters, || {
+            let fd = fs.open(&APP, "/data/unlinked.bin", OpenOptions::read_only()).expect("open");
+            fs.close(fd).expect("close");
+        });
+        let upcalls = (client.round_trip_count() - before) as f64 / iters as f64;
+        rows.push(vec![
+            s(if strict { "strict (window closed)" } else { "default (paper prototype)" }),
+            s(format!("{ns:.0}")),
+            fmt_ns(ns),
+            s(format!("{upcalls:.2}")),
+        ]);
+    }
+    Table {
+        id: "A8",
+        title: "closing the §4.5 link window: per-open cost of registering *unlinked* opens"
+            .into(),
+        header: vec![s("configuration"), s("ns/open+close"), s("time"), s("upcalls/open")],
+        rows,
+        notes: vec![
+            "the paper rejects this ('undesirable for performance reasons') and leaves it as \
+             future work; the measured cost quantifies why"
+                .into(),
+        ],
+    }
+}
+
+/// Latency distribution helper used by the report's appendix.
+pub fn open_latency_distribution(mode: ControlMode, samples: usize) -> (u64, u64, u64) {
+    let f = fixture(FixtureOptions { mode, n_files: 1, ..Default::default() });
+    let fs = f.sys.fs(SRV).expect("fs");
+    let path = match mode.read_control() {
+        dl_dlfm::AccessControl::Dbms => f.token_path(0, TokenKind::Read),
+        _ => f.paths[0].clone(),
+    };
+    let mut lat: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            let fd = fs.open(&APP, &path, OpenOptions::read_only()).expect("open");
+            fs.close(fd).expect("close");
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    (
+        percentile(&mut lat, 0.50),
+        percentile(&mut lat, 0.99),
+        percentile(&mut lat, 1.0),
+    )
+}

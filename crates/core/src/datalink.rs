@@ -1,0 +1,139 @@
+//! The DATALINK data type (§2.1).
+//!
+//! "A DATALINK value contains a pointer to the external file in the format
+//! of a URL — protocol://server-name/pathname/filename." The engine parses
+//! these out of `Value::DataLink` columns; tokens are embedded into the
+//! final path component when an authorized reference is handed to an
+//! application (§4.1).
+
+use std::fmt;
+use std::str::FromStr;
+
+use dl_dlfm::{ControlMode, OnUnlink};
+
+/// URL scheme used by this reproduction's file servers.
+pub const SCHEME: &str = "dlfs";
+
+/// A parsed DATALINK URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DatalinkUrl {
+    /// File-server name (resolves through the engine's server registry).
+    pub server: String,
+    /// Absolute path on that server.
+    pub path: String,
+}
+
+impl DatalinkUrl {
+    pub fn new(server: &str, path: &str) -> Result<DatalinkUrl, String> {
+        if server.is_empty() || server.contains('/') {
+            return Err(format!("invalid server name: {server:?}"));
+        }
+        if !path.starts_with('/') || path.len() < 2 {
+            return Err(format!("invalid absolute path: {path:?}"));
+        }
+        Ok(DatalinkUrl { server: server.to_string(), path: path.to_string() })
+    }
+
+    /// Parses `dlfs://server/path/file`.
+    pub fn parse(url: &str) -> Result<DatalinkUrl, String> {
+        let rest = url
+            .strip_prefix(SCHEME)
+            .and_then(|r| r.strip_prefix("://"))
+            .ok_or_else(|| format!("DATALINK URL must start with {SCHEME}://, got {url:?}"))?;
+        let slash = rest
+            .find('/')
+            .ok_or_else(|| format!("DATALINK URL missing path: {url:?}"))?;
+        DatalinkUrl::new(&rest[..slash], &rest[slash..])
+    }
+}
+
+impl fmt::Display for DatalinkUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{SCHEME}://{}{}", self.server, self.path)
+    }
+}
+
+impl FromStr for DatalinkUrl {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DatalinkUrl::parse(s)
+    }
+}
+
+/// Options attached to a DATALINK column definition (§2.1: "a range of
+/// options can be specified for managing the files referenced in the
+/// column such as integrity option, read permission, write permission and
+/// recovery option").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlColumnOptions {
+    pub mode: ControlMode,
+    /// Keep every committed version in the archive for coordinated
+    /// point-in-time restore (RECOVERY YES).
+    pub recovery: bool,
+    pub on_unlink: OnUnlink,
+    /// Lifetime of generated access tokens.
+    pub token_ttl_ms: u64,
+}
+
+impl DlColumnOptions {
+    pub fn new(mode: ControlMode) -> DlColumnOptions {
+        DlColumnOptions {
+            mode,
+            recovery: true,
+            on_unlink: OnUnlink::Restore,
+            token_ttl_ms: 60_000,
+        }
+    }
+
+    pub fn recovery(mut self, yes: bool) -> Self {
+        self.recovery = yes;
+        self
+    }
+
+    pub fn on_unlink(mut self, action: OnUnlink) -> Self {
+        self.on_unlink = action;
+        self
+    }
+
+    pub fn token_ttl_ms(mut self, ttl: u64) -> Self {
+        self.token_ttl_ms = ttl;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let url = DatalinkUrl::parse("dlfs://srv1/movies/clip.mpg").unwrap();
+        assert_eq!(url.server, "srv1");
+        assert_eq!(url.path, "/movies/clip.mpg");
+        assert_eq!(url.to_string(), "dlfs://srv1/movies/clip.mpg");
+        assert_eq!("dlfs://s/p".parse::<DatalinkUrl>().unwrap().path, "/p");
+    }
+
+    #[test]
+    fn rejects_malformed_urls() {
+        assert!(DatalinkUrl::parse("http://srv/f").is_err());
+        assert!(DatalinkUrl::parse("dlfs://").is_err());
+        assert!(DatalinkUrl::parse("dlfs://srv").is_err());
+        assert!(DatalinkUrl::parse("dlfs:///f").is_err());
+        assert!(DatalinkUrl::new("s", "relative").is_err());
+        assert!(DatalinkUrl::new("s", "/").is_err());
+    }
+
+    #[test]
+    fn options_builder() {
+        let opts = DlColumnOptions::new(ControlMode::Rfd)
+            .recovery(false)
+            .on_unlink(OnUnlink::Delete)
+            .token_ttl_ms(5);
+        assert_eq!(opts.mode, ControlMode::Rfd);
+        assert!(!opts.recovery);
+        assert_eq!(opts.on_unlink, OnUnlink::Delete);
+        assert_eq!(opts.token_ttl_ms, 5);
+    }
+}

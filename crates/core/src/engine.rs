@@ -1,0 +1,364 @@
+//! The DataLinks engine — the RDBMS extension (§2, Figure 1).
+//!
+//! The engine hooks the host database's DML path: "whenever a reference to
+//! a file is inserted or deleted from a DATALINK column, DataLinks engine
+//! contacts the appropriate DLFM directing it to start (link) or stop
+//! (unlink) managing the file" (§2.2). It also:
+//!
+//! * generates multi-type access tokens when a DATALINK value is retrieved
+//!   (§4.1) using the per-server shared secret;
+//! * maintains the `__dl_meta` system table (file size, modification time,
+//!   version) *within the same transaction context* as the triggering
+//!   statement (§4.3), via observer-injected DML;
+//! * serves as DLFM's [`HostHook`]: close processing runs its metadata
+//!   refresh through a host transaction here, and crash recovery asks it
+//!   for host-transaction outcomes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dl_dlfm::{AccessToken, AgentHandle, ControlMode, DlfmServer, HostHook, OnUnlink, TokenKind};
+use dl_fskit::Clock;
+use dl_minidb::{
+    Column, ColumnType, Database, DbResult, DmlEvent, DmlObserver, InjectedDml, Lsn, Row, Schema,
+    Value,
+};
+use parking_lot::RwLock;
+
+use crate::datalink::{DatalinkUrl, DlColumnOptions};
+
+/// System table holding per-file metadata (§4.3).
+pub const META_TABLE: &str = "__dl_meta";
+/// System table persisting DATALINK column definitions.
+pub const COLUMNS_TABLE: &str = "__dl_columns";
+
+/// Engine operation counters.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    pub links: AtomicU64,
+    pub unlinks: AtomicU64,
+    pub tokens_generated: AtomicU64,
+    pub meta_updates: AtomicU64,
+}
+
+/// A file server known to the engine.
+pub struct ServerRegistration {
+    pub name: String,
+    /// Child agent carrying link/unlink requests (and 2PC).
+    pub agent: AgentHandle,
+    /// Shared token secret (matches the server's `DlfmConfig`).
+    pub token_key: Vec<u8>,
+    /// Direct handle for metadata stats (in-process shortcut for what the
+    /// real system fetches over the agent connection).
+    pub server: Arc<DlfmServer>,
+}
+
+/// Registered DATALINK columns of one table: (index, name, options).
+type TableDlColumns = Vec<(usize, String, DlColumnOptions)>;
+
+/// The engine. Register it as an observer on the host database and as the
+/// host hook on every DLFM.
+pub struct DataLinksEngine {
+    db: Database,
+    clock: Arc<dyn Clock>,
+    servers: RwLock<HashMap<String, ServerRegistration>>,
+    columns: RwLock<HashMap<String, TableDlColumns>>,
+    pub stats: EngineStats,
+}
+
+impl DataLinksEngine {
+    /// Creates (or re-attaches after recovery) the engine on `db`: ensures
+    /// the system tables, loads persisted DATALINK column definitions, and
+    /// registers the DML observer.
+    pub fn install(db: Database, clock: Arc<dyn Clock>) -> DbResult<Arc<DataLinksEngine>> {
+        Self::ensure_tables(&db)?;
+        let engine = Arc::new(DataLinksEngine {
+            db: db.clone(),
+            clock,
+            servers: RwLock::new(HashMap::new()),
+            columns: RwLock::new(HashMap::new()),
+            stats: EngineStats::default(),
+        });
+        engine.load_column_registry()?;
+        db.register_observer(engine.clone());
+        Ok(engine)
+    }
+
+    fn ensure_tables(db: &Database) -> DbResult<()> {
+        if !db.has_table(META_TABLE) {
+            db.create_table(
+                Schema::new(
+                    META_TABLE,
+                    vec![
+                        Column::new("url", ColumnType::Text),
+                        Column::new("size", ColumnType::Int),
+                        Column::new("mtime", ColumnType::Int),
+                        Column::new("version", ColumnType::Int),
+                    ],
+                    "url",
+                )
+                .expect("static schema"),
+            )?;
+        }
+        if !db.has_table(COLUMNS_TABLE) {
+            db.create_table(
+                Schema::new(
+                    COLUMNS_TABLE,
+                    vec![
+                        Column::new("colkey", ColumnType::Text),
+                        Column::new("tbl", ColumnType::Text),
+                        Column::new("col", ColumnType::Text),
+                        Column::new("mode", ColumnType::Text),
+                        Column::new("recovery", ColumnType::Bool),
+                        Column::new("on_unlink", ColumnType::Text),
+                        Column::new("token_ttl_ms", ColumnType::Int),
+                    ],
+                    "colkey",
+                )
+                .expect("static schema"),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn load_column_registry(&self) -> DbResult<()> {
+        let mut columns: HashMap<String, TableDlColumns> = HashMap::new();
+        for row in self.db.scan_committed(COLUMNS_TABLE)? {
+            let table = row[1].as_text().unwrap_or_default().to_string();
+            let column = row[2].as_text().unwrap_or_default().to_string();
+            let Ok(schema) = self.db.schema(&table) else { continue };
+            let Some(idx) = schema.column_index(&column) else { continue };
+            let mode: ControlMode = match row[3].as_text().and_then(|s| s.parse().ok()) {
+                Some(m) => m,
+                None => continue,
+            };
+            let opts = DlColumnOptions {
+                mode,
+                recovery: matches!(row[4], Value::Bool(true)),
+                on_unlink: match row[5].as_text() {
+                    Some("delete") => OnUnlink::Delete,
+                    _ => OnUnlink::Restore,
+                },
+                token_ttl_ms: row[6].as_int().unwrap_or(60_000) as u64,
+            };
+            columns.entry(table).or_default().push((idx, column, opts));
+        }
+        *self.columns.write() = columns;
+        Ok(())
+    }
+
+    /// Registers a file server's agent connection and token secret.
+    pub fn register_server(&self, reg: ServerRegistration) {
+        self.servers.write().insert(reg.name.clone(), reg);
+    }
+
+    /// Declares `table.column` to be a DATALINK column with `opts`.
+    /// Persisted in `__dl_columns` so recovery can rebuild the registry.
+    pub fn define_datalink_column(
+        &self,
+        table: &str,
+        column: &str,
+        opts: DlColumnOptions,
+    ) -> DbResult<()> {
+        let schema = self.db.schema(table)?;
+        let idx = schema
+            .column_index(column)
+            .ok_or_else(|| dl_minidb::DbError::NoSuchColumn(column.to_string()))?;
+        if schema.columns[idx].ty != ColumnType::DataLink {
+            return Err(dl_minidb::DbError::SchemaMismatch(format!(
+                "column {table}.{column} is not of type DATALINK"
+            )));
+        }
+        let mut tx = self.db.begin();
+        tx.insert(
+            COLUMNS_TABLE,
+            vec![
+                Value::Text(format!("{table}.{column}")),
+                Value::Text(table.to_string()),
+                Value::Text(column.to_string()),
+                Value::Text(opts.mode.to_string()),
+                Value::Bool(opts.recovery),
+                Value::Text(match opts.on_unlink {
+                    OnUnlink::Restore => "restore".into(),
+                    OnUnlink::Delete => "delete".into(),
+                }),
+                Value::Int(opts.token_ttl_ms as i64),
+            ],
+        )?;
+        tx.commit()?;
+        self.columns
+            .write()
+            .entry(table.to_string())
+            .or_default()
+            .push((idx, column.to_string(), opts));
+        Ok(())
+    }
+
+    /// Options of a registered column, if any.
+    pub fn column_options(&self, table: &str, column: &str) -> Option<DlColumnOptions> {
+        self.columns
+            .read()
+            .get(table)?
+            .iter()
+            .find(|(_, name, _)| name == column)
+            .map(|(_, _, opts)| *opts)
+    }
+
+    fn value_url(value: &Value) -> Result<Option<DatalinkUrl>, String> {
+        match value {
+            Value::Null => Ok(None),
+            Value::DataLink(url) => DatalinkUrl::parse(url).map(Some),
+            other => Err(format!("DATALINK column holds non-DATALINK value {other}")),
+        }
+    }
+
+    /// Generates a token-embedded path for `url` (§4.1). The application
+    /// opens this path through the ordinary file-system API.
+    pub fn token_path(
+        &self,
+        url: &DatalinkUrl,
+        kind: TokenKind,
+        ttl_ms: u64,
+    ) -> Result<String, String> {
+        let servers = self.servers.read();
+        let reg = servers
+            .get(&url.server)
+            .ok_or_else(|| format!("unknown file server {}", url.server))?;
+        let token = AccessToken::generate(
+            &reg.token_key,
+            &url.server,
+            &url.path,
+            kind,
+            self.clock.now_ms() + ttl_ms,
+        );
+        self.stats.tokens_generated.fetch_add(1, Ordering::Relaxed);
+        Ok(dl_dlfm::embed_token(&url.path, &token))
+    }
+
+    /// Host-side metadata row for `url`, if present: (size, mtime, version).
+    pub fn file_meta(&self, url: &DatalinkUrl) -> Option<(u64, u64, u64)> {
+        let row = self
+            .db
+            .get_committed(META_TABLE, &Value::Text(url.to_string()))
+            .ok()
+            .flatten()?;
+        Some((
+            row[1].as_int()? as u64,
+            row[2].as_int()? as u64,
+            row[3].as_int()? as u64,
+        ))
+    }
+
+    /// The host database this engine is attached to.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl DmlObserver for DataLinksEngine {
+    fn on_dml(&self, db: &Database, event: &DmlEvent<'_>) -> Result<(), String> {
+        let columns = self.columns.read();
+        let Some(dl_columns) = columns.get(event.table) else {
+            return Ok(());
+        };
+
+        for (idx, _name, opts) in dl_columns {
+            let old = event.before.map(|row| &row[*idx]).unwrap_or(&Value::Null);
+            let new = event.after.map(|row| &row[*idx]).unwrap_or(&Value::Null);
+            if old == new {
+                continue;
+            }
+            let old_url = Self::value_url(old)?;
+            let new_url = Self::value_url(new)?;
+
+            let servers = self.servers.read();
+            if let Some(url) = old_url {
+                let reg = servers
+                    .get(&url.server)
+                    .ok_or_else(|| format!("unknown file server {}", url.server))?;
+                reg.agent.unlink(event.txid, &url.path)?;
+                db.enlist_participant(
+                    event.txid,
+                    &format!("dlfm@{}", url.server),
+                    Arc::new(reg.agent.clone()),
+                );
+                db.inject_dml(
+                    event.txid,
+                    InjectedDml::Delete {
+                        table: META_TABLE.to_string(),
+                        key: Value::Text(url.to_string()),
+                    },
+                );
+                self.stats.unlinks.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(url) = new_url {
+                let reg = servers
+                    .get(&url.server)
+                    .ok_or_else(|| format!("unknown file server {}", url.server))?;
+                reg.agent
+                    .link(event.txid, &url.path, opts.mode, opts.recovery, opts.on_unlink)?;
+                db.enlist_participant(
+                    event.txid,
+                    &format!("dlfm@{}", url.server),
+                    Arc::new(reg.agent.clone()),
+                );
+                let (size, mtime) = reg.server.stat_file(&url.path).unwrap_or((0, 0));
+                db.inject_dml(
+                    event.txid,
+                    InjectedDml::Upsert {
+                        table: META_TABLE.to_string(),
+                        row: vec![
+                            Value::Text(url.to_string()),
+                            Value::Int(size as i64),
+                            Value::Int(mtime as i64),
+                            Value::Int(1),
+                        ],
+                    },
+                );
+                self.stats.links.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// DLFM's window back into the host database (§4.3–§4.4).
+impl HostHook for DataLinksEngine {
+    fn state_id(&self) -> u64 {
+        self.db.state_id()
+    }
+
+    fn commit_file_update(
+        &self,
+        url: &str,
+        new_size: u64,
+        new_mtime: u64,
+        new_version: u64,
+        participant: Arc<dyn dl_minidb::Participant>,
+    ) -> Result<Lsn, String> {
+        let mut tx = self.db.begin();
+        self.db
+            .enlist_participant(tx.id(), &format!("dlfm-close:{url}"), participant);
+        let key = Value::Text(url.to_string());
+        let row: Row = vec![
+            key.clone(),
+            Value::Int(new_size as i64),
+            Value::Int(new_mtime as i64),
+            Value::Int(new_version as i64),
+        ];
+        let exists = tx.get_for_update(META_TABLE, &key).map_err(|e| e.to_string())?;
+        let result = if exists.is_some() {
+            tx.update(META_TABLE, &key, row)
+        } else {
+            tx.insert(META_TABLE, row)
+        };
+        result.map_err(|e| e.to_string())?;
+        self.stats.meta_updates.fetch_add(1, Ordering::Relaxed);
+        tx.commit().map_err(|e| e.to_string())
+    }
+
+    fn outcome(&self, host_txid: u64) -> Option<bool> {
+        self.db.coordinator_outcome(host_txid)
+    }
+}

@@ -1,0 +1,503 @@
+//! The assembled DataLinks system (Figure 1 of the paper): one host
+//! database with the DataLinks engine, plus any number of file-server nodes
+//! each running the full DLFM/DLFS stack.
+//!
+//! "Enterprises can manage files on multiple distinct file servers within a
+//! DataLinks database, allowing robust centralized control over distributed
+//! resources" (§1) — [`SystemBuilder`] wires N nodes to one host database.
+//!
+//! The facade also owns the whole-system failure model: [`DataLinksSystem::crash`]
+//! tears everything down keeping only what would survive a power cut (disks:
+//! storage environments, physical file systems, archive stores), and
+//! [`DataLinksSystem::recover`] rebuilds and runs the coordinated recovery
+//! protocol (§4.2, §4.4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dl_dlfm::{
+    AgentHandle, ArchiveStore, DlfmConfig, DlfmServer, MainDaemon, RecoveryReport, TokenKind,
+    UpcallDaemon,
+};
+use dl_dlfs::{Dlfs, DlfsConfig};
+use dl_fskit::memfs::IoModel;
+use dl_fskit::{Clock, FileSystem, Lfs, MemFs, WallClock};
+use dl_minidb::{Database, DbOptions, Lsn, Schema, StorageEnv, Txn, Value};
+
+use crate::datalink::{DatalinkUrl, DlColumnOptions};
+use crate::engine::{DataLinksEngine, ServerRegistration, META_TABLE};
+
+/// Everything one file-server node runs (Figure 1, right-hand side).
+pub struct FileServerNode {
+    pub name: String,
+    /// The physical file system (survives crashes — it is the disk).
+    pub fs: Arc<MemFs>,
+    /// The DLFM daemon complex.
+    pub server: Arc<DlfmServer>,
+    /// The DLFS interposition layer.
+    pub dlfs: Arc<Dlfs>,
+    /// Application-facing logical file system, mounted over DLFS.
+    pub lfs: Arc<Lfs>,
+    /// Root access to the raw physical file system (fixtures, admin).
+    pub raw: Arc<Lfs>,
+    repo_env: StorageEnv,
+    dlfm_cfg: DlfmConfig,
+    dlfs_cfg: DlfsConfig,
+    main: MainDaemon,
+    _upcall: UpcallDaemon,
+}
+
+impl FileServerNode {
+    /// A fresh agent connection (per-database-connection in the paper).
+    pub fn connect_agent(&self) -> AgentHandle {
+        self.main.connect()
+    }
+}
+
+/// Specification of one file server for the builder.
+pub struct FileServerSpec {
+    pub name: String,
+    pub dlfm: DlfmConfig,
+    pub dlfs: DlfsConfig,
+    /// Simulated I/O cost model for the node's physical file system
+    /// (zero-cost by default; benches use a disk-like model to reproduce
+    /// the paper's CPU+I/O measurements).
+    pub io: IoModel,
+}
+
+impl FileServerSpec {
+    pub fn new(name: &str) -> FileServerSpec {
+        FileServerSpec {
+            name: name.to_string(),
+            dlfm: DlfmConfig::new(name),
+            dlfs: DlfsConfig::default(),
+            io: IoModel::default(),
+        }
+    }
+}
+
+/// Builder for [`DataLinksSystem`].
+pub struct SystemBuilder {
+    host_env: StorageEnv,
+    clock: Arc<dyn Clock>,
+    servers: Vec<FileServerSpec>,
+}
+
+impl SystemBuilder {
+    pub fn new() -> SystemBuilder {
+        SystemBuilder {
+            host_env: StorageEnv::mem(),
+            clock: Arc::new(WallClock),
+            servers: Vec::new(),
+        }
+    }
+
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    pub fn host_env(mut self, env: StorageEnv) -> Self {
+        self.host_env = env;
+        self
+    }
+
+    /// Adds a file server with default configurations.
+    pub fn file_server(mut self, name: &str) -> Self {
+        self.servers.push(FileServerSpec::new(name));
+        self
+    }
+
+    /// Adds a file server with explicit configurations.
+    pub fn file_server_with(mut self, spec: FileServerSpec) -> Self {
+        self.servers.push(spec);
+        self
+    }
+
+    pub fn build(self) -> Result<DataLinksSystem, String> {
+        let mut parts = Vec::new();
+        for spec in self.servers {
+            let fs = Arc::new(MemFs::with_clock(Arc::clone(&self.clock)).with_io_model(spec.io));
+            parts.push(NodeParts {
+                name: spec.name,
+                fs,
+                repo_env: StorageEnv::mem(),
+                archive: Arc::new(ArchiveStore::new()),
+                dlfm_cfg: spec.dlfm,
+                dlfs_cfg: spec.dlfs,
+            });
+        }
+        DataLinksSystem::assemble(self.host_env, self.clock, parts, false).map(|(sys, _)| sys)
+    }
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The durable pieces of one node, as they survive a crash.
+struct NodeParts {
+    name: String,
+    fs: Arc<MemFs>,
+    repo_env: StorageEnv,
+    archive: Arc<ArchiveStore>,
+    dlfm_cfg: DlfmConfig,
+    dlfs_cfg: DlfsConfig,
+}
+
+/// What survives a simulated whole-system crash: the disks.
+pub struct CrashImage {
+    host_env: StorageEnv,
+    clock: Arc<dyn Clock>,
+    nodes: Vec<NodeParts>,
+    /// Open the host database only up to this LSN (point-in-time restore).
+    stop_at_lsn: Option<Lsn>,
+}
+
+/// A transaction-consistent backup of the host database. File versions are
+/// supplied by the (append-only) archive stores at restore time, so the
+/// backup itself only carries the database image — exactly the paper's
+/// architecture, where the archive server *is* the file backup.
+pub struct SystemBackup {
+    host_env: StorageEnv,
+}
+
+/// Outcome summary of a coordinated point-in-time restore.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SystemRestoreReport {
+    pub files_rolled_back: u64,
+    pub files_unlinked: u64,
+    pub files_relinked: u64,
+    pub missing_versions: Vec<(String, u64)>,
+}
+
+/// The assembled system.
+pub struct DataLinksSystem {
+    db: Database,
+    engine: Arc<DataLinksEngine>,
+    clock: Arc<dyn Clock>,
+    host_env: StorageEnv,
+    nodes: HashMap<String, FileServerNode>,
+}
+
+impl DataLinksSystem {
+    fn assemble(
+        host_env: StorageEnv,
+        clock: Arc<dyn Clock>,
+        parts: Vec<NodeParts>,
+        run_recovery: bool,
+    ) -> Result<(DataLinksSystem, HashMap<String, RecoveryReport>), String> {
+        let db = Database::open_with(
+            host_env.clone(),
+            DbOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let engine = DataLinksEngine::install(db.clone(), Arc::clone(&clock))
+            .map_err(|e| e.to_string())?;
+
+        let mut nodes = HashMap::new();
+        let mut reports = HashMap::new();
+        for part in parts {
+            let server = Arc::new(DlfmServer::new(
+                part.dlfm_cfg.clone(),
+                part.fs.clone() as Arc<dyn FileSystem>,
+                part.repo_env.clone(),
+                Arc::clone(&part.archive),
+                Arc::clone(&clock),
+            )?);
+            server.set_host_hook(engine.clone());
+            if run_recovery {
+                reports.insert(part.name.clone(), server.recover()?);
+            }
+            let (upcall, client) = UpcallDaemon::spawn(Arc::clone(&server));
+            let dlfs = Arc::new(Dlfs::new(
+                part.fs.clone() as Arc<dyn FileSystem>,
+                client,
+                part.dlfs_cfg,
+            ));
+            let lfs = Arc::new(Lfs::new(dlfs.clone() as Arc<dyn FileSystem>));
+            let raw = Arc::new(Lfs::new(part.fs.clone() as Arc<dyn FileSystem>));
+            let main = MainDaemon::new(Arc::clone(&server));
+            engine.register_server(ServerRegistration {
+                name: part.name.clone(),
+                agent: main.connect(),
+                token_key: part.dlfm_cfg.token_key.clone(),
+                server: Arc::clone(&server),
+            });
+            nodes.insert(
+                part.name.clone(),
+                FileServerNode {
+                    name: part.name,
+                    fs: part.fs,
+                    server,
+                    dlfs,
+                    lfs,
+                    raw,
+                    repo_env: part.repo_env,
+                    dlfm_cfg: part.dlfm_cfg,
+                    dlfs_cfg: part.dlfs_cfg,
+                    main,
+                    _upcall: upcall,
+                },
+            );
+        }
+        Ok((DataLinksSystem { db, engine, clock, host_env, nodes }, reports))
+    }
+
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::new()
+    }
+
+    // --- accessors -----------------------------------------------------------
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn engine(&self) -> &Arc<DataLinksEngine> {
+        &self.engine
+    }
+
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    pub fn node(&self, name: &str) -> Result<&FileServerNode, String> {
+        self.nodes
+            .get(name)
+            .ok_or_else(|| format!("unknown file server {name}"))
+    }
+
+    /// Application-facing file system of a node (mounted over DLFS).
+    pub fn fs(&self, name: &str) -> Result<Arc<Lfs>, String> {
+        Ok(Arc::clone(&self.node(name)?.lfs))
+    }
+
+    /// Raw (root) file system of a node for fixtures and admin tasks.
+    pub fn raw_fs(&self, name: &str) -> Result<Arc<Lfs>, String> {
+        Ok(Arc::clone(&self.node(name)?.raw))
+    }
+
+    pub fn server_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.nodes.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Current database state identifier (§4.4).
+    pub fn state_id(&self) -> Lsn {
+        self.db.state_id()
+    }
+
+    // --- SQL-ish conveniences ---------------------------------------------------
+
+    pub fn create_table(&self, schema: Schema) -> Result<(), String> {
+        self.db.create_table(schema).map_err(|e| e.to_string())
+    }
+
+    pub fn define_datalink_column(
+        &self,
+        table: &str,
+        column: &str,
+        opts: DlColumnOptions,
+    ) -> Result<(), String> {
+        self.engine
+            .define_datalink_column(table, column, opts)
+            .map_err(|e| e.to_string())
+    }
+
+    pub fn begin(&self) -> Txn {
+        self.db.begin()
+    }
+
+    /// Retrieves the DATALINK value of `column` in the row at `key`,
+    /// generating an access token of the requested kind — the paper's
+    /// token-generating SELECT (§3.2, benchmark E1). Returns the parsed URL
+    /// and the token-embedded path ready for `Lfs::open`.
+    pub fn select_datalink(
+        &self,
+        table: &str,
+        key: &Value,
+        column: &str,
+        kind: TokenKind,
+    ) -> Result<(DatalinkUrl, String), String> {
+        let url = self.select_datalink_url(table, key, column)?;
+        let opts = self
+            .engine
+            .column_options(table, column)
+            .ok_or_else(|| format!("{table}.{column} is not a DATALINK column"))?;
+        let path = self.engine.token_path(&url, kind, opts.token_ttl_ms)?;
+        Ok((url, path))
+    }
+
+    /// Retrieves the DATALINK value without token generation (the E1
+    /// baseline arm).
+    pub fn select_datalink_url(
+        &self,
+        table: &str,
+        key: &Value,
+        column: &str,
+    ) -> Result<DatalinkUrl, String> {
+        let schema = self.db.schema(table).map_err(|e| e.to_string())?;
+        let idx = schema
+            .column_index(column)
+            .ok_or_else(|| format!("no column {column}"))?;
+        let row = self
+            .db
+            .get_committed(table, key)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| format!("no row {key} in {table}"))?;
+        match &row[idx] {
+            Value::DataLink(url) => DatalinkUrl::parse(url),
+            Value::Null => Err(format!("{table}.{column} is NULL for {key}")),
+            other => Err(format!("unexpected value {other}")),
+        }
+    }
+
+    // --- failure model -----------------------------------------------------------
+
+    /// Simulates a whole-system crash: all volatile state (databases'
+    /// caches, daemons, pending transactions, open descriptors) evaporates;
+    /// what remains is the returned image of the disks.
+    pub fn crash(self) -> CrashImage {
+        let DataLinksSystem { db, engine, clock, host_env, nodes } = self;
+        drop(engine);
+        drop(db);
+        let mut parts = Vec::new();
+        for (_, node) in nodes {
+            node.server.simulate_crash();
+            parts.push(NodeParts {
+                name: node.name,
+                fs: node.fs,
+                repo_env: node.repo_env,
+                archive: Arc::clone(node.server.archive_store()),
+                dlfm_cfg: node.dlfm_cfg,
+                dlfs_cfg: node.dlfs_cfg,
+            });
+        }
+        CrashImage { host_env, clock, nodes: parts, stop_at_lsn: None }
+    }
+
+    /// Rebuilds a system from a crash image and runs coordinated recovery:
+    /// host database redo, DLFM in-doubt resolution against host outcomes,
+    /// file-state reconciliation and in-flight update rollback.
+    pub fn recover(
+        image: CrashImage,
+    ) -> Result<(DataLinksSystem, HashMap<String, RecoveryReport>), String> {
+        let CrashImage { host_env, clock, nodes, stop_at_lsn } = image;
+        if let Some(lsn) = stop_at_lsn {
+            // Point-in-time open handled by restore(); plain recovery
+            // ignores it.
+            let _ = lsn;
+        }
+        Self::assemble(host_env, clock, nodes, true)
+    }
+
+    // --- coordinated backup / restore (§4.4) ---------------------------------------
+
+    /// Takes a transaction-consistent backup of the host database. Archived
+    /// file versions (RECOVERY YES columns) complete the picture at restore
+    /// time.
+    pub fn backup(&self) -> Result<SystemBackup, String> {
+        Ok(SystemBackup { host_env: self.db.backup().map_err(|e| e.to_string())? })
+    }
+
+    /// Coordinated point-in-time restore: consumes the running system,
+    /// restores the host database from `backup` to `lsn`, then brings every
+    /// linked file to the version the restored database references (§4.4).
+    pub fn restore(
+        self,
+        backup: &SystemBackup,
+        lsn: Lsn,
+    ) -> Result<(DataLinksSystem, SystemRestoreReport), String> {
+        let image = self.crash();
+        let CrashImage { clock, nodes, .. } = image;
+
+        let restored_env = backup.host_env.fork().map_err(|e| e.to_string())?;
+        let db = Database::open_with(restored_env.clone(), DbOptions { stop_at_lsn: Some(lsn) })
+            .map_err(|e| e.to_string())?;
+        // Re-serialize the restored state into a fresh environment so the
+        // new system's log continues cleanly from the restored state.
+        db.checkpoint().map_err(|e| e.to_string())?;
+        drop(db);
+
+        let (sys, _) = Self::assemble(restored_env, clock, nodes, true)?;
+        let report = sys.reconcile_files_with_metadata()?;
+        Ok((sys, report))
+    }
+
+    /// Brings every node's linked files in line with the restored
+    /// `__dl_meta` table: rollback to archived versions, unlink files no
+    /// longer referenced, re-link files whose links reappeared.
+    fn reconcile_files_with_metadata(&self) -> Result<SystemRestoreReport, String> {
+        let mut report = SystemRestoreReport::default();
+
+        // Desired state per server from the restored metadata.
+        let mut desired: HashMap<String, HashMap<String, u64>> = HashMap::new();
+        for row in self
+            .db
+            .scan_committed(META_TABLE)
+            .map_err(|e| e.to_string())?
+        {
+            let url = DatalinkUrl::parse(row[0].as_text().unwrap_or_default())?;
+            let version = row[3].as_int().unwrap_or(1) as u64;
+            desired.entry(url.server).or_default().insert(url.path, version);
+        }
+
+        for (name, node) in &self.nodes {
+            let want = desired.remove(name).unwrap_or_default();
+
+            // Re-link files the restored database references but the
+            // repository no longer knows (unlinked after the restore point).
+            let known: std::collections::HashSet<String> = node
+                .server
+                .repository()
+                .list_files()
+                .into_iter()
+                .map(|f| f.path)
+                .collect();
+            for path in want.keys() {
+                if known.contains(path) {
+                    continue;
+                }
+                let (mode, recovery, on_unlink) = self
+                    .column_options_for_url(&DatalinkUrl::new(name, path)?)
+                    .map(|o| (o.mode, o.recovery, o.on_unlink))
+                    .unwrap_or((dl_dlfm::ControlMode::Rff, true, dl_dlfm::OnUnlink::Restore));
+                let txid = u64::MAX - report.files_relinked; // synthetic restore txn
+                node.server.link_file(txid, path, mode, recovery, on_unlink)?;
+                node.server.prepare_host(txid)?;
+                node.server.commit_host(txid);
+                report.files_relinked += 1;
+            }
+
+            let outcome = node.server.restore_to_versions(&want)?;
+            report.files_rolled_back += outcome.rolled_back;
+            report.files_unlinked += outcome.unlinked;
+            report.missing_versions.extend(outcome.missing_versions);
+        }
+        Ok(report)
+    }
+
+    /// Finds the column options governing `url` by scanning registered
+    /// DATALINK columns of the restored database.
+    fn column_options_for_url(&self, url: &DatalinkUrl) -> Option<DlColumnOptions> {
+        let url_text = url.to_string();
+        for row in self.db.scan_committed(crate::engine::COLUMNS_TABLE).ok()? {
+            let table = row[1].as_text()?.to_string();
+            let column = row[2].as_text()?.to_string();
+            let schema = self.db.schema(&table).ok()?;
+            let idx = schema.column_index(&column)?;
+            let rows = self.db.scan_committed(&table).ok()?;
+            if rows
+                .iter()
+                .any(|r| matches!(&r[idx], Value::DataLink(u) if *u == url_text))
+            {
+                return self.engine.column_options(&table, &column);
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,458 @@
+//! End-to-end tests of the assembled DataLinks system: SQL-driven
+//! link/unlink, update-in-place with metadata consistency, crash recovery,
+//! and coordinated point-in-time restore.
+
+use std::sync::Arc;
+
+use dl_core::{
+    ControlMode, DataLinksSystem, DatalinkUrl, DlColumnOptions, OnUnlink, TokenKind,
+};
+use dl_fskit::{Cred, FsError, OpenOptions, SimClock};
+use dl_minidb::{Column, ColumnType, DbError, Schema, Value};
+
+const ALICE: Cred = Cred { uid: 100, gid: 100 };
+
+fn movies_schema() -> Schema {
+    Schema::new(
+        "movies",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("title", ColumnType::Text),
+            Column::nullable("clip", ColumnType::DataLink),
+        ],
+        "id",
+    )
+    .unwrap()
+}
+
+fn build_system(mode: ControlMode) -> DataLinksSystem {
+    let sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_000_000)))
+        .file_server("srv1")
+        .build()
+        .unwrap();
+    let raw = sys.raw_fs("srv1").unwrap();
+    raw.mkdir_p(&Cred::root(), "/movies", 0o777).unwrap();
+    raw.write_file(&ALICE, "/movies/alien.mpg", b"alien v1").unwrap();
+    raw.write_file(&ALICE, "/movies/brazil.mpg", b"brazil v1").unwrap();
+    sys.create_table(movies_schema()).unwrap();
+    sys.define_datalink_column("movies", "clip", DlColumnOptions::new(mode))
+        .unwrap();
+    sys
+}
+
+fn insert_movie(sys: &DataLinksSystem, id: i64, title: &str, url: Option<&str>) {
+    let mut tx = sys.begin();
+    tx.insert(
+        "movies",
+        vec![
+            Value::Int(id),
+            Value::Text(title.into()),
+            url.map(|u| Value::DataLink(u.into())).unwrap_or(Value::Null),
+        ],
+    )
+    .unwrap();
+    tx.commit().unwrap();
+}
+
+/// Update a linked file in place through the public file API.
+fn update_file(sys: &DataLinksSystem, id: i64, content: &[u8]) {
+    let (_url, path) = sys
+        .select_datalink("movies", &Value::Int(id), "clip", TokenKind::Write)
+        .unwrap();
+    let fs = sys.fs("srv1").unwrap();
+    let fd = fs.open(&ALICE, &path, OpenOptions::write_truncate()).unwrap();
+    fs.write(fd, content).unwrap();
+    fs.close(fd).unwrap();
+}
+
+fn read_file(sys: &DataLinksSystem, id: i64) -> Vec<u8> {
+    let (_url, path) = sys
+        .select_datalink("movies", &Value::Int(id), "clip", TokenKind::Read)
+        .unwrap();
+    let fs = sys.fs("srv1").unwrap();
+    let fd = fs.open(&ALICE, &path, OpenOptions::read_only()).unwrap();
+    let data = fs.read_to_end(fd).unwrap();
+    fs.close(fd).unwrap();
+    data
+}
+
+#[test]
+fn insert_links_and_abort_unlinks_nothing() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+    let node = sys.node("srv1").unwrap();
+    assert!(node.server.repository().get_file("/movies/alien.mpg").is_some());
+
+    // Aborted INSERT leaves no link behind and restores permissions.
+    let mut tx = sys.begin();
+    tx.insert(
+        "movies",
+        vec![
+            Value::Int(2),
+            Value::Text("Brazil".into()),
+            Value::DataLink("dlfs://srv1/movies/brazil.mpg".into()),
+        ],
+    )
+    .unwrap();
+    assert!(node.server.repository().get_file("/movies/brazil.mpg").is_some()
+        || node.server.has_pending(tx.id()));
+    tx.abort();
+    assert!(node.server.repository().get_file("/movies/brazil.mpg").is_none());
+    let attr = node.raw.stat(&Cred::root(), "/movies/brazil.mpg").unwrap();
+    assert_eq!((attr.uid, attr.mode), (ALICE.uid, 0o644));
+}
+
+#[test]
+fn metadata_row_tracks_link_lifecycle() {
+    let sys = build_system(ControlMode::Rdd);
+    let url = DatalinkUrl::parse("dlfs://srv1/movies/alien.mpg").unwrap();
+    assert!(sys.engine().file_meta(&url).is_none());
+
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+    let (size, _mtime, version) = sys.engine().file_meta(&url).unwrap();
+    assert_eq!(size, 8, "linked size recorded");
+    assert_eq!(version, 1);
+
+    // DELETE of the row unlinks and removes the metadata.
+    let mut tx = sys.begin();
+    tx.delete("movies", &Value::Int(1)).unwrap();
+    tx.commit().unwrap();
+    assert!(sys.engine().file_meta(&url).is_none());
+    let node = sys.node("srv1").unwrap();
+    assert!(node.server.repository().get_file("/movies/alien.mpg").is_none());
+}
+
+#[test]
+fn update_in_place_keeps_metadata_consistent() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+    let url = DatalinkUrl::parse("dlfs://srv1/movies/alien.mpg").unwrap();
+
+    update_file(&sys, 1, b"alien v2 with longer director's cut");
+    let (size, _mtime, version) = sys.engine().file_meta(&url).unwrap();
+    assert_eq!(version, 2, "metadata version moved with the file (§4.3)");
+    assert_eq!(size, 35);
+    assert_eq!(read_file(&sys, 1), b"alien v2 with longer director's cut");
+
+    update_file(&sys, 1, b"v3");
+    let (size, _, version) = sys.engine().file_meta(&url).unwrap();
+    assert_eq!((size, version), (2, 3));
+}
+
+#[test]
+fn switching_datalink_value_relinks_atomically() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+
+    // UPDATE the column from alien to brazil: unlink old, link new, one txn.
+    let mut tx = sys.begin();
+    tx.update_column(
+        "movies",
+        &Value::Int(1),
+        "clip",
+        Value::DataLink("dlfs://srv1/movies/brazil.mpg".into()),
+    )
+    .unwrap();
+    tx.commit().unwrap();
+
+    let node = sys.node("srv1").unwrap();
+    assert!(node.server.repository().get_file("/movies/alien.mpg").is_none());
+    assert!(node.server.repository().get_file("/movies/brazil.mpg").is_some());
+    // Old file back to its owner; new file taken over.
+    let old = node.raw.stat(&Cred::root(), "/movies/alien.mpg").unwrap();
+    assert_eq!(old.uid, ALICE.uid);
+    let new = node.raw.stat(&Cred::root(), "/movies/brazil.mpg").unwrap();
+    assert_eq!(new.uid, node.server.config().dlfm_cred.uid);
+}
+
+#[test]
+fn linking_missing_file_vetoes_the_statement() {
+    let sys = build_system(ControlMode::Rdd);
+    let mut tx = sys.begin();
+    let err = tx
+        .insert(
+            "movies",
+            vec![
+                Value::Int(1),
+                Value::Text("Ghost".into()),
+                Value::DataLink("dlfs://srv1/movies/missing.mpg".into()),
+            ],
+        )
+        .unwrap_err();
+    assert!(matches!(err, DbError::Vetoed(_)), "{err}");
+    // Statement failed but the transaction survives (SQL semantics).
+    tx.insert("movies", vec![Value::Int(1), Value::Text("Ghost".into()), Value::Null])
+        .unwrap();
+    tx.commit().unwrap();
+}
+
+#[test]
+fn unlink_rejected_while_file_open() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+
+    let (_url, path) = sys
+        .select_datalink("movies", &Value::Int(1), "clip", TokenKind::Write)
+        .unwrap();
+    let fs = sys.fs("srv1").unwrap();
+    let fd = fs.open(&ALICE, &path, OpenOptions::read_write()).unwrap();
+
+    let mut tx = sys.begin();
+    let err = tx.delete("movies", &Value::Int(1)).unwrap_err();
+    assert!(matches!(err, DbError::Vetoed(ref m) if m.contains("open")), "{err}");
+    tx.abort();
+
+    fs.close(fd).unwrap();
+    let mut tx = sys.begin();
+    tx.delete("movies", &Value::Int(1)).unwrap();
+    tx.commit().unwrap();
+}
+
+#[test]
+fn dangling_reference_prevented_through_app_fs() {
+    let sys = build_system(ControlMode::Rff);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+    let fs = sys.fs("srv1").unwrap();
+    assert!(matches!(
+        fs.remove(&ALICE, "/movies/alien.mpg"),
+        Err(FsError::Rejected(_))
+    ));
+    assert!(matches!(
+        fs.rename(&ALICE, "/movies/alien.mpg", "/movies/renamed.mpg"),
+        Err(FsError::Rejected(_))
+    ));
+}
+
+#[test]
+fn rfd_mode_full_cycle_through_sql() {
+    let sys = build_system(ControlMode::Rfd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+
+    // Plain read path — no token, no upcalls beyond mutation checks.
+    let fs = sys.fs("srv1").unwrap();
+    let fd = fs.open(&ALICE, "/movies/alien.mpg", OpenOptions::read_only()).unwrap();
+    assert_eq!(fs.read_to_end(fd).unwrap(), b"alien v1");
+    fs.close(fd).unwrap();
+
+    update_file(&sys, 1, b"alien rfd v2");
+    assert_eq!(
+        sys.raw_fs("srv1").unwrap().read_file(&Cred::root(), "/movies/alien.mpg").unwrap(),
+        b"alien rfd v2"
+    );
+    let url = DatalinkUrl::parse("dlfs://srv1/movies/alien.mpg").unwrap();
+    assert_eq!(sys.engine().file_meta(&url).unwrap().2, 2);
+}
+
+#[test]
+fn crash_mid_update_recovers_last_committed_everywhere() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+    update_file(&sys, 1, b"committed v2");
+    sys.node("srv1").unwrap().server.archive_store().wait_archived("/movies/alien.mpg");
+
+    // Open for write, scribble, crash before close.
+    let (_url, path) = sys
+        .select_datalink("movies", &Value::Int(1), "clip", TokenKind::Write)
+        .unwrap();
+    let fs = sys.fs("srv1").unwrap();
+    let fd = fs.open(&ALICE, &path, OpenOptions::write_truncate()).unwrap();
+    fs.write(fd, b"half-written garbage that must vanish").unwrap();
+    // No close: the descriptor dies with the crash below.
+
+    let image = sys.crash();
+    let (sys, reports) = DataLinksSystem::recover(image).unwrap();
+    assert_eq!(reports["srv1"].updates_rolled_back, 1);
+
+    // File and metadata agree on v2.
+    let url = DatalinkUrl::parse("dlfs://srv1/movies/alien.mpg").unwrap();
+    assert_eq!(sys.engine().file_meta(&url).unwrap().2, 2);
+    assert_eq!(read_file(&sys, 1), b"committed v2");
+}
+
+#[test]
+fn crash_between_prepare_and_commit_resolves_with_host_outcome() {
+    // The in-doubt path: we can't easily freeze the host mid-2PC from here,
+    // so drive the agent surface directly like the host would.
+    let sys = build_system(ControlMode::Rdd);
+    let node = sys.node("srv1").unwrap();
+
+    // A transaction that prepared at DLFM but whose decision is unknown
+    // there; the host DB has no commit record for it → presumed abort.
+    let orphan_txid = 4_242;
+    node.server
+        .link_file(orphan_txid, "/movies/brazil.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap();
+    node.server.prepare_host(orphan_txid).unwrap();
+
+    let image = sys.crash();
+    let (sys, reports) = DataLinksSystem::recover(image).unwrap();
+    let report = &reports["srv1"];
+    assert_eq!(report.in_doubt_resolved.len(), 1);
+    assert!(!report.in_doubt_resolved[0].1, "presumed abort");
+
+    let node = sys.node("srv1").unwrap();
+    assert!(node.server.repository().get_file("/movies/brazil.mpg").is_none());
+    let attr = node.raw.stat(&Cred::root(), "/movies/brazil.mpg").unwrap();
+    assert_eq!((attr.uid, attr.mode), (ALICE.uid, 0o644), "link undone at recovery");
+}
+
+#[test]
+fn committed_links_survive_crash() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+    update_file(&sys, 1, b"v2 content");
+    sys.node("srv1").unwrap().server.archive_store().wait_archived("/movies/alien.mpg");
+
+    let image = sys.crash();
+    let (sys, _) = DataLinksSystem::recover(image).unwrap();
+
+    let node = sys.node("srv1").unwrap();
+    let entry = node.server.repository().get_file("/movies/alien.mpg").unwrap();
+    assert_eq!(entry.cur_version, 2);
+    assert_eq!(read_file(&sys, 1), b"v2 content");
+
+    // The system is fully operational after recovery: another update works.
+    update_file(&sys, 1, b"v3 after recovery");
+    assert_eq!(read_file(&sys, 1), b"v3 after recovery");
+}
+
+#[test]
+fn coordinated_point_in_time_restore() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+
+    // Build five versions, remembering the state id after each commit.
+    let mut state_ids = Vec::new();
+    state_ids.push(sys.state_id()); // after link, version 1
+    for v in 2..=5u64 {
+        update_file(&sys, 1, format!("alien v{v}").as_bytes());
+        sys.node("srv1").unwrap().server.archive_store().wait_archived("/movies/alien.mpg");
+        state_ids.push(sys.state_id());
+    }
+    let backup = sys.backup().unwrap();
+
+    // Restore to the state after version 3 was committed.
+    let (sys, report) = sys.restore(&backup, state_ids[2]).unwrap();
+    assert_eq!(report.files_rolled_back, 1);
+    let url = DatalinkUrl::parse("dlfs://srv1/movies/alien.mpg").unwrap();
+    let (_, _, version) = sys.engine().file_meta(&url).unwrap();
+    assert_eq!(version, 3, "metadata restored to v3");
+    assert_eq!(read_file(&sys, 1), b"alien v3", "file restored to match (§4.4)");
+}
+
+#[test]
+fn restore_relinks_files_unlinked_after_the_restore_point() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+    let linked_state = sys.state_id();
+    let backup_early = sys.backup().unwrap();
+
+    // Unlink after the backup point.
+    let mut tx = sys.begin();
+    tx.delete("movies", &Value::Int(1)).unwrap();
+    tx.commit().unwrap();
+    assert!(sys
+        .node("srv1")
+        .unwrap()
+        .server
+        .repository()
+        .get_file("/movies/alien.mpg")
+        .is_none());
+
+    // Restore to when it was linked: the link must come back.
+    let (sys, report) = sys.restore(&backup_early, linked_state).unwrap();
+    assert_eq!(report.files_relinked, 1);
+    let node = sys.node("srv1").unwrap();
+    let entry = node.server.repository().get_file("/movies/alien.mpg").unwrap();
+    assert_eq!(entry.mode, ControlMode::Rdd);
+    assert_eq!(read_file(&sys, 1), b"alien v1");
+}
+
+#[test]
+fn restore_unlinks_files_linked_after_the_restore_point() {
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+    let before_brazil = sys.state_id();
+    let backup = sys.backup().unwrap();
+    let _ = backup;
+    insert_movie(&sys, 2, "Brazil", Some("dlfs://srv1/movies/brazil.mpg"));
+
+    let backup2 = sys.backup().unwrap();
+    let (sys, report) = sys.restore(&backup2, before_brazil).unwrap();
+    assert_eq!(report.files_unlinked, 1);
+    let node = sys.node("srv1").unwrap();
+    assert!(node.server.repository().get_file("/movies/brazil.mpg").is_none());
+    let attr = node.raw.stat(&Cred::root(), "/movies/brazil.mpg").unwrap();
+    assert_eq!(attr.uid, ALICE.uid, "brazil handed back to its owner");
+    assert!(node.server.repository().get_file("/movies/alien.mpg").is_some());
+}
+
+#[test]
+fn multi_server_system_routes_by_url() {
+    let sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_000_000)))
+        .file_server("east")
+        .file_server("west")
+        .build()
+        .unwrap();
+    for name in ["east", "west"] {
+        let raw = sys.raw_fs(name).unwrap();
+        raw.mkdir_p(&Cred::root(), "/pages", 0o777).unwrap();
+        raw.write_file(&ALICE, "/pages/home.html", format!("{name} home").as_bytes())
+            .unwrap();
+    }
+    sys.create_table(
+        Schema::new(
+            "pages",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::nullable("body", ColumnType::DataLink),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    sys.define_datalink_column("pages", "body", DlColumnOptions::new(ControlMode::Rdd))
+        .unwrap();
+
+    let mut tx = sys.begin();
+    tx.insert("pages", vec![Value::Int(1), Value::DataLink("dlfs://east/pages/home.html".into())])
+        .unwrap();
+    tx.insert("pages", vec![Value::Int(2), Value::DataLink("dlfs://west/pages/home.html".into())])
+        .unwrap();
+    tx.commit().unwrap();
+
+    assert!(sys.node("east").unwrap().server.repository().get_file("/pages/home.html").is_some());
+    assert!(sys.node("west").unwrap().server.repository().get_file("/pages/home.html").is_some());
+
+    // Tokens are per-server: an east token cannot open the west file.
+    let (_, east_path) = sys
+        .select_datalink("pages", &Value::Int(1), "body", TokenKind::Read)
+        .unwrap();
+    let west_fs = sys.fs("west").unwrap();
+    assert!(west_fs.open(&ALICE, &east_path, OpenOptions::read_only()).is_err());
+    let east_fs = sys.fs("east").unwrap();
+    let fd = east_fs.open(&ALICE, &east_path, OpenOptions::read_only()).unwrap();
+    assert_eq!(east_fs.read_to_end(fd).unwrap(), b"east home");
+    east_fs.close(fd).unwrap();
+}
+
+#[test]
+fn same_user_transaction_updates_row_and_file_together() {
+    // The video-merchant scenario from §1: update the price and replace the
+    // clip content under one business operation.
+    let sys = build_system(ControlMode::Rdd);
+    insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
+
+    let mut tx = sys.begin();
+    tx.update_column("movies", &Value::Int(1), "title", Value::Text("Alien (remastered)".into()))
+        .unwrap();
+    tx.commit().unwrap();
+
+    update_file(&sys, 1, b"remastered clip");
+    assert_eq!(read_file(&sys, 1), b"remastered clip");
+    let row = sys.db().get_committed("movies", &Value::Int(1)).unwrap().unwrap();
+    assert_eq!(row[1], Value::Text("Alien (remastered)".into()));
+}

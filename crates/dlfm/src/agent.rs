@@ -1,0 +1,173 @@
+//! The main daemon and per-connection child agents (§2.2).
+//!
+//! "When a connect request from a database agent is received, the main
+//! daemon spawns a child agent which then establishes a connection with the
+//! requesting database agent. All subsequent requests (link/unlink
+//! operations) from the same connection are served by this child agent."
+//!
+//! Each child agent is a thread owning a request channel; the DataLinks
+//! engine holds an [`AgentHandle`] per (connection, file server) and also
+//! enlists it as the host transaction's 2PC participant.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use crate::modes::{ControlMode, OnUnlink};
+use crate::server::DlfmServer;
+
+enum AgentRequest {
+    Link {
+        host_txid: u64,
+        path: String,
+        mode: ControlMode,
+        recovery: bool,
+        on_unlink: OnUnlink,
+        reply: Sender<Result<(), String>>,
+    },
+    Unlink {
+        host_txid: u64,
+        path: String,
+        reply: Sender<Result<(), String>>,
+    },
+    Prepare {
+        host_txid: u64,
+        reply: Sender<Result<(), String>>,
+    },
+    Commit {
+        host_txid: u64,
+        reply: Sender<()>,
+    },
+    Abort {
+        host_txid: u64,
+        reply: Sender<()>,
+    },
+}
+
+/// Handle to a child agent. One per database connection per file server.
+#[derive(Clone)]
+pub struct AgentHandle {
+    tx: Sender<AgentRequest>,
+    server_name: String,
+}
+
+impl AgentHandle {
+    /// Links a file in the context of `host_txid`.
+    pub fn link(
+        &self,
+        host_txid: u64,
+        path: &str,
+        mode: ControlMode,
+        recovery: bool,
+        on_unlink: OnUnlink,
+    ) -> Result<(), String> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(AgentRequest::Link {
+                host_txid,
+                path: path.to_string(),
+                mode,
+                recovery,
+                on_unlink,
+                reply,
+            })
+            .map_err(|_| "child agent is down".to_string())?;
+        rx.recv().map_err(|_| "child agent is down".to_string())?
+    }
+
+    /// Unlinks a file in the context of `host_txid`.
+    pub fn unlink(&self, host_txid: u64, path: &str) -> Result<(), String> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(AgentRequest::Unlink { host_txid, path: path.to_string(), reply })
+            .map_err(|_| "child agent is down".to_string())?;
+        rx.recv().map_err(|_| "child agent is down".to_string())?
+    }
+
+    /// The file server this agent fronts.
+    pub fn server_name(&self) -> &str {
+        &self.server_name
+    }
+}
+
+/// The agent participates in the host transaction's two-phase commit,
+/// forwarding the phases to its thread (the paper's "operations done in
+/// DLFM are treated as a sub-transaction of the host database transaction").
+impl dl_minidb::Participant for AgentHandle {
+    fn prepare(&self, txid: u64) -> Result<(), String> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(AgentRequest::Prepare { host_txid: txid, reply })
+            .map_err(|_| "child agent is down".to_string())?;
+        rx.recv().map_err(|_| "child agent is down".to_string())?
+    }
+
+    fn commit(&self, txid: u64) {
+        let (reply, rx) = bounded(1);
+        if self.tx.send(AgentRequest::Commit { host_txid: txid, reply }).is_ok() {
+            let _ = rx.recv();
+        }
+    }
+
+    fn abort(&self, txid: u64) {
+        let (reply, rx) = bounded(1);
+        if self.tx.send(AgentRequest::Abort { host_txid: txid, reply }).is_ok() {
+            let _ = rx.recv();
+        }
+    }
+}
+
+/// The main daemon: accepts connections, spawning one child agent each.
+pub struct MainDaemon {
+    server: Arc<DlfmServer>,
+    children: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl MainDaemon {
+    pub fn new(server: Arc<DlfmServer>) -> MainDaemon {
+        MainDaemon { server, children: parking_lot::Mutex::new(Vec::new()) }
+    }
+
+    /// Handles a connect request from a database agent: spawns a child
+    /// agent thread and returns its handle.
+    pub fn connect(&self) -> AgentHandle {
+        let (tx, rx) = unbounded::<AgentRequest>();
+        let server = Arc::clone(&self.server);
+        let name = server.config().server_name.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("dlfm-agent-{name}"))
+            .spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        AgentRequest::Link { host_txid, path, mode, recovery, on_unlink, reply } => {
+                            let _ = reply
+                                .send(server.link_file(host_txid, &path, mode, recovery, on_unlink));
+                        }
+                        AgentRequest::Unlink { host_txid, path, reply } => {
+                            let _ = reply.send(server.unlink_file(host_txid, &path));
+                        }
+                        AgentRequest::Prepare { host_txid, reply } => {
+                            let _ = reply.send(server.prepare_host(host_txid));
+                        }
+                        AgentRequest::Commit { host_txid, reply } => {
+                            server.commit_host(host_txid);
+                            let _ = reply.send(());
+                        }
+                        AgentRequest::Abort { host_txid, reply } => {
+                            server.abort_host(host_txid);
+                            let _ = reply.send(());
+                        }
+                    }
+                }
+            })
+            .expect("spawn child agent");
+        self.children.lock().push(handle);
+        AgentHandle { tx, server_name: self.server.config().server_name.clone() }
+    }
+
+    /// Number of child agents spawned so far.
+    pub fn child_count(&self) -> usize {
+        self.children.lock().len()
+    }
+}

@@ -1,0 +1,376 @@
+//! The archive server (§4.4).
+//!
+//! "A copy of the file is saved to an archive device/server after update to
+//! a file has completed and committed. When a failure occurs, the last
+//! committed version of the file is restored from the archive and the
+//! in-flight version of the file is moved to a temporary directory. ...
+//! Each new version is associated with a database state identifier (for
+//! example tail LSN). When database is restored to a previous point in
+//! time, the corresponding files, according to the restored database state
+//! identifier, are also restored from the archive."
+//!
+//! The store is content-addressed by (path, version) and every version
+//! carries the host database state identifier (commit LSN) that created it.
+//! Archiving is *asynchronous*: [`Archiver`] runs a worker thread; while a
+//! file's archive job is in flight, new update requests to it are blocked
+//! (the DLFM server consults [`ArchiveStore::is_archiving`]).
+//!
+//! Like a physical archive device, the store survives simulated crashes:
+//! the crash harness keeps the `Arc<ArchiveStore>` alive while dropping the
+//! daemons and databases.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// One archived version of one file.
+#[derive(Debug, Clone)]
+pub struct ArchivedVersion {
+    pub version: u64,
+    /// Host database state identifier (commit LSN) this version belongs to.
+    pub state_id: u64,
+    pub data: Vec<u8>,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    /// path -> versions ordered by insertion (version ascending).
+    versions: HashMap<String, Vec<ArchivedVersion>>,
+    /// Files with an archive job in flight.
+    archiving: HashMap<String, u64>,
+    /// In-flight (dirty, rolled-back) images moved aside at recovery.
+    quarantine: Vec<(String, Vec<u8>)>,
+}
+
+/// The versioned archive store.
+#[derive(Default)]
+pub struct ArchiveStore {
+    inner: Mutex<StoreInner>,
+    done: Condvar,
+}
+
+impl ArchiveStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Synchronously stores a version. Idempotent per (path, version).
+    pub fn put(&self, path: &str, version: u64, state_id: u64, data: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        let versions = inner.versions.entry(path.to_string()).or_default();
+        if versions.iter().any(|v| v.version == version) {
+            return;
+        }
+        versions.push(ArchivedVersion { version, state_id, data });
+        versions.sort_by_key(|v| v.version);
+    }
+
+    /// The newest archived version of `path`.
+    pub fn latest(&self, path: &str) -> Option<ArchivedVersion> {
+        let inner = self.inner.lock();
+        inner.versions.get(path).and_then(|v| v.last().cloned())
+    }
+
+    /// A specific version of `path`.
+    pub fn get(&self, path: &str, version: u64) -> Option<ArchivedVersion> {
+        let inner = self.inner.lock();
+        inner
+            .versions
+            .get(path)
+            .and_then(|v| v.iter().find(|av| av.version == version).cloned())
+    }
+
+    /// The newest version whose state identifier is ≤ `state_id` — the
+    /// coordinated point-in-time restore lookup.
+    pub fn version_at_state(&self, path: &str, state_id: u64) -> Option<ArchivedVersion> {
+        let inner = self.inner.lock();
+        inner
+            .versions
+            .get(path)?
+            .iter().rfind(|v| v.state_id <= state_id)
+            .cloned()
+    }
+
+    /// All versions of `path` (diagnostics, EXPERIMENTS harness).
+    pub fn versions(&self, path: &str) -> Vec<(u64, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .versions
+            .get(path)
+            .map(|v| v.iter().map(|av| (av.version, av.state_id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Drops all versions older than the newest (files linked *without* the
+    /// recovery option keep only the last committed image).
+    pub fn prune_to_latest(&self, path: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(versions) = inner.versions.get_mut(path) {
+            if versions.len() > 1 {
+                let last = versions.pop().expect("non-empty");
+                versions.clear();
+                versions.push(last);
+            }
+        }
+    }
+
+    /// Forgets a file entirely (after unlink with ON UNLINK DELETE).
+    pub fn forget(&self, path: &str) {
+        self.inner.lock().versions.remove(path);
+    }
+
+    /// Moves a rolled-back in-flight image aside (§4.2: "the in-flight
+    /// version of the file is moved to a temporary directory").
+    pub fn quarantine(&self, path: &str, data: Vec<u8>) {
+        self.inner.lock().quarantine.push((path.to_string(), data));
+    }
+
+    /// Quarantined images (diagnostics).
+    pub fn quarantined(&self) -> Vec<(String, usize)> {
+        let inner = self.inner.lock();
+        inner.quarantine.iter().map(|(p, d)| (p.clone(), d.len())).collect()
+    }
+
+    // --- async-archiving bookkeeping ---------------------------------------
+
+    /// Marks `path` as having an archive job in flight for `version`.
+    pub fn begin_archiving(&self, path: &str, version: u64) {
+        self.inner.lock().archiving.insert(path.to_string(), version);
+    }
+
+    fn end_archiving(&self, path: &str) {
+        self.inner.lock().archiving.remove(path);
+        self.done.notify_all();
+    }
+
+    /// Is an archive job in flight for `path`? New updates must wait (§4.4).
+    pub fn is_archiving(&self, path: &str) -> bool {
+        self.inner.lock().archiving.contains_key(path)
+    }
+
+    /// Blocks until no archive job is in flight for `path`.
+    pub fn wait_archived(&self, path: &str) {
+        let mut inner = self.inner.lock();
+        while inner.archiving.contains_key(path) {
+            self.done.wait(&mut inner);
+        }
+    }
+}
+
+/// A job for the asynchronous archiver.
+pub struct ArchiveJob {
+    pub path: String,
+    pub version: u64,
+    pub state_id: u64,
+    /// Content to archive. `None` lets the worker read the file itself via
+    /// the archiver's content source — the asynchronous mode of §4.4, where
+    /// the copy happens entirely off the close path. Safe because new
+    /// updates to the file are blocked until the job completes, so the
+    /// content cannot change underneath the worker.
+    pub data: Option<Vec<u8>>,
+    /// Keep only the newest version after this job (no recovery option).
+    pub prune: bool,
+}
+
+/// Reads a file's current content on behalf of the archiver worker.
+pub type ContentSource = Arc<dyn Fn(&str) -> Option<Vec<u8>> + Send + Sync>;
+
+enum Msg {
+    Job(Box<ArchiveJob>),
+    Shutdown,
+}
+
+/// Asynchronous archiver daemon: a worker thread draining a job queue.
+pub struct Archiver {
+    tx: Sender<Msg>,
+    handle: Option<JoinHandle<()>>,
+    store: Arc<ArchiveStore>,
+    source: Option<ContentSource>,
+}
+
+impl Archiver {
+    /// Spawns the worker without a content source (jobs must carry data).
+    pub fn spawn(store: Arc<ArchiveStore>) -> Archiver {
+        Self::spawn_with_source(store, None)
+    }
+
+    /// Spawns the worker with a content source for lazy reads.
+    pub fn spawn_with_source(store: Arc<ArchiveStore>, source: Option<ContentSource>) -> Archiver {
+        let (tx, rx) = unbounded::<Msg>();
+        let worker_store = Arc::clone(&store);
+        let worker_source = source.clone();
+        let handle = std::thread::Builder::new()
+            .name("dlfm-archiver".into())
+            .spawn(move || {
+                while let Ok(Msg::Job(mut job)) = rx.recv() {
+                    let data = job
+                        .data
+                        .take()
+                        .or_else(|| worker_source.as_ref().and_then(|src| src(&job.path)));
+                    if let Some(data) = data {
+                        worker_store.put(&job.path, job.version, job.state_id, data);
+                        if job.prune {
+                            worker_store.prune_to_latest(&job.path);
+                        }
+                    }
+                    worker_store.end_archiving(&job.path);
+                }
+            })
+            .expect("spawn archiver thread");
+        Archiver { tx, handle: Some(handle), store, source }
+    }
+
+    /// Enqueues an asynchronous archive job. The file is marked as
+    /// archiving *before* this returns, so a subsequent update request
+    /// observes the in-flight job and blocks.
+    pub fn submit(&self, job: ArchiveJob) {
+        self.store.begin_archiving(&job.path, job.version);
+        // If the worker is gone (shutdown race), archive synchronously: a
+        // lost committed version is never acceptable.
+        if self.tx.send(Msg::Job(Box::new(job))).is_err() {
+            unreachable!("archiver queue is unbounded and closed only on drop");
+        }
+    }
+
+    /// Archives synchronously (used by the `sync_archive` ablation and by
+    /// recovery, which must not race the worker).
+    pub fn submit_sync(&self, mut job: ArchiveJob) {
+        self.store.begin_archiving(&job.path, job.version);
+        let data = job
+            .data
+            .take()
+            .or_else(|| self.source.as_ref().and_then(|src| src(&job.path)));
+        if let Some(data) = data {
+            self.store.put(&job.path, job.version, job.state_id, data);
+            if job.prune {
+                self.store.prune_to_latest(&job.path);
+            }
+        }
+        self.store.end_archiving(&job.path);
+    }
+}
+
+impl Drop for Archiver {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_latest() {
+        let store = ArchiveStore::new();
+        store.put("/f", 1, 100, b"v1".to_vec());
+        store.put("/f", 2, 200, b"v2".to_vec());
+        assert_eq!(store.latest("/f").unwrap().data, b"v2");
+        assert_eq!(store.get("/f", 1).unwrap().data, b"v1");
+        assert!(store.get("/f", 3).is_none());
+        assert!(store.latest("/nope").is_none());
+    }
+
+    #[test]
+    fn put_is_idempotent_per_version() {
+        let store = ArchiveStore::new();
+        store.put("/f", 1, 100, b"original".to_vec());
+        store.put("/f", 1, 999, b"impostor".to_vec());
+        assert_eq!(store.get("/f", 1).unwrap().data, b"original");
+        assert_eq!(store.versions("/f").len(), 1);
+    }
+
+    #[test]
+    fn version_at_state_picks_correct_version() {
+        let store = ArchiveStore::new();
+        store.put("/f", 1, 100, b"v1".to_vec());
+        store.put("/f", 2, 200, b"v2".to_vec());
+        store.put("/f", 3, 300, b"v3".to_vec());
+        assert_eq!(store.version_at_state("/f", 250).unwrap().version, 2);
+        assert_eq!(store.version_at_state("/f", 300).unwrap().version, 3);
+        assert_eq!(store.version_at_state("/f", 5000).unwrap().version, 3);
+        assert!(store.version_at_state("/f", 50).is_none());
+    }
+
+    #[test]
+    fn prune_keeps_only_latest() {
+        let store = ArchiveStore::new();
+        store.put("/f", 1, 100, b"v1".to_vec());
+        store.put("/f", 2, 200, b"v2".to_vec());
+        store.prune_to_latest("/f");
+        assert_eq!(store.versions("/f"), vec![(2, 200)]);
+    }
+
+    #[test]
+    fn quarantine_records_inflight_images() {
+        let store = ArchiveStore::new();
+        store.quarantine("/f", b"dirty bytes".to_vec());
+        assert_eq!(store.quarantined(), vec![("/f".to_string(), 11)]);
+    }
+
+    #[test]
+    fn async_archiver_completes_and_unblocks() {
+        let store = Arc::new(ArchiveStore::new());
+        let archiver = Archiver::spawn(Arc::clone(&store));
+        archiver.submit(ArchiveJob {
+            path: "/f".into(),
+            version: 1,
+            state_id: 42,
+            data: Some(b"content".to_vec()),
+            prune: false,
+        });
+        store.wait_archived("/f");
+        assert!(!store.is_archiving("/f"));
+        assert_eq!(store.latest("/f").unwrap().state_id, 42);
+    }
+
+    #[test]
+    fn submit_marks_archiving_immediately() {
+        let store = Arc::new(ArchiveStore::new());
+        let archiver = Archiver::spawn(Arc::clone(&store));
+        // Submit many jobs; at least the begin markers must be visible
+        // synchronously (the worker may of course finish fast).
+        for v in 1..=20 {
+            archiver.submit(ArchiveJob {
+                path: format!("/f{v}"),
+                version: 1,
+                state_id: v,
+                data: Some(vec![0u8; 1024]),
+                prune: false,
+            });
+        }
+        for v in 1..=20 {
+            store.wait_archived(&format!("/f{v}"));
+            assert!(store.latest(&format!("/f{v}")).is_some());
+        }
+    }
+
+    #[test]
+    fn sync_submit_is_immediate() {
+        let store = Arc::new(ArchiveStore::new());
+        let archiver = Archiver::spawn(Arc::clone(&store));
+        archiver.submit_sync(ArchiveJob {
+            path: "/s".into(),
+            version: 1,
+            state_id: 7,
+            data: Some(b"now".to_vec()),
+            prune: true,
+        });
+        assert!(!store.is_archiving("/s"));
+        assert_eq!(store.latest("/s").unwrap().data, b"now");
+    }
+
+    #[test]
+    fn forget_removes_all_versions() {
+        let store = ArchiveStore::new();
+        store.put("/f", 1, 1, b"x".to_vec());
+        store.forget("/f");
+        assert!(store.latest("/f").is_none());
+    }
+}

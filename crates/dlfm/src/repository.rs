@@ -1,0 +1,817 @@
+//! The DLFM repository (§2.2): "the DLFM maintains its own repository about
+//! the transaction state and about files that are linked to the database."
+//!
+//! The repository is a second `dl-minidb` instance (the companion SIGMOD
+//! 2000 paper describes DLFM as "a transactional resource manager" — it
+//! really is a small database). Tables:
+//!
+//! | table        | contents                                                   |
+//! |--------------|------------------------------------------------------------|
+//! | `dl_files`   | linked files: control mode, options, saved owner/perms, current version |
+//! | `dl_tokens`  | validated token entries keyed by *userid* + path + kind (§4.1) |
+//! | `dl_sync`    | the Sync table (§4.5): one row per open of a managed file  |
+//! | `dl_uip`     | update-in-progress entries (§4.4): files with an uncommitted update |
+//! | `dl_intents` | write-ahead intents for eager file-system changes (take-over undo info) |
+//! | `dl_txns`    | marker rows mapping repository sub-transactions to host transactions |
+//!
+//! `dl_tokens` and `dl_sync` describe *open-file* state, which cannot
+//! survive a crash (every descriptor is gone), so recovery truncates them.
+//! `dl_files`, `dl_uip` and `dl_intents` are the durable state recovery
+//! works from.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dl_minidb::{Column, ColumnType, Database, DbResult, Row, Schema, StorageEnv, Txn, Value};
+
+use crate::modes::{ControlMode, OnUnlink};
+use crate::token::TokenKind;
+
+/// Names of all repository tables.
+pub const TABLES: [&str; 6] =
+    ["dl_files", "dl_tokens", "dl_sync", "dl_uip", "dl_intents", "dl_txns"];
+
+/// A row of `dl_files`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileEntry {
+    pub path: String,
+    pub mode: ControlMode,
+    pub recovery: bool,
+    pub on_unlink: OnUnlink,
+    pub cur_version: u64,
+    pub orig_uid: u32,
+    pub orig_gid: u32,
+    pub orig_mode: u16,
+    pub ino: u64,
+    /// Database state identifier the current version is associated with
+    /// (§4.4). A tail-LSN hint read at close-processing time.
+    pub state_id: u64,
+    /// True while the current version still awaits archiving; recovery
+    /// re-submits the archive job when set (crash between commit and
+    /// archive completion).
+    pub needs_archive: bool,
+}
+
+impl FileEntry {
+    pub fn to_row(&self) -> Row {
+        vec![
+            Value::Text(self.path.clone()),
+            Value::Text(self.mode.to_string()),
+            Value::Bool(self.recovery),
+            Value::Text(match self.on_unlink {
+                OnUnlink::Restore => "restore".into(),
+                OnUnlink::Delete => "delete".into(),
+            }),
+            Value::Int(self.cur_version as i64),
+            Value::Int(self.orig_uid as i64),
+            Value::Int(self.orig_gid as i64),
+            Value::Int(self.orig_mode as i64),
+            Value::Int(self.ino as i64),
+            Value::Int(self.state_id as i64),
+            Value::Bool(self.needs_archive),
+        ]
+    }
+
+    pub fn from_row(row: &Row) -> Option<FileEntry> {
+        Some(FileEntry {
+            path: row[0].as_text()?.to_string(),
+            mode: row[1].as_text()?.parse().ok()?,
+            recovery: matches!(row[2], Value::Bool(true)),
+            on_unlink: match row[3].as_text()? {
+                "delete" => OnUnlink::Delete,
+                _ => OnUnlink::Restore,
+            },
+            cur_version: row[4].as_int()? as u64,
+            orig_uid: row[5].as_int()? as u32,
+            orig_gid: row[6].as_int()? as u32,
+            orig_mode: row[7].as_int()? as u16,
+            ino: row[8].as_int()? as u64,
+            state_id: row[9].as_int()? as u64,
+            needs_archive: matches!(row[10], Value::Bool(true)),
+        })
+    }
+}
+
+/// A row of `dl_sync` — one open of a managed file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncEntry {
+    pub path: String,
+    pub kind: TokenKind,
+    /// Unique per open-file instance; issued by DLFS.
+    pub opener: u64,
+    pub uid: u32,
+}
+
+impl SyncEntry {
+    fn key(&self) -> String {
+        sync_key(&self.path, self.opener)
+    }
+}
+
+fn sync_key(path: &str, opener: u64) -> String {
+    format!("{path}|{opener}")
+}
+
+fn kind_str(kind: TokenKind) -> &'static str {
+    match kind {
+        TokenKind::Read => "r",
+        TokenKind::Write => "w",
+    }
+}
+
+fn kind_from(s: &str) -> TokenKind {
+    if s == "w" {
+        TokenKind::Write
+    } else {
+        TokenKind::Read
+    }
+}
+
+/// A row of `dl_uip` — an update in progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UipEntry {
+    pub path: String,
+    pub new_version: u64,
+    pub opener: u64,
+}
+
+/// What an intent row promises to do to the file system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntentAction {
+    /// Link applied constraints eagerly; undo = restore original attrs.
+    Link,
+    /// Unlink will restore original attrs after commit.
+    UnlinkRestore,
+    /// Unlink will delete the file after commit.
+    UnlinkDelete,
+}
+
+impl IntentAction {
+    fn as_str(self) -> &'static str {
+        match self {
+            IntentAction::Link => "link",
+            IntentAction::UnlinkRestore => "unlink-restore",
+            IntentAction::UnlinkDelete => "unlink-delete",
+        }
+    }
+
+    fn parse(s: &str) -> Option<IntentAction> {
+        match s {
+            "link" => Some(IntentAction::Link),
+            "unlink-restore" => Some(IntentAction::UnlinkRestore),
+            "unlink-delete" => Some(IntentAction::UnlinkDelete),
+            _ => None,
+        }
+    }
+}
+
+/// A row of `dl_intents` — a logged intent to mutate file-system state on
+/// behalf of a (not yet committed) host transaction, with undo information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentEntry {
+    pub host_txid: u64,
+    pub path: String,
+    pub action: IntentAction,
+    pub orig_uid: u32,
+    pub orig_gid: u32,
+    pub orig_mode: u16,
+}
+
+impl IntentEntry {
+    fn key(&self) -> String {
+        format!("{}|{}", self.host_txid, self.path)
+    }
+}
+
+/// The repository: a typed wrapper over a `dl-minidb` database.
+pub struct Repository {
+    db: Database,
+    /// Auto-commit write transactions performed (the "extra database update
+    /// operations" the paper counts in §4.5).
+    pub update_ops: AtomicU64,
+}
+
+impl Repository {
+    /// Opens (or creates) the repository in `env`, running recovery.
+    pub fn open(env: StorageEnv) -> DbResult<Repository> {
+        let db = Database::open(env)?;
+        Self::ensure_schema(&db)?;
+        Ok(Repository { db, update_ops: AtomicU64::new(0) })
+    }
+
+    fn ensure_schema(db: &Database) -> DbResult<()> {
+        if !db.has_table("dl_files") {
+            db.create_table(Schema::new(
+                "dl_files",
+                vec![
+                    Column::new("path", ColumnType::Text),
+                    Column::new("mode", ColumnType::Text),
+                    Column::new("recovery", ColumnType::Bool),
+                    Column::new("on_unlink", ColumnType::Text),
+                    Column::new("cur_version", ColumnType::Int),
+                    Column::new("orig_uid", ColumnType::Int),
+                    Column::new("orig_gid", ColumnType::Int),
+                    Column::new("orig_mode", ColumnType::Int),
+                    Column::new("ino", ColumnType::Int),
+                    Column::new("state_id", ColumnType::Int),
+                    Column::new("needs_archive", ColumnType::Bool),
+                ],
+                "path",
+            )
+            .expect("static schema"))?;
+        }
+        if !db.has_table("dl_tokens") {
+            db.create_table(Schema::new(
+                "dl_tokens",
+                vec![
+                    Column::new("tokkey", ColumnType::Text),
+                    Column::new("expiry", ColumnType::Int),
+                ],
+                "tokkey",
+            )
+            .expect("static schema"))?;
+        }
+        if !db.has_table("dl_sync") {
+            db.create_table(Schema::new(
+                "dl_sync",
+                vec![
+                    Column::new("synckey", ColumnType::Text),
+                    Column::new("path", ColumnType::Text),
+                    Column::new("kind", ColumnType::Text),
+                    Column::new("opener", ColumnType::Int),
+                    Column::new("uid", ColumnType::Int),
+                ],
+                "synckey",
+            )
+            .expect("static schema"))?;
+            db.create_index("dl_sync", "path")?;
+        }
+        if !db.has_table("dl_uip") {
+            db.create_table(Schema::new(
+                "dl_uip",
+                vec![
+                    Column::new("path", ColumnType::Text),
+                    Column::new("new_version", ColumnType::Int),
+                    Column::new("opener", ColumnType::Int),
+                ],
+                "path",
+            )
+            .expect("static schema"))?;
+        }
+        if !db.has_table("dl_intents") {
+            db.create_table(Schema::new(
+                "dl_intents",
+                vec![
+                    Column::new("ikey", ColumnType::Text),
+                    Column::new("host_txid", ColumnType::Int),
+                    Column::new("path", ColumnType::Text),
+                    Column::new("action", ColumnType::Text),
+                    Column::new("orig_uid", ColumnType::Int),
+                    Column::new("orig_gid", ColumnType::Int),
+                    Column::new("orig_mode", ColumnType::Int),
+                ],
+                "ikey",
+            )
+            .expect("static schema"))?;
+            db.create_index("dl_intents", "host_txid")?;
+        }
+        if !db.has_table("dl_txns") {
+            db.create_table(Schema::new(
+                "dl_txns",
+                vec![
+                    Column::new("host_txid", ColumnType::Int),
+                    Column::new("server", ColumnType::Text),
+                ],
+                "host_txid",
+            )
+            .expect("static schema"))?;
+        }
+        Ok(())
+    }
+
+    /// The underlying database (sub-transactions are built on it directly).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    fn bump(&self) {
+        self.update_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of auto-commit repository updates so far (bench A4).
+    pub fn update_op_count(&self) -> u64 {
+        self.update_ops.load(Ordering::Relaxed)
+    }
+
+    // --- dl_files -------------------------------------------------------------
+
+    /// Committed file entry for `path`.
+    pub fn get_file(&self, path: &str) -> Option<FileEntry> {
+        self.db
+            .get_committed("dl_files", &Value::Text(path.to_string()))
+            .ok()
+            .flatten()
+            .and_then(|row| FileEntry::from_row(&row))
+    }
+
+    /// All linked files.
+    pub fn list_files(&self) -> Vec<FileEntry> {
+        self.db
+            .scan_committed("dl_files")
+            .unwrap_or_default()
+            .iter()
+            .filter_map(FileEntry::from_row)
+            .collect()
+    }
+
+    /// Adds the file row inside a caller-provided sub-transaction.
+    pub fn insert_file_in(&self, txn: &mut Txn, entry: &FileEntry) -> DbResult<()> {
+        txn.insert("dl_files", entry.to_row())
+    }
+
+    /// Removes the file row inside a caller-provided sub-transaction.
+    pub fn delete_file_in(&self, txn: &mut Txn, path: &str) -> DbResult<()> {
+        txn.delete("dl_files", &Value::Text(path.to_string()))
+    }
+
+    /// Bumps `cur_version` inside a caller-provided sub-transaction.
+    pub fn set_version_in(&self, txn: &mut Txn, path: &str, version: u64) -> DbResult<()> {
+        txn.update_column(
+            "dl_files",
+            &Value::Text(path.to_string()),
+            "cur_version",
+            Value::Int(version as i64),
+        )
+    }
+
+    /// Records a committed update inside the close sub-transaction: new
+    /// version, its state identifier, and the pending-archive flag (§4.4).
+    pub fn commit_version_in(
+        &self,
+        txn: &mut Txn,
+        path: &str,
+        version: u64,
+        state_id: u64,
+    ) -> DbResult<()> {
+        let key = Value::Text(path.to_string());
+        let mut row = txn.get_for_update("dl_files", &key)?.ok_or(dl_minidb::DbError::RowNotFound)?;
+        row[4] = Value::Int(version as i64);
+        row[9] = Value::Int(state_id as i64);
+        row[10] = Value::Bool(true);
+        txn.update("dl_files", &key, row)
+    }
+
+    /// Clears the pending-archive flag once the archive job completed.
+    pub fn clear_needs_archive(&self, path: &str) -> DbResult<()> {
+        self.bump();
+        let mut txn = self.db.begin();
+        txn.update_column(
+            "dl_files",
+            &Value::Text(path.to_string()),
+            "needs_archive",
+            Value::Bool(false),
+        )?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Files whose current version still awaits archiving (recovery).
+    pub fn files_needing_archive(&self) -> Vec<FileEntry> {
+        self.list_files().into_iter().filter(|f| f.needs_archive).collect()
+    }
+
+    // --- dl_tokens --------------------------------------------------------------
+
+    fn token_key(uid: u32, path: &str, kind: TokenKind) -> String {
+        format!("{uid}|{path}|{}", kind_str(kind))
+    }
+
+    /// Records a validated token entry: "the user has permission to access
+    /// the file till time t" (§4.1). Keyed by userid, not processid.
+    pub fn put_token_entry(
+        &self,
+        uid: u32,
+        path: &str,
+        kind: TokenKind,
+        expiry_ms: u64,
+    ) -> DbResult<()> {
+        self.bump();
+        let key = Self::token_key(uid, path, kind);
+        let mut txn = self.db.begin();
+        let kv = Value::Text(key.clone());
+        let row = vec![Value::Text(key), Value::Int(expiry_ms as i64)];
+        if txn.get_for_update("dl_tokens", &kv)?.is_some() {
+            txn.update("dl_tokens", &kv, row)?;
+        } else {
+            txn.insert("dl_tokens", row)?;
+        }
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Does an unexpired token entry authorizing `wanted` exist for
+    /// (`uid`, `path`)? A write entry authorizes reads too.
+    pub fn check_token_entry(&self, uid: u32, path: &str, wanted: TokenKind, now_ms: u64) -> bool {
+        let direct = self
+            .db
+            .get_committed("dl_tokens", &Value::Text(Self::token_key(uid, path, wanted)))
+            .ok()
+            .flatten()
+            .and_then(|row| row[1].as_int())
+            .map(|exp| now_ms <= exp as u64)
+            .unwrap_or(false);
+        if direct {
+            return true;
+        }
+        if wanted == TokenKind::Read {
+            return self
+                .db
+                .get_committed(
+                    "dl_tokens",
+                    &Value::Text(Self::token_key(uid, path, TokenKind::Write)),
+                )
+                .ok()
+                .flatten()
+                .and_then(|row| row[1].as_int())
+                .map(|exp| now_ms <= exp as u64)
+                .unwrap_or(false);
+        }
+        false
+    }
+
+    // --- dl_sync ---------------------------------------------------------------
+
+    /// Inserts a Sync-table entry for an approved open (§4.5).
+    pub fn add_sync(&self, entry: &SyncEntry) -> DbResult<()> {
+        self.bump();
+        let mut txn = self.db.begin();
+        txn.insert(
+            "dl_sync",
+            vec![
+                Value::Text(entry.key()),
+                Value::Text(entry.path.clone()),
+                Value::Text(kind_str(entry.kind).to_string()),
+                Value::Int(entry.opener as i64),
+                Value::Int(entry.uid as i64),
+            ],
+        )?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Purges the Sync-table entry at close (§4.5).
+    pub fn remove_sync(&self, path: &str, opener: u64) -> DbResult<()> {
+        self.bump();
+        let mut txn = self.db.begin();
+        txn.delete("dl_sync", &Value::Text(sync_key(path, opener)))?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Sync entries for `path` (index-accelerated).
+    pub fn sync_entries(&self, path: &str) -> Vec<SyncEntry> {
+        let keys = self
+            .db
+            .find_committed("dl_sync", "path", &Value::Text(path.to_string()))
+            .unwrap_or_default();
+        keys.iter()
+            .filter_map(|k| self.db.get_committed("dl_sync", k).ok().flatten())
+            .filter_map(|row| {
+                Some(SyncEntry {
+                    path: row[1].as_text()?.to_string(),
+                    kind: kind_from(row[2].as_text()?),
+                    opener: row[3].as_int()? as u64,
+                    uid: row[4].as_int()? as u32,
+                })
+            })
+            .collect()
+    }
+
+    // --- dl_uip -----------------------------------------------------------------
+
+    /// Records that `path` is being updated toward `new_version` (§4.4).
+    pub fn put_uip(&self, entry: &UipEntry) -> DbResult<()> {
+        self.bump();
+        let mut txn = self.db.begin();
+        txn.insert(
+            "dl_uip",
+            vec![
+                Value::Text(entry.path.clone()),
+                Value::Int(entry.new_version as i64),
+                Value::Int(entry.opener as i64),
+            ],
+        )?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Clears the update-in-progress entry (close rollback path; the commit
+    /// path clears it inside the close sub-transaction instead).
+    pub fn remove_uip(&self, path: &str) -> DbResult<()> {
+        self.bump();
+        let mut txn = self.db.begin();
+        txn.delete("dl_uip", &Value::Text(path.to_string()))?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Removes the UIP row inside a caller-provided sub-transaction.
+    pub fn remove_uip_in(&self, txn: &mut Txn, path: &str) -> DbResult<()> {
+        txn.delete("dl_uip", &Value::Text(path.to_string()))
+    }
+
+    pub fn get_uip(&self, path: &str) -> Option<UipEntry> {
+        self.db
+            .get_committed("dl_uip", &Value::Text(path.to_string()))
+            .ok()
+            .flatten()
+            .and_then(|row| {
+                Some(UipEntry {
+                    path: row[0].as_text()?.to_string(),
+                    new_version: row[1].as_int()? as u64,
+                    opener: row[2].as_int()? as u64,
+                })
+            })
+    }
+
+    /// All update-in-progress entries (crash recovery walks these).
+    pub fn list_uip(&self) -> Vec<UipEntry> {
+        self.db
+            .scan_committed("dl_uip")
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|row| {
+                Some(UipEntry {
+                    path: row[0].as_text()?.to_string(),
+                    new_version: row[1].as_int()? as u64,
+                    opener: row[2].as_int()? as u64,
+                })
+            })
+            .collect()
+    }
+
+    // --- dl_intents -------------------------------------------------------------
+
+    /// Durably logs an intent *before* the file system is mutated on behalf
+    /// of an uncommitted host transaction (write-ahead intent).
+    pub fn add_intent(&self, intent: &IntentEntry) -> DbResult<()> {
+        self.bump();
+        let mut txn = self.db.begin();
+        txn.insert(
+            "dl_intents",
+            vec![
+                Value::Text(intent.key()),
+                Value::Int(intent.host_txid as i64),
+                Value::Text(intent.path.clone()),
+                Value::Text(intent.action.as_str().to_string()),
+                Value::Int(intent.orig_uid as i64),
+                Value::Int(intent.orig_gid as i64),
+                Value::Int(intent.orig_mode as i64),
+            ],
+        )?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// Removes an intent inside the committing sub-transaction.
+    pub fn remove_intent_in(&self, txn: &mut Txn, host_txid: u64, path: &str) -> DbResult<()> {
+        txn.delete("dl_intents", &Value::Text(format!("{host_txid}|{path}")))
+    }
+
+    /// Removes an intent immediately (runtime abort path).
+    pub fn remove_intent(&self, host_txid: u64, path: &str) -> DbResult<()> {
+        self.bump();
+        let mut txn = self.db.begin();
+        self.remove_intent_in(&mut txn, host_txid, path)?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// All outstanding intents (crash recovery walks these).
+    pub fn list_intents(&self) -> Vec<IntentEntry> {
+        self.db
+            .scan_committed("dl_intents")
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|row| {
+                Some(IntentEntry {
+                    host_txid: row[1].as_int()? as u64,
+                    path: row[2].as_text()?.to_string(),
+                    action: IntentAction::parse(row[3].as_text()?)?,
+                    orig_uid: row[4].as_int()? as u32,
+                    orig_gid: row[5].as_int()? as u32,
+                    orig_mode: row[6].as_int()? as u16,
+                })
+            })
+            .collect()
+    }
+
+    // --- dl_txns ----------------------------------------------------------------
+
+    /// Adds the host-transaction marker row inside a sub-transaction. The
+    /// marker is what lets crash recovery map an in-doubt repository
+    /// transaction back to its host transaction.
+    pub fn mark_host_txn_in(&self, txn: &mut Txn, host_txid: u64, server: &str) -> DbResult<()> {
+        txn.insert(
+            "dl_txns",
+            vec![Value::Int(host_txid as i64), Value::Text(server.to_string())],
+        )
+    }
+
+    /// Extracts the host txid from an in-doubt transaction's op list by
+    /// finding its `dl_txns` marker insert.
+    pub fn host_txid_of_ops(ops: &[dl_minidb::RowOp]) -> Option<u64> {
+        ops.iter().find_map(|op| match op {
+            dl_minidb::RowOp::Insert { table, row } if table == "dl_txns" => {
+                row.first().and_then(|v| v.as_int()).map(|i| i as u64)
+            }
+            _ => None,
+        })
+    }
+
+    // --- recovery ----------------------------------------------------------------
+
+    /// Truncates open-file state that cannot survive a crash: token entries
+    /// and the Sync table.
+    pub fn clear_transient(&self) -> DbResult<()> {
+        for table in ["dl_tokens", "dl_sync"] {
+            let rows = self.db.scan_committed(table)?;
+            if rows.is_empty() {
+                continue;
+            }
+            let mut txn = self.db.begin();
+            for row in rows {
+                txn.delete(table, &row[0])?;
+            }
+            txn.commit()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo() -> Repository {
+        Repository::open(StorageEnv::mem()).unwrap()
+    }
+
+    fn entry(path: &str) -> FileEntry {
+        FileEntry {
+            path: path.to_string(),
+            mode: ControlMode::Rdd,
+            recovery: true,
+            on_unlink: OnUnlink::Restore,
+            cur_version: 1,
+            orig_uid: 100,
+            orig_gid: 100,
+            orig_mode: 0o644,
+            ino: 7,
+            state_id: 0,
+            needs_archive: false,
+        }
+    }
+
+    #[test]
+    fn schema_is_idempotent_across_reopen() {
+        let env = StorageEnv::mem();
+        {
+            let _ = Repository::open(env.clone()).unwrap();
+        }
+        let repo = Repository::open(env).unwrap();
+        for t in TABLES {
+            assert!(repo.db().has_table(t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn file_entry_roundtrip() {
+        let r = repo();
+        let e = entry("/movies/clip.mpg");
+        let mut txn = r.db().begin();
+        r.insert_file_in(&mut txn, &e).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(r.get_file("/movies/clip.mpg"), Some(e));
+        assert_eq!(r.list_files().len(), 1);
+
+        let mut txn = r.db().begin();
+        r.set_version_in(&mut txn, "/movies/clip.mpg", 5).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(r.get_file("/movies/clip.mpg").unwrap().cur_version, 5);
+
+        let mut txn = r.db().begin();
+        r.delete_file_in(&mut txn, "/movies/clip.mpg").unwrap();
+        txn.commit().unwrap();
+        assert!(r.get_file("/movies/clip.mpg").is_none());
+    }
+
+    #[test]
+    fn token_entries_expire_and_subsume() {
+        let r = repo();
+        r.put_token_entry(42, "/f", TokenKind::Write, 1_000).unwrap();
+        assert!(r.check_token_entry(42, "/f", TokenKind::Write, 999));
+        assert!(r.check_token_entry(42, "/f", TokenKind::Read, 999), "write subsumes read");
+        assert!(!r.check_token_entry(42, "/f", TokenKind::Write, 1_001), "expired");
+        assert!(!r.check_token_entry(43, "/f", TokenKind::Write, 0), "other user");
+        assert!(!r.check_token_entry(42, "/g", TokenKind::Write, 0), "other file");
+
+        // Same userid: a second application under uid 42 shares the grant
+        // (the paper's deliberate userid-keying consequence, §4.1).
+        assert!(r.check_token_entry(42, "/f", TokenKind::Write, 500));
+    }
+
+    #[test]
+    fn token_entry_refresh_extends_expiry() {
+        let r = repo();
+        r.put_token_entry(1, "/f", TokenKind::Read, 100).unwrap();
+        r.put_token_entry(1, "/f", TokenKind::Read, 500).unwrap();
+        assert!(r.check_token_entry(1, "/f", TokenKind::Read, 400));
+    }
+
+    #[test]
+    fn sync_entries_per_path() {
+        let r = repo();
+        r.add_sync(&SyncEntry { path: "/a".into(), kind: TokenKind::Read, opener: 1, uid: 9 })
+            .unwrap();
+        r.add_sync(&SyncEntry { path: "/a".into(), kind: TokenKind::Write, opener: 2, uid: 9 })
+            .unwrap();
+        r.add_sync(&SyncEntry { path: "/b".into(), kind: TokenKind::Read, opener: 3, uid: 9 })
+            .unwrap();
+        let a = r.sync_entries("/a");
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().any(|e| e.kind == TokenKind::Write));
+        r.remove_sync("/a", 2).unwrap();
+        assert_eq!(r.sync_entries("/a").len(), 1);
+        assert_eq!(r.sync_entries("/b").len(), 1);
+        assert_eq!(r.sync_entries("/c").len(), 0);
+    }
+
+    #[test]
+    fn uip_lifecycle() {
+        let r = repo();
+        r.put_uip(&UipEntry { path: "/f".into(), new_version: 2, opener: 77 }).unwrap();
+        assert_eq!(r.get_uip("/f").unwrap().new_version, 2);
+        assert_eq!(r.list_uip().len(), 1);
+        r.remove_uip("/f").unwrap();
+        assert!(r.get_uip("/f").is_none());
+    }
+
+    #[test]
+    fn intents_survive_reopen_but_transient_state_does_not() {
+        let env = StorageEnv::mem();
+        {
+            let r = Repository::open(env.clone()).unwrap();
+            r.add_intent(&IntentEntry {
+                host_txid: 5,
+                path: "/f".into(),
+                action: IntentAction::Link,
+                orig_uid: 10,
+                orig_gid: 10,
+                orig_mode: 0o644,
+            })
+            .unwrap();
+            r.put_token_entry(1, "/f", TokenKind::Read, u64::MAX).unwrap();
+            r.add_sync(&SyncEntry { path: "/f".into(), kind: TokenKind::Read, opener: 1, uid: 1 })
+                .unwrap();
+        }
+        let r = Repository::open(env).unwrap();
+        // Crash recovery: durable intents remain...
+        assert_eq!(r.list_intents().len(), 1);
+        // ...and the recovery driver clears transient open state.
+        r.clear_transient().unwrap();
+        assert!(!r.check_token_entry(1, "/f", TokenKind::Read, 0));
+        assert!(r.sync_entries("/f").is_empty());
+    }
+
+    #[test]
+    fn host_txid_extracted_from_ops() {
+        let r = repo();
+        let mut txn = r.db().begin();
+        r.mark_host_txn_in(&mut txn, 1234, "srv1").unwrap();
+        r.insert_file_in(&mut txn, &entry("/f")).unwrap();
+        txn.prepare().unwrap();
+        let repo_txid = txn.id();
+        std::mem::forget(txn);
+        drop(r);
+
+        // Reopen: the prepared txn is in doubt; map it back to host 1234.
+        // (Storage env was mem-shared through the db; simulate via ops API.)
+        // Here we just exercise the extractor directly:
+        let ops = vec![dl_minidb::RowOp::Insert {
+            table: "dl_txns".into(),
+            row: vec![Value::Int(1234), Value::Text("srv1".into())],
+        }];
+        assert_eq!(Repository::host_txid_of_ops(&ops), Some(1234));
+        let _ = repo_txid;
+    }
+
+    #[test]
+    fn update_op_counter_counts_writes() {
+        let r = repo();
+        let before = r.update_op_count();
+        r.add_sync(&SyncEntry { path: "/x".into(), kind: TokenKind::Read, opener: 1, uid: 1 })
+            .unwrap();
+        r.remove_sync("/x", 1).unwrap();
+        assert_eq!(r.update_op_count() - before, 2, "one update per sync op (§4.5)");
+    }
+}

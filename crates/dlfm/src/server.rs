@@ -1,0 +1,1149 @@
+//! The DataLinks File Manager server.
+//!
+//! One `DlfmServer` runs per file server node (§2.2). It owns:
+//!
+//! * the repository (transaction state + linked-file state),
+//! * the archive store and asynchronous archiver,
+//! * root-credentialed admin access to the *raw* physical file system
+//!   (bypassing DLFS) for take-over, restore and content capture,
+//! * the link/unlink sub-transaction machinery driven by the host database
+//!   through two-phase commit,
+//! * the upcall service logic (token validation, open check, close
+//!   processing, remove/rename vetoes) invoked by the upcall daemon.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dl_fskit::{Clock, Cred, FileKind, FileSystem, Lfs, SetAttr, WallClock};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::archive::{ArchiveJob, ArchiveStore, Archiver};
+use crate::modes::{ControlMode, OnUnlink};
+use crate::repository::{
+    FileEntry, IntentAction, IntentEntry, Repository, SyncEntry, UipEntry,
+};
+use crate::token::{AccessToken, TokenKind};
+
+/// Server configuration.
+#[derive(Clone)]
+pub struct DlfmConfig {
+    /// Name under which the host database addresses this file server; also
+    /// the server component of DATALINK URLs.
+    pub server_name: String,
+    /// The uid/gid DLFM's daemons run as; take-over transfers file
+    /// ownership to this identity.
+    pub dlfm_cred: Cred,
+    /// Per-server secret shared with the DataLinks engine for token MACs.
+    pub token_key: Vec<u8>,
+    /// Archive the new version synchronously inside close processing
+    /// instead of asynchronously (ablation A5; the paper uses async).
+    pub sync_archive: bool,
+    /// Track read opens of full-control files in the Sync table (§4.5).
+    /// Disabling is the ablation that re-opens the read/unlink race.
+    pub track_read_sync: bool,
+    /// Close the §4.5 "window of inconsistency": require DLFS to register
+    /// *every* open (even of unlinked files) so link can detect open files.
+    /// The paper leaves this as future work because of its cost; we
+    /// implement it as an ablation.
+    pub strict_link: bool,
+}
+
+impl DlfmConfig {
+    pub fn new(server_name: &str) -> DlfmConfig {
+        DlfmConfig {
+            server_name: server_name.to_string(),
+            dlfm_cred: Cred::user(900),
+            token_key: format!("dlfm-key-{server_name}").into_bytes(),
+            sync_archive: false,
+            track_read_sync: true,
+            strict_link: false,
+        }
+    }
+}
+
+/// Operation counters (benchmarks read these).
+#[derive(Debug, Default)]
+pub struct DlfmStats {
+    pub upcalls: AtomicU64,
+    pub token_validations: AtomicU64,
+    pub open_checks: AtomicU64,
+    pub close_notifies: AtomicU64,
+    pub links: AtomicU64,
+    pub unlinks: AtomicU64,
+    pub takeovers: AtomicU64,
+    pub archives: AtomicU64,
+    pub busy_responses: AtomicU64,
+    pub rollbacks: AtomicU64,
+}
+
+impl DlfmStats {
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("upcalls", self.upcalls.load(Ordering::Relaxed)),
+            ("token_validations", self.token_validations.load(Ordering::Relaxed)),
+            ("open_checks", self.open_checks.load(Ordering::Relaxed)),
+            ("close_notifies", self.close_notifies.load(Ordering::Relaxed)),
+            ("links", self.links.load(Ordering::Relaxed)),
+            ("unlinks", self.unlinks.load(Ordering::Relaxed)),
+            ("takeovers", self.takeovers.load(Ordering::Relaxed)),
+            ("archives", self.archives.load(Ordering::Relaxed)),
+            ("busy_responses", self.busy_responses.load(Ordering::Relaxed)),
+            ("rollbacks", self.rollbacks.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+/// Hook back into the host database, implemented by the DataLinks engine.
+pub trait HostHook: Send + Sync {
+    /// The host's current database state identifier (tail LSN).
+    fn state_id(&self) -> u64;
+    /// Runs a host transaction updating the file's metadata row (§4.3) with
+    /// `participant` enlisted; returns the commit LSN.
+    fn commit_file_update(
+        &self,
+        url: &str,
+        new_size: u64,
+        new_mtime: u64,
+        new_version: u64,
+        participant: Arc<dyn dl_minidb::Participant>,
+    ) -> Result<u64, String>;
+    /// Outcome of a host transaction during recovery. `None` = no commit
+    /// record = presumed abort.
+    fn outcome(&self, host_txid: u64) -> Option<bool>;
+}
+
+/// A deferred file-system action executed when the sub-transaction commits.
+enum DeferredFs {
+    RestoreAttrs { path: String, uid: u32, gid: u32, mode: u16 },
+    DeleteFile { path: String },
+}
+
+/// An undo action executed when the sub-transaction aborts.
+enum UndoFs {
+    RestoreAttrs { path: String, uid: u32, gid: u32, mode: u16 },
+}
+
+/// State of one host transaction's link/unlink work on this server.
+struct SubTxn {
+    txn: Option<dl_minidb::Txn>,
+    undo: Vec<UndoFs>,
+    deferred: Vec<DeferredFs>,
+    unlink_intents: Vec<String>,
+    marked: bool,
+    prepared: bool,
+}
+
+/// Decision returned by the open check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpenDecision {
+    /// Open approved; DLFS must perform the physical open as this identity.
+    Approved { open_as: Cred },
+    /// The file is not managed by this DLFM.
+    NotManaged,
+    /// A conflicting open or an in-flight archive; retry after a change.
+    Busy,
+    /// Denied (bad token, blocked mode, ...).
+    Rejected(String),
+}
+
+/// Mode-dependent attributes of a file *at rest* while linked.
+fn linked_attrs(mode: ControlMode, entry: &FileEntry, dlfm: &Cred) -> (u32, u32, u16) {
+    if mode.takes_over_at_link() {
+        // Full control: owned by DLFM, readable by no one else.
+        (dlfm.uid, dlfm.gid, 0o400)
+    } else if mode.read_only_at_link() {
+        // rfb/rfd: original owner, write bits stripped.
+        (entry.orig_uid, entry.orig_gid, entry.orig_mode & !0o222)
+    } else {
+        (entry.orig_uid, entry.orig_gid, entry.orig_mode)
+    }
+}
+
+/// The DLFM server.
+pub struct DlfmServer {
+    cfg: DlfmConfig,
+    repo: Repository,
+    archive: Arc<ArchiveStore>,
+    archiver: Archiver,
+    /// Root-credentialed logical FS over the *raw* physical file system.
+    admin: Lfs,
+    clock: Arc<dyn Clock>,
+    host: RwLock<Option<Arc<dyn HostHook>>>,
+    pending: Mutex<HashMap<u64, Arc<Mutex<SubTxn>>>>,
+    /// Epoch bumped whenever sync/archive state changes; blocked opens wait
+    /// on it and retry.
+    sync_epoch: Mutex<u64>,
+    sync_changed: Condvar,
+    pub stats: DlfmStats,
+}
+
+const ROOT: Cred = Cred::root();
+
+impl DlfmServer {
+    /// Creates a server over the raw physical file system `fs`, with its
+    /// repository in `repo_env` and a (possibly pre-existing) archive store.
+    /// Runs crash recovery against whatever state the repository holds; the
+    /// host hook must be registered before recovery of in-doubt transactions
+    /// can settle, so call [`DlfmServer::recover`] after wiring the hook.
+    pub fn new(
+        cfg: DlfmConfig,
+        fs: Arc<dyn FileSystem>,
+        repo_env: dl_minidb::StorageEnv,
+        archive: Arc<ArchiveStore>,
+        clock: Arc<dyn Clock>,
+    ) -> Result<DlfmServer, String> {
+        let repo = Repository::open(repo_env).map_err(|e| e.to_string())?;
+        let source_fs = Lfs::new(Arc::clone(&fs));
+        let source: crate::archive::ContentSource =
+            Arc::new(move |path: &str| source_fs.read_file(&ROOT, path).ok());
+        let archiver = Archiver::spawn_with_source(Arc::clone(&archive), Some(source));
+        Ok(DlfmServer {
+            cfg,
+            repo,
+            archive,
+            archiver,
+            admin: Lfs::new(fs),
+            clock,
+            host: RwLock::new(None),
+            pending: Mutex::new(HashMap::new()),
+            sync_epoch: Mutex::new(0),
+            sync_changed: Condvar::new(),
+            stats: DlfmStats::default(),
+        })
+    }
+
+    /// Convenience constructor with wall clock.
+    pub fn with_defaults(
+        cfg: DlfmConfig,
+        fs: Arc<dyn FileSystem>,
+    ) -> Result<DlfmServer, String> {
+        Self::new(cfg, fs, dl_minidb::StorageEnv::mem(), Arc::new(ArchiveStore::new()), Arc::new(WallClock))
+    }
+
+    pub fn config(&self) -> &DlfmConfig {
+        &self.cfg
+    }
+
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    pub fn archive_store(&self) -> &Arc<ArchiveStore> {
+        &self.archive
+    }
+
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Wires the host-database hook (the DataLinks engine).
+    pub fn set_host_hook(&self, hook: Arc<dyn HostHook>) {
+        *self.host.write() = Some(hook);
+    }
+
+    /// Size and mtime of a file on this server (engine metadata
+    /// initialization at link time, §4.3).
+    pub fn stat_file(&self, path: &str) -> Option<(u64, u64)> {
+        self.admin.stat(&ROOT, path).ok().map(|a| (a.size, a.mtime))
+    }
+
+    fn bump_epoch(&self) {
+        let mut epoch = self.sync_epoch.lock();
+        *epoch += 1;
+        self.sync_changed.notify_all();
+    }
+
+    /// Current epoch; pass to [`DlfmServer::wait_epoch_change`] to block
+    /// until sync state moves (used by DLFS to wait out `Busy`).
+    pub fn epoch(&self) -> u64 {
+        *self.sync_epoch.lock()
+    }
+
+    /// Blocks until the epoch differs from `seen`.
+    pub fn wait_epoch_change(&self, seen: u64) {
+        let mut epoch = self.sync_epoch.lock();
+        while *epoch == seen {
+            self.sync_changed.wait(&mut epoch);
+        }
+    }
+
+    // =====================================================================
+    // Link / unlink sub-transactions (§2.2)
+    // =====================================================================
+
+    fn sub_txn(&self, host_txid: u64) -> Arc<Mutex<SubTxn>> {
+        let mut pending = self.pending.lock();
+        Arc::clone(pending.entry(host_txid).or_insert_with(|| {
+            Arc::new(Mutex::new(SubTxn {
+                txn: Some(self.repo.db().begin()),
+                undo: Vec::new(),
+                deferred: Vec::new(),
+                unlink_intents: Vec::new(),
+                marked: false,
+                prepared: false,
+            }))
+        }))
+    }
+
+    /// True when `host_txid` has link/unlink work pending on this server.
+    pub fn has_pending(&self, host_txid: u64) -> bool {
+        self.pending.lock().contains_key(&host_txid)
+    }
+
+    /// Simulates a process crash: pending sub-transactions are abandoned
+    /// *without* running their abort paths (a real crash runs no
+    /// destructors). Prepared sub-transactions stay in doubt in the
+    /// repository log; active ones simply evaporate (their buffered ops
+    /// were never logged). Call before dropping the server in crash tests.
+    pub fn simulate_crash(&self) {
+        let mut pending = self.pending.lock();
+        for (_, cell) in pending.drain() {
+            let mut sub = cell.lock();
+            if let Some(txn) = sub.txn.take() {
+                std::mem::forget(txn);
+            }
+            sub.undo.clear();
+            sub.deferred.clear();
+            sub.unlink_intents.clear();
+        }
+    }
+
+    /// Links `path` under `mode` as part of host transaction `host_txid`.
+    ///
+    /// Constraints (chmod/chown) are applied to the file system *eagerly*,
+    /// preceded by a durable intent record carrying the undo information;
+    /// repository rows are buffered in the sub-transaction and commit with
+    /// the host transaction through 2PC.
+    pub fn link_file(
+        &self,
+        host_txid: u64,
+        path: &str,
+        mode: ControlMode,
+        recovery: bool,
+        on_unlink: OnUnlink,
+    ) -> Result<(), String> {
+        self.stats.links.fetch_add(1, Ordering::Relaxed);
+        let attr = self
+            .admin
+            .stat(&ROOT, path)
+            .map_err(|e| format!("cannot link {path}: {e}"))?;
+        if attr.kind != FileKind::File {
+            return Err(format!("cannot link {path}: not a regular file"));
+        }
+        if self.repo.get_file(path).is_some() {
+            return Err(format!("file {path} is already linked"));
+        }
+        if self.cfg.strict_link && !self.repo.sync_entries(path).is_empty() {
+            return Err(format!("file {path} is currently open (strict link mode)"));
+        }
+
+        let entry = FileEntry {
+            path: path.to_string(),
+            mode,
+            recovery,
+            on_unlink,
+            cur_version: 1,
+            orig_uid: attr.uid,
+            orig_gid: attr.gid,
+            orig_mode: attr.mode,
+            ino: attr.ino,
+            state_id: 0,
+            needs_archive: false,
+        };
+
+        // Apply access constraints eagerly, intent first (§2.2: "all these
+        // changes to the DLFM repository and file system are applied as
+        // part of the same DBMS transaction"). The intent row is durable
+        // immediately and is consumed by the sub-transaction's commit, so a
+        // crash at any point can undo (or re-enforce) the eager chmod/chown.
+        let (uid, gid, bits) = linked_attrs(mode, &entry, &self.cfg.dlfm_cred);
+        let constrained = (uid, gid, bits) != (attr.uid, attr.gid, attr.mode);
+        if constrained {
+            self.repo
+                .add_intent(&IntentEntry {
+                    host_txid,
+                    path: path.to_string(),
+                    action: IntentAction::Link,
+                    orig_uid: attr.uid,
+                    orig_gid: attr.gid,
+                    orig_mode: attr.mode,
+                })
+                .map_err(|e| e.to_string())?;
+        }
+
+        let cell = self.sub_txn(host_txid);
+        let mut guard = cell.lock();
+        let sub = &mut *guard;
+        let txn = sub.txn.as_mut().ok_or("sub-transaction already settled")?;
+        if !sub.marked {
+            self.repo
+                .mark_host_txn_in(txn, host_txid, &self.cfg.server_name)
+                .map_err(|e| e.to_string())?;
+            sub.marked = true;
+        }
+        self.repo.insert_file_in(txn, &entry).map_err(|e| e.to_string())?;
+        if constrained {
+            self.repo
+                .remove_intent_in(txn, host_txid, path)
+                .map_err(|e| e.to_string())?;
+            if mode.takes_over_at_link() {
+                self.stats.takeovers.fetch_add(1, Ordering::Relaxed);
+            }
+            self.set_attrs(path, uid, gid, bits)?;
+            sub.undo.push(UndoFs::RestoreAttrs {
+                path: path.to_string(),
+                uid: attr.uid,
+                gid: attr.gid,
+                mode: attr.mode,
+            });
+        }
+        Ok(())
+    }
+
+    /// Unlinks `path` as part of host transaction `host_txid`. Rejected
+    /// while the file is open (§4.5: the Sync table check). File-system
+    /// restoration (or deletion, per ON UNLINK) is deferred to commit.
+    pub fn unlink_file(&self, host_txid: u64, path: &str) -> Result<(), String> {
+        self.stats.unlinks.fetch_add(1, Ordering::Relaxed);
+        let entry = self
+            .repo
+            .get_file(path)
+            .ok_or_else(|| format!("file {path} is not linked"))?;
+        let sync = self.repo.sync_entries(path);
+        if !sync.is_empty() {
+            // §4.5: "when a read [or write] entry exists in the DLFM Sync
+            // table, any unlink operation by other applications will be
+            // rejected."
+            return Err(format!(
+                "file {path} is open ({} active access(es)); unlink rejected",
+                sync.len()
+            ));
+        }
+        if self.repo.get_uip(path).is_some() {
+            return Err(format!("file {path} has an update in progress"));
+        }
+
+        let action = match entry.on_unlink {
+            OnUnlink::Restore => IntentAction::UnlinkRestore,
+            OnUnlink::Delete => IntentAction::UnlinkDelete,
+        };
+        // Durable intent *survives* the sub-transaction commit: the
+        // deferred FS action runs after commit, and crash recovery replays
+        // it from the intent if we die in between.
+        self.repo
+            .add_intent(&IntentEntry {
+                host_txid,
+                path: path.to_string(),
+                action,
+                orig_uid: entry.orig_uid,
+                orig_gid: entry.orig_gid,
+                orig_mode: entry.orig_mode,
+            })
+            .map_err(|e| e.to_string())?;
+
+        let cell = self.sub_txn(host_txid);
+        let mut guard = cell.lock();
+        let sub = &mut *guard;
+        let txn = sub.txn.as_mut().ok_or("sub-transaction already settled")?;
+        if !sub.marked {
+            self.repo
+                .mark_host_txn_in(txn, host_txid, &self.cfg.server_name)
+                .map_err(|e| e.to_string())?;
+            sub.marked = true;
+        }
+        self.repo.delete_file_in(txn, path).map_err(|e| e.to_string())?;
+        sub.unlink_intents.push(path.to_string());
+        match entry.on_unlink {
+            OnUnlink::Restore => sub.deferred.push(DeferredFs::RestoreAttrs {
+                path: path.to_string(),
+                uid: entry.orig_uid,
+                gid: entry.orig_gid,
+                mode: entry.orig_mode,
+            }),
+            OnUnlink::Delete => sub.deferred.push(DeferredFs::DeleteFile { path: path.to_string() }),
+        }
+        Ok(())
+    }
+
+    /// 2PC phase one for `host_txid`'s sub-transaction.
+    pub fn prepare_host(&self, host_txid: u64) -> Result<(), String> {
+        let cell = {
+            let pending = self.pending.lock();
+            match pending.get(&host_txid) {
+                Some(cell) => Arc::clone(cell),
+                None => return Ok(()), // nothing to prepare here
+            }
+        };
+        let mut guard = cell.lock();
+        let sub = &mut *guard;
+        match sub.txn.as_mut() {
+            Some(txn) => {
+                txn.prepare().map_err(|e| e.to_string())?;
+                sub.prepared = true;
+                Ok(())
+            }
+            None => Err("sub-transaction already settled".into()),
+        }
+    }
+
+    /// 2PC phase two, commit path.
+    pub fn commit_host(&self, host_txid: u64) {
+        let cell = {
+            let mut pending = self.pending.lock();
+            match pending.remove(&host_txid) {
+                Some(cell) => cell,
+                None => return,
+            }
+        };
+        let mut sub = cell.lock();
+        if let Some(txn) = sub.txn.take() {
+            let result = if sub.prepared {
+                txn.commit_prepared().map(|_| ())
+            } else {
+                txn.commit().map(|_| ())
+            };
+            if let Err(e) = result {
+                // A failed local commit after the coordinator decided commit
+                // is a serious invariant break; surface loudly.
+                panic!("DLFM sub-transaction commit failed for host tx{host_txid}: {e}");
+            }
+        }
+        // Deferred FS actions (unlink restoration/deletion).
+        for action in sub.deferred.drain(..) {
+            match action {
+                DeferredFs::RestoreAttrs { path, uid, gid, mode } => {
+                    let _ = self.set_attrs(&path, uid, gid, mode);
+                }
+                DeferredFs::DeleteFile { path } => {
+                    let _ = self.admin.remove(&ROOT, &path);
+                    self.archive.forget(&path);
+                }
+            }
+        }
+        for path in sub.unlink_intents.drain(..) {
+            let _ = self.repo.remove_intent(host_txid, &path);
+        }
+        sub.undo.clear();
+        self.bump_epoch();
+    }
+
+    /// 2PC phase two, abort path (also called for never-prepared aborts).
+    pub fn abort_host(&self, host_txid: u64) {
+        let cell = {
+            let mut pending = self.pending.lock();
+            match pending.remove(&host_txid) {
+                Some(cell) => cell,
+                None => return,
+            }
+        };
+        let mut sub = cell.lock();
+        if let Some(txn) = sub.txn.take() {
+            if sub.prepared {
+                let _ = txn.abort_prepared();
+            } else {
+                txn.abort();
+            }
+        }
+        // Undo eager FS changes (link constraints).
+        for action in sub.undo.drain(..) {
+            match action {
+                UndoFs::RestoreAttrs { path, uid, gid, mode } => {
+                    let _ = self.set_attrs(&path, uid, gid, mode);
+                    let _ = self.repo.remove_intent(host_txid, &path);
+                }
+            }
+        }
+        // Unlink intents: no FS action was taken; just clear them.
+        for path in sub.unlink_intents.drain(..) {
+            let _ = self.repo.remove_intent(host_txid, &path);
+        }
+        sub.deferred.clear();
+        self.bump_epoch();
+    }
+
+    fn set_attrs(&self, path: &str, uid: u32, gid: u32, mode: u16) -> Result<(), String> {
+        self.admin
+            .setattr(&ROOT, path, &SetAttr { uid: Some(uid), gid: Some(gid), mode: Some(mode), ..Default::default() })
+            .map(|_| ())
+            .map_err(|e| format!("setattr {path}: {e}"))
+    }
+
+    // =====================================================================
+    // Upcall services (§4.1–§4.5) — invoked by the upcall daemon
+    // =====================================================================
+
+    /// Token validation during `fs_lookup` interception (§4.1): verifies
+    /// the MAC/expiry and records a token entry keyed by *userid*.
+    pub fn validate_token(&self, path: &str, token_str: &str, uid: u32) -> Result<TokenKind, String> {
+        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+        self.stats.token_validations.fetch_add(1, Ordering::Relaxed);
+        let token = AccessToken::decode(token_str).map_err(|e| e.to_string())?;
+        let now = self.clock.now_ms();
+        token
+            .verify(&self.cfg.token_key, &self.cfg.server_name, path, now)
+            .map_err(|e| e.to_string())?;
+        self.repo
+            .put_token_entry(uid, path, token.kind, token.expires_at_ms)
+            .map_err(|e| e.to_string())?;
+        Ok(token.kind)
+    }
+
+    /// Open processing during `fs_open` interception (§4.2, §4.4, §4.5).
+    ///
+    /// For a write, this is the rfd slow path ("DLFS contacts DLFM through
+    /// an upcall only if the fs_open() entry point of the file system
+    /// fails", §4.2) as well as the full-control (rdd) mandatory path.
+    pub fn open_check(
+        &self,
+        path: &str,
+        uid: u32,
+        wanted: TokenKind,
+        opener: u64,
+    ) -> OpenDecision {
+        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+        self.stats.open_checks.fetch_add(1, Ordering::Relaxed);
+        let Some(entry) = self.repo.get_file(path) else {
+            if self.cfg.strict_link {
+                // Register the open anyway so link can see it.
+                let _ = self.repo.add_sync(&SyncEntry {
+                    path: path.to_string(),
+                    kind: wanted,
+                    opener,
+                    uid,
+                });
+            }
+            return OpenDecision::NotManaged;
+        };
+
+        match wanted {
+            TokenKind::Write => self.open_check_write(&entry, uid, opener),
+            TokenKind::Read => self.open_check_read(&entry, uid, opener),
+        }
+    }
+
+    fn open_check_write(&self, entry: &FileEntry, uid: u32, opener: u64) -> OpenDecision {
+        let now = self.clock.now_ms();
+        if !entry.mode.supports_update() {
+            return OpenDecision::Rejected(format!(
+                "write access to {} is {} while linked (mode {})",
+                entry.path,
+                if entry.mode.write_control() == crate::modes::AccessControl::Blocked {
+                    "blocked"
+                } else {
+                    "file-system controlled"
+                },
+                entry.mode
+            ));
+        }
+        if !self.repo.check_token_entry(uid, &entry.path, TokenKind::Write, now) {
+            return OpenDecision::Rejected(format!(
+                "no valid write token entry for uid {uid} on {}",
+                entry.path
+            ));
+        }
+        // Serialization (§4.2): write-write always conflicts; in full
+        // control mode read entries conflict too.
+        let sync = self.repo.sync_entries(&entry.path);
+        let conflict = sync.iter().any(|s| {
+            s.kind == TokenKind::Write || (entry.mode.full_control() && self.cfg.track_read_sync)
+        });
+        if conflict {
+            self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+            return OpenDecision::Busy;
+        }
+        // §4.4: "any new update request to the file is blocked until the
+        // archiving completes."
+        if self.archive.is_archiving(&entry.path) {
+            self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+            return OpenDecision::Busy;
+        }
+
+        // Guarantee a restorable before-image: the first update of a file
+        // captures the linked content as version 1 (state 0 = "since link").
+        if self.archive.get(&entry.path, entry.cur_version).is_none() {
+            match self.admin.read_file(&ROOT, &entry.path) {
+                Ok(data) => {
+                    self.archive.put(&entry.path, entry.cur_version, entry.state_id, data)
+                }
+                Err(e) => {
+                    return OpenDecision::Rejected(format!(
+                        "cannot capture before-image of {}: {e}",
+                        entry.path
+                    ))
+                }
+            }
+        }
+
+        if self
+            .repo
+            .put_uip(&UipEntry {
+                path: entry.path.clone(),
+                new_version: entry.cur_version + 1,
+                opener,
+            })
+            .is_err()
+        {
+            // A UIP row already exists: an update is in flight.
+            self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+            return OpenDecision::Busy;
+        }
+        let _ = self.repo.add_sync(&SyncEntry {
+            path: entry.path.clone(),
+            kind: TokenKind::Write,
+            opener,
+            uid,
+        });
+
+        // Grant write access at the FS level. rfd additionally requires the
+        // take-over (§4.2: "DLFM ... takes-over the file granting it write
+        // permission"); rdd already owns the file.
+        if !entry.mode.takes_over_at_link() {
+            self.stats.takeovers.fetch_add(1, Ordering::Relaxed);
+        }
+        let dlfm = self.cfg.dlfm_cred;
+        if self.set_attrs(&entry.path, dlfm.uid, dlfm.gid, 0o600).is_err() {
+            let _ = self.repo.remove_uip(&entry.path);
+            let _ = self.repo.remove_sync(&entry.path, opener);
+            return OpenDecision::Rejected(format!("take-over of {} failed", entry.path));
+        }
+        OpenDecision::Approved { open_as: dlfm }
+    }
+
+    fn open_check_read(&self, entry: &FileEntry, uid: u32, opener: u64) -> OpenDecision {
+        let now = self.clock.now_ms();
+        if entry.mode.read_control() != crate::modes::AccessControl::Dbms {
+            // FS-controlled reads never upcall in the fast path; reaching
+            // here means DLFS was configured strictly. Approve as the user.
+            return OpenDecision::NotManaged;
+        }
+        if !self.repo.check_token_entry(uid, &entry.path, TokenKind::Read, now) {
+            return OpenDecision::Rejected(format!(
+                "no valid read token entry for uid {uid} on {}",
+                entry.path
+            ));
+        }
+        // Full-control serialization: reads conflict with writes (§4.2).
+        let sync = self.repo.sync_entries(&entry.path);
+        if sync.iter().any(|s| s.kind == TokenKind::Write) {
+            self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+            return OpenDecision::Busy;
+        }
+        if self.cfg.track_read_sync {
+            let _ = self.repo.add_sync(&SyncEntry {
+                path: entry.path.clone(),
+                kind: TokenKind::Read,
+                opener,
+                uid,
+            });
+        }
+        OpenDecision::Approved { open_as: self.cfg.dlfm_cred }
+    }
+
+    /// Close processing (§4.3–§4.4): metadata refresh in the host
+    /// transaction context, version commit, asynchronous archiving; or, on
+    /// failure/no-write, release of the write grant.
+    pub fn close_notify(
+        &self,
+        path: &str,
+        opener: u64,
+        wrote: bool,
+        new_size: u64,
+        new_mtime: u64,
+    ) -> Result<(), String> {
+        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+        self.stats.close_notifies.fetch_add(1, Ordering::Relaxed);
+        let Some(entry) = self.repo.get_file(path) else {
+            if self.cfg.strict_link {
+                let _ = self.repo.remove_sync(path, opener);
+                self.bump_epoch();
+            }
+            return Ok(());
+        };
+
+        let uip = self.repo.get_uip(path).filter(|u| u.opener == opener);
+        let Some(uip) = uip else {
+            // Read close (or a write descriptor that never got a grant):
+            // purge the sync entry.
+            let _ = self.repo.remove_sync(path, opener);
+            self.bump_epoch();
+            return Ok(());
+        };
+
+        if !wrote {
+            // Opened for write but never modified: no new version (§4.4
+            // checks the modification time for exactly this).
+            let _ = self.repo.remove_uip(path);
+            let _ = self.repo.remove_sync(path, opener);
+            self.release_write_grant(&entry);
+            self.bump_epoch();
+            return Ok(());
+        }
+
+        // Committed update path.
+        let result = self.commit_file_update(&entry, &uip, new_size, new_mtime);
+        match result {
+            Ok(state_id) => {
+                let _ = self.repo.remove_sync(path, opener);
+                self.release_write_grant(&entry);
+                self.submit_archive(&entry, uip.new_version, state_id);
+                self.bump_epoch();
+                Ok(())
+            }
+            Err(e) => {
+                // §4.2: roll the file back to the last committed version.
+                self.rollback_update(&entry);
+                let _ = self.repo.remove_uip(path);
+                let _ = self.repo.remove_sync(path, opener);
+                self.release_write_grant(&entry);
+                self.bump_epoch();
+                Err(format!("file update transaction aborted: {e}"))
+            }
+        }
+    }
+
+    /// Runs the close sub-transaction, through the host hook when present
+    /// (update of file metadata and version bump in one transaction, §4.3).
+    fn commit_file_update(
+        &self,
+        entry: &FileEntry,
+        uip: &UipEntry,
+        new_size: u64,
+        new_mtime: u64,
+    ) -> Result<u64, String> {
+        let host = self.host.read().clone();
+        let state_hint = host
+            .as_ref()
+            .map(|h| h.state_id())
+            .unwrap_or_else(|| self.repo.db().state_id());
+
+        let mut txn = self.repo.db().begin();
+        self.repo
+            .remove_uip_in(&mut txn, &entry.path)
+            .map_err(|e| e.to_string())?;
+        self.repo
+            .commit_version_in(&mut txn, &entry.path, uip.new_version, state_hint)
+            .map_err(|e| e.to_string())?;
+
+        match host {
+            Some(hook) => {
+                let url = format!("dlfs://{}{}", self.cfg.server_name, entry.path);
+                let participant = Arc::new(PreparedTxnParticipant::new(txn));
+                let lsn = hook.commit_file_update(
+                    &url,
+                    new_size,
+                    new_mtime,
+                    uip.new_version,
+                    Arc::clone(&participant) as Arc<dyn dl_minidb::Participant>,
+                )?;
+                participant.ensure_settled()?;
+                Ok(lsn)
+            }
+            None => {
+                // Standalone mode (no host database wired): commit locally.
+                let lsn = txn.commit().map_err(|e| e.to_string())?;
+                Ok(lsn)
+            }
+        }
+    }
+
+    fn submit_archive(&self, entry: &FileEntry, version: u64, state_id: u64) {
+        self.stats.archives.fetch_add(1, Ordering::Relaxed);
+        // Asynchronous jobs carry no data: the worker reads the (stable,
+        // update-blocked) file itself, keeping the copy entirely off the
+        // close path (§4.4).
+        let job = ArchiveJob {
+            path: entry.path.clone(),
+            version,
+            state_id,
+            data: None,
+            prune: !entry.recovery,
+        };
+        if self.cfg.sync_archive {
+            self.archiver.submit_sync(job);
+            let _ = self.repo.clear_needs_archive(&entry.path);
+            self.bump_epoch();
+        } else {
+            self.archiver.submit(job);
+            // needs_archive is cleared lazily; recovery treats a set flag
+            // with an archived version as already done.
+            let _ = self.repo.clear_needs_archive(&entry.path);
+        }
+    }
+
+    /// Restores the last committed version after a failed close-commit.
+    fn rollback_update(&self, entry: &FileEntry) {
+        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+        if let Ok(dirty) = self.admin.read_file(&ROOT, &entry.path) {
+            self.archive.quarantine(&entry.path, dirty);
+        }
+        if let Some(committed) = self.archive.get(&entry.path, entry.cur_version) {
+            let _ = self.admin.write_file(&ROOT, &entry.path, &committed.data);
+        }
+    }
+
+    /// Returns the file to its at-rest linked attributes after a write.
+    fn release_write_grant(&self, entry: &FileEntry) {
+        let (uid, gid, mode) = linked_attrs(entry.mode, entry, &self.cfg.dlfm_cred);
+        let _ = self.set_attrs(&entry.path, uid, gid, mode);
+    }
+
+    /// Remove/rename veto (§2.3): linked files with referential integrity
+    /// cannot be removed or renamed — that would dangle the DATALINK.
+    pub fn mutation_check(&self, path: &str) -> Result<(), String> {
+        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+        match self.repo.get_file(path) {
+            Some(entry) if entry.mode.referential_integrity() => Err(format!(
+                "{path} is linked to the database (mode {}); remove/rename rejected",
+                entry.mode
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Close of a strict-link registered open of an unmanaged file.
+    pub fn unregister_open(&self, path: &str, opener: u64) {
+        let _ = self.repo.remove_sync(path, opener);
+        self.bump_epoch();
+    }
+
+    // =====================================================================
+    // Crash recovery (§4.2, §4.4)
+    // =====================================================================
+
+    /// Runs crash recovery: settles in-doubt sub-transactions against the
+    /// host's outcomes, reconciles file-system state from intents, restores
+    /// in-flight updates to their last committed version, re-submits lost
+    /// archive jobs, and clears transient open state.
+    pub fn recover(&self) -> Result<RecoveryReport, String> {
+        let mut report = RecoveryReport::default();
+        let host = self.host.read().clone();
+
+        // 1. In-doubt repository sub-transactions.
+        for txid in self.repo.db().in_doubt_txns() {
+            let ops = self.repo.db().in_doubt_ops(txid).unwrap_or_default();
+            let host_txid = Repository::host_txid_of_ops(&ops);
+            let commit = host_txid
+                .and_then(|h| host.as_ref().and_then(|hook| hook.outcome(h)))
+                .unwrap_or(false); // presumed abort
+            self.repo
+                .db()
+                .resolve_in_doubt(txid, commit)
+                .map_err(|e| e.to_string())?;
+            report.in_doubt_resolved.push((txid, commit));
+        }
+
+        // 2. Intent reconciliation.
+        for intent in self.repo.list_intents() {
+            let linked_now = self.repo.get_file(&intent.path);
+            match intent.action {
+                IntentAction::Link => {
+                    match linked_now {
+                        Some(entry) => {
+                            // Link committed: enforce the at-rest attrs (the
+                            // eager change may or may not have hit the FS).
+                            let (uid, gid, mode) =
+                                linked_attrs(entry.mode, &entry, &self.cfg.dlfm_cred);
+                            let _ = self.set_attrs(&intent.path, uid, gid, mode);
+                        }
+                        None => {
+                            // Link aborted: restore the original attributes.
+                            let _ = self.set_attrs(
+                                &intent.path,
+                                intent.orig_uid,
+                                intent.orig_gid,
+                                intent.orig_mode,
+                            );
+                            report.links_undone += 1;
+                        }
+                    }
+                    let _ = self.repo.remove_intent(intent.host_txid, &intent.path);
+                }
+                IntentAction::UnlinkRestore | IntentAction::UnlinkDelete => {
+                    if linked_now.is_none() {
+                        // Unlink committed; finish (or redo) the FS action.
+                        if intent.action == IntentAction::UnlinkDelete {
+                            let _ = self.admin.remove(&ROOT, &intent.path);
+                            self.archive.forget(&intent.path);
+                        } else {
+                            let _ = self.set_attrs(
+                                &intent.path,
+                                intent.orig_uid,
+                                intent.orig_gid,
+                                intent.orig_mode,
+                            );
+                        }
+                        report.unlinks_completed += 1;
+                    }
+                    let _ = self.repo.remove_intent(intent.host_txid, &intent.path);
+                }
+            }
+        }
+
+        // 3. Re-archive committed versions whose archive job was lost.
+        for entry in self.repo.files_needing_archive() {
+            if self.archive.get(&entry.path, entry.cur_version).is_none()
+                && self.repo.get_uip(&entry.path).is_none()
+            {
+                if let Ok(data) = self.admin.read_file(&ROOT, &entry.path) {
+                    self.archive
+                        .put(&entry.path, entry.cur_version, entry.state_id, data);
+                    report.archives_recovered += 1;
+                }
+            }
+            let _ = self.repo.clear_needs_archive(&entry.path);
+        }
+
+        // 4. In-flight updates: restore last committed version, quarantine
+        //    the dirty image (§4.2).
+        for uip in self.repo.list_uip() {
+            if let Some(entry) = self.repo.get_file(&uip.path) {
+                self.rollback_update(&entry);
+                self.release_write_grant(&entry);
+                report.updates_rolled_back += 1;
+            }
+            let _ = self.repo.remove_uip(&uip.path);
+        }
+
+        // 5. Token entries and the Sync table describe open files; after a
+        //    crash there are none.
+        self.repo.clear_transient().map_err(|e| e.to_string())?;
+        self.bump_epoch();
+        Ok(report)
+    }
+}
+
+/// What recovery did (assertable in tests, printed by the report binary).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    pub in_doubt_resolved: Vec<(u64, bool)>,
+    pub links_undone: u64,
+    pub unlinks_completed: u64,
+    pub updates_rolled_back: u64,
+    pub archives_recovered: u64,
+}
+
+/// What a coordinated point-in-time restore did on this server (§4.4).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RestoreOutcome {
+    /// Files whose content was rolled back to an earlier archived version.
+    pub rolled_back: u64,
+    /// Files unlinked because the restored database no longer references
+    /// them.
+    pub unlinked: u64,
+    /// (path, version) pairs the archive could not supply — only possible
+    /// for columns linked with RECOVERY NO, whose old versions are pruned.
+    pub missing_versions: Vec<(String, u64)>,
+}
+
+impl DlfmServer {
+    /// Coordinated point-in-time restore (§4.4): brings every linked file
+    /// to the version the *restored* host database references. `desired`
+    /// maps file paths to the version recorded in the restored metadata;
+    /// linked files absent from the map are unlinked (their row vanished
+    /// from the restored database).
+    ///
+    /// The system must be quiesced (no open descriptors); the DataLinks
+    /// restore orchestrator guarantees that by rebuilding the stack first.
+    pub fn restore_to_versions(
+        &self,
+        desired: &HashMap<String, u64>,
+    ) -> Result<RestoreOutcome, String> {
+        let mut outcome = RestoreOutcome::default();
+        for entry in self.repo.list_files() {
+            match desired.get(&entry.path) {
+                None => {
+                    // The restored database does not reference this file.
+                    let _ = self.set_attrs(
+                        &entry.path,
+                        entry.orig_uid,
+                        entry.orig_gid,
+                        entry.orig_mode,
+                    );
+                    let mut txn = self.repo.db().begin();
+                    self.repo
+                        .delete_file_in(&mut txn, &entry.path)
+                        .map_err(|e| e.to_string())?;
+                    txn.commit().map_err(|e| e.to_string())?;
+                    outcome.unlinked += 1;
+                }
+                Some(version) if *version != entry.cur_version => {
+                    match self.archive.get(&entry.path, *version) {
+                        Some(archived) => {
+                            self.admin
+                                .write_file(&ROOT, &entry.path, &archived.data)
+                                .map_err(|e| e.to_string())?;
+                            let mut txn = self.repo.db().begin();
+                            self.repo
+                                .set_version_in(&mut txn, &entry.path, *version)
+                                .map_err(|e| e.to_string())?;
+                            txn.commit().map_err(|e| e.to_string())?;
+                            self.release_write_grant(&entry);
+                            outcome.rolled_back += 1;
+                        }
+                        None => {
+                            outcome.missing_versions.push((entry.path.clone(), *version));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Already at the right version; just re-enforce attrs.
+                    self.release_write_grant(&entry);
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// Wraps a repository transaction as a host-transaction participant: the
+/// close sub-transaction prepares when the host prepares and settles with
+/// the host decision.
+struct PreparedTxnParticipant {
+    txn: Mutex<Option<dl_minidb::Txn>>,
+    settled: AtomicU64, // 0 = pending, 1 = committed, 2 = aborted
+}
+
+impl PreparedTxnParticipant {
+    fn new(txn: dl_minidb::Txn) -> Self {
+        PreparedTxnParticipant { txn: Mutex::new(Some(txn)), settled: AtomicU64::new(0) }
+    }
+
+    fn ensure_settled(&self) -> Result<(), String> {
+        match self.settled.load(Ordering::SeqCst) {
+            1 => Ok(()),
+            2 => Err("close sub-transaction aborted".into()),
+            _ => Err("close sub-transaction never settled".into()),
+        }
+    }
+}
+
+impl dl_minidb::Participant for PreparedTxnParticipant {
+    fn prepare(&self, _txid: u64) -> Result<(), String> {
+        let mut guard = self.txn.lock();
+        match guard.as_mut() {
+            Some(txn) => txn.prepare().map_err(|e| e.to_string()),
+            None => Err("already settled".into()),
+        }
+    }
+
+    fn commit(&self, _txid: u64) {
+        if let Some(txn) = self.txn.lock().take() {
+            // Prepared by phase one; settle. An unprepared commit can only
+            // happen if the coordinator skipped phase one, which the host
+            // database never does.
+            let _ = txn.commit_prepared();
+            self.settled.store(1, Ordering::SeqCst);
+        }
+    }
+
+    fn abort(&self, _txid: u64) {
+        if let Some(txn) = self.txn.lock().take() {
+            // If prepared, this writes the abort decision; if the host
+            // aborted before phase one, abort_prepared errors and the
+            // transaction's Drop performs the plain abort instead.
+            let _ = txn.abort_prepared();
+            self.settled.store(2, Ordering::SeqCst);
+        }
+    }
+}

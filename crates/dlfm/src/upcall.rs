@@ -1,0 +1,231 @@
+//! The upcall daemon (§2.2): "the upcall daemon ... services requests from
+//! DLFS to check the control mode and verify access permissions of linked
+//! files."
+//!
+//! DLFS runs in "the kernel" (our interposition layer); DLFM runs in user
+//! space. Their conversation is IPC — modelled here as a dedicated daemon
+//! thread draining a channel of requests, each carrying a one-shot reply
+//! channel. The round-trip through the channel is the cost the paper's
+//! design works so hard to keep off the read path (§3.2, §4.2), and is what
+//! benches E2/E4/A2/A3 measure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use crate::server::{DlfmServer, OpenDecision};
+use crate::token::TokenKind;
+
+/// Requests DLFS sends to the upcall daemon.
+#[derive(Debug)]
+pub enum UpcallRequest {
+    /// Validate a token found during `fs_lookup` and record a token entry.
+    ValidateToken { path: String, token: String, uid: u32 },
+    /// Authorize an open and acquire sync/UIP state (§4.2, §4.5).
+    OpenCheck { path: String, uid: u32, wanted: TokenKind, opener: u64 },
+    /// A descriptor closed; commit or release (§4.3, §4.4).
+    CloseNotify { path: String, opener: u64, wrote: bool, size: u64, mtime: u64 },
+    /// May `path` be removed or renamed?
+    MutationCheck { path: String },
+    /// strict-link mode: register an open of an unmanaged file.
+    RegisterOpen { path: String, uid: u32, opener: u64 },
+    /// strict-link mode: unregister such an open.
+    UnregisterOpen { path: String, opener: u64 },
+}
+
+/// Replies from the daemon.
+#[derive(Debug, PartialEq, Eq)]
+pub enum UpcallReply {
+    Ok,
+    TokenValid(TokenKind),
+    Open(OpenDecision),
+    Rejected(String),
+}
+
+type Envelope = (UpcallRequest, Sender<UpcallReply>);
+
+/// Client handle held by DLFS. Cloneable; each call is one IPC round-trip.
+#[derive(Clone)]
+pub struct UpcallClient {
+    tx: Sender<Envelope>,
+    server: Arc<DlfmServer>,
+    round_trips: Arc<AtomicU64>,
+}
+
+impl UpcallClient {
+    fn call(&self, req: UpcallRequest) -> UpcallReply {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        if self.tx.send((req, reply_tx)).is_err() {
+            return UpcallReply::Rejected("upcall daemon is down".into());
+        }
+        reply_rx
+            .recv()
+            .unwrap_or(UpcallReply::Rejected("upcall daemon is down".into()))
+    }
+
+    /// Number of upcall round-trips made through this client (benches).
+    pub fn round_trip_count(&self) -> u64 {
+        self.round_trips.load(Ordering::Relaxed)
+    }
+
+    pub fn validate_token(&self, path: &str, token: &str, uid: u32) -> Result<TokenKind, String> {
+        match self.call(UpcallRequest::ValidateToken {
+            path: path.to_string(),
+            token: token.to_string(),
+            uid,
+        }) {
+            UpcallReply::TokenValid(kind) => Ok(kind),
+            UpcallReply::Rejected(e) => Err(e),
+            other => Err(format!("unexpected reply {other:?}")),
+        }
+    }
+
+    pub fn open_check(&self, path: &str, uid: u32, wanted: TokenKind, opener: u64) -> OpenDecision {
+        match self.call(UpcallRequest::OpenCheck { path: path.to_string(), uid, wanted, opener }) {
+            UpcallReply::Open(decision) => decision,
+            UpcallReply::Rejected(e) => OpenDecision::Rejected(e),
+            other => OpenDecision::Rejected(format!("unexpected reply {other:?}")),
+        }
+    }
+
+    pub fn close_notify(
+        &self,
+        path: &str,
+        opener: u64,
+        wrote: bool,
+        size: u64,
+        mtime: u64,
+    ) -> Result<(), String> {
+        match self.call(UpcallRequest::CloseNotify {
+            path: path.to_string(),
+            opener,
+            wrote,
+            size,
+            mtime,
+        }) {
+            UpcallReply::Ok => Ok(()),
+            UpcallReply::Rejected(e) => Err(e),
+            other => Err(format!("unexpected reply {other:?}")),
+        }
+    }
+
+    pub fn mutation_check(&self, path: &str) -> Result<(), String> {
+        match self.call(UpcallRequest::MutationCheck { path: path.to_string() }) {
+            UpcallReply::Ok => Ok(()),
+            UpcallReply::Rejected(e) => Err(e),
+            other => Err(format!("unexpected reply {other:?}")),
+        }
+    }
+
+    pub fn register_open(&self, path: &str, uid: u32, opener: u64) {
+        let _ = self.call(UpcallRequest::RegisterOpen { path: path.to_string(), uid, opener });
+    }
+
+    pub fn unregister_open(&self, path: &str, opener: u64) {
+        let _ = self.call(UpcallRequest::UnregisterOpen { path: path.to_string(), opener });
+    }
+
+    /// Is strict-link registration enabled on the server?
+    pub fn strict_link(&self) -> bool {
+        self.server.config().strict_link
+    }
+
+    /// The identity DLFM daemons run as (DLFS compares file owners to it).
+    pub fn dlfm_uid(&self) -> u32 {
+        self.server.config().dlfm_cred.uid
+    }
+
+    /// Epoch-based waiting for `Busy` replies: read before the check, wait
+    /// for a change, retry.
+    pub fn epoch(&self) -> u64 {
+        self.server.epoch()
+    }
+
+    pub fn wait_epoch_change(&self, seen: u64) {
+        self.server.wait_epoch_change(seen)
+    }
+}
+
+/// The daemon: a thread draining the request channel.
+pub struct UpcallDaemon {
+    handle: Option<JoinHandle<()>>,
+    tx: Sender<Envelope>,
+}
+
+impl UpcallDaemon {
+    /// Spawns the daemon over `server` and returns (daemon, client).
+    pub fn spawn(server: Arc<DlfmServer>) -> (UpcallDaemon, UpcallClient) {
+        let (tx, rx) = unbounded::<Envelope>();
+        let srv = Arc::clone(&server);
+        let handle = std::thread::Builder::new()
+            .name(format!("dlfm-upcall-{}", server.config().server_name))
+            .spawn(move || {
+                while let Ok((req, reply_tx)) = rx.recv() {
+                    let reply = Self::dispatch(&srv, req);
+                    let _ = reply_tx.send(reply);
+                }
+            })
+            .expect("spawn upcall daemon");
+        let client = UpcallClient {
+            tx: tx.clone(),
+            server,
+            round_trips: Arc::new(AtomicU64::new(0)),
+        };
+        (UpcallDaemon { handle: Some(handle), tx }, client)
+    }
+
+    fn dispatch(server: &DlfmServer, req: UpcallRequest) -> UpcallReply {
+        match req {
+            UpcallRequest::ValidateToken { path, token, uid } => {
+                match server.validate_token(&path, &token, uid) {
+                    Ok(kind) => UpcallReply::TokenValid(kind),
+                    Err(e) => UpcallReply::Rejected(e),
+                }
+            }
+            UpcallRequest::OpenCheck { path, uid, wanted, opener } => {
+                UpcallReply::Open(server.open_check(&path, uid, wanted, opener))
+            }
+            UpcallRequest::CloseNotify { path, opener, wrote, size, mtime } => {
+                match server.close_notify(&path, opener, wrote, size, mtime) {
+                    Ok(()) => UpcallReply::Ok,
+                    Err(e) => UpcallReply::Rejected(e),
+                }
+            }
+            UpcallRequest::MutationCheck { path } => match server.mutation_check(&path) {
+                Ok(()) => UpcallReply::Ok,
+                Err(e) => UpcallReply::Rejected(e),
+            },
+            UpcallRequest::RegisterOpen { path, uid, opener } => {
+                let decision = server.open_check(&path, uid, TokenKind::Read, opener);
+                let _ = decision; // registration only; unmanaged files return NotManaged
+                UpcallReply::Ok
+            }
+            UpcallRequest::UnregisterOpen { path, opener } => {
+                server.unregister_open(&path, opener);
+                UpcallReply::Ok
+            }
+        }
+    }
+
+    /// A second client on the same daemon (e.g. one per DLFS mount).
+    pub fn client(&self, server: Arc<DlfmServer>) -> UpcallClient {
+        UpcallClient {
+            tx: self.tx.clone(),
+            server,
+            round_trips: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Drop for UpcallDaemon {
+    fn drop(&mut self) {
+        // The daemon thread exits when the last sender (including client
+        // clones) is dropped. Clients may outlive the daemon handle, so the
+        // thread is detached rather than joined — exactly how a crashing
+        // node abandons its daemons.
+        self.handle.take();
+    }
+}

@@ -1,0 +1,807 @@
+//! End-to-end tests of the DLFM protocol machinery: link/unlink
+//! sub-transactions with 2PC, the open/close update protocol, take-over,
+//! archiving, rollback and crash recovery.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use dl_fskit::{Clock, Cred, FileSystem, Lfs, MemFs, SimClock};
+use dl_dlfm::{
+    embed_token, AccessToken, ArchiveStore, ControlMode, DlfmConfig, DlfmServer, HostHook,
+    MainDaemon, OnUnlink, OpenDecision, TokenKind, UpcallDaemon,
+};
+use dl_minidb::StorageEnv;
+
+const ALICE: Cred = Cred { uid: 100, gid: 100 };
+
+struct Fixture {
+    fs: Arc<MemFs>,
+    server: Arc<DlfmServer>,
+    clock: Arc<SimClock>,
+    admin: Lfs,
+}
+
+fn fixture_with(cfg: DlfmConfig) -> Fixture {
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let fs = Arc::new(MemFs::with_clock(clock.clone()));
+    let admin = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
+    admin.mkdir_p(&Cred::root(), "/data", 0o777).unwrap();
+    admin
+        .write_file(&ALICE, "/data/clip.mpg", b"committed v1")
+        .unwrap();
+    let server = Arc::new(
+        DlfmServer::new(
+            cfg,
+            fs.clone() as Arc<dyn FileSystem>,
+            StorageEnv::mem(),
+            Arc::new(ArchiveStore::new()),
+            clock.clone(),
+        )
+        .unwrap(),
+    );
+    Fixture { fs, server, clock, admin }
+}
+
+fn fixture() -> Fixture {
+    fixture_with(DlfmConfig::new("srv1"))
+}
+
+fn write_token(f: &Fixture, path: &str) -> AccessToken {
+    AccessToken::generate(
+        &f.server.config().token_key,
+        "srv1",
+        path,
+        TokenKind::Write,
+        f.clock.now_ms() + 60_000,
+    )
+}
+
+fn read_token(f: &Fixture, path: &str) -> AccessToken {
+    AccessToken::generate(
+        &f.server.config().token_key,
+        "srv1",
+        path,
+        TokenKind::Read,
+        f.clock.now_ms() + 60_000,
+    )
+}
+
+/// Links a file and commits the surrounding "host transaction" directly
+/// through the server's 2PC surface.
+fn link_committed(f: &Fixture, host_txid: u64, path: &str, mode: ControlMode) {
+    f.server
+        .link_file(host_txid, path, mode, true, OnUnlink::Restore)
+        .unwrap();
+    f.server.prepare_host(host_txid).unwrap();
+    f.server.commit_host(host_txid);
+}
+
+/// Validates a write token and opens the file for update; returns opener id.
+fn approved_write_open(f: &Fixture, path: &str, opener: u64) -> Cred {
+    let tok = write_token(f, path);
+    f.server
+        .validate_token(path, &tok.encode(), ALICE.uid)
+        .unwrap();
+    match f.server.open_check(path, ALICE.uid, TokenKind::Write, opener) {
+        OpenDecision::Approved { open_as } => open_as,
+        other => panic!("expected approval, got {other:?}"),
+    }
+}
+
+#[test]
+fn link_applies_constraints_and_commit_makes_durable() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+
+    // Full control: owned by dlfm, mode 0400 — other users cannot read.
+    let attr = f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
+    assert_eq!(attr.uid, f.server.config().dlfm_cred.uid);
+    assert_eq!(attr.mode, 0o400);
+    assert!(f.admin.read_file(&ALICE, "/data/clip.mpg").is_err());
+
+    let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
+    assert_eq!(entry.mode, ControlMode::Rdd);
+    assert_eq!(entry.cur_version, 1);
+    assert_eq!(entry.orig_uid, ALICE.uid);
+    // The link intent was consumed by the commit.
+    assert!(f.server.repository().list_intents().is_empty());
+}
+
+#[test]
+fn link_abort_restores_file_attributes() {
+    let f = fixture();
+    f.server
+        .link_file(7, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap();
+    // Constraint applied eagerly...
+    assert_eq!(
+        f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap().uid,
+        f.server.config().dlfm_cred.uid
+    );
+    // ...and undone on abort.
+    f.server.abort_host(7);
+    let attr = f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
+    assert_eq!(attr.uid, ALICE.uid);
+    assert_eq!(attr.mode, 0o644);
+    assert!(f.server.repository().get_file("/data/clip.mpg").is_none());
+    assert!(f.server.repository().list_intents().is_empty());
+}
+
+#[test]
+fn rfd_link_keeps_owner_but_strips_write_bits() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rfd);
+    let attr = f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
+    assert_eq!(attr.uid, ALICE.uid, "rfd: ownership is not changed (§2.2)");
+    assert_eq!(attr.mode, 0o444, "write permission disabled");
+    // Reads still work through the plain FS path.
+    assert_eq!(f.admin.read_file(&ALICE, "/data/clip.mpg").unwrap(), b"committed v1");
+}
+
+#[test]
+fn double_link_rejected() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rff);
+    let err = f
+        .server
+        .link_file(2, "/data/clip.mpg", ControlMode::Rff, false, OnUnlink::Restore)
+        .unwrap_err();
+    assert!(err.contains("already linked"));
+}
+
+#[test]
+fn link_missing_file_rejected() {
+    let f = fixture();
+    let err = f
+        .server
+        .link_file(1, "/data/nope", ControlMode::Rff, false, OnUnlink::Restore)
+        .unwrap_err();
+    assert!(err.contains("cannot link"));
+}
+
+#[test]
+fn unlink_restores_original_attributes_at_commit() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+
+    f.server.unlink_file(2, "/data/clip.mpg").unwrap();
+    // Deferred: constraints still in force before commit.
+    assert!(f.admin.read_file(&ALICE, "/data/clip.mpg").is_err());
+    f.server.prepare_host(2).unwrap();
+    f.server.commit_host(2);
+
+    let attr = f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
+    assert_eq!((attr.uid, attr.mode), (ALICE.uid, 0o644));
+    assert!(f.server.repository().get_file("/data/clip.mpg").is_none());
+    assert!(f.server.repository().list_intents().is_empty());
+}
+
+#[test]
+fn unlink_abort_keeps_file_linked() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    f.server.unlink_file(2, "/data/clip.mpg").unwrap();
+    f.server.abort_host(2);
+    assert!(f.server.repository().get_file("/data/clip.mpg").is_some());
+    assert!(f.admin.read_file(&ALICE, "/data/clip.mpg").is_err(), "still taken over");
+    assert!(f.server.repository().list_intents().is_empty());
+}
+
+#[test]
+fn unlink_delete_removes_file_and_archive() {
+    let f = fixture();
+    f.server
+        .link_file(1, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Delete)
+        .unwrap();
+    f.server.prepare_host(1).unwrap();
+    f.server.commit_host(1);
+
+    f.server.unlink_file(2, "/data/clip.mpg").unwrap();
+    f.server.prepare_host(2).unwrap();
+    f.server.commit_host(2);
+    assert!(!f.admin.exists(&Cred::root(), "/data/clip.mpg"));
+    assert!(f.server.archive_store().latest("/data/clip.mpg").is_none());
+}
+
+#[test]
+fn unlink_rejected_while_file_open() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    approved_write_open(&f, "/data/clip.mpg", 42);
+
+    let err = f.server.unlink_file(2, "/data/clip.mpg").unwrap_err();
+    assert!(err.contains("open"), "§4.5 sync-table veto, got: {err}");
+
+    // After close the unlink proceeds.
+    f.server
+        .close_notify("/data/clip.mpg", 42, false, 0, 0)
+        .unwrap();
+    f.server.unlink_file(3, "/data/clip.mpg").unwrap();
+    f.server.prepare_host(3).unwrap();
+    f.server.commit_host(3);
+}
+
+#[test]
+fn write_open_requires_valid_token_entry() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    // No token validated yet.
+    match f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 1) {
+        OpenDecision::Rejected(msg) => assert!(msg.contains("token")),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_token_rejected_at_validation() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let tok = AccessToken::generate(
+        &f.server.config().token_key,
+        "srv1",
+        "/data/clip.mpg",
+        TokenKind::Write,
+        f.clock.now_ms().saturating_sub(10),
+    );
+    let err = f
+        .server
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap_err();
+    assert!(err.contains("expired"));
+}
+
+#[test]
+fn read_token_cannot_open_for_write() {
+    // The §4.1 attack: use a read token to open for update.
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let tok = read_token(&f, "/data/clip.mpg");
+    f.server
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap();
+    match f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 1) {
+        OpenDecision::Rejected(msg) => assert!(msg.contains("token")),
+        other => panic!("read token must not grant write, got {other:?}"),
+    }
+}
+
+#[test]
+fn write_open_grants_and_close_without_write_releases() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let open_as = approved_write_open(&f, "/data/clip.mpg", 5);
+    assert_eq!(open_as, f.server.config().dlfm_cred);
+
+    // Grant: dlfm-owned, mode 0600; UIP + sync entries exist.
+    let attr = f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
+    assert_eq!(attr.mode, 0o600);
+    assert!(f.server.repository().get_uip("/data/clip.mpg").is_some());
+    assert_eq!(f.server.repository().sync_entries("/data/clip.mpg").len(), 1);
+
+    // Closing without modification: no version bump, state released.
+    f.server
+        .close_notify("/data/clip.mpg", 5, false, 12, 0)
+        .unwrap();
+    let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
+    assert_eq!(entry.cur_version, 1);
+    assert!(f.server.repository().get_uip("/data/clip.mpg").is_none());
+    assert!(f.server.repository().sync_entries("/data/clip.mpg").is_empty());
+    assert_eq!(
+        f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap().mode,
+        0o400,
+        "rdd at-rest attributes restored"
+    );
+}
+
+#[test]
+fn committed_update_bumps_version_and_archives() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let dlfm = approved_write_open(&f, "/data/clip.mpg", 5);
+
+    // Write through the physical FS as the granted identity.
+    f.admin.write_file(&dlfm, "/data/clip.mpg", b"brand new v2").unwrap();
+    let attr = f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
+    f.server
+        .close_notify("/data/clip.mpg", 5, true, attr.size, attr.mtime)
+        .unwrap();
+
+    let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
+    assert_eq!(entry.cur_version, 2);
+
+    // v1 before-image and v2 committed image both archived.
+    f.server.archive_store().wait_archived("/data/clip.mpg");
+    assert_eq!(
+        f.server.archive_store().get("/data/clip.mpg", 1).unwrap().data,
+        b"committed v1"
+    );
+    assert_eq!(
+        f.server.archive_store().get("/data/clip.mpg", 2).unwrap().data,
+        b"brand new v2"
+    );
+}
+
+#[test]
+fn write_write_conflict_is_busy_until_close() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    approved_write_open(&f, "/data/clip.mpg", 5);
+
+    let tok = write_token(&f, "/data/clip.mpg");
+    f.server
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap();
+    assert_eq!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 6),
+        OpenDecision::Busy
+    );
+
+    f.server
+        .close_notify("/data/clip.mpg", 5, false, 0, 0)
+        .unwrap();
+    assert!(matches!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 6),
+        OpenDecision::Approved { .. }
+    ));
+}
+
+#[test]
+fn rdd_read_blocks_writer_and_vice_versa() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+
+    // Reader opens with a read token.
+    let tok = read_token(&f, "/data/clip.mpg");
+    f.server
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap();
+    assert!(matches!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Read, 1),
+        OpenDecision::Approved { .. }
+    ));
+
+    // Writer is told Busy (read-write serialization at open, §4.2).
+    let wtok = write_token(&f, "/data/clip.mpg");
+    f.server
+        .validate_token("/data/clip.mpg", &wtok.encode(), ALICE.uid)
+        .unwrap();
+    assert_eq!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 2),
+        OpenDecision::Busy
+    );
+
+    // Reader closes; writer proceeds; reader now blocked by writer.
+    f.server.close_notify("/data/clip.mpg", 1, false, 0, 0).unwrap();
+    assert!(matches!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 2),
+        OpenDecision::Approved { .. }
+    ));
+    assert_eq!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Read, 3),
+        OpenDecision::Busy
+    );
+}
+
+#[test]
+fn blocked_mode_rejects_writes_outright() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rfb);
+    let tok = write_token(&f, "/data/clip.mpg");
+    f.server
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap();
+    match f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 1) {
+        OpenDecision::Rejected(msg) => assert!(msg.contains("blocked")),
+        other => panic!("rfb write must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn mutation_check_vetoes_linked_files_only() {
+    let f = fixture();
+    assert!(f.server.mutation_check("/data/clip.mpg").is_ok());
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rff);
+    let err = f.server.mutation_check("/data/clip.mpg").unwrap_err();
+    assert!(err.contains("linked"));
+
+    // nff: no referential integrity — mutations allowed.
+    f.admin.write_file(&ALICE, "/data/loose.txt", b"x").unwrap();
+    link_committed(&f, 2, "/data/loose.txt", ControlMode::Nff);
+    assert!(f.server.mutation_check("/data/loose.txt").is_ok());
+}
+
+struct FailingHook;
+impl HostHook for FailingHook {
+    fn state_id(&self) -> u64 {
+        0
+    }
+    fn commit_file_update(
+        &self,
+        _url: &str,
+        _size: u64,
+        _mtime: u64,
+        _version: u64,
+        participant: Arc<dyn dl_minidb::Participant>,
+    ) -> Result<u64, String> {
+        participant.abort(0);
+        Err("host metadata update failed".into())
+    }
+    fn outcome(&self, _host_txid: u64) -> Option<bool> {
+        None
+    }
+}
+
+#[test]
+fn failed_close_commit_rolls_back_to_last_committed_version() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    f.server.set_host_hook(Arc::new(FailingHook));
+
+    let dlfm = approved_write_open(&f, "/data/clip.mpg", 5);
+    f.admin
+        .write_file(&dlfm, "/data/clip.mpg", b"doomed bytes")
+        .unwrap();
+    let err = f
+        .server
+        .close_notify("/data/clip.mpg", 5, true, 12, 99)
+        .unwrap_err();
+    assert!(err.contains("aborted"));
+
+    // §4.2: the last committed version is restored; the dirty image is
+    // quarantined; the version number did not move.
+    assert_eq!(
+        f.admin.read_file(&Cred::root(), "/data/clip.mpg").unwrap(),
+        b"committed v1"
+    );
+    let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
+    assert_eq!(entry.cur_version, 1);
+    assert_eq!(f.server.archive_store().quarantined().len(), 1);
+    assert_eq!(f.server.stats.rollbacks.load(Ordering::Relaxed), 1);
+}
+
+// --- crash recovery ----------------------------------------------------------
+
+struct FixedOutcomes(std::collections::HashMap<u64, bool>);
+impl HostHook for FixedOutcomes {
+    fn state_id(&self) -> u64 {
+        0
+    }
+    fn commit_file_update(
+        &self,
+        _url: &str,
+        _size: u64,
+        _mtime: u64,
+        _version: u64,
+        _participant: Arc<dyn dl_minidb::Participant>,
+    ) -> Result<u64, String> {
+        Err("not used".into())
+    }
+    fn outcome(&self, host_txid: u64) -> Option<bool> {
+        self.0.get(&host_txid).copied()
+    }
+}
+
+/// Crash = drop the server, keep fs/repo-env/archive, rebuild, recover.
+fn crash_and_recover(
+    f: Fixture,
+    repo_env: StorageEnv,
+    outcomes: &[(u64, bool)],
+) -> (Arc<MemFs>, Arc<DlfmServer>, dl_dlfm::RecoveryReport) {
+    let Fixture { fs, server, clock, .. } = f;
+    let archive = Arc::clone(server.archive_store());
+    let cfg = server.config().clone();
+    server.simulate_crash();
+    drop(server); // the crash
+
+    let server2 = Arc::new(
+        DlfmServer::new(cfg, fs.clone() as Arc<dyn FileSystem>, repo_env, archive, clock).unwrap(),
+    );
+    server2.set_host_hook(Arc::new(FixedOutcomes(outcomes.iter().copied().collect())));
+    let report = server2.recover().unwrap();
+    (fs, server2, report)
+}
+
+#[test]
+fn crash_mid_update_restores_last_committed_version() {
+    let repo_env = StorageEnv::mem();
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let fs = Arc::new(MemFs::with_clock(clock.clone()));
+    let admin = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
+    admin.mkdir_p(&Cred::root(), "/data", 0o777).unwrap();
+    admin.write_file(&ALICE, "/data/clip.mpg", b"committed v1").unwrap();
+    let server = Arc::new(
+        DlfmServer::new(
+            DlfmConfig::new("srv1"),
+            fs.clone() as Arc<dyn FileSystem>,
+            repo_env.clone(),
+            Arc::new(ArchiveStore::new()),
+            clock.clone(),
+        )
+        .unwrap(),
+    );
+    let f = Fixture { fs, server, clock, admin };
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let dlfm = approved_write_open(&f, "/data/clip.mpg", 9);
+    f.admin
+        .write_file(&dlfm, "/data/clip.mpg", b"half-written garbage")
+        .unwrap();
+    // CRASH before close.
+    let (fs, server2, report) = crash_and_recover(f, repo_env, &[(1, true)]);
+
+    assert_eq!(report.updates_rolled_back, 1);
+    let admin = Lfs::new(fs as Arc<dyn FileSystem>);
+    assert_eq!(
+        admin.read_file(&Cred::root(), "/data/clip.mpg").unwrap(),
+        b"committed v1",
+        "atomicity: none of the in-flight changes survive (§4.2)"
+    );
+    let entry = server2.repository().get_file("/data/clip.mpg").unwrap();
+    assert_eq!(entry.cur_version, 1);
+    assert!(server2.repository().get_uip("/data/clip.mpg").is_none());
+    assert_eq!(server2.archive_store().quarantined().len(), 1);
+    // At-rest attributes re-enforced.
+    assert_eq!(admin.stat(&Cred::root(), "/data/clip.mpg").unwrap().mode, 0o400);
+}
+
+#[test]
+fn crash_with_in_doubt_link_resolves_by_host_outcome() {
+    for (host_committed, expect_linked) in [(true, true), (false, false)] {
+        let repo_env = StorageEnv::mem();
+        let clock = Arc::new(SimClock::new(1_000_000));
+        let fs = Arc::new(MemFs::with_clock(clock.clone()));
+        let admin = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
+        admin.mkdir_p(&Cred::root(), "/data", 0o777).unwrap();
+        admin.write_file(&ALICE, "/data/clip.mpg", b"v1").unwrap();
+        let server = Arc::new(
+            DlfmServer::new(
+                DlfmConfig::new("srv1"),
+                fs.clone() as Arc<dyn FileSystem>,
+                repo_env.clone(),
+                Arc::new(ArchiveStore::new()),
+                clock.clone(),
+            )
+            .unwrap(),
+        );
+        let f = Fixture { fs, server, clock, admin };
+
+        f.server
+            .link_file(77, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
+            .unwrap();
+        f.server.prepare_host(77).unwrap();
+        // CRASH between prepare and commit: the sub-transaction is in doubt.
+        let (fs, server2, report) =
+            crash_and_recover(f, repo_env, &[(77, host_committed)]);
+
+        assert_eq!(report.in_doubt_resolved.len(), 1);
+        assert_eq!(report.in_doubt_resolved[0].1, host_committed);
+        let admin = Lfs::new(fs as Arc<dyn FileSystem>);
+        let attr = admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
+        if expect_linked {
+            assert!(server2.repository().get_file("/data/clip.mpg").is_some());
+            assert_eq!(attr.mode, 0o400, "take-over enforced after commit");
+        } else {
+            assert!(server2.repository().get_file("/data/clip.mpg").is_none());
+            assert_eq!(attr.uid, ALICE.uid, "original owner restored");
+            assert_eq!(attr.mode, 0o644, "original mode restored");
+        }
+        assert!(server2.repository().list_intents().is_empty());
+    }
+}
+
+#[test]
+fn recovery_clears_transient_token_and_sync_state() {
+    let repo_env = StorageEnv::mem();
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let fs = Arc::new(MemFs::with_clock(clock.clone()));
+    let admin = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
+    admin.mkdir_p(&Cred::root(), "/data", 0o777).unwrap();
+    admin.write_file(&ALICE, "/data/clip.mpg", b"v1").unwrap();
+    let server = Arc::new(
+        DlfmServer::new(
+            DlfmConfig::new("srv1"),
+            fs.clone() as Arc<dyn FileSystem>,
+            repo_env.clone(),
+            Arc::new(ArchiveStore::new()),
+            clock.clone(),
+        )
+        .unwrap(),
+    );
+    let f = Fixture { fs, server, clock, admin };
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let tok = read_token(&f, "/data/clip.mpg");
+    f.server
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap();
+    assert!(matches!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Read, 3),
+        OpenDecision::Approved { .. }
+    ));
+
+    let (_fs, server2, _report) = crash_and_recover(f, repo_env, &[(1, true)]);
+    assert!(server2.repository().sync_entries("/data/clip.mpg").is_empty());
+    // A write open straight after recovery succeeds (no stale conflicts),
+    // once a fresh token is presented.
+    let tok = AccessToken::generate(
+        &server2.config().token_key,
+        "srv1",
+        "/data/clip.mpg",
+        TokenKind::Write,
+        u64::MAX,
+    );
+    server2
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap();
+    assert!(matches!(
+        server2.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 4),
+        OpenDecision::Approved { .. }
+    ));
+}
+
+// --- daemons -------------------------------------------------------------------
+
+#[test]
+fn upcall_daemon_round_trips() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let (_daemon, client) = UpcallDaemon::spawn(Arc::clone(&f.server));
+
+    let tok = write_token(&f, "/data/clip.mpg");
+    let kind = client
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap();
+    assert_eq!(kind, TokenKind::Write);
+
+    match client.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 8) {
+        OpenDecision::Approved { open_as } => assert_eq!(open_as, f.server.config().dlfm_cred),
+        other => panic!("unexpected {other:?}"),
+    }
+    client
+        .close_notify("/data/clip.mpg", 8, false, 0, 0)
+        .unwrap();
+    assert!(client.mutation_check("/data/clip.mpg").is_err());
+    assert_eq!(client.round_trip_count(), 4);
+}
+
+#[test]
+fn token_embedding_in_names_parses() {
+    let f = fixture();
+    let tok = write_token(&f, "/data/clip.mpg");
+    let with = embed_token("/data/clip.mpg", &tok);
+    assert!(with.starts_with("/data/clip.mpg;dltoken="));
+}
+
+#[test]
+fn child_agents_drive_link_through_2pc() {
+    let f = fixture();
+    let daemon = MainDaemon::new(Arc::clone(&f.server));
+    let agent = daemon.connect();
+    assert_eq!(daemon.child_count(), 1);
+
+    agent
+        .link(11, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap();
+    use dl_minidb::Participant;
+    agent.prepare(11).unwrap();
+    agent.commit(11);
+    assert!(f.server.repository().get_file("/data/clip.mpg").is_some());
+
+    agent.unlink(12, "/data/clip.mpg").unwrap();
+    agent.prepare(12).unwrap();
+    agent.commit(12);
+    assert!(f.server.repository().get_file("/data/clip.mpg").is_none());
+}
+
+#[test]
+fn agent_abort_undoes_link() {
+    let f = fixture();
+    let daemon = MainDaemon::new(Arc::clone(&f.server));
+    let agent = daemon.connect();
+    agent
+        .link(21, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap();
+    use dl_minidb::Participant;
+    agent.abort(21);
+    assert!(f.server.repository().get_file("/data/clip.mpg").is_none());
+    assert_eq!(
+        f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap().uid,
+        ALICE.uid
+    );
+}
+
+#[test]
+fn strict_link_rejects_linking_open_files() {
+    let mut cfg = DlfmConfig::new("srv1");
+    cfg.strict_link = true;
+    let f = fixture_with(cfg);
+    // Register an open of the (unlinked) file, as strict DLFS would.
+    assert_eq!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Read, 99),
+        OpenDecision::NotManaged
+    );
+    let err = f
+        .server
+        .link_file(1, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap_err();
+    assert!(err.contains("open"), "strict link closes the §4.5 window: {err}");
+
+    f.server.unregister_open("/data/clip.mpg", 99);
+    f.server
+        .link_file(2, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap();
+}
+
+#[test]
+fn archive_blocks_next_update_until_complete() {
+    let mut cfg = DlfmConfig::new("srv1");
+    cfg.sync_archive = false;
+    let f = fixture_with(cfg);
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+
+    let dlfm = approved_write_open(&f, "/data/clip.mpg", 5);
+    f.admin.write_file(&dlfm, "/data/clip.mpg", b"v2").unwrap();
+    f.server
+        .close_notify("/data/clip.mpg", 5, true, 2, 999)
+        .unwrap();
+
+    // Wait for the async job, then the next update is approved again.
+    f.server.archive_store().wait_archived("/data/clip.mpg");
+    let tok = write_token(&f, "/data/clip.mpg");
+    f.server
+        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
+        .unwrap();
+    assert!(matches!(
+        f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 6),
+        OpenDecision::Approved { .. }
+    ));
+}
+
+#[test]
+fn versions_accumulate_with_recovery_option() {
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    for round in 2..=4u64 {
+        let opener = round * 10;
+        let dlfm = approved_write_open(&f, "/data/clip.mpg", opener);
+        f.admin
+            .write_file(&dlfm, "/data/clip.mpg", format!("content v{round}").as_bytes())
+            .unwrap();
+        f.server
+            .close_notify("/data/clip.mpg", opener, true, 10, round)
+            .unwrap();
+        f.server.archive_store().wait_archived("/data/clip.mpg");
+    }
+    let versions = f.server.archive_store().versions("/data/clip.mpg");
+    assert_eq!(versions.len(), 4, "v1 before-image + three updates");
+    assert_eq!(
+        f.server.repository().get_file("/data/clip.mpg").unwrap().cur_version,
+        4
+    );
+    // State identifiers are non-decreasing.
+    let ids: Vec<u64> = versions.iter().map(|(_, s)| *s).collect();
+    assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn no_recovery_option_prunes_old_versions() {
+    let f = fixture();
+    f.server
+        .link_file(1, "/data/clip.mpg", ControlMode::Rdd, false, OnUnlink::Restore)
+        .unwrap();
+    f.server.prepare_host(1).unwrap();
+    f.server.commit_host(1);
+
+    for round in 2..=3u64 {
+        let opener = round * 10;
+        let dlfm = approved_write_open(&f, "/data/clip.mpg", opener);
+        f.admin
+            .write_file(&dlfm, "/data/clip.mpg", format!("v{round}").as_bytes())
+            .unwrap();
+        f.server
+            .close_notify("/data/clip.mpg", opener, true, 2, round)
+            .unwrap();
+        f.server.archive_store().wait_archived("/data/clip.mpg");
+    }
+    let versions = f.server.archive_store().versions("/data/clip.mpg");
+    assert_eq!(versions.len(), 1, "only the last committed version is kept");
+    assert_eq!(versions[0].0, 3);
+}

@@ -1,0 +1,468 @@
+//! Full-stack tests: application → LFS → DLFS → MemFs, with DLFM and its
+//! upcall daemon behind the scenes. This is the complete Figure 1
+//! architecture minus the host database (dl-core adds that on top).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use dl_dlfm::{
+    embed_token, AccessToken, ArchiveStore, ControlMode, DlfmConfig, DlfmServer, OnUnlink,
+    TokenKind, UpcallDaemon,
+};
+use dl_dlfs::{Dlfs, DlfsConfig, WaitPolicy};
+use dl_fskit::{Clock, Cred, FileSystem, FsError, Lfs, MemFs, OpenOptions, SetAttr, SimClock};
+use dl_minidb::StorageEnv;
+
+const ALICE: Cred = Cred { uid: 100, gid: 100 };
+const BOB: Cred = Cred { uid: 101, gid: 101 };
+
+struct Stack {
+    /// Application-facing logical file system (mounted over DLFS).
+    lfs: Arc<Lfs>,
+    /// Admin view over the raw physical file system.
+    raw: Lfs,
+    server: Arc<DlfmServer>,
+    dlfs: Arc<Dlfs>,
+    clock: Arc<SimClock>,
+    _daemon: UpcallDaemon,
+}
+
+fn stack_with(dlfs_cfg: DlfsConfig, dlfm_cfg: DlfmConfig) -> Stack {
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let fs = Arc::new(MemFs::with_clock(clock.clone()));
+    let raw = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
+    raw.mkdir_p(&Cred::root(), "/web", 0o777).unwrap();
+    raw.write_file(&ALICE, "/web/index.html", b"<html>v1</html>").unwrap();
+    raw.write_file(&ALICE, "/web/plain.txt", b"not linked").unwrap();
+
+    let server = Arc::new(
+        DlfmServer::new(
+            dlfm_cfg,
+            fs.clone() as Arc<dyn FileSystem>,
+            StorageEnv::mem(),
+            Arc::new(ArchiveStore::new()),
+            clock.clone(),
+        )
+        .unwrap(),
+    );
+    let (daemon, client) = UpcallDaemon::spawn(Arc::clone(&server));
+    let dlfs = Arc::new(Dlfs::new(fs as Arc<dyn FileSystem>, client, dlfs_cfg));
+    let lfs = Arc::new(Lfs::new(dlfs.clone() as Arc<dyn FileSystem>));
+    Stack { lfs, raw, server, dlfs, clock, _daemon: daemon }
+}
+
+fn stack() -> Stack {
+    stack_with(DlfsConfig::default(), DlfmConfig::new("srv1"))
+}
+
+fn link(s: &Stack, path: &str, mode: ControlMode) {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1000);
+    let txid = NEXT.fetch_add(1, Ordering::Relaxed);
+    s.server
+        .link_file(txid, path, mode, true, OnUnlink::Restore)
+        .unwrap();
+    s.server.prepare_host(txid).unwrap();
+    s.server.commit_host(txid);
+}
+
+fn tok(s: &Stack, path: &str, kind: TokenKind) -> AccessToken {
+    AccessToken::generate(
+        &s.server.config().token_key,
+        "srv1",
+        path,
+        kind,
+        s.clock.now_ms() + 600_000,
+    )
+}
+
+#[test]
+fn unlinked_files_behave_normally_with_zero_upcalls() {
+    let s = stack();
+    let fd = s.lfs.open(&ALICE, "/web/plain.txt", OpenOptions::read_only()).unwrap();
+    let data = s.lfs.read_to_end(fd).unwrap();
+    s.lfs.close(fd).unwrap();
+    assert_eq!(data, b"not linked");
+
+    let fd = s.lfs.open(&ALICE, "/web/plain.txt", OpenOptions::write_truncate()).unwrap();
+    s.lfs.write(fd, b"rewritten").unwrap();
+    s.lfs.close(fd).unwrap();
+
+    assert_eq!(s.dlfs.upcall_client().round_trip_count(), 0, "no DLFM involvement");
+    assert_eq!(s.dlfs.stats.passthrough_opens.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn rdd_read_requires_token_in_name() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rdd);
+
+    // Without a token the open is rejected by DLFM.
+    match s.lfs.open(&ALICE, "/web/index.html", OpenOptions::read_only()) {
+        Err(FsError::Rejected(msg)) => assert!(msg.contains("token"), "{msg}"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // With a token embedded in the name it succeeds, and the read flows
+    // through the plain fs_read path.
+    let path = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Read));
+    let fd = s.lfs.open(&ALICE, &path, OpenOptions::read_only()).unwrap();
+    let data = s.lfs.read_to_end(fd).unwrap();
+    s.lfs.close(fd).unwrap();
+    assert_eq!(data, b"<html>v1</html>");
+    assert_eq!(s.dlfs.stats.token_lookups.load(Ordering::Relaxed), 1);
+    assert_eq!(s.dlfs.stats.managed_opens.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn userid_keyed_token_entry_shares_across_descriptors() {
+    // §4.1: once a token entry exists for a userid, all of that user's
+    // opens are covered — but other users are not.
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rdd);
+    let path = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Read));
+    let fd = s.lfs.open(&ALICE, &path, OpenOptions::read_only()).unwrap();
+    s.lfs.close(fd).unwrap();
+
+    // Second open *without* the token, same uid: the entry admits it.
+    let fd = s.lfs.open(&ALICE, "/web/index.html", OpenOptions::read_only()).unwrap();
+    s.lfs.close(fd).unwrap();
+
+    // Different uid, no token: rejected.
+    assert!(matches!(
+        s.lfs.open(&BOB, "/web/index.html", OpenOptions::read_only()),
+        Err(FsError::Rejected(_))
+    ));
+}
+
+#[test]
+fn rdd_update_in_place_full_cycle() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rdd);
+
+    let wpath = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Write));
+    let fd = s.lfs.open(&ALICE, &wpath, OpenOptions::read_write()).unwrap();
+    let old = s.lfs.read_to_end(fd).unwrap();
+    assert_eq!(old, b"<html>v1</html>");
+    s.lfs.seek(fd, 0).unwrap();
+    s.lfs.write(fd, b"<html>v2 totally new</html>").unwrap();
+    s.lfs.close(fd).unwrap();
+
+    // Version bumped, metadata in repository reflects the commit.
+    let entry = s.server.repository().get_file("/web/index.html").unwrap();
+    assert_eq!(entry.cur_version, 2);
+    s.server.archive_store().wait_archived("/web/index.html");
+    assert_eq!(
+        s.server.archive_store().get("/web/index.html", 2).unwrap().data,
+        b"<html>v2 totally new</html>"
+    );
+
+    // Subsequent read (with read token) sees the new content.
+    let rpath = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Read));
+    let fd = s.lfs.open(&ALICE, &rpath, OpenOptions::read_only()).unwrap();
+    assert_eq!(s.lfs.read_to_end(fd).unwrap(), b"<html>v2 totally new</html>");
+    s.lfs.close(fd).unwrap();
+}
+
+#[test]
+fn rfd_write_takes_slow_path_and_reads_stay_fast() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rfd);
+
+    // Reads need no token and no upcall (rfd read = file-system control).
+    let fd = s.lfs.open(&BOB, "/web/index.html", OpenOptions::read_only()).unwrap();
+    assert_eq!(s.lfs.read_to_end(fd).unwrap(), b"<html>v1</html>");
+    s.lfs.close(fd).unwrap();
+    assert_eq!(s.dlfs.upcall_client().round_trip_count(), 0, "rfd read path: zero upcalls");
+
+    // A write without a token fails: the physical open fails (read-only
+    // file) and DLFM rejects the takeover for lack of a token entry.
+    assert!(matches!(
+        s.lfs.open(&ALICE, "/web/index.html", OpenOptions::write_only()),
+        Err(FsError::Rejected(_))
+    ));
+
+    // With a write token: open fails physically, DLFS upcalls, DLFM takes
+    // the file over, the open is retried as the DLFM identity.
+    let wpath = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Write));
+    let fd = s.lfs.open(&ALICE, &wpath, OpenOptions::write_truncate()).unwrap();
+    s.lfs.write(fd, b"fresh content").unwrap();
+
+    // During the update the file is taken over: plain reads fail at the FS
+    // level — the implicit read/write serialization of §4.2.
+    assert!(s.lfs.open(&BOB, "/web/index.html", OpenOptions::read_only()).is_err());
+
+    s.lfs.close(fd).unwrap();
+
+    // After close the rfd at-rest state is restored: original owner,
+    // read-only; plain reads work again.
+    let attr = s.raw.stat(&Cred::root(), "/web/index.html").unwrap();
+    assert_eq!(attr.uid, ALICE.uid);
+    assert_eq!(attr.mode, 0o444);
+    let fd = s.lfs.open(&BOB, "/web/index.html", OpenOptions::read_only()).unwrap();
+    assert_eq!(s.lfs.read_to_end(fd).unwrap(), b"fresh content");
+    s.lfs.close(fd).unwrap();
+    assert_eq!(
+        s.server.repository().get_file("/web/index.html").unwrap().cur_version,
+        2
+    );
+}
+
+#[test]
+fn plain_readonly_file_write_still_fails_cleanly() {
+    // A chmod 444 file that is NOT linked: the rfd fallback upcall answers
+    // NotManaged and the original EACCES surfaces.
+    let s = stack();
+    s.raw
+        .setattr(&ALICE, "/web/plain.txt", &SetAttr::chmod(0o444))
+        .unwrap();
+    assert_eq!(
+        s.lfs.open(&ALICE, "/web/plain.txt", OpenOptions::write_only()),
+        Err(FsError::AccessDenied)
+    );
+    assert_eq!(s.dlfs.upcall_client().round_trip_count(), 1, "one upcall to ask");
+}
+
+#[test]
+fn remove_and_rename_of_linked_files_rejected() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rff);
+
+    assert!(matches!(
+        s.lfs.remove(&ALICE, "/web/index.html"),
+        Err(FsError::Rejected(_))
+    ));
+    assert!(matches!(
+        s.lfs.rename(&ALICE, "/web/index.html", "/web/index2.html"),
+        Err(FsError::Rejected(_))
+    ));
+    // Unlinked files remove fine.
+    s.lfs.remove(&ALICE, "/web/plain.txt").unwrap();
+}
+
+#[test]
+fn chmod_of_linked_file_rejected() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rfd);
+    // Owner tries to re-grant themselves write permission — would bypass
+    // database write control entirely.
+    assert!(matches!(
+        s.lfs.setattr(&ALICE, "/web/index.html", &SetAttr::chmod(0o644)),
+        Err(FsError::Rejected(_))
+    ));
+    // Size-only changes (truncate) are not a permission bypass and follow
+    // the normal FS rules (which reject them here: file is read-only).
+    assert!(s.lfs.setattr(&ALICE, "/web/plain.txt", &SetAttr::chmod(0o600)).is_ok());
+}
+
+#[test]
+fn write_write_blocking_across_threads() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rdd);
+
+    let wpath = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Write));
+    let fd = s.lfs.open(&ALICE, &wpath, OpenOptions::write_truncate()).unwrap();
+
+    let lfs2 = Arc::clone(&s.lfs);
+    let wpath2 = wpath.clone();
+    let waiter = thread::spawn(move || {
+        let fd2 = lfs2.open(&ALICE, &wpath2, OpenOptions::write_truncate()).unwrap();
+        lfs2.write(fd2, b"second writer").unwrap();
+        lfs2.close(fd2).unwrap();
+    });
+    thread::sleep(Duration::from_millis(50));
+    assert!(!waiter.is_finished(), "second writer must block at open");
+
+    s.lfs.write(fd, b"first writer").unwrap();
+    s.lfs.close(fd).unwrap();
+    s.server.archive_store().wait_archived("/web/index.html");
+    waiter.join().unwrap();
+
+    assert_eq!(
+        s.server.repository().get_file("/web/index.html").unwrap().cur_version,
+        3,
+        "both updates committed, serially"
+    );
+    assert_eq!(
+        s.raw.read_file(&Cred::root(), "/web/index.html").unwrap(),
+        b"second writer"
+    );
+}
+
+#[test]
+fn fail_policy_returns_busy_instead_of_blocking() {
+    let s = stack_with(
+        DlfsConfig { wait_policy: WaitPolicy::Fail, strict: false },
+        DlfmConfig::new("srv1"),
+    );
+    link(&s, "/web/index.html", ControlMode::Rdd);
+    let wpath = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Write));
+    let fd = s.lfs.open(&ALICE, &wpath, OpenOptions::read_write()).unwrap();
+    assert_eq!(
+        s.lfs.open(&ALICE, &wpath, OpenOptions::read_write()),
+        Err(FsError::Busy)
+    );
+    s.lfs.close(fd).unwrap();
+}
+
+#[test]
+fn aborted_update_restores_content_via_recovery_path() {
+    // Crash while a write is in flight; recovery restores v1.
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let fs = Arc::new(MemFs::with_clock(clock.clone()));
+    let raw = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
+    raw.mkdir_p(&Cred::root(), "/web", 0o777).unwrap();
+    raw.write_file(&ALICE, "/web/a.html", b"stable").unwrap();
+    let repo_env = StorageEnv::mem();
+    let archive = Arc::new(ArchiveStore::new());
+    let server = Arc::new(
+        DlfmServer::new(
+            DlfmConfig::new("srv1"),
+            fs.clone() as Arc<dyn FileSystem>,
+            repo_env.clone(),
+            Arc::clone(&archive),
+            clock.clone(),
+        )
+        .unwrap(),
+    );
+    let (daemon, client) = UpcallDaemon::spawn(Arc::clone(&server));
+    let dlfs = Arc::new(Dlfs::new(
+        fs.clone() as Arc<dyn FileSystem>,
+        client,
+        DlfsConfig::default(),
+    ));
+    let lfs = Lfs::new(dlfs.clone() as Arc<dyn FileSystem>);
+
+    server.link_file(1, "/web/a.html", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+    server.prepare_host(1).unwrap();
+    server.commit_host(1);
+
+    let token = AccessToken::generate(
+        &server.config().token_key,
+        "srv1",
+        "/web/a.html",
+        TokenKind::Write,
+        clock.now_ms() + 600_000,
+    );
+    let wpath = embed_token("/web/a.html", &token);
+    let fd = lfs.open(&ALICE, &wpath, OpenOptions::write_truncate()).unwrap();
+    lfs.write(fd, b"torn write").unwrap();
+    // CRASH: never close. Drop the stack, keep fs/repo/archive.
+    server.simulate_crash();
+    drop((lfs, dlfs, daemon));
+    let cfg = server.config().clone();
+    drop(server);
+
+    let server2 = Arc::new(
+        DlfmServer::new(cfg, fs.clone() as Arc<dyn FileSystem>, repo_env, archive, clock).unwrap(),
+    );
+    let report = server2.recover().unwrap();
+    assert_eq!(report.updates_rolled_back, 1);
+    assert_eq!(raw.read_file(&Cred::root(), "/web/a.html").unwrap(), b"stable");
+}
+
+#[test]
+fn strict_mode_blocks_link_of_open_file() {
+    let mut dlfm_cfg = DlfmConfig::new("srv1");
+    dlfm_cfg.strict_link = true;
+    let s = stack_with(DlfsConfig { wait_policy: WaitPolicy::Block, strict: true }, dlfm_cfg);
+
+    // An application holds plain.txt open (unlinked, plain read).
+    let fd = s.lfs.open(&ALICE, "/web/plain.txt", OpenOptions::read_only()).unwrap();
+
+    // Linking it now fails — the §4.5 window is closed.
+    let err = s
+        .server
+        .link_file(50, "/web/plain.txt", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap_err();
+    assert!(err.contains("open"), "{err}");
+    s.server.abort_host(50);
+
+    // After close, linking succeeds.
+    s.lfs.close(fd).unwrap();
+    s.server
+        .link_file(51, "/web/plain.txt", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap();
+    s.server.prepare_host(51).unwrap();
+    s.server.commit_host(51);
+}
+
+#[test]
+fn non_strict_mode_has_the_link_window() {
+    // The paper's documented limitation: "a link transaction can succeed
+    // even when the file is currently open by other applications" (§4.5).
+    let s = stack();
+    let fd = s.lfs.open(&ALICE, "/web/plain.txt", OpenOptions::read_only()).unwrap();
+    s.server
+        .link_file(60, "/web/plain.txt", ControlMode::Rdd, true, OnUnlink::Restore)
+        .unwrap();
+    s.server.prepare_host(60).unwrap();
+    s.server.commit_host(60);
+    // The reader still holds a descriptor to a now-fully-controlled file.
+    assert!(s.server.repository().get_file("/web/plain.txt").is_some());
+    s.lfs.close(fd).unwrap();
+}
+
+#[test]
+fn expired_token_rejected_at_lookup_time() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rdd);
+    let stale = AccessToken::generate(
+        &s.server.config().token_key,
+        "srv1",
+        "/web/index.html",
+        TokenKind::Read,
+        s.clock.now_ms(),
+    );
+    s.clock.advance(10_000);
+    let path = embed_token("/web/index.html", &stale);
+    match s.lfs.open(&ALICE, &path, OpenOptions::read_only()) {
+        Err(FsError::Rejected(msg)) => assert!(msg.contains("expired"), "{msg}"),
+        other => panic!("expected expiry rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_token_rejected() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rdd);
+    let forged = AccessToken::generate(
+        b"not the real key",
+        "srv1",
+        "/web/index.html",
+        TokenKind::Write,
+        u64::MAX,
+    );
+    let path = embed_token("/web/index.html", &forged);
+    assert!(matches!(
+        s.lfs.open(&ALICE, &path, OpenOptions::read_write()),
+        Err(FsError::Rejected(_))
+    ));
+}
+
+#[test]
+fn many_concurrent_readers_on_rdd_file() {
+    let s = stack();
+    link(&s, "/web/index.html", ControlMode::Rdd);
+    let rpath = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Read));
+
+    // Prime the token entry once.
+    let fd = s.lfs.open(&ALICE, &rpath, OpenOptions::read_only()).unwrap();
+    s.lfs.close(fd).unwrap();
+
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let lfs = Arc::clone(&s.lfs);
+        handles.push(thread::spawn(move || {
+            let fd = lfs.open(&ALICE, "/web/index.html", OpenOptions::read_only()).unwrap();
+            let data = lfs.read_to_end(fd).unwrap();
+            lfs.close(fd).unwrap();
+            data
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), b"<html>v1</html>");
+    }
+    assert!(s.server.repository().sync_entries("/web/index.html").is_empty());
+}

@@ -1,0 +1,41 @@
+//! File-system substrate for the DataLinks reproduction.
+//!
+//! The ICDE 2001 paper "Database Managed External File Update" interposes the
+//! DataLinks File System (DLFS) between the *logical file system* (LFS) and
+//! the *physical file system* (JFS/UFS) through vnode-style entry points:
+//! `fs_lookup`, `fs_open`, `fs_close`, `fs_readwrite`, `fs_remove`,
+//! `fs_rename`, and `fs_lockctl`. This crate rebuilds that stack in user
+//! space:
+//!
+//! * [`FileSystem`] — the vnode interface. The crucial property reproduced
+//!   from §4.1 of the paper is the *decoupling* of `open(2)` into a
+//!   `fs_lookup` call (which sees the file **name**, and therefore the access
+//!   token embedded in it, but not the open mode) followed by a `fs_open`
+//!   call (which sees the open **mode** but not the name).
+//! * [`MemFs`] — an in-memory inode file system with POSIX-like uid/gid/mode
+//!   permission checks, ownership changes (`chown`) and mode changes
+//!   (`chmod`): the enforcement mechanisms the DataLinks File Manager uses to
+//!   "take over" a linked file.
+//! * [`Lfs`] — the logical file system: path walking, credentials, a file
+//!   descriptor table, and a mount table so an interposition layer (DLFS) can
+//!   be mounted over a subtree.
+//! * [`flock`] — a whole-file shared/exclusive lock manager backing the
+//!   `fs_lockctl` entry point (§4.2 uses it to serialize file access).
+//! * [`clock`] — a pluggable clock so tests control mtimes and token expiry.
+
+pub mod clock;
+pub mod error;
+pub mod flock;
+pub mod lfs;
+pub mod memfs;
+pub mod path;
+pub mod types;
+pub mod vnode;
+
+pub use clock::{Clock, SimClock, WallClock};
+pub use error::{FsError, FsResult};
+pub use flock::{FileLockTable, LockKind, LockOp, LockOwner};
+pub use lfs::{Fd, Lfs, OpenOptions};
+pub use memfs::MemFs;
+pub use types::{Cred, DirEntry, FileAttr, FileKind, OpenFlags, SetAttr, Ino, ROOT_UID};
+pub use vnode::FileSystem;

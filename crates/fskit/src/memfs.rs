@@ -1,0 +1,748 @@
+//! In-memory physical file system.
+//!
+//! Plays the role of the native file system (JFS/UFS in the paper) beneath
+//! the DLFS interposition layer. It implements the POSIX mechanisms DataLinks
+//! relies on:
+//!
+//! * uid/gid/mode permission checks on lookup, open, create, remove, rename;
+//! * `chown`/`chmod` via `fs_setattr` — how DLFM "takes over" a linked file
+//!   (§4.2: change ownership, mark read-only) and releases it at close;
+//! * whole-file advisory locks via `fs_lockctl`;
+//! * mtime maintenance, which DLFM uses at close time to decide whether the
+//!   file was modified (§4.4).
+//!
+//! Because a *disk* survives a crash while kernel state does not, `MemFs`
+//! instances are deliberately kept alive across simulated crashes: the crash
+//! harness drops databases and daemons but keeps the `Arc<MemFs>`.
+//!
+//! An optional [`IoModel`] charges a deterministic time cost per operation
+//! and per KiB transferred so benchmarks can reproduce the paper's
+//! distinction between "counting CPU and I/O time" and "counting only CPU
+//! time" (§3.2) without a real disk.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+
+use crate::clock::{Clock, WallClock};
+use crate::error::{FsError, FsResult};
+use crate::flock::{FileLockTable, LockOp, LockOwner};
+use crate::types::{
+    permits, Access, Cred, DirEntry, FileAttr, FileKind, Ino, OpenFlags, SetAttr,
+};
+use crate::vnode::FileSystem;
+
+/// Deterministic I/O cost model: a fixed per-call latency plus a throughput
+/// term. Costs are *spun*, not slept, so they are stable at nanosecond scale.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IoModel {
+    /// Fixed cost charged to every read/write call (seek + syscall).
+    pub per_op_ns: u64,
+    /// Cost per KiB transferred (bandwidth).
+    pub per_kib_ns: u64,
+}
+
+impl IoModel {
+    /// A model loosely shaped like a late-90s SCSI disk with a warm cache:
+    /// 60µs per operation, 24µs per KiB (~40 MB/s).
+    pub fn disk_like() -> Self {
+        IoModel { per_op_ns: 60_000, per_kib_ns: 24_000 }
+    }
+
+    fn charge(&self, bytes: usize) {
+        let total = self.per_op_ns + self.per_kib_ns * (bytes as u64).div_ceil(1024);
+        if total == 0 {
+            return;
+        }
+        let deadline = Instant::now() + Duration::from_nanos(total);
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    File(Vec<u8>),
+    Dir(BTreeMap<String, Ino>),
+}
+
+#[derive(Debug, Clone)]
+struct Inode {
+    kind: FileKind,
+    mode: u16,
+    uid: u32,
+    gid: u32,
+    mtime: u64,
+    ctime: u64,
+    node: Node,
+}
+
+impl Inode {
+    fn size(&self) -> u64 {
+        match &self.node {
+            Node::File(data) => data.len() as u64,
+            Node::Dir(_) => 0,
+        }
+    }
+
+    fn attr(&self, ino: Ino) -> FileAttr {
+        FileAttr {
+            ino,
+            kind: self.kind,
+            size: self.size(),
+            mode: self.mode,
+            uid: self.uid,
+            gid: self.gid,
+            mtime: self.mtime,
+            ctime: self.ctime,
+            nlink: match &self.node {
+                Node::File(_) => 1,
+                Node::Dir(children) => 2 + children.len() as u32,
+            },
+        }
+    }
+
+    fn dir(&self) -> FsResult<&BTreeMap<String, Ino>> {
+        match &self.node {
+            Node::Dir(children) => Ok(children),
+            Node::File(_) => Err(FsError::NotADirectory),
+        }
+    }
+
+    fn dir_mut(&mut self) -> FsResult<&mut BTreeMap<String, Ino>> {
+        match &mut self.node {
+            Node::Dir(children) => Ok(children),
+            Node::File(_) => Err(FsError::NotADirectory),
+        }
+    }
+
+    fn file(&self) -> FsResult<&Vec<u8>> {
+        match &self.node {
+            Node::File(data) => Ok(data),
+            Node::Dir(_) => Err(FsError::IsADirectory),
+        }
+    }
+
+    fn file_mut(&mut self) -> FsResult<&mut Vec<u8>> {
+        match &mut self.node {
+            Node::File(data) => Ok(data),
+            Node::Dir(_) => Err(FsError::IsADirectory),
+        }
+    }
+}
+
+/// Simple operation counters, handy for asserting "the read path made no
+/// extra calls" style properties in tests and benches.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    pub lookups: AtomicU64,
+    pub opens: AtomicU64,
+    pub reads: AtomicU64,
+    pub writes: AtomicU64,
+    pub setattrs: AtomicU64,
+}
+
+struct Inner {
+    inodes: HashMap<Ino, Inode>,
+    next_ino: Ino,
+}
+
+/// The in-memory file system. Cheap to construct; share via `Arc`.
+pub struct MemFs {
+    inner: RwLock<Inner>,
+    locks: FileLockTable,
+    clock: Arc<dyn Clock>,
+    io: IoModel,
+    pub stats: OpStats,
+}
+
+const ROOT_INO: Ino = 1;
+
+impl MemFs {
+    /// An empty file system (root directory mode 0o777, owned by root) using
+    /// the wall clock and no I/O cost model.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock))
+    }
+
+    /// An empty file system with an explicit clock (tests).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        let now = clock.now_ms();
+        let mut inodes = HashMap::new();
+        inodes.insert(
+            ROOT_INO,
+            Inode {
+                kind: FileKind::Dir,
+                mode: 0o777,
+                uid: 0,
+                gid: 0,
+                mtime: now,
+                ctime: now,
+                node: Node::Dir(BTreeMap::new()),
+            },
+        );
+        MemFs {
+            inner: RwLock::new(Inner { inodes, next_ino: ROOT_INO + 1 }),
+            locks: FileLockTable::new(),
+            clock,
+            io: IoModel::default(),
+            stats: OpStats::default(),
+        }
+    }
+
+    /// Attaches an I/O cost model (builder style).
+    pub fn with_io_model(mut self, io: IoModel) -> Self {
+        self.io = io;
+        self
+    }
+
+    fn get(inner: &Inner, ino: Ino) -> FsResult<&Inode> {
+        inner.inodes.get(&ino).ok_or(FsError::NotFound)
+    }
+
+    fn get_mut(inner: &mut Inner, ino: Ino) -> FsResult<&mut Inode> {
+        inner.inodes.get_mut(&ino).ok_or(FsError::NotFound)
+    }
+
+    fn check(inode: &Inode, cred: &Cred, access: Access) -> FsResult<()> {
+        if permits(inode.uid, inode.gid, inode.mode, cred, access) {
+            Ok(())
+        } else {
+            Err(FsError::AccessDenied)
+        }
+    }
+
+    fn alloc_ino(inner: &mut Inner) -> Ino {
+        let ino = inner.next_ino;
+        inner.next_ino += 1;
+        ino
+    }
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FileSystem for MemFs {
+    fn root(&self) -> Ino {
+        ROOT_INO
+    }
+
+    fn fs_lookup(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<Ino> {
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        crate::path::validate_name(name)?;
+        let inner = self.inner.read();
+        let dir = Self::get(&inner, parent)?;
+        // Path traversal requires search (exec) permission on the directory.
+        Self::check(dir, cred, Access::Exec)?;
+        dir.dir()?.get(name).copied().ok_or(FsError::NotFound)
+    }
+
+    fn fs_getattr(&self, _cred: &Cred, ino: Ino) -> FsResult<FileAttr> {
+        let inner = self.inner.read();
+        Ok(Self::get(&inner, ino)?.attr(ino))
+    }
+
+    fn fs_setattr(&self, cred: &Cred, ino: Ino, set: &SetAttr) -> FsResult<FileAttr> {
+        self.stats.setattrs.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.write();
+        let inode = Self::get_mut(&mut inner, ino)?;
+
+        // chown: superuser only (classic restricted chown).
+        if (set.uid.is_some() || set.gid.is_some())
+            && !cred.is_root() {
+                return Err(FsError::NotPermitted);
+            }
+        // chmod: owner or superuser.
+        if set.mode.is_some() && !cred.is_root() && cred.uid != inode.uid {
+            return Err(FsError::NotPermitted);
+        }
+        // truncate: needs write permission.
+        if set.size.is_some() {
+            Self::check(inode, cred, Access::Write)?;
+            if inode.kind == FileKind::Dir {
+                return Err(FsError::IsADirectory);
+            }
+        }
+
+        if let Some(mode) = set.mode {
+            inode.mode = mode & 0o7777;
+            inode.ctime = now;
+        }
+        if let Some(uid) = set.uid {
+            inode.uid = uid;
+            inode.ctime = now;
+        }
+        if let Some(gid) = set.gid {
+            inode.gid = gid;
+            inode.ctime = now;
+        }
+        if let Some(size) = set.size {
+            let data = inode.file_mut()?;
+            data.resize(size as usize, 0);
+            inode.mtime = now;
+            inode.ctime = now;
+        }
+        if let Some(mtime) = set.mtime {
+            inode.mtime = mtime;
+        }
+        Ok(inode.attr(ino))
+    }
+
+    fn fs_create(&self, cred: &Cred, parent: Ino, name: &str, mode: u16) -> FsResult<Ino> {
+        crate::path::validate_name(name)?;
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.write();
+        {
+            let dir = Self::get(&inner, parent)?;
+            Self::check(dir, cred, Access::Write)?;
+            Self::check(dir, cred, Access::Exec)?;
+            if dir.dir()?.contains_key(name) {
+                return Err(FsError::AlreadyExists);
+            }
+        }
+        let ino = Self::alloc_ino(&mut inner);
+        inner.inodes.insert(
+            ino,
+            Inode {
+                kind: FileKind::File,
+                mode: mode & 0o7777,
+                uid: cred.uid,
+                gid: cred.gid,
+                mtime: now,
+                ctime: now,
+                node: Node::File(Vec::new()),
+            },
+        );
+        Self::get_mut(&mut inner, parent)?
+            .dir_mut()?
+            .insert(name.to_string(), ino);
+        Ok(ino)
+    }
+
+    fn fs_mkdir(&self, cred: &Cred, parent: Ino, name: &str, mode: u16) -> FsResult<Ino> {
+        crate::path::validate_name(name)?;
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.write();
+        {
+            let dir = Self::get(&inner, parent)?;
+            Self::check(dir, cred, Access::Write)?;
+            Self::check(dir, cred, Access::Exec)?;
+            if dir.dir()?.contains_key(name) {
+                return Err(FsError::AlreadyExists);
+            }
+        }
+        let ino = Self::alloc_ino(&mut inner);
+        inner.inodes.insert(
+            ino,
+            Inode {
+                kind: FileKind::Dir,
+                mode: mode & 0o7777,
+                uid: cred.uid,
+                gid: cred.gid,
+                mtime: now,
+                ctime: now,
+                node: Node::Dir(BTreeMap::new()),
+            },
+        );
+        Self::get_mut(&mut inner, parent)?
+            .dir_mut()?
+            .insert(name.to_string(), ino);
+        Ok(ino)
+    }
+
+    fn fs_open(&self, cred: &Cred, ino: Ino, flags: OpenFlags) -> FsResult<()> {
+        self.stats.opens.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.write();
+        let inode = Self::get_mut(&mut inner, ino)?;
+        if inode.kind == FileKind::Dir && flags.wants_write() {
+            return Err(FsError::IsADirectory);
+        }
+        if flags.read {
+            Self::check(inode, cred, Access::Read)?;
+        }
+        if flags.wants_write() {
+            Self::check(inode, cred, Access::Write)?;
+        }
+        if flags.truncate {
+            let now = self.clock.now_ms();
+            inode.file_mut()?.clear();
+            inode.mtime = now;
+        }
+        Ok(())
+    }
+
+    fn fs_close(&self, _cred: &Cred, ino: Ino, _flags: OpenFlags, _written: bool) -> FsResult<()> {
+        let inner = self.inner.read();
+        Self::get(&inner, ino).map(|_| ())
+    }
+
+    fn fs_read(&self, _cred: &Cred, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.read();
+        let inode = Self::get(&inner, ino)?;
+        let data = inode.file()?;
+        let off = offset as usize;
+        if off >= data.len() {
+            self.io.charge(0);
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - off);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        drop(inner);
+        self.io.charge(n);
+        Ok(n)
+    }
+
+    fn fs_write(&self, _cred: &Cred, ino: Ino, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.write();
+        let inode = Self::get_mut(&mut inner, ino)?;
+        let file = inode.file_mut()?;
+        let off = offset as usize;
+        let end = off + data.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[off..end].copy_from_slice(data);
+        inode.mtime = now;
+        drop(inner);
+        self.io.charge(data.len());
+        Ok(data.len())
+    }
+
+    fn fs_remove(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<()> {
+        let mut inner = self.inner.write();
+        let target = {
+            let dir = Self::get(&inner, parent)?;
+            Self::check(dir, cred, Access::Write)?;
+            Self::check(dir, cred, Access::Exec)?;
+            *dir.dir()?.get(name).ok_or(FsError::NotFound)?
+        };
+        if Self::get(&inner, target)?.kind == FileKind::Dir {
+            return Err(FsError::IsADirectory);
+        }
+        Self::get_mut(&mut inner, parent)?.dir_mut()?.remove(name);
+        inner.inodes.remove(&target);
+        Ok(())
+    }
+
+    fn fs_rmdir(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<()> {
+        let mut inner = self.inner.write();
+        let target = {
+            let dir = Self::get(&inner, parent)?;
+            Self::check(dir, cred, Access::Write)?;
+            Self::check(dir, cred, Access::Exec)?;
+            *dir.dir()?.get(name).ok_or(FsError::NotFound)?
+        };
+        {
+            let victim = Self::get(&inner, target)?;
+            if victim.kind != FileKind::Dir {
+                return Err(FsError::NotADirectory);
+            }
+            if !victim.dir()?.is_empty() {
+                return Err(FsError::NotEmpty);
+            }
+        }
+        Self::get_mut(&mut inner, parent)?.dir_mut()?.remove(name);
+        inner.inodes.remove(&target);
+        Ok(())
+    }
+
+    fn fs_rename(
+        &self,
+        cred: &Cred,
+        parent: Ino,
+        name: &str,
+        new_parent: Ino,
+        new_name: &str,
+    ) -> FsResult<()> {
+        crate::path::validate_name(new_name)?;
+        let mut inner = self.inner.write();
+        let target = {
+            let dir = Self::get(&inner, parent)?;
+            Self::check(dir, cred, Access::Write)?;
+            Self::check(dir, cred, Access::Exec)?;
+            *dir.dir()?.get(name).ok_or(FsError::NotFound)?
+        };
+        {
+            let ndir = Self::get(&inner, new_parent)?;
+            Self::check(ndir, cred, Access::Write)?;
+            Self::check(ndir, cred, Access::Exec)?;
+            if ndir.dir()?.contains_key(new_name) {
+                return Err(FsError::AlreadyExists);
+            }
+        }
+        Self::get_mut(&mut inner, parent)?.dir_mut()?.remove(name);
+        Self::get_mut(&mut inner, new_parent)?
+            .dir_mut()?
+            .insert(new_name.to_string(), target);
+        Ok(())
+    }
+
+    fn fs_readdir(&self, cred: &Cred, ino: Ino) -> FsResult<Vec<DirEntry>> {
+        let inner = self.inner.read();
+        let dir = Self::get(&inner, ino)?;
+        Self::check(dir, cred, Access::Read)?;
+        dir.dir()?
+            .iter()
+            .map(|(name, child)| {
+                let inode = Self::get(&inner, *child)?;
+                Ok(DirEntry { name: name.clone(), ino: *child, kind: inode.kind })
+            })
+            .collect()
+    }
+
+    fn fs_lockctl(&self, _cred: &Cred, ino: Ino, owner: LockOwner, op: LockOp) -> FsResult<bool> {
+        {
+            let inner = self.inner.read();
+            Self::get(&inner, ino)?;
+        }
+        self.locks.lockctl(ino, owner, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    fn fs() -> MemFs {
+        MemFs::with_clock(Arc::new(SimClock::new(1_000_000)))
+    }
+
+    const ALICE: Cred = Cred { uid: 100, gid: 100 };
+    const BOB: Cred = Cred { uid: 101, gid: 101 };
+
+    #[test]
+    fn create_lookup_read_write_roundtrip() {
+        let fs = fs();
+        let root = fs.root();
+        let ino = fs.fs_create(&ALICE, root, "a.txt", 0o644).unwrap();
+        assert_eq!(fs.fs_lookup(&ALICE, root, "a.txt").unwrap(), ino);
+
+        fs.fs_write(&ALICE, ino, 0, b"hello world").unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.fs_read(&ALICE, ino, 6, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"world");
+        assert_eq!(fs.fs_getattr(&ALICE, ino).unwrap().size, 11);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "s", 0o644).unwrap();
+        fs.fs_write(&ALICE, ino, 4, b"x").unwrap();
+        let mut buf = [9u8; 5];
+        assert_eq!(fs.fs_read(&ALICE, ino, 0, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, &[0, 0, 0, 0, b'x']);
+    }
+
+    #[test]
+    fn read_past_eof_returns_zero() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.fs_read(&ALICE, ino, 100, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn permission_checks_on_open() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "private", 0o600).unwrap();
+        assert_eq!(
+            fs.fs_open(&BOB, ino, OpenFlags::read_only()),
+            Err(FsError::AccessDenied)
+        );
+        assert!(fs.fs_open(&ALICE, ino, OpenFlags::read_write()).is_ok());
+    }
+
+    #[test]
+    fn read_only_file_rejects_owner_write_open() {
+        // This is the exact mechanism the rfd mode exploits (§4.2): the file
+        // is marked read-only at link time, so an ordinary write open fails
+        // and DLFS falls back to an upcall.
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "linked", 0o644).unwrap();
+        fs.fs_setattr(&Cred::root(), ino, &SetAttr::chmod(0o444)).unwrap();
+        assert_eq!(
+            fs.fs_open(&ALICE, ino, OpenFlags::write_only()),
+            Err(FsError::AccessDenied)
+        );
+        assert!(fs.fs_open(&ALICE, ino, OpenFlags::read_only()).is_ok());
+    }
+
+    #[test]
+    fn takeover_blocks_other_readers() {
+        // rdb/rdd take-over: chown to the DLFM uid and chmod 0600. Any other
+        // user's read open must now fail at the physical FS.
+        let fs = fs();
+        let dlfm = Cred::user(900);
+        let ino = fs.fs_create(&ALICE, fs.root(), "ctl", 0o644).unwrap();
+        fs.fs_setattr(&Cred::root(), ino, &SetAttr::chown(dlfm.uid, dlfm.gid)).unwrap();
+        fs.fs_setattr(&Cred::root(), ino, &SetAttr::chmod(0o600)).unwrap();
+        assert_eq!(
+            fs.fs_open(&ALICE, ino, OpenFlags::read_only()),
+            Err(FsError::AccessDenied)
+        );
+        assert!(fs.fs_open(&dlfm, ino, OpenFlags::read_only()).is_ok());
+    }
+
+    #[test]
+    fn chown_requires_root() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
+        assert_eq!(
+            fs.fs_setattr(&ALICE, ino, &SetAttr::chown(42, 42)),
+            Err(FsError::NotPermitted)
+        );
+    }
+
+    #[test]
+    fn chmod_requires_owner_or_root() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
+        assert_eq!(
+            fs.fs_setattr(&BOB, ino, &SetAttr::chmod(0o777)),
+            Err(FsError::NotPermitted)
+        );
+        assert!(fs.fs_setattr(&ALICE, ino, &SetAttr::chmod(0o600)).is_ok());
+        assert!(fs.fs_setattr(&Cred::root(), ino, &SetAttr::chmod(0o644)).is_ok());
+    }
+
+    #[test]
+    fn mtime_advances_on_write_only() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
+        let before = fs.fs_getattr(&ALICE, ino).unwrap().mtime;
+        fs.fs_write(&ALICE, ino, 0, b"data").unwrap();
+        let after = fs.fs_getattr(&ALICE, ino).unwrap().mtime;
+        assert!(after > before, "write must advance mtime");
+        let again = fs.fs_getattr(&ALICE, ino).unwrap().mtime;
+        assert_eq!(after, again, "getattr must not move mtime");
+    }
+
+    #[test]
+    fn truncate_on_open() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
+        fs.fs_write(&ALICE, ino, 0, b"content").unwrap();
+        fs.fs_open(&ALICE, ino, OpenFlags::write_truncate()).unwrap();
+        assert_eq!(fs.fs_getattr(&ALICE, ino).unwrap().size, 0);
+    }
+
+    #[test]
+    fn remove_and_rename() {
+        let fs = fs();
+        let root = fs.root();
+        fs.fs_create(&ALICE, root, "old", 0o644).unwrap();
+        fs.fs_rename(&ALICE, root, "old", root, "new").unwrap();
+        assert_eq!(fs.fs_lookup(&ALICE, root, "old"), Err(FsError::NotFound));
+        assert!(fs.fs_lookup(&ALICE, root, "new").is_ok());
+        fs.fs_remove(&ALICE, root, "new").unwrap();
+        assert_eq!(fs.fs_lookup(&ALICE, root, "new"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn rename_refuses_to_clobber() {
+        let fs = fs();
+        let root = fs.root();
+        fs.fs_create(&ALICE, root, "a", 0o644).unwrap();
+        fs.fs_create(&ALICE, root, "b", 0o644).unwrap();
+        assert_eq!(
+            fs.fs_rename(&ALICE, root, "a", root, "b"),
+            Err(FsError::AlreadyExists)
+        );
+    }
+
+    #[test]
+    fn directories_nest_and_list() {
+        let fs = fs();
+        let root = fs.root();
+        let d = fs.fs_mkdir(&ALICE, root, "movies", 0o755).unwrap();
+        fs.fs_create(&ALICE, d, "clip1.mpg", 0o644).unwrap();
+        fs.fs_create(&ALICE, d, "clip2.mpg", 0o644).unwrap();
+        let names: Vec<String> = fs
+            .fs_readdir(&ALICE, d)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names, vec!["clip1.mpg", "clip2.mpg"]);
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let fs = fs();
+        let root = fs.root();
+        let d = fs.fs_mkdir(&ALICE, root, "dir", 0o755).unwrap();
+        fs.fs_create(&ALICE, d, "f", 0o644).unwrap();
+        assert_eq!(fs.fs_rmdir(&ALICE, root, "dir"), Err(FsError::NotEmpty));
+        fs.fs_remove(&ALICE, d, "f").unwrap();
+        assert!(fs.fs_rmdir(&ALICE, root, "dir").is_ok());
+    }
+
+    #[test]
+    fn remove_of_directory_rejected() {
+        let fs = fs();
+        let root = fs.root();
+        fs.fs_mkdir(&ALICE, root, "dir", 0o755).unwrap();
+        assert_eq!(fs.fs_remove(&ALICE, root, "dir"), Err(FsError::IsADirectory));
+    }
+
+    #[test]
+    fn lookup_requires_search_permission() {
+        let fs = fs();
+        let root = fs.root();
+        let d = fs.fs_mkdir(&ALICE, root, "locked", 0o700).unwrap();
+        fs.fs_create(&ALICE, d, "f", 0o644).unwrap();
+        assert_eq!(fs.fs_lookup(&BOB, d, "f"), Err(FsError::AccessDenied));
+        assert!(fs.fs_lookup(&ALICE, d, "f").is_ok());
+    }
+
+    #[test]
+    fn lockctl_serializes_between_owners() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o666).unwrap();
+        assert!(fs
+            .fs_lockctl(&ALICE, ino, LockOwner(1), LockOp::TryLock(crate::flock::LockKind::Exclusive))
+            .unwrap());
+        assert_eq!(
+            fs.fs_lockctl(&BOB, ino, LockOwner(2), LockOp::TryLock(crate::flock::LockKind::Shared)),
+            Err(FsError::WouldBlock)
+        );
+    }
+
+    #[test]
+    fn io_model_charges_time() {
+        let clock = Arc::new(SimClock::new(0));
+        let fs = MemFs::with_clock(clock).with_io_model(IoModel { per_op_ns: 200_000, per_kib_ns: 0 });
+        let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
+        fs.fs_write(&ALICE, ino, 0, &[0u8; 1024]).unwrap();
+        let start = Instant::now();
+        let mut buf = [0u8; 1024];
+        fs.fs_read(&ALICE, ino, 0, &mut buf).unwrap();
+        assert!(start.elapsed() >= Duration::from_micros(180));
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let fs = fs();
+        let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
+        fs.fs_lookup(&ALICE, fs.root(), "f").unwrap();
+        fs.fs_open(&ALICE, ino, OpenFlags::read_only()).unwrap();
+        let mut b = [0u8; 1];
+        fs.fs_read(&ALICE, ino, 0, &mut b).unwrap();
+        assert_eq!(fs.stats.lookups.load(Ordering::Relaxed), 1);
+        assert_eq!(fs.stats.opens.load(Ordering::Relaxed), 1);
+        assert_eq!(fs.stats.reads.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal absolute-path handling.
+//!
+//! Paths in this stack are always absolute, `/`-separated, and contain no
+//! `.`/`..` components once normalized. Keeping our own helpers (rather than
+//! `std::path`) keeps semantics identical across platforms and matches the
+//! URL pathnames stored in DATALINK columns.
+
+use crate::error::{FsError, FsResult};
+
+/// Splits a normalized absolute path into components.
+///
+/// Returns an error for relative paths or paths containing empty, `.` or
+/// `..` components. The root path `/` yields an empty component list.
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidArgument(format!("path not absolute: {path}")));
+    }
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" => continue,
+            "." | ".." => {
+                return Err(FsError::InvalidArgument(format!(
+                    "path not normalized: {path}"
+                )))
+            }
+            c => out.push(c),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a path into (parent directory path, final component).
+///
+/// `/a/b/c` becomes `("/a/b", "c")`. The root has no parent and is rejected.
+pub fn split_parent(path: &str) -> FsResult<(String, String)> {
+    let comps = components(path)?;
+    let Some((last, init)) = comps.split_last() else {
+        return Err(FsError::InvalidArgument("root has no parent".into()));
+    };
+    let parent = if init.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", init.join("/"))
+    };
+    Ok((parent, (*last).to_string()))
+}
+
+/// Joins a directory path and a child name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+/// Validates a single directory-entry name.
+pub fn validate_name(name: &str) -> FsResult<()> {
+    if name.is_empty() {
+        return Err(FsError::InvalidArgument("empty name".into()));
+    }
+    if name == "." || name == ".." {
+        return Err(FsError::InvalidArgument("reserved name".into()));
+    }
+    if name.contains('/') {
+        return Err(FsError::InvalidArgument(format!("name contains '/': {name}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_root_is_empty() {
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn components_splits() {
+        assert_eq!(components("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        // Repeated separators collapse.
+        assert_eq!(components("//a///b").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn relative_and_dotted_paths_rejected() {
+        assert!(components("a/b").is_err());
+        assert!(components("/a/./b").is_err());
+        assert!(components("/a/../b").is_err());
+    }
+
+    #[test]
+    fn split_parent_works() {
+        assert_eq!(split_parent("/a").unwrap(), ("/".into(), "a".into()));
+        assert_eq!(split_parent("/a/b/c").unwrap(), ("/a/b".into(), "c".into()));
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "x"), "/x");
+        assert_eq!(join("/a", "x"), "/a/x");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("movie.mpg").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name(".").is_err());
+        assert!(validate_name("a/b").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Core value types shared by the vnode interface and its implementations.
+
+/// Inode number. Inode 0 is never used; the root directory is inode 1.
+pub type Ino = u64;
+
+/// The superuser uid; bypasses permission checks like POSIX root.
+pub const ROOT_UID: u32 = 0;
+
+/// Credentials of the process performing a file-system call.
+///
+/// The paper's token entries are keyed by *userid* rather than processid
+/// (§4.1) because processids are reused; we mirror that by giving every call
+/// an explicit `Cred`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cred {
+    pub uid: u32,
+    pub gid: u32,
+}
+
+impl Cred {
+    /// Credentials for an ordinary user in the default group.
+    pub const fn user(uid: u32) -> Self {
+        Cred { uid, gid: uid }
+    }
+
+    /// Superuser credentials.
+    pub const fn root() -> Self {
+        Cred { uid: ROOT_UID, gid: ROOT_UID }
+    }
+
+    /// True when this credential bypasses permission checks.
+    pub fn is_root(&self) -> bool {
+        self.uid == ROOT_UID
+    }
+}
+
+/// Kind of an inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    File,
+    Dir,
+}
+
+/// Stat-like attributes of an inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAttr {
+    pub ino: Ino,
+    pub kind: FileKind,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Permission bits, lower 9 bits rwxrwxrwx (owner/group/other).
+    pub mode: u16,
+    pub uid: u32,
+    pub gid: u32,
+    /// Last data modification, milliseconds on the system clock.
+    pub mtime: u64,
+    /// Last attribute change, milliseconds on the system clock.
+    pub ctime: u64,
+    pub nlink: u32,
+}
+
+/// Access request bits used by permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Read,
+    Write,
+    Exec,
+}
+
+/// Flags for `fs_open`, a compact model of the O_* flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    pub read: bool,
+    pub write: bool,
+    /// Truncate the file to zero length on open (requires `write`).
+    pub truncate: bool,
+}
+
+impl OpenFlags {
+    pub const fn read_only() -> Self {
+        OpenFlags { read: true, write: false, truncate: false }
+    }
+
+    pub const fn write_only() -> Self {
+        OpenFlags { read: false, write: true, truncate: false }
+    }
+
+    pub const fn read_write() -> Self {
+        OpenFlags { read: true, write: true, truncate: false }
+    }
+
+    pub const fn write_truncate() -> Self {
+        OpenFlags { read: false, write: true, truncate: true }
+    }
+
+    /// True if the flags request any form of write access.
+    pub fn wants_write(&self) -> bool {
+        self.write || self.truncate
+    }
+}
+
+/// Attribute changes for `fs_setattr`; `None` fields are left untouched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetAttr {
+    pub mode: Option<u16>,
+    pub uid: Option<u32>,
+    pub gid: Option<u32>,
+    pub size: Option<u64>,
+    pub mtime: Option<u64>,
+}
+
+impl SetAttr {
+    pub fn chmod(mode: u16) -> Self {
+        SetAttr { mode: Some(mode), ..Default::default() }
+    }
+
+    pub fn chown(uid: u32, gid: u32) -> Self {
+        SetAttr { uid: Some(uid), gid: Some(gid), ..Default::default() }
+    }
+
+    pub fn truncate(size: u64) -> Self {
+        SetAttr { size: Some(size), ..Default::default() }
+    }
+}
+
+/// One entry returned by `fs_readdir`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    pub name: String,
+    pub ino: Ino,
+    pub kind: FileKind,
+}
+
+/// Checks classic POSIX rwx permission bits for `cred` against an owner.
+///
+/// Returns true when access is permitted. Root bypasses everything except
+/// exec-of-non-executable (not modelled: we have no exec bit semantics for
+/// regular use, so root simply bypasses).
+pub fn permits(attr_uid: u32, attr_gid: u32, mode: u16, cred: &Cred, access: Access) -> bool {
+    if cred.is_root() {
+        return true;
+    }
+    let shift = if cred.uid == attr_uid {
+        6
+    } else if cred.gid == attr_gid {
+        3
+    } else {
+        0
+    };
+    let bit = match access {
+        Access::Read => 0o4,
+        Access::Write => 0o2,
+        Access::Exec => 0o1,
+    };
+    (mode >> shift) & bit != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_group_other_bits() {
+        // rw-r----- owned by uid 10 gid 20
+        let mode = 0o640;
+        assert!(permits(10, 20, mode, &Cred { uid: 10, gid: 10 }, Access::Read));
+        assert!(permits(10, 20, mode, &Cred { uid: 10, gid: 10 }, Access::Write));
+        assert!(permits(10, 20, mode, &Cred { uid: 11, gid: 20 }, Access::Read));
+        assert!(!permits(10, 20, mode, &Cred { uid: 11, gid: 20 }, Access::Write));
+        assert!(!permits(10, 20, mode, &Cred { uid: 12, gid: 12 }, Access::Read));
+    }
+
+    #[test]
+    fn root_bypasses_checks() {
+        assert!(permits(10, 20, 0o000, &Cred::root(), Access::Write));
+    }
+
+    #[test]
+    fn read_only_mode_blocks_owner_write() {
+        // The DataLinks "make read-only" trick: chmod 0444 blocks the owner's
+        // own write opens, forcing the rfd slow path through DLFM.
+        let mode = 0o444;
+        assert!(permits(10, 10, mode, &Cred::user(10), Access::Read));
+        assert!(!permits(10, 10, mode, &Cred::user(10), Access::Write));
+    }
+
+    #[test]
+    fn open_flags_wants_write() {
+        assert!(!OpenFlags::read_only().wants_write());
+        assert!(OpenFlags::write_only().wants_write());
+        assert!(OpenFlags::read_write().wants_write());
+        assert!(OpenFlags::write_truncate().wants_write());
+    }
+
+    #[test]
+    fn setattr_builders() {
+        assert_eq!(SetAttr::chmod(0o600).mode, Some(0o600));
+        let o = SetAttr::chown(5, 6);
+        assert_eq!((o.uid, o.gid), (Some(5), Some(6)));
+        assert_eq!(SetAttr::truncate(42).size, Some(42));
+    }
+}

@@ -1,0 +1,148 @@
+//! The vnode-style file-system interface.
+//!
+//! This is the seam at which the paper's DLFS layer interposes (§2.3): a
+//! virtual-file-system trait whose methods correspond one-to-one with the
+//! entry points named in the paper — `fs_lookup()`, `fs_open()`,
+//! `fs_close()`, `fs_readwrite()` (split into `fs_read`/`fs_write`),
+//! `fs_remove()`, `fs_rename()` and `fs_lockctl()`.
+//!
+//! The logical file system ([`crate::lfs::Lfs`]) drives these in the same
+//! decoupled sequence a UNIX kernel does: an `open(2)` becomes one
+//! `fs_lookup` per path component (receiving names — and thus any DataLinks
+//! token embedded in the final component) followed by a single `fs_open`
+//! (receiving the access mode but *not* the name). §4.1 of the paper builds
+//! its whole token-entry design around that decoupling.
+
+use crate::error::FsResult;
+use crate::flock::{LockOp, LockOwner};
+use crate::types::{Cred, DirEntry, FileAttr, Ino, OpenFlags, SetAttr};
+
+/// A file system exposing vnode entry points.
+///
+/// Implementations must be thread-safe: the LFS invokes them concurrently
+/// from many application threads, exactly as a kernel would.
+pub trait FileSystem: Send + Sync {
+    /// Inode of the root directory.
+    fn root(&self) -> Ino;
+
+    /// Resolves `name` within directory `parent`.
+    ///
+    /// This is the only entry point that sees file *names*, so it is where
+    /// DLFS extracts and validates embedded access tokens.
+    fn fs_lookup(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<Ino>;
+
+    /// Reads attributes of an inode.
+    fn fs_getattr(&self, cred: &Cred, ino: Ino) -> FsResult<FileAttr>;
+
+    /// Changes attributes (chmod/chown/truncate/utimes subset).
+    fn fs_setattr(&self, cred: &Cred, ino: Ino, set: &SetAttr) -> FsResult<FileAttr>;
+
+    /// Creates a regular file named `name` in `parent` with permission bits
+    /// `mode`, owned by `cred`.
+    fn fs_create(&self, cred: &Cred, parent: Ino, name: &str, mode: u16) -> FsResult<Ino>;
+
+    /// Creates a directory.
+    fn fs_mkdir(&self, cred: &Cred, parent: Ino, name: &str, mode: u16) -> FsResult<Ino>;
+
+    /// Opens an inode in the mode described by `flags`.
+    ///
+    /// Note the signature: the *name is not passed in* — only the inode and
+    /// the mode — which is the second half of the paper's §4.1 decoupling
+    /// problem.
+    fn fs_open(&self, cred: &Cred, ino: Ino, flags: OpenFlags) -> FsResult<()>;
+
+    /// Closes a previously opened inode. `written` reports whether any write
+    /// was performed through the descriptor being closed; the DLFS layer
+    /// forwards this (plus new size/mtime) to DLFM at close time (§4.3).
+    fn fs_close(&self, cred: &Cred, ino: Ino, flags: OpenFlags, written: bool) -> FsResult<()>;
+
+    /// Reads up to `buf.len()` bytes at `offset`. Returns bytes read.
+    fn fs_read(&self, cred: &Cred, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize>;
+
+    /// Writes `data` at `offset`, extending the file as needed. Returns
+    /// bytes written.
+    fn fs_write(&self, cred: &Cred, ino: Ino, offset: u64, data: &[u8]) -> FsResult<usize>;
+
+    /// Removes the regular file `name` from `parent`.
+    fn fs_remove(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<()>;
+
+    /// Removes the empty directory `name` from `parent`.
+    fn fs_rmdir(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<()>;
+
+    /// Renames `parent/name` to `new_parent/new_name`, replacing nothing:
+    /// the destination must not exist.
+    fn fs_rename(
+        &self,
+        cred: &Cred,
+        parent: Ino,
+        name: &str,
+        new_parent: Ino,
+        new_name: &str,
+    ) -> FsResult<()>;
+
+    /// Lists a directory.
+    fn fs_readdir(&self, cred: &Cred, ino: Ino) -> FsResult<Vec<DirEntry>>;
+
+    /// Whole-file advisory locking (§4.2: "the file access is serialized,
+    /// when needed, using the fs_lockctl() entry point"). Returns `true`
+    /// when a `Test` operation found the lock available, and for lock/unlock
+    /// operations on success.
+    fn fs_lockctl(&self, cred: &Cred, ino: Ino, owner: LockOwner, op: LockOp) -> FsResult<bool>;
+}
+
+/// Blanket delegation so `Arc<F>` is itself a `FileSystem`; lets layers hold
+/// `Arc<dyn FileSystem>` or concrete `Arc<MemFs>` interchangeably.
+impl<F: FileSystem + ?Sized> FileSystem for std::sync::Arc<F> {
+    fn root(&self) -> Ino {
+        (**self).root()
+    }
+    fn fs_lookup(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<Ino> {
+        (**self).fs_lookup(cred, parent, name)
+    }
+    fn fs_getattr(&self, cred: &Cred, ino: Ino) -> FsResult<FileAttr> {
+        (**self).fs_getattr(cred, ino)
+    }
+    fn fs_setattr(&self, cred: &Cred, ino: Ino, set: &SetAttr) -> FsResult<FileAttr> {
+        (**self).fs_setattr(cred, ino, set)
+    }
+    fn fs_create(&self, cred: &Cred, parent: Ino, name: &str, mode: u16) -> FsResult<Ino> {
+        (**self).fs_create(cred, parent, name, mode)
+    }
+    fn fs_mkdir(&self, cred: &Cred, parent: Ino, name: &str, mode: u16) -> FsResult<Ino> {
+        (**self).fs_mkdir(cred, parent, name, mode)
+    }
+    fn fs_open(&self, cred: &Cred, ino: Ino, flags: OpenFlags) -> FsResult<()> {
+        (**self).fs_open(cred, ino, flags)
+    }
+    fn fs_close(&self, cred: &Cred, ino: Ino, flags: OpenFlags, written: bool) -> FsResult<()> {
+        (**self).fs_close(cred, ino, flags, written)
+    }
+    fn fs_read(&self, cred: &Cred, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        (**self).fs_read(cred, ino, offset, buf)
+    }
+    fn fs_write(&self, cred: &Cred, ino: Ino, offset: u64, data: &[u8]) -> FsResult<usize> {
+        (**self).fs_write(cred, ino, offset, data)
+    }
+    fn fs_remove(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<()> {
+        (**self).fs_remove(cred, parent, name)
+    }
+    fn fs_rmdir(&self, cred: &Cred, parent: Ino, name: &str) -> FsResult<()> {
+        (**self).fs_rmdir(cred, parent, name)
+    }
+    fn fs_rename(
+        &self,
+        cred: &Cred,
+        parent: Ino,
+        name: &str,
+        new_parent: Ino,
+        new_name: &str,
+    ) -> FsResult<()> {
+        (**self).fs_rename(cred, parent, name, new_parent, new_name)
+    }
+    fn fs_readdir(&self, cred: &Cred, ino: Ino) -> FsResult<Vec<DirEntry>> {
+        (**self).fs_readdir(cred, ino)
+    }
+    fn fs_lockctl(&self, cred: &Cred, ino: Ino, owner: LockOwner, op: LockOp) -> FsResult<bool> {
+        (**self).fs_lockctl(cred, ino, owner, op)
+    }
+}

@@ -1,0 +1,964 @@
+//! The database facade: open/recover, DDL, transactions, checkpoints,
+//! observers, 2PC participant registry, and read-committed helpers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::device::StorageEnv;
+use crate::error::{DbError, DbResult};
+use crate::lock::LockManager;
+use crate::ops::RowOp;
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::table::TableStore;
+use crate::txn::Txn;
+use crate::value::{Row, Schema, Value};
+use crate::wal::{read_until, Lsn, TxId, Wal, WalRecord};
+
+/// Kind of DML statement reported to observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Insert,
+    Update,
+    Delete,
+}
+
+/// A DML event delivered to observers *during statement execution*, inside
+/// the transaction — the interception point the DataLinks engine uses to
+/// turn DATALINK column changes into link/unlink sub-transactions (§2.2).
+pub struct DmlEvent<'a> {
+    pub txid: TxId,
+    pub table: &'a str,
+    pub kind: OpKind,
+    pub key: &'a Value,
+    pub before: Option<&'a Row>,
+    pub after: Option<&'a Row>,
+}
+
+/// Synchronous DML hook. Returning `Err` vetoes the statement (the
+/// transaction stays alive; the statement reports [`DbError::Vetoed`]).
+pub trait DmlObserver: Send + Sync {
+    fn on_dml(&self, db: &Database, event: &DmlEvent<'_>) -> Result<(), String>;
+}
+
+/// A two-phase-commit participant enlisted in a host transaction. DLFM
+/// child agents implement this so link/unlink work commits and aborts with
+/// the host SQL transaction (§2.2).
+pub trait Participant: Send + Sync {
+    /// Phase one: durably promise to commit. An error aborts the host
+    /// transaction.
+    fn prepare(&self, txid: TxId) -> Result<(), String>;
+    /// Phase two, commit path. Must succeed (retries are internal).
+    fn commit(&self, txid: TxId);
+    /// Abort path; also called when the host transaction never prepared.
+    /// Must be idempotent.
+    fn abort(&self, txid: TxId);
+}
+
+/// A DML statement injected into a running transaction by an observer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectedDml {
+    /// Insert the row, or replace the existing row with the same key.
+    Upsert { table: String, row: Row },
+    /// Delete the row at `key`; a missing row is not an error.
+    Delete { table: String, key: Value },
+}
+
+/// Options for opening a database.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbOptions {
+    /// Replay the log only up to (and including) this LSN — point-in-time
+    /// restore (§4.4 coordinated backup and recovery).
+    pub stop_at_lsn: Option<Lsn>,
+}
+
+/// Participants enlisted in one transaction, keyed by deduplication name.
+type EnlistedParticipants = Vec<(String, Arc<dyn Participant>)>;
+
+pub(crate) struct DbInner {
+    pub(crate) env: StorageEnv,
+    pub(crate) wal: Wal,
+    pub(crate) tables: RwLock<HashMap<String, TableStore>>,
+    pub(crate) locks: LockManager,
+    next_txid: AtomicU64,
+    observers: RwLock<Vec<Arc<dyn DmlObserver>>>,
+    participants: Mutex<HashMap<TxId, EnlistedParticipants>>,
+    /// Serializes commit apply, checkpoints and backups.
+    pub(crate) commit_latch: Mutex<()>,
+    snapshot_gen: AtomicU64,
+    /// Participant-side transactions prepared but undecided at recovery.
+    in_doubt: Mutex<HashMap<TxId, Vec<RowOp>>>,
+    /// Coordinator-side outcomes for transactions that had participants.
+    outcomes: Mutex<HashMap<TxId, bool>>,
+    /// Observer-injected statements awaiting pickup by their transaction.
+    injected: Mutex<HashMap<TxId, Vec<InjectedDml>>>,
+}
+
+/// Handle to a database. Clone freely; all clones share state.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+/// Applies one logical op to the committed stores. Used by live commits and
+/// by log replay; replay trusts the log and skips validation.
+pub(crate) fn apply_op(tables: &mut HashMap<String, TableStore>, op: &RowOp) -> DbResult<()> {
+    match op {
+        RowOp::CreateTable(schema) => {
+            tables
+                .entry(schema.table.clone())
+                .or_insert_with(|| TableStore::new(schema.clone()));
+        }
+        RowOp::DropTable(name) => {
+            tables.remove(name);
+        }
+        RowOp::CreateIndex { table, column } => {
+            let store = tables
+                .get_mut(table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            store.create_index(column)?;
+        }
+        RowOp::Insert { table, row } => {
+            let store = tables
+                .get_mut(table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            store.apply_insert(row.clone());
+        }
+        RowOp::Update { table, key, row } => {
+            let store = tables
+                .get_mut(table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            store.apply_update(key, row.clone());
+        }
+        RowOp::Delete { table, key } => {
+            let store = tables
+                .get_mut(table)
+                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            store.apply_delete(key);
+        }
+    }
+    Ok(())
+}
+
+impl Database {
+    /// Opens (and recovers) a database from `env`.
+    pub fn open(env: StorageEnv) -> DbResult<Database> {
+        Self::open_with(env, DbOptions::default())
+    }
+
+    /// Opens with options; `stop_at_lsn` gives point-in-time restore.
+    pub fn open_with(env: StorageEnv, opts: DbOptions) -> DbResult<Database> {
+        let wal_dev = env.device("wal")?;
+        // Open the WAL first: it truncates any torn tail.
+        let (wal, _) = Wal::open(Arc::clone(&wal_dev))?;
+
+        // Full-log scan for transaction-resolution state. The log is never
+        // truncated, so outcome queries reach arbitrarily far back.
+        let records = read_until(&wal_dev, opts.stop_at_lsn)?;
+        let mut prepared: HashMap<TxId, Vec<RowOp>> = HashMap::new();
+        let mut decided: HashMap<TxId, bool> = HashMap::new();
+        let mut outcomes: HashMap<TxId, bool> = HashMap::new();
+        let mut max_txid: TxId = 0;
+        for (_, rec) in &records {
+            match rec {
+                WalRecord::Commit { txid, participants, .. } => {
+                    max_txid = max_txid.max(*txid);
+                    if !participants.is_empty() {
+                        outcomes.insert(*txid, true);
+                    }
+                }
+                WalRecord::Prepare { txid, ops } => {
+                    max_txid = max_txid.max(*txid);
+                    prepared.insert(*txid, ops.clone());
+                }
+                WalRecord::Decide { txid, commit } => {
+                    max_txid = max_txid.max(*txid);
+                    decided.insert(*txid, *commit);
+                }
+                _ => {}
+            }
+        }
+
+        // Choose the newest usable snapshot. For point-in-time restores the
+        // snapshot must not already contain state past the target LSN.
+        let mut base_lsn: Lsn = 0;
+        let mut generation: u64 = 0;
+        let mut tables: HashMap<String, TableStore> = HashMap::new();
+        for slot in ["snap.a", "snap.b"] {
+            let dev = env.device(slot)?;
+            if let Some(snap) = read_snapshot(&dev)? {
+                let usable = opts.stop_at_lsn.is_none_or(|stop| snap.base_lsn <= stop);
+                if usable && snap.generation >= generation {
+                    generation = snap.generation;
+                    base_lsn = snap.base_lsn;
+                    tables = snap.tables;
+                }
+            }
+        }
+
+        // Redo pass from the snapshot's base.
+        for (lsn, rec) in &records {
+            if *lsn < base_lsn {
+                continue;
+            }
+            match rec {
+                WalRecord::Ddl(op) => apply_op(&mut tables, op)?,
+                WalRecord::Commit { ops, .. } => {
+                    for op in ops {
+                        apply_op(&mut tables, op)?;
+                    }
+                }
+                WalRecord::Decide { txid, commit: true } => {
+                    if let Some(ops) = prepared.get(txid) {
+                        for op in ops {
+                            apply_op(&mut tables, op)?;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Prepared-but-undecided transactions are in doubt; the coordinator
+        // (DataLinks recovery orchestration) resolves them.
+        let in_doubt: HashMap<TxId, Vec<RowOp>> = prepared
+            .into_iter()
+            .filter(|(txid, _)| !decided.contains_key(txid))
+            .collect();
+
+        Ok(Database {
+            inner: Arc::new(DbInner {
+                env,
+                wal,
+                tables: RwLock::new(tables),
+                locks: LockManager::new(),
+                next_txid: AtomicU64::new(max_txid + 1),
+                observers: RwLock::new(Vec::new()),
+                participants: Mutex::new(HashMap::new()),
+                commit_latch: Mutex::new(()),
+                snapshot_gen: AtomicU64::new(generation),
+                in_doubt: Mutex::new(in_doubt),
+                outcomes: Mutex::new(outcomes),
+                injected: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    pub(crate) fn inner(&self) -> &DbInner {
+        &self.inner
+    }
+
+    // --- DDL (auto-committed) ----------------------------------------------
+
+    /// Creates a table. DDL is auto-committed and logged.
+    pub fn create_table(&self, schema: Schema) -> DbResult<()> {
+        let mut tables = self.inner.tables.write();
+        if tables.contains_key(&schema.table) {
+            return Err(DbError::TableExists(schema.table));
+        }
+        let op = RowOp::CreateTable(schema);
+        self.inner.wal.append(&WalRecord::Ddl(op.clone()))?;
+        apply_op(&mut tables, &op)
+    }
+
+    /// Creates a secondary index on `table.column`, back-filling it.
+    pub fn create_index(&self, table: &str, column: &str) -> DbResult<()> {
+        let mut tables = self.inner.tables.write();
+        let store = tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        if !store.schema.columns.iter().any(|c| c.name == column) {
+            return Err(DbError::NoSuchColumn(column.to_string()));
+        }
+        let op = RowOp::CreateIndex { table: table.to_string(), column: column.to_string() };
+        self.inner.wal.append(&WalRecord::Ddl(op))?;
+        store.create_index(column)
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&self, table: &str) -> DbResult<()> {
+        let mut tables = self.inner.tables.write();
+        if !tables.contains_key(table) {
+            return Err(DbError::NoSuchTable(table.to_string()));
+        }
+        let op = RowOp::DropTable(table.to_string());
+        self.inner.wal.append(&WalRecord::Ddl(op.clone()))?;
+        apply_op(&mut tables, &op)
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.tables.read().contains_key(name)
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn schema(&self, table: &str) -> DbResult<Schema> {
+        self.inner
+            .tables
+            .read()
+            .get(table)
+            .map(|s| s.schema.clone())
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))
+    }
+
+    // --- Transactions -------------------------------------------------------
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> Txn {
+        let id = self.inner.next_txid.fetch_add(1, Ordering::SeqCst);
+        Txn::new(self.clone(), id)
+    }
+
+    /// Registers a DML observer (e.g. the DataLinks engine).
+    pub fn register_observer(&self, obs: Arc<dyn DmlObserver>) {
+        self.inner.observers.write().push(obs);
+    }
+
+    pub(crate) fn notify_observers(&self, event: &DmlEvent<'_>) -> DbResult<()> {
+        let observers = self.inner.observers.read().clone();
+        for obs in observers {
+            obs.on_dml(self, event).map_err(DbError::Vetoed)?;
+        }
+        Ok(())
+    }
+
+    /// Queues a DML statement to be executed *by transaction `txid` itself*
+    /// right after the current statement completes. This is how an observer
+    /// (which only holds `&Database`) adds system-table maintenance to the
+    /// transaction that triggered it — the DataLinks engine keeps its
+    /// `__dl_meta` rows consistent "within the same transaction context"
+    /// (§4.3) through this hook. Injected statements take normal locks but
+    /// do not re-notify observers.
+    pub fn inject_dml(&self, txid: TxId, dml: InjectedDml) {
+        self.inner.injected.lock().entry(txid).or_default().push(dml);
+    }
+
+    pub(crate) fn take_injected(&self, txid: TxId) -> Vec<InjectedDml> {
+        self.inner
+            .injected
+            .lock()
+            .remove(&txid)
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn clear_injected(&self, txid: TxId) {
+        self.inner.injected.lock().remove(&txid);
+    }
+
+    /// Enlists a 2PC participant in transaction `txid`; `name` deduplicates
+    /// (one DLFM agent per file server per transaction).
+    pub fn enlist_participant(&self, txid: TxId, name: &str, p: Arc<dyn Participant>) {
+        let mut map = self.inner.participants.lock();
+        let list = map.entry(txid).or_default();
+        if !list.iter().any(|(n, _)| n == name) {
+            list.push((name.to_string(), p));
+        }
+    }
+
+    pub(crate) fn take_participants(&self, txid: TxId) -> Vec<(String, Arc<dyn Participant>)> {
+        self.inner.participants.lock().remove(&txid).unwrap_or_default()
+    }
+
+    pub(crate) fn record_outcome(&self, txid: TxId, committed: bool) {
+        self.inner.outcomes.lock().insert(txid, committed);
+    }
+
+    /// Did host transaction `txid` (which had participants) commit? `None`
+    /// means the log holds no commit decision — presumed abort.
+    pub fn coordinator_outcome(&self, txid: TxId) -> Option<bool> {
+        self.inner.outcomes.lock().get(&txid).copied()
+    }
+
+    // --- Participant-side in-doubt management -------------------------------
+
+    /// Transactions prepared here but undecided at recovery time.
+    pub fn in_doubt_txns(&self) -> Vec<TxId> {
+        let mut ids: Vec<TxId> = self.inner.in_doubt.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The redo ops of an in-doubt transaction. 2PC recovery orchestrators
+    /// inspect these to map a participant transaction back to its
+    /// coordinator transaction (the prepare payload is the only durable
+    /// record of that association, as in presumed-abort 2PC).
+    pub fn in_doubt_ops(&self, txid: TxId) -> Option<Vec<RowOp>> {
+        self.inner.in_doubt.lock().get(&txid).cloned()
+    }
+
+    /// Settles an in-doubt transaction per the coordinator's decision.
+    pub fn resolve_in_doubt(&self, txid: TxId, commit: bool) -> DbResult<()> {
+        let ops = self
+            .inner
+            .in_doubt
+            .lock()
+            .remove(&txid)
+            .ok_or_else(|| DbError::InvalidTxnState(format!("tx{txid} not in doubt")))?;
+        let _latch = self.inner.commit_latch.lock();
+        self.inner.wal.append(&WalRecord::Decide { txid, commit })?;
+        if commit {
+            let mut tables = self.inner.tables.write();
+            for op in &ops {
+                apply_op(&mut tables, op)?;
+            }
+        }
+        Ok(())
+    }
+
+    // --- Durability management ----------------------------------------------
+
+    /// The current tail LSN — the paper's "database state identifier".
+    pub fn state_id(&self) -> Lsn {
+        self.inner.wal.tail_lsn()
+    }
+
+    /// Writes a snapshot to the older ping-pong slot and logs a checkpoint.
+    /// Returns the new snapshot generation.
+    pub fn checkpoint(&self) -> DbResult<u64> {
+        let _latch = self.inner.commit_latch.lock();
+        let generation = self.inner.snapshot_gen.load(Ordering::SeqCst) + 1;
+        let slot = if generation.is_multiple_of(2) { "snap.b" } else { "snap.a" };
+        let dev = self.inner.env.device(slot)?;
+        let base_lsn = self.inner.wal.tail_lsn();
+        {
+            let tables = self.inner.tables.read();
+            write_snapshot(&dev, generation, base_lsn, &tables)?;
+        }
+        self.inner.wal.append(&WalRecord::Checkpoint { generation })?;
+        self.inner.snapshot_gen.store(generation, Ordering::SeqCst);
+        Ok(generation)
+    }
+
+    /// A moment-in-time backup: forks the storage environment under the
+    /// commit latch so the copy is transaction-consistent.
+    pub fn backup(&self) -> DbResult<StorageEnv> {
+        let _latch = self.inner.commit_latch.lock();
+        self.inner.env.fork()
+    }
+
+    // --- Read-committed helpers (no locks) -----------------------------------
+
+    /// Reads the committed row at `key` without taking locks. The committed
+    /// stores only change under the commit latch, so this is a consistent
+    /// read-committed point lookup.
+    pub fn get_committed(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
+        let tables = self.inner.tables.read();
+        let store = tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        Ok(store.get(key).cloned())
+    }
+
+    /// Scans committed rows without locks.
+    pub fn scan_committed(&self, table: &str) -> DbResult<Vec<Row>> {
+        let tables = self.inner.tables.read();
+        let store = tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        Ok(store.iter().map(|(_, row)| row.clone()).collect())
+    }
+
+    /// Committed row count.
+    pub fn count(&self, table: &str) -> DbResult<usize> {
+        let tables = self.inner.tables.read();
+        tables
+            .get(table)
+            .map(|s| s.len())
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))
+    }
+
+    /// Committed primary keys whose `column` equals `value` (uses the index
+    /// when present).
+    pub fn find_committed(&self, table: &str, column: &str, value: &Value) -> DbResult<Vec<Value>> {
+        let tables = self.inner.tables.read();
+        let store = tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        store.find_equal(column, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Column, ColumnType};
+
+    fn schema(name: &str) -> Schema {
+        Schema::new(
+            name,
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::nullable("val", ColumnType::Text),
+            ],
+            "id",
+        )
+        .unwrap()
+    }
+
+    fn row(id: i64, val: &str) -> Row {
+        vec![Value::Int(id), Value::Text(val.into())]
+    }
+
+    #[test]
+    fn ddl_roundtrip_through_recovery() {
+        let env = StorageEnv::mem();
+        {
+            let db = Database::open(env.clone()).unwrap();
+            db.create_table(schema("t")).unwrap();
+            db.create_index("t", "val").unwrap();
+            assert!(db.has_table("t"));
+            assert_eq!(db.create_table(schema("t")), Err(DbError::TableExists("t".into())));
+        }
+        let db = Database::open(env).unwrap();
+        assert!(db.has_table("t"));
+        assert_eq!(db.table_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn commit_survives_reopen_abort_does_not() {
+        let env = StorageEnv::mem();
+        {
+            let db = Database::open(env.clone()).unwrap();
+            db.create_table(schema("t")).unwrap();
+            let mut tx = db.begin();
+            tx.insert("t", row(1, "committed")).unwrap();
+            tx.commit().unwrap();
+
+            let mut tx2 = db.begin();
+            tx2.insert("t", row(2, "aborted")).unwrap();
+            tx2.abort();
+        }
+        let db = Database::open(env).unwrap();
+        assert_eq!(db.count("t").unwrap(), 1);
+        assert!(db.get_committed("t", &Value::Int(1)).unwrap().is_some());
+        assert!(db.get_committed("t", &Value::Int(2)).unwrap().is_none());
+    }
+
+    #[test]
+    fn checkpoint_then_more_commits_recovers_both() {
+        let env = StorageEnv::mem();
+        {
+            let db = Database::open(env.clone()).unwrap();
+            db.create_table(schema("t")).unwrap();
+            let mut tx = db.begin();
+            tx.insert("t", row(1, "before-ckpt")).unwrap();
+            tx.commit().unwrap();
+            db.checkpoint().unwrap();
+            let mut tx = db.begin();
+            tx.insert("t", row(2, "after-ckpt")).unwrap();
+            tx.commit().unwrap();
+        }
+        let db = Database::open(env).unwrap();
+        assert_eq!(db.count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn double_checkpoint_ping_pongs() {
+        let env = StorageEnv::mem();
+        let db = Database::open(env.clone()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let g1 = db.checkpoint().unwrap();
+        let g2 = db.checkpoint().unwrap();
+        assert_eq!(g2, g1 + 1);
+        let db2 = Database::open(env).unwrap();
+        assert!(db2.has_table("t"));
+    }
+
+    #[test]
+    fn point_in_time_restore_stops_at_lsn() {
+        let env = StorageEnv::mem();
+        let db = Database::open(env.clone()).unwrap();
+        db.create_table(schema("t")).unwrap();
+
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "first")).unwrap();
+        let lsn1 = tx.commit().unwrap();
+
+        let mut tx = db.begin();
+        tx.insert("t", row(2, "second")).unwrap();
+        tx.commit().unwrap();
+
+        let backup = db.backup().unwrap();
+        let restored =
+            Database::open_with(backup, DbOptions { stop_at_lsn: Some(lsn1) }).unwrap();
+        assert_eq!(restored.count("t").unwrap(), 1);
+        assert!(restored.get_committed("t", &Value::Int(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn point_in_time_restore_ignores_newer_snapshot() {
+        let env = StorageEnv::mem();
+        let db = Database::open(env.clone()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "early")).unwrap();
+        let lsn1 = tx.commit().unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(2, "late")).unwrap();
+        tx.commit().unwrap();
+        db.checkpoint().unwrap(); // snapshot now contains both rows
+
+        let backup = db.backup().unwrap();
+        let restored =
+            Database::open_with(backup, DbOptions { stop_at_lsn: Some(lsn1) }).unwrap();
+        assert_eq!(
+            restored.count("t").unwrap(),
+            1,
+            "restore must replay from scratch, not use the too-new snapshot"
+        );
+    }
+
+    #[test]
+    fn backup_is_isolated_from_later_writes() {
+        let env = StorageEnv::mem();
+        let db = Database::open(env).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.commit().unwrap();
+
+        let backup = db.backup().unwrap();
+
+        let mut tx = db.begin();
+        tx.insert("t", row(2, "b")).unwrap();
+        tx.commit().unwrap();
+
+        let restored = Database::open(backup).unwrap();
+        assert_eq!(restored.count("t").unwrap(), 1);
+    }
+
+    struct VetoAll;
+    impl DmlObserver for VetoAll {
+        fn on_dml(&self, _db: &Database, _event: &DmlEvent<'_>) -> Result<(), String> {
+            Err("computer says no".into())
+        }
+    }
+
+    #[test]
+    fn observer_vetoes_statement_but_txn_survives() {
+        let env = StorageEnv::mem();
+        let db = Database::open(env).unwrap();
+        db.create_table(schema("t")).unwrap();
+        db.register_observer(Arc::new(VetoAll));
+        let mut tx = db.begin();
+        let err = tx.insert("t", row(1, "x")).unwrap_err();
+        assert!(matches!(err, DbError::Vetoed(_)));
+        // The transaction is still usable for reads and commit.
+        assert!(tx.get("t", &Value::Int(1)).unwrap().is_none());
+        tx.commit().unwrap();
+    }
+
+    struct CountingObserver(std::sync::atomic::AtomicU64);
+    impl DmlObserver for CountingObserver {
+        fn on_dml(&self, _db: &Database, event: &DmlEvent<'_>) -> Result<(), String> {
+            // Only count DataLink-bearing tables to prove events carry data.
+            assert!(!event.table.is_empty());
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn observer_sees_before_and_after_images() {
+        struct ImageCheck;
+        impl DmlObserver for ImageCheck {
+            fn on_dml(&self, _db: &Database, e: &DmlEvent<'_>) -> Result<(), String> {
+                match e.kind {
+                    OpKind::Insert => {
+                        assert!(e.before.is_none());
+                        assert!(e.after.is_some());
+                    }
+                    OpKind::Update => {
+                        assert!(e.before.is_some());
+                        assert!(e.after.is_some());
+                    }
+                    OpKind::Delete => {
+                        assert!(e.before.is_some());
+                        assert!(e.after.is_none());
+                    }
+                }
+                Ok(())
+            }
+        }
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        db.register_observer(Arc::new(ImageCheck));
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.update("t", &Value::Int(1), row(1, "b")).unwrap();
+        tx.delete("t", &Value::Int(1)).unwrap();
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn observer_counts_all_dml() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let obs = Arc::new(CountingObserver(AtomicU64::new(0)));
+        db.register_observer(obs.clone());
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.update("t", &Value::Int(1), row(1, "b")).unwrap();
+        tx.delete("t", &Value::Int(1)).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(obs.0.load(Ordering::Relaxed), 3);
+    }
+
+    struct MetaMaintainer;
+    impl DmlObserver for MetaMaintainer {
+        fn on_dml(&self, db: &Database, e: &DmlEvent<'_>) -> Result<(), String> {
+            if e.table != "t" {
+                return Ok(());
+            }
+            match e.kind {
+                OpKind::Insert | OpKind::Update => db.inject_dml(
+                    e.txid,
+                    InjectedDml::Upsert {
+                        table: "meta".into(),
+                        row: vec![e.key.clone(), Value::Int(1)],
+                    },
+                ),
+                OpKind::Delete => db.inject_dml(
+                    e.txid,
+                    InjectedDml::Delete { table: "meta".into(), key: e.key.clone() },
+                ),
+            }
+            Ok(())
+        }
+    }
+
+    fn meta_schema() -> Schema {
+        Schema::new(
+            "meta",
+            vec![Column::new("id", ColumnType::Int), Column::new("v", ColumnType::Int)],
+            "id",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn injected_dml_rides_the_same_transaction() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        db.create_table(meta_schema()).unwrap();
+        db.register_observer(Arc::new(MetaMaintainer));
+
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        // Same-txn visibility of the injected row.
+        assert!(tx.get("meta", &Value::Int(1)).unwrap().is_some());
+        tx.commit().unwrap();
+        assert_eq!(db.count("meta").unwrap(), 1);
+
+        // Abort discards both the statement and the injected maintenance.
+        let mut tx = db.begin();
+        tx.insert("t", row(2, "b")).unwrap();
+        tx.abort();
+        assert!(db.get_committed("meta", &Value::Int(2)).unwrap().is_none());
+
+        // Delete injects a meta delete.
+        let mut tx = db.begin();
+        tx.delete("t", &Value::Int(1)).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(db.count("meta").unwrap(), 0);
+    }
+
+    #[test]
+    fn injected_upsert_replaces_existing_row() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        db.create_table(meta_schema()).unwrap();
+        db.register_observer(Arc::new(MetaMaintainer));
+        let mut tx = db.begin();
+        tx.insert("t", row(5, "x")).unwrap();
+        tx.update("t", &Value::Int(5), row(5, "y")).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(db.count("meta").unwrap(), 1);
+    }
+
+    // --- 2PC -----------------------------------------------------------------
+
+    #[derive(Default)]
+    struct FakeParticipant {
+        prepared: AtomicU64,
+        committed: AtomicU64,
+        aborted: AtomicU64,
+        fail_prepare: bool,
+    }
+    impl Participant for FakeParticipant {
+        fn prepare(&self, _txid: TxId) -> Result<(), String> {
+            if self.fail_prepare {
+                return Err("participant is unwell".into());
+            }
+            self.prepared.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        fn commit(&self, _txid: TxId) {
+            self.committed.fetch_add(1, Ordering::SeqCst);
+        }
+        fn abort(&self, _txid: TxId) {
+            self.aborted.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn two_phase_commit_drives_participants() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let p = Arc::new(FakeParticipant::default());
+        let mut tx = db.begin();
+        let txid = tx.id();
+        db.enlist_participant(txid, "dlfm@srv1", p.clone());
+        tx.insert("t", row(1, "x")).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(p.prepared.load(Ordering::SeqCst), 1);
+        assert_eq!(p.committed.load(Ordering::SeqCst), 1);
+        assert_eq!(p.aborted.load(Ordering::SeqCst), 0);
+        assert_eq!(db.coordinator_outcome(txid), Some(true));
+    }
+
+    #[test]
+    fn prepare_failure_aborts_everything() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let good = Arc::new(FakeParticipant::default());
+        let bad = Arc::new(FakeParticipant { fail_prepare: true, ..Default::default() });
+        let mut tx = db.begin();
+        let txid = tx.id();
+        db.enlist_participant(txid, "good", good.clone());
+        db.enlist_participant(txid, "bad", bad.clone());
+        tx.insert("t", row(1, "x")).unwrap();
+        let err = tx.commit().unwrap_err();
+        assert!(matches!(err, DbError::PrepareFailed(_)));
+        assert_eq!(good.aborted.load(Ordering::SeqCst), 1);
+        assert_eq!(bad.aborted.load(Ordering::SeqCst), 1);
+        assert_eq!(db.count("t").unwrap(), 0);
+        // At runtime the abort is recorded explicitly; only after a crash
+        // does an unlogged abort become "presumed abort" (None) — covered by
+        // coordinator_outcome_survives_recovery below.
+        assert_eq!(db.coordinator_outcome(txid), Some(false));
+    }
+
+    #[test]
+    fn abort_notifies_participants() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let p = Arc::new(FakeParticipant::default());
+        let mut tx = db.begin();
+        db.enlist_participant(tx.id(), "p", p.clone());
+        tx.insert("t", row(1, "x")).unwrap();
+        tx.abort();
+        assert_eq!(p.aborted.load(Ordering::SeqCst), 1);
+        assert_eq!(p.prepared.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn coordinator_outcome_survives_recovery() {
+        let env = StorageEnv::mem();
+        let txid;
+        {
+            let db = Database::open(env.clone()).unwrap();
+            db.create_table(schema("t")).unwrap();
+            let p = Arc::new(FakeParticipant::default());
+            let mut tx = db.begin();
+            txid = tx.id();
+            db.enlist_participant(txid, "dlfm", p);
+            tx.insert("t", row(1, "x")).unwrap();
+            tx.commit().unwrap();
+        }
+        let db = Database::open(env).unwrap();
+        assert_eq!(db.coordinator_outcome(txid), Some(true));
+        assert_eq!(db.coordinator_outcome(txid + 100), None);
+    }
+
+    // --- participant-side prepare/decide --------------------------------------
+
+    #[test]
+    fn prepared_txn_is_in_doubt_after_crash() {
+        let env = StorageEnv::mem();
+        let txid;
+        {
+            let db = Database::open(env.clone()).unwrap();
+            db.create_table(schema("t")).unwrap();
+            let mut tx = db.begin();
+            txid = tx.id();
+            tx.insert("t", row(1, "pending")).unwrap();
+            tx.prepare().unwrap();
+            std::mem::forget(tx); // crash: no decision ever logged
+        }
+        let db = Database::open(env.clone()).unwrap();
+        assert_eq!(db.in_doubt_txns(), vec![txid]);
+        assert_eq!(db.count("t").unwrap(), 0, "undecided ops are not applied");
+
+        db.resolve_in_doubt(txid, true).unwrap();
+        assert_eq!(db.count("t").unwrap(), 1);
+        assert!(db.in_doubt_txns().is_empty());
+
+        // The resolution is durable.
+        let db2 = Database::open(env).unwrap();
+        assert_eq!(db2.count("t").unwrap(), 1);
+        assert!(db2.in_doubt_txns().is_empty());
+    }
+
+    #[test]
+    fn in_doubt_resolved_as_abort_discards_ops() {
+        let env = StorageEnv::mem();
+        let txid;
+        {
+            let db = Database::open(env.clone()).unwrap();
+            db.create_table(schema("t")).unwrap();
+            let mut tx = db.begin();
+            txid = tx.id();
+            tx.insert("t", row(1, "pending")).unwrap();
+            tx.prepare().unwrap();
+            std::mem::forget(tx);
+        }
+        let db = Database::open(env.clone()).unwrap();
+        db.resolve_in_doubt(txid, false).unwrap();
+        assert_eq!(db.count("t").unwrap(), 0);
+        let db2 = Database::open(env).unwrap();
+        assert_eq!(db2.count("t").unwrap(), 0);
+        assert!(db2.in_doubt_txns().is_empty());
+    }
+
+    #[test]
+    fn prepared_then_committed_txn_recovers_committed() {
+        let env = StorageEnv::mem();
+        {
+            let db = Database::open(env.clone()).unwrap();
+            db.create_table(schema("t")).unwrap();
+            let mut tx = db.begin();
+            tx.insert("t", row(1, "x")).unwrap();
+            tx.prepare().unwrap();
+            tx.commit_prepared().unwrap();
+        }
+        let db = Database::open(env).unwrap();
+        assert_eq!(db.count("t").unwrap(), 1);
+        assert!(db.in_doubt_txns().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_with_pending_prepare_still_recovers_decision() {
+        // Prepare, checkpoint (snapshot excludes undecided ops), decide
+        // commit, crash: replay must apply the ops via the prepared map from
+        // the full-log scan even though Prepare predates the snapshot base.
+        let env = StorageEnv::mem();
+        {
+            let db = Database::open(env.clone()).unwrap();
+            db.create_table(schema("t")).unwrap();
+            let mut tx = db.begin();
+            tx.insert("t", row(1, "x")).unwrap();
+            tx.prepare().unwrap();
+            db.checkpoint().unwrap();
+            tx.commit_prepared().unwrap();
+        }
+        let db = Database::open(env).unwrap();
+        assert_eq!(db.count("t").unwrap(), 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Storage devices and environments.
+//!
+//! A [`Device`] is a flat, random-access byte store — the abstraction of one
+//! disk file. A [`StorageEnv`] hands out named devices ("wal", "snap.a",
+//! "snap.b") and can *fork* itself, which is how backups and simulated
+//! crashes work: a fork is a moment-in-time copy of the durable state, and a
+//! crash is simply re-opening a database from its (still live) environment
+//! while dropping all in-memory state.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{DbError, DbResult};
+
+/// A flat byte store with positional I/O, the moral equivalent of a file.
+pub trait Device: Send + Sync {
+    /// Reads up to `buf.len()` bytes at `offset`; returns bytes read (short
+    /// reads only at end of device).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> DbResult<usize>;
+    /// Writes all of `data` at `offset`, extending the device as needed.
+    fn write_at(&self, offset: u64, data: &[u8]) -> DbResult<()>;
+    /// Current device length in bytes.
+    fn len(&self) -> DbResult<u64>;
+    /// True when the device holds no bytes.
+    fn is_empty(&self) -> DbResult<bool> {
+        Ok(self.len()? == 0)
+    }
+    /// Durably flushes buffered writes.
+    fn sync(&self) -> DbResult<()>;
+    /// Truncates or extends to exactly `len` bytes.
+    fn set_len(&self, len: u64) -> DbResult<()>;
+}
+
+/// In-memory device. The backing vector survives as long as the Arc does,
+/// which makes it the "disk" in crash-simulation tests.
+#[derive(Debug, Default)]
+pub struct MemDevice {
+    data: RwLock<Vec<u8>>,
+}
+
+impl MemDevice {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deep copy of the current contents (fork support).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.data.read().clone()
+    }
+
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        MemDevice { data: RwLock::new(bytes) }
+    }
+}
+
+impl Device for MemDevice {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> DbResult<usize> {
+        let data = self.data.read();
+        let off = offset as usize;
+        if off >= data.len() {
+            return Ok(0);
+        }
+        let n = buf.len().min(data.len() - off);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        Ok(n)
+    }
+
+    fn write_at(&self, offset: u64, bytes: &[u8]) -> DbResult<()> {
+        let mut data = self.data.write();
+        let off = offset as usize;
+        let end = off + bytes.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[off..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    fn len(&self) -> DbResult<u64> {
+        Ok(self.data.read().len() as u64)
+    }
+
+    fn sync(&self) -> DbResult<()> {
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> DbResult<()> {
+        self.data.write().resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+/// A device backed by an operating-system file.
+pub struct FileDevice {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl FileDevice {
+    pub fn open(path: PathBuf) -> DbResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| DbError::Io(format!("open {path:?}: {e}")))?;
+        Ok(FileDevice { file: Mutex::new(file), path })
+    }
+
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+}
+
+impl Device for FileDevice {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> DbResult<usize> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(offset))?;
+        let mut total = 0;
+        while total < buf.len() {
+            match file.read(&mut buf[total..])? {
+                0 => break,
+                n => total += n,
+            }
+        }
+        Ok(total)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> DbResult<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(data)?;
+        Ok(())
+    }
+
+    fn len(&self) -> DbResult<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+
+    fn sync(&self) -> DbResult<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> DbResult<()> {
+        self.file.lock().set_len(len)?;
+        Ok(())
+    }
+}
+
+/// Provides the named devices a database needs and supports forking.
+#[derive(Clone)]
+pub enum StorageEnv {
+    /// Devices held in memory, shared through Arcs.
+    Mem(Arc<RwLock<HashMap<String, Arc<MemDevice>>>>),
+    /// Devices are files inside a directory.
+    Dir(PathBuf),
+}
+
+impl StorageEnv {
+    /// A fresh in-memory environment.
+    pub fn mem() -> Self {
+        StorageEnv::Mem(Arc::new(RwLock::new(HashMap::new())))
+    }
+
+    /// A directory-backed environment (created if missing).
+    pub fn dir(path: PathBuf) -> DbResult<Self> {
+        std::fs::create_dir_all(&path)
+            .map_err(|e| DbError::Io(format!("create_dir_all {path:?}: {e}")))?;
+        Ok(StorageEnv::Dir(path))
+    }
+
+    /// Returns the named device, creating it empty when absent.
+    pub fn device(&self, name: &str) -> DbResult<Arc<dyn Device>> {
+        match self {
+            StorageEnv::Mem(map) => {
+                if let Some(dev) = map.read().get(name) {
+                    return Ok(Arc::clone(dev) as Arc<dyn Device>);
+                }
+                let mut w = map.write();
+                let dev = w
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(MemDevice::new()));
+                Ok(Arc::clone(dev) as Arc<dyn Device>)
+            }
+            StorageEnv::Dir(dir) => {
+                let dev = FileDevice::open(dir.join(name))?;
+                Ok(Arc::new(dev))
+            }
+        }
+    }
+
+    /// A moment-in-time deep copy of all devices — the backup primitive.
+    ///
+    /// The caller is responsible for quiescing writers (the database takes
+    /// its commit latch around this).
+    pub fn fork(&self) -> DbResult<StorageEnv> {
+        match self {
+            StorageEnv::Mem(map) => {
+                let src = map.read();
+                let mut dst = HashMap::new();
+                for (name, dev) in src.iter() {
+                    dst.insert(
+                        name.clone(),
+                        Arc::new(MemDevice::from_bytes(dev.snapshot())),
+                    );
+                }
+                Ok(StorageEnv::Mem(Arc::new(RwLock::new(dst))))
+            }
+            StorageEnv::Dir(dir) => {
+                let dst = dir.with_extension(format!(
+                    "fork-{}",
+                    std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_nanos())
+                        .unwrap_or(0)
+                ));
+                std::fs::create_dir_all(&dst)
+                    .map_err(|e| DbError::Io(format!("fork dir: {e}")))?;
+                for entry in std::fs::read_dir(dir).map_err(|e| DbError::Io(e.to_string()))? {
+                    let entry = entry.map_err(|e| DbError::Io(e.to_string()))?;
+                    if entry.path().is_file() {
+                        std::fs::copy(entry.path(), dst.join(entry.file_name()))
+                            .map_err(|e| DbError::Io(format!("fork copy: {e}")))?;
+                    }
+                }
+                Ok(StorageEnv::Dir(dst))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_device_positional_io() {
+        let d = MemDevice::new();
+        d.write_at(4, b"abc").unwrap();
+        assert_eq!(d.len().unwrap(), 7);
+        let mut buf = [9u8; 7];
+        assert_eq!(d.read_at(0, &mut buf).unwrap(), 7);
+        assert_eq!(&buf, &[0, 0, 0, 0, b'a', b'b', b'c']);
+        // Read past end.
+        assert_eq!(d.read_at(100, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn mem_device_set_len() {
+        let d = MemDevice::new();
+        d.write_at(0, b"abcdef").unwrap();
+        d.set_len(2).unwrap();
+        assert_eq!(d.len().unwrap(), 2);
+        let mut buf = [0u8; 6];
+        assert_eq!(d.read_at(0, &mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn env_returns_same_mem_device() {
+        let env = StorageEnv::mem();
+        let a = env.device("wal").unwrap();
+        a.write_at(0, b"log").unwrap();
+        let b = env.device("wal").unwrap();
+        let mut buf = [0u8; 3];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"log");
+    }
+
+    #[test]
+    fn fork_is_isolated() {
+        let env = StorageEnv::mem();
+        env.device("wal").unwrap().write_at(0, b"one").unwrap();
+        let fork = env.fork().unwrap();
+        env.device("wal").unwrap().write_at(0, b"two").unwrap();
+
+        let mut buf = [0u8; 3];
+        fork.device("wal").unwrap().read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"one", "fork must not see post-fork writes");
+    }
+
+    #[test]
+    fn file_device_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("dl-minidb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let env = StorageEnv::dir(dir.clone()).unwrap();
+        let d = env.device("wal").unwrap();
+        d.write_at(0, b"hello").unwrap();
+        d.sync().unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(d.read_at(0, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! Embedded transactional relational engine — the host-RDBMS substrate for
+//! the DataLinks reproduction.
+//!
+//! The ICDE 2001 paper assumes DB2 UDB underneath: transactional DML on
+//! tables holding DATALINK columns, sub-transaction (two-phase commit)
+//! enrollment of the DataLinks File Manager, log sequence numbers usable as
+//! *database state identifiers* for coordinated file archiving (§4.4), and
+//! point-in-time restore. `dl-minidb` provides those facilities:
+//!
+//! * **Storage model** — committed table data lives in memory; durability
+//!   comes from a redo-only write-ahead log plus ping-pong snapshots
+//!   (deferred-update architecture: transactions buffer writes privately and
+//!   apply them at commit, so recovery never needs undo).
+//! * **Concurrency control** — strict two-phase locking with table-level
+//!   intent locks, row-level S/X locks, and wait-for-graph deadlock
+//!   detection.
+//! * **Transactions** — `begin`/`commit`/`abort`, plus an explicit
+//!   `prepare`/`commit_prepared` path so a database instance can act as a
+//!   2PC *participant* (DLFM's repository does exactly this, per the
+//!   companion SIGMOD 2000 paper "DLFM: A Transactional Resource Manager").
+//! * **Coordinator hooks** — external resource managers enlist in a host
+//!   transaction via [`Participant`] and are driven through
+//!   prepare/commit/abort; the commit decision is logged before participants
+//!   are told to commit, and recovery surfaces decided-but-unacknowledged
+//!   transactions for the orchestrator to finish.
+//! * **DML observers** — synchronous hooks invoked during statement
+//!   execution (the seam where the DataLinks engine intercepts DATALINK
+//!   column changes and turns them into link/unlink sub-transactions).
+//! * **Backup / point-in-time restore** — fork the storage environment and
+//!   replay the log up to a chosen LSN (§4.4's coordinated restore).
+
+pub mod backup;
+pub mod codec;
+pub mod db;
+pub mod device;
+pub mod error;
+pub mod lock;
+pub mod ops;
+pub mod snapshot;
+pub mod table;
+pub mod txn;
+pub mod value;
+pub mod wal;
+
+pub use db::{Database, DbOptions, DmlEvent, DmlObserver, InjectedDml, OpKind, Participant};
+pub use device::{Device, FileDevice, MemDevice, StorageEnv};
+pub use error::{DbError, DbResult};
+pub use lock::LockMode;
+pub use ops::RowOp;
+pub use txn::Txn;
+pub use value::{Column, ColumnType, Row, Schema, Value};
+pub use wal::Lsn;

@@ -1,0 +1,765 @@
+//! Transactions: deferred-update write sets, strict 2PL, two commit shapes
+//! (coordinator commit and participant prepare/decide).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::db::{apply_op, Database, DmlEvent, InjectedDml, OpKind};
+use crate::error::{DbError, DbResult};
+use crate::lock::{LockMode, LockRes};
+use crate::ops::RowOp;
+use crate::value::{Row, Value};
+use crate::wal::{Lsn, TxId, WalRecord};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Prepared,
+    Finished,
+}
+
+/// An open transaction. Writes are buffered privately (deferred update) and
+/// applied to the shared stores at commit, after the commit record is
+/// durable. Dropping an unfinished transaction aborts it.
+pub struct Txn {
+    db: Database,
+    id: TxId,
+    /// (table, key) -> pending row (`None` = deleted). Read-your-own-writes.
+    overlay: HashMap<(String, Value), Option<Row>>,
+    /// Ordered redo list, exactly what the commit record will carry.
+    ops: Vec<RowOp>,
+    state: TxnState,
+}
+
+impl Txn {
+    pub(crate) fn new(db: Database, id: TxId) -> Self {
+        Txn { db, id, overlay: HashMap::new(), ops: Vec::new(), state: TxnState::Active }
+    }
+
+    /// This transaction's id (used to enlist participants).
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// Number of buffered operations (diagnostics).
+    pub fn pending_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    fn ensure_active(&self) -> DbResult<()> {
+        if self.state == TxnState::Active {
+            Ok(())
+        } else {
+            Err(DbError::InvalidTxnState(format!(
+                "tx{} is {:?}, not active",
+                self.id, self.state
+            )))
+        }
+    }
+
+    /// Committed-or-buffered current image of a row, assuming locks held.
+    fn current(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
+        if let Some(pending) = self.overlay.get(&(table.to_string(), key.clone())) {
+            return Ok(pending.clone());
+        }
+        self.db.get_committed(table, key)
+    }
+
+    // --- Reads ---------------------------------------------------------------
+
+    /// Point read under a shared row lock (serializable read).
+    pub fn get(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
+        self.ensure_active()?;
+        let locks = &self.db.inner().locks;
+        locks.lock(self.id, &LockRes::Table(table.to_string()), LockMode::IntentShared)?;
+        locks.lock(self.id, &LockRes::Row(table.to_string(), key.clone()), LockMode::Shared)?;
+        self.current(table, key)
+    }
+
+    /// Point read under an exclusive row lock; avoids the S→X upgrade
+    /// deadlock in read-modify-write cycles.
+    pub fn get_for_update(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
+        self.ensure_active()?;
+        let locks = &self.db.inner().locks;
+        locks.lock(self.id, &LockRes::Table(table.to_string()), LockMode::IntentExclusive)?;
+        locks.lock(self.id, &LockRes::Row(table.to_string(), key.clone()), LockMode::Exclusive)?;
+        self.current(table, key)
+    }
+
+    /// Full scan under a table shared lock (blocks concurrent writers, so
+    /// no phantoms). Rows are returned in primary-key order and reflect this
+    /// transaction's own pending writes.
+    pub fn scan(&self, table: &str) -> DbResult<Vec<Row>> {
+        self.ensure_active()?;
+        let locks = &self.db.inner().locks;
+        locks.lock(self.id, &LockRes::Table(table.to_string()), LockMode::Shared)?;
+        let committed = self.db.scan_committed(table)?;
+        let schema = self.db.schema(table)?;
+        let mut merged: BTreeMap<Value, Row> = committed
+            .into_iter()
+            .map(|row| (schema.key_of(&row), row))
+            .collect();
+        for ((t, key), pending) in &self.overlay {
+            if t != table {
+                continue;
+            }
+            match pending {
+                Some(row) => {
+                    merged.insert(key.clone(), row.clone());
+                }
+                None => {
+                    merged.remove(key);
+                }
+            }
+        }
+        Ok(merged.into_values().collect())
+    }
+
+    /// Scan filtered by a predicate.
+    pub fn select(&self, table: &str, pred: impl Fn(&Row) -> bool) -> DbResult<Vec<Row>> {
+        Ok(self.scan(table)?.into_iter().filter(|r| pred(r)).collect())
+    }
+
+    /// Primary keys with `column == value`, index-accelerated when possible.
+    /// Takes a table shared lock (same phantom protection as a scan).
+    pub fn find_equal(&self, table: &str, column: &str, value: &Value) -> DbResult<Vec<Value>> {
+        self.ensure_active()?;
+        let locks = &self.db.inner().locks;
+        locks.lock(self.id, &LockRes::Table(table.to_string()), LockMode::Shared)?;
+        let mut keys = self.db.find_committed(table, column, value)?;
+        // Fold in pending writes.
+        let schema = self.db.schema(table)?;
+        let col = schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
+        for ((t, key), pending) in &self.overlay {
+            if t != table {
+                continue;
+            }
+            match pending {
+                Some(row) if &row[col] == value => {
+                    if !keys.contains(key) {
+                        keys.push(key.clone());
+                    }
+                }
+                _ => keys.retain(|k| k != key),
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    // --- Writes --------------------------------------------------------------
+
+    fn write_locks(&self, table: &str, key: &Value) -> DbResult<()> {
+        let locks = &self.db.inner().locks;
+        locks.lock(self.id, &LockRes::Table(table.to_string()), LockMode::IntentExclusive)?;
+        locks.lock(self.id, &LockRes::Row(table.to_string(), key.clone()), LockMode::Exclusive)
+    }
+
+    /// Inserts a row.
+    pub fn insert(&mut self, table: &str, row: Row) -> DbResult<()> {
+        self.ensure_active()?;
+        let schema = self.db.schema(table)?;
+        schema.validate(&row).map_err(DbError::SchemaMismatch)?;
+        let key = schema.key_of(&row);
+        self.write_locks(table, &key)?;
+        if self.current(table, &key)?.is_some() {
+            return Err(DbError::DuplicateKey(key.to_string()));
+        }
+        self.observe(&DmlEvent {
+            txid: self.id,
+            table,
+            kind: OpKind::Insert,
+            key: &key,
+            before: None,
+            after: Some(&row),
+        })?;
+        self.overlay
+            .insert((table.to_string(), key.clone()), Some(row.clone()));
+        self.ops.push(RowOp::Insert { table: table.to_string(), row });
+        self.apply_injected()
+    }
+
+    /// Replaces the row at `key` with `row` (primary key must be unchanged).
+    pub fn update(&mut self, table: &str, key: &Value, row: Row) -> DbResult<()> {
+        self.ensure_active()?;
+        let schema = self.db.schema(table)?;
+        schema.validate(&row).map_err(DbError::SchemaMismatch)?;
+        if &schema.key_of(&row) != key {
+            return Err(DbError::SchemaMismatch(
+                "primary key is immutable; delete and re-insert instead".into(),
+            ));
+        }
+        self.write_locks(table, key)?;
+        let before = self.current(table, key)?.ok_or(DbError::RowNotFound)?;
+        self.observe(&DmlEvent {
+            txid: self.id,
+            table,
+            kind: OpKind::Update,
+            key,
+            before: Some(&before),
+            after: Some(&row),
+        })?;
+        self.overlay
+            .insert((table.to_string(), key.clone()), Some(row.clone()));
+        self.ops
+            .push(RowOp::Update { table: table.to_string(), key: key.clone(), row });
+        self.apply_injected()
+    }
+
+    /// Updates a single column of the row at `key`.
+    pub fn update_column(
+        &mut self,
+        table: &str,
+        key: &Value,
+        column: &str,
+        value: Value,
+    ) -> DbResult<()> {
+        self.ensure_active()?;
+        let schema = self.db.schema(table)?;
+        let col = schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
+        self.write_locks(table, key)?;
+        let mut row = self.current(table, key)?.ok_or(DbError::RowNotFound)?;
+        row[col] = value;
+        self.update(table, key, row)
+    }
+
+    /// Deletes the row at `key`.
+    pub fn delete(&mut self, table: &str, key: &Value) -> DbResult<()> {
+        self.ensure_active()?;
+        self.db.schema(table)?; // surface NoSuchTable before locking
+        self.write_locks(table, key)?;
+        let before = self.current(table, key)?.ok_or(DbError::RowNotFound)?;
+        self.observe(&DmlEvent {
+            txid: self.id,
+            table,
+            kind: OpKind::Delete,
+            key,
+            before: Some(&before),
+            after: None,
+        })?;
+        self.overlay.insert((table.to_string(), key.clone()), None);
+        self.ops
+            .push(RowOp::Delete { table: table.to_string(), key: key.clone() });
+        self.apply_injected()
+    }
+
+    /// Notifies observers; a veto clears any statements they injected.
+    fn observe(&mut self, event: &DmlEvent<'_>) -> DbResult<()> {
+        match self.db.notify_observers(event) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.db.clear_injected(self.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes observer-injected statements as part of this transaction:
+    /// normal locking and logging, but no observer re-notification.
+    fn apply_injected(&mut self) -> DbResult<()> {
+        let injected = self.db.take_injected(self.id);
+        for dml in injected {
+            match dml {
+                InjectedDml::Upsert { table, row } => {
+                    let schema = self.db.schema(&table)?;
+                    schema.validate(&row).map_err(DbError::SchemaMismatch)?;
+                    let key = schema.key_of(&row);
+                    self.write_locks(&table, &key)?;
+                    let exists = self.current(&table, &key)?.is_some();
+                    self.overlay
+                        .insert((table.clone(), key.clone()), Some(row.clone()));
+                    self.ops.push(if exists {
+                        RowOp::Update { table, key, row }
+                    } else {
+                        RowOp::Insert { table, row }
+                    });
+                }
+                InjectedDml::Delete { table, key } => {
+                    self.write_locks(&table, &key)?;
+                    if self.current(&table, &key)?.is_some() {
+                        self.overlay.insert((table.clone(), key.clone()), None);
+                        self.ops.push(RowOp::Delete { table, key });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- Coordinator commit ----------------------------------------------------
+
+    /// Commits: prepares any enlisted participants, logs the commit decision
+    /// (with redo ops), applies to the shared stores, then completes the
+    /// participants. Returns the commit LSN — the database state identifier
+    /// the archive tags file versions with (§4.4).
+    pub fn commit(mut self) -> DbResult<Lsn> {
+        self.ensure_active()?;
+        let participants = self.db.take_participants(self.id);
+
+        // Phase one.
+        for (name, p) in &participants {
+            if let Err(e) = p.prepare(self.id) {
+                for (_, q) in &participants {
+                    q.abort(self.id);
+                }
+                self.db.record_outcome(self.id, false);
+                self.finish_local();
+                return Err(DbError::PrepareFailed(format!("{name}: {e}")));
+            }
+        }
+
+        // Decision + apply. Empty read-only transactions skip the log write.
+        let lsn = if self.ops.is_empty() && participants.is_empty() {
+            self.db.inner().wal.tail_lsn()
+        } else {
+            let names: Vec<String> = participants.iter().map(|(n, _)| n.clone()).collect();
+            let inner = self.db.inner();
+            let _latch = inner.commit_latch.lock();
+            let lsn = inner.wal.append(&WalRecord::Commit {
+                txid: self.id,
+                participants: names,
+                ops: self.ops.clone(),
+            })?;
+            let mut tables = inner.tables.write();
+            for op in &self.ops {
+                apply_op(&mut tables, op)?;
+            }
+            lsn
+        };
+
+        if !participants.is_empty() {
+            self.db.record_outcome(self.id, true);
+        }
+        // Phase two.
+        for (_, p) in &participants {
+            p.commit(self.id);
+        }
+        self.finish_local();
+        Ok(lsn)
+    }
+
+    /// Aborts: participants are told to roll back, locks released, buffered
+    /// writes discarded. Never fails.
+    pub fn abort(mut self) {
+        self.abort_in_place();
+    }
+
+    fn abort_in_place(&mut self) {
+        if self.state == TxnState::Finished {
+            return;
+        }
+        let participants = self.db.take_participants(self.id);
+        for (_, p) in &participants {
+            p.abort(self.id);
+        }
+        if !participants.is_empty() {
+            self.db.record_outcome(self.id, false);
+        }
+        self.finish_local();
+    }
+
+    fn finish_local(&mut self) {
+        self.db.clear_injected(self.id);
+        self.db.inner().locks.release_all(self.id);
+        self.overlay.clear();
+        self.state = TxnState::Finished;
+    }
+
+    // --- Participant-side prepare/decide ---------------------------------------
+
+    /// Durably prepares this transaction (2PC phase one, participant role):
+    /// the redo ops hit the log, locks are retained, and the transaction can
+    /// only finish via [`Txn::commit_prepared`] / [`Txn::abort_prepared`].
+    pub fn prepare(&mut self) -> DbResult<()> {
+        self.ensure_active()?;
+        self.db
+            .inner()
+            .wal
+            .append(&WalRecord::Prepare { txid: self.id, ops: self.ops.clone() })?;
+        self.state = TxnState::Prepared;
+        Ok(())
+    }
+
+    /// Commits a prepared transaction (2PC phase two).
+    pub fn commit_prepared(mut self) -> DbResult<Lsn> {
+        if self.state != TxnState::Prepared {
+            return Err(DbError::InvalidTxnState(format!(
+                "tx{} is {:?}, not prepared",
+                self.id, self.state
+            )));
+        }
+        let lsn = {
+            let inner = self.db.inner();
+            let _latch = inner.commit_latch.lock();
+            let lsn = inner
+                .wal
+                .append(&WalRecord::Decide { txid: self.id, commit: true })?;
+            let mut tables = inner.tables.write();
+            for op in &self.ops {
+                apply_op(&mut tables, op)?;
+            }
+            lsn
+        };
+        self.finish_local();
+        Ok(lsn)
+    }
+
+    /// Rolls back a prepared transaction (2PC phase two, abort path).
+    pub fn abort_prepared(mut self) -> DbResult<()> {
+        if self.state != TxnState::Prepared {
+            return Err(DbError::InvalidTxnState(format!(
+                "tx{} is {:?}, not prepared",
+                self.id, self.state
+            )));
+        }
+        self.db
+            .inner()
+            .wal
+            .append(&WalRecord::Decide { txid: self.id, commit: false })?;
+        self.finish_local();
+        Ok(())
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        match self.state {
+            TxnState::Finished => {}
+            TxnState::Prepared => {
+                // A *dropped* prepared transaction is a programming bug, not
+                // a crash (crashes never run Drop). Settle it as an abort so
+                // locks and log state stay coherent.
+                let _ = self
+                    .db
+                    .inner()
+                    .wal
+                    .append(&WalRecord::Decide { txid: self.id, commit: false });
+                self.abort_in_place();
+            }
+            TxnState::Active => self.abort_in_place(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::StorageEnv;
+    use crate::value::{Column, ColumnType, Schema};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn db() -> Database {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(
+            Schema::new(
+                "t",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::nullable("val", ColumnType::Text),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn row(id: i64, val: &str) -> Row {
+        vec![Value::Int(id), Value::Text(val.into())]
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let d = db();
+        let mut tx = d.begin();
+        tx.insert("t", row(1, "mine")).unwrap();
+        assert_eq!(tx.get("t", &Value::Int(1)).unwrap().unwrap()[1], Value::Text("mine".into()));
+        // Not visible outside before commit.
+        assert!(d.get_committed("t", &Value::Int(1)).unwrap().is_none());
+        tx.commit().unwrap();
+        assert!(d.get_committed("t", &Value::Int(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn delete_then_insert_same_key() {
+        let d = db();
+        let mut tx = d.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.commit().unwrap();
+
+        let mut tx = d.begin();
+        tx.delete("t", &Value::Int(1)).unwrap();
+        assert!(tx.get("t", &Value::Int(1)).unwrap().is_none());
+        tx.insert("t", row(1, "b")).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(
+            d.get_committed("t", &Value::Int(1)).unwrap().unwrap()[1],
+            Value::Text("b".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let d = db();
+        let mut tx = d.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        assert!(matches!(tx.insert("t", row(1, "b")), Err(DbError::DuplicateKey(_))));
+        tx.commit().unwrap();
+
+        let mut tx = d.begin();
+        assert!(matches!(tx.insert("t", row(1, "c")), Err(DbError::DuplicateKey(_))));
+        tx.abort();
+    }
+
+    #[test]
+    fn update_missing_row_fails() {
+        let d = db();
+        let mut tx = d.begin();
+        assert_eq!(tx.update("t", &Value::Int(9), row(9, "x")), Err(DbError::RowNotFound));
+        tx.abort();
+    }
+
+    #[test]
+    fn primary_key_is_immutable() {
+        let d = db();
+        let mut tx = d.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        assert!(matches!(
+            tx.update("t", &Value::Int(1), row(2, "a")),
+            Err(DbError::SchemaMismatch(_))
+        ));
+        tx.abort();
+    }
+
+    #[test]
+    fn update_column_convenience() {
+        let d = db();
+        let mut tx = d.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.update_column("t", &Value::Int(1), "val", Value::Text("z".into())).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(
+            d.get_committed("t", &Value::Int(1)).unwrap().unwrap()[1],
+            Value::Text("z".into())
+        );
+    }
+
+    #[test]
+    fn scan_merges_overlay() {
+        let d = db();
+        let mut setup = d.begin();
+        setup.insert("t", row(1, "a")).unwrap();
+        setup.insert("t", row(2, "b")).unwrap();
+        setup.commit().unwrap();
+
+        let mut tx = d.begin();
+        tx.delete("t", &Value::Int(1)).unwrap();
+        tx.insert("t", row(3, "c")).unwrap();
+        tx.update("t", &Value::Int(2), row(2, "B")).unwrap();
+        let rows = tx.scan("t").unwrap();
+        let ids: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(rows[0][1], Value::Text("B".into()));
+        tx.abort();
+
+        // Abort leaves committed state untouched.
+        assert_eq!(d.count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn select_filters() {
+        let d = db();
+        let mut tx = d.begin();
+        for i in 0..10 {
+            tx.insert("t", row(i, if i % 2 == 0 { "even" } else { "odd" })).unwrap();
+        }
+        let evens = tx
+            .select("t", |r| r[1] == Value::Text("even".into()))
+            .unwrap();
+        assert_eq!(evens.len(), 5);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn find_equal_respects_overlay() {
+        let d = db();
+        d.create_index("t", "val").unwrap();
+        let mut setup = d.begin();
+        setup.insert("t", row(1, "x")).unwrap();
+        setup.insert("t", row(2, "y")).unwrap();
+        setup.commit().unwrap();
+
+        let mut tx = d.begin();
+        tx.update("t", &Value::Int(2), row(2, "x")).unwrap();
+        tx.insert("t", row(3, "x")).unwrap();
+        tx.delete("t", &Value::Int(1)).unwrap();
+        let hits = tx.find_equal("t", "val", &Value::Text("x".into())).unwrap();
+        assert_eq!(hits, vec![Value::Int(2), Value::Int(3)]);
+        tx.abort();
+    }
+
+    #[test]
+    fn drop_aborts_active_txn() {
+        let d = db();
+        {
+            let mut tx = d.begin();
+            tx.insert("t", row(1, "ghost")).unwrap();
+            // dropped here
+        }
+        assert_eq!(d.count("t").unwrap(), 0);
+        // Locks were released: another writer proceeds immediately.
+        let mut tx = d.begin();
+        tx.insert("t", row(1, "real")).unwrap();
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn writer_blocks_reader_until_commit() {
+        let d = db();
+        let mut setup = d.begin();
+        setup.insert("t", row(1, "v0")).unwrap();
+        setup.commit().unwrap();
+
+        let mut writer = d.begin();
+        writer.update("t", &Value::Int(1), row(1, "v1")).unwrap();
+
+        let d2 = d.clone();
+        let reader = thread::spawn(move || {
+            let tx = d2.begin();
+            let row = tx.get("t", &Value::Int(1)).unwrap().unwrap();
+            row[1].clone()
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!reader.is_finished(), "reader must block on writer's X lock");
+        writer.commit().unwrap();
+        assert_eq!(reader.join().unwrap(), Value::Text("v1".into()));
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_proceed() {
+        let d = db();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let d = d.clone();
+            handles.push(thread::spawn(move || {
+                let mut tx = d.begin();
+                tx.insert("t", row(i, "w")).unwrap();
+                tx.commit().unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.count("t").unwrap(), 8);
+    }
+
+    #[test]
+    fn deadlock_victim_can_retry() {
+        let d = db();
+        let mut setup = d.begin();
+        setup.insert("t", row(1, "a")).unwrap();
+        setup.insert("t", row(2, "b")).unwrap();
+        setup.commit().unwrap();
+
+        // tx1 locks row1, tx2 locks row2; tx1 then wants row2 (blocks) and
+        // tx2 wants row1 (deadlock). Victim retries and succeeds.
+        let d1 = d.clone();
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let b1 = Arc::clone(&barrier);
+        let h1 = thread::spawn(move || {
+            let mut tx = d1.begin();
+            tx.update("t", &Value::Int(1), row(1, "a1")).unwrap();
+            b1.wait();
+            match tx.update("t", &Value::Int(2), row(2, "b1")) {
+                Ok(()) => {
+                    tx.commit().unwrap();
+                    true
+                }
+                Err(DbError::Deadlock) => {
+                    tx.abort();
+                    false
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        });
+        let d2 = d.clone();
+        let b2 = Arc::clone(&barrier);
+        let h2 = thread::spawn(move || {
+            let mut tx = d2.begin();
+            tx.update("t", &Value::Int(2), row(2, "b2")).unwrap();
+            b2.wait();
+            match tx.update("t", &Value::Int(1), row(1, "a2")) {
+                Ok(()) => {
+                    tx.commit().unwrap();
+                    true
+                }
+                Err(DbError::Deadlock) => {
+                    tx.abort();
+                    false
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        });
+        let r1 = h1.join().unwrap();
+        let r2 = h2.join().unwrap();
+        assert!(r1 || r2, "at least one transaction must win");
+        // No stuck locks remain either way.
+        let mut tx = d.begin();
+        tx.update("t", &Value::Int(1), row(1, "final")).unwrap();
+        tx.update("t", &Value::Int(2), row(2, "final")).unwrap();
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn empty_commit_is_cheap_and_valid() {
+        let d = db();
+        let before = d.state_id();
+        let tx = d.begin();
+        let lsn = tx.commit().unwrap();
+        assert_eq!(lsn, before, "read-only commit writes nothing");
+    }
+
+    #[test]
+    fn txn_unusable_after_commit_like_states() {
+        let d = db();
+        let mut tx = d.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.prepare().unwrap();
+        assert!(matches!(tx.insert("t", row(2, "b")), Err(DbError::InvalidTxnState(_))));
+        assert!(matches!(tx.get("t", &Value::Int(1)), Err(DbError::InvalidTxnState(_))));
+        tx.commit_prepared().unwrap();
+    }
+
+    #[test]
+    fn prepared_holds_locks_until_decision() {
+        let d = db();
+        let mut setup = d.begin();
+        setup.insert("t", row(1, "v")).unwrap();
+        setup.commit().unwrap();
+
+        let mut tx = d.begin();
+        tx.update("t", &Value::Int(1), row(1, "p")).unwrap();
+        tx.prepare().unwrap();
+
+        let d2 = d.clone();
+        let blocked = thread::spawn(move || {
+            let mut tx2 = d2.begin();
+            tx2.update("t", &Value::Int(1), row(1, "q")).unwrap();
+            tx2.commit().unwrap();
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!blocked.is_finished(), "prepared txn must retain its locks");
+        tx.commit_prepared().unwrap();
+        blocked.join().unwrap();
+        assert_eq!(
+            d.get_committed("t", &Value::Int(1)).unwrap().unwrap()[1],
+            Value::Text("q".into())
+        );
+    }
+}

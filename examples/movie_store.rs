@@ -1,0 +1,117 @@
+//! The video-merchant scenario from §1 of the paper:
+//!
+//! "A video merchant stores attributes associated with movies, such as
+//! cast, category, inventory and price, in an RDBMS ... In addition, (s)he
+//! stores clips of the same movies as files in the file system for preview
+//! purposes. Later, if the merchant stops selling a movie, both the clip,
+//! stored in the file system, and the metadata, stored in the RDBMS, for
+//! the movie should be deleted or archived."
+//!
+//! ```text
+//! cargo run --example movie_store
+//! ```
+
+use std::sync::Arc;
+
+use datalinks::core::{DataLinksSystem, DlColumnOptions};
+use datalinks::dlfm::{ControlMode, OnUnlink, TokenKind};
+use datalinks::fskit::{Cred, OpenOptions, SimClock};
+use datalinks::minidb::{Column, ColumnType, Schema, Value};
+
+const MERCHANT: Cred = Cred { uid: 200, gid: 200 };
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_700_000_000_000)))
+        .file_server("mediasrv")
+        .build()?;
+
+    // Seed preview clips on the media server.
+    let raw = sys.raw_fs("mediasrv")?;
+    raw.mkdir_p(&Cred::root(), "/clips", 0o777)?;
+    let catalog = [
+        (1i64, "Alien", "horror", 9.99f64, "/clips/alien.mpg"),
+        (2, "Brazil", "satire", 7.49, "/clips/brazil.mpg"),
+        (3, "Charade", "thriller", 4.99, "/clips/charade.mpg"),
+    ];
+    for (_, title, _, _, path) in &catalog {
+        raw.write_file(&MERCHANT, path, format!("preview clip of {title}").as_bytes())?;
+    }
+
+    // The movies table: attributes in the DBMS, clips linked via DATALINK.
+    // ON UNLINK DELETE: dropping a movie deletes its clip, as §1 wants.
+    sys.create_table(Schema::new(
+        "movies",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("title", ColumnType::Text),
+            Column::new("category", ColumnType::Text),
+            Column::new("price", ColumnType::Float),
+            Column::nullable("clip", ColumnType::DataLink),
+        ],
+        "id",
+    )?)?;
+    sys.db().create_index("movies", "category").map_err(|e| e.to_string())?;
+    sys.define_datalink_column(
+        "movies",
+        "clip",
+        DlColumnOptions::new(ControlMode::Rdd).on_unlink(OnUnlink::Delete),
+    )?;
+
+    let mut tx = sys.begin();
+    for (id, title, category, price, path) in &catalog {
+        tx.insert(
+            "movies",
+            vec![
+                Value::Int(*id),
+                Value::Text((*title).into()),
+                Value::Text((*category).into()),
+                Value::Float(*price),
+                Value::DataLink(format!("dlfs://mediasrv{path}")),
+            ],
+        )?;
+    }
+    tx.commit()?;
+    println!("catalog loaded: {} movies, clips linked", catalog.len());
+
+    // Search by category (index-accelerated), then preview the clip.
+    let tx = sys.begin();
+    let hits = tx.find_equal("movies", "category", &Value::Text("satire".into()))?;
+    println!("satire movies: {hits:?}");
+    drop(tx);
+
+    let (_, preview_path) = sys.select_datalink("movies", &Value::Int(2), "clip", TokenKind::Read)?;
+    let fs = sys.fs("mediasrv")?;
+    let fd = fs.open(&MERCHANT, &preview_path, OpenOptions::read_only())?;
+    println!("preview: {:?}", String::from_utf8_lossy(&fs.read_to_end(fd)?));
+    fs.close(fd)?;
+
+    // The merchant re-cuts a preview: update in place, price update in the
+    // same business operation.
+    let mut tx = sys.begin();
+    tx.update_column("movies", &Value::Int(1), "price", Value::Float(11.99))?;
+    tx.commit()?;
+    let (_, wpath) = sys.select_datalink("movies", &Value::Int(1), "clip", TokenKind::Write)?;
+    let fd = fs.open(&MERCHANT, &wpath, OpenOptions::write_truncate())?;
+    fs.write(fd, b"preview clip of Alien -- director's cut")?;
+    fs.close(fd)?;
+    println!("Alien re-priced and its clip re-cut (version 2)");
+
+    // Stop selling Charade: one DELETE removes the row, unlinks the clip
+    // and deletes the file — no dangling pointer, no orphan file (§1).
+    let mut tx = sys.begin();
+    tx.delete("movies", &Value::Int(3))?;
+    tx.commit()?;
+    assert!(!raw.exists(&Cred::root(), "/clips/charade.mpg"));
+    println!("Charade dropped: row, link and clip file all gone");
+
+    // Referential integrity: nobody can delete a clip that is still for
+    // sale, even straight through the file system API.
+    match fs.remove(&MERCHANT, "/clips/alien.mpg") {
+        Err(e) => println!("remove of linked clip rejected: {e}"),
+        Ok(()) => unreachable!("linked clips cannot be removed"),
+    }
+
+    println!("movie_store OK");
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Quickstart: link a file to the database, read it with a token, update it
+//! in place through the ordinary file API, and watch the metadata follow.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use datalinks::core::{DataLinksSystem, DatalinkUrl, DlColumnOptions};
+use datalinks::dlfm::{ControlMode, TokenKind};
+use datalinks::fskit::{Cred, OpenOptions, SimClock};
+use datalinks::minidb::{Column, ColumnType, Schema, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One host database, one file server ("srv1") running the full
+    // DLFM/DLFS stack.
+    let sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_700_000_000_000)))
+        .file_server("srv1")
+        .build()?;
+
+    // An ordinary user puts a file into the ordinary file system.
+    let alice = Cred::user(100);
+    let raw = sys.raw_fs("srv1")?;
+    raw.mkdir_p(&Cred::root(), "/docs", 0o777)?;
+    raw.write_file(&alice, "/docs/report.txt", b"Q1 numbers: draft")?;
+
+    // A table with a DATALINK column in rdd mode: the database controls
+    // both reads and writes of the linked file.
+    sys.create_table(Schema::new(
+        "reports",
+        vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("quarter", ColumnType::Text),
+            Column::nullable("body", ColumnType::DataLink),
+        ],
+        "id",
+    )?)?;
+    sys.define_datalink_column("reports", "body", DlColumnOptions::new(ControlMode::Rdd))?;
+
+    // INSERT links the file in the same transaction.
+    let mut tx = sys.begin();
+    tx.insert(
+        "reports",
+        vec![
+            Value::Int(1),
+            Value::Text("2026Q1".into()),
+            Value::DataLink("dlfs://srv1/docs/report.txt".into()),
+        ],
+    )?;
+    tx.commit()?;
+    println!("linked: dlfs://srv1/docs/report.txt");
+
+    // Plain access is now rejected — the DBMS controls the file.
+    let fs = sys.fs("srv1")?;
+    match fs.open(&alice, "/docs/report.txt", OpenOptions::read_only()) {
+        Err(e) => println!("open without token: {e}"),
+        Ok(_) => unreachable!("rdd blocks tokenless reads"),
+    }
+
+    // SELECT ... WITH TOKEN: the engine hands out a token-embedded path.
+    let (url, read_path) = sys.select_datalink("reports", &Value::Int(1), "body", TokenKind::Read)?;
+    let fd = fs.open(&alice, &read_path, OpenOptions::read_only())?;
+    let content = fs.read_to_end(fd)?;
+    fs.close(fd)?;
+    println!("read with token: {:?}", String::from_utf8_lossy(&content));
+
+    // Update in place: open = begin transaction, close = commit (§4.2).
+    let (_, write_path) = sys.select_datalink("reports", &Value::Int(1), "body", TokenKind::Write)?;
+    let fd = fs.open(&alice, &write_path, OpenOptions::write_truncate())?;
+    fs.write(fd, b"Q1 numbers: final, audited")?;
+    fs.close(fd)?; // <- the file-update transaction commits here
+    println!("updated in place through the file API");
+
+    // The metadata row moved with the file, atomically.
+    let (size, _mtime, version) = sys.engine().file_meta(&url).expect("metadata row");
+    println!("metadata: size={size} version={version}");
+    assert_eq!(version, 2);
+
+    // And the old version is archived for recovery (§4.4).
+    sys.node("srv1")?.server.archive_store().wait_archived(&url.path);
+    let v1 = sys.node("srv1")?.server.archive_store().get(&url.path, 1).expect("v1 archived");
+    println!("archived v1: {:?}", String::from_utf8_lossy(&v1.data));
+
+    let _ = DatalinkUrl::parse("dlfs://srv1/docs/report.txt")?;
+    println!("quickstart OK");
+    Ok(())
+}

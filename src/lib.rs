@@ -1,0 +1,31 @@
+//! # datalinks — the umbrella crate
+//!
+//! Re-exports the whole DataLinks reproduction workspace (Mittal & Hsiao,
+//! *Database Managed External File Update*, ICDE 2001) under one roof, and
+//! hosts the runnable examples (`examples/`) and the cross-crate test
+//! suites (`tests/`).
+//!
+//! Start with [`core::DataLinksSystem`] (the assembled system) or the
+//! `quickstart` example. See README.md for the architecture map, DESIGN.md
+//! for the paper-to-module inventory, and EXPERIMENTS.md for the
+//! reproduced evaluation.
+
+pub use dl_baselines;
+pub use dl_core;
+pub use dl_dlfm;
+pub use dl_dlfs;
+pub use dl_fskit;
+pub use dl_minidb;
+
+/// The paper's contribution: DATALINK type, engine, assembled system.
+pub use dl_core as core;
+/// The DataLinks File Manager daemon complex.
+pub use dl_dlfm as dlfm;
+/// The DLFS interposition layer.
+pub use dl_dlfs as dlfs;
+/// File-system substrate (vnode trait, MemFs, Lfs).
+pub use dl_fskit as fskit;
+/// Host-database substrate (WAL, 2PL, 2PC, restore).
+pub use dl_minidb as minidb;
+/// §3's baseline update disciplines (CICO, CAU).
+pub use dl_baselines as baselines;
