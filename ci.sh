@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The full local CI gate. Everything runs offline (vendor/README.md).
+#
+#   ./ci.sh          # the whole gate
+#   ./ci.sh quick    # skip the release build (fmt, clippy, tests)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n\033[1m== %s ==\033[0m\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+  step "cargo build --release"
+  cargo build --release
+fi
+
+# The tier-1 gate (`cargo test -q`, umbrella package only) is a strict
+# subset of the workspace run, so one invocation covers both.
+step "cargo test --workspace -q (every crate: unit + integration + doctests)"
+cargo test --workspace -q
+
+step "examples compile"
+cargo build --examples --quiet
+
+step "benches compile"
+cargo bench -p dl-bench --no-run --quiet
+
+step "OK"

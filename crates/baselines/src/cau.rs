@@ -111,16 +111,9 @@ impl CauManager {
         let n = self.next_copy.fetch_add(1, Ordering::Relaxed);
         let data = self.fs.read_file(cred, master).map_err(|e| e.to_string())?;
         let copy = format!("/tmp-cau-{}-{}", cred.uid, n);
-        self.fs
-            .mkdir_p(&Cred::root(), "/", 0o777)
-            .map_err(|e| e.to_string())?;
+        self.fs.mkdir_p(&Cred::root(), "/", 0o777).map_err(|e| e.to_string())?;
         self.fs.write_file(cred, &copy, &data).map_err(|e| e.to_string())?;
-        Ok(CauCopy {
-            master: master.to_string(),
-            copy,
-            base_version,
-            owner: cred.uid,
-        })
+        Ok(CauCopy { master: master.to_string(), copy, base_version, owner: cred.uid })
     }
 
     /// Checks a private copy back in under `policy`.
@@ -150,9 +143,7 @@ impl CauManager {
         .map_err(|e| e.to_string())?;
         // The file replace rides inside the version transaction's lock
         // window, so two racing check-ins serialize on the row lock.
-        self.fs
-            .write_file(cred, &copy.master, &data)
-            .map_err(|e| e.to_string())?;
+        self.fs.write_file(cred, &copy.master, &data).map_err(|e| e.to_string())?;
         tx.commit().map_err(|e| e.to_string())?;
         let _ = self.fs.remove(cred, &copy.copy);
 
@@ -198,10 +189,7 @@ mod tests {
         let m = manager();
         let copy = m.copy_out(&ALICE, "/page.html").unwrap();
         m.fs.write_file(&ALICE, &copy.copy, b"edited").unwrap();
-        assert_eq!(
-            m.check_in(&ALICE, &copy, MergePolicy::Reject).unwrap(),
-            CheckinOutcome::Clean
-        );
+        assert_eq!(m.check_in(&ALICE, &copy, MergePolicy::Reject).unwrap(), CheckinOutcome::Clean);
         assert_eq!(m.fs.read_file(&ALICE, "/page.html").unwrap(), b"edited");
         assert_eq!(m.current_version("/page.html"), 2);
     }
@@ -247,10 +235,7 @@ mod tests {
         assert_eq!(outcome, CheckinOutcome::LostUpdates { lost: 1 });
         assert_eq!(m.lost_updates.load(Ordering::Relaxed), 1);
         // Alice's committed update is gone — the lost update.
-        assert_eq!(
-            m.fs.read_file(&ALICE, "/page.html").unwrap(),
-            b"bob clobbers everything"
-        );
+        assert_eq!(m.fs.read_file(&ALICE, "/page.html").unwrap(), b"bob clobbers everything");
         assert_eq!(m.current_version("/page.html"), 3);
     }
 
@@ -267,9 +252,6 @@ mod tests {
         // Re-copy (picking up Alice's version), re-apply, clean check-in.
         let b2 = m.copy_out(&BOB, "/page.html").unwrap();
         m.fs.write_file(&BOB, &b2.copy, b"second attempt rebased").unwrap();
-        assert_eq!(
-            m.check_in(&BOB, &b2, MergePolicy::Reject).unwrap(),
-            CheckinOutcome::Clean
-        );
+        assert_eq!(m.check_in(&BOB, &b2, MergePolicy::Reject).unwrap(), CheckinOutcome::Clean);
     }
 }

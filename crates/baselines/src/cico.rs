@@ -83,12 +83,7 @@ impl CicoManager {
                 .expect("static schema"),
             )?;
         }
-        Ok(CicoManager {
-            db,
-            fs,
-            next_ticket: AtomicU64::new(1),
-            db_updates: AtomicU64::new(0),
-        })
+        Ok(CicoManager { db, fs, next_ticket: AtomicU64::new(1), db_updates: AtomicU64::new(0) })
     }
 
     /// Checks a file out for exclusive update. One extra database update.
@@ -182,10 +177,7 @@ mod tests {
     fn checkout_excludes_concurrent_checkout() {
         let m = manager();
         let ticket = m.checkout(&ALICE, "/doc.txt").unwrap();
-        assert_eq!(
-            m.checkout(&BOB, "/doc.txt"),
-            Err(CicoError::CheckedOut { holder: ALICE.uid })
-        );
+        assert_eq!(m.checkout(&BOB, "/doc.txt"), Err(CicoError::CheckedOut { holder: ALICE.uid }));
         assert_eq!(m.holder("/doc.txt"), Some(ALICE.uid));
         m.checkin(&ticket).unwrap();
         assert!(m.checkout(&BOB, "/doc.txt").is_ok());

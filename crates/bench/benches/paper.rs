@@ -20,11 +20,7 @@ fn bench_e1_select_datalink(c: &mut Criterion) {
         b.iter(|| f.sys.select_datalink_url(TABLE, &Value::Int(0), "body").unwrap())
     });
     group.bench_function("select_with_token", |b| {
-        b.iter(|| {
-            f.sys
-                .select_datalink(TABLE, &Value::Int(0), "body", TokenKind::Read)
-                .unwrap()
-        })
+        b.iter(|| f.sys.select_datalink(TABLE, &Value::Int(0), "body", TokenKind::Read).unwrap())
     });
     group.finish();
 }
@@ -32,11 +28,7 @@ fn bench_e1_select_datalink(c: &mut Criterion) {
 /// E2 — open/read/close of a small file: plain vs DataLinks-managed (§3.2).
 fn bench_e2_open_close(c: &mut Criterion) {
     let f = fixture(FixtureOptions { file_size: 1024, ..Default::default() });
-    f.sys
-        .raw_fs(SRV)
-        .unwrap()
-        .write_file(&APP, "/data/control.bin", &make_content(1024))
-        .unwrap();
+    f.sys.raw_fs(SRV).unwrap().write_file(&APP, "/data/control.bin", &make_content(1024)).unwrap();
     let mut group = c.benchmark_group("e2_open_read_close_1k");
     group.bench_function("plain", |b| b.iter(|| f.plain_read("/data/control.bin")));
     group.bench_function("rdd_linked", |b| b.iter(|| f.managed_read(0)));

@@ -13,7 +13,10 @@ use dl_fskit::memfs::IoModel;
 use dl_fskit::{Cred, FileSystem, Lfs, MemFs, OpenOptions};
 use dl_minidb::{Database, StorageEnv, Value};
 
-use crate::{fixture, fmt_ns, make_content, percentile, run_threads, time_ns, Fixture, FixtureOptions, APP, SRV, TABLE};
+use crate::{
+    fixture, fmt_ns, make_content, percentile, run_threads, time_ns, Fixture, FixtureOptions, APP,
+    SRV, TABLE,
+};
 
 /// A printable experiment result.
 pub struct Table {
@@ -57,6 +60,39 @@ impl Table {
             out.push_str(&format!("  note: {note}\n"));
         }
         out
+    }
+
+    /// Machine-readable form, written as `BENCH_<id>.json` trajectory files
+    /// by `report --json` (see EXPERIMENTS.md). Hand-rolled serialization:
+    /// the workspace builds without serde (vendor/README.md).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn arr(items: &[String]) -> String {
+            let cells: Vec<String> = items.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("[{}]", cells.join(","))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"header\":{},\"rows\":[{}],\"notes\":{}}}",
+            esc(self.id),
+            esc(&self.title),
+            arr(&self.header),
+            rows.join(","),
+            arr(&self.notes),
+        )
     }
 }
 
@@ -111,11 +147,7 @@ pub fn t1_control_modes() -> Table {
         let remove = fs.remove(&APP, path).is_ok();
         // Recreate if the nff remove actually went through.
         if remove {
-            f.sys
-                .raw_fs(SRV)
-                .expect("raw")
-                .write_file(&APP, path, b"recreated")
-                .expect("recreate");
+            f.sys.raw_fs(SRV).expect("raw").write_file(&APP, path, b"recreated").expect("recreate");
         }
 
         let yn = |b: bool| if b { "allow" } else { "deny " }.to_string();
@@ -135,8 +167,15 @@ pub fn t1_control_modes() -> Table {
         id: "T1",
         title: "control-mode semantics (observed behaviour; paper Table 1 + new rfd/rdd)".into(),
         header: [
-            "mode", "ref.int", "read-ctl", "write-ctl", "read", "read+tok", "write",
-            "write+tok", "remove",
+            "mode",
+            "ref.int",
+            "read-ctl",
+            "write-ctl",
+            "read",
+            "read+tok",
+            "write",
+            "write+tok",
+            "remove",
         ]
         .iter()
         .map(|h| h.to_string())
@@ -157,9 +196,7 @@ pub fn t1_control_modes() -> Table {
 pub fn e1_select_datalink(iters: u64) -> Table {
     let f = fixture(FixtureOptions::default());
     let plain = time_ns(iters, || {
-        f.sys
-            .select_datalink_url(TABLE, &Value::Int(0), "body")
-            .expect("select");
+        f.sys.select_datalink_url(TABLE, &Value::Int(0), "body").expect("select");
     });
     let with_token = time_ns(iters, || {
         f.sys
@@ -184,7 +221,7 @@ pub fn e1_select_datalink(iters: u64) -> Table {
             ],
         ],
         notes: vec![
-            "paper: <3ms on a 200MHz PowerPC 604; the claim is 'small constant overhead'".into(),
+            "paper: <3ms on a 200MHz PowerPC 604; the claim is 'small constant overhead'".into()
         ],
     }
 }
@@ -266,7 +303,8 @@ pub fn e3_read_overhead_sweep(iters: u64, with_io: bool) -> Table {
         header: vec![s("file size"), s("plain read"), s("DataLinks read"), s("overhead")],
         rows,
         notes: vec![
-            "shape to verify: fixed per-open cost amortizes — overhead % falls as size grows".into(),
+            "shape to verify: fixed per-open cost amortizes — overhead % falls as size grows"
+                .into(),
         ],
     }
 }
@@ -398,13 +436,7 @@ pub fn a1_disciplines(writers: usize, updates_per_writer: usize) -> Table {
         title: format!(
             "update disciplines, {writers} writers x {updates_per_writer} updates of one file (§3)"
         ),
-        header: vec![
-            s("discipline"),
-            s("elapsed"),
-            s("updates/s"),
-            s("lost updates"),
-            s("notes"),
-        ],
+        header: vec![s("discipline"), s("elapsed"), s("updates/s"), s("lost updates"), s("notes")],
         rows: vec![
             vec![
                 s("UIP (this paper)"),
@@ -418,7 +450,10 @@ pub fn a1_disciplines(writers: usize, updates_per_writer: usize) -> Table {
                 s(format!("{:.1?}", cico_elapsed)),
                 s(format!("{:.0}", thr(cico_elapsed))),
                 s(0),
-                s(format!("{} busy retries; 2 DB updates per session", retries.load(Ordering::Relaxed))),
+                s(format!(
+                    "{} busy retries; 2 DB updates per session",
+                    retries.load(Ordering::Relaxed)
+                )),
             ],
             vec![
                 s("CAU (last-writer-wins)"),
@@ -464,12 +499,7 @@ pub fn a2_txn_boundary(writes_per_open: &[usize]) -> Table {
         let upcall_ns = time_ns(200, || {
             let _ = client.mutation_check("/data/doesnotexist");
         });
-        rows.push(vec![
-            s(n),
-            s(actual),
-            s(actual as usize + n),
-            fmt_ns(upcall_ns * n as f64),
-        ]);
+        rows.push(vec![s(n), s(actual), s(actual as usize + n), fmt_ns(upcall_ns * n as f64)]);
     }
     Table {
         id: "A2",
@@ -555,8 +585,8 @@ pub fn a4_sync_table_cost(iters: u64) -> Table {
             let fd = fs.open(&APP, &path, OpenOptions::read_only()).expect("open");
             fs.close(fd).expect("close");
         });
-        let repo_ops = f.sys.node(SRV).expect("node").server.repository().update_op_count()
-            - repo_before;
+        let repo_ops =
+            f.sys.node(SRV).expect("node").server.repository().update_op_count() - repo_before;
         rows.push(vec![
             s(if track { "sync entries on (default)" } else { "sync entries off (ablation)" }),
             s(format!("{ns:.0}")),
@@ -607,12 +637,7 @@ pub fn a5_archive_async(sizes_kib: &[usize], iters: u64) -> Table {
                 let t = std::time::Instant::now();
                 fs.close(fd).expect("close");
                 close_ns += t.elapsed().as_nanos();
-                f.sys
-                    .node(SRV)
-                    .expect("node")
-                    .server
-                    .archive_store()
-                    .wait_archived(&f.paths[0]);
+                f.sys.node(SRV).expect("node").server.archive_store().wait_archived(&f.paths[0]);
             }
             cells.push(fmt_ns(close_ns as f64 / iters as f64));
         }
@@ -620,8 +645,7 @@ pub fn a5_archive_async(sizes_kib: &[usize], iters: u64) -> Table {
     }
     Table {
         id: "A5",
-        title: "archiving policy (§4.4): close() latency, async (paper) vs sync (ablation)"
-            .into(),
+        title: "archiving policy (§4.4): close() latency, async (paper) vs sync (ablation)".into(),
         header: vec![s("file size"), s("close, async archive"), s("close, sync archive")],
         rows,
         notes: vec![
@@ -654,11 +678,7 @@ pub fn a6_crash_atomicity(rounds: usize) -> Table {
         let image = sys.crash();
         let (sys, _) = DataLinksSystem::recover(image).expect("recover");
 
-        let data = sys
-            .raw_fs(SRV)
-            .expect("raw")
-            .read_file(&Cred::root(), &paths[0])
-            .expect("read");
+        let data = sys.raw_fs(SRV).expect("raw").read_file(&Cred::root(), &paths[0]).expect("read");
         if data == committed {
             restored += 1;
         }
@@ -681,7 +701,8 @@ pub fn a6_crash_atomicity(rounds: usize) -> Table {
 pub fn a7_point_in_time(versions: usize) -> Table {
     let f = fixture(FixtureOptions { n_files: 1, ..Default::default() });
     let mut states = vec![f.sys.state_id()];
-    let mut contents = vec![f.sys.raw_fs(SRV).unwrap().read_file(&Cred::root(), &f.paths[0]).unwrap()];
+    let mut contents =
+        vec![f.sys.raw_fs(SRV).unwrap().read_file(&Cred::root(), &f.paths[0]).unwrap()];
     for v in 2..=versions {
         let content = make_content(512 + v);
         f.managed_update(0, &content);
@@ -695,11 +716,8 @@ pub fn a7_point_in_time(versions: usize) -> Table {
     let paths = f.paths;
     for (i, state) in states.iter().enumerate().rev() {
         let (restored, report) = sys.restore(&backup, *state).expect("restore");
-        let data = restored
-            .raw_fs(SRV)
-            .expect("raw")
-            .read_file(&Cred::root(), &paths[0])
-            .expect("read");
+        let data =
+            restored.raw_fs(SRV).expect("raw").read_file(&Cred::root(), &paths[0]).expect("read");
         let matches = data == contents[i];
         rows.push(vec![
             s(format!("v{}", i + 1)),
@@ -713,9 +731,16 @@ pub fn a7_point_in_time(versions: usize) -> Table {
         id: "A7",
         title: "coordinated point-in-time restore: file content matches restored metadata (§4.4)"
             .into(),
-        header: vec![s("target version"), s("state id (LSN)"), s("files rolled back"), s("content matches")],
+        header: vec![
+            s("target version"),
+            s("state id (LSN)"),
+            s("files rolled back"),
+            s("content matches"),
+        ],
         rows,
-        notes: vec!["restore walks backwards v5→v1; every step must land on that version's bytes".into()],
+        notes: vec![
+            "restore walks backwards v5→v1; every step must land on that version's bytes".into()
+        ],
     }
 }
 
@@ -749,8 +774,7 @@ pub fn a8_strict_link(iters: u64) -> Table {
     }
     Table {
         id: "A8",
-        title: "closing the §4.5 link window: per-open cost of registering *unlinked* opens"
-            .into(),
+        title: "closing the §4.5 link window: per-open cost of registering *unlinked* opens".into(),
         header: vec![s("configuration"), s("ns/open+close"), s("time"), s("upcalls/open")],
         rows,
         notes: vec![
@@ -777,9 +801,5 @@ pub fn open_latency_distribution(mode: ControlMode, samples: usize) -> (u64, u64
             t.elapsed().as_nanos() as u64
         })
         .collect();
-    (
-        percentile(&mut lat, 0.50),
-        percentile(&mut lat, 0.99),
-        percentile(&mut lat, 1.0),
-    )
+    (percentile(&mut lat, 0.50), percentile(&mut lat, 0.99), percentile(&mut lat, 1.0))
 }

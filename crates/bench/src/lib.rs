@@ -5,7 +5,6 @@
 //! [`experiments`] so the Criterion benches and the paper-style report
 //! print from the same code paths.
 
-
 use std::time::{Duration, Instant};
 
 use dl_core::{
@@ -110,8 +109,7 @@ pub fn fixture(opts: FixtureOptions) -> Fixture {
         raw.write_file(&APP, &path, &content).expect("seed file");
         let url = format!("dlfs://{SRV}{path}");
         let mut tx = sys.begin();
-        tx.insert(TABLE, vec![Value::Int(i as i64), Value::DataLink(url.clone())])
-            .expect("insert");
+        tx.insert(TABLE, vec![Value::Int(i as i64), Value::DataLink(url.clone())]).expect("insert");
         tx.commit().expect("commit");
         paths.push(path);
         urls.push(url);
@@ -164,12 +162,7 @@ impl Fixture {
     /// unless the experiment wants exactly that.
     pub fn managed_update(&self, i: usize, content: &[u8]) {
         self.managed_update_no_wait(i, content);
-        self.sys
-            .node(SRV)
-            .expect("node")
-            .server
-            .archive_store()
-            .wait_archived(&self.paths[i]);
+        self.sys.node(SRV).expect("node").server.archive_store().wait_archived(&self.paths[i]);
     }
 
     /// One update cycle without waiting for the archiver.

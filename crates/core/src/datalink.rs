@@ -40,9 +40,7 @@ impl DatalinkUrl {
             .strip_prefix(SCHEME)
             .and_then(|r| r.strip_prefix("://"))
             .ok_or_else(|| format!("DATALINK URL must start with {SCHEME}://, got {url:?}"))?;
-        let slash = rest
-            .find('/')
-            .ok_or_else(|| format!("DATALINK URL missing path: {url:?}"))?;
+        let slash = rest.find('/').ok_or_else(|| format!("DATALINK URL missing path: {url:?}"))?;
         DatalinkUrl::new(&rest[..slash], &rest[slash..])
     }
 }
@@ -78,12 +76,7 @@ pub struct DlColumnOptions {
 
 impl DlColumnOptions {
     pub fn new(mode: ControlMode) -> DlColumnOptions {
-        DlColumnOptions {
-            mode,
-            recovery: true,
-            on_unlink: OnUnlink::Restore,
-            token_ttl_ms: 60_000,
-        }
+        DlColumnOptions { mode, recovery: true, on_unlink: OnUnlink::Restore, token_ttl_ms: 60_000 }
     }
 
     pub fn recovery(mut self, yes: bool) -> Self {

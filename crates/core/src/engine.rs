@@ -187,11 +187,11 @@ impl DataLinksEngine {
             ],
         )?;
         tx.commit()?;
-        self.columns
-            .write()
-            .entry(table.to_string())
-            .or_default()
-            .push((idx, column.to_string(), opts));
+        self.columns.write().entry(table.to_string()).or_default().push((
+            idx,
+            column.to_string(),
+            opts,
+        ));
         Ok(())
     }
 
@@ -238,16 +238,9 @@ impl DataLinksEngine {
 
     /// Host-side metadata row for `url`, if present: (size, mtime, version).
     pub fn file_meta(&self, url: &DatalinkUrl) -> Option<(u64, u64, u64)> {
-        let row = self
-            .db
-            .get_committed(META_TABLE, &Value::Text(url.to_string()))
-            .ok()
-            .flatten()?;
-        Some((
-            row[1].as_int()? as u64,
-            row[2].as_int()? as u64,
-            row[3].as_int()? as u64,
-        ))
+        let row =
+            self.db.get_committed(META_TABLE, &Value::Text(url.to_string())).ok().flatten()?;
+        Some((row[1].as_int()? as u64, row[2].as_int()? as u64, row[3].as_int()? as u64))
     }
 
     /// The host database this engine is attached to.
@@ -296,8 +289,7 @@ impl DmlObserver for DataLinksEngine {
                 let reg = servers
                     .get(&url.server)
                     .ok_or_else(|| format!("unknown file server {}", url.server))?;
-                reg.agent
-                    .link(event.txid, &url.path, opts.mode, opts.recovery, opts.on_unlink)?;
+                reg.agent.link(event.txid, &url.path, opts.mode, opts.recovery, opts.on_unlink)?;
                 db.enlist_participant(
                     event.txid,
                     &format!("dlfm@{}", url.server),
@@ -338,8 +330,7 @@ impl HostHook for DataLinksEngine {
         participant: Arc<dyn dl_minidb::Participant>,
     ) -> Result<Lsn, String> {
         let mut tx = self.db.begin();
-        self.db
-            .enlist_participant(tx.id(), &format!("dlfm-close:{url}"), participant);
+        self.db.enlist_participant(tx.id(), &format!("dlfm-close:{url}"), participant);
         let key = Value::Text(url.to_string());
         let row: Row = vec![
             key.clone(),

@@ -189,13 +189,10 @@ impl DataLinksSystem {
         parts: Vec<NodeParts>,
         run_recovery: bool,
     ) -> Result<(DataLinksSystem, HashMap<String, RecoveryReport>), String> {
-        let db = Database::open_with(
-            host_env.clone(),
-            DbOptions::default(),
-        )
-        .map_err(|e| e.to_string())?;
-        let engine = DataLinksEngine::install(db.clone(), Arc::clone(&clock))
+        let db = Database::open_with(host_env.clone(), DbOptions::default())
             .map_err(|e| e.to_string())?;
+        let engine =
+            DataLinksEngine::install(db.clone(), Arc::clone(&clock)).map_err(|e| e.to_string())?;
 
         let mut nodes = HashMap::new();
         let mut reports = HashMap::new();
@@ -212,11 +209,8 @@ impl DataLinksSystem {
                 reports.insert(part.name.clone(), server.recover()?);
             }
             let (upcall, client) = UpcallDaemon::spawn(Arc::clone(&server));
-            let dlfs = Arc::new(Dlfs::new(
-                part.fs.clone() as Arc<dyn FileSystem>,
-                client,
-                part.dlfs_cfg,
-            ));
+            let dlfs =
+                Arc::new(Dlfs::new(part.fs.clone() as Arc<dyn FileSystem>, client, part.dlfs_cfg));
             let lfs = Arc::new(Lfs::new(dlfs.clone() as Arc<dyn FileSystem>));
             let raw = Arc::new(Lfs::new(part.fs.clone() as Arc<dyn FileSystem>));
             let main = MainDaemon::new(Arc::clone(&server));
@@ -265,9 +259,7 @@ impl DataLinksSystem {
     }
 
     pub fn node(&self, name: &str) -> Result<&FileServerNode, String> {
-        self.nodes
-            .get(name)
-            .ok_or_else(|| format!("unknown file server {name}"))
+        self.nodes.get(name).ok_or_else(|| format!("unknown file server {name}"))
     }
 
     /// Application-facing file system of a node (mounted over DLFS).
@@ -303,9 +295,7 @@ impl DataLinksSystem {
         column: &str,
         opts: DlColumnOptions,
     ) -> Result<(), String> {
-        self.engine
-            .define_datalink_column(table, column, opts)
-            .map_err(|e| e.to_string())
+        self.engine.define_datalink_column(table, column, opts).map_err(|e| e.to_string())
     }
 
     pub fn begin(&self) -> Txn {
@@ -341,9 +331,7 @@ impl DataLinksSystem {
         column: &str,
     ) -> Result<DatalinkUrl, String> {
         let schema = self.db.schema(table).map_err(|e| e.to_string())?;
-        let idx = schema
-            .column_index(column)
-            .ok_or_else(|| format!("no column {column}"))?;
+        let idx = schema.column_index(column).ok_or_else(|| format!("no column {column}"))?;
         let row = self
             .db
             .get_committed(table, key)
@@ -436,11 +424,7 @@ impl DataLinksSystem {
 
         // Desired state per server from the restored metadata.
         let mut desired: HashMap<String, HashMap<String, u64>> = HashMap::new();
-        for row in self
-            .db
-            .scan_committed(META_TABLE)
-            .map_err(|e| e.to_string())?
-        {
+        for row in self.db.scan_committed(META_TABLE).map_err(|e| e.to_string())? {
             let url = DatalinkUrl::parse(row[0].as_text().unwrap_or_default())?;
             let version = row[3].as_int().unwrap_or(1) as u64;
             desired.entry(url.server).or_default().insert(url.path, version);
@@ -451,13 +435,8 @@ impl DataLinksSystem {
 
             // Re-link files the restored database references but the
             // repository no longer knows (unlinked after the restore point).
-            let known: std::collections::HashSet<String> = node
-                .server
-                .repository()
-                .list_files()
-                .into_iter()
-                .map(|f| f.path)
-                .collect();
+            let known: std::collections::HashSet<String> =
+                node.server.repository().list_files().into_iter().map(|f| f.path).collect();
             for path in want.keys() {
                 if known.contains(path) {
                     continue;
@@ -491,10 +470,7 @@ impl DataLinksSystem {
             let schema = self.db.schema(&table).ok()?;
             let idx = schema.column_index(&column)?;
             let rows = self.db.scan_committed(&table).ok()?;
-            if rows
-                .iter()
-                .any(|r| matches!(&r[idx], Value::DataLink(u) if *u == url_text))
-            {
+            if rows.iter().any(|r| matches!(&r[idx], Value::DataLink(u) if *u == url_text)) {
                 return self.engine.column_options(&table, &column);
             }
         }

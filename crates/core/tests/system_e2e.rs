@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use dl_core::{
-    ControlMode, DataLinksSystem, DatalinkUrl, DlColumnOptions, OnUnlink, TokenKind,
-};
+use dl_core::{ControlMode, DataLinksSystem, DatalinkUrl, DlColumnOptions, OnUnlink, TokenKind};
 use dl_fskit::{Cred, FsError, OpenOptions, SimClock};
 use dl_minidb::{Column, ColumnType, DbError, Schema, Value};
 
@@ -36,8 +34,7 @@ fn build_system(mode: ControlMode) -> DataLinksSystem {
     raw.write_file(&ALICE, "/movies/alien.mpg", b"alien v1").unwrap();
     raw.write_file(&ALICE, "/movies/brazil.mpg", b"brazil v1").unwrap();
     sys.create_table(movies_schema()).unwrap();
-    sys.define_datalink_column("movies", "clip", DlColumnOptions::new(mode))
-        .unwrap();
+    sys.define_datalink_column("movies", "clip", DlColumnOptions::new(mode)).unwrap();
     sys
 }
 
@@ -57,9 +54,8 @@ fn insert_movie(sys: &DataLinksSystem, id: i64, title: &str, url: Option<&str>) 
 
 /// Update a linked file in place through the public file API.
 fn update_file(sys: &DataLinksSystem, id: i64, content: &[u8]) {
-    let (_url, path) = sys
-        .select_datalink("movies", &Value::Int(id), "clip", TokenKind::Write)
-        .unwrap();
+    let (_url, path) =
+        sys.select_datalink("movies", &Value::Int(id), "clip", TokenKind::Write).unwrap();
     let fs = sys.fs("srv1").unwrap();
     let fd = fs.open(&ALICE, &path, OpenOptions::write_truncate()).unwrap();
     fs.write(fd, content).unwrap();
@@ -67,9 +63,8 @@ fn update_file(sys: &DataLinksSystem, id: i64, content: &[u8]) {
 }
 
 fn read_file(sys: &DataLinksSystem, id: i64) -> Vec<u8> {
-    let (_url, path) = sys
-        .select_datalink("movies", &Value::Int(id), "clip", TokenKind::Read)
-        .unwrap();
+    let (_url, path) =
+        sys.select_datalink("movies", &Value::Int(id), "clip", TokenKind::Read).unwrap();
     let fs = sys.fs("srv1").unwrap();
     let fd = fs.open(&ALICE, &path, OpenOptions::read_only()).unwrap();
     let data = fs.read_to_end(fd).unwrap();
@@ -95,8 +90,10 @@ fn insert_links_and_abort_unlinks_nothing() {
         ],
     )
     .unwrap();
-    assert!(node.server.repository().get_file("/movies/brazil.mpg").is_some()
-        || node.server.has_pending(tx.id()));
+    assert!(
+        node.server.repository().get_file("/movies/brazil.mpg").is_some()
+            || node.server.has_pending(tx.id())
+    );
     tx.abort();
     assert!(node.server.repository().get_file("/movies/brazil.mpg").is_none());
     let attr = node.raw.stat(&Cred::root(), "/movies/brazil.mpg").unwrap();
@@ -182,8 +179,7 @@ fn linking_missing_file_vetoes_the_statement() {
         .unwrap_err();
     assert!(matches!(err, DbError::Vetoed(_)), "{err}");
     // Statement failed but the transaction survives (SQL semantics).
-    tx.insert("movies", vec![Value::Int(1), Value::Text("Ghost".into()), Value::Null])
-        .unwrap();
+    tx.insert("movies", vec![Value::Int(1), Value::Text("Ghost".into()), Value::Null]).unwrap();
     tx.commit().unwrap();
 }
 
@@ -192,9 +188,8 @@ fn unlink_rejected_while_file_open() {
     let sys = build_system(ControlMode::Rdd);
     insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
 
-    let (_url, path) = sys
-        .select_datalink("movies", &Value::Int(1), "clip", TokenKind::Write)
-        .unwrap();
+    let (_url, path) =
+        sys.select_datalink("movies", &Value::Int(1), "clip", TokenKind::Write).unwrap();
     let fs = sys.fs("srv1").unwrap();
     let fd = fs.open(&ALICE, &path, OpenOptions::read_write()).unwrap();
 
@@ -214,10 +209,7 @@ fn dangling_reference_prevented_through_app_fs() {
     let sys = build_system(ControlMode::Rff);
     insert_movie(&sys, 1, "Alien", Some("dlfs://srv1/movies/alien.mpg"));
     let fs = sys.fs("srv1").unwrap();
-    assert!(matches!(
-        fs.remove(&ALICE, "/movies/alien.mpg"),
-        Err(FsError::Rejected(_))
-    ));
+    assert!(matches!(fs.remove(&ALICE, "/movies/alien.mpg"), Err(FsError::Rejected(_))));
     assert!(matches!(
         fs.rename(&ALICE, "/movies/alien.mpg", "/movies/renamed.mpg"),
         Err(FsError::Rejected(_))
@@ -252,9 +244,8 @@ fn crash_mid_update_recovers_last_committed_everywhere() {
     sys.node("srv1").unwrap().server.archive_store().wait_archived("/movies/alien.mpg");
 
     // Open for write, scribble, crash before close.
-    let (_url, path) = sys
-        .select_datalink("movies", &Value::Int(1), "clip", TokenKind::Write)
-        .unwrap();
+    let (_url, path) =
+        sys.select_datalink("movies", &Value::Int(1), "clip", TokenKind::Write).unwrap();
     let fs = sys.fs("srv1").unwrap();
     let fd = fs.open(&ALICE, &path, OpenOptions::write_truncate()).unwrap();
     fs.write(fd, b"half-written garbage that must vanish").unwrap();
@@ -352,13 +343,7 @@ fn restore_relinks_files_unlinked_after_the_restore_point() {
     let mut tx = sys.begin();
     tx.delete("movies", &Value::Int(1)).unwrap();
     tx.commit().unwrap();
-    assert!(sys
-        .node("srv1")
-        .unwrap()
-        .server
-        .repository()
-        .get_file("/movies/alien.mpg")
-        .is_none());
+    assert!(sys.node("srv1").unwrap().server.repository().get_file("/movies/alien.mpg").is_none());
 
     // Restore to when it was linked: the link must come back.
     let (sys, report) = sys.restore(&backup_early, linked_state).unwrap();
@@ -399,8 +384,7 @@ fn multi_server_system_routes_by_url() {
     for name in ["east", "west"] {
         let raw = sys.raw_fs(name).unwrap();
         raw.mkdir_p(&Cred::root(), "/pages", 0o777).unwrap();
-        raw.write_file(&ALICE, "/pages/home.html", format!("{name} home").as_bytes())
-            .unwrap();
+        raw.write_file(&ALICE, "/pages/home.html", format!("{name} home").as_bytes()).unwrap();
     }
     sys.create_table(
         Schema::new(
@@ -414,8 +398,7 @@ fn multi_server_system_routes_by_url() {
         .unwrap(),
     )
     .unwrap();
-    sys.define_datalink_column("pages", "body", DlColumnOptions::new(ControlMode::Rdd))
-        .unwrap();
+    sys.define_datalink_column("pages", "body", DlColumnOptions::new(ControlMode::Rdd)).unwrap();
 
     let mut tx = sys.begin();
     tx.insert("pages", vec![Value::Int(1), Value::DataLink("dlfs://east/pages/home.html".into())])
@@ -428,9 +411,8 @@ fn multi_server_system_routes_by_url() {
     assert!(sys.node("west").unwrap().server.repository().get_file("/pages/home.html").is_some());
 
     // Tokens are per-server: an east token cannot open the west file.
-    let (_, east_path) = sys
-        .select_datalink("pages", &Value::Int(1), "body", TokenKind::Read)
-        .unwrap();
+    let (_, east_path) =
+        sys.select_datalink("pages", &Value::Int(1), "body", TokenKind::Read).unwrap();
     let west_fs = sys.fs("west").unwrap();
     assert!(west_fs.open(&ALICE, &east_path, OpenOptions::read_only()).is_err());
     let east_fs = sys.fs("east").unwrap();

@@ -140,9 +140,17 @@ impl MainDaemon {
             .spawn(move || {
                 while let Ok(req) = rx.recv() {
                     match req {
-                        AgentRequest::Link { host_txid, path, mode, recovery, on_unlink, reply } => {
-                            let _ = reply
-                                .send(server.link_file(host_txid, &path, mode, recovery, on_unlink));
+                        AgentRequest::Link {
+                            host_txid,
+                            path,
+                            mode,
+                            recovery,
+                            on_unlink,
+                            reply,
+                        } => {
+                            let _ = reply.send(
+                                server.link_file(host_txid, &path, mode, recovery, on_unlink),
+                            );
                         }
                         AgentRequest::Unlink { host_txid, path, reply } => {
                             let _ = reply.send(server.unlink_file(host_txid, &path));

@@ -77,21 +77,14 @@ impl ArchiveStore {
     /// A specific version of `path`.
     pub fn get(&self, path: &str, version: u64) -> Option<ArchivedVersion> {
         let inner = self.inner.lock();
-        inner
-            .versions
-            .get(path)
-            .and_then(|v| v.iter().find(|av| av.version == version).cloned())
+        inner.versions.get(path).and_then(|v| v.iter().find(|av| av.version == version).cloned())
     }
 
     /// The newest version whose state identifier is ≤ `state_id` — the
     /// coordinated point-in-time restore lookup.
     pub fn version_at_state(&self, path: &str, state_id: u64) -> Option<ArchivedVersion> {
         let inner = self.inner.lock();
-        inner
-            .versions
-            .get(path)?
-            .iter().rfind(|v| v.state_id <= state_id)
-            .cloned()
+        inner.versions.get(path)?.iter().rfind(|v| v.state_id <= state_id).cloned()
     }
 
     /// All versions of `path` (diagnostics, EXPERIMENTS harness).
@@ -239,10 +232,7 @@ impl Archiver {
     /// recovery, which must not race the worker).
     pub fn submit_sync(&self, mut job: ArchiveJob) {
         self.store.begin_archiving(&job.path, job.version);
-        let data = job
-            .data
-            .take()
-            .or_else(|| self.source.as_ref().and_then(|src| src(&job.path)));
+        let data = job.data.take().or_else(|| self.source.as_ref().and_then(|src| src(&job.path)));
         if let Some(data) = data {
             self.store.put(&job.path, job.version, job.state_id, data);
             if job.prune {

@@ -32,7 +32,9 @@ pub use agent::{AgentHandle, MainDaemon};
 pub use archive::{ArchiveJob, ArchiveStore, Archiver, ContentSource};
 pub use modes::{AccessControl, ControlMode, OnUnlink};
 pub use repository::{FileEntry, Repository, SyncEntry, UipEntry};
-pub use server::{DlfmConfig, DlfmServer, DlfmStats, HostHook, OpenDecision, RecoveryReport, RestoreOutcome};
+pub use server::{
+    DlfmConfig, DlfmServer, DlfmStats, HostHook, OpenDecision, RecoveryReport, RestoreOutcome,
+};
 pub use token::{
     embed_token, hmac_sha256, sha256, split_token_suffix, AccessToken, TokenError, TokenKind,
     TOKEN_MARKER,

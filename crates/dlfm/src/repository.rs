@@ -200,90 +200,102 @@ impl Repository {
 
     fn ensure_schema(db: &Database) -> DbResult<()> {
         if !db.has_table("dl_files") {
-            db.create_table(Schema::new(
-                "dl_files",
-                vec![
-                    Column::new("path", ColumnType::Text),
-                    Column::new("mode", ColumnType::Text),
-                    Column::new("recovery", ColumnType::Bool),
-                    Column::new("on_unlink", ColumnType::Text),
-                    Column::new("cur_version", ColumnType::Int),
-                    Column::new("orig_uid", ColumnType::Int),
-                    Column::new("orig_gid", ColumnType::Int),
-                    Column::new("orig_mode", ColumnType::Int),
-                    Column::new("ino", ColumnType::Int),
-                    Column::new("state_id", ColumnType::Int),
-                    Column::new("needs_archive", ColumnType::Bool),
-                ],
-                "path",
-            )
-            .expect("static schema"))?;
+            db.create_table(
+                Schema::new(
+                    "dl_files",
+                    vec![
+                        Column::new("path", ColumnType::Text),
+                        Column::new("mode", ColumnType::Text),
+                        Column::new("recovery", ColumnType::Bool),
+                        Column::new("on_unlink", ColumnType::Text),
+                        Column::new("cur_version", ColumnType::Int),
+                        Column::new("orig_uid", ColumnType::Int),
+                        Column::new("orig_gid", ColumnType::Int),
+                        Column::new("orig_mode", ColumnType::Int),
+                        Column::new("ino", ColumnType::Int),
+                        Column::new("state_id", ColumnType::Int),
+                        Column::new("needs_archive", ColumnType::Bool),
+                    ],
+                    "path",
+                )
+                .expect("static schema"),
+            )?;
         }
         if !db.has_table("dl_tokens") {
-            db.create_table(Schema::new(
-                "dl_tokens",
-                vec![
-                    Column::new("tokkey", ColumnType::Text),
-                    Column::new("expiry", ColumnType::Int),
-                ],
-                "tokkey",
-            )
-            .expect("static schema"))?;
+            db.create_table(
+                Schema::new(
+                    "dl_tokens",
+                    vec![
+                        Column::new("tokkey", ColumnType::Text),
+                        Column::new("expiry", ColumnType::Int),
+                    ],
+                    "tokkey",
+                )
+                .expect("static schema"),
+            )?;
         }
         if !db.has_table("dl_sync") {
-            db.create_table(Schema::new(
-                "dl_sync",
-                vec![
-                    Column::new("synckey", ColumnType::Text),
-                    Column::new("path", ColumnType::Text),
-                    Column::new("kind", ColumnType::Text),
-                    Column::new("opener", ColumnType::Int),
-                    Column::new("uid", ColumnType::Int),
-                ],
-                "synckey",
-            )
-            .expect("static schema"))?;
+            db.create_table(
+                Schema::new(
+                    "dl_sync",
+                    vec![
+                        Column::new("synckey", ColumnType::Text),
+                        Column::new("path", ColumnType::Text),
+                        Column::new("kind", ColumnType::Text),
+                        Column::new("opener", ColumnType::Int),
+                        Column::new("uid", ColumnType::Int),
+                    ],
+                    "synckey",
+                )
+                .expect("static schema"),
+            )?;
             db.create_index("dl_sync", "path")?;
         }
         if !db.has_table("dl_uip") {
-            db.create_table(Schema::new(
-                "dl_uip",
-                vec![
-                    Column::new("path", ColumnType::Text),
-                    Column::new("new_version", ColumnType::Int),
-                    Column::new("opener", ColumnType::Int),
-                ],
-                "path",
-            )
-            .expect("static schema"))?;
+            db.create_table(
+                Schema::new(
+                    "dl_uip",
+                    vec![
+                        Column::new("path", ColumnType::Text),
+                        Column::new("new_version", ColumnType::Int),
+                        Column::new("opener", ColumnType::Int),
+                    ],
+                    "path",
+                )
+                .expect("static schema"),
+            )?;
         }
         if !db.has_table("dl_intents") {
-            db.create_table(Schema::new(
-                "dl_intents",
-                vec![
-                    Column::new("ikey", ColumnType::Text),
-                    Column::new("host_txid", ColumnType::Int),
-                    Column::new("path", ColumnType::Text),
-                    Column::new("action", ColumnType::Text),
-                    Column::new("orig_uid", ColumnType::Int),
-                    Column::new("orig_gid", ColumnType::Int),
-                    Column::new("orig_mode", ColumnType::Int),
-                ],
-                "ikey",
-            )
-            .expect("static schema"))?;
+            db.create_table(
+                Schema::new(
+                    "dl_intents",
+                    vec![
+                        Column::new("ikey", ColumnType::Text),
+                        Column::new("host_txid", ColumnType::Int),
+                        Column::new("path", ColumnType::Text),
+                        Column::new("action", ColumnType::Text),
+                        Column::new("orig_uid", ColumnType::Int),
+                        Column::new("orig_gid", ColumnType::Int),
+                        Column::new("orig_mode", ColumnType::Int),
+                    ],
+                    "ikey",
+                )
+                .expect("static schema"),
+            )?;
             db.create_index("dl_intents", "host_txid")?;
         }
         if !db.has_table("dl_txns") {
-            db.create_table(Schema::new(
-                "dl_txns",
-                vec![
-                    Column::new("host_txid", ColumnType::Int),
-                    Column::new("server", ColumnType::Text),
-                ],
-                "host_txid",
-            )
-            .expect("static schema"))?;
+            db.create_table(
+                Schema::new(
+                    "dl_txns",
+                    vec![
+                        Column::new("host_txid", ColumnType::Int),
+                        Column::new("server", ColumnType::Text),
+                    ],
+                    "host_txid",
+                )
+                .expect("static schema"),
+            )?;
         }
         Ok(())
     }
@@ -353,7 +365,8 @@ impl Repository {
         state_id: u64,
     ) -> DbResult<()> {
         let key = Value::Text(path.to_string());
-        let mut row = txn.get_for_update("dl_files", &key)?.ok_or(dl_minidb::DbError::RowNotFound)?;
+        let mut row =
+            txn.get_for_update("dl_files", &key)?.ok_or(dl_minidb::DbError::RowNotFound)?;
         row[4] = Value::Int(version as i64);
         row[9] = Value::Int(state_id as i64);
         row[10] = Value::Bool(true);
@@ -520,17 +533,15 @@ impl Repository {
     }
 
     pub fn get_uip(&self, path: &str) -> Option<UipEntry> {
-        self.db
-            .get_committed("dl_uip", &Value::Text(path.to_string()))
-            .ok()
-            .flatten()
-            .and_then(|row| {
+        self.db.get_committed("dl_uip", &Value::Text(path.to_string())).ok().flatten().and_then(
+            |row| {
                 Some(UipEntry {
                     path: row[0].as_text()?.to_string(),
                     new_version: row[1].as_int()? as u64,
                     opener: row[2].as_int()? as u64,
                 })
-            })
+            },
+        )
     }
 
     /// All update-in-progress entries (crash recovery walks these).
@@ -611,10 +622,7 @@ impl Repository {
     /// marker is what lets crash recovery map an in-doubt repository
     /// transaction back to its host transaction.
     pub fn mark_host_txn_in(&self, txn: &mut Txn, host_txid: u64, server: &str) -> DbResult<()> {
-        txn.insert(
-            "dl_txns",
-            vec![Value::Int(host_txid as i64), Value::Text(server.to_string())],
-        )
+        txn.insert("dl_txns", vec![Value::Int(host_txid as i64), Value::Text(server.to_string())])
     }
 
     /// Extracts the host txid from an in-doubt transaction's op list by

@@ -20,9 +20,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::archive::{ArchiveJob, ArchiveStore, Archiver};
 use crate::modes::{ControlMode, OnUnlink};
-use crate::repository::{
-    FileEntry, IntentAction, IntentEntry, Repository, SyncEntry, UipEntry,
-};
+use crate::repository::{FileEntry, IntentAction, IntentEntry, Repository, SyncEntry, UipEntry};
 use crate::token::{AccessToken, TokenKind};
 
 /// Server configuration.
@@ -214,11 +212,14 @@ impl DlfmServer {
     }
 
     /// Convenience constructor with wall clock.
-    pub fn with_defaults(
-        cfg: DlfmConfig,
-        fs: Arc<dyn FileSystem>,
-    ) -> Result<DlfmServer, String> {
-        Self::new(cfg, fs, dl_minidb::StorageEnv::mem(), Arc::new(ArchiveStore::new()), Arc::new(WallClock))
+    pub fn with_defaults(cfg: DlfmConfig, fs: Arc<dyn FileSystem>) -> Result<DlfmServer, String> {
+        Self::new(
+            cfg,
+            fs,
+            dl_minidb::StorageEnv::mem(),
+            Arc::new(ArchiveStore::new()),
+            Arc::new(WallClock),
+        )
     }
 
     pub fn config(&self) -> &DlfmConfig {
@@ -324,10 +325,7 @@ impl DlfmServer {
         on_unlink: OnUnlink,
     ) -> Result<(), String> {
         self.stats.links.fetch_add(1, Ordering::Relaxed);
-        let attr = self
-            .admin
-            .stat(&ROOT, path)
-            .map_err(|e| format!("cannot link {path}: {e}"))?;
+        let attr = self.admin.stat(&ROOT, path).map_err(|e| format!("cannot link {path}: {e}"))?;
         if attr.kind != FileKind::File {
             return Err(format!("cannot link {path}: not a regular file"));
         }
@@ -384,9 +382,7 @@ impl DlfmServer {
         }
         self.repo.insert_file_in(txn, &entry).map_err(|e| e.to_string())?;
         if constrained {
-            self.repo
-                .remove_intent_in(txn, host_txid, path)
-                .map_err(|e| e.to_string())?;
+            self.repo.remove_intent_in(txn, host_txid, path).map_err(|e| e.to_string())?;
             if mode.takes_over_at_link() {
                 self.stats.takeovers.fetch_add(1, Ordering::Relaxed);
             }
@@ -406,10 +402,7 @@ impl DlfmServer {
     /// restoration (or deletion, per ON UNLINK) is deferred to commit.
     pub fn unlink_file(&self, host_txid: u64, path: &str) -> Result<(), String> {
         self.stats.unlinks.fetch_add(1, Ordering::Relaxed);
-        let entry = self
-            .repo
-            .get_file(path)
-            .ok_or_else(|| format!("file {path} is not linked"))?;
+        let entry = self.repo.get_file(path).ok_or_else(|| format!("file {path} is not linked"))?;
         let sync = self.repo.sync_entries(path);
         if !sync.is_empty() {
             // §4.5: "when a read [or write] entry exists in the DLFM Sync
@@ -461,7 +454,9 @@ impl DlfmServer {
                 gid: entry.orig_gid,
                 mode: entry.orig_mode,
             }),
-            OnUnlink::Delete => sub.deferred.push(DeferredFs::DeleteFile { path: path.to_string() }),
+            OnUnlink::Delete => {
+                sub.deferred.push(DeferredFs::DeleteFile { path: path.to_string() })
+            }
         }
         Ok(())
     }
@@ -564,7 +559,11 @@ impl DlfmServer {
 
     fn set_attrs(&self, path: &str, uid: u32, gid: u32, mode: u16) -> Result<(), String> {
         self.admin
-            .setattr(&ROOT, path, &SetAttr { uid: Some(uid), gid: Some(gid), mode: Some(mode), ..Default::default() })
+            .setattr(
+                &ROOT,
+                path,
+                &SetAttr { uid: Some(uid), gid: Some(gid), mode: Some(mode), ..Default::default() },
+            )
             .map(|_| ())
             .map_err(|e| format!("setattr {path}: {e}"))
     }
@@ -575,7 +574,12 @@ impl DlfmServer {
 
     /// Token validation during `fs_lookup` interception (§4.1): verifies
     /// the MAC/expiry and records a token entry keyed by *userid*.
-    pub fn validate_token(&self, path: &str, token_str: &str, uid: u32) -> Result<TokenKind, String> {
+    pub fn validate_token(
+        &self,
+        path: &str,
+        token_str: &str,
+        uid: u32,
+    ) -> Result<TokenKind, String> {
         self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
         self.stats.token_validations.fetch_add(1, Ordering::Relaxed);
         let token = AccessToken::decode(token_str).map_err(|e| e.to_string())?;
@@ -594,13 +598,7 @@ impl DlfmServer {
     /// For a write, this is the rfd slow path ("DLFS contacts DLFM through
     /// an upcall only if the fs_open() entry point of the file system
     /// fails", §4.2) as well as the full-control (rdd) mandatory path.
-    pub fn open_check(
-        &self,
-        path: &str,
-        uid: u32,
-        wanted: TokenKind,
-        opener: u64,
-    ) -> OpenDecision {
+    pub fn open_check(&self, path: &str, uid: u32, wanted: TokenKind, opener: u64) -> OpenDecision {
         self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
         self.stats.open_checks.fetch_add(1, Ordering::Relaxed);
         let Some(entry) = self.repo.get_file(path) else {
@@ -663,9 +661,7 @@ impl DlfmServer {
         // captures the linked content as version 1 (state 0 = "since link").
         if self.archive.get(&entry.path, entry.cur_version).is_none() {
             match self.admin.read_file(&ROOT, &entry.path) {
-                Ok(data) => {
-                    self.archive.put(&entry.path, entry.cur_version, entry.state_id, data)
-                }
+                Ok(data) => self.archive.put(&entry.path, entry.cur_version, entry.state_id, data),
                 Err(e) => {
                     return OpenDecision::Rejected(format!(
                         "cannot capture before-image of {}: {e}",
@@ -812,15 +808,11 @@ impl DlfmServer {
         new_mtime: u64,
     ) -> Result<u64, String> {
         let host = self.host.read().clone();
-        let state_hint = host
-            .as_ref()
-            .map(|h| h.state_id())
-            .unwrap_or_else(|| self.repo.db().state_id());
+        let state_hint =
+            host.as_ref().map(|h| h.state_id()).unwrap_or_else(|| self.repo.db().state_id());
 
         let mut txn = self.repo.db().begin();
-        self.repo
-            .remove_uip_in(&mut txn, &entry.path)
-            .map_err(|e| e.to_string())?;
+        self.repo.remove_uip_in(&mut txn, &entry.path).map_err(|e| e.to_string())?;
         self.repo
             .commit_version_in(&mut txn, &entry.path, uip.new_version, state_hint)
             .map_err(|e| e.to_string())?;
@@ -865,9 +857,11 @@ impl DlfmServer {
             self.bump_epoch();
         } else {
             self.archiver.submit(job);
-            // needs_archive is cleared lazily; recovery treats a set flag
-            // with an archived version as already done.
-            let _ = self.repo.clear_needs_archive(&entry.path);
+            // needs_archive stays set until the job is known complete: a
+            // crash between submit and the worker's store.put would
+            // otherwise lose the only committed copy. Recovery clears the
+            // flag lazily, treating a set flag with an archived version as
+            // already done.
         }
     }
 
@@ -926,10 +920,7 @@ impl DlfmServer {
             let commit = host_txid
                 .and_then(|h| host.as_ref().and_then(|hook| hook.outcome(h)))
                 .unwrap_or(false); // presumed abort
-            self.repo
-                .db()
-                .resolve_in_doubt(txid, commit)
-                .map_err(|e| e.to_string())?;
+            self.repo.db().resolve_in_doubt(txid, commit).map_err(|e| e.to_string())?;
             report.in_doubt_resolved.push((txid, commit));
         }
 
@@ -986,8 +977,7 @@ impl DlfmServer {
                 && self.repo.get_uip(&entry.path).is_none()
             {
                 if let Ok(data) = self.admin.read_file(&ROOT, &entry.path) {
-                    self.archive
-                        .put(&entry.path, entry.cur_version, entry.state_id, data);
+                    self.archive.put(&entry.path, entry.cur_version, entry.state_id, data);
                     report.archives_recovered += 1;
                 }
             }
@@ -1061,9 +1051,7 @@ impl DlfmServer {
                         entry.orig_mode,
                     );
                     let mut txn = self.repo.db().begin();
-                    self.repo
-                        .delete_file_in(&mut txn, &entry.path)
-                        .map_err(|e| e.to_string())?;
+                    self.repo.delete_file_in(&mut txn, &entry.path).map_err(|e| e.to_string())?;
                     txn.commit().map_err(|e| e.to_string())?;
                     outcome.unlinked += 1;
                 }

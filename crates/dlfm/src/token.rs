@@ -60,20 +60,13 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
-            let t1 = hh
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+            let t1 = hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let t2 = s0.wrapping_add(maj);
@@ -250,10 +243,7 @@ impl AccessToken {
     /// Parses the string produced by [`AccessToken::encode`].
     pub fn decode(s: &str) -> Result<AccessToken, TokenError> {
         let mut chars = s.chars();
-        let kind = chars
-            .next()
-            .and_then(TokenKind::from_code)
-            .ok_or(TokenError::Malformed)?;
+        let kind = chars.next().and_then(TokenKind::from_code).ok_or(TokenError::Malformed)?;
         let rest: &str = chars.as_str();
         let (expiry_hex, mac_hex) = rest.split_once('-').ok_or(TokenError::Malformed)?;
         let expires_at_ms =
@@ -352,10 +342,7 @@ mod tests {
         // RFC 4231 test case 6 (key longer than block size).
         let key = [0xaa; 131];
         assert_eq!(
-            hex(&hmac_sha256(
-                &key,
-                b"Test Using Larger Than Block-Size Key - Hash Key First"
-            )),
+            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }

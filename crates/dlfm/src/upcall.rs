@@ -61,9 +61,7 @@ impl UpcallClient {
         if self.tx.send((req, reply_tx)).is_err() {
             return UpcallReply::Rejected("upcall daemon is down".into());
         }
-        reply_rx
-            .recv()
-            .unwrap_or(UpcallReply::Rejected("upcall daemon is down".into()))
+        reply_rx.recv().unwrap_or(UpcallReply::Rejected("upcall daemon is down".into()))
     }
 
     /// Number of upcall round-trips made through this client (benches).
@@ -169,11 +167,8 @@ impl UpcallDaemon {
                 }
             })
             .expect("spawn upcall daemon");
-        let client = UpcallClient {
-            tx: tx.clone(),
-            server,
-            round_trips: Arc::new(AtomicU64::new(0)),
-        };
+        let client =
+            UpcallClient { tx: tx.clone(), server, round_trips: Arc::new(AtomicU64::new(0)) };
         (UpcallDaemon { handle: Some(handle), tx }, client)
     }
 
@@ -212,11 +207,7 @@ impl UpcallDaemon {
 
     /// A second client on the same daemon (e.g. one per DLFS mount).
     pub fn client(&self, server: Arc<DlfmServer>) -> UpcallClient {
-        UpcallClient {
-            tx: self.tx.clone(),
-            server,
-            round_trips: Arc::new(AtomicU64::new(0)),
-        }
+        UpcallClient { tx: self.tx.clone(), server, round_trips: Arc::new(AtomicU64::new(0)) }
     }
 }
 

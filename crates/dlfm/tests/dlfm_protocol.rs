@@ -5,11 +5,11 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use dl_fskit::{Clock, Cred, FileSystem, Lfs, MemFs, SimClock};
 use dl_dlfm::{
     embed_token, AccessToken, ArchiveStore, ControlMode, DlfmConfig, DlfmServer, HostHook,
     MainDaemon, OnUnlink, OpenDecision, TokenKind, UpcallDaemon,
 };
+use dl_fskit::{Clock, Cred, FileSystem, Lfs, MemFs, SimClock};
 use dl_minidb::StorageEnv;
 
 const ALICE: Cred = Cred { uid: 100, gid: 100 };
@@ -26,9 +26,7 @@ fn fixture_with(cfg: DlfmConfig) -> Fixture {
     let fs = Arc::new(MemFs::with_clock(clock.clone()));
     let admin = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
     admin.mkdir_p(&Cred::root(), "/data", 0o777).unwrap();
-    admin
-        .write_file(&ALICE, "/data/clip.mpg", b"committed v1")
-        .unwrap();
+    admin.write_file(&ALICE, "/data/clip.mpg", b"committed v1").unwrap();
     let server = Arc::new(
         DlfmServer::new(
             cfg,
@@ -69,9 +67,7 @@ fn read_token(f: &Fixture, path: &str) -> AccessToken {
 /// Links a file and commits the surrounding "host transaction" directly
 /// through the server's 2PC surface.
 fn link_committed(f: &Fixture, host_txid: u64, path: &str, mode: ControlMode) {
-    f.server
-        .link_file(host_txid, path, mode, true, OnUnlink::Restore)
-        .unwrap();
+    f.server.link_file(host_txid, path, mode, true, OnUnlink::Restore).unwrap();
     f.server.prepare_host(host_txid).unwrap();
     f.server.commit_host(host_txid);
 }
@@ -79,9 +75,7 @@ fn link_committed(f: &Fixture, host_txid: u64, path: &str, mode: ControlMode) {
 /// Validates a write token and opens the file for update; returns opener id.
 fn approved_write_open(f: &Fixture, path: &str, opener: u64) -> Cred {
     let tok = write_token(f, path);
-    f.server
-        .validate_token(path, &tok.encode(), ALICE.uid)
-        .unwrap();
+    f.server.validate_token(path, &tok.encode(), ALICE.uid).unwrap();
     match f.server.open_check(path, ALICE.uid, TokenKind::Write, opener) {
         OpenDecision::Approved { open_as } => open_as,
         other => panic!("expected approval, got {other:?}"),
@@ -110,9 +104,7 @@ fn link_applies_constraints_and_commit_makes_durable() {
 #[test]
 fn link_abort_restores_file_attributes() {
     let f = fixture();
-    f.server
-        .link_file(7, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
-        .unwrap();
+    f.server.link_file(7, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
     // Constraint applied eagerly...
     assert_eq!(
         f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap().uid,
@@ -190,9 +182,7 @@ fn unlink_abort_keeps_file_linked() {
 #[test]
 fn unlink_delete_removes_file_and_archive() {
     let f = fixture();
-    f.server
-        .link_file(1, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Delete)
-        .unwrap();
+    f.server.link_file(1, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Delete).unwrap();
     f.server.prepare_host(1).unwrap();
     f.server.commit_host(1);
 
@@ -213,9 +203,7 @@ fn unlink_rejected_while_file_open() {
     assert!(err.contains("open"), "§4.5 sync-table veto, got: {err}");
 
     // After close the unlink proceeds.
-    f.server
-        .close_notify("/data/clip.mpg", 42, false, 0, 0)
-        .unwrap();
+    f.server.close_notify("/data/clip.mpg", 42, false, 0, 0).unwrap();
     f.server.unlink_file(3, "/data/clip.mpg").unwrap();
     f.server.prepare_host(3).unwrap();
     f.server.commit_host(3);
@@ -243,10 +231,7 @@ fn expired_token_rejected_at_validation() {
         TokenKind::Write,
         f.clock.now_ms().saturating_sub(10),
     );
-    let err = f
-        .server
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap_err();
+    let err = f.server.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap_err();
     assert!(err.contains("expired"));
 }
 
@@ -256,9 +241,7 @@ fn read_token_cannot_open_for_write() {
     let f = fixture();
     link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
     let tok = read_token(&f, "/data/clip.mpg");
-    f.server
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap();
+    f.server.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
     match f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 1) {
         OpenDecision::Rejected(msg) => assert!(msg.contains("token")),
         other => panic!("read token must not grant write, got {other:?}"),
@@ -279,9 +262,7 @@ fn write_open_grants_and_close_without_write_releases() {
     assert_eq!(f.server.repository().sync_entries("/data/clip.mpg").len(), 1);
 
     // Closing without modification: no version bump, state released.
-    f.server
-        .close_notify("/data/clip.mpg", 5, false, 12, 0)
-        .unwrap();
+    f.server.close_notify("/data/clip.mpg", 5, false, 12, 0).unwrap();
     let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
     assert_eq!(entry.cur_version, 1);
     assert!(f.server.repository().get_uip("/data/clip.mpg").is_none());
@@ -302,23 +283,15 @@ fn committed_update_bumps_version_and_archives() {
     // Write through the physical FS as the granted identity.
     f.admin.write_file(&dlfm, "/data/clip.mpg", b"brand new v2").unwrap();
     let attr = f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
-    f.server
-        .close_notify("/data/clip.mpg", 5, true, attr.size, attr.mtime)
-        .unwrap();
+    f.server.close_notify("/data/clip.mpg", 5, true, attr.size, attr.mtime).unwrap();
 
     let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
     assert_eq!(entry.cur_version, 2);
 
     // v1 before-image and v2 committed image both archived.
     f.server.archive_store().wait_archived("/data/clip.mpg");
-    assert_eq!(
-        f.server.archive_store().get("/data/clip.mpg", 1).unwrap().data,
-        b"committed v1"
-    );
-    assert_eq!(
-        f.server.archive_store().get("/data/clip.mpg", 2).unwrap().data,
-        b"brand new v2"
-    );
+    assert_eq!(f.server.archive_store().get("/data/clip.mpg", 1).unwrap().data, b"committed v1");
+    assert_eq!(f.server.archive_store().get("/data/clip.mpg", 2).unwrap().data, b"brand new v2");
 }
 
 #[test]
@@ -328,17 +301,13 @@ fn write_write_conflict_is_busy_until_close() {
     approved_write_open(&f, "/data/clip.mpg", 5);
 
     let tok = write_token(&f, "/data/clip.mpg");
-    f.server
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap();
+    f.server.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
     assert_eq!(
         f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 6),
         OpenDecision::Busy
     );
 
-    f.server
-        .close_notify("/data/clip.mpg", 5, false, 0, 0)
-        .unwrap();
+    f.server.close_notify("/data/clip.mpg", 5, false, 0, 0).unwrap();
     assert!(matches!(
         f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 6),
         OpenDecision::Approved { .. }
@@ -352,9 +321,7 @@ fn rdd_read_blocks_writer_and_vice_versa() {
 
     // Reader opens with a read token.
     let tok = read_token(&f, "/data/clip.mpg");
-    f.server
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap();
+    f.server.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
     assert!(matches!(
         f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Read, 1),
         OpenDecision::Approved { .. }
@@ -362,9 +329,7 @@ fn rdd_read_blocks_writer_and_vice_versa() {
 
     // Writer is told Busy (read-write serialization at open, §4.2).
     let wtok = write_token(&f, "/data/clip.mpg");
-    f.server
-        .validate_token("/data/clip.mpg", &wtok.encode(), ALICE.uid)
-        .unwrap();
+    f.server.validate_token("/data/clip.mpg", &wtok.encode(), ALICE.uid).unwrap();
     assert_eq!(
         f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 2),
         OpenDecision::Busy
@@ -387,9 +352,7 @@ fn blocked_mode_rejects_writes_outright() {
     let f = fixture();
     link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rfb);
     let tok = write_token(&f, "/data/clip.mpg");
-    f.server
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap();
+    f.server.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
     match f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 1) {
         OpenDecision::Rejected(msg) => assert!(msg.contains("blocked")),
         other => panic!("rfb write must be rejected, got {other:?}"),
@@ -438,21 +401,13 @@ fn failed_close_commit_rolls_back_to_last_committed_version() {
     f.server.set_host_hook(Arc::new(FailingHook));
 
     let dlfm = approved_write_open(&f, "/data/clip.mpg", 5);
-    f.admin
-        .write_file(&dlfm, "/data/clip.mpg", b"doomed bytes")
-        .unwrap();
-    let err = f
-        .server
-        .close_notify("/data/clip.mpg", 5, true, 12, 99)
-        .unwrap_err();
+    f.admin.write_file(&dlfm, "/data/clip.mpg", b"doomed bytes").unwrap();
+    let err = f.server.close_notify("/data/clip.mpg", 5, true, 12, 99).unwrap_err();
     assert!(err.contains("aborted"));
 
     // §4.2: the last committed version is restored; the dirty image is
     // quarantined; the version number did not move.
-    assert_eq!(
-        f.admin.read_file(&Cred::root(), "/data/clip.mpg").unwrap(),
-        b"committed v1"
-    );
+    assert_eq!(f.admin.read_file(&Cred::root(), "/data/clip.mpg").unwrap(), b"committed v1");
     let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
     assert_eq!(entry.cur_version, 1);
     assert_eq!(f.server.archive_store().quarantined().len(), 1);
@@ -522,9 +477,7 @@ fn crash_mid_update_restores_last_committed_version() {
     let f = Fixture { fs, server, clock, admin };
     link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
     let dlfm = approved_write_open(&f, "/data/clip.mpg", 9);
-    f.admin
-        .write_file(&dlfm, "/data/clip.mpg", b"half-written garbage")
-        .unwrap();
+    f.admin.write_file(&dlfm, "/data/clip.mpg", b"half-written garbage").unwrap();
     // CRASH before close.
     let (fs, server2, report) = crash_and_recover(f, repo_env, &[(1, true)]);
 
@@ -569,8 +522,7 @@ fn crash_with_in_doubt_link_resolves_by_host_outcome() {
             .unwrap();
         f.server.prepare_host(77).unwrap();
         // CRASH between prepare and commit: the sub-transaction is in doubt.
-        let (fs, server2, report) =
-            crash_and_recover(f, repo_env, &[(77, host_committed)]);
+        let (fs, server2, report) = crash_and_recover(f, repo_env, &[(77, host_committed)]);
 
         assert_eq!(report.in_doubt_resolved.len(), 1);
         assert_eq!(report.in_doubt_resolved[0].1, host_committed);
@@ -609,9 +561,7 @@ fn recovery_clears_transient_token_and_sync_state() {
     let f = Fixture { fs, server, clock, admin };
     link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
     let tok = read_token(&f, "/data/clip.mpg");
-    f.server
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap();
+    f.server.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
     assert!(matches!(
         f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Read, 3),
         OpenDecision::Approved { .. }
@@ -628,9 +578,7 @@ fn recovery_clears_transient_token_and_sync_state() {
         TokenKind::Write,
         u64::MAX,
     );
-    server2
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap();
+    server2.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
     assert!(matches!(
         server2.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 4),
         OpenDecision::Approved { .. }
@@ -646,18 +594,14 @@ fn upcall_daemon_round_trips() {
     let (_daemon, client) = UpcallDaemon::spawn(Arc::clone(&f.server));
 
     let tok = write_token(&f, "/data/clip.mpg");
-    let kind = client
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap();
+    let kind = client.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
     assert_eq!(kind, TokenKind::Write);
 
     match client.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 8) {
         OpenDecision::Approved { open_as } => assert_eq!(open_as, f.server.config().dlfm_cred),
         other => panic!("unexpected {other:?}"),
     }
-    client
-        .close_notify("/data/clip.mpg", 8, false, 0, 0)
-        .unwrap();
+    client.close_notify("/data/clip.mpg", 8, false, 0, 0).unwrap();
     assert!(client.mutation_check("/data/clip.mpg").is_err());
     assert_eq!(client.round_trip_count(), 4);
 }
@@ -677,9 +621,7 @@ fn child_agents_drive_link_through_2pc() {
     let agent = daemon.connect();
     assert_eq!(daemon.child_count(), 1);
 
-    agent
-        .link(11, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
-        .unwrap();
+    agent.link(11, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
     use dl_minidb::Participant;
     agent.prepare(11).unwrap();
     agent.commit(11);
@@ -696,16 +638,11 @@ fn agent_abort_undoes_link() {
     let f = fixture();
     let daemon = MainDaemon::new(Arc::clone(&f.server));
     let agent = daemon.connect();
-    agent
-        .link(21, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
-        .unwrap();
+    agent.link(21, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
     use dl_minidb::Participant;
     agent.abort(21);
     assert!(f.server.repository().get_file("/data/clip.mpg").is_none());
-    assert_eq!(
-        f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap().uid,
-        ALICE.uid
-    );
+    assert_eq!(f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap().uid, ALICE.uid);
 }
 
 #[test]
@@ -725,9 +662,7 @@ fn strict_link_rejects_linking_open_files() {
     assert!(err.contains("open"), "strict link closes the §4.5 window: {err}");
 
     f.server.unregister_open("/data/clip.mpg", 99);
-    f.server
-        .link_file(2, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore)
-        .unwrap();
+    f.server.link_file(2, "/data/clip.mpg", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
 }
 
 #[test]
@@ -739,16 +674,12 @@ fn archive_blocks_next_update_until_complete() {
 
     let dlfm = approved_write_open(&f, "/data/clip.mpg", 5);
     f.admin.write_file(&dlfm, "/data/clip.mpg", b"v2").unwrap();
-    f.server
-        .close_notify("/data/clip.mpg", 5, true, 2, 999)
-        .unwrap();
+    f.server.close_notify("/data/clip.mpg", 5, true, 2, 999).unwrap();
 
     // Wait for the async job, then the next update is approved again.
     f.server.archive_store().wait_archived("/data/clip.mpg");
     let tok = write_token(&f, "/data/clip.mpg");
-    f.server
-        .validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid)
-        .unwrap();
+    f.server.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
     assert!(matches!(
         f.server.open_check("/data/clip.mpg", ALICE.uid, TokenKind::Write, 6),
         OpenDecision::Approved { .. }
@@ -765,17 +696,12 @@ fn versions_accumulate_with_recovery_option() {
         f.admin
             .write_file(&dlfm, "/data/clip.mpg", format!("content v{round}").as_bytes())
             .unwrap();
-        f.server
-            .close_notify("/data/clip.mpg", opener, true, 10, round)
-            .unwrap();
+        f.server.close_notify("/data/clip.mpg", opener, true, 10, round).unwrap();
         f.server.archive_store().wait_archived("/data/clip.mpg");
     }
     let versions = f.server.archive_store().versions("/data/clip.mpg");
     assert_eq!(versions.len(), 4, "v1 before-image + three updates");
-    assert_eq!(
-        f.server.repository().get_file("/data/clip.mpg").unwrap().cur_version,
-        4
-    );
+    assert_eq!(f.server.repository().get_file("/data/clip.mpg").unwrap().cur_version, 4);
     // State identifiers are non-decreasing.
     let ids: Vec<u64> = versions.iter().map(|(_, s)| *s).collect();
     assert!(ids.windows(2).all(|w| w[0] <= w[1]));
@@ -784,21 +710,15 @@ fn versions_accumulate_with_recovery_option() {
 #[test]
 fn no_recovery_option_prunes_old_versions() {
     let f = fixture();
-    f.server
-        .link_file(1, "/data/clip.mpg", ControlMode::Rdd, false, OnUnlink::Restore)
-        .unwrap();
+    f.server.link_file(1, "/data/clip.mpg", ControlMode::Rdd, false, OnUnlink::Restore).unwrap();
     f.server.prepare_host(1).unwrap();
     f.server.commit_host(1);
 
     for round in 2..=3u64 {
         let opener = round * 10;
         let dlfm = approved_write_open(&f, "/data/clip.mpg", opener);
-        f.admin
-            .write_file(&dlfm, "/data/clip.mpg", format!("v{round}").as_bytes())
-            .unwrap();
-        f.server
-            .close_notify("/data/clip.mpg", opener, true, 2, round)
-            .unwrap();
+        f.admin.write_file(&dlfm, "/data/clip.mpg", format!("v{round}").as_bytes()).unwrap();
+        f.server.close_notify("/data/clip.mpg", opener, true, 2, round).unwrap();
         f.server.archive_store().wait_archived("/data/clip.mpg");
     }
     let versions = f.server.archive_store().versions("/data/clip.mpg");

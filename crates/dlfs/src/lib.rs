@@ -39,8 +39,8 @@ use std::sync::Arc;
 
 use dl_dlfm::{OpenDecision, TokenKind, UpcallClient};
 use dl_fskit::flock::{LockOp, LockOwner};
-use dl_fskit::{Cred, DirEntry, FileAttr, FileKind, FsError, FsResult, Ino, OpenFlags, SetAttr};
 use dl_fskit::{path as fspath, FileSystem};
+use dl_fskit::{Cred, DirEntry, FileAttr, FileKind, FsError, FsResult, Ino, OpenFlags, SetAttr};
 use parking_lot::{Mutex, RwLock};
 
 /// What to do when DLFM answers `Busy` (conflicting open or in-flight

@@ -60,9 +60,7 @@ fn stack() -> Stack {
 fn link(s: &Stack, path: &str, mode: ControlMode) {
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1000);
     let txid = NEXT.fetch_add(1, Ordering::Relaxed);
-    s.server
-        .link_file(txid, path, mode, true, OnUnlink::Restore)
-        .unwrap();
+    s.server.link_file(txid, path, mode, true, OnUnlink::Restore).unwrap();
     s.server.prepare_host(txid).unwrap();
     s.server.commit_host(txid);
 }
@@ -203,10 +201,7 @@ fn rfd_write_takes_slow_path_and_reads_stay_fast() {
     let fd = s.lfs.open(&BOB, "/web/index.html", OpenOptions::read_only()).unwrap();
     assert_eq!(s.lfs.read_to_end(fd).unwrap(), b"fresh content");
     s.lfs.close(fd).unwrap();
-    assert_eq!(
-        s.server.repository().get_file("/web/index.html").unwrap().cur_version,
-        2
-    );
+    assert_eq!(s.server.repository().get_file("/web/index.html").unwrap().cur_version, 2);
 }
 
 #[test]
@@ -214,9 +209,7 @@ fn plain_readonly_file_write_still_fails_cleanly() {
     // A chmod 444 file that is NOT linked: the rfd fallback upcall answers
     // NotManaged and the original EACCES surfaces.
     let s = stack();
-    s.raw
-        .setattr(&ALICE, "/web/plain.txt", &SetAttr::chmod(0o444))
-        .unwrap();
+    s.raw.setattr(&ALICE, "/web/plain.txt", &SetAttr::chmod(0o444)).unwrap();
     assert_eq!(
         s.lfs.open(&ALICE, "/web/plain.txt", OpenOptions::write_only()),
         Err(FsError::AccessDenied)
@@ -229,10 +222,7 @@ fn remove_and_rename_of_linked_files_rejected() {
     let s = stack();
     link(&s, "/web/index.html", ControlMode::Rff);
 
-    assert!(matches!(
-        s.lfs.remove(&ALICE, "/web/index.html"),
-        Err(FsError::Rejected(_))
-    ));
+    assert!(matches!(s.lfs.remove(&ALICE, "/web/index.html"), Err(FsError::Rejected(_))));
     assert!(matches!(
         s.lfs.rename(&ALICE, "/web/index.html", "/web/index2.html"),
         Err(FsError::Rejected(_))
@@ -284,10 +274,7 @@ fn write_write_blocking_across_threads() {
         3,
         "both updates committed, serially"
     );
-    assert_eq!(
-        s.raw.read_file(&Cred::root(), "/web/index.html").unwrap(),
-        b"second writer"
-    );
+    assert_eq!(s.raw.read_file(&Cred::root(), "/web/index.html").unwrap(), b"second writer");
 }
 
 #[test]
@@ -299,10 +286,7 @@ fn fail_policy_returns_busy_instead_of_blocking() {
     link(&s, "/web/index.html", ControlMode::Rdd);
     let wpath = embed_token("/web/index.html", &tok(&s, "/web/index.html", TokenKind::Write));
     let fd = s.lfs.open(&ALICE, &wpath, OpenOptions::read_write()).unwrap();
-    assert_eq!(
-        s.lfs.open(&ALICE, &wpath, OpenOptions::read_write()),
-        Err(FsError::Busy)
-    );
+    assert_eq!(s.lfs.open(&ALICE, &wpath, OpenOptions::read_write()), Err(FsError::Busy));
     s.lfs.close(fd).unwrap();
 }
 
@@ -327,11 +311,8 @@ fn aborted_update_restores_content_via_recovery_path() {
         .unwrap(),
     );
     let (daemon, client) = UpcallDaemon::spawn(Arc::clone(&server));
-    let dlfs = Arc::new(Dlfs::new(
-        fs.clone() as Arc<dyn FileSystem>,
-        client,
-        DlfsConfig::default(),
-    ));
+    let dlfs =
+        Arc::new(Dlfs::new(fs.clone() as Arc<dyn FileSystem>, client, DlfsConfig::default()));
     let lfs = Lfs::new(dlfs.clone() as Arc<dyn FileSystem>);
 
     server.link_file(1, "/web/a.html", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
@@ -381,9 +362,7 @@ fn strict_mode_blocks_link_of_open_file() {
 
     // After close, linking succeeds.
     s.lfs.close(fd).unwrap();
-    s.server
-        .link_file(51, "/web/plain.txt", ControlMode::Rdd, true, OnUnlink::Restore)
-        .unwrap();
+    s.server.link_file(51, "/web/plain.txt", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
     s.server.prepare_host(51).unwrap();
     s.server.commit_host(51);
 }
@@ -394,9 +373,7 @@ fn non_strict_mode_has_the_link_window() {
     // even when the file is currently open by other applications" (§4.5).
     let s = stack();
     let fd = s.lfs.open(&ALICE, "/web/plain.txt", OpenOptions::read_only()).unwrap();
-    s.server
-        .link_file(60, "/web/plain.txt", ControlMode::Rdd, true, OnUnlink::Restore)
-        .unwrap();
+    s.server.link_file(60, "/web/plain.txt", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
     s.server.prepare_host(60).unwrap();
     s.server.commit_host(60);
     // The reader still holds a descriptor to a now-fully-controlled file.

@@ -114,9 +114,7 @@ impl FileLockTable {
         let mut table = self.inner.lock();
         match op {
             LockOp::Test(kind) => {
-                let ok = table
-                    .get(&ino)
-                    .is_none_or(|st| st.grantable(owner, kind));
+                let ok = table.get(&ino).is_none_or(|st| st.grantable(owner, kind));
                 Ok(ok)
             }
             LockOp::TryLock(kind) => {
@@ -131,20 +129,18 @@ impl FileLockTable {
                     Err(FsError::WouldBlock)
                 }
             }
-            LockOp::Lock(kind) => {
-                loop {
-                    let st = table.entry(ino).or_default();
-                    if st.grantable(owner, kind) {
-                        st.grant(owner, kind);
-                        return Ok(true);
-                    }
-                    st.waiters += 1;
-                    self.released.wait(&mut table);
-                    if let Some(st) = table.get_mut(&ino) {
-                        st.waiters -= 1;
-                    }
+            LockOp::Lock(kind) => loop {
+                let st = table.entry(ino).or_default();
+                if st.grantable(owner, kind) {
+                    st.grant(owner, kind);
+                    return Ok(true);
                 }
-            }
+                st.waiters += 1;
+                self.released.wait(&mut table);
+                if let Some(st) = table.get_mut(&ino) {
+                    st.waiters -= 1;
+                }
+            },
             LockOp::Unlock => {
                 let mut released = false;
                 if let Some(st) = table.get_mut(&ino) {
@@ -277,9 +273,7 @@ mod tests {
     fn release_all_frees_every_file() {
         let t = FileLockTable::new();
         for ino in 0..4 {
-            assert!(t
-                .lockctl(ino, LockOwner(9), LockOp::TryLock(LockKind::Exclusive))
-                .unwrap());
+            assert!(t.lockctl(ino, LockOwner(9), LockOp::TryLock(LockKind::Exclusive)).unwrap());
         }
         assert_eq!(t.active_files(), 4);
         t.release_all(LockOwner(9));

@@ -457,10 +457,7 @@ mod tests {
     #[test]
     fn open_missing_without_create_fails() {
         let lfs = lfs();
-        assert_eq!(
-            lfs.open(&ALICE, "/nope", OpenOptions::read_only()),
-            Err(FsError::NotFound)
-        );
+        assert_eq!(lfs.open(&ALICE, "/nope", OpenOptions::read_only()), Err(FsError::NotFound));
     }
 
     #[test]

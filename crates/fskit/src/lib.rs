@@ -37,5 +37,5 @@ pub use error::{FsError, FsResult};
 pub use flock::{FileLockTable, LockKind, LockOp, LockOwner};
 pub use lfs::{Fd, Lfs, OpenOptions};
 pub use memfs::MemFs;
-pub use types::{Cred, DirEntry, FileAttr, FileKind, OpenFlags, SetAttr, Ino, ROOT_UID};
+pub use types::{Cred, DirEntry, FileAttr, FileKind, Ino, OpenFlags, SetAttr, ROOT_UID};
 pub use vnode::FileSystem;

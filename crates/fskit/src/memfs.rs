@@ -30,9 +30,7 @@ use parking_lot::RwLock;
 use crate::clock::{Clock, WallClock};
 use crate::error::{FsError, FsResult};
 use crate::flock::{FileLockTable, LockOp, LockOwner};
-use crate::types::{
-    permits, Access, Cred, DirEntry, FileAttr, FileKind, Ino, OpenFlags, SetAttr,
-};
+use crate::types::{permits, Access, Cred, DirEntry, FileAttr, FileKind, Ino, OpenFlags, SetAttr};
 use crate::vnode::FileSystem;
 
 /// Deterministic I/O cost model: a fixed per-call latency plus a throughput
@@ -256,10 +254,9 @@ impl FileSystem for MemFs {
         let inode = Self::get_mut(&mut inner, ino)?;
 
         // chown: superuser only (classic restricted chown).
-        if (set.uid.is_some() || set.gid.is_some())
-            && !cred.is_root() {
-                return Err(FsError::NotPermitted);
-            }
+        if (set.uid.is_some() || set.gid.is_some()) && !cred.is_root() {
+            return Err(FsError::NotPermitted);
+        }
         // chmod: owner or superuser.
         if set.mode.is_some() && !cred.is_root() && cred.uid != inode.uid {
             return Err(FsError::NotPermitted);
@@ -321,9 +318,7 @@ impl FileSystem for MemFs {
                 node: Node::File(Vec::new()),
             },
         );
-        Self::get_mut(&mut inner, parent)?
-            .dir_mut()?
-            .insert(name.to_string(), ino);
+        Self::get_mut(&mut inner, parent)?.dir_mut()?.insert(name.to_string(), ino);
         Ok(ino)
     }
 
@@ -352,9 +347,7 @@ impl FileSystem for MemFs {
                 node: Node::Dir(BTreeMap::new()),
             },
         );
-        Self::get_mut(&mut inner, parent)?
-            .dir_mut()?
-            .insert(name.to_string(), ino);
+        Self::get_mut(&mut inner, parent)?.dir_mut()?.insert(name.to_string(), ino);
         Ok(ino)
     }
 
@@ -482,9 +475,7 @@ impl FileSystem for MemFs {
             }
         }
         Self::get_mut(&mut inner, parent)?.dir_mut()?.remove(name);
-        Self::get_mut(&mut inner, new_parent)?
-            .dir_mut()?
-            .insert(new_name.to_string(), target);
+        Self::get_mut(&mut inner, new_parent)?.dir_mut()?.insert(new_name.to_string(), target);
         Ok(())
     }
 
@@ -558,10 +549,7 @@ mod tests {
     fn permission_checks_on_open() {
         let fs = fs();
         let ino = fs.fs_create(&ALICE, fs.root(), "private", 0o600).unwrap();
-        assert_eq!(
-            fs.fs_open(&BOB, ino, OpenFlags::read_only()),
-            Err(FsError::AccessDenied)
-        );
+        assert_eq!(fs.fs_open(&BOB, ino, OpenFlags::read_only()), Err(FsError::AccessDenied));
         assert!(fs.fs_open(&ALICE, ino, OpenFlags::read_write()).is_ok());
     }
 
@@ -573,10 +561,7 @@ mod tests {
         let fs = fs();
         let ino = fs.fs_create(&ALICE, fs.root(), "linked", 0o644).unwrap();
         fs.fs_setattr(&Cred::root(), ino, &SetAttr::chmod(0o444)).unwrap();
-        assert_eq!(
-            fs.fs_open(&ALICE, ino, OpenFlags::write_only()),
-            Err(FsError::AccessDenied)
-        );
+        assert_eq!(fs.fs_open(&ALICE, ino, OpenFlags::write_only()), Err(FsError::AccessDenied));
         assert!(fs.fs_open(&ALICE, ino, OpenFlags::read_only()).is_ok());
     }
 
@@ -589,10 +574,7 @@ mod tests {
         let ino = fs.fs_create(&ALICE, fs.root(), "ctl", 0o644).unwrap();
         fs.fs_setattr(&Cred::root(), ino, &SetAttr::chown(dlfm.uid, dlfm.gid)).unwrap();
         fs.fs_setattr(&Cred::root(), ino, &SetAttr::chmod(0o600)).unwrap();
-        assert_eq!(
-            fs.fs_open(&ALICE, ino, OpenFlags::read_only()),
-            Err(FsError::AccessDenied)
-        );
+        assert_eq!(fs.fs_open(&ALICE, ino, OpenFlags::read_only()), Err(FsError::AccessDenied));
         assert!(fs.fs_open(&dlfm, ino, OpenFlags::read_only()).is_ok());
     }
 
@@ -600,20 +582,14 @@ mod tests {
     fn chown_requires_root() {
         let fs = fs();
         let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
-        assert_eq!(
-            fs.fs_setattr(&ALICE, ino, &SetAttr::chown(42, 42)),
-            Err(FsError::NotPermitted)
-        );
+        assert_eq!(fs.fs_setattr(&ALICE, ino, &SetAttr::chown(42, 42)), Err(FsError::NotPermitted));
     }
 
     #[test]
     fn chmod_requires_owner_or_root() {
         let fs = fs();
         let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
-        assert_eq!(
-            fs.fs_setattr(&BOB, ino, &SetAttr::chmod(0o777)),
-            Err(FsError::NotPermitted)
-        );
+        assert_eq!(fs.fs_setattr(&BOB, ino, &SetAttr::chmod(0o777)), Err(FsError::NotPermitted));
         assert!(fs.fs_setattr(&ALICE, ino, &SetAttr::chmod(0o600)).is_ok());
         assert!(fs.fs_setattr(&Cred::root(), ino, &SetAttr::chmod(0o644)).is_ok());
     }
@@ -657,10 +633,7 @@ mod tests {
         let root = fs.root();
         fs.fs_create(&ALICE, root, "a", 0o644).unwrap();
         fs.fs_create(&ALICE, root, "b", 0o644).unwrap();
-        assert_eq!(
-            fs.fs_rename(&ALICE, root, "a", root, "b"),
-            Err(FsError::AlreadyExists)
-        );
+        assert_eq!(fs.fs_rename(&ALICE, root, "a", root, "b"), Err(FsError::AlreadyExists));
     }
 
     #[test]
@@ -670,12 +643,8 @@ mod tests {
         let d = fs.fs_mkdir(&ALICE, root, "movies", 0o755).unwrap();
         fs.fs_create(&ALICE, d, "clip1.mpg", 0o644).unwrap();
         fs.fs_create(&ALICE, d, "clip2.mpg", 0o644).unwrap();
-        let names: Vec<String> = fs
-            .fs_readdir(&ALICE, d)
-            .unwrap()
-            .into_iter()
-            .map(|e| e.name)
-            .collect();
+        let names: Vec<String> =
+            fs.fs_readdir(&ALICE, d).unwrap().into_iter().map(|e| e.name).collect();
         assert_eq!(names, vec!["clip1.mpg", "clip2.mpg"]);
     }
 
@@ -713,7 +682,12 @@ mod tests {
         let fs = fs();
         let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o666).unwrap();
         assert!(fs
-            .fs_lockctl(&ALICE, ino, LockOwner(1), LockOp::TryLock(crate::flock::LockKind::Exclusive))
+            .fs_lockctl(
+                &ALICE,
+                ino,
+                LockOwner(1),
+                LockOp::TryLock(crate::flock::LockKind::Exclusive)
+            )
             .unwrap());
         assert_eq!(
             fs.fs_lockctl(&BOB, ino, LockOwner(2), LockOp::TryLock(crate::flock::LockKind::Shared)),
@@ -724,7 +698,8 @@ mod tests {
     #[test]
     fn io_model_charges_time() {
         let clock = Arc::new(SimClock::new(0));
-        let fs = MemFs::with_clock(clock).with_io_model(IoModel { per_op_ns: 200_000, per_kib_ns: 0 });
+        let fs =
+            MemFs::with_clock(clock).with_io_model(IoModel { per_op_ns: 200_000, per_kib_ns: 0 });
         let ino = fs.fs_create(&ALICE, fs.root(), "f", 0o644).unwrap();
         fs.fs_write(&ALICE, ino, 0, &[0u8; 1024]).unwrap();
         let start = Instant::now();

@@ -20,9 +20,7 @@ pub fn components(path: &str) -> FsResult<Vec<&str>> {
         match comp {
             "" => continue,
             "." | ".." => {
-                return Err(FsError::InvalidArgument(format!(
-                    "path not normalized: {path}"
-                )))
+                return Err(FsError::InvalidArgument(format!("path not normalized: {path}")))
             }
             c => out.push(c),
         }
@@ -38,11 +36,7 @@ pub fn split_parent(path: &str) -> FsResult<(String, String)> {
     let Some((last, init)) = comps.split_last() else {
         return Err(FsError::InvalidArgument("root has no parent".into()));
     };
-    let parent = if init.is_empty() {
-        "/".to_string()
-    } else {
-        format!("/{}", init.join("/"))
-    };
+    let parent = if init.is_empty() { "/".to_string() } else { format!("/{}", init.join("/")) };
     Ok((parent, (*last).to_string()))
 }
 

@@ -32,10 +32,7 @@ mod tests {
         db.create_table(
             Schema::new(
                 "pages",
-                vec![
-                    Column::new("url", ColumnType::Text),
-                    Column::new("rev", ColumnType::Int),
-                ],
+                vec![Column::new("url", ColumnType::Text), Column::new("rev", ColumnType::Int)],
                 "url",
             )
             .unwrap(),
@@ -56,9 +53,7 @@ mod tests {
     }
 
     fn rev_of(db: &Database) -> i64 {
-        db.get_committed("pages", &Value::Text("/index.html".into()))
-            .unwrap()
-            .unwrap()[1]
+        db.get_committed("pages", &Value::Text("/index.html".into())).unwrap().unwrap()[1]
             .as_int()
             .unwrap()
     }

@@ -107,35 +107,25 @@ pub struct Database {
 pub(crate) fn apply_op(tables: &mut HashMap<String, TableStore>, op: &RowOp) -> DbResult<()> {
     match op {
         RowOp::CreateTable(schema) => {
-            tables
-                .entry(schema.table.clone())
-                .or_insert_with(|| TableStore::new(schema.clone()));
+            tables.entry(schema.table.clone()).or_insert_with(|| TableStore::new(schema.clone()));
         }
         RowOp::DropTable(name) => {
             tables.remove(name);
         }
         RowOp::CreateIndex { table, column } => {
-            let store = tables
-                .get_mut(table)
-                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let store = tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
             store.create_index(column)?;
         }
         RowOp::Insert { table, row } => {
-            let store = tables
-                .get_mut(table)
-                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let store = tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
             store.apply_insert(row.clone());
         }
         RowOp::Update { table, key, row } => {
-            let store = tables
-                .get_mut(table)
-                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let store = tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
             store.apply_update(key, row.clone());
         }
         RowOp::Delete { table, key } => {
-            let store = tables
-                .get_mut(table)
-                .ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
+            let store = tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.clone()))?;
             store.apply_delete(key);
         }
     }
@@ -223,10 +213,8 @@ impl Database {
 
         // Prepared-but-undecided transactions are in doubt; the coordinator
         // (DataLinks recovery orchestration) resolves them.
-        let in_doubt: HashMap<TxId, Vec<RowOp>> = prepared
-            .into_iter()
-            .filter(|(txid, _)| !decided.contains_key(txid))
-            .collect();
+        let in_doubt: HashMap<TxId, Vec<RowOp>> =
+            prepared.into_iter().filter(|(txid, _)| !decided.contains_key(txid)).collect();
 
         Ok(Database {
             inner: Arc::new(DbInner {
@@ -266,9 +254,7 @@ impl Database {
     /// Creates a secondary index on `table.column`, back-filling it.
     pub fn create_index(&self, table: &str, column: &str) -> DbResult<()> {
         let mut tables = self.inner.tables.write();
-        let store = tables
-            .get_mut(table)
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let store = tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
         if !store.schema.columns.iter().any(|c| c.name == column) {
             return Err(DbError::NoSuchColumn(column.to_string()));
         }
@@ -340,11 +326,7 @@ impl Database {
     }
 
     pub(crate) fn take_injected(&self, txid: TxId) -> Vec<InjectedDml> {
-        self.inner
-            .injected
-            .lock()
-            .remove(&txid)
-            .unwrap_or_default()
+        self.inner.injected.lock().remove(&txid).unwrap_or_default()
     }
 
     pub(crate) fn clear_injected(&self, txid: TxId) {
@@ -449,37 +431,28 @@ impl Database {
     /// read-committed point lookup.
     pub fn get_committed(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
         let tables = self.inner.tables.read();
-        let store = tables
-            .get(table)
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let store = tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
         Ok(store.get(key).cloned())
     }
 
     /// Scans committed rows without locks.
     pub fn scan_committed(&self, table: &str) -> DbResult<Vec<Row>> {
         let tables = self.inner.tables.read();
-        let store = tables
-            .get(table)
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let store = tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
         Ok(store.iter().map(|(_, row)| row.clone()).collect())
     }
 
     /// Committed row count.
     pub fn count(&self, table: &str) -> DbResult<usize> {
         let tables = self.inner.tables.read();
-        tables
-            .get(table)
-            .map(|s| s.len())
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))
+        tables.get(table).map(|s| s.len()).ok_or_else(|| DbError::NoSuchTable(table.to_string()))
     }
 
     /// Committed primary keys whose `column` equals `value` (uses the index
     /// when present).
     pub fn find_committed(&self, table: &str, column: &str, value: &Value) -> DbResult<Vec<Value>> {
         let tables = self.inner.tables.read();
-        let store = tables
-            .get(table)
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let store = tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
         store.find_equal(column, value)
     }
 }
@@ -492,10 +465,7 @@ mod tests {
     fn schema(name: &str) -> Schema {
         Schema::new(
             name,
-            vec![
-                Column::new("id", ColumnType::Int),
-                Column::nullable("val", ColumnType::Text),
-            ],
+            vec![Column::new("id", ColumnType::Int), Column::nullable("val", ColumnType::Text)],
             "id",
         )
         .unwrap()
@@ -585,8 +555,7 @@ mod tests {
         tx.commit().unwrap();
 
         let backup = db.backup().unwrap();
-        let restored =
-            Database::open_with(backup, DbOptions { stop_at_lsn: Some(lsn1) }).unwrap();
+        let restored = Database::open_with(backup, DbOptions { stop_at_lsn: Some(lsn1) }).unwrap();
         assert_eq!(restored.count("t").unwrap(), 1);
         assert!(restored.get_committed("t", &Value::Int(1)).unwrap().is_some());
     }
@@ -605,8 +574,7 @@ mod tests {
         db.checkpoint().unwrap(); // snapshot now contains both rows
 
         let backup = db.backup().unwrap();
-        let restored =
-            Database::open_with(backup, DbOptions { stop_at_lsn: Some(lsn1) }).unwrap();
+        let restored = Database::open_with(backup, DbOptions { stop_at_lsn: Some(lsn1) }).unwrap();
         assert_eq!(
             restored.count("t").unwrap(),
             1,

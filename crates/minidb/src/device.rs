@@ -185,9 +185,7 @@ impl StorageEnv {
                     return Ok(Arc::clone(dev) as Arc<dyn Device>);
                 }
                 let mut w = map.write();
-                let dev = w
-                    .entry(name.to_string())
-                    .or_insert_with(|| Arc::new(MemDevice::new()));
+                let dev = w.entry(name.to_string()).or_insert_with(|| Arc::new(MemDevice::new()));
                 Ok(Arc::clone(dev) as Arc<dyn Device>)
             }
             StorageEnv::Dir(dir) => {
@@ -207,10 +205,7 @@ impl StorageEnv {
                 let src = map.read();
                 let mut dst = HashMap::new();
                 for (name, dev) in src.iter() {
-                    dst.insert(
-                        name.clone(),
-                        Arc::new(MemDevice::from_bytes(dev.snapshot())),
-                    );
+                    dst.insert(name.clone(), Arc::new(MemDevice::from_bytes(dev.snapshot())));
                 }
                 Ok(StorageEnv::Mem(Arc::new(RwLock::new(dst))))
             }
@@ -222,8 +217,7 @@ impl StorageEnv {
                         .map(|d| d.as_nanos())
                         .unwrap_or(0)
                 ));
-                std::fs::create_dir_all(&dst)
-                    .map_err(|e| DbError::Io(format!("fork dir: {e}")))?;
+                std::fs::create_dir_all(&dst).map_err(|e| DbError::Io(format!("fork dir: {e}")))?;
                 for entry in std::fs::read_dir(dir).map_err(|e| DbError::Io(e.to_string()))? {
                     let entry = entry.map_err(|e| DbError::Io(e.to_string()))?;
                     if entry.path().is_file() {

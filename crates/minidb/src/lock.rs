@@ -103,9 +103,7 @@ struct ResState {
 
 impl ResState {
     fn grantable(&self, txid: TxId, mode: LockMode) -> bool {
-        self.holders
-            .iter()
-            .all(|(holder, held)| *holder == txid || held.compatible(mode))
+        self.holders.iter().all(|(holder, held)| *holder == txid || held.compatible(mode))
     }
 }
 
@@ -167,12 +165,8 @@ impl LockManager {
 
             // Blocked: collect who we would wait for, then check whether any
             // of them (transitively) waits for us — that would be a cycle.
-            let holders: HashSet<TxId> = state
-                .holders
-                .keys()
-                .copied()
-                .filter(|h| *h != txid)
-                .collect();
+            let holders: HashSet<TxId> =
+                state.holders.keys().copied().filter(|h| *h != txid).collect();
             state.waiters.push_back(txid);
             let deadlock = holders.iter().any(|holder| {
                 let mut seen = HashSet::new();

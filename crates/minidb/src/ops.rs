@@ -15,11 +15,24 @@ pub enum RowOp {
     CreateTable(Schema),
     DropTable(String),
     /// Secondary index on `column` of `table`.
-    CreateIndex { table: String, column: String },
-    Insert { table: String, row: Row },
+    CreateIndex {
+        table: String,
+        column: String,
+    },
+    Insert {
+        table: String,
+        row: Row,
+    },
     /// Full-row replacement identified by primary key.
-    Update { table: String, key: Value, row: Row },
-    Delete { table: String, key: Value },
+    Update {
+        table: String,
+        key: Value,
+        row: Row,
+    },
+    Delete {
+        table: String,
+        key: Value,
+    },
 }
 
 impl RowOp {
@@ -75,11 +88,7 @@ impl RowOp {
             1 => RowOp::DropTable(dec.get_str()?),
             2 => RowOp::CreateIndex { table: dec.get_str()?, column: dec.get_str()? },
             3 => RowOp::Insert { table: dec.get_str()?, row: get_row(dec)? },
-            4 => RowOp::Update {
-                table: dec.get_str()?,
-                key: get_value(dec)?,
-                row: get_row(dec)?,
-            },
+            4 => RowOp::Update { table: dec.get_str()?, key: get_value(dec)?, row: get_row(dec)? },
             5 => RowOp::Delete { table: dec.get_str()?, key: get_value(dec)? },
             t => return Err(DbError::Corrupt(format!("unknown rowop tag {t}"))),
         })

@@ -137,10 +137,7 @@ mod tests {
     fn sample_tables() -> HashMap<String, TableStore> {
         let schema = Schema::new(
             "movies",
-            vec![
-                Column::new("id", ColumnType::Int),
-                Column::new("title", ColumnType::Text),
-            ],
+            vec![Column::new("id", ColumnType::Int), Column::new("title", ColumnType::Text)],
             "id",
         )
         .unwrap();

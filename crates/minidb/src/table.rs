@@ -52,9 +52,7 @@ impl TableStore {
 
     /// True if `column` has a secondary index.
     pub fn has_index(&self, column: &str) -> bool {
-        self.schema
-            .column_index(column)
-            .is_some_and(|c| self.indexes.contains_key(&c))
+        self.schema.column_index(column).is_some_and(|c| self.indexes.contains_key(&c))
     }
 
     pub fn get(&self, key: &Value) -> Option<&Row> {
@@ -78,10 +76,7 @@ impl TableStore {
             .column_index(column)
             .ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
         if let Some(index) = self.indexes.get(&col) {
-            Ok(index
-                .get(value)
-                .map(|keys| keys.iter().cloned().collect())
-                .unwrap_or_default())
+            Ok(index.get(value).map(|keys| keys.iter().cloned().collect()).unwrap_or_default())
         } else {
             Ok(self
                 .rows
@@ -138,11 +133,8 @@ impl TableStore {
 
     /// Columns carrying secondary indexes (snapshot serialization).
     pub fn indexed_columns(&self) -> Vec<String> {
-        let mut cols: Vec<String> = self
-            .indexes
-            .keys()
-            .map(|c| self.schema.columns[*c].name.clone())
-            .collect();
+        let mut cols: Vec<String> =
+            self.indexes.keys().map(|c| self.schema.columns[*c].name.clone()).collect();
         cols.sort();
         cols
     }
@@ -236,10 +228,7 @@ mod tests {
     #[test]
     fn find_on_missing_column_errors() {
         let s = store();
-        assert!(matches!(
-            s.find_equal("nope", &Value::Int(0)),
-            Err(DbError::NoSuchColumn(_))
-        ));
+        assert!(matches!(s.find_equal("nope", &Value::Int(0)), Err(DbError::NoSuchColumn(_))));
     }
 
     #[test]

@@ -49,10 +49,7 @@ impl Txn {
         if self.state == TxnState::Active {
             Ok(())
         } else {
-            Err(DbError::InvalidTxnState(format!(
-                "tx{} is {:?}, not active",
-                self.id, self.state
-            )))
+            Err(DbError::InvalidTxnState(format!("tx{} is {:?}, not active", self.id, self.state)))
         }
     }
 
@@ -94,10 +91,8 @@ impl Txn {
         locks.lock(self.id, &LockRes::Table(table.to_string()), LockMode::Shared)?;
         let committed = self.db.scan_committed(table)?;
         let schema = self.db.schema(table)?;
-        let mut merged: BTreeMap<Value, Row> = committed
-            .into_iter()
-            .map(|row| (schema.key_of(&row), row))
-            .collect();
+        let mut merged: BTreeMap<Value, Row> =
+            committed.into_iter().map(|row| (schema.key_of(&row), row)).collect();
         for ((t, key), pending) in &self.overlay {
             if t != table {
                 continue;
@@ -128,9 +123,8 @@ impl Txn {
         let mut keys = self.db.find_committed(table, column, value)?;
         // Fold in pending writes.
         let schema = self.db.schema(table)?;
-        let col = schema
-            .column_index(column)
-            .ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
+        let col =
+            schema.column_index(column).ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
         for ((t, key), pending) in &self.overlay {
             if t != table {
                 continue;
@@ -174,8 +168,7 @@ impl Txn {
             before: None,
             after: Some(&row),
         })?;
-        self.overlay
-            .insert((table.to_string(), key.clone()), Some(row.clone()));
+        self.overlay.insert((table.to_string(), key.clone()), Some(row.clone()));
         self.ops.push(RowOp::Insert { table: table.to_string(), row });
         self.apply_injected()
     }
@@ -200,10 +193,8 @@ impl Txn {
             before: Some(&before),
             after: Some(&row),
         })?;
-        self.overlay
-            .insert((table.to_string(), key.clone()), Some(row.clone()));
-        self.ops
-            .push(RowOp::Update { table: table.to_string(), key: key.clone(), row });
+        self.overlay.insert((table.to_string(), key.clone()), Some(row.clone()));
+        self.ops.push(RowOp::Update { table: table.to_string(), key: key.clone(), row });
         self.apply_injected()
     }
 
@@ -217,9 +208,8 @@ impl Txn {
     ) -> DbResult<()> {
         self.ensure_active()?;
         let schema = self.db.schema(table)?;
-        let col = schema
-            .column_index(column)
-            .ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
+        let col =
+            schema.column_index(column).ok_or_else(|| DbError::NoSuchColumn(column.to_string()))?;
         self.write_locks(table, key)?;
         let mut row = self.current(table, key)?.ok_or(DbError::RowNotFound)?;
         row[col] = value;
@@ -241,8 +231,7 @@ impl Txn {
             after: None,
         })?;
         self.overlay.insert((table.to_string(), key.clone()), None);
-        self.ops
-            .push(RowOp::Delete { table: table.to_string(), key: key.clone() });
+        self.ops.push(RowOp::Delete { table: table.to_string(), key: key.clone() });
         self.apply_injected()
     }
 
@@ -269,8 +258,7 @@ impl Txn {
                     let key = schema.key_of(&row);
                     self.write_locks(&table, &key)?;
                     let exists = self.current(&table, &key)?.is_some();
-                    self.overlay
-                        .insert((table.clone(), key.clone()), Some(row.clone()));
+                    self.overlay.insert((table.clone(), key.clone()), Some(row.clone()));
                     self.ops.push(if exists {
                         RowOp::Update { table, key, row }
                     } else {
@@ -375,10 +363,7 @@ impl Txn {
     /// only finish via [`Txn::commit_prepared`] / [`Txn::abort_prepared`].
     pub fn prepare(&mut self) -> DbResult<()> {
         self.ensure_active()?;
-        self.db
-            .inner()
-            .wal
-            .append(&WalRecord::Prepare { txid: self.id, ops: self.ops.clone() })?;
+        self.db.inner().wal.append(&WalRecord::Prepare { txid: self.id, ops: self.ops.clone() })?;
         self.state = TxnState::Prepared;
         Ok(())
     }
@@ -394,9 +379,7 @@ impl Txn {
         let lsn = {
             let inner = self.db.inner();
             let _latch = inner.commit_latch.lock();
-            let lsn = inner
-                .wal
-                .append(&WalRecord::Decide { txid: self.id, commit: true })?;
+            let lsn = inner.wal.append(&WalRecord::Decide { txid: self.id, commit: true })?;
             let mut tables = inner.tables.write();
             for op in &self.ops {
                 apply_op(&mut tables, op)?;
@@ -415,10 +398,7 @@ impl Txn {
                 self.id, self.state
             )));
         }
-        self.db
-            .inner()
-            .wal
-            .append(&WalRecord::Decide { txid: self.id, commit: false })?;
+        self.db.inner().wal.append(&WalRecord::Decide { txid: self.id, commit: false })?;
         self.finish_local();
         Ok(())
     }
@@ -432,11 +412,8 @@ impl Drop for Txn {
                 // A *dropped* prepared transaction is a programming bug, not
                 // a crash (crashes never run Drop). Settle it as an abort so
                 // locks and log state stay coherent.
-                let _ = self
-                    .db
-                    .inner()
-                    .wal
-                    .append(&WalRecord::Decide { txid: self.id, commit: false });
+                let _ =
+                    self.db.inner().wal.append(&WalRecord::Decide { txid: self.id, commit: false });
                 self.abort_in_place();
             }
             TxnState::Active => self.abort_in_place(),
@@ -458,10 +435,7 @@ mod tests {
         db.create_table(
             Schema::new(
                 "t",
-                vec![
-                    Column::new("id", ColumnType::Int),
-                    Column::nullable("val", ColumnType::Text),
-                ],
+                vec![Column::new("id", ColumnType::Int), Column::nullable("val", ColumnType::Text)],
                 "id",
             )
             .unwrap(),
@@ -579,9 +553,7 @@ mod tests {
         for i in 0..10 {
             tx.insert("t", row(i, if i % 2 == 0 { "even" } else { "odd" })).unwrap();
         }
-        let evens = tx
-            .select("t", |r| r[1] == Value::Text("even".into()))
-            .unwrap();
+        let evens = tx.select("t", |r| r[1] == Value::Text("even".into())).unwrap();
         assert_eq!(evens.len(), 5);
         tx.commit().unwrap();
     }

@@ -368,13 +368,15 @@ mod tests {
 
     #[test]
     fn value_total_order_is_consistent() {
-        let mut vals = [Value::Float(f64::NAN),
+        let mut vals = [
+            Value::Float(f64::NAN),
             Value::Float(-1.5),
             Value::Float(2.0),
             Value::Int(3),
             Value::Null,
             Value::Text("b".into()),
-            Value::Text("a".into())];
+            Value::Text("a".into()),
+        ];
         vals.sort();
         // Null < ints < floats < text; floats ordered, NaN last among floats.
         assert_eq!(vals[0], Value::Null);
@@ -399,10 +401,7 @@ mod tests {
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::Text("x".into()).to_string(), "'x'");
         assert_eq!(Value::Bytes(vec![0xab, 0x01]).to_string(), "x'ab01'");
-        assert_eq!(
-            Value::DataLink("dlfs://s/f".into()).to_string(),
-            "DATALINK('dlfs://s/f')"
-        );
+        assert_eq!(Value::DataLink("dlfs://s/f".into()).to_string(), "DATALINK('dlfs://s/f')");
     }
 
     #[test]

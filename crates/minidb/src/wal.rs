@@ -230,8 +230,12 @@ mod tests {
         {
             let (wal, recs) = Wal::open(Arc::clone(&d)).unwrap();
             assert!(recs.is_empty());
-            wal.append(&WalRecord::Commit { txid: 1, participants: vec![], ops: vec![insert_op(1)] })
-                .unwrap();
+            wal.append(&WalRecord::Commit {
+                txid: 1,
+                participants: vec![],
+                ops: vec![insert_op(1)],
+            })
+            .unwrap();
             wal.append(&WalRecord::Decide { txid: 2, commit: false }).unwrap();
         }
         let (_, recs) = Wal::open(d).unwrap();

@@ -64,7 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fs = sys.fs("vault")?;
     let mut states = vec![("rev 1", sys.state_id())];
     for (rev, status) in [(2, "under review"), (3, "signed")] {
-        let (_, wpath) = sys.select_datalink("contracts", &Value::Int(1), "doc", TokenKind::Write)?;
+        let (_, wpath) =
+            sys.select_datalink("contracts", &Value::Int(1), "doc", TokenKind::Write)?;
         let fd = fs.open(&CLERK, &wpath, OpenOptions::write_truncate())?;
         fs.write(fd, format!("rev {rev}: {status} terms").as_bytes())?;
         fs.close(fd)?;
@@ -84,13 +85,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The auditor asks: "show me the system as of revision 2."
     let (_, rev2_state) = states[1];
     let (sys, report) = sys.restore(&backup, rev2_state)?;
-    println!(
-        "restored to state {rev2_state}: {} file(s) rolled back",
-        report.files_rolled_back
-    );
+    println!("restored to state {rev2_state}: {} file(s) rolled back", report.files_rolled_back);
 
     // Both the row and the file are back at revision 2, in lockstep.
-    let row = sys.db().get_committed("contracts", &Value::Int(1)).map_err(|e| e.to_string())?.expect("row");
+    let row = sys
+        .db()
+        .get_committed("contracts", &Value::Int(1))
+        .map_err(|e| e.to_string())?
+        .expect("row");
     let fs = sys.fs("vault")?;
     let (_, rpath) = sys.select_datalink("contracts", &Value::Int(1), "doc", TokenKind::Read)?;
     let fd = fs.open(&CLERK, &rpath, OpenOptions::read_only())?;

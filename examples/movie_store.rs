@@ -80,7 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("satire movies: {hits:?}");
     drop(tx);
 
-    let (_, preview_path) = sys.select_datalink("movies", &Value::Int(2), "clip", TokenKind::Read)?;
+    let (_, preview_path) =
+        sys.select_datalink("movies", &Value::Int(2), "clip", TokenKind::Read)?;
     let fs = sys.fs("mediasrv")?;
     let fd = fs.open(&MERCHANT, &preview_path, OpenOptions::read_only())?;
     println!("preview: {:?}", String::from_utf8_lossy(&fs.read_to_end(fd)?));

@@ -60,14 +60,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // SELECT ... WITH TOKEN: the engine hands out a token-embedded path.
-    let (url, read_path) = sys.select_datalink("reports", &Value::Int(1), "body", TokenKind::Read)?;
+    let (url, read_path) =
+        sys.select_datalink("reports", &Value::Int(1), "body", TokenKind::Read)?;
     let fd = fs.open(&alice, &read_path, OpenOptions::read_only())?;
     let content = fs.read_to_end(fd)?;
     fs.close(fd)?;
     println!("read with token: {:?}", String::from_utf8_lossy(&content));
 
     // Update in place: open = begin transaction, close = commit (§4.2).
-    let (_, write_path) = sys.select_datalink("reports", &Value::Int(1), "body", TokenKind::Write)?;
+    let (_, write_path) =
+        sys.select_datalink("reports", &Value::Int(1), "body", TokenKind::Write)?;
     let fd = fs.open(&alice, &write_path, OpenOptions::write_truncate())?;
     fs.write(fd, b"Q1 numbers: final, audited")?;
     fs.close(fd)?; // <- the file-update transaction commits here

@@ -78,7 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("upcalls made while serving reads: {upcalls}");
 
     // An editor publishes a price change: update in place with a token.
-    let (_, wpath) = sys.select_datalink("pages", &Value::Text("pricing".into()), "body", TokenKind::Write)?;
+    let (_, wpath) =
+        sys.select_datalink("pages", &Value::Text("pricing".into()), "body", TokenKind::Write)?;
     let fd = fs.open(&EDITOR, &wpath, OpenOptions::write_truncate())?;
     fs.write(fd, b"<h1>Pricing: $12</h1>")?;
     fs.close(fd)?;
@@ -86,7 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.node("webfs")?.server.archive_store().wait_archived("/htdocs/pricing.html");
 
     // Another editor starts a rewrite... and the machine dies mid-edit.
-    let (_, wpath) = sys.select_datalink("pages", &Value::Text("pricing".into()), "body", TokenKind::Write)?;
+    let (_, wpath) =
+        sys.select_datalink("pages", &Value::Text("pricing".into()), "body", TokenKind::Write)?;
     let fd = fs.open(&EDITOR, &wpath, OpenOptions::write_truncate())?;
     fs.write(fd, b"<h1>Pric")?; // half a page
     println!("editor mid-rewrite; pulling the plug now...");

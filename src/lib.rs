@@ -17,6 +17,8 @@ pub use dl_dlfs;
 pub use dl_fskit;
 pub use dl_minidb;
 
+/// §3's baseline update disciplines (CICO, CAU).
+pub use dl_baselines as baselines;
 /// The paper's contribution: DATALINK type, engine, assembled system.
 pub use dl_core as core;
 /// The DataLinks File Manager daemon complex.
@@ -27,5 +29,3 @@ pub use dl_dlfs as dlfs;
 pub use dl_fskit as fskit;
 /// Host-database substrate (WAL, 2PL, 2PC, restore).
 pub use dl_minidb as minidb;
-/// §3's baseline update disciplines (CICO, CAU).
-pub use dl_baselines as baselines;

@@ -35,11 +35,9 @@ fn build() -> DataLinksSystem {
         .unwrap(),
     )
     .unwrap();
-    sys.define_datalink_column("t", "body", DlColumnOptions::new(ControlMode::Rdd))
-        .unwrap();
+    sys.define_datalink_column("t", "body", DlColumnOptions::new(ControlMode::Rdd)).unwrap();
     let mut tx = sys.begin();
-    tx.insert("t", vec![Value::Int(1), Value::DataLink("dlfs://srv/d/f.bin".into())])
-        .unwrap();
+    tx.insert("t", vec![Value::Int(1), Value::DataLink("dlfs://srv/d/f.bin".into())]).unwrap();
     tx.commit().unwrap();
     sys
 }
@@ -49,9 +47,7 @@ fn content_of(v: usize) -> Vec<u8> {
 }
 
 fn update(sys: &DataLinksSystem, content: &[u8]) {
-    let (_, path) = sys
-        .select_datalink("t", &Value::Int(1), "body", TokenKind::Write)
-        .unwrap();
+    let (_, path) = sys.select_datalink("t", &Value::Int(1), "body", TokenKind::Write).unwrap();
     let fs = sys.fs("srv").unwrap();
     let fd = fs.open(&APP, &path, OpenOptions::write_truncate()).unwrap();
     fs.write(fd, content).unwrap();
@@ -150,9 +146,7 @@ proptest! {
 fn crash_between_commit_and_archive_recovers_version() {
     let sys = build();
     // Commit an update but crash immediately, racing the archiver.
-    let (_, path) = sys
-        .select_datalink("t", &Value::Int(1), "body", TokenKind::Write)
-        .unwrap();
+    let (_, path) = sys.select_datalink("t", &Value::Int(1), "body", TokenKind::Write).unwrap();
     let fs = sys.fs("srv").unwrap();
     let fd = fs.open(&APP, &path, OpenOptions::write_truncate()).unwrap();
     fs.write(fd, b"committed v2").unwrap();
@@ -161,19 +155,10 @@ fn crash_between_commit_and_archive_recovers_version() {
     let image = sys.crash();
     let (sys, _) = DataLinksSystem::recover(image).unwrap();
 
-    let data = sys
-        .raw_fs("srv")
-        .unwrap()
-        .read_file(&Cred::root(), "/d/f.bin")
-        .unwrap();
+    let data = sys.raw_fs("srv").unwrap().read_file(&Cred::root(), "/d/f.bin").unwrap();
     assert_eq!(data, b"committed v2");
     // The archive holds v2 after recovery (re-archived if the job was lost).
-    let archived = sys
-        .node("srv")
-        .unwrap()
-        .server
-        .archive_store()
-        .get("/d/f.bin", 2);
+    let archived = sys.node("srv").unwrap().server.archive_store().get("/d/f.bin", 2);
     assert!(archived.is_some(), "committed version must be archived after recovery");
     assert_eq!(archived.unwrap().data, b"committed v2");
 }

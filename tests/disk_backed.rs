@@ -16,10 +16,7 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "datalinks-{tag}-{}-{}",
         std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
     ));
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -66,10 +63,8 @@ fn minidb_disk_backup_forks_to_new_directory() {
     let dir = temp_dir("backup");
     let env = StorageEnv::dir(dir.clone()).unwrap();
     let db = Database::open(env).unwrap();
-    db.create_table(
-        Schema::new("t", vec![Column::new("k", ColumnType::Int)], "k").unwrap(),
-    )
-    .unwrap();
+    db.create_table(Schema::new("t", vec![Column::new("k", ColumnType::Int)], "k").unwrap())
+        .unwrap();
     let mut tx = db.begin();
     tx.insert("t", vec![Value::Int(7)]).unwrap();
     let state = tx.commit().unwrap();
@@ -109,17 +104,13 @@ fn full_system_with_disk_backed_host_database() {
         .unwrap(),
     )
     .unwrap();
-    sys.define_datalink_column("t", "body", DlColumnOptions::new(ControlMode::Rdd))
-        .unwrap();
+    sys.define_datalink_column("t", "body", DlColumnOptions::new(ControlMode::Rdd)).unwrap();
     let mut tx = sys.begin();
-    tx.insert("t", vec![Value::Int(1), Value::DataLink("dlfs://srv/d/f.bin".into())])
-        .unwrap();
+    tx.insert("t", vec![Value::Int(1), Value::DataLink("dlfs://srv/d/f.bin".into())]).unwrap();
     tx.commit().unwrap();
 
     // Update in place; the host transaction log is on disk.
-    let (_, path) = sys
-        .select_datalink("t", &Value::Int(1), "body", TokenKind::Write)
-        .unwrap();
+    let (_, path) = sys.select_datalink("t", &Value::Int(1), "body", TokenKind::Write).unwrap();
     let fs = sys.fs("srv").unwrap();
     let fd = fs.open(&APP, &path, OpenOptions::write_truncate()).unwrap();
     fs.write(fd, b"v2 on disk").unwrap();

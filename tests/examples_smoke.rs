@@ -1,0 +1,59 @@
+//! Smoke tests keeping the runnable surface honest: every `examples/*.rs`
+//! target must build and run to completion, so the quickstarts referenced
+//! from README.md and `src/lib.rs` cannot rot.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo() -> Command {
+    Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string()))
+}
+
+fn example_names() -> Vec<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory")
+        .filter_map(|e| {
+            let path = e.expect("read_dir entry").path();
+            if path.extension().is_some_and(|x| x == "rs") {
+                Some(path.file_stem().unwrap().to_string_lossy().into_owned())
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn every_example_builds_and_runs() {
+    let names = example_names();
+    // The four examples the docs promise must all exist.
+    for expected in ["backup_restore", "movie_store", "quickstart", "web_cms"] {
+        assert!(names.iter().any(|n| n == expected), "missing example {expected}, have {names:?}");
+    }
+
+    let root = env!("CARGO_MANIFEST_DIR");
+    let build = cargo()
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(root)
+        .status()
+        .expect("spawn cargo build --examples");
+    assert!(build.success(), "cargo build --examples failed");
+
+    for name in &names {
+        let run = cargo()
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(root)
+            .output()
+            .expect("spawn cargo run --example");
+        assert!(
+            run.status.success(),
+            "example {name} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+            run.status.code(),
+            String::from_utf8_lossy(&run.stdout),
+            String::from_utf8_lossy(&run.stderr),
+        );
+    }
+}

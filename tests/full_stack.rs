@@ -37,8 +37,7 @@ fn build(mode: ControlMode, n_files: usize) -> DataLinksSystem {
     sys.define_datalink_column("t", "body", DlColumnOptions::new(mode).token_ttl_ms(600_000))
         .unwrap();
     for i in 0..n_files {
-        raw.write_file(&APP, &format!("/d/f{i}.bin"), format!("seed-{i}").as_bytes())
-            .unwrap();
+        raw.write_file(&APP, &format!("/d/f{i}.bin"), format!("seed-{i}").as_bytes()).unwrap();
         let mut tx = sys.begin();
         tx.insert(
             "t",
@@ -51,9 +50,7 @@ fn build(mode: ControlMode, n_files: usize) -> DataLinksSystem {
 }
 
 fn write_once(sys: &DataLinksSystem, id: i64, content: &[u8]) {
-    let (_, path) = sys
-        .select_datalink("t", &Value::Int(id), "body", TokenKind::Write)
-        .unwrap();
+    let (_, path) = sys.select_datalink("t", &Value::Int(id), "body", TokenKind::Write).unwrap();
     let fs = sys.fs("srv").unwrap();
     let fd = fs.open(&APP, &path, OpenOptions::write_truncate()).unwrap();
     fs.write(fd, content).unwrap();
@@ -85,13 +82,8 @@ fn concurrent_writers_across_distinct_files_scale() {
     }
     assert_eq!(done.load(Ordering::SeqCst), 8);
     for i in 0..8 {
-        let entry = sys
-            .node("srv")
-            .unwrap()
-            .server
-            .repository()
-            .get_file(&format!("/d/f{i}.bin"))
-            .unwrap();
+        let entry =
+            sys.node("srv").unwrap().server.repository().get_file(&format!("/d/f{i}.bin")).unwrap();
         assert_eq!(entry.cur_version, 6, "file {i}: 5 updates on top of v1");
     }
 }
@@ -117,13 +109,7 @@ fn no_lost_updates_under_contention() {
         h.join().unwrap();
     }
     sys.node("srv").unwrap().server.archive_store().wait_archived("/d/f0.bin");
-    let entry = sys
-        .node("srv")
-        .unwrap()
-        .server
-        .repository()
-        .get_file("/d/f0.bin")
-        .unwrap();
+    let entry = sys.node("srv").unwrap().server.repository().get_file("/d/f0.bin").unwrap();
     assert_eq!(entry.cur_version as usize, 1 + writers * per);
     // All versions are archived (RECOVERY YES) with distinct contents.
     let versions = sys.node("srv").unwrap().server.archive_store().versions("/d/f0.bin");
@@ -184,10 +170,8 @@ fn transaction_spanning_multiple_links_is_atomic() {
     // Link three files in one transaction; the third insert fails
     // (duplicate key), and the app aborts: nothing stays linked.
     let mut tx = sys.begin();
-    tx.insert("t", vec![Value::Int(10), Value::DataLink("dlfs://srv/d/a.bin".into())])
-        .unwrap();
-    tx.insert("t", vec![Value::Int(11), Value::DataLink("dlfs://srv/d/b.bin".into())])
-        .unwrap();
+    tx.insert("t", vec![Value::Int(10), Value::DataLink("dlfs://srv/d/a.bin".into())]).unwrap();
+    tx.insert("t", vec![Value::Int(11), Value::DataLink("dlfs://srv/d/b.bin".into())]).unwrap();
     assert!(tx
         .insert("t", vec![Value::Int(10), Value::DataLink("dlfs://srv/d/c.bin".into())])
         .is_err());
@@ -211,11 +195,7 @@ fn transaction_spanning_multiple_links_is_atomic() {
 #[test]
 fn token_expiry_enforced_end_to_end() {
     let clock = Arc::new(SimClock::new(1_000_000));
-    let sys = DataLinksSystem::builder()
-        .clock(clock.clone())
-        .file_server("srv")
-        .build()
-        .unwrap();
+    let sys = DataLinksSystem::builder().clock(clock.clone()).file_server("srv").build().unwrap();
     let raw = sys.raw_fs("srv").unwrap();
     raw.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
     raw.write_file(&APP, "/d/f.bin", b"data").unwrap();
@@ -238,13 +218,10 @@ fn token_expiry_enforced_end_to_end() {
     )
     .unwrap();
     let mut tx = sys.begin();
-    tx.insert("t", vec![Value::Int(1), Value::DataLink("dlfs://srv/d/f.bin".into())])
-        .unwrap();
+    tx.insert("t", vec![Value::Int(1), Value::DataLink("dlfs://srv/d/f.bin".into())]).unwrap();
     tx.commit().unwrap();
 
-    let (_, path) = sys
-        .select_datalink("t", &Value::Int(1), "body", TokenKind::Read)
-        .unwrap();
+    let (_, path) = sys.select_datalink("t", &Value::Int(1), "body", TokenKind::Read).unwrap();
     // Let the token age out before first use.
     clock.advance(10_000);
     let fs = sys.fs("srv").unwrap();
@@ -254,9 +231,7 @@ fn token_expiry_enforced_end_to_end() {
     }
 
     // A fresh token works.
-    let (_, path) = sys
-        .select_datalink("t", &Value::Int(1), "body", TokenKind::Read)
-        .unwrap();
+    let (_, path) = sys.select_datalink("t", &Value::Int(1), "body", TokenKind::Read).unwrap();
     let fd = fs.open(&APP, &path, OpenOptions::read_only()).unwrap();
     fs.close(fd).unwrap();
 }

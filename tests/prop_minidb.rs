@@ -7,9 +7,7 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use datalinks::minidb::{
-    Column, ColumnType, Database, DbError, Row, Schema, StorageEnv, Value,
-};
+use datalinks::minidb::{Column, ColumnType, Database, DbError, Row, Schema, StorageEnv, Value};
 
 #[derive(Debug, Clone)]
 enum Step {

@@ -1,0 +1,283 @@
+//! Offline shim for the subset of `criterion` the `dl-bench` benches use.
+//!
+//! The build environment has no registry access (see `vendor/README.md`).
+//! This shim keeps the same source API — `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `Bencher::iter` — but
+//! measures with a plain calibrate-then-time loop and prints one line per
+//! benchmark instead of producing HTML reports. Statistical rigor lives in
+//! the `report` binary's percentile tables; this harness exists so
+//! `cargo bench -p dl-bench` runs the paper experiments offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: run once to size the batch for ~50ms of measurement.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(50);
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let t1 = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.mean_ns = t1.elapsed().as_nanos() as f64 / batch as f64;
+    }
+}
+
+/// Identifier for a parameterized benchmark, e.g. `linked/64`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// How to express throughput alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Picks up the positional filter from `cargo bench -- <filter>`.
+    /// Criterion-specific flags (`--bench`, `--save-baseline`, …) are
+    /// accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        // Real-criterion flags that take a value; only these may consume
+        // the following token. Treating every unknown flag as value-taking
+        // would swallow a positional filter after e.g. `--noplot`.
+        const VALUE_FLAGS: &[&str] = &[
+            "--baseline",
+            "--baseline-lenient",
+            "--color",
+            "--confidence-level",
+            "--export",
+            "--load-baseline",
+            "--measurement-time",
+            "--nresamples",
+            "--noise-threshold",
+            "--output-format",
+            "--profile-time",
+            "--sample-size",
+            "--save-baseline",
+            "--significance-level",
+            "--warm-up-time",
+        ];
+        self.filter = parse_filter(std::env::args().skip(1), VALUE_FLAGS);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn final_summary(&self) {}
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count is irrelevant to this shim's single-batch measurement;
+    /// kept so callers compile unchanged.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        if self.criterion.matches(&full) {
+            let mut bencher = Bencher { mean_ns: 0.0 };
+            routine(&mut bencher);
+            self.report(&full, bencher.mean_ns);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        if self.criterion.matches(&full) {
+            let mut bencher = Bencher { mean_ns: 0.0 };
+            routine(&mut bencher, input);
+            self.report(&full, bencher.mean_ns);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, full_id: &str, mean_ns: f64) {
+        let time = fmt_ns(mean_ns);
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) | Some(Throughput::BytesDecimal(bytes)) => {
+                let mibps = bytes as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+                println!("{full_id:<44} time: {time:>12}   thrpt: {mibps:10.1} MiB/s");
+            }
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / (mean_ns / 1e9);
+                println!("{full_id:<44} time: {time:>12}   thrpt: {eps:10.0} elem/s");
+            }
+            None => println!("{full_id:<44} time: {time:>12}"),
+        }
+    }
+}
+
+/// First positional (non-flag) token; flags in `value_flags` consume the
+/// following token when given space-separated.
+fn parse_filter(mut args: impl Iterator<Item = String>, value_flags: &[&str]) -> Option<String> {
+    while let Some(arg) = args.next() {
+        if arg.starts_with("--") {
+            if !arg.contains('=') && value_flags.contains(&arg.as_str()) {
+                let _ = args.next();
+            }
+            continue;
+        }
+        return Some(arg);
+    }
+    None
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("linked", 64).label, "linked/64");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn filter_parsing_does_not_eat_positionals_after_unknown_flags() {
+        fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+            s.split_whitespace().map(String::from)
+        }
+        let vf = &["--save-baseline"];
+        assert_eq!(parse_filter(argv("--bench e1"), vf), Some("e1".into()));
+        assert_eq!(parse_filter(argv("--noplot e1"), vf), Some("e1".into()));
+        assert_eq!(parse_filter(argv("--save-baseline base e1"), vf), Some("e1".into()));
+        assert_eq!(parse_filter(argv("--save-baseline=base e1"), vf), Some("e1".into()));
+        assert_eq!(parse_filter(argv("--quiet"), vf), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses: the
+//! `channel` module's `bounded`/`unbounded` constructors with a single
+//! cloneable `Sender` type (unlike `std::sync::mpsc`, which splits
+//! `Sender`/`SyncSender`). Built on `std::sync::mpsc`; see
+//! `vendor/README.md` for the vendoring policy.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Flavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// Cloneable sending half; `bounded` and `unbounded` channels share it.
+    pub struct Sender<T>(Flavor<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Unbounded(tx) => tx.send(value),
+                Flavor::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        }
+
+        #[test]
+        fn bounded_oneshot() {
+            let (tx, rx) = bounded(1);
+            tx.send("hi").unwrap();
+            assert_eq!(rx.recv().unwrap(), "hi");
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

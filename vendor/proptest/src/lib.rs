@@ -1,0 +1,778 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no registry access (see `vendor/README.md`),
+//! so this crate reimplements the pieces the test suites need:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`), plus
+//!   `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//!   and `prop_oneof!` (weighted and unweighted);
+//! * [`strategy::Strategy`] with `prop_map`, integer-range / tuple / `Just`
+//!   strategies, `any::<T>()`, `collection::vec`, `char::range`, and
+//!   `&str` regex-subset string strategies (`[a-z]{0,8}`,
+//!   `(/[a-z0-9.]{1,10}){1,4}`, `\PC{0,24}`, …);
+//! * a deterministic per-test RNG (seeded from the test name) so failures
+//!   reproduce without persistence files.
+//!
+//! Shrinking is intentionally not implemented: a failing case panics with
+//! the formatted assertion message straight away.
+
+pub mod test_runner {
+    /// Why a test case did not count toward `cases`.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; generate a fresh case.
+        Reject,
+    }
+
+    /// The subset of proptest's config the suites set.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Global cap on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Deterministic xorshift64* generator; seeded per-test from the test
+    /// name so runs are reproducible without a persistence file.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test name; never zero.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % n
+        }
+    }
+
+    /// Drives one `proptest!` test body until `cases` successes.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut successes = 0u32;
+        let mut rejects = 0u32;
+        while successes < config.cases {
+            match case(&mut rng) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest {name}: too many prop_assume! rejections \
+                             ({rejects}) before reaching {} cases",
+                            config.cases
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value`. Unlike real proptest there is no
+    /// value tree / shrinking; `generate` returns the final value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map: f }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, keep: f, whence }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        source: S,
+        keep: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.generate(rng);
+                if (self.keep)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 10000 consecutive values", self.whence);
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union used by `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+
+    /// `&str` strategies interpret the string as the regex subset described
+    /// in [`crate::string`].
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Half the draws cover the full bit range (negatives and
+                    // the top bit included — a truncating cast wraps); the
+                    // rest bias toward the interesting small magnitudes and
+                    // their negations (near-MAX for unsigned types).
+                    match rng.next_u64() % 4 {
+                        0 | 1 => rng.next_u64() as $t,
+                        2 => (rng.next_u64() % 17) as $t,
+                        _ => ((rng.next_u64() % 17) as $t).wrapping_neg(),
+                    }
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 0
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Raw bit patterns cover NaNs, infinities, subnormals and
+            // ordinary values alike — exactly what codec tests want.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32((rng.below(0xD800)) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Accepted element-count specifications for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::Range<i32>> for SizeRange {
+        fn from(r: core::ops::Range<i32>) -> Self {
+            assert!(0 <= r.start && r.start < r.end, "bad size range");
+            SizeRange { lo: r.start as usize, hi: r.end as usize }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod char {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct CharRange {
+        lo: u32,
+        hi: u32, // inclusive
+    }
+
+    /// Inclusive character range, like `proptest::char::range('0', 'z')`.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo: lo as u32, hi: hi as u32 }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            loop {
+                let v = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used as `&str` strategies:
+    //! literals, `[...]` classes (with ranges), `(...)` groups, `\PC`
+    //! (any non-control char), and the `{n}` / `{m,n}` / `?` / `*` / `+`
+    //! quantifiers.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Piece>),
+        /// `\PC` — any char outside the Unicode control category.
+        Printable,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32, // inclusive
+    }
+
+    fn parse_pieces(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+        in_group: bool,
+    ) -> Vec<Piece> {
+        let mut out = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let atom = match c {
+                ')' if in_group => break,
+                '[' => {
+                    chars.next();
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    let mut pending_dash = false;
+                    for cc in chars.by_ref() {
+                        match cc {
+                            ']' => break,
+                            '-' if prev.is_some() => pending_dash = true,
+                            _ => {
+                                if pending_dash {
+                                    let lo = prev.take().expect("dangling -");
+                                    ranges.push((lo, cc));
+                                    pending_dash = false;
+                                } else {
+                                    if let Some(p) = prev {
+                                        ranges.push((p, p));
+                                    }
+                                    prev = Some(cc);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        ranges.push((p, p));
+                    }
+                    if pending_dash {
+                        ranges.push(('-', '-'));
+                    }
+                    Atom::Class(ranges)
+                }
+                '(' => {
+                    chars.next();
+                    let inner = parse_pieces(chars, pattern, true);
+                    assert_eq!(chars.next(), Some(')'), "unclosed group in {pattern:?}");
+                    Atom::Group(inner)
+                }
+                '\\' => {
+                    chars.next();
+                    match chars.next() {
+                        Some('P') | Some('p') => {
+                            // Unicode category escape; only \PC (non-control)
+                            // is supported.
+                            let cat = chars.next().expect("truncated \\P escape");
+                            assert_eq!(cat, 'C', "unsupported category \\P{cat} in {pattern:?}");
+                            Atom::Printable
+                        }
+                        Some(lit) => Atom::Lit(lit),
+                        None => panic!("trailing backslash in {pattern:?}"),
+                    }
+                }
+                _ => {
+                    chars.next();
+                    Atom::Lit(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    for cc in chars.by_ref() {
+                        if cc == '}' {
+                            break;
+                        }
+                        body.push(cc);
+                    }
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            out.push(Piece { atom, min, max });
+        }
+        out
+    }
+
+    fn gen_pieces(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+        for piece in pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 =
+                            ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = (*hi as u64 - *lo as u64) + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Atom::Group(inner) => gen_pieces(inner, rng, out),
+                    Atom::Printable => {
+                        // Mostly printable ASCII, sometimes multi-byte chars
+                        // so UTF-8 codec paths get exercised.
+                        if rng.below(8) == 0 {
+                            const EXOTIC: &[char] = &['é', 'ß', 'λ', '→', '中', 'Ω', 'ñ', '🦀'];
+                            out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                        } else {
+                            out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let pieces = parse_pieces(&mut chars, pattern, false);
+        assert!(chars.next().is_none(), "unbalanced ')' in {pattern:?}");
+        let mut out = String::new();
+        gen_pieces(&pieces, rng, &mut out);
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Skip this case (does not count toward `cases`) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Assertion macros. Without shrinking there is nothing gentler to do than
+/// panic with the formatted message, exactly like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The test-definition macro. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as in real
+/// proptest) that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(stringify!($name), &__config, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __outcome
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::from_name("string_patterns_match_shape");
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = crate::string::generate("(/[a-z0-9.]{1,10}){1,4}", &mut rng);
+            assert!(p.starts_with('/'));
+            let segs: Vec<&str> = p.split('/').skip(1).collect();
+            assert!((1..=4).contains(&segs.len()), "bad path {p:?}");
+            for seg in segs {
+                assert!((1..=10).contains(&seg.len()));
+            }
+
+            let any = crate::string::generate("\\PC{0,24}", &mut rng);
+            assert!(any.chars().count() <= 24);
+            assert!(any.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn any_int_covers_sign_and_top_bits() {
+        let mut rng = TestRng::from_name("any_int_covers");
+        let mut neg = 0;
+        let mut huge = 0;
+        for _ in 0..400 {
+            let i: i64 = crate::arbitrary::Arbitrary::arbitrary(&mut rng);
+            if i < 0 {
+                neg += 1;
+            }
+            let u: u64 = crate::arbitrary::Arbitrary::arbitrary(&mut rng);
+            if u > u64::MAX / 2 {
+                huge += 1;
+            }
+        }
+        assert!(neg > 50, "any::<i64> almost never negative ({neg}/400)");
+        assert!(huge > 50, "any::<u64> never sets the top bit ({huge}/400)");
+    }
+
+    #[test]
+    fn ranges_and_oneof_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        let st = prop_oneof![3 => (0i64..10).prop_map(|v| v), 1 => Just(42i64)];
+        let mut saw_just = false;
+        for _ in 0..500 {
+            let v = st.generate(&mut rng);
+            assert!((0..10).contains(&v) || v == 42);
+            saw_just |= v == 42;
+        }
+        assert!(saw_just, "weighted arm never chosen");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro itself: generation, assume, assertions.
+        #[test]
+        fn macro_end_to_end(
+            v in crate::collection::vec(any::<u8>(), 1..8),
+            c in crate::char::range('a', 'f'),
+        ) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.len() < 8);
+            prop_assert!(('a'..='f').contains(&c));
+            let doubled: Vec<u8> = v.iter().map(|b| b.wrapping_mul(2)).collect();
+            prop_assert_eq!(doubled.len(), v.len());
+        }
+    }
+}
