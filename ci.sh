@@ -30,4 +30,21 @@ cargo build --examples --quiet
 step "benches compile"
 cargo bench -p dl-bench --no-run --quiet
 
+# Regression tooling can't rot: run the commit-throughput experiment with
+# --json, then self-compare the just-written trajectories (must be zero
+# regressions, exit 0). Quick mode stays on the debug profile to avoid a
+# release build it otherwise skips.
+step "report --json (a9) + --compare self-smoke"
+profile_flag=""
+if [[ "${1:-}" != "quick" ]]; then
+  profile_flag="--release"
+fi
+bench_dir=$(mktemp -d)
+trap 'rm -rf "$bench_dir"' EXIT
+# shellcheck disable=SC2086  # $profile_flag is intentionally word-split
+cargo run -p dl-bench $profile_flag --quiet --bin report -- \
+  a9 --quick --json --json-dir "$bench_dir" > /dev/null
+cargo run -p dl-bench $profile_flag --quiet --bin report -- \
+  --compare "$bench_dir" --current "$bench_dir"
+
 step "OK"

@@ -10,33 +10,130 @@
 //! With `--json`, each table is additionally written as a
 //! `BENCH_<id>.json` trajectory file under `bench-results/` (override the
 //! directory with `--json-dir <dir>`); see EXPERIMENTS.md.
+//!
+//! Regression mode:
+//!
+//! ```text
+//! # run experiments, then diff the fresh BENCH_*.json against a saved dir
+//! report --json-dir new --compare old [--threshold 25]
+//! # pure diff of two saved directories, no experiments run
+//! report --compare old --current new [--threshold 25]
+//! ```
+//!
+//! Exits non-zero when any metric regressed beyond the threshold (percent,
+//! default 25): numeric cells by relative drift, text cells by inequality,
+//! disappeared rows always.
 
 use dl_bench::experiments as exp;
+use dl_bench::trajectory;
+
+/// Loads every BENCH_*.json in `dir`, keyed by file stem.
+fn load_dir(dir: &str) -> Vec<(String, trajectory::Trajectory)> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("compare: cannot read {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path()).expect("read trajectory");
+        match trajectory::parse(&text) {
+            Ok(t) => out.push((name, t)),
+            Err(e) => {
+                eprintln!("compare: skipping {name}: {e}");
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Diffs every trajectory in `current_dir` against its namesake in
+/// `baseline_dir`; returns the total regression count.
+fn compare_dirs(baseline_dir: &str, current_dir: &str, threshold: f64) -> usize {
+    let baseline = load_dir(baseline_dir);
+    let current = load_dir(current_dir);
+    let mut regressions = 0usize;
+    for (name, cur) in &current {
+        match baseline.iter().find(|(n, _)| n == name) {
+            Some((_, base)) => {
+                let report = trajectory::compare(base, cur, threshold);
+                print!("{}", trajectory::render(&cur.id, &report, threshold));
+                regressions += report.regressions();
+            }
+            None => println!("== compare {}: no baseline {name} in {baseline_dir} ==", cur.id),
+        }
+    }
+    for (name, base) in &baseline {
+        if !current.iter().any(|(n, _)| n == name) {
+            println!("== compare {}: {name} missing from current run ==  <-- REGRESSION", base.id);
+            regressions += 1;
+        }
+    }
+    println!(
+        "\ncompare: {} trajectories, {regressions} regression(s) at threshold {threshold}%",
+        current.len()
+    );
+    regressions
+}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
+    let mut compare_dir: Option<String> = None;
+    let mut current_dir: Option<String> = None;
+    let mut threshold: f64 = 25.0;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.iter();
+    let dir_value = |flag: &str, v: Option<&String>| -> String {
+        v.filter(|d| !d.starts_with("--"))
+            .unwrap_or_else(|| panic!("{flag} needs a directory argument"))
+            .clone()
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_dir = json_dir.or_else(|| Some("bench-results".to_string())),
-            "--json-dir" => {
-                let dir = it
+            "--json-dir" => json_dir = Some(dir_value("--json-dir", it.next())),
+            "--compare" => compare_dir = Some(dir_value("--compare", it.next())),
+            "--current" => current_dir = Some(dir_value("--current", it.next())),
+            "--threshold" => {
+                threshold = it
                     .next()
-                    .filter(|d| !d.starts_with("--"))
-                    .expect("--json-dir needs a directory argument");
-                json_dir = Some(dir.clone());
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .expect("--threshold needs a percent value");
             }
             _ => {
                 if let Some(dir) = a.strip_prefix("--json-dir=") {
                     json_dir = Some(dir.to_string());
+                } else if let Some(dir) = a.strip_prefix("--compare=") {
+                    compare_dir = Some(dir.to_string());
+                } else if let Some(dir) = a.strip_prefix("--current=") {
+                    current_dir = Some(dir.to_string());
+                } else if let Some(pct) = a.strip_prefix("--threshold=") {
+                    threshold = pct.parse::<f64>().expect("--threshold needs a percent value");
                 } else {
                     args.push(a.to_lowercase());
                 }
             }
         }
     }
+
+    // Pure diff mode: two saved directories, no experiments run.
+    if let (Some(baseline), Some(current)) = (&compare_dir, &current_dir) {
+        let regressions = compare_dirs(baseline, current, threshold);
+        std::process::exit(if regressions > 0 { 1 } else { 0 });
+    }
+    if compare_dir.is_some() && json_dir.is_none() {
+        // Comparing a fresh run requires writing it somewhere first.
+        json_dir = Some("bench-results".to_string());
+    }
+
     let quick = args.iter().any(|a| a == "--quick");
     let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let want = |id: &str| filter.is_empty() || filter.iter().any(|f| f.as_str() == id);
@@ -111,6 +208,10 @@ fn main() {
     if want("a8") {
         emit(exp::a8_strict_link(iters));
     }
+    if want("a9") {
+        let (commits, cycles) = if quick { (15, 3) } else { (50, 8) };
+        emit(exp::a9_commit_throughput(commits, cycles, 100_000));
+    }
 
     if want("appendix") || filter.is_empty() {
         let mut rows = Vec::new();
@@ -133,5 +234,12 @@ fn main() {
             rows,
             notes: Vec::new(),
         });
+    }
+
+    // Fresh-run compare: diff what we just wrote against the baseline dir.
+    if let Some(baseline) = &compare_dir {
+        let current = json_dir.as_deref().expect("compare mode implies a json dir");
+        let regressions = compare_dirs(baseline, current, threshold);
+        std::process::exit(if regressions > 0 { 1 } else { 0 });
     }
 }

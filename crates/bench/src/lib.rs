@@ -14,9 +14,10 @@ use dl_dlfm::{DlfmConfig, OnUnlink};
 use dl_dlfs::{DlfsConfig, WaitPolicy};
 use dl_fskit::memfs::IoModel;
 use dl_fskit::{Cred, OpenOptions};
-use dl_minidb::{Column, ColumnType, Schema, Value};
+use dl_minidb::{Column, ColumnType, DbOptions, Schema, StorageEnv, Value};
 
 pub mod experiments;
+pub mod trajectory;
 
 /// The benchmark application user.
 pub const APP: Cred = Cred { uid: 100, gid: 100 };
@@ -44,6 +45,12 @@ pub struct FixtureOptions {
     pub strict: bool,
     pub wait_policy: WaitPolicy,
     pub recovery: bool,
+    /// Commit-pipeline options applied to *both* the host database and the
+    /// DLFM repository (group commit vs per-commit sync, batch, delay).
+    pub db: DbOptions,
+    /// Deterministic `sync` cost charged by the WAL devices of the host
+    /// database and the DLFM repository (commit-throughput experiments).
+    pub db_sync_latency_ns: u64,
 }
 
 impl Default for FixtureOptions {
@@ -58,6 +65,8 @@ impl Default for FixtureOptions {
             strict: false,
             wait_policy: WaitPolicy::Block,
             recovery: true,
+            db: DbOptions::default(),
+            db_sync_latency_ns: 0,
         }
     }
 }
@@ -68,13 +77,27 @@ pub fn fixture(opts: FixtureOptions) -> Fixture {
     dlfm.sync_archive = opts.sync_archive;
     dlfm.track_read_sync = opts.track_read_sync;
     dlfm.strict_link = opts.strict;
+    dlfm.db = opts.db;
+    let mem_env = || {
+        if opts.db_sync_latency_ns > 0 {
+            StorageEnv::mem_with_sync_latency(opts.db_sync_latency_ns)
+        } else {
+            StorageEnv::mem()
+        }
+    };
     let spec = FileServerSpec {
         name: SRV.to_string(),
         dlfm,
         dlfs: DlfsConfig { wait_policy: opts.wait_policy, strict: opts.strict },
         io: opts.io,
+        repo_env: mem_env(),
     };
-    let sys = SystemBuilder::new().file_server_with(spec).build().expect("build system");
+    let sys = SystemBuilder::new()
+        .host_env(mem_env())
+        .host_db_opts(opts.db)
+        .file_server_with(spec)
+        .build()
+        .expect("build system");
 
     let raw = sys.raw_fs(SRV).expect("raw fs");
     raw.mkdir_p(&Cred::root(), "/data", 0o777).expect("mkdir");

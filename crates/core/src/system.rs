@@ -63,6 +63,11 @@ pub struct FileServerSpec {
     /// (zero-cost by default; benches use a disk-like model to reproduce
     /// the paper's CPU+I/O measurements).
     pub io: IoModel,
+    /// Storage environment of the DLFM repository. Defaults to a plain
+    /// in-memory environment; benches pass one with a sync latency so the
+    /// repository's commit pipeline is measurable (`dlfm.db` carries the
+    /// group-commit options themselves).
+    pub repo_env: StorageEnv,
 }
 
 impl FileServerSpec {
@@ -72,6 +77,7 @@ impl FileServerSpec {
             dlfm: DlfmConfig::new(name),
             dlfs: DlfsConfig::default(),
             io: IoModel::default(),
+            repo_env: StorageEnv::mem(),
         }
     }
 }
@@ -79,6 +85,7 @@ impl FileServerSpec {
 /// Builder for [`DataLinksSystem`].
 pub struct SystemBuilder {
     host_env: StorageEnv,
+    host_db: DbOptions,
     clock: Arc<dyn Clock>,
     servers: Vec<FileServerSpec>,
 }
@@ -87,6 +94,7 @@ impl SystemBuilder {
     pub fn new() -> SystemBuilder {
         SystemBuilder {
             host_env: StorageEnv::mem(),
+            host_db: DbOptions::default(),
             clock: Arc::new(WallClock),
             servers: Vec::new(),
         }
@@ -99,6 +107,13 @@ impl SystemBuilder {
 
     pub fn host_env(mut self, env: StorageEnv) -> Self {
         self.host_env = env;
+        self
+    }
+
+    /// Options for the host database — notably the commit pipeline
+    /// (group commit vs per-commit sync). Survives crash/recover cycles.
+    pub fn host_db_opts(mut self, opts: DbOptions) -> Self {
+        self.host_db = opts;
         self
     }
 
@@ -121,13 +136,14 @@ impl SystemBuilder {
             parts.push(NodeParts {
                 name: spec.name,
                 fs,
-                repo_env: StorageEnv::mem(),
+                repo_env: spec.repo_env,
                 archive: Arc::new(ArchiveStore::new()),
                 dlfm_cfg: spec.dlfm,
                 dlfs_cfg: spec.dlfs,
             });
         }
-        DataLinksSystem::assemble(self.host_env, self.clock, parts, false).map(|(sys, _)| sys)
+        DataLinksSystem::assemble(self.host_env, self.host_db, self.clock, parts, false)
+            .map(|(sys, _)| sys)
     }
 }
 
@@ -150,6 +166,7 @@ struct NodeParts {
 /// What survives a simulated whole-system crash: the disks.
 pub struct CrashImage {
     host_env: StorageEnv,
+    host_db: DbOptions,
     clock: Arc<dyn Clock>,
     nodes: Vec<NodeParts>,
     /// Open the host database only up to this LSN (point-in-time restore).
@@ -179,18 +196,19 @@ pub struct DataLinksSystem {
     engine: Arc<DataLinksEngine>,
     clock: Arc<dyn Clock>,
     host_env: StorageEnv,
+    host_db: DbOptions,
     nodes: HashMap<String, FileServerNode>,
 }
 
 impl DataLinksSystem {
     fn assemble(
         host_env: StorageEnv,
+        host_db: DbOptions,
         clock: Arc<dyn Clock>,
         parts: Vec<NodeParts>,
         run_recovery: bool,
     ) -> Result<(DataLinksSystem, HashMap<String, RecoveryReport>), String> {
-        let db = Database::open_with(host_env.clone(), DbOptions::default())
-            .map_err(|e| e.to_string())?;
+        let db = Database::open_with(host_env.clone(), host_db).map_err(|e| e.to_string())?;
         let engine =
             DataLinksEngine::install(db.clone(), Arc::clone(&clock)).map_err(|e| e.to_string())?;
 
@@ -237,7 +255,7 @@ impl DataLinksSystem {
                 },
             );
         }
-        Ok((DataLinksSystem { db, engine, clock, host_env, nodes }, reports))
+        Ok((DataLinksSystem { db, engine, clock, host_env, host_db, nodes }, reports))
     }
 
     pub fn builder() -> SystemBuilder {
@@ -350,7 +368,7 @@ impl DataLinksSystem {
     /// caches, daemons, pending transactions, open descriptors) evaporates;
     /// what remains is the returned image of the disks.
     pub fn crash(self) -> CrashImage {
-        let DataLinksSystem { db, engine, clock, host_env, nodes } = self;
+        let DataLinksSystem { db, engine, clock, host_env, host_db, nodes } = self;
         drop(engine);
         drop(db);
         let mut parts = Vec::new();
@@ -365,7 +383,7 @@ impl DataLinksSystem {
                 dlfs_cfg: node.dlfs_cfg,
             });
         }
-        CrashImage { host_env, clock, nodes: parts, stop_at_lsn: None }
+        CrashImage { host_env, host_db, clock, nodes: parts, stop_at_lsn: None }
     }
 
     /// Rebuilds a system from a crash image and runs coordinated recovery:
@@ -374,13 +392,13 @@ impl DataLinksSystem {
     pub fn recover(
         image: CrashImage,
     ) -> Result<(DataLinksSystem, HashMap<String, RecoveryReport>), String> {
-        let CrashImage { host_env, clock, nodes, stop_at_lsn } = image;
+        let CrashImage { host_env, host_db, clock, nodes, stop_at_lsn } = image;
         if let Some(lsn) = stop_at_lsn {
             // Point-in-time open handled by restore(); plain recovery
             // ignores it.
             let _ = lsn;
         }
-        Self::assemble(host_env, clock, nodes, true)
+        Self::assemble(host_env, host_db, clock, nodes, true)
     }
 
     // --- coordinated backup / restore (§4.4) ---------------------------------------
@@ -401,17 +419,20 @@ impl DataLinksSystem {
         lsn: Lsn,
     ) -> Result<(DataLinksSystem, SystemRestoreReport), String> {
         let image = self.crash();
-        let CrashImage { clock, nodes, .. } = image;
+        let CrashImage { host_db, clock, nodes, .. } = image;
 
         let restored_env = backup.host_env.fork().map_err(|e| e.to_string())?;
-        let db = Database::open_with(restored_env.clone(), DbOptions { stop_at_lsn: Some(lsn) })
-            .map_err(|e| e.to_string())?;
+        let db = Database::open_with(
+            restored_env.clone(),
+            DbOptions { stop_at_lsn: Some(lsn), ..host_db },
+        )
+        .map_err(|e| e.to_string())?;
         // Re-serialize the restored state into a fresh environment so the
         // new system's log continues cleanly from the restored state.
         db.checkpoint().map_err(|e| e.to_string())?;
         drop(db);
 
-        let (sys, _) = Self::assemble(restored_env, clock, nodes, true)?;
+        let (sys, _) = Self::assemble(restored_env, host_db, clock, nodes, true)?;
         let report = sys.reconcile_files_with_metadata()?;
         Ok((sys, report))
     }

@@ -139,6 +139,13 @@ impl ArchiveStore {
         self.done.notify_all();
     }
 
+    /// Withdraws an in-flight marker set by [`ArchiveStore::begin_archiving`]
+    /// without a completed job (the close path pre-marks before its commit
+    /// so no update can sneak in guard-free; a failed commit takes it back).
+    pub fn cancel_archiving(&self, path: &str) {
+        self.end_archiving(path);
+    }
+
     /// Is an archive job in flight for `path`? New updates must wait (§4.4).
     pub fn is_archiving(&self, path: &str) -> bool {
         self.inner.lock().archiving.contains_key(path)
@@ -171,6 +178,16 @@ pub struct ArchiveJob {
 /// Reads a file's current content on behalf of the archiver worker.
 pub type ContentSource = Arc<dyn Fn(&str) -> Option<Vec<u8>> + Send + Sync>;
 
+/// Invoked with (path, version) after an archive job settles — successful
+/// or not — and the file's in-flight marker has cleared (so a waiter woken
+/// by the callback observes `is_archiving == false`). The job may have
+/// stored nothing (e.g. the content source failed), so a callback that
+/// acts on success must check the store first. The DLFM server uses it to
+/// eagerly clear `needs_archive` in the repository — store- and
+/// version-guarded, since by the time it runs a newer update may already
+/// be in flight — and to wake writers blocked on the in-flight archive.
+pub type ArchiveCompletion = Arc<dyn Fn(&str, u64) + Send + Sync>;
+
 enum Msg {
     Job(Box<ArchiveJob>),
     Shutdown,
@@ -182,6 +199,32 @@ pub struct Archiver {
     handle: Option<JoinHandle<()>>,
     store: Arc<ArchiveStore>,
     source: Option<ContentSource>,
+    on_complete: Option<ArchiveCompletion>,
+}
+
+/// Stores one job's content and runs the completion callback; shared by the
+/// async worker and the synchronous path so both honour the completion
+/// contract (store holds the version, in-flight marker cleared, THEN the
+/// callback — so callback-driven wakeups observe the job as finished).
+fn run_job(
+    store: &ArchiveStore,
+    source: &Option<ContentSource>,
+    on_complete: &Option<ArchiveCompletion>,
+    mut job: ArchiveJob,
+) {
+    let data = job.data.take().or_else(|| source.as_ref().and_then(|src| src(&job.path)));
+    if let Some(data) = data {
+        store.put(&job.path, job.version, job.state_id, data);
+        if job.prune {
+            store.prune_to_latest(&job.path);
+        }
+    }
+    store.end_archiving(&job.path);
+    // Unconditionally: even a job that stored nothing must wake waiters
+    // blocked on the (now cleared) in-flight marker.
+    if let Some(cb) = on_complete {
+        cb(&job.path, job.version);
+    }
 }
 
 impl Archiver {
@@ -192,28 +235,28 @@ impl Archiver {
 
     /// Spawns the worker with a content source for lazy reads.
     pub fn spawn_with_source(store: Arc<ArchiveStore>, source: Option<ContentSource>) -> Archiver {
+        Self::spawn_with(store, source, None)
+    }
+
+    /// Spawns the worker with a content source and a completion callback.
+    pub fn spawn_with(
+        store: Arc<ArchiveStore>,
+        source: Option<ContentSource>,
+        on_complete: Option<ArchiveCompletion>,
+    ) -> Archiver {
         let (tx, rx) = unbounded::<Msg>();
         let worker_store = Arc::clone(&store);
         let worker_source = source.clone();
+        let worker_complete = on_complete.clone();
         let handle = std::thread::Builder::new()
             .name("dlfm-archiver".into())
             .spawn(move || {
-                while let Ok(Msg::Job(mut job)) = rx.recv() {
-                    let data = job
-                        .data
-                        .take()
-                        .or_else(|| worker_source.as_ref().and_then(|src| src(&job.path)));
-                    if let Some(data) = data {
-                        worker_store.put(&job.path, job.version, job.state_id, data);
-                        if job.prune {
-                            worker_store.prune_to_latest(&job.path);
-                        }
-                    }
-                    worker_store.end_archiving(&job.path);
+                while let Ok(Msg::Job(job)) = rx.recv() {
+                    run_job(&worker_store, &worker_source, &worker_complete, *job);
                 }
             })
             .expect("spawn archiver thread");
-        Archiver { tx, handle: Some(handle), store, source }
+        Archiver { tx, handle: Some(handle), store, source, on_complete }
     }
 
     /// Enqueues an asynchronous archive job. The file is marked as
@@ -230,16 +273,9 @@ impl Archiver {
 
     /// Archives synchronously (used by the `sync_archive` ablation and by
     /// recovery, which must not race the worker).
-    pub fn submit_sync(&self, mut job: ArchiveJob) {
+    pub fn submit_sync(&self, job: ArchiveJob) {
         self.store.begin_archiving(&job.path, job.version);
-        let data = job.data.take().or_else(|| self.source.as_ref().and_then(|src| src(&job.path)));
-        if let Some(data) = data {
-            self.store.put(&job.path, job.version, job.state_id, data);
-            if job.prune {
-                self.store.prune_to_latest(&job.path);
-            }
-        }
-        self.store.end_archiving(&job.path);
+        run_job(&self.store, &self.source, &self.on_complete, job);
     }
 }
 
@@ -354,6 +390,49 @@ mod tests {
         });
         assert!(!store.is_archiving("/s"));
         assert_eq!(store.latest("/s").unwrap().data, b"now");
+    }
+
+    #[test]
+    fn completion_callback_runs_after_store_holds_version() {
+        let store = Arc::new(ArchiveStore::new());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let cb_store = Arc::clone(&store);
+        let cb_seen = Arc::clone(&seen);
+        let archiver = Archiver::spawn_with(
+            Arc::clone(&store),
+            None,
+            Some(Arc::new(move |path: &str, version: u64| {
+                assert!(
+                    cb_store.get(path, version).is_some(),
+                    "callback must observe the archived version"
+                );
+                cb_seen.lock().push((path.to_string(), version));
+            })),
+        );
+        archiver.submit(ArchiveJob {
+            path: "/f".into(),
+            version: 3,
+            state_id: 9,
+            data: Some(b"v3".to_vec()),
+            prune: false,
+        });
+        // The callback runs after the in-flight marker clears, on the
+        // worker thread; poll briefly for it.
+        store.wait_archived("/f");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while seen.lock().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(seen.lock().clone(), vec![("/f".to_string(), 3)]);
+
+        archiver.submit_sync(ArchiveJob {
+            path: "/g".into(),
+            version: 1,
+            state_id: 10,
+            data: Some(b"g1".to_vec()),
+            prune: false,
+        });
+        assert_eq!(seen.lock().len(), 2, "sync path honours the callback too");
     }
 
     #[test]

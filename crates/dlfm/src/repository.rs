@@ -21,7 +21,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use dl_minidb::{Column, ColumnType, Database, DbResult, Row, Schema, StorageEnv, Txn, Value};
+use dl_minidb::{
+    Column, ColumnType, Database, DbOptions, DbResult, Row, Schema, StorageEnv, Txn, Value,
+};
 
 use crate::modes::{ControlMode, OnUnlink};
 use crate::token::TokenKind;
@@ -182,6 +184,17 @@ impl IntentEntry {
     }
 }
 
+/// Outcome of [`Repository::claim_write_open`].
+#[derive(Debug)]
+pub enum WriteClaim {
+    /// The update slot is claimed: UIP + write Sync row are committed.
+    Granted { entry: FileEntry, new_version: u64 },
+    /// Another update is in progress or a conflicting open exists.
+    Conflict,
+    /// The file is not (or no longer) linked.
+    NotLinked,
+}
+
 /// The repository: a typed wrapper over a `dl-minidb` database.
 pub struct Repository {
     db: Database,
@@ -193,7 +206,14 @@ pub struct Repository {
 impl Repository {
     /// Opens (or creates) the repository in `env`, running recovery.
     pub fn open(env: StorageEnv) -> DbResult<Repository> {
-        let db = Database::open(env)?;
+        Self::open_with(env, DbOptions::default())
+    }
+
+    /// Opens with explicit database options — the seam through which the
+    /// DLFM server plumbs its commit-pipeline configuration (group commit
+    /// vs per-commit sync) into the repository's embedded minidb.
+    pub fn open_with(env: StorageEnv, opts: DbOptions) -> DbResult<Repository> {
+        let db = Database::open_with(env, opts)?;
         Self::ensure_schema(&db)?;
         Ok(Repository { db, update_ops: AtomicU64::new(0) })
     }
@@ -387,6 +407,25 @@ impl Repository {
         Ok(())
     }
 
+    /// Clears the pending-archive flag only while `version` is still the
+    /// current version. The archiver's completion callback uses this: by
+    /// the time it runs, a newer update may already have committed (and
+    /// re-set the flag for *its* version) — a stale clear must be a no-op
+    /// or a crash could skip re-archiving the newest committed copy.
+    pub fn clear_needs_archive_if_version(&self, path: &str, version: u64) -> DbResult<()> {
+        self.bump();
+        let key = Value::Text(path.to_string());
+        let mut txn = self.db.begin();
+        let row = txn.get_for_update("dl_files", &key)?.ok_or(dl_minidb::DbError::RowNotFound)?;
+        if row[4] == Value::Int(version as i64) {
+            let mut row = row;
+            row[10] = Value::Bool(false);
+            txn.update("dl_files", &key, row)?;
+        }
+        txn.commit()?;
+        Ok(())
+    }
+
     /// Files whose current version still awaits archiving (recovery).
     pub fn files_needing_archive(&self) -> Vec<FileEntry> {
         self.list_files().into_iter().filter(|f| f.needs_archive).collect()
@@ -497,6 +536,106 @@ impl Repository {
                 })
             })
             .collect()
+    }
+
+    // --- open-grant claims ------------------------------------------------------
+    //
+    // Open processing must be atomic: the single upcall daemon used to
+    // serialize it implicitly, but with a worker pool two opens (or an
+    // open and a close) can interleave. All grants for one file serialize
+    // on its `dl_files` row lock — every claim transaction takes that row
+    // exclusively *first* (the same first lock the close sub-transaction
+    // takes), reads the fresh state under it, and inserts its UIP/Sync
+    // rows in the same commit.
+
+    /// Atomically grants a write open: under the `dl_files` row lock,
+    /// re-reads the committed file entry (the caller's copy may be stale),
+    /// verifies no conflicting Sync entries, and inserts the UIP row for
+    /// `cur_version + 1` plus the write Sync row in one transaction.
+    pub fn claim_write_open(
+        &self,
+        path: &str,
+        opener: u64,
+        uid: u32,
+        read_conflicts: bool,
+    ) -> DbResult<WriteClaim> {
+        self.bump();
+        let key = Value::Text(path.to_string());
+        let mut txn = self.db.begin();
+        let Some(row) = txn.get_for_update("dl_files", &key)? else {
+            return Ok(WriteClaim::NotLinked);
+        };
+        let Some(entry) = FileEntry::from_row(&row) else {
+            return Ok(WriteClaim::NotLinked);
+        };
+        // Committed reads are race-free here: every grant commits (and
+        // every close commits its removal) under this row lock.
+        let conflict =
+            self.sync_entries(path).iter().any(|s| s.kind == TokenKind::Write || read_conflicts);
+        if conflict {
+            return Ok(WriteClaim::Conflict);
+        }
+        let new_version = entry.cur_version + 1;
+        let uip_row = vec![
+            Value::Text(path.to_string()),
+            Value::Int(new_version as i64),
+            Value::Int(opener as i64),
+        ];
+        match txn.insert("dl_uip", uip_row) {
+            Ok(()) => {}
+            Err(dl_minidb::DbError::DuplicateKey(_)) => return Ok(WriteClaim::Conflict),
+            Err(e) => return Err(e),
+        }
+        let sync = SyncEntry { path: path.to_string(), kind: TokenKind::Write, opener, uid };
+        txn.insert(
+            "dl_sync",
+            vec![
+                Value::Text(sync.key()),
+                Value::Text(sync.path.clone()),
+                Value::Text(kind_str(sync.kind).to_string()),
+                Value::Int(sync.opener as i64),
+                Value::Int(sync.uid as i64),
+            ],
+        )?;
+        txn.commit()?;
+        Ok(WriteClaim::Granted { entry, new_version })
+    }
+
+    /// Atomically grants a tracked read open: under the `dl_files` row
+    /// lock, verifies no write Sync entry exists and inserts the read Sync
+    /// row. Returns false on a write conflict.
+    pub fn claim_read_sync(&self, path: &str, opener: u64, uid: u32) -> DbResult<bool> {
+        self.bump();
+        let key = Value::Text(path.to_string());
+        let mut txn = self.db.begin();
+        if txn.get_for_update("dl_files", &key)?.is_none() {
+            // Unlinked between the caller's lookup and now; treat as a
+            // conflict so the caller re-evaluates.
+            return Ok(false);
+        }
+        if self.sync_entries(path).iter().any(|s| s.kind == TokenKind::Write) {
+            return Ok(false);
+        }
+        let sync = SyncEntry { path: path.to_string(), kind: TokenKind::Read, opener, uid };
+        txn.insert(
+            "dl_sync",
+            vec![
+                Value::Text(sync.key()),
+                Value::Text(sync.path.clone()),
+                Value::Text(kind_str(sync.kind).to_string()),
+                Value::Int(sync.opener as i64),
+                Value::Int(sync.uid as i64),
+            ],
+        )?;
+        txn.commit()?;
+        Ok(true)
+    }
+
+    /// Rolls a write claim back (failed take-over, archive block): removes
+    /// the UIP and Sync rows it inserted.
+    pub fn release_write_claim(&self, path: &str, opener: u64) {
+        let _ = self.remove_uip(path);
+        let _ = self.remove_sync(path, opener);
     }
 
     // --- dl_uip -----------------------------------------------------------------
@@ -811,6 +950,72 @@ mod tests {
         }];
         assert_eq!(Repository::host_txid_of_ops(&ops), Some(1234));
         let _ = repo_txid;
+    }
+
+    #[test]
+    fn write_claim_is_atomic_and_reads_fresh_version() {
+        let r = repo();
+        let mut txn = r.db().begin();
+        r.insert_file_in(&mut txn, &entry("/f")).unwrap();
+        txn.commit().unwrap();
+
+        // First claim: granted against cur_version 1 → new_version 2, and
+        // the UIP + write Sync rows exist atomically.
+        let WriteClaim::Granted { entry: fresh, new_version } =
+            r.claim_write_open("/f", 10, 42, false).unwrap()
+        else {
+            panic!("first claim must be granted");
+        };
+        assert_eq!(fresh.cur_version, 1);
+        assert_eq!(new_version, 2);
+        assert_eq!(r.get_uip("/f").unwrap().new_version, 2);
+        assert_eq!(r.sync_entries("/f").len(), 1);
+
+        // Concurrent second claim conflicts (UIP slot taken).
+        assert!(matches!(r.claim_write_open("/f", 11, 42, false).unwrap(), WriteClaim::Conflict));
+        // A tracked read conflicts with the active write grant.
+        assert!(!r.claim_read_sync("/f", 12, 42).unwrap());
+
+        // Commit the update the way close processing does, then re-claim:
+        // the fresh version must be observed (the lost-update race a stale
+        // snapshot would reintroduce).
+        let mut txn = r.db().begin();
+        r.commit_version_in(&mut txn, "/f", new_version, 99).unwrap();
+        r.remove_uip_in(&mut txn, "/f").unwrap();
+        txn.commit().unwrap();
+        r.remove_sync("/f", 10).unwrap();
+
+        let WriteClaim::Granted { entry: fresh, new_version } =
+            r.claim_write_open("/f", 20, 42, false).unwrap()
+        else {
+            panic!("re-claim must be granted");
+        };
+        assert_eq!(fresh.cur_version, 2);
+        assert_eq!(new_version, 3);
+
+        // Release rolls both rows back; claiming an unlinked path reports it.
+        r.release_write_claim("/f", 20);
+        assert!(r.get_uip("/f").is_none());
+        assert!(r.sync_entries("/f").is_empty());
+        assert!(matches!(r.claim_write_open("/nope", 1, 1, false).unwrap(), WriteClaim::NotLinked));
+    }
+
+    #[test]
+    fn read_claims_coexist_but_respect_writers() {
+        let r = repo();
+        let mut txn = r.db().begin();
+        r.insert_file_in(&mut txn, &entry("/f")).unwrap();
+        txn.commit().unwrap();
+
+        assert!(r.claim_read_sync("/f", 1, 7).unwrap());
+        assert!(r.claim_read_sync("/f", 2, 8).unwrap(), "reads don't conflict with reads");
+        // A full-control write claim sees the read conflict when asked to.
+        assert!(matches!(r.claim_write_open("/f", 3, 9, true).unwrap(), WriteClaim::Conflict));
+        // Without read conflicts (rfd-style), the write claim proceeds.
+        assert!(matches!(
+            r.claim_write_open("/f", 3, 9, false).unwrap(),
+            WriteClaim::Granted { .. }
+        ));
     }
 
     #[test]

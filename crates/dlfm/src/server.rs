@@ -45,6 +45,13 @@ pub struct DlfmConfig {
     /// The paper leaves this as future work because of its cost; we
     /// implement it as an ablation.
     pub strict_link: bool,
+    /// Options for the repository's embedded minidb — notably the commit
+    /// pipeline (group commit vs per-commit sync, batch size, delay).
+    pub db: dl_minidb::DbOptions,
+    /// Worker threads in the upcall daemon pool. More than one lets
+    /// concurrent opens/closes drive concurrent repository commits (which
+    /// the group-commit pipeline then batches).
+    pub upcall_workers: usize,
 }
 
 impl DlfmConfig {
@@ -56,6 +63,8 @@ impl DlfmConfig {
             sync_archive: false,
             track_read_sync: true,
             strict_link: false,
+            db: dl_minidb::DbOptions::default(),
+            upcall_workers: 8,
         }
     }
 }
@@ -158,10 +167,37 @@ fn linked_attrs(mode: ControlMode, entry: &FileEntry, dlfm: &Cred) -> (u32, u32,
     }
 }
 
+/// Epoch bumped whenever sync/archive state changes; blocked opens wait on
+/// it and retry. Shared (via `Arc`) with the archiver completion callback
+/// so an asynchronous archive completion also wakes blocked writers.
+#[derive(Default)]
+struct SyncEpoch {
+    epoch: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl SyncEpoch {
+    fn bump(&self) {
+        *self.epoch.lock() += 1;
+        self.changed.notify_all();
+    }
+
+    fn get(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    fn wait_change(&self, seen: u64) {
+        let mut epoch = self.epoch.lock();
+        while *epoch == seen {
+            self.changed.wait(&mut epoch);
+        }
+    }
+}
+
 /// The DLFM server.
 pub struct DlfmServer {
     cfg: DlfmConfig,
-    repo: Repository,
+    repo: Arc<Repository>,
     archive: Arc<ArchiveStore>,
     archiver: Archiver,
     /// Root-credentialed logical FS over the *raw* physical file system.
@@ -169,10 +205,7 @@ pub struct DlfmServer {
     clock: Arc<dyn Clock>,
     host: RwLock<Option<Arc<dyn HostHook>>>,
     pending: Mutex<HashMap<u64, Arc<Mutex<SubTxn>>>>,
-    /// Epoch bumped whenever sync/archive state changes; blocked opens wait
-    /// on it and retry.
-    sync_epoch: Mutex<u64>,
-    sync_changed: Condvar,
+    sync_epoch: Arc<SyncEpoch>,
     pub stats: DlfmStats,
 }
 
@@ -191,11 +224,30 @@ impl DlfmServer {
         archive: Arc<ArchiveStore>,
         clock: Arc<dyn Clock>,
     ) -> Result<DlfmServer, String> {
-        let repo = Repository::open(repo_env).map_err(|e| e.to_string())?;
+        let repo = Arc::new(Repository::open_with(repo_env, cfg.db).map_err(|e| e.to_string())?);
+        let sync_epoch = Arc::new(SyncEpoch::default());
         let source_fs = Lfs::new(Arc::clone(&fs));
         let source: crate::archive::ContentSource =
             Arc::new(move |path: &str| source_fs.read_file(&ROOT, path).ok());
-        let archiver = Archiver::spawn_with_source(Arc::clone(&archive), Some(source));
+        // Completion callback: once the store durably holds the version,
+        // `needs_archive` can clear eagerly (recovery's lazy clear remains
+        // as the backstop for crashes mid-archive). The clear is guarded
+        // twice — the store must actually hold the version (a job whose
+        // content read failed stores nothing) and the version must still
+        // be current (a newer update may have committed meanwhile). The
+        // epoch bump is unconditional: it wakes writers blocked on the
+        // in-flight archive marker either way.
+        let cb_repo = Arc::clone(&repo);
+        let cb_epoch = Arc::clone(&sync_epoch);
+        let cb_store = Arc::clone(&archive);
+        let on_complete: crate::archive::ArchiveCompletion =
+            Arc::new(move |path: &str, version: u64| {
+                if cb_store.get(path, version).is_some() {
+                    let _ = cb_repo.clear_needs_archive_if_version(path, version);
+                }
+                cb_epoch.bump();
+            });
+        let archiver = Archiver::spawn_with(Arc::clone(&archive), Some(source), Some(on_complete));
         Ok(DlfmServer {
             cfg,
             repo,
@@ -205,8 +257,7 @@ impl DlfmServer {
             clock,
             host: RwLock::new(None),
             pending: Mutex::new(HashMap::new()),
-            sync_epoch: Mutex::new(0),
-            sync_changed: Condvar::new(),
+            sync_epoch,
             stats: DlfmStats::default(),
         })
     }
@@ -250,23 +301,18 @@ impl DlfmServer {
     }
 
     fn bump_epoch(&self) {
-        let mut epoch = self.sync_epoch.lock();
-        *epoch += 1;
-        self.sync_changed.notify_all();
+        self.sync_epoch.bump();
     }
 
     /// Current epoch; pass to [`DlfmServer::wait_epoch_change`] to block
     /// until sync state moves (used by DLFS to wait out `Busy`).
     pub fn epoch(&self) -> u64 {
-        *self.sync_epoch.lock()
+        self.sync_epoch.get()
     }
 
     /// Blocks until the epoch differs from `seen`.
     pub fn wait_epoch_change(&self, seen: u64) {
-        let mut epoch = self.sync_epoch.lock();
-        while *epoch == seen {
-            self.sync_changed.wait(&mut epoch);
-        }
+        self.sync_epoch.wait_change(seen);
     }
 
     // =====================================================================
@@ -640,19 +686,33 @@ impl DlfmServer {
                 entry.path
             ));
         }
-        // Serialization (§4.2): write-write always conflicts; in full
-        // control mode read entries conflict too.
-        let sync = self.repo.sync_entries(&entry.path);
-        let conflict = sync.iter().any(|s| {
-            s.kind == TokenKind::Write || (entry.mode.full_control() && self.cfg.track_read_sync)
-        });
-        if conflict {
-            self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
-            return OpenDecision::Busy;
-        }
+        // Serialization (§4.2): claim the update slot atomically — one
+        // repository transaction, serialized on the `dl_files` row lock,
+        // re-reads the fresh version, checks conflicting Sync entries
+        // (write-write always; in full control mode reads too) and inserts
+        // the UIP + write Sync rows. Upcall workers run concurrently, so
+        // the caller's `entry` may be stale; the claim's is not.
+        let read_conflicts = entry.mode.full_control() && self.cfg.track_read_sync;
+        let claim = match self.repo.claim_write_open(&entry.path, opener, uid, read_conflicts) {
+            Ok(claim) => claim,
+            Err(_) => {
+                self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+                return OpenDecision::Busy;
+            }
+        };
+        let (entry, _new_version) = match claim {
+            crate::repository::WriteClaim::Granted { entry, new_version } => (entry, new_version),
+            crate::repository::WriteClaim::Conflict => {
+                self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+                return OpenDecision::Busy;
+            }
+            crate::repository::WriteClaim::NotLinked => return OpenDecision::NotManaged,
+        };
         // §4.4: "any new update request to the file is blocked until the
-        // archiving completes."
+        // archiving completes." The close path pre-marks the archive before
+        // its commit, so post-claim this check cannot miss an in-flight job.
         if self.archive.is_archiving(&entry.path) {
+            self.repo.release_write_claim(&entry.path, opener);
             self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
             return OpenDecision::Busy;
         }
@@ -663,33 +723,14 @@ impl DlfmServer {
             match self.admin.read_file(&ROOT, &entry.path) {
                 Ok(data) => self.archive.put(&entry.path, entry.cur_version, entry.state_id, data),
                 Err(e) => {
+                    self.repo.release_write_claim(&entry.path, opener);
                     return OpenDecision::Rejected(format!(
                         "cannot capture before-image of {}: {e}",
                         entry.path
-                    ))
+                    ));
                 }
             }
         }
-
-        if self
-            .repo
-            .put_uip(&UipEntry {
-                path: entry.path.clone(),
-                new_version: entry.cur_version + 1,
-                opener,
-            })
-            .is_err()
-        {
-            // A UIP row already exists: an update is in flight.
-            self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
-            return OpenDecision::Busy;
-        }
-        let _ = self.repo.add_sync(&SyncEntry {
-            path: entry.path.clone(),
-            kind: TokenKind::Write,
-            opener,
-            uid,
-        });
 
         // Grant write access at the FS level. rfd additionally requires the
         // take-over (§4.2: "DLFM ... takes-over the file granting it write
@@ -699,8 +740,7 @@ impl DlfmServer {
         }
         let dlfm = self.cfg.dlfm_cred;
         if self.set_attrs(&entry.path, dlfm.uid, dlfm.gid, 0o600).is_err() {
-            let _ = self.repo.remove_uip(&entry.path);
-            let _ = self.repo.remove_sync(&entry.path, opener);
+            self.repo.release_write_claim(&entry.path, opener);
             return OpenDecision::Rejected(format!("take-over of {} failed", entry.path));
         }
         OpenDecision::Approved { open_as: dlfm }
@@ -720,18 +760,21 @@ impl DlfmServer {
             ));
         }
         // Full-control serialization: reads conflict with writes (§4.2).
-        let sync = self.repo.sync_entries(&entry.path);
-        if sync.iter().any(|s| s.kind == TokenKind::Write) {
+        // With tracking on, the conflict check and the Sync insert are one
+        // claim transaction on the `dl_files` row lock so a concurrent
+        // write open cannot interleave; the untracked ablation keeps the
+        // best-effort committed read (its documented trade-off).
+        if self.cfg.track_read_sync {
+            match self.repo.claim_read_sync(&entry.path, opener, uid) {
+                Ok(true) => {}
+                _ => {
+                    self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+                    return OpenDecision::Busy;
+                }
+            }
+        } else if self.repo.sync_entries(&entry.path).iter().any(|s| s.kind == TokenKind::Write) {
             self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
             return OpenDecision::Busy;
-        }
-        if self.cfg.track_read_sync {
-            let _ = self.repo.add_sync(&SyncEntry {
-                path: entry.path.clone(),
-                kind: TokenKind::Read,
-                opener,
-                uid,
-            });
         }
         OpenDecision::Approved { open_as: self.cfg.dlfm_cred }
     }
@@ -776,7 +819,12 @@ impl DlfmServer {
             return Ok(());
         }
 
-        // Committed update path.
+        // Committed update path. Pre-mark the archive as in flight *before*
+        // the commit releases the `dl_files` row lock: a write open claimed
+        // after the commit must observe either our Sync row or this marker
+        // — never a guard-free window (§4.4's blocking rule, made airtight
+        // for concurrent upcall workers).
+        self.archive.begin_archiving(path, uip.new_version);
         let result = self.commit_file_update(&entry, &uip, new_size, new_mtime);
         match result {
             Ok(state_id) => {
@@ -787,6 +835,7 @@ impl DlfmServer {
                 Ok(())
             }
             Err(e) => {
+                self.archive.cancel_archiving(path);
                 // §4.2: roll the file back to the last committed version.
                 self.rollback_update(&entry);
                 let _ = self.repo.remove_uip(path);
@@ -811,11 +860,14 @@ impl DlfmServer {
         let state_hint =
             host.as_ref().map(|h| h.state_id()).unwrap_or_else(|| self.repo.db().state_id());
 
+        // Lock order matters: `dl_files` first, then `dl_uip` — the same
+        // order the open-grant claims use — so a concurrent claim and this
+        // close sub-transaction cannot deadlock.
         let mut txn = self.repo.db().begin();
-        self.repo.remove_uip_in(&mut txn, &entry.path).map_err(|e| e.to_string())?;
         self.repo
             .commit_version_in(&mut txn, &entry.path, uip.new_version, state_hint)
             .map_err(|e| e.to_string())?;
+        self.repo.remove_uip_in(&mut txn, &entry.path).map_err(|e| e.to_string())?;
 
         match host {
             Some(hook) => {
@@ -851,17 +903,15 @@ impl DlfmServer {
             data: None,
             prune: !entry.recovery,
         };
+        // Either way, needs_archive stays set until the job is known
+        // complete (a crash between submit and the worker's store.put would
+        // otherwise lose the only committed copy); the archiver's completion
+        // callback clears it eagerly right after the store holds the
+        // version, with recovery's lazy clear as the crash backstop.
         if self.cfg.sync_archive {
             self.archiver.submit_sync(job);
-            let _ = self.repo.clear_needs_archive(&entry.path);
-            self.bump_epoch();
         } else {
             self.archiver.submit(job);
-            // needs_archive stays set until the job is known complete: a
-            // crash between submit and the worker's store.put would
-            // otherwise lose the only committed copy. Recovery clears the
-            // flag lazily, treating a set flag with an archived version as
-            // already done.
         }
     }
 

@@ -147,29 +147,43 @@ impl UpcallClient {
     }
 }
 
-/// The daemon: a thread draining the request channel.
+/// The daemon: a pool of worker threads draining one request channel.
+///
+/// The paper's prototype ran one upcall daemon; a single thread, however,
+/// serializes every token/open/close request and with it every repository
+/// commit — the group-commit pipeline never sees two committers at once.
+/// The pool (sized by `DlfmConfig::upcall_workers`) is the moral equivalent
+/// of the multiple daemon processes a production DLFM runs.
 pub struct UpcallDaemon {
-    handle: Option<JoinHandle<()>>,
+    handles: Vec<JoinHandle<()>>,
     tx: Sender<Envelope>,
 }
 
 impl UpcallDaemon {
-    /// Spawns the daemon over `server` and returns (daemon, client).
+    /// Spawns the daemon pool over `server` (worker count from
+    /// `server.config().upcall_workers`) and returns (daemon, client).
     pub fn spawn(server: Arc<DlfmServer>) -> (UpcallDaemon, UpcallClient) {
+        let workers = server.config().upcall_workers.max(1);
         let (tx, rx) = unbounded::<Envelope>();
-        let srv = Arc::clone(&server);
-        let handle = std::thread::Builder::new()
-            .name(format!("dlfm-upcall-{}", server.config().server_name))
-            .spawn(move || {
-                while let Ok((req, reply_tx)) = rx.recv() {
-                    let reply = Self::dispatch(&srv, req);
-                    let _ = reply_tx.send(reply);
-                }
-            })
-            .expect("spawn upcall daemon");
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let srv = Arc::clone(&server);
+            let rx = rx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dlfm-upcall-{}-{i}", server.config().server_name))
+                    .spawn(move || {
+                        while let Ok((req, reply_tx)) = rx.recv() {
+                            let reply = Self::dispatch(&srv, req);
+                            let _ = reply_tx.send(reply);
+                        }
+                    })
+                    .expect("spawn upcall daemon"),
+            );
+        }
         let client =
             UpcallClient { tx: tx.clone(), server, round_trips: Arc::new(AtomicU64::new(0)) };
-        (UpcallDaemon { handle: Some(handle), tx }, client)
+        (UpcallDaemon { handles, tx }, client)
     }
 
     fn dispatch(server: &DlfmServer, req: UpcallRequest) -> UpcallReply {
@@ -213,10 +227,10 @@ impl UpcallDaemon {
 
 impl Drop for UpcallDaemon {
     fn drop(&mut self) {
-        // The daemon thread exits when the last sender (including client
+        // The worker threads exit when the last sender (including client
         // clones) is dropped. Clients may outlive the daemon handle, so the
-        // thread is detached rather than joined — exactly how a crashing
+        // threads are detached rather than joined — exactly how a crashing
         // node abandons its daemons.
-        self.handle.take();
+        self.handles.clear();
     }
 }

@@ -295,6 +295,37 @@ fn committed_update_bumps_version_and_archives() {
 }
 
 #[test]
+fn needs_archive_clears_eagerly_after_async_archive() {
+    // The archiver's completion callback clears the flag once the store
+    // durably holds the version — no crash recovery needed (the lazy clear
+    // in recovery remains only as the crash backstop).
+    let f = fixture();
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let dlfm = approved_write_open(&f, "/data/clip.mpg", 5);
+    f.admin.write_file(&dlfm, "/data/clip.mpg", b"async v2").unwrap();
+    let attr = f.admin.stat(&Cred::root(), "/data/clip.mpg").unwrap();
+    f.server.close_notify("/data/clip.mpg", 5, true, attr.size, attr.mtime).unwrap();
+
+    // The flag is set inside the close sub-transaction and may only clear
+    // after the archive store holds v2.
+    f.server.archive_store().wait_archived("/data/clip.mpg");
+    assert!(f.server.archive_store().get("/data/clip.mpg", 2).is_some());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
+        if !entry.needs_archive {
+            break; // eagerly cleared by the completion callback
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "needs_archive was not cleared eagerly by the archiver callback"
+        );
+        std::thread::yield_now();
+    }
+    assert!(f.server.repository().files_needing_archive().is_empty());
+}
+
+#[test]
 fn write_write_conflict_is_busy_until_close() {
     let f = fixture();
     link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);

@@ -19,7 +19,7 @@ pub fn restore_latest(backup: &StorageEnv) -> DbResult<Database> {
 
 /// Restores the state as of `lsn` (commits with LSN ≤ `lsn` are included).
 pub fn restore_to_lsn(backup: &StorageEnv, lsn: Lsn) -> DbResult<Database> {
-    Database::open_with(backup.fork()?, DbOptions { stop_at_lsn: Some(lsn) })
+    Database::open_with(backup.fork()?, DbOptions { stop_at_lsn: Some(lsn), ..Default::default() })
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use crate::snapshot::{read_snapshot, write_snapshot};
 use crate::table::TableStore;
 use crate::txn::Txn;
 use crate::value::{Row, Schema, Value};
-use crate::wal::{read_until, Lsn, TxId, Wal, WalRecord};
+use crate::wal::{read_until, Lsn, TxId, Wal, WalOptions, WalRecord};
 
 /// Kind of DML statement reported to observers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,9 @@ pub struct DbOptions {
     /// Replay the log only up to (and including) this LSN — point-in-time
     /// restore (§4.4 coordinated backup and recovery).
     pub stop_at_lsn: Option<Lsn>,
+    /// Commit durability policy: group commit (default) or per-commit sync,
+    /// batch bound and optional commit-delay window. See [`WalOptions`].
+    pub wal: WalOptions,
 }
 
 /// Participants enlisted in one transaction, keyed by deduplication name.
@@ -85,8 +88,11 @@ pub(crate) struct DbInner {
     next_txid: AtomicU64,
     observers: RwLock<Vec<Arc<dyn DmlObserver>>>,
     participants: Mutex<HashMap<TxId, EnlistedParticipants>>,
-    /// Serializes commit apply, checkpoints and backups.
-    pub(crate) commit_latch: Mutex<()>,
+    /// Commit pipeline gate: committers hold it *shared* across log append
+    /// and table apply (so they group-commit concurrently); checkpoints and
+    /// backups take it *exclusive* to quiesce the pipeline and observe a
+    /// state where the log tail and the committed stores agree.
+    pub(crate) commit_latch: RwLock<()>,
     snapshot_gen: AtomicU64,
     /// Participant-side transactions prepared but undecided at recovery.
     in_doubt: Mutex<HashMap<TxId, Vec<RowOp>>>,
@@ -142,7 +148,7 @@ impl Database {
     pub fn open_with(env: StorageEnv, opts: DbOptions) -> DbResult<Database> {
         let wal_dev = env.device("wal")?;
         // Open the WAL first: it truncates any torn tail.
-        let (wal, _) = Wal::open(Arc::clone(&wal_dev))?;
+        let (wal, _) = Wal::open_with(Arc::clone(&wal_dev), opts.wal)?;
 
         // Full-log scan for transaction-resolution state. The log is never
         // truncated, so outcome queries reach arbitrarily far back.
@@ -225,7 +231,7 @@ impl Database {
                 next_txid: AtomicU64::new(max_txid + 1),
                 observers: RwLock::new(Vec::new()),
                 participants: Mutex::new(HashMap::new()),
-                commit_latch: Mutex::new(()),
+                commit_latch: RwLock::new(()),
                 snapshot_gen: AtomicU64::new(generation),
                 in_doubt: Mutex::new(in_doubt),
                 outcomes: Mutex::new(outcomes),
@@ -382,7 +388,7 @@ impl Database {
             .lock()
             .remove(&txid)
             .ok_or_else(|| DbError::InvalidTxnState(format!("tx{txid} not in doubt")))?;
-        let _latch = self.inner.commit_latch.lock();
+        let _latch = self.inner.commit_latch.read();
         self.inner.wal.append(&WalRecord::Decide { txid, commit })?;
         if commit {
             let mut tables = self.inner.tables.write();
@@ -403,7 +409,7 @@ impl Database {
     /// Writes a snapshot to the older ping-pong slot and logs a checkpoint.
     /// Returns the new snapshot generation.
     pub fn checkpoint(&self) -> DbResult<u64> {
-        let _latch = self.inner.commit_latch.lock();
+        let _latch = self.inner.commit_latch.write();
         let generation = self.inner.snapshot_gen.load(Ordering::SeqCst) + 1;
         let slot = if generation.is_multiple_of(2) { "snap.b" } else { "snap.a" };
         let dev = self.inner.env.device(slot)?;
@@ -420,15 +426,15 @@ impl Database {
     /// A moment-in-time backup: forks the storage environment under the
     /// commit latch so the copy is transaction-consistent.
     pub fn backup(&self) -> DbResult<StorageEnv> {
-        let _latch = self.inner.commit_latch.lock();
+        let _latch = self.inner.commit_latch.write();
         self.inner.env.fork()
     }
 
     // --- Read-committed helpers (no locks) -----------------------------------
 
     /// Reads the committed row at `key` without taking locks. The committed
-    /// stores only change under the commit latch, so this is a consistent
-    /// read-committed point lookup.
+    /// stores only change under the tables write lock (inside the shared
+    /// commit latch), so this is a consistent read-committed point lookup.
     pub fn get_committed(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
         let tables = self.inner.tables.read();
         let store = tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
@@ -555,7 +561,11 @@ mod tests {
         tx.commit().unwrap();
 
         let backup = db.backup().unwrap();
-        let restored = Database::open_with(backup, DbOptions { stop_at_lsn: Some(lsn1) }).unwrap();
+        let restored = Database::open_with(
+            backup,
+            DbOptions { stop_at_lsn: Some(lsn1), ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(restored.count("t").unwrap(), 1);
         assert!(restored.get_committed("t", &Value::Int(1)).unwrap().is_some());
     }
@@ -574,7 +584,11 @@ mod tests {
         db.checkpoint().unwrap(); // snapshot now contains both rows
 
         let backup = db.backup().unwrap();
-        let restored = Database::open_with(backup, DbOptions { stop_at_lsn: Some(lsn1) }).unwrap();
+        let restored = Database::open_with(
+            backup,
+            DbOptions { stop_at_lsn: Some(lsn1), ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(
             restored.count("t").unwrap(),
             1,

@@ -40,11 +40,26 @@ pub trait Device: Send + Sync {
 #[derive(Debug, Default)]
 pub struct MemDevice {
     data: RwLock<Vec<u8>>,
+    /// Minimum cost charged by every [`Device::sync`] call. Unlike fskit's
+    /// spin-based `IoModel`, this *sleeps*: a real fsync parks the calling
+    /// thread in the kernel and leaves the CPU free for other committers —
+    /// exactly the property group commit exploits (and the only honest
+    /// model on a single-core host). Zero (the default) keeps sync free.
+    sync_latency_ns: u64,
+    /// Number of `sync` calls served (benchmarks and tests read this).
+    syncs: std::sync::atomic::AtomicU64,
 }
 
 impl MemDevice {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A device whose `sync` costs `ns` nanoseconds — the knob that makes a
+    /// group-commit win measurable deterministically (a `sync` on a real
+    /// disk is the expensive step every commit pays).
+    pub fn with_sync_latency_ns(ns: u64) -> Self {
+        MemDevice { sync_latency_ns: ns, ..Default::default() }
     }
 
     /// Deep copy of the current contents (fork support).
@@ -53,7 +68,12 @@ impl MemDevice {
     }
 
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
-        MemDevice { data: RwLock::new(bytes) }
+        MemDevice { data: RwLock::new(bytes), ..Default::default() }
+    }
+
+    /// How many times this device has been synced.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -85,6 +105,10 @@ impl Device for MemDevice {
     }
 
     fn sync(&self) -> DbResult<()> {
+        self.syncs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if self.sync_latency_ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(self.sync_latency_ns));
+        }
         Ok(())
     }
 
@@ -155,11 +179,19 @@ impl Device for FileDevice {
     }
 }
 
+/// The shared state of an in-memory [`StorageEnv`].
+#[derive(Default)]
+pub struct MemEnv {
+    devices: RwLock<HashMap<String, Arc<MemDevice>>>,
+    /// Sync latency handed to every device this environment creates.
+    sync_latency_ns: u64,
+}
+
 /// Provides the named devices a database needs and supports forking.
 #[derive(Clone)]
 pub enum StorageEnv {
     /// Devices held in memory, shared through Arcs.
-    Mem(Arc<RwLock<HashMap<String, Arc<MemDevice>>>>),
+    Mem(Arc<MemEnv>),
     /// Devices are files inside a directory.
     Dir(PathBuf),
 }
@@ -167,7 +199,13 @@ pub enum StorageEnv {
 impl StorageEnv {
     /// A fresh in-memory environment.
     pub fn mem() -> Self {
-        StorageEnv::Mem(Arc::new(RwLock::new(HashMap::new())))
+        StorageEnv::Mem(Arc::new(MemEnv::default()))
+    }
+
+    /// An in-memory environment whose devices charge `ns` nanoseconds per
+    /// `sync` — a deterministic stand-in for disk flush latency.
+    pub fn mem_with_sync_latency(ns: u64) -> Self {
+        StorageEnv::Mem(Arc::new(MemEnv { sync_latency_ns: ns, ..Default::default() }))
     }
 
     /// A directory-backed environment (created if missing).
@@ -180,12 +218,14 @@ impl StorageEnv {
     /// Returns the named device, creating it empty when absent.
     pub fn device(&self, name: &str) -> DbResult<Arc<dyn Device>> {
         match self {
-            StorageEnv::Mem(map) => {
-                if let Some(dev) = map.read().get(name) {
+            StorageEnv::Mem(env) => {
+                if let Some(dev) = env.devices.read().get(name) {
                     return Ok(Arc::clone(dev) as Arc<dyn Device>);
                 }
-                let mut w = map.write();
-                let dev = w.entry(name.to_string()).or_insert_with(|| Arc::new(MemDevice::new()));
+                let mut w = env.devices.write();
+                let dev = w.entry(name.to_string()).or_insert_with(|| {
+                    Arc::new(MemDevice::with_sync_latency_ns(env.sync_latency_ns))
+                });
                 Ok(Arc::clone(dev) as Arc<dyn Device>)
             }
             StorageEnv::Dir(dir) => {
@@ -201,13 +241,23 @@ impl StorageEnv {
     /// its commit latch around this).
     pub fn fork(&self) -> DbResult<StorageEnv> {
         match self {
-            StorageEnv::Mem(map) => {
-                let src = map.read();
+            StorageEnv::Mem(env) => {
+                let src = env.devices.read();
                 let mut dst = HashMap::new();
                 for (name, dev) in src.iter() {
-                    dst.insert(name.clone(), Arc::new(MemDevice::from_bytes(dev.snapshot())));
+                    dst.insert(
+                        name.clone(),
+                        Arc::new(MemDevice {
+                            data: RwLock::new(dev.snapshot()),
+                            sync_latency_ns: env.sync_latency_ns,
+                            syncs: Default::default(),
+                        }),
+                    );
                 }
-                Ok(StorageEnv::Mem(Arc::new(RwLock::new(dst))))
+                Ok(StorageEnv::Mem(Arc::new(MemEnv {
+                    devices: RwLock::new(dst),
+                    sync_latency_ns: env.sync_latency_ns,
+                })))
             }
             StorageEnv::Dir(dir) => {
                 let dst = dir.with_extension(format!(
@@ -278,6 +328,29 @@ mod tests {
         let mut buf = [0u8; 3];
         fork.device("wal").unwrap().read_at(0, &mut buf).unwrap();
         assert_eq!(&buf, b"one", "fork must not see post-fork writes");
+    }
+
+    #[test]
+    fn mem_device_sync_latency_is_charged_and_counted() {
+        let d = MemDevice::with_sync_latency_ns(200_000);
+        let t = std::time::Instant::now();
+        d.sync().unwrap();
+        d.sync().unwrap();
+        assert!(t.elapsed() >= std::time::Duration::from_micros(400));
+        assert_eq!(d.sync_count(), 2);
+    }
+
+    #[test]
+    fn mem_env_sync_latency_survives_fork() {
+        let env = StorageEnv::mem_with_sync_latency(150_000);
+        env.device("wal").unwrap().write_at(0, b"x").unwrap();
+        let fork = env.fork().unwrap();
+        for e in [&env, &fork] {
+            let d = e.device("wal").unwrap();
+            let t = std::time::Instant::now();
+            d.sync().unwrap();
+            assert!(t.elapsed() >= std::time::Duration::from_micros(150));
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * **Storage model** — committed table data lives in memory; durability
 //!   comes from a redo-only write-ahead log plus ping-pong snapshots
 //!   (deferred-update architecture: transactions buffer writes privately and
-//!   apply them at commit, so recovery never needs undo).
+//!   apply them at commit, so recovery never needs undo). The log runs a
+//!   leader/follower group-commit pipeline ([`WalOptions`], via
+//!   [`DbOptions::wal`](db::DbOptions)): concurrent committers share one
+//!   device write + sync without ever being acknowledged before their own
+//!   frame is durable.
 //! * **Concurrency control** — strict two-phase locking with table-level
 //!   intent locks, row-level S/X locks, and wait-for-graph deadlock
 //!   detection.
@@ -49,4 +53,4 @@ pub use lock::LockMode;
 pub use ops::RowOp;
 pub use txn::Txn;
 pub use value::{Column, ColumnType, Row, Schema, Value};
-pub use wal::Lsn;
+pub use wal::{Lsn, WalOptions};

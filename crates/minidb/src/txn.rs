@@ -305,7 +305,9 @@ impl Txn {
         } else {
             let names: Vec<String> = participants.iter().map(|(n, _)| n.clone()).collect();
             let inner = self.db.inner();
-            let _latch = inner.commit_latch.lock();
+            // Shared: concurrent committers ride the same group-commit
+            // batch; only checkpoint/backup take this exclusively.
+            let _latch = inner.commit_latch.read();
             let lsn = inner.wal.append(&WalRecord::Commit {
                 txid: self.id,
                 participants: names,
@@ -378,7 +380,7 @@ impl Txn {
         }
         let lsn = {
             let inner = self.db.inner();
-            let _latch = inner.commit_latch.lock();
+            let _latch = inner.commit_latch.read();
             let lsn = inner.wal.append(&WalRecord::Decide { txid: self.id, commit: true })?;
             let mut tables = inner.tables.write();
             for op in &self.ops {

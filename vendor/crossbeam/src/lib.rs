@@ -41,39 +41,66 @@ pub mod channel {
         }
     }
 
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// Cloneable receiving half, like real crossbeam's MPMC receiver (std's
+    /// mpsc receiver is single-consumer, so clones share it via a mutex; a
+    /// blocked `recv` holds the lock, which hands messages to exactly one
+    /// waiting clone — the work-queue semantics a worker pool needs).
+    pub struct Receiver<T>(std::sync::Arc<std::sync::Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(std::sync::Arc::clone(&self.0))
+        }
+    }
 
     impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            self.inner().recv()
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            self.inner().try_recv()
         }
 
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+            self.inner().recv_timeout(timeout)
         }
+    }
 
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.0.iter()
-        }
+    fn share<T>(rx: mpsc::Receiver<T>) -> Receiver<T> {
+        Receiver(std::sync::Arc::new(std::sync::Mutex::new(rx)))
     }
 
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+        (Sender(Flavor::Unbounded(tx)), share(rx))
     }
 
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+        (Sender(Flavor::Bounded(tx)), share(rx))
     }
 
     #[cfg(test)]
     mod tests {
         use super::*;
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let a = rx.recv().unwrap();
+            let b = rx2.recv().unwrap();
+            let mut got = vec![a, b];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2], "each message delivered to exactly one clone");
+        }
 
         #[test]
         fn unbounded_roundtrip() {

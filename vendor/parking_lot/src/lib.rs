@@ -8,7 +8,13 @@
 //!   recovered with `PoisonError::into_inner` rather than propagated, which
 //!   matches parking_lot's no-poisoning semantics.
 //! * Only the calls the workspace makes exist: `Mutex::{new,lock}`,
-//!   `RwLock::{new,read,write}`, `Condvar::{new,wait,notify_one,notify_all}`.
+//!   `MutexGuard::unlocked`, `RwLock::{new,read,write}`,
+//!   `Condvar::{new,wait,notify_one,notify_all}`.
+//! * Fairness caveat: real parking_lot's `RwLock` blocks new readers once
+//!   a writer waits. This shim inherits `std::sync::RwLock`'s policy —
+//!   writer-preferring with Rust's futex implementation on Linux (what the
+//!   commit latch's checkpoint/backup quiesce relies on), but unspecified
+//!   on other platforms; swap the real crate in for strict guarantees.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -17,9 +23,33 @@ use std::sync::PoisonError;
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
 pub struct MutexGuard<'a, T: ?Sized> {
+    // Needed by `unlocked` to re-acquire after temporarily releasing.
+    mutex: &'a Mutex<T>,
     // `Option` so `Condvar::wait` can temporarily take the std guard
     // (std's wait consumes it) and put the re-acquired one back.
     inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Temporarily unlocks the mutex while `f` runs, then re-acquires it —
+    /// also on unwind, matching real parking_lot (a panicking closure must
+    /// not leave a live guard without its lock).
+    pub fn unlocked<F, U>(s: &mut Self, f: F) -> U
+    where
+        F: FnOnce() -> U,
+    {
+        struct Relock<'g, 'a, T: ?Sized>(&'g mut MutexGuard<'a, T>);
+        impl<T: ?Sized> Drop for Relock<'_, '_, T> {
+            fn drop(&mut self) {
+                self.0.inner = Some(self.0.mutex.0.lock().unwrap_or_else(PoisonError::into_inner));
+            }
+        }
+        s.inner = None;
+        let relock = Relock(s);
+        let result = f();
+        drop(relock); // re-acquire (Drop also runs if `f` unwinds)
+        result
+    }
 }
 
 impl<T> Mutex<T> {
@@ -34,7 +64,10 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)) }
+        MutexGuard {
+            mutex: self,
+            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -170,6 +203,32 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn unlocked_releases_and_reacquires() {
+        let m = Arc::new(Mutex::new(0));
+        let mut g = m.lock();
+        let m2 = Arc::clone(&m);
+        MutexGuard::unlocked(&mut g, move || {
+            // Another thread can take the lock while we are "unlocked".
+            thread::spawn(move || *m2.lock() += 1).join().unwrap();
+        });
+        assert_eq!(*g, 1);
+    }
+
+    #[test]
+    fn unlocked_relocks_on_unwind() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = m2.lock();
+            MutexGuard::unlocked(&mut g, || panic!("boom"));
+        }));
+        // Guard re-acquired during unwind, then released by its drop: the
+        // mutex must be freely lockable afterwards.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
     }
 
     #[test]
