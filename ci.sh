@@ -30,11 +30,14 @@ cargo build --examples --quiet
 step "benches compile"
 cargo bench -p dl-bench --no-run --quiet
 
-# Regression tooling can't rot: run the commit-throughput experiment with
-# --json, then self-compare the just-written trajectories (must be zero
-# regressions, exit 0). Quick mode stays on the debug profile to avoid a
-# release build it otherwise skips.
-step "report --json (a9) + --compare self-smoke"
+# Regression tooling can't rot: run the commit-throughput and replication
+# experiments with --json, then self-compare the just-written trajectories
+# (must be zero regressions, exit 0). The a10 run doubles as the
+# replication smoke — its runner *asserts* that the lag drains to zero and
+# that failover preserves the repository's link state, so a broken
+# replication pipeline fails this step outright. Quick mode stays on the
+# debug profile to avoid a release build it otherwise skips.
+step "report --json (a9 a10 incl. replication smoke) + --compare self-smoke"
 profile_flag=""
 if [[ "${1:-}" != "quick" ]]; then
   profile_flag="--release"
@@ -43,7 +46,7 @@ bench_dir=$(mktemp -d)
 trap 'rm -rf "$bench_dir"' EXIT
 # shellcheck disable=SC2086  # $profile_flag is intentionally word-split
 cargo run -p dl-bench $profile_flag --quiet --bin report -- \
-  a9 --quick --json --json-dir "$bench_dir" > /dev/null
+  a9 a10 --quick --json --json-dir "$bench_dir" > /dev/null
 cargo run -p dl-bench $profile_flag --quiet --bin report -- \
   --compare "$bench_dir" --current "$bench_dir"
 

@@ -212,6 +212,10 @@ fn main() {
         let (commits, cycles) = if quick { (15, 3) } else { (50, 8) };
         emit(exp::a9_commit_throughput(commits, cycles, 100_000));
     }
+    if want("a10") {
+        let (readers, reads) = if quick { (4, 10) } else { (8, 40) };
+        emit(exp::a10_replication(readers, reads, 100_000));
+    }
 
     if want("appendix") || filter.is_empty() {
         let mut rows = Vec::new();

@@ -8,14 +8,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dl_baselines::{CauManager, CicoManager, MergePolicy};
-use dl_core::{ControlMode, TokenKind};
+use dl_core::{ControlMode, DataLinksSystem, TokenKind};
 use dl_fskit::memfs::IoModel;
 use dl_fskit::{Cred, FileSystem, Lfs, MemFs, OpenOptions};
 use dl_minidb::{Column, ColumnType, Database, DbOptions, Schema, StorageEnv, Value, WalOptions};
 
 use crate::{
-    fixture, fmt_ns, make_content, percentile, run_threads, time_ns, Fixture, FixtureOptions, APP,
-    SRV, TABLE,
+    fixture, fmt_ns, make_content, percentile, run_threads, time_ns, time_once, Fixture,
+    FixtureOptions, APP, SRV, TABLE,
 };
 
 /// A printable experiment result.
@@ -849,10 +849,13 @@ fn stack_commit_rate(threads: usize, cycles: usize, sync_latency_ns: u64, wal: W
 /// latency knob (`MemDevice::with_sync_latency_ns`) makes the win
 /// deterministic: group commit collapses N concurrent syncs into ~1.
 pub fn a9_commit_throughput(commits: usize, cycles: usize, sync_latency_ns: u64) -> Table {
-    let grouped = WalOptions::default();
     let per_commit = WalOptions::per_commit_sync();
     let mut rows = Vec::new();
     for threads in [1usize, 2, 4, 8, 16] {
+        // The group arm self-tunes its gather window to the committer
+        // count (`WalOptions::tuned_for`): zero delay when a batch can't
+        // form, a bounded window once followers exist to collect.
+        let grouped = WalOptions::tuned_for(threads);
         let bare_per = bare_db_commit_rate(threads, commits, sync_latency_ns, per_commit);
         let bare_grp = bare_db_commit_rate(threads, commits, sync_latency_ns, grouped);
         let stack_per = stack_commit_rate(threads, cycles, sync_latency_ns, per_commit);
@@ -891,6 +894,134 @@ pub fn a9_commit_throughput(commits: usize, cycles: usize, sync_latency_ns: u64)
                 .into(),
             "expected shape: ~1x at 1 thread (identical log bytes), group commit pulling \
              ahead from 4 threads as concurrent syncs collapse into one"
+                .into(),
+            "group arm uses WalOptions::tuned_for(threads): commit_delay_us 0 at <=2 \
+             committers, then ~20 µs/committer capped at 200 µs"
+                .into(),
+        ],
+    }
+}
+
+// ===========================================================================
+// a10 — WAL-shipping replication: replica reads, lag, failover (this repo)
+// ===========================================================================
+
+/// The replication experiment: read-token validation + replica-read
+/// throughput vs replica count, replication-lag drain after a write burst,
+/// and failover time with a link-state preservation check. Doubles as the
+/// CI smoke: the lag *must* drain to zero and failover *must* preserve the
+/// repository's link state — both are asserted, not just reported.
+pub fn a10_replication(readers: usize, reads_per: usize, sync_latency_ns: u64) -> Table {
+    const N_FILES: usize = 4;
+    let content = make_content(2048);
+    let mut rows = Vec::new();
+    let mut baseline_rate = 0.0f64;
+    for replicas in [0usize, 1, 2, 4] {
+        let f = fixture(FixtureOptions {
+            n_files: N_FILES,
+            file_size: 2048,
+            replicas,
+            sync_archive: true,
+            db_sync_latency_ns: sync_latency_ns,
+            ..Default::default()
+        });
+        // One committed update per file so every replica archive holds the
+        // current version's bytes.
+        for i in 0..N_FILES {
+            f.managed_update(i, &content);
+        }
+
+        // Replication lag after the write burst must drain to zero.
+        let drain = time_once(|| {
+            let drained = f
+                .sys
+                .wait_replicas_caught_up(SRV, std::time::Duration::from_secs(30))
+                .expect("known server");
+            assert!(drained, "replication lag must drain to zero");
+        });
+        assert_eq!(f.sys.replication_lag(SRV).expect("lag"), 0);
+
+        // Routed reads: token validation + last-committed bytes, spread
+        // round-robin over the standbys (all on the primary at 0 replicas).
+        let elapsed = run_threads(readers, |t| {
+            for k in 0..reads_per {
+                let i = (t + k) % N_FILES;
+                let tp = f.token_path(i, TokenKind::Read);
+                let data = f.sys.serve_read(SRV, &tp, APP.uid).expect("routed read");
+                assert_eq!(data, content, "replica must serve the committed bytes");
+            }
+        });
+        let rate = (readers * reads_per) as f64 / elapsed.as_secs_f64();
+        if replicas == 0 {
+            baseline_rate = rate;
+        }
+
+        // Failover: promote a standby and verify the link state survived.
+        let (failover_cell, preserved_cell) = if replicas == 0 {
+            (s("--"), s("--"))
+        } else {
+            let Fixture { mut sys, paths, .. } = f;
+            let snapshot = |sys: &DataLinksSystem| {
+                let mut files: Vec<(String, u64)> = sys
+                    .node(SRV)
+                    .expect("node")
+                    .server
+                    .repository()
+                    .list_files()
+                    .into_iter()
+                    .map(|e| (e.path, e.cur_version))
+                    .collect();
+                files.sort();
+                files
+            };
+            let before = snapshot(&sys);
+            let failover = time_once(|| {
+                sys.fail_over(SRV).expect("failover");
+            });
+            let after = snapshot(&sys);
+            assert_eq!(before, after, "failover must preserve link state");
+            // The promoted node serves the same committed bytes.
+            let (_, tp) = sys
+                .select_datalink(TABLE, &Value::Int(0), "body", TokenKind::Read)
+                .expect("select after failover");
+            let data = sys.serve_read(SRV, &tp, APP.uid).expect("read after failover");
+            assert_eq!(data, content, "promoted node must serve committed bytes");
+            let _ = paths;
+            (fmt_ns(failover.as_nanos() as f64), s(true))
+        };
+
+        rows.push(vec![
+            s(replicas),
+            s(format!("{rate:.0}")),
+            s(format!("{:.2}x", rate / baseline_rate)),
+            fmt_ns(drain.as_nanos() as f64),
+            failover_cell,
+            preserved_cell,
+        ]);
+    }
+    Table {
+        id: "a10",
+        title: format!(
+            "WAL-shipping replication: routed reads vs replica count \
+             ({readers} readers x {reads_per} reads, {} µs device sync)",
+            sync_latency_ns / 1000
+        ),
+        header: vec![
+            s("replicas"),
+            s("validated reads/s"),
+            s("speedup vs primary-only"),
+            s("lag drain"),
+            s("failover"),
+            s("links preserved"),
+        ],
+        rows,
+        notes: vec![
+            "each routed read = token validation (HMAC + durable token entry) + last \
+             committed bytes; one serialized validation lane per node (the paper's \
+             one-upcall-daemon prototype shape), so replicas multiply capacity"
+                .into(),
+            "lag drain: time for standbys to apply the preceding update burst; failover: \
+             fence + promote + DLFM recovery on the standby's applied state"
                 .into(),
         ],
     }

@@ -51,6 +51,8 @@ pub struct FixtureOptions {
     /// Deterministic `sync` cost charged by the WAL devices of the host
     /// database and the DLFM repository (commit-throughput experiments).
     pub db_sync_latency_ns: u64,
+    /// Hot-standby repositories per file server (replication experiments).
+    pub replicas: usize,
 }
 
 impl Default for FixtureOptions {
@@ -67,6 +69,7 @@ impl Default for FixtureOptions {
             recovery: true,
             db: DbOptions::default(),
             db_sync_latency_ns: 0,
+            replicas: 0,
         }
     }
 }
@@ -91,6 +94,7 @@ pub fn fixture(opts: FixtureOptions) -> Fixture {
         dlfs: DlfsConfig { wait_policy: opts.wait_policy, strict: opts.strict },
         io: opts.io,
         repo_env: mem_env(),
+        replicas: opts.replicas,
     };
     let sys = SystemBuilder::new()
         .host_env(mem_env())

@@ -24,7 +24,8 @@ use dl_minidb::{
     Column, ColumnType, Database, DbResult, DmlEvent, DmlObserver, InjectedDml, Lsn, Row, Schema,
     Value,
 };
-use parking_lot::RwLock;
+use dl_repl::ReplicaSet;
+use parking_lot::{Mutex, RwLock};
 
 use crate::datalink::{DatalinkUrl, DlColumnOptions};
 
@@ -40,6 +41,13 @@ pub struct EngineStats {
     pub unlinks: AtomicU64,
     pub tokens_generated: AtomicU64,
     pub meta_updates: AtomicU64,
+    /// Read validations/reads routed to replicas (vs the primary).
+    pub replica_routed: AtomicU64,
+    pub primary_routed: AtomicU64,
+    /// Replica-routed reads whose *content* fell back to the primary
+    /// because the picked standby had not applied the link/version yet
+    /// (replication lag; validation still happened at the replica).
+    pub replica_fallbacks: AtomicU64,
 }
 
 /// A file server known to the engine.
@@ -52,7 +60,23 @@ pub struct ServerRegistration {
     /// Direct handle for metadata stats (in-process shortcut for what the
     /// real system fetches over the agent connection).
     pub server: Arc<DlfmServer>,
+    /// Hot standbys serving the routed read path, when provisioned.
+    pub replication: Option<Arc<ReplicaSet>>,
 }
+
+/// Per-registration read lane: the primary arm of the routed read path is
+/// serialized the same way a replica's is (one validation daemon per node,
+/// the paper's prototype shape), so a10's replica-count sweep compares
+/// equal per-node capacity.
+///
+/// This is a deliberate *model*, not an accident: in-process, every
+/// "node" shares one machine, so without a per-node capacity bound the
+/// group-commit pipeline would batch all concurrent validations on the
+/// primary and replica fan-out could never show its distributed-capacity
+/// win. The lane applies only to the routed read path — the DLFS upcall
+/// path (PR 2's worker pool) is untouched.
+#[derive(Default)]
+struct ReadLane(Mutex<()>);
 
 /// Registered DATALINK columns of one table: (index, name, options).
 type TableDlColumns = Vec<(usize, String, DlColumnOptions)>;
@@ -64,6 +88,7 @@ pub struct DataLinksEngine {
     clock: Arc<dyn Clock>,
     servers: RwLock<HashMap<String, ServerRegistration>>,
     columns: RwLock<HashMap<String, TableDlColumns>>,
+    read_lanes: RwLock<HashMap<String, Arc<ReadLane>>>,
     pub stats: EngineStats,
 }
 
@@ -78,6 +103,7 @@ impl DataLinksEngine {
             clock,
             servers: RwLock::new(HashMap::new()),
             columns: RwLock::new(HashMap::new()),
+            read_lanes: RwLock::new(HashMap::new()),
             stats: EngineStats::default(),
         });
         engine.load_column_registry()?;
@@ -149,8 +175,94 @@ impl DataLinksEngine {
     }
 
     /// Registers a file server's agent connection and token secret.
+    /// Re-registering a name replaces the previous registration — failover
+    /// swaps the promoted server in this way.
     pub fn register_server(&self, reg: ServerRegistration) {
+        self.read_lanes.write().insert(reg.name.clone(), Arc::new(ReadLane::default()));
         self.servers.write().insert(reg.name.clone(), reg);
+    }
+
+    // --- routed read path (replica read routing) -------------------------------
+
+    /// Validates a read token at a replica of `server` (round-robin) when
+    /// standbys exist, at the primary otherwise. Writes never route here:
+    /// the open/close update protocol stays on the primary.
+    pub fn validate_read_token(
+        &self,
+        server: &str,
+        path: &str,
+        token: &str,
+        uid: u32,
+    ) -> Result<TokenKind, String> {
+        self.route_read(server, path, token, uid, false).map(|(kind, _)| kind)
+    }
+
+    /// Validates and serves the last committed bytes of `path` through the
+    /// routed read path: a standby's mirrored archive when replicated (the
+    /// primary does no work at all), the primary's file system otherwise.
+    pub fn serve_read(
+        &self,
+        server: &str,
+        path: &str,
+        token: &str,
+        uid: u32,
+    ) -> Result<Vec<u8>, String> {
+        self.route_read(server, path, token, uid, true)
+            .and_then(|(_, bytes)| bytes.ok_or_else(|| format!("no readable content for {path}")))
+    }
+
+    /// `fetch` selects the two routed operations: token validation alone
+    /// (cheap, content untouched — a valid token must validate even when
+    /// the bytes are momentarily unservable) or validation + content.
+    fn route_read(
+        &self,
+        server: &str,
+        path: &str,
+        token: &str,
+        uid: u32,
+        fetch: bool,
+    ) -> Result<(TokenKind, Option<Vec<u8>>), String> {
+        let (replica, primary) = {
+            let servers = self.servers.read();
+            let reg = servers.get(server).ok_or_else(|| format!("unknown file server {server}"))?;
+            (reg.replication.as_ref().map(|set| Arc::clone(set.pick())), Arc::clone(&reg.server))
+        };
+        match replica {
+            Some(standby) => {
+                self.stats.replica_routed.fetch_add(1, Ordering::Relaxed);
+                let kind = standby.validate_read_token(path, token, uid)?;
+                let bytes = if fetch {
+                    match standby.serve_read(path, uid) {
+                        Ok(bytes) => Some(bytes),
+                        // The standby is behind (link or version not yet
+                        // applied/mirrored): a valid-token read must not
+                        // fail on a healthy system — serve the content
+                        // from the primary instead.
+                        Err(_) => {
+                            self.stats.replica_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            Some(primary.read_linked(path)?)
+                        }
+                    }
+                } else {
+                    None
+                };
+                Ok((kind, bytes))
+            }
+            None => {
+                self.stats.primary_routed.fetch_add(1, Ordering::Relaxed);
+                // Lane covers validation only, exactly like a replica's
+                // (`Standby::validate_read_token`): content fetch is
+                // unserialized on both arms, so the a10 replica-count
+                // sweep compares equal per-node work.
+                let kind = {
+                    let lane = self.read_lanes.read().get(server).cloned();
+                    let _serial = lane.as_ref().map(|l| l.0.lock());
+                    primary.validate_token(path, token, uid)?
+                };
+                let bytes = if fetch { Some(primary.read_linked(path)?) } else { None };
+                Ok((kind, bytes))
+            }
+        }
     }
 
     /// Declares `table.column` to be a DATALINK column with `opts`.

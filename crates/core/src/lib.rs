@@ -85,3 +85,4 @@ pub use system::{
 
 // Re-export the vocabulary types users need.
 pub use dl_dlfm::{AccessControl, ControlMode, OnUnlink, TokenKind};
+pub use dl_repl::{EpochFence, ReplError, ReplicaSet, Replicator, Standby};

@@ -11,18 +11,27 @@
 //! storage environments, physical file systems, archive stores), and
 //! [`DataLinksSystem::recover`] rebuilds and runs the coordinated recovery
 //! protocol (§4.2, §4.4).
+//!
+//! With [`FileServerSpec::replicas`] a node additionally runs hot standbys:
+//! a `dl_repl::Replicator` tails the primary repository's WAL and keeps N
+//! standby repositories (plus mirrored archive stores) continuously
+//! applied. The engine routes read-token validation and replica-served
+//! reads across them round-robin; [`DataLinksSystem::fail_over`] promotes a
+//! standby after a primary crash, fencing the old primary by epoch.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use dl_dlfm::{
-    AgentHandle, ArchiveStore, DlfmConfig, DlfmServer, MainDaemon, RecoveryReport, TokenKind,
-    UpcallDaemon,
+    AgentHandle, ArchiveStore, ContentSource, DlfmConfig, DlfmServer, MainDaemon, RecoveryReport,
+    TokenKind, UpcallDaemon,
 };
 use dl_dlfs::{Dlfs, DlfsConfig};
 use dl_fskit::memfs::IoModel;
-use dl_fskit::{Clock, FileSystem, Lfs, MemFs, WallClock};
+use dl_fskit::{Clock, Cred, FileSystem, Lfs, MemFs, WallClock};
 use dl_minidb::{Database, DbOptions, Lsn, Schema, StorageEnv, Txn, Value};
+use dl_repl::{ReplicaSet, ReplicaSetOptions};
 
 use crate::datalink::{DatalinkUrl, DlColumnOptions};
 use crate::engine::{DataLinksEngine, ServerRegistration, META_TABLE};
@@ -40,9 +49,12 @@ pub struct FileServerNode {
     pub lfs: Arc<Lfs>,
     /// Root access to the raw physical file system (fixtures, admin).
     pub raw: Arc<Lfs>,
+    /// Hot standbys of the DLFM repository, when provisioned.
+    pub replication: Option<Arc<ReplicaSet>>,
     repo_env: StorageEnv,
     dlfm_cfg: DlfmConfig,
     dlfs_cfg: DlfsConfig,
+    replicas: usize,
     main: MainDaemon,
     _upcall: UpcallDaemon,
 }
@@ -68,6 +80,10 @@ pub struct FileServerSpec {
     /// repository's commit pipeline is measurable (`dlfm.db` carries the
     /// group-commit options themselves).
     pub repo_env: StorageEnv,
+    /// Number of hot-standby repositories fed by WAL shipping from this
+    /// node's repository. Zero (the default) runs the node unreplicated —
+    /// the paper's single-point-of-failure shape.
+    pub replicas: usize,
 }
 
 impl FileServerSpec {
@@ -78,7 +94,14 @@ impl FileServerSpec {
             dlfs: DlfsConfig::default(),
             io: IoModel::default(),
             repo_env: StorageEnv::mem(),
+            replicas: 0,
         }
+    }
+
+    /// Provisions `n` hot standbys for this file server.
+    pub fn replicas(mut self, n: usize) -> FileServerSpec {
+        self.replicas = n;
+        self
     }
 }
 
@@ -140,6 +163,7 @@ impl SystemBuilder {
                 archive: Arc::new(ArchiveStore::new()),
                 dlfm_cfg: spec.dlfm,
                 dlfs_cfg: spec.dlfs,
+                replicas: spec.replicas,
             });
         }
         DataLinksSystem::assemble(self.host_env, self.host_db, self.clock, parts, false)
@@ -161,6 +185,10 @@ struct NodeParts {
     archive: Arc<ArchiveStore>,
     dlfm_cfg: DlfmConfig,
     dlfs_cfg: DlfsConfig,
+    /// Standby count to re-provision. Standbys are rebuilt fresh after a
+    /// crash: their envs re-ship from offset zero of the (recovered)
+    /// primary log, the simplest correct re-seeding.
+    replicas: usize,
 }
 
 /// What survives a simulated whole-system crash: the disks.
@@ -190,6 +218,15 @@ pub struct SystemRestoreReport {
     pub missing_versions: Vec<(String, u64)>,
 }
 
+/// Splits `path;dltoken=<tok>` into `(path, token)`; a bare path is an
+/// error — the routed read path is token-gated by construction.
+fn split_embedded_token(token_path: &str) -> Result<(&str, &str), String> {
+    match dl_dlfm::split_token_suffix(token_path) {
+        (path, Some(token)) => Ok((path, token)),
+        (path, None) => Err(format!("no access token embedded in {path}")),
+    }
+}
+
 /// The assembled system.
 pub struct DataLinksSystem {
     db: Database,
@@ -215,47 +252,94 @@ impl DataLinksSystem {
         let mut nodes = HashMap::new();
         let mut reports = HashMap::new();
         for part in parts {
-            let server = Arc::new(DlfmServer::new(
-                part.dlfm_cfg.clone(),
-                part.fs.clone() as Arc<dyn FileSystem>,
-                part.repo_env.clone(),
-                Arc::clone(&part.archive),
-                Arc::clone(&clock),
-            )?);
-            server.set_host_hook(engine.clone());
-            if run_recovery {
-                reports.insert(part.name.clone(), server.recover()?);
+            let name = part.name.clone();
+            let (node, report) = Self::build_node(&engine, &clock, part, run_recovery)?;
+            if let Some(report) = report {
+                reports.insert(name.clone(), report);
             }
-            let (upcall, client) = UpcallDaemon::spawn(Arc::clone(&server));
-            let dlfs =
-                Arc::new(Dlfs::new(part.fs.clone() as Arc<dyn FileSystem>, client, part.dlfs_cfg));
-            let lfs = Arc::new(Lfs::new(dlfs.clone() as Arc<dyn FileSystem>));
-            let raw = Arc::new(Lfs::new(part.fs.clone() as Arc<dyn FileSystem>));
-            let main = MainDaemon::new(Arc::clone(&server));
-            engine.register_server(ServerRegistration {
-                name: part.name.clone(),
-                agent: main.connect(),
-                token_key: part.dlfm_cfg.token_key.clone(),
-                server: Arc::clone(&server),
-            });
-            nodes.insert(
-                part.name.clone(),
-                FileServerNode {
-                    name: part.name,
-                    fs: part.fs,
-                    server,
-                    dlfs,
-                    lfs,
-                    raw,
-                    repo_env: part.repo_env,
-                    dlfm_cfg: part.dlfm_cfg,
-                    dlfs_cfg: part.dlfs_cfg,
-                    main,
-                    _upcall: upcall,
-                },
-            );
+            nodes.insert(name, node);
         }
         Ok((DataLinksSystem { db, engine, clock, host_env, host_db, nodes }, reports))
+    }
+
+    /// Builds one file-server node from its durable parts: the DLFM server
+    /// (running recovery when asked), the DLFS/LFS stack, the daemons, the
+    /// engine registration, and — when provisioned — the replica set fed
+    /// from the repository's WAL. Used by initial assembly, crash
+    /// recovery, and failover promotion alike.
+    fn build_node(
+        engine: &Arc<DataLinksEngine>,
+        clock: &Arc<dyn Clock>,
+        part: NodeParts,
+        run_recovery: bool,
+    ) -> Result<(FileServerNode, Option<RecoveryReport>), String> {
+        let server = Arc::new(DlfmServer::new(
+            part.dlfm_cfg.clone(),
+            part.fs.clone() as Arc<dyn FileSystem>,
+            part.repo_env.clone(),
+            Arc::clone(&part.archive),
+            Arc::clone(clock),
+        )?);
+        server.set_host_hook(engine.clone());
+        let report = if run_recovery { Some(server.recover()?) } else { None };
+        let (upcall, client) = UpcallDaemon::spawn(Arc::clone(&server));
+        let dlfs =
+            Arc::new(Dlfs::new(part.fs.clone() as Arc<dyn FileSystem>, client, part.dlfs_cfg));
+        let lfs = Arc::new(Lfs::new(dlfs.clone() as Arc<dyn FileSystem>));
+        let raw = Arc::new(Lfs::new(part.fs.clone() as Arc<dyn FileSystem>));
+
+        let replication = if part.replicas > 0 {
+            // Fallback content source: linked-but-never-updated files have
+            // no archived version yet; the replica reads those from the
+            // node's (surviving) physical file system.
+            let fallback_fs = Lfs::new(part.fs.clone() as Arc<dyn FileSystem>);
+            let fallback: ContentSource =
+                Arc::new(move |path: &str| fallback_fs.read_file(&Cred::root(), path).ok());
+            let set = ReplicaSet::build(
+                server.repository().db().wal_reader(),
+                ReplicaSetOptions {
+                    replicas: part.replicas,
+                    server_name: part.name.clone(),
+                    token_key: part.dlfm_cfg.token_key.clone(),
+                    sync_latency_ns: part.repo_env.sync_latency_ns(),
+                    clock: Arc::clone(clock),
+                    fallback: Some(fallback),
+                },
+            )?;
+            for standby in set.standbys() {
+                part.archive.add_mirror(Arc::clone(standby.archive_store()));
+            }
+            Some(Arc::new(set))
+        } else {
+            None
+        };
+
+        let main = MainDaemon::new(Arc::clone(&server));
+        engine.register_server(ServerRegistration {
+            name: part.name.clone(),
+            agent: main.connect(),
+            token_key: part.dlfm_cfg.token_key.clone(),
+            server: Arc::clone(&server),
+            replication: replication.clone(),
+        });
+        Ok((
+            FileServerNode {
+                name: part.name,
+                fs: part.fs,
+                server,
+                dlfs,
+                lfs,
+                raw,
+                replication,
+                repo_env: part.repo_env,
+                dlfm_cfg: part.dlfm_cfg,
+                dlfs_cfg: part.dlfs_cfg,
+                replicas: part.replicas,
+                main,
+                _upcall: upcall,
+            },
+            report,
+        ))
     }
 
     pub fn builder() -> SystemBuilder {
@@ -299,6 +383,140 @@ impl DataLinksSystem {
     /// Current database state identifier (§4.4).
     pub fn state_id(&self) -> Lsn {
         self.db.state_id()
+    }
+
+    // --- replication & failover -------------------------------------------------
+
+    /// Bytes of primary repository WAL not yet applied by the slowest
+    /// standby of `server`; zero when unreplicated.
+    pub fn replication_lag(&self, server: &str) -> Result<u64, String> {
+        Ok(self.node(server)?.replication.as_ref().map(|r| r.lag()).unwrap_or(0))
+    }
+
+    /// Drives shipping until `server`'s standbys hold everything durable on
+    /// the primary (trivially true unreplicated). Returns whether the lag
+    /// drained within `timeout`.
+    pub fn wait_replicas_caught_up(&self, server: &str, timeout: Duration) -> Result<bool, String> {
+        Ok(self
+            .node(server)?
+            .replication
+            .as_ref()
+            .map(|r| r.wait_caught_up(timeout))
+            .unwrap_or(true))
+    }
+
+    /// Validates a read token through the routed read path: a replica
+    /// round-robin when `server` has standbys, the primary otherwise.
+    /// `token_path` is the token-embedded path a SELECT handed out.
+    pub fn validate_read_token(
+        &self,
+        server: &str,
+        token_path: &str,
+        uid: u32,
+    ) -> Result<TokenKind, String> {
+        let (path, token) = split_embedded_token(token_path)?;
+        self.engine.validate_read_token(server, path, token, uid)
+    }
+
+    /// The zero-upcall replica read: validates the token and serves the
+    /// last committed bytes — from a standby's mirrored archive when
+    /// replicated (the primary is not involved), from the primary
+    /// otherwise. Writes always stay on the primary's open/close protocol.
+    pub fn serve_read(&self, server: &str, token_path: &str, uid: u32) -> Result<Vec<u8>, String> {
+        let (path, token) = split_embedded_token(token_path)?;
+        self.engine.serve_read(server, path, token, uid)
+    }
+
+    /// Promotes a standby of `server` after a primary crash: the old
+    /// primary's daemons are torn down and its replica set fenced (epoch
+    /// bump — any frame a deposed shipper still sends is rejected), then
+    /// the first standby's repository opens as a normal database, DLFM
+    /// crash recovery runs on its applied state, and the node re-registers
+    /// with the promoted server as primary. Remaining standby slots are
+    /// re-provisioned fresh against the new primary. Returns the
+    /// promotion recovery report.
+    pub fn fail_over(&mut self, server: &str) -> Result<RecoveryReport, String> {
+        let node =
+            self.nodes.remove(server).ok_or_else(|| format!("unknown file server {server}"))?;
+        let Some(replication) = node.replication.clone() else {
+            self.nodes.insert(server.to_string(), node);
+            return Err(format!("file server {server} has no replicas to fail over to"));
+        };
+        // Fence first: after this, nothing the old primary ships applies
+        // anywhere, and the shipping daemon is joined (no apply can race
+        // the promotion below).
+        replication.freeze();
+        // Archive fencing, both ends: stop the deposed primary forwarding
+        // to the standbys, and seal every standby store against
+        // mirror-forwarded input so an archive job already in flight on
+        // the old primary cannot land in the promoted store either.
+        for standby in replication.standbys() {
+            node.server.archive_store().remove_mirror(standby.archive_store());
+            standby.archive_store().seal_mirror_input();
+        }
+        // The primary "crashes": volatile state evaporates, prepared
+        // sub-transactions stay in doubt in whatever log prefix reached
+        // the standby.
+        node.server.simulate_crash();
+
+        let standby = replication.promote_target();
+        let promoted_env = standby.env().clone();
+        let promoted_archive = Arc::clone(standby.archive_store());
+        let FileServerNode {
+            name,
+            fs,
+            repo_env,
+            dlfm_cfg,
+            dlfs_cfg,
+            replicas,
+            server: old_server,
+            ..
+        } = node;
+        let crashed_archive = Arc::clone(old_server.archive_store());
+        drop(old_server);
+
+        let parts = NodeParts {
+            name: name.clone(),
+            fs: Arc::clone(&fs),
+            repo_env: promoted_env,
+            archive: promoted_archive,
+            dlfm_cfg: dlfm_cfg.clone(),
+            dlfs_cfg,
+            // One standby became the primary; re-provision the rest fresh
+            // from the new primary's log.
+            replicas: replicas.saturating_sub(1),
+        };
+        match Self::build_node(&self.engine, &self.clock, parts, true) {
+            Ok((new_node, report)) => {
+                self.nodes.insert(server.to_string(), new_node);
+                Ok(report.expect("promotion runs recovery"))
+            }
+            Err(promote_err) => {
+                // Promotion failed. The node handle must survive: fall
+                // back to crash-recovering the old primary from its own
+                // durable parts (the ordinary no-replica recovery path).
+                let fallback = NodeParts {
+                    name,
+                    fs,
+                    repo_env,
+                    archive: crashed_archive,
+                    dlfm_cfg,
+                    dlfs_cfg,
+                    replicas,
+                };
+                let (old_node, _) = Self::build_node(&self.engine, &self.clock, fallback, true)
+                    .map_err(|e| {
+                        format!(
+                            "promotion failed ({promote_err}) and primary re-recovery \
+                                 failed too ({e}); file server {server} is down"
+                        )
+                    })?;
+                self.nodes.insert(server.to_string(), old_node);
+                Err(format!(
+                    "promotion failed: {promote_err}; crashed primary recovered in its place"
+                ))
+            }
+        }
     }
 
     // --- SQL-ish conveniences ---------------------------------------------------
@@ -374,6 +592,16 @@ impl DataLinksSystem {
         let mut parts = Vec::new();
         for (_, node) in nodes {
             node.server.simulate_crash();
+            // Standby daemons die with the node; recovery re-provisions
+            // fresh standbys of the recovered primary (NodeParts.replicas).
+            // Detach the dead standbys' archive mirrors from the surviving
+            // primary store, or every crash/recover cycle would leave it
+            // forwarding into (and retaining) one more set of dead stores.
+            if let Some(replication) = &node.replication {
+                for standby in replication.standbys() {
+                    node.server.archive_store().remove_mirror(standby.archive_store());
+                }
+            }
             parts.push(NodeParts {
                 name: node.name,
                 fs: node.fs,
@@ -381,6 +609,7 @@ impl DataLinksSystem {
                 archive: Arc::clone(node.server.archive_store()),
                 dlfm_cfg: node.dlfm_cfg,
                 dlfs_cfg: node.dlfs_cfg,
+                replicas: node.replicas,
             });
         }
         CrashImage { host_env, host_db, clock, nodes: parts, stop_at_lsn: None }

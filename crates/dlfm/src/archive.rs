@@ -43,6 +43,18 @@ struct StoreInner {
     archiving: HashMap<String, u64>,
     /// In-flight (dirty, rolled-back) images moved aside at recovery.
     quarantine: Vec<(String, Vec<u8>)>,
+    /// Mirror stores (replica archives): every content mutation — `put`,
+    /// `prune_to_latest`, `forget` — is forwarded so file bytes travel
+    /// with the replicated metadata. Transient job state (`archiving`,
+    /// `quarantine`) is primary-local and not mirrored.
+    mirrors: Vec<Arc<ArchiveStore>>,
+    /// Promotion fence: once set, inbound mirror-forwarded mutations are
+    /// dropped. Checked under this same lock, so after
+    /// [`ArchiveStore::seal_mirror_input`] returns, no in-flight forward
+    /// from a deposed primary can still land (forwarding snapshots the
+    /// mirror list outside the sender's lock, so sender-side
+    /// `remove_mirror` alone would race).
+    mirror_input_sealed: bool,
 }
 
 /// The versioned archive store.
@@ -50,6 +62,16 @@ struct StoreInner {
 pub struct ArchiveStore {
     inner: Mutex<StoreInner>,
     done: Condvar,
+    /// Serializes content *mutators* (`put`/`prune_to_latest`/`forget`/
+    /// `add_mirror`) across their local change **and** the mirror
+    /// forwarding that follows, so two mutations can never reach a mirror
+    /// in the opposite order they took effect locally (e.g. an archive
+    /// job's `put` landing after the unlink's `forget` that deleted the
+    /// file). Readers and the inbound `mirror_*` side use only `inner`,
+    /// so a slow forward blocks neither; mirrors never forward further,
+    /// so holding a sender's mutator lock across `mirror_put` cannot
+    /// chain.
+    mutators: Mutex<()>,
 }
 
 impl ArchiveStore {
@@ -57,15 +79,77 @@ impl ArchiveStore {
         Self::default()
     }
 
-    /// Synchronously stores a version. Idempotent per (path, version).
-    pub fn put(&self, path: &str, version: u64, state_id: u64, data: Vec<u8>) {
-        let mut inner = self.inner.lock();
+    /// The store-local insert shared by `put` and `mirror_put`.
+    fn put_locked(inner: &mut StoreInner, path: &str, version: u64, state_id: u64, data: Vec<u8>) {
         let versions = inner.versions.entry(path.to_string()).or_default();
-        if versions.iter().any(|v| v.version == version) {
+        if !versions.iter().any(|v| v.version == version) {
+            versions.push(ArchivedVersion { version, state_id, data });
+            versions.sort_by_key(|v| v.version);
+        }
+    }
+
+    /// Synchronously stores a version. Idempotent per (path, version).
+    /// Mirror forwarding happens outside the reader-visible lock so a slow
+    /// replica copy never blocks readers of this store; the payload is
+    /// cloned only when mirrors actually exist.
+    pub fn put(&self, path: &str, version: u64, state_id: u64, data: Vec<u8>) {
+        let _order = self.mutators.lock();
+        let mirrors = self.inner.lock().mirrors.clone();
+        if mirrors.is_empty() {
+            Self::put_locked(&mut self.inner.lock(), path, version, state_id, data);
             return;
         }
-        versions.push(ArchivedVersion { version, state_id, data });
-        versions.sort_by_key(|v| v.version);
+        Self::put_locked(&mut self.inner.lock(), path, version, state_id, data.clone());
+        for mirror in &mirrors {
+            mirror.mirror_put(path, version, state_id, data.clone());
+        }
+    }
+
+    /// Inbound side of mirror forwarding: like `put`, but dropped once the
+    /// store is sealed, and never forwarded further (one level of
+    /// fan-out). The seal check happens under this store's lock, so it
+    /// cannot race [`ArchiveStore::seal_mirror_input`].
+    fn mirror_put(&self, path: &str, version: u64, state_id: u64, data: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        if inner.mirror_input_sealed {
+            return;
+        }
+        Self::put_locked(&mut inner, path, version, state_id, data);
+    }
+
+    /// Registers `mirror` as a replica of this store: every future
+    /// `put`/`prune`/`forget` is forwarded, and current contents are
+    /// backfilled (registration-before-backfill plus idempotent `put`
+    /// means a concurrent archive job cannot slip between the two).
+    /// Mirrors never forward further (one level of fan-out).
+    pub fn add_mirror(&self, mirror: Arc<ArchiveStore>) {
+        let _order = self.mutators.lock();
+        let backfill: Vec<(String, Vec<ArchivedVersion>)> = {
+            let mut inner = self.inner.lock();
+            inner.mirrors.push(Arc::clone(&mirror));
+            inner.versions.iter().map(|(p, v)| (p.clone(), v.clone())).collect()
+        };
+        for (path, versions) in backfill {
+            for v in versions {
+                mirror.mirror_put(&path, v.version, v.state_id, v.data);
+            }
+        }
+    }
+
+    /// Detaches a mirror on the *sender* side (stops future forwards; an
+    /// already-snapshotted in-flight forward is stopped by the receiver's
+    /// seal instead).
+    pub fn remove_mirror(&self, mirror: &Arc<ArchiveStore>) {
+        let _order = self.mutators.lock();
+        self.inner.lock().mirrors.retain(|m| !Arc::ptr_eq(m, mirror));
+    }
+
+    /// Promotion fence on the *receiver* side: after this returns, no
+    /// mirror-forwarded mutation — even one already past the sender's
+    /// mirror-list snapshot — can reach this store. Local `put`s (the new
+    /// primary's own archiver) are unaffected.
+    pub fn seal_mirror_input(&self) {
+        self.inner.lock().mirror_input_sealed = true;
     }
 
     /// The newest archived version of `path`.
@@ -99,8 +183,7 @@ impl ArchiveStore {
 
     /// Drops all versions older than the newest (files linked *without* the
     /// recovery option keep only the last committed image).
-    pub fn prune_to_latest(&self, path: &str) {
-        let mut inner = self.inner.lock();
+    fn prune_locked(inner: &mut StoreInner, path: &str) {
         if let Some(versions) = inner.versions.get_mut(path) {
             if versions.len() > 1 {
                 let last = versions.pop().expect("non-empty");
@@ -110,9 +193,35 @@ impl ArchiveStore {
         }
     }
 
+    pub fn prune_to_latest(&self, path: &str) {
+        let _order = self.mutators.lock();
+        let mirrors = {
+            let mut inner = self.inner.lock();
+            Self::prune_locked(&mut inner, path);
+            inner.mirrors.clone()
+        };
+        for mirror in &mirrors {
+            let mut inner = mirror.inner.lock();
+            if !inner.mirror_input_sealed {
+                Self::prune_locked(&mut inner, path);
+            }
+        }
+    }
+
     /// Forgets a file entirely (after unlink with ON UNLINK DELETE).
     pub fn forget(&self, path: &str) {
-        self.inner.lock().versions.remove(path);
+        let _order = self.mutators.lock();
+        let mirrors = {
+            let mut inner = self.inner.lock();
+            inner.versions.remove(path);
+            inner.mirrors.clone()
+        };
+        for mirror in &mirrors {
+            let mut inner = mirror.inner.lock();
+            if !inner.mirror_input_sealed {
+                inner.versions.remove(path);
+            }
+        }
     }
 
     /// Moves a rolled-back in-flight image aside (§4.2: "the in-flight
@@ -125,6 +234,14 @@ impl ArchiveStore {
     pub fn quarantined(&self) -> Vec<(String, usize)> {
         let inner = self.inner.lock();
         inner.quarantine.iter().map(|(p, d)| (p.clone(), d.len())).collect()
+    }
+
+    /// The most recent quarantined image of `path`, bytes included —
+    /// operators recover abandoned in-flight work from here (§4.2 moves
+    /// the dirty image to "a temporary directory", it does not delete it).
+    pub fn quarantined_data(&self, path: &str) -> Option<Vec<u8>> {
+        let inner = self.inner.lock();
+        inner.quarantine.iter().rev().find(|(p, _)| p == path).map(|(_, d)| d.clone())
     }
 
     // --- async-archiving bookkeeping ---------------------------------------
@@ -441,5 +558,92 @@ mod tests {
         store.put("/f", 1, 1, b"x".to_vec());
         store.forget("/f");
         assert!(store.latest("/f").is_none());
+    }
+
+    #[test]
+    fn prune_with_inflight_archiving_keeps_marker_and_latest() {
+        // prune_to_latest can run (recovery, a no-recovery job) while a
+        // *newer* version's archive job is still in flight: the prune must
+        // only touch stored versions — never the in-flight marker, which
+        // is what blocks concurrent writers — and the subsequently stored
+        // version must land next to the survivor.
+        let store = ArchiveStore::new();
+        store.put("/f", 1, 100, b"v1".to_vec());
+        store.put("/f", 2, 200, b"v2".to_vec());
+        store.begin_archiving("/f", 3);
+
+        store.prune_to_latest("/f");
+        assert_eq!(store.versions("/f"), vec![(2, 200)], "stored versions pruned to latest");
+        assert!(store.is_archiving("/f"), "in-flight marker survives the prune");
+
+        // The in-flight job completes; its version joins the pruned set.
+        store.put("/f", 3, 300, b"v3".to_vec());
+        store.end_archiving("/f");
+        assert_eq!(store.versions("/f"), vec![(2, 200), (3, 300)]);
+        assert!(!store.is_archiving("/f"));
+    }
+
+    #[test]
+    fn quarantine_round_trips_bytes() {
+        let store = ArchiveStore::new();
+        assert!(store.quarantined_data("/f").is_none(), "nothing quarantined yet");
+        store.quarantine("/f", b"first dirty".to_vec());
+        store.quarantine("/g", b"other file".to_vec());
+        store.quarantine("/f", b"second dirty".to_vec());
+        // Round-trip: the bytes come back, newest image per path wins.
+        assert_eq!(store.quarantined_data("/f").unwrap(), b"second dirty");
+        assert_eq!(store.quarantined_data("/g").unwrap(), b"other file");
+        // The diagnostic listing still shows every image, in order.
+        assert_eq!(
+            store.quarantined(),
+            vec![("/f".to_string(), 11), ("/g".to_string(), 10), ("/f".to_string(), 12)]
+        );
+    }
+
+    #[test]
+    fn version_at_state_on_empty_history() {
+        let store = ArchiveStore::new();
+        // Never-archived path: no history at all.
+        assert!(store.version_at_state("/f", u64::MAX).is_none());
+        // A path whose history emptied out (forget) behaves the same.
+        store.put("/f", 1, 100, b"v1".to_vec());
+        store.forget("/f");
+        assert!(store.version_at_state("/f", u64::MAX).is_none());
+        assert!(store.version_at_state("/f", 0).is_none());
+    }
+
+    #[test]
+    fn mirror_receives_existing_and_future_content() {
+        let primary = Arc::new(ArchiveStore::new());
+        let mirror = Arc::new(ArchiveStore::new());
+        primary.put("/f", 1, 100, b"v1".to_vec());
+
+        primary.add_mirror(Arc::clone(&mirror));
+        assert_eq!(mirror.get("/f", 1).unwrap().data, b"v1", "backfill on registration");
+
+        primary.put("/f", 2, 200, b"v2".to_vec());
+        assert_eq!(mirror.latest("/f").unwrap().version, 2, "forwarded put");
+
+        primary.prune_to_latest("/f");
+        assert_eq!(mirror.versions("/f"), vec![(2, 200)], "forwarded prune");
+
+        primary.forget("/f");
+        assert!(mirror.latest("/f").is_none(), "forwarded forget");
+
+        // Detach (failover fencing): later puts no longer forward.
+        primary.remove_mirror(&mirror);
+        primary.put("/g", 1, 300, b"post-detach".to_vec());
+        assert!(mirror.latest("/g").is_none(), "detached mirror receives nothing");
+    }
+
+    #[test]
+    fn mirror_does_not_see_transient_job_state() {
+        let primary = Arc::new(ArchiveStore::new());
+        let mirror = Arc::new(ArchiveStore::new());
+        primary.add_mirror(Arc::clone(&mirror));
+        primary.begin_archiving("/f", 1);
+        primary.quarantine("/f", b"dirty".to_vec());
+        assert!(!mirror.is_archiving("/f"));
+        assert!(mirror.quarantined().is_empty());
     }
 }

@@ -300,6 +300,25 @@ impl DlfmServer {
         self.admin.stat(&ROOT, path).ok().map(|a| (a.size, a.mtime))
     }
 
+    /// Reads a *linked* file's **last committed** bytes with DLFM's own
+    /// credentials — the primary arm of the routed read path (replicas
+    /// serve the same request from their mirrored archive). Token
+    /// validation is the caller's job; unlinked paths are refused.
+    ///
+    /// The archive copy of `cur_version` is preferred over the live file:
+    /// a write open may be dirtying the live bytes right now, and the
+    /// routed read promises committed data only. The live-file fallback is
+    /// safe because the only files without an archived current version are
+    /// those never write-opened since link (the first write open captures
+    /// the before-image), whose live bytes *are* the committed bytes.
+    pub fn read_linked(&self, path: &str) -> Result<Vec<u8>, String> {
+        let entry = self.repo.get_file(path).ok_or_else(|| format!("file {path} is not linked"))?;
+        if let Some(archived) = self.archive.get(path, entry.cur_version) {
+            return Ok(archived.data);
+        }
+        self.admin.read_file(&ROOT, path).map_err(|e| format!("read {path}: {e}"))
+    }
+
     fn bump_epoch(&self) {
         self.sync_epoch.bump();
     }

@@ -406,6 +406,14 @@ impl Database {
         self.inner.wal.tail_lsn()
     }
 
+    /// A tail-reading handle over this database's live WAL, fed by the
+    /// group-commit leader after every batch sync — the feed a replication
+    /// shipper tails (see [`crate::wal::WalReader`] and
+    /// [`crate::replica::StandbyDb`]).
+    pub fn wal_reader(&self) -> crate::wal::WalReader {
+        self.inner.wal.reader()
+    }
+
     /// Writes a snapshot to the older ping-pong slot and logs a checkpoint.
     /// Returns the new snapshot generation.
     pub fn checkpoint(&self) -> DbResult<u64> {

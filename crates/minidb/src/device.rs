@@ -208,6 +208,17 @@ impl StorageEnv {
         StorageEnv::Mem(Arc::new(MemEnv { sync_latency_ns: ns, ..Default::default() }))
     }
 
+    /// The per-`sync` latency this environment's devices charge (zero for
+    /// directory-backed environments — real fsync cost applies there).
+    /// Replica provisioning uses it to give standby environments the same
+    /// durability cost as the primary's.
+    pub fn sync_latency_ns(&self) -> u64 {
+        match self {
+            StorageEnv::Mem(env) => env.sync_latency_ns,
+            StorageEnv::Dir(_) => 0,
+        }
+    }
+
     /// A directory-backed environment (created if missing).
     pub fn dir(path: PathBuf) -> DbResult<Self> {
         std::fs::create_dir_all(&path)

@@ -32,6 +32,11 @@
 //!   column changes and turns them into link/unlink sub-transactions).
 //! * **Backup / point-in-time restore** — fork the storage environment and
 //!   replay the log up to a chosen LSN (§4.4's coordinated restore).
+//! * **Log shipping** — [`WalReader`] tails the live log (the group-commit
+//!   leader publishes the durable watermark after every batch sync) and
+//!   [`replica::StandbyDb`] is the apply-only receiving end: physical
+//!   replication with byte-identical standby logs, promotable by plain
+//!   `Database::open` (the `dl-repl` crate builds on these).
 
 pub mod backup;
 pub mod codec;
@@ -40,6 +45,7 @@ pub mod device;
 pub mod error;
 pub mod lock;
 pub mod ops;
+pub mod replica;
 pub mod snapshot;
 pub mod table;
 pub mod txn;
@@ -51,6 +57,7 @@ pub use device::{Device, FileDevice, MemDevice, StorageEnv};
 pub use error::{DbError, DbResult};
 pub use lock::LockMode;
 pub use ops::RowOp;
+pub use replica::StandbyDb;
 pub use txn::Txn;
 pub use value::{Column, ColumnType, Row, Schema, Value};
-pub use wal::{Lsn, WalOptions};
+pub use wal::{Lsn, ShippedFrames, WalOptions, WalReader};

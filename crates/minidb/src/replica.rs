@@ -1,0 +1,358 @@
+//! Apply-only standby mode: the receiving end of WAL shipping.
+//!
+//! A [`StandbyDb`] holds the same storage-environment shape as a
+//! [`crate::Database`] but never originates records: it appends shipped
+//! frame bytes ([`crate::wal::ShippedFrames`]) to its own `wal` device
+//! *verbatim* — physical replication, so the standby's log is a byte
+//! prefix of the primary's at all times — and applies the decoded records
+//! to its in-memory tables exactly the way crash replay would. Promotion
+//! is therefore trivial: open a normal `Database` on the standby's
+//! environment and ordinary recovery sees an honest crash image of the
+//! primary as of the last applied frame.
+//!
+//! The standby serves read-committed lookups (token checks, file-entry
+//! reads) but no transactions: there is no lock manager, no WAL append
+//! path, no observers. Prepared-but-undecided transactions are carried in
+//! the same in-doubt form recovery uses, so a `Decide` frame arriving
+//! later settles them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::db::apply_op;
+use crate::device::{Device, StorageEnv};
+use crate::error::{DbError, DbResult};
+use crate::ops::RowOp;
+use crate::table::TableStore;
+use crate::value::{Row, Value};
+use crate::wal::{read_all, Lsn, ShippedFrames, TxId, WalRecord};
+
+struct StandbyInner {
+    tables: HashMap<String, TableStore>,
+    /// Prepared-but-undecided participant transactions (in-doubt).
+    prepared: HashMap<TxId, Vec<RowOp>>,
+    /// Next expected frame base — everything below is applied.
+    applied: Lsn,
+}
+
+/// A standby database continuously applying a primary's shipped WAL.
+pub struct StandbyDb {
+    env: StorageEnv,
+    dev: Arc<dyn Device>,
+    inner: Mutex<StandbyInner>,
+}
+
+impl StandbyDb {
+    /// Opens (or re-opens after a standby restart) the apply-only database:
+    /// replays whatever frames its own `wal` device already holds, exactly
+    /// like crash replay.
+    pub fn open(env: StorageEnv) -> DbResult<StandbyDb> {
+        let dev = env.device("wal")?;
+        let mut tables: HashMap<String, TableStore> = HashMap::new();
+        let mut prepared: HashMap<TxId, Vec<RowOp>> = HashMap::new();
+        let mut applied: Lsn = 0;
+        for (lsn, rec, frame_len) in read_all(&dev)? {
+            Self::apply_record(&mut tables, &mut prepared, &rec)?;
+            applied = lsn + frame_len;
+        }
+        dev.set_len(applied)?;
+        Ok(StandbyDb { env, dev, inner: Mutex::new(StandbyInner { tables, prepared, applied }) })
+    }
+
+    fn apply_record(
+        tables: &mut HashMap<String, TableStore>,
+        prepared: &mut HashMap<TxId, Vec<RowOp>>,
+        rec: &WalRecord,
+    ) -> DbResult<()> {
+        match rec {
+            WalRecord::Ddl(op) => apply_op(tables, op)?,
+            WalRecord::Commit { ops, .. } => {
+                for op in ops {
+                    apply_op(tables, op)?;
+                }
+            }
+            WalRecord::Prepare { txid, ops } => {
+                prepared.insert(*txid, ops.clone());
+            }
+            WalRecord::Decide { txid, commit } => {
+                if let Some(ops) = prepared.remove(txid) {
+                    if *commit {
+                        for op in &ops {
+                            apply_op(tables, op)?;
+                        }
+                    }
+                }
+            }
+            WalRecord::Checkpoint { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Applies one shipped range: appends the raw bytes to the standby log,
+    /// syncs, then applies the decoded records. The range may not start
+    /// *past* the applied watermark — that gap means frames were lost in
+    /// shipping and the standby must refuse rather than diverge — but an
+    /// overlap with already-applied frames is fine: the shipper re-sends
+    /// from the slowest standby's position, so a faster standby skips the
+    /// prefix it already holds (apply is idempotent per frame).
+    pub fn apply(&self, frames: &ShippedFrames) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        if frames.is_empty() {
+            return Ok(());
+        }
+        if frames.base > inner.applied {
+            return Err(DbError::InvalidTxnState(format!(
+                "standby expects frames at lsn {}, got {} (ship gap)",
+                inner.applied, frames.base
+            )));
+        }
+        if frames.end <= inner.applied {
+            return Ok(()); // full resend of applied frames: nothing to do
+        }
+        // The applied watermark always sits on a frame boundary, so the
+        // byte skip is exactly the already-applied frame prefix.
+        let skip = (inner.applied - frames.base) as usize;
+        self.dev.write_at(inner.applied, &frames.bytes[skip..])?;
+        self.dev.sync()?;
+        let inner = &mut *inner;
+        for (lsn, rec) in &frames.records {
+            if *lsn < inner.applied {
+                continue;
+            }
+            Self::apply_record(&mut inner.tables, &mut inner.prepared, rec)?;
+        }
+        inner.applied = frames.end;
+        Ok(())
+    }
+
+    /// One past the last applied byte (lag = primary durable − this).
+    pub fn applied_lsn(&self) -> Lsn {
+        self.inner.lock().applied
+    }
+
+    /// The standby's storage environment. Promotion opens a normal
+    /// [`crate::Database`] on a clone of this.
+    pub fn env(&self) -> &StorageEnv {
+        &self.env
+    }
+
+    // --- read-committed lookups (mirrors Database's helpers) ---------------
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.lock().tables.contains_key(name)
+    }
+
+    pub fn get_committed(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
+        let inner = self.inner.lock();
+        let store =
+            inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        Ok(store.get(key).cloned())
+    }
+
+    pub fn scan_committed(&self, table: &str) -> DbResult<Vec<Row>> {
+        let inner = self.inner.lock();
+        let store =
+            inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        Ok(store.iter().map(|(_, row)| row.clone()).collect())
+    }
+
+    pub fn count(&self, table: &str) -> DbResult<usize> {
+        let inner = self.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(|s| s.len())
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))
+    }
+
+    /// Transactions prepared on the primary but undecided as of the applied
+    /// watermark (visible in-doubt state; promotion recovery settles them).
+    pub fn in_doubt_txns(&self) -> Vec<TxId> {
+        let mut ids: Vec<TxId> = self.inner.lock().prepared.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Database, DbOptions};
+    use crate::value::{Column, ColumnType, Schema};
+    use crate::wal::WalOptions;
+
+    fn schema(name: &str) -> Schema {
+        Schema::new(
+            name,
+            vec![Column::new("id", ColumnType::Int), Column::nullable("v", ColumnType::Text)],
+            "id",
+        )
+        .unwrap()
+    }
+
+    fn row(id: i64, v: &str) -> Row {
+        vec![Value::Int(id), Value::Text(v.into())]
+    }
+
+    /// Ships everything durable on `db` into `standby`.
+    fn ship_all(db: &Database, standby: &StandbyDb) {
+        let reader = db.wal_reader();
+        let frames = reader.read_from(standby.applied_lsn()).unwrap();
+        standby.apply(&frames).unwrap();
+    }
+
+    #[test]
+    fn standby_mirrors_primary_state_and_log_bytes() {
+        let primary_env = StorageEnv::mem();
+        let db = Database::open(primary_env.clone()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+
+        for i in 0..5i64 {
+            let mut tx = db.begin();
+            tx.insert("t", row(i, "x")).unwrap();
+            tx.commit().unwrap();
+        }
+        ship_all(&db, &standby);
+        assert_eq!(standby.count("t").unwrap(), 5);
+        assert_eq!(standby.applied_lsn(), db.wal_reader().durable_lsn());
+
+        // Physical replication: byte-identical logs.
+        let p = primary_env.device("wal").unwrap();
+        let s = standby.env().device("wal").unwrap();
+        let mut pb = vec![0u8; p.len().unwrap() as usize];
+        let mut sb = vec![0u8; s.len().unwrap() as usize];
+        p.read_at(0, &mut pb).unwrap();
+        s.read_at(0, &mut sb).unwrap();
+        assert_eq!(pb, sb);
+    }
+
+    #[test]
+    fn apply_rejects_ship_gaps() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        let mid = tx.commit().unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(2, "b")).unwrap();
+        tx.commit().unwrap();
+
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+        // Ship only the tail: a gap the standby must refuse.
+        let frames = db.wal_reader().read_from(mid).unwrap();
+        assert!(standby.apply(&frames).is_err());
+        assert_eq!(standby.applied_lsn(), 0, "nothing applied across a gap");
+    }
+
+    #[test]
+    fn apply_skips_already_applied_overlap() {
+        // The shipper re-sends from the slowest standby's position; a
+        // standby that already applied part (or all) of the range must
+        // skip the overlap instead of wedging on it.
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.commit().unwrap();
+
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+        let first = db.wal_reader().read_from(0).unwrap();
+        standby.apply(&first).unwrap();
+        let applied = standby.applied_lsn();
+
+        // Full resend: idempotent no-op.
+        standby.apply(&first).unwrap();
+        assert_eq!(standby.applied_lsn(), applied);
+        assert_eq!(standby.count("t").unwrap(), 1, "no double-apply");
+
+        // Partial overlap: a range starting at 0 that extends past the
+        // applied watermark applies only the new suffix.
+        let mut tx = db.begin();
+        tx.insert("t", row(2, "b")).unwrap();
+        tx.commit().unwrap();
+        let overlapping = db.wal_reader().read_from(0).unwrap();
+        standby.apply(&overlapping).unwrap();
+        assert_eq!(standby.applied_lsn(), overlapping.end);
+        assert_eq!(standby.count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn promotion_opens_a_normal_database_on_the_standby_env() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(7, "keep")).unwrap();
+        tx.commit().unwrap();
+        // An in-doubt prepare ships too.
+        let mut tx = db.begin();
+        tx.insert("t", row(8, "doubt")).unwrap();
+        tx.prepare().unwrap();
+        std::mem::forget(tx);
+
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+        ship_all(&db, &standby);
+        assert_eq!(standby.in_doubt_txns().len(), 1);
+
+        let promoted = Database::open(standby.env().clone()).unwrap();
+        assert_eq!(promoted.count("t").unwrap(), 1);
+        assert_eq!(promoted.in_doubt_txns(), standby.in_doubt_txns());
+        // The promoted database is a full primary: it can commit.
+        let mut tx = promoted.begin();
+        tx.insert("t", row(9, "new-primary")).unwrap();
+        tx.commit().unwrap();
+        assert_eq!(promoted.count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn standby_restart_replays_its_own_log() {
+        let db = Database::open_with(
+            StorageEnv::mem(),
+            DbOptions { wal: WalOptions::tuned_for(4), ..Default::default() },
+        )
+        .unwrap();
+        db.create_table(schema("t")).unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.commit().unwrap();
+
+        let standby_env = StorageEnv::mem();
+        let applied = {
+            let standby = StandbyDb::open(standby_env.clone()).unwrap();
+            ship_all(&db, &standby);
+            standby.applied_lsn()
+        };
+        // Standby restarts (crash of the replica node): state replays.
+        let standby = StandbyDb::open(standby_env).unwrap();
+        assert_eq!(standby.applied_lsn(), applied);
+        assert_eq!(standby.count("t").unwrap(), 1);
+
+        // And shipping resumes where it left off.
+        let mut tx = db.begin();
+        tx.insert("t", row(2, "b")).unwrap();
+        tx.commit().unwrap();
+        ship_all(&db, &standby);
+        assert_eq!(standby.count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn decide_after_prepare_applies_in_doubt_ops() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "2pc")).unwrap();
+        tx.prepare().unwrap();
+        ship_all(&db, &standby);
+        assert_eq!(standby.count("t").unwrap(), 0, "prepared ops stay pending");
+        assert_eq!(standby.in_doubt_txns().len(), 1);
+
+        tx.commit_prepared().unwrap();
+        ship_all(&db, &standby);
+        assert_eq!(standby.count("t").unwrap(), 1, "decide applies the prepared ops");
+        assert!(standby.in_doubt_txns().is_empty());
+    }
+}

@@ -16,6 +16,7 @@ pub use dl_dlfm;
 pub use dl_dlfs;
 pub use dl_fskit;
 pub use dl_minidb;
+pub use dl_repl;
 
 /// §3's baseline update disciplines (CICO, CAU).
 pub use dl_baselines as baselines;
@@ -29,3 +30,5 @@ pub use dl_dlfs as dlfs;
 pub use dl_fskit as fskit;
 /// Host-database substrate (WAL, 2PL, 2PC, restore).
 pub use dl_minidb as minidb;
+/// WAL-shipping replication: hot standbys, replica reads, failover.
+pub use dl_repl as repl;

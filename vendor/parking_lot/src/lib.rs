@@ -9,7 +9,7 @@
 //!   matches parking_lot's no-poisoning semantics.
 //! * Only the calls the workspace makes exist: `Mutex::{new,lock}`,
 //!   `MutexGuard::unlocked`, `RwLock::{new,read,write}`,
-//!   `Condvar::{new,wait,notify_one,notify_all}`.
+//!   `Condvar::{new,wait,wait_for,notify_one,notify_all}`.
 //! * Fairness caveat: real parking_lot's `RwLock` blocks new readers once
 //!   a writer waits. This shim inherits `std::sync::RwLock`'s policy —
 //!   writer-preferring with Rust's futex implementation on Linux (what the
@@ -161,6 +161,16 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+/// Outcome of [`Condvar::wait_for`], mirroring real parking_lot's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
 
@@ -172,6 +182,19 @@ impl Condvar {
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard already taken");
         guard.inner = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Waits with a timeout. Spurious wakeups are possible, as with `wait`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard already taken");
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     pub fn notify_one(&self) {

@@ -11,10 +11,14 @@
 //!   `&str` regex-subset string strategies (`[a-z]{0,8}`,
 //!   `(/[a-z0-9.]{1,10}){1,4}`, `\PC{0,24}`, …);
 //! * a deterministic per-test RNG (seeded from the test name) so failures
-//!   reproduce without persistence files.
-//!
-//! Shrinking is intentionally not implemented: a failing case panics with
-//! the formatted assertion message straight away.
+//!   reproduce without persistence files;
+//! * **integer shrinking**: when a `prop_assert*` fails, the runner walks
+//!   [`strategy::Strategy::shrink`] candidates — integer-range strategies
+//!   bisect toward the range start, tuples shrink component-wise — and
+//!   panics with the *minimal* failing inputs it found. Strategies without
+//!   shrink support (`prop_map`, `prop_oneof`, collections, strings)
+//!   report the original failing case unshrunk; a plain `assert!`/`unwrap`
+//!   panic aborts immediately without shrinking.
 
 pub mod test_runner {
     /// Why a test case did not count toward `cases`.
@@ -22,6 +26,9 @@ pub mod test_runner {
     pub enum TestCaseError {
         /// `prop_assume!` rejected the inputs; generate a fresh case.
         Reject,
+        /// A `prop_assert*` failed with this message; the runner shrinks
+        /// the inputs before panicking.
+        Fail(String),
     }
 
     /// The subset of proptest's config the suites set.
@@ -71,16 +78,25 @@ pub mod test_runner {
         }
     }
 
-    /// Drives one `proptest!` test body until `cases` successes.
-    pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+    /// Cap on candidate evaluations during one shrink search, so a
+    /// pathological predicate cannot loop the runner forever.
+    const MAX_SHRINK_TRIES: usize = 4096;
+
+    /// Drives one `proptest!` test body until `cases` successes; on a
+    /// `Fail` outcome, shrinks the inputs to a minimal failing case before
+    /// panicking with it.
+    pub fn run_cases<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut case: F)
     where
-        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        S: crate::strategy::Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
     {
         let mut rng = TestRng::from_name(name);
         let mut successes = 0u32;
         let mut rejects = 0u32;
         while successes < config.cases {
-            match case(&mut rng) {
+            let value = strategy.generate(&mut rng);
+            match case(value.clone()) {
                 Ok(()) => successes += 1,
                 Err(TestCaseError::Reject) => {
                     rejects += 1;
@@ -92,8 +108,54 @@ pub mod test_runner {
                         );
                     }
                 }
+                Err(TestCaseError::Fail(msg)) => {
+                    let (min, min_msg, steps) = shrink_failure(strategy, value, msg, &mut case);
+                    panic!(
+                        "proptest {name}: minimal failing input{}: {min:?}\n{min_msg}",
+                        if steps > 0 {
+                            format!(" (after {steps} shrink steps)")
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
             }
         }
+    }
+
+    /// Greedy shrink: repeatedly replace the failing value with the first
+    /// still-failing shrink candidate until no candidate fails (or the try
+    /// budget runs out). Integer ranges bisect toward their start, so this
+    /// converges to the range's smallest failing value in O(log) steps.
+    fn shrink_failure<S, F>(
+        strategy: &S,
+        mut cur: S::Value,
+        mut cur_msg: String,
+        case: &mut F,
+    ) -> (S::Value, String, usize)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut steps = 0usize;
+        let mut tried = 0usize;
+        'search: loop {
+            for candidate in strategy.shrink(&cur) {
+                tried += 1;
+                if tried > MAX_SHRINK_TRIES {
+                    break 'search;
+                }
+                if let Err(TestCaseError::Fail(msg)) = case(candidate.clone()) {
+                    cur = candidate;
+                    cur_msg = msg;
+                    steps += 1;
+                    continue 'search;
+                }
+            }
+            break;
+        }
+        (cur, cur_msg, steps)
     }
 }
 
@@ -101,11 +163,20 @@ pub mod strategy {
     use crate::test_runner::TestRng;
 
     /// Generates values of `Self::Value`. Unlike real proptest there is no
-    /// value tree / shrinking; `generate` returns the final value.
+    /// full value tree; `generate` returns the final value and `shrink`
+    /// proposes smaller candidates for a failing one (integer ranges and
+    /// tuples of them — everything else reports failures unshrunk).
     pub trait Strategy {
         type Value;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate replacements for a failing `value`, "smaller" first.
+        /// An empty vec (the default) means this strategy cannot shrink.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
         where
@@ -138,12 +209,18 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
         type Value = S::Value;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
         }
     }
 
@@ -175,6 +252,10 @@ pub mod strategy {
                 }
             }
             panic!("prop_filter {:?} rejected 10000 consecutive values", self.whence);
+        }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            // Shrunk candidates must still satisfy the filter.
+            self.source.shrink(value).into_iter().filter(|v| (self.keep)(v)).collect()
         }
     }
 
@@ -218,6 +299,20 @@ pub mod strategy {
         }
     }
 
+    /// Shrink candidates for an integer `v` failing inside `[lo, v)`:
+    /// the range start (smallest possible), the midpoint toward it
+    /// (bisection — O(log) convergence), and the predecessor (so the
+    /// greedy search can land exactly on a threshold boundary).
+    fn int_shrink_candidates(lo: i128, v: i128) -> Vec<i128> {
+        if v <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo, lo + (v - lo) / 2, v - 1];
+        out.dedup();
+        out.retain(|c| *c != v);
+        out
+    }
+
     macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for core::ops::Range<$t> {
@@ -227,6 +322,12 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u128;
                     let off = (rng.next_u64() as u128) % span;
                     (self.start as i128 + off as i128) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
@@ -238,6 +339,12 @@ pub mod strategy {
                     let off = (rng.next_u64() as u128) % span;
                     (lo + off as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
         )*};
     }
@@ -245,10 +352,26 @@ pub mod strategy {
 
     macro_rules! tuple_strategy {
         ($(($($n:ident $idx:tt),+))*) => {$(
-            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            impl<$($n: Strategy),+> Strategy for ($($n,)+)
+            where
+                $($n::Value: Clone),+
+            {
                 type Value = ($($n::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // Component-wise: shrink one position at a time with
+                    // the others held fixed.
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
@@ -642,26 +765,75 @@ macro_rules! prop_assume {
     };
 }
 
-/// Assertion macros. Without shrinking there is nothing gentler to do than
-/// panic with the formatted message, exactly like `assert!`.
+/// Assertion macros. Unlike `assert!`, a failure returns
+/// [`test_runner::TestCaseError::Fail`] so the runner can shrink the
+/// inputs before panicking (real proptest behaviour).
 #[macro_export]
 macro_rules! prop_assert {
-    ($($tt:tt)*) => { assert!($($tt)*) };
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
 }
 
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
 }
 
 #[macro_export]
 macro_rules! prop_assert_ne {
-    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: {:?}",
+            format!($($fmt)+),
+            left
+        );
+    }};
 }
 
 /// The test-definition macro. Each `fn name(pat in strategy, ..) { body }`
 /// becomes a `#[test]` (the attribute is written by the caller, as in real
-/// proptest) that runs `config.cases` generated cases.
+/// proptest) that runs `config.cases` generated cases, shrinking failing
+/// inputs through the combined tuple strategy.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -675,12 +847,20 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::ProptestConfig = $config;
-                $crate::test_runner::run_cases(stringify!($name), &__config, |__rng| {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
-                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body ::std::result::Result::Ok(()) })();
-                    __outcome
-                });
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    &__config,
+                    &__strategy,
+                    |__case| {
+                        let ($($arg,)+) = __case;
+                        let __outcome: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| { $body ::std::result::Result::Ok(()) })();
+                        __outcome
+                    },
+                );
             }
         )*
     };
@@ -774,5 +954,90 @@ mod tests {
             let doubled: Vec<u8> = v.iter().map(|b| b.wrapping_mul(2)).collect();
             prop_assert_eq!(doubled.len(), v.len());
         }
+    }
+
+    /// Runs a failing property through the real runner and returns the
+    /// panic message (which must carry the shrunk minimal input).
+    fn failing_run_message<S>(strategy: S, threshold: S::Value) -> String
+    where
+        S: crate::strategy::Strategy + std::panic::RefUnwindSafe,
+        S::Value: Clone + std::fmt::Debug + PartialOrd + std::panic::RefUnwindSafe,
+    {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                "shrink_self_test",
+                &ProptestConfig { cases: 64, ..ProptestConfig::default() },
+                &strategy,
+                |v| {
+                    if v >= threshold {
+                        return Err(crate::test_runner::TestCaseError::Fail(format!(
+                            "value {v:?} crossed the threshold"
+                        )));
+                    }
+                    Ok(())
+                },
+            );
+        });
+        let panic = result.expect_err("the property must fail");
+        panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message")
+    }
+
+    #[test]
+    fn integer_shrinking_finds_minimal_counterexample() {
+        // Predicate fails for v >= 17 over 0..10_000: the minimal failing
+        // input is exactly 17, and the runner must report it — not
+        // whatever large value the RNG happened to produce first.
+        let msg = failing_run_message(0u64..10_000, 17u64);
+        assert!(
+            msg.contains("minimal failing input") && msg.contains(": 17\n"),
+            "expected the shrunk minimum 17 in: {msg}"
+        );
+        assert!(msg.contains("shrink steps"), "shrinking must actually have run: {msg}");
+    }
+
+    #[test]
+    fn signed_range_shrinks_toward_range_start() {
+        // Over -50..50 with failure at v >= -3, the minimum is -3: the
+        // shrinker bisects toward the range start, not toward zero.
+        let msg = failing_run_message(-50i64..50, -3i64);
+        assert!(msg.contains(": -3\n"), "expected the shrunk minimum -3 in: {msg}");
+    }
+
+    #[test]
+    fn tuple_shrinking_minimizes_each_component() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                "tuple_shrink_self_test",
+                &ProptestConfig { cases: 64, ..ProptestConfig::default() },
+                &((0u64..1_000), (0u64..1_000)),
+                |(a, b)| {
+                    if a >= 5 && b >= 9 {
+                        return Err(crate::test_runner::TestCaseError::Fail(
+                            "both over threshold".into(),
+                        ));
+                    }
+                    Ok(())
+                },
+            );
+        });
+        let panic = result.expect_err("the property must fail");
+        let msg = panic.downcast_ref::<String>().cloned().expect("message");
+        assert!(msg.contains("(5, 9)"), "expected component-wise minimum (5, 9) in: {msg}");
+    }
+
+    #[test]
+    fn int_shrink_candidates_move_toward_start_only() {
+        use crate::strategy::Strategy;
+        let strat = 10u64..100;
+        for cand in strat.shrink(&57) {
+            assert!((10..57).contains(&cand), "candidate {cand} not in [start, value)");
+        }
+        assert!(strat.shrink(&10).is_empty(), "the range start cannot shrink further");
+        // Unshrinkable strategies keep the default no-candidates behaviour.
+        assert!(Just(42i64).shrink(&42).is_empty());
     }
 }
