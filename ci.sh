@@ -30,14 +30,22 @@ cargo build --examples --quiet
 step "benches compile"
 cargo bench -p dl-bench --no-run --quiet
 
-# Regression tooling can't rot: run the commit-throughput and replication
-# experiments with --json, then self-compare the just-written trajectories
-# (must be zero regressions, exit 0). The a10 run doubles as the
-# replication smoke — its runner *asserts* that the lag drains to zero and
-# that failover preserves the repository's link state, so a broken
-# replication pipeline fails this step outright. Quick mode stays on the
-# debug profile to avoid a release build it otherwise skips.
-step "report --json (a9 a10 incl. replication smoke) + --compare self-smoke"
+# Rustdoc gate: the doc surface (incl. crates/repl's missing_docs lint)
+# builds clean with warnings promoted to errors.
+step "cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# Regression tooling can't rot: run the commit-throughput, replication and
+# checkpoint-shipping experiments with --json, then self-compare the
+# just-written trajectories (must be zero regressions, exit 0). The a10 run
+# doubles as the replication smoke — its runner *asserts* that the lag
+# drains to zero and that failover preserves the repository's link state —
+# and a11 doubles as the checkpoint-shipping smoke: it asserts bounded WALs
+# under a retention budget and that delta catch-up ships a fraction of the
+# full-replay records. A broken pipeline fails this step outright. Quick
+# mode stays on the debug profile to avoid a release build it otherwise
+# skips.
+step "report --json (a9 a10 a11 incl. replication + checkpoint smokes) + --compare self-smoke"
 profile_flag=""
 if [[ "${1:-}" != "quick" ]]; then
   profile_flag="--release"
@@ -46,7 +54,7 @@ bench_dir=$(mktemp -d)
 trap 'rm -rf "$bench_dir"' EXIT
 # shellcheck disable=SC2086  # $profile_flag is intentionally word-split
 cargo run -p dl-bench $profile_flag --quiet --bin report -- \
-  a9 a10 --quick --json --json-dir "$bench_dir" > /dev/null
+  a9 a10 a11 --quick --json --json-dir "$bench_dir" > /dev/null
 cargo run -p dl-bench $profile_flag --quiet --bin report -- \
   --compare "$bench_dir" --current "$bench_dir"
 

@@ -216,6 +216,10 @@ fn main() {
         let (readers, reads) = if quick { (4, 10) } else { (8, 40) };
         emit(exp::a10_replication(readers, reads, 100_000));
     }
+    if want("a11") {
+        let updates = if quick { 400 } else { 2000 };
+        emit(exp::a11_checkpoint_shipping(updates, if quick { 0 } else { 20_000 }));
+    }
 
     if want("appendix") || filter.is_empty() {
         let mut rows = Vec::new();

@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-/// A parsed BENCH_<id>.json file — the persistent form of an experiment
+/// A parsed `BENCH_<id>.json` file — the persistent form of an experiment
 /// table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
@@ -159,7 +159,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Parses one BENCH_<id>.json document.
+/// Parses one `BENCH_<id>.json` document.
 pub fn parse(json: &str) -> Result<Trajectory, String> {
     let mut p = Parser::new(json);
     p.expect(b'{')?;

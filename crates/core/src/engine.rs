@@ -34,6 +34,13 @@ pub const META_TABLE: &str = "__dl_meta";
 /// System table persisting DATALINK column definitions.
 pub const COLUMNS_TABLE: &str = "__dl_columns";
 
+/// How long a freshness-token read waits for its picked standby to catch
+/// up before falling back to the primary. Short on purpose: replication
+/// lag on a healthy set drains in microseconds, so the window exists only
+/// to ride out a ship-daemon scheduling hiccup — a genuinely stalled
+/// standby should cost the reader one bounded wait, not an unbounded one.
+pub const FRESHNESS_WAIT: std::time::Duration = std::time::Duration::from_millis(25);
+
 /// Engine operation counters.
 #[derive(Debug, Default)]
 pub struct EngineStats {
@@ -48,6 +55,12 @@ pub struct EngineStats {
     /// because the picked standby had not applied the link/version yet
     /// (replication lag; validation still happened at the replica).
     pub replica_fallbacks: AtomicU64,
+    /// Freshness-token reads whose picked standby caught up within the
+    /// wait window and served the read itself.
+    pub freshness_waits: AtomicU64,
+    /// Freshness-token reads rerouted to the primary because the picked
+    /// standby stayed behind the token past the wait window.
+    pub freshness_fallbacks: AtomicU64,
 }
 
 /// A file server known to the engine.
@@ -194,7 +207,7 @@ impl DataLinksEngine {
         token: &str,
         uid: u32,
     ) -> Result<TokenKind, String> {
-        self.route_read(server, path, token, uid, false).map(|(kind, _)| kind)
+        self.route_read(server, path, token, uid, false, None).map(|(kind, _)| kind)
     }
 
     /// Validates and serves the last committed bytes of `path` through the
@@ -207,13 +220,32 @@ impl DataLinksEngine {
         token: &str,
         uid: u32,
     ) -> Result<Vec<u8>, String> {
-        self.route_read(server, path, token, uid, true)
+        self.route_read(server, path, token, uid, true, None)
+            .and_then(|(_, bytes)| bytes.ok_or_else(|| format!("no readable content for {path}")))
+    }
+
+    /// [`DataLinksEngine::serve_read`] with a *freshness token*: the commit
+    /// LSN of the caller's last write against `server`'s repository
+    /// (`DataLinksSystem::freshness_token`). The routed read then
+    /// guarantees read-your-writes: the picked standby either catches up
+    /// to `min_lsn` within [`FRESHNESS_WAIT`] or the read reroutes to the
+    /// primary — it can never observe pre-write state.
+    pub fn serve_read_fresh(
+        &self,
+        server: &str,
+        path: &str,
+        token: &str,
+        uid: u32,
+        min_lsn: Lsn,
+    ) -> Result<Vec<u8>, String> {
+        self.route_read(server, path, token, uid, true, Some(min_lsn))
             .and_then(|(_, bytes)| bytes.ok_or_else(|| format!("no readable content for {path}")))
     }
 
     /// `fetch` selects the two routed operations: token validation alone
     /// (cheap, content untouched — a valid token must validate even when
     /// the bytes are momentarily unservable) or validation + content.
+    /// `min_lsn` is the read-your-writes freshness bound, if any.
     fn route_read(
         &self,
         server: &str,
@@ -221,12 +253,24 @@ impl DataLinksEngine {
         token: &str,
         uid: u32,
         fetch: bool,
+        min_lsn: Option<Lsn>,
     ) -> Result<(TokenKind, Option<Vec<u8>>), String> {
-        let (replica, primary) = {
+        let (mut replica, primary) = {
             let servers = self.servers.read();
             let reg = servers.get(server).ok_or_else(|| format!("unknown file server {server}"))?;
             (reg.replication.as_ref().map(|set| Arc::clone(set.pick())), Arc::clone(&reg.server))
         };
+        // Read-your-writes: a standby that cannot reach the caller's write
+        // LSN within the wait window is dropped from this read — the
+        // primary (trivially fresh) serves it instead.
+        if let (Some(standby), Some(min)) = (&replica, min_lsn) {
+            if standby.wait_applied(min, FRESHNESS_WAIT) {
+                self.stats.freshness_waits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.freshness_fallbacks.fetch_add(1, Ordering::Relaxed);
+                replica = None;
+            }
+        }
         match replica {
             Some(standby) => {
                 self.stats.replica_routed.fetch_add(1, Ordering::Relaxed);

@@ -289,6 +289,18 @@ impl DataLinksSystem {
         let raw = Arc::new(Lfs::new(part.fs.clone() as Arc<dyn FileSystem>));
 
         let replication = if part.replicas > 0 {
+            // Re-provisioning after a recovery or failover: checkpoint the
+            // repository first, so the fresh standbys below catch up by
+            // *delta* (install the image, tail the suffix) instead of
+            // replaying the primary's whole history — and so the log the
+            // promoted primary inherited stays bounded from the start.
+            if run_recovery {
+                server
+                    .repository()
+                    .db()
+                    .checkpoint_and_truncate()
+                    .map_err(|e| format!("post-recovery repository checkpoint: {e}"))?;
+            }
             // Fallback content source: linked-but-never-updated files have
             // no archived version yet; the replica reads those from the
             // node's (surviving) physical file system.
@@ -296,7 +308,7 @@ impl DataLinksSystem {
             let fallback: ContentSource =
                 Arc::new(move |path: &str| fallback_fs.read_file(&Cred::root(), path).ok());
             let set = ReplicaSet::build(
-                server.repository().db().wal_reader(),
+                server.repository().db().replication_feed(),
                 ReplicaSetOptions {
                     replicas: part.replicas,
                     server_name: part.name.clone(),
@@ -425,6 +437,31 @@ impl DataLinksSystem {
     pub fn serve_read(&self, server: &str, token_path: &str, uid: u32) -> Result<Vec<u8>, String> {
         let (path, token) = split_embedded_token(token_path)?;
         self.engine.serve_read(server, path, token, uid)
+    }
+
+    /// A *freshness token* for `server`: the repository's current durable
+    /// LSN. Capture it right after a write commits (it is ≥ the write's
+    /// commit LSN) and hand it to [`DataLinksSystem::serve_read_fresh`] —
+    /// that read is then guaranteed to observe the write, wherever it
+    /// routes. Cheap: one atomic load, no I/O.
+    pub fn freshness_token(&self, server: &str) -> Result<Lsn, String> {
+        Ok(self.node(server)?.server.repository().db().durable_lsn())
+    }
+
+    /// [`DataLinksSystem::serve_read`] with read-your-writes: the routed
+    /// read never observes repository state older than `min_lsn` (a
+    /// [`DataLinksSystem::freshness_token`]). A standby behind the token
+    /// gets a bounded catch-up wait; if it stays behind, the read reroutes
+    /// to the primary.
+    pub fn serve_read_fresh(
+        &self,
+        server: &str,
+        token_path: &str,
+        uid: u32,
+        min_lsn: Lsn,
+    ) -> Result<Vec<u8>, String> {
+        let (path, token) = split_embedded_token(token_path)?;
+        self.engine.serve_read_fresh(server, path, token, uid, min_lsn)
     }
 
     /// Promotes a standby of `server` after a primary crash: the old

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 /// One archived version of one file.
 #[derive(Debug, Clone)]
@@ -62,21 +62,47 @@ struct StoreInner {
 pub struct ArchiveStore {
     inner: Mutex<StoreInner>,
     done: Condvar,
-    /// Serializes content *mutators* (`put`/`prune_to_latest`/`forget`/
-    /// `add_mirror`) across their local change **and** the mirror
-    /// forwarding that follows, so two mutations can never reach a mirror
-    /// in the opposite order they took effect locally (e.g. an archive
-    /// job's `put` landing after the unlink's `forget` that deleted the
-    /// file). Readers and the inbound `mirror_*` side use only `inner`,
-    /// so a slow forward blocks neither; mirrors never forward further,
-    /// so holding a sender's mutator lock across `mirror_put` cannot
-    /// chain.
-    mutators: Mutex<()>,
+    /// Orders content *mutators* (`put`/`prune_to_latest`/`forget`)
+    /// across their local change **and** the mirror forwarding that
+    /// follows — but only **per path**: mutations of the same file can
+    /// never reach a mirror in the opposite order they took effect
+    /// locally (e.g. an archive job's `put` landing after the unlink's
+    /// `forget` that deleted the file), while a large-file replica copy
+    /// of one path no longer serializes unrelated archive mutations the
+    /// way the old store-wide mutator lock did. Readers and the inbound
+    /// `mirror_*` side use only `inner`, so a slow forward blocks
+    /// neither; mirrors never forward further, so holding a sender's
+    /// path lock across `mirror_put` cannot chain.
+    path_order: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Mirror *membership* order: `add_mirror`/`remove_mirror` hold it
+    /// exclusively (their backfill/detach must order against mutations of
+    /// every path), per-path mutators hold it shared. This is the piece
+    /// of the old store-wide lock that genuinely had to stay global.
+    mirror_membership: RwLock<()>,
 }
 
 impl ArchiveStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The order lock for `path`'s mutations (created on first use).
+    fn path_lock(&self, path: &str) -> Arc<Mutex<()>> {
+        let mut map = self.path_order.lock();
+        Arc::clone(map.entry(path.to_string()).or_default())
+    }
+
+    /// Drops `path`'s order lock if nobody else holds a handle to it
+    /// (called after a `forget`, so the map does not grow with dead
+    /// paths). Racing acquirers keep the lock alive — worst case the
+    /// entry survives until the next forget.
+    fn gc_path_lock(&self, path: &str) {
+        let mut map = self.path_order.lock();
+        if let Some(lock) = map.get(path) {
+            if Arc::strong_count(lock) == 1 {
+                map.remove(path);
+            }
+        }
     }
 
     /// The store-local insert shared by `put` and `mirror_put`.
@@ -93,7 +119,9 @@ impl ArchiveStore {
     /// replica copy never blocks readers of this store; the payload is
     /// cloned only when mirrors actually exist.
     pub fn put(&self, path: &str, version: u64, state_id: u64, data: Vec<u8>) {
-        let _order = self.mutators.lock();
+        let _membership = self.mirror_membership.read();
+        let order = self.path_lock(path);
+        let _order = order.lock();
         let mirrors = self.inner.lock().mirrors.clone();
         if mirrors.is_empty() {
             Self::put_locked(&mut self.inner.lock(), path, version, state_id, data);
@@ -123,7 +151,7 @@ impl ArchiveStore {
     /// means a concurrent archive job cannot slip between the two).
     /// Mirrors never forward further (one level of fan-out).
     pub fn add_mirror(&self, mirror: Arc<ArchiveStore>) {
-        let _order = self.mutators.lock();
+        let _membership = self.mirror_membership.write();
         let backfill: Vec<(String, Vec<ArchivedVersion>)> = {
             let mut inner = self.inner.lock();
             inner.mirrors.push(Arc::clone(&mirror));
@@ -140,7 +168,7 @@ impl ArchiveStore {
     /// already-snapshotted in-flight forward is stopped by the receiver's
     /// seal instead).
     pub fn remove_mirror(&self, mirror: &Arc<ArchiveStore>) {
-        let _order = self.mutators.lock();
+        let _membership = self.mirror_membership.write();
         self.inner.lock().mirrors.retain(|m| !Arc::ptr_eq(m, mirror));
     }
 
@@ -194,7 +222,9 @@ impl ArchiveStore {
     }
 
     pub fn prune_to_latest(&self, path: &str) {
-        let _order = self.mutators.lock();
+        let _membership = self.mirror_membership.read();
+        let order = self.path_lock(path);
+        let _order = order.lock();
         let mirrors = {
             let mut inner = self.inner.lock();
             Self::prune_locked(&mut inner, path);
@@ -210,18 +240,23 @@ impl ArchiveStore {
 
     /// Forgets a file entirely (after unlink with ON UNLINK DELETE).
     pub fn forget(&self, path: &str) {
-        let _order = self.mutators.lock();
-        let mirrors = {
-            let mut inner = self.inner.lock();
-            inner.versions.remove(path);
-            inner.mirrors.clone()
-        };
-        for mirror in &mirrors {
-            let mut inner = mirror.inner.lock();
-            if !inner.mirror_input_sealed {
+        let _membership = self.mirror_membership.read();
+        {
+            let order = self.path_lock(path);
+            let _order = order.lock();
+            let mirrors = {
+                let mut inner = self.inner.lock();
                 inner.versions.remove(path);
+                inner.mirrors.clone()
+            };
+            for mirror in &mirrors {
+                let mut inner = mirror.inner.lock();
+                if !inner.mirror_input_sealed {
+                    inner.versions.remove(path);
+                }
             }
         }
+        self.gc_path_lock(path);
     }
 
     /// Moves a rolled-back in-flight image aside (§4.2: "the in-flight
@@ -634,6 +669,65 @@ mod tests {
         primary.remove_mirror(&mirror);
         primary.put("/g", 1, 300, b"post-detach".to_vec());
         assert!(mirror.latest("/g").is_none(), "detached mirror receives nothing");
+    }
+
+    #[test]
+    fn concurrent_per_path_mutators_keep_mirror_convergent() {
+        // The store-wide mutator lock became per-path ordering: unrelated
+        // paths now mutate concurrently, but mutations of one path must
+        // still reach the mirror in local order — a forget can never be
+        // overtaken by the put it followed (the resurrection bug the
+        // ordering exists to prevent). Hammer puts/prunes/forgets across
+        // disjoint paths from many threads and require primary and mirror
+        // to agree exactly at the end.
+        let primary = Arc::new(ArchiveStore::new());
+        let mirror = Arc::new(ArchiveStore::new());
+        primary.add_mirror(Arc::clone(&mirror));
+        let threads = 8;
+        let rounds = 40;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let primary = Arc::clone(&primary);
+                scope.spawn(move || {
+                    let path = format!("/f{t}");
+                    for round in 0..rounds {
+                        for v in 1..=3u64 {
+                            primary.put(&path, round * 10 + v, round, vec![t as u8; 2048]);
+                        }
+                        if round % 3 == 0 {
+                            primary.prune_to_latest(&path);
+                        }
+                        if round % 5 == 0 {
+                            primary.forget(&path);
+                        }
+                    }
+                    primary.put(&path, 9_999, 9_999, vec![t as u8; 16]);
+                });
+            }
+        });
+        for t in 0..threads {
+            let path = format!("/f{t}");
+            assert_eq!(
+                primary.versions(&path),
+                mirror.versions(&path),
+                "mirror diverged on {path}"
+            );
+            assert_eq!(mirror.get(&path, 9_999).unwrap().data, vec![t as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn forget_gc_keeps_path_order_map_bounded() {
+        let store = ArchiveStore::new();
+        for i in 0..100 {
+            let path = format!("/tmp{i}");
+            store.put(&path, 1, 1, b"x".to_vec());
+            store.forget(&path);
+        }
+        assert!(
+            store.path_order.lock().len() < 100,
+            "forget must garbage-collect per-path order locks"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! observers, 2PC participant registry, and read-committed helpers.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -11,11 +11,12 @@ use crate::device::StorageEnv;
 use crate::error::{DbError, DbResult};
 use crate::lock::LockManager;
 use crate::ops::RowOp;
-use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::replica::ReplicationFeed;
+use crate::snapshot::{latest_valid_snapshot, slot_for_generation, write_snapshot, SnapshotSource};
 use crate::table::TableStore;
 use crate::txn::Txn;
 use crate::value::{Row, Schema, Value};
-use crate::wal::{read_until, Lsn, TxId, Wal, WalOptions, WalRecord};
+use crate::wal::{Lsn, TxId, Wal, WalOptions, WalRecord};
 
 /// Kind of DML statement reported to observers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,14 @@ pub struct DbOptions {
     /// Commit durability policy: group commit (default) or per-commit sync,
     /// batch bound and optional commit-delay window. See [`WalOptions`].
     pub wal: WalOptions,
+    /// Log retention budget in bytes. When non-zero, a commit that leaves
+    /// more than this many log bytes retained triggers an automatic
+    /// [`Database::checkpoint_and_truncate`], keeping the log (and every
+    /// standby log fed from it) bounded under sustained write load. Zero
+    /// (the default) never checkpoints automatically — the log grows until
+    /// an explicit checkpoint. Note: truncation limits point-in-time
+    /// restore to states at or above the low-water mark.
+    pub checkpoint_every_bytes: u64,
 }
 
 /// Participants enlisted in one transaction, keyed by deduplication name.
@@ -96,10 +105,19 @@ pub(crate) struct DbInner {
     snapshot_gen: AtomicU64,
     /// Participant-side transactions prepared but undecided at recovery.
     in_doubt: Mutex<HashMap<TxId, Vec<RowOp>>>,
+    /// *Live* prepared transactions (2PC phase one done, decision pending,
+    /// the `Txn` handle still open). A checkpoint persists these alongside
+    /// the recovery-time in-doubt set so WAL truncation can never cut away
+    /// the only durable copy of an undecided transaction's redo ops.
+    live_prepared: Mutex<HashMap<TxId, Vec<RowOp>>>,
     /// Coordinator-side outcomes for transactions that had participants.
     outcomes: Mutex<HashMap<TxId, bool>>,
     /// Observer-injected statements awaiting pickup by their transaction.
     injected: Mutex<HashMap<TxId, Vec<InjectedDml>>>,
+    /// Log retention budget ([`DbOptions::checkpoint_every_bytes`]).
+    auto_checkpoint_bytes: u64,
+    /// At most one automatic checkpoint runs at a time.
+    checkpoint_running: AtomicBool,
 }
 
 /// Handle to a database. Clone freely; all clones share state.
@@ -145,18 +163,50 @@ impl Database {
     }
 
     /// Opens with options; `stop_at_lsn` gives point-in-time restore.
+    /// Restores below the log's checkpoint low-water mark are impossible
+    /// (the records are truncated away) and report
+    /// [`DbError::TruncatedLog`].
     pub fn open_with(env: StorageEnv, opts: DbOptions) -> DbResult<Database> {
-        let wal_dev = env.device("wal")?;
-        // Open the WAL first: it truncates any torn tail.
-        let (wal, _) = Wal::open_with(Arc::clone(&wal_dev), opts.wal)?;
+        // Open the WAL first: it resolves the truncation control record
+        // (active slot device + logical base) and trims any torn tail.
+        let (wal, all_records) = Wal::open_env(&env, opts.wal)?;
+        let wal_base = wal.base_lsn();
+        if let Some(stop) = opts.stop_at_lsn {
+            if stop < wal_base {
+                return Err(DbError::TruncatedLog { base: wal_base });
+            }
+        }
+        let records: Vec<(Lsn, WalRecord)> = all_records
+            .into_iter()
+            .filter(|(lsn, _)| opts.stop_at_lsn.is_none_or(|stop| *lsn < stop))
+            .collect();
 
-        // Full-log scan for transaction-resolution state. The log is never
-        // truncated, so outcome queries reach arbitrarily far back.
-        let records = read_until(&wal_dev, opts.stop_at_lsn)?;
-        let mut prepared: HashMap<TxId, Vec<RowOp>> = HashMap::new();
+        // Choose the newest usable snapshot. For point-in-time restores the
+        // snapshot must not already contain state past the target LSN.
+        let chosen = latest_valid_snapshot(&env, |snap| {
+            opts.stop_at_lsn.is_none_or(|stop| snap.base_lsn <= stop)
+        })?;
+        // Seed the recovery image from the snapshot (a complete image since
+        // format v2: tables plus transaction-resolution state).
+        let (generation, base_lsn, snap_next_txid, mut outcomes, mut prepared, mut tables) =
+            match chosen {
+                Some(s) => {
+                    (s.generation, s.base_lsn, s.next_txid, s.outcomes, s.prepared, s.tables)
+                }
+                None => (0, 0, 0, HashMap::new(), HashMap::new(), HashMap::new()),
+            };
+        if base_lsn < wal_base {
+            // The log was truncated on the promise of a durable snapshot at
+            // the low-water mark; without one there is a replay gap.
+            return Err(DbError::Corrupt(format!(
+                "log truncated to {wal_base} but the newest usable snapshot covers only {base_lsn}"
+            )));
+        }
+
+        // Scan the retained log for transaction-resolution state, overlaid
+        // on what the snapshot carried.
         let mut decided: HashMap<TxId, bool> = HashMap::new();
-        let mut outcomes: HashMap<TxId, bool> = HashMap::new();
-        let mut max_txid: TxId = 0;
+        let mut max_txid: TxId = snap_next_txid.saturating_sub(1);
         for (_, rec) in &records {
             match rec {
                 WalRecord::Commit { txid, participants, .. } => {
@@ -174,23 +224,6 @@ impl Database {
                     decided.insert(*txid, *commit);
                 }
                 _ => {}
-            }
-        }
-
-        // Choose the newest usable snapshot. For point-in-time restores the
-        // snapshot must not already contain state past the target LSN.
-        let mut base_lsn: Lsn = 0;
-        let mut generation: u64 = 0;
-        let mut tables: HashMap<String, TableStore> = HashMap::new();
-        for slot in ["snap.a", "snap.b"] {
-            let dev = env.device(slot)?;
-            if let Some(snap) = read_snapshot(&dev)? {
-                let usable = opts.stop_at_lsn.is_none_or(|stop| snap.base_lsn <= stop);
-                if usable && snap.generation >= generation {
-                    generation = snap.generation;
-                    base_lsn = snap.base_lsn;
-                    tables = snap.tables;
-                }
             }
         }
 
@@ -234,8 +267,11 @@ impl Database {
                 commit_latch: RwLock::new(()),
                 snapshot_gen: AtomicU64::new(generation),
                 in_doubt: Mutex::new(in_doubt),
+                live_prepared: Mutex::new(HashMap::new()),
                 outcomes: Mutex::new(outcomes),
                 injected: Mutex::new(HashMap::new()),
+                auto_checkpoint_bytes: opts.checkpoint_every_bytes,
+                checkpoint_running: AtomicBool::new(false),
             }),
         })
     }
@@ -382,13 +418,17 @@ impl Database {
 
     /// Settles an in-doubt transaction per the coordinator's decision.
     pub fn resolve_in_doubt(&self, txid: TxId, commit: bool) -> DbResult<()> {
+        // Latch before removal: a checkpoint between removing the in-doubt
+        // entry and appending the Decide record would snapshot the
+        // transaction as neither prepared nor decided — and truncation
+        // would then lose its redo ops for good.
+        let _latch = self.inner.commit_latch.read();
         let ops = self
             .inner
             .in_doubt
             .lock()
             .remove(&txid)
             .ok_or_else(|| DbError::InvalidTxnState(format!("tx{txid} not in doubt")))?;
-        let _latch = self.inner.commit_latch.read();
         self.inner.wal.append(&WalRecord::Decide { txid, commit })?;
         if commit {
             let mut tables = self.inner.tables.write();
@@ -406,6 +446,22 @@ impl Database {
         self.inner.wal.tail_lsn()
     }
 
+    /// One past the last byte the log has durably synced.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.inner.wal.durable_lsn()
+    }
+
+    /// The log's checkpoint low-water mark (0 until the first truncation).
+    pub fn wal_base_lsn(&self) -> Lsn {
+        self.inner.wal.base_lsn()
+    }
+
+    /// Bytes of log currently retained (`tail − base`) — what
+    /// [`DbOptions::checkpoint_every_bytes`] budgets against.
+    pub fn wal_retained_bytes(&self) -> u64 {
+        self.inner.wal.retained_bytes()
+    }
+
     /// A tail-reading handle over this database's live WAL, fed by the
     /// group-commit leader after every batch sync — the feed a replication
     /// shipper tails (see [`crate::wal::WalReader`] and
@@ -414,21 +470,93 @@ impl Database {
         self.inner.wal.reader()
     }
 
+    /// The full replication feed: the WAL reader plus access to this
+    /// database's checkpoint images, so a shipper can fall back to
+    /// *checkpoint shipping* (install the latest snapshot, then tail the
+    /// suffix) when the frames it needs were truncated away.
+    pub fn replication_feed(&self) -> ReplicationFeed {
+        ReplicationFeed::new(self.wal_reader(), self.inner.env.clone())
+    }
+
     /// Writes a snapshot to the older ping-pong slot and logs a checkpoint.
-    /// Returns the new snapshot generation.
+    /// Returns the new snapshot generation. Since format v2 the snapshot is
+    /// a complete recovery image (tables, coordinator outcomes, undecided
+    /// prepared transactions, next transaction id), which is what makes the
+    /// follow-up [`Database::checkpoint_and_truncate`] safe.
     pub fn checkpoint(&self) -> DbResult<u64> {
+        self.checkpoint_inner().map(|(generation, _)| generation)
+    }
+
+    /// Checkpoints, then truncates the log below the snapshot's base —
+    /// the low-water mark. Returns `(generation, new log base)`. Everything
+    /// a future recovery needs from below the base now lives in the
+    /// snapshot; the `Checkpoint` record itself stays in the log (it is the
+    /// first retained record), so standbys tailing the log observe the
+    /// checkpoint and bound their own logs in lockstep.
+    pub fn checkpoint_and_truncate(&self) -> DbResult<(u64, Lsn)> {
+        let (generation, base_lsn) = self.checkpoint_inner()?;
+        let new_base = self.inner.wal.truncate_below(base_lsn)?;
+        Ok((generation, new_base))
+    }
+
+    fn checkpoint_inner(&self) -> DbResult<(u64, Lsn)> {
         let _latch = self.inner.commit_latch.write();
         let generation = self.inner.snapshot_gen.load(Ordering::SeqCst) + 1;
-        let slot = if generation.is_multiple_of(2) { "snap.b" } else { "snap.a" };
-        let dev = self.inner.env.device(slot)?;
+        let dev = self.inner.env.device(slot_for_generation(generation))?;
         let base_lsn = self.inner.wal.tail_lsn();
         {
             let tables = self.inner.tables.read();
-            write_snapshot(&dev, generation, base_lsn, &tables)?;
+            // Undecided prepared transactions, whether left over from
+            // recovery (in_doubt) or still live right now: the snapshot
+            // must carry their redo ops so truncation cannot orphan them.
+            let mut prepared = self.inner.in_doubt.lock().clone();
+            for (txid, ops) in self.inner.live_prepared.lock().iter() {
+                prepared.insert(*txid, ops.clone());
+            }
+            let outcomes = self.inner.outcomes.lock().clone();
+            write_snapshot(
+                &dev,
+                SnapshotSource {
+                    generation,
+                    base_lsn,
+                    next_txid: self.inner.next_txid.load(Ordering::SeqCst),
+                    outcomes: &outcomes,
+                    prepared: &prepared,
+                    tables: &tables,
+                },
+            )?;
         }
         self.inner.wal.append(&WalRecord::Checkpoint { generation })?;
         self.inner.snapshot_gen.store(generation, Ordering::SeqCst);
-        Ok(generation)
+        Ok((generation, base_lsn))
+    }
+
+    /// Commit-path hook: when a retention budget is configured and the log
+    /// has outgrown it, checkpoint-and-truncate once (concurrent committers
+    /// skip rather than pile up behind the exclusive latch). Errors are
+    /// deliberately swallowed: the commit itself already succeeded, and a
+    /// failed automatic checkpoint surfaces on the next explicit one.
+    pub(crate) fn maybe_auto_checkpoint(&self) {
+        let budget = self.inner.auto_checkpoint_bytes;
+        if budget == 0 || self.inner.wal.retained_bytes() <= budget {
+            return;
+        }
+        if self.inner.checkpoint_running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = self.checkpoint_and_truncate();
+        self.inner.checkpoint_running.store(false, Ordering::SeqCst);
+    }
+
+    /// Registers a live prepared transaction (called by [`Txn::prepare`])
+    /// so checkpoints persist its redo ops until a decision is logged.
+    pub(crate) fn register_prepared(&self, txid: TxId, ops: Vec<RowOp>) {
+        self.inner.live_prepared.lock().insert(txid, ops);
+    }
+
+    /// Drops a live prepared registration once its decision is durable.
+    pub(crate) fn unregister_prepared(&self, txid: TxId) {
+        self.inner.live_prepared.lock().remove(&txid);
     }
 
     /// A moment-in-time backup: forks the storage environment under the

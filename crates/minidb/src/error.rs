@@ -32,6 +32,14 @@ pub enum DbError {
     /// The write-ahead log or snapshot is corrupt beyond the recoverable
     /// prefix.
     Corrupt(String),
+    /// The requested log range lies below the checkpoint low-water mark:
+    /// those frames were truncated away and are only reachable through a
+    /// checkpoint image (a replication shipper falls back to installing
+    /// the latest checkpoint, then tails from `base`).
+    TruncatedLog {
+        /// The current truncation low-water mark of the log.
+        base: u64,
+    },
     /// Underlying storage failure.
     Io(String),
 }
@@ -50,6 +58,9 @@ impl fmt::Display for DbError {
             DbError::Vetoed(m) => write!(f, "statement vetoed: {m}"),
             DbError::PrepareFailed(m) => write!(f, "participant failed to prepare: {m}"),
             DbError::Corrupt(m) => write!(f, "corrupt storage: {m}"),
+            DbError::TruncatedLog { base } => {
+                write!(f, "log truncated below checkpoint low-water mark {base}")
+            }
             DbError::Io(m) => write!(f, "i/o error: {m}"),
         }
     }

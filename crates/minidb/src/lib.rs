@@ -37,6 +37,14 @@
 //!   [`replica::StandbyDb`] is the apply-only receiving end: physical
 //!   replication with byte-identical standby logs, promotable by plain
 //!   `Database::open` (the `dl-repl` crate builds on these).
+//! * **Checkpoint shipping & bounded logs** — a snapshot is a complete
+//!   recovery image (format v2), so
+//!   [`Database::checkpoint_and_truncate`](db::Database::checkpoint_and_truncate)
+//!   can drop the log below the snapshot's base (crash-safe slot-flip,
+//!   [`wal::Wal::truncate_below`]); [`DbOptions::checkpoint_every_bytes`](db::DbOptions)
+//!   automates it. A [`ReplicationFeed`] couples the WAL reader with the
+//!   checkpoint images so standbys do *delta catch-up* (install the latest
+//!   image, tail only the suffix) and truncate their own logs in lockstep.
 
 pub mod backup;
 pub mod codec;
@@ -57,7 +65,8 @@ pub use device::{Device, FileDevice, MemDevice, StorageEnv};
 pub use error::{DbError, DbResult};
 pub use lock::LockMode;
 pub use ops::RowOp;
-pub use replica::StandbyDb;
+pub use replica::{ReplicationFeed, StandbyDb};
+pub use snapshot::SnapshotData;
 pub use txn::Txn;
 pub use value::{Column, ColumnType, Row, Schema, Value};
-pub use wal::{Lsn, ShippedFrames, WalOptions, WalReader};
+pub use wal::{Lsn, ShippedFrames, TxId, WalOptions, WalReader};

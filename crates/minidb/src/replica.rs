@@ -2,73 +2,200 @@
 //!
 //! A [`StandbyDb`] holds the same storage-environment shape as a
 //! [`crate::Database`] but never originates records: it appends shipped
-//! frame bytes ([`crate::wal::ShippedFrames`]) to its own `wal` device
-//! *verbatim* — physical replication, so the standby's log is a byte
-//! prefix of the primary's at all times — and applies the decoded records
-//! to its in-memory tables exactly the way crash replay would. Promotion
-//! is therefore trivial: open a normal `Database` on the standby's
-//! environment and ordinary recovery sees an honest crash image of the
-//! primary as of the last applied frame.
+//! frame bytes ([`crate::wal::ShippedFrames`]) to its own log device
+//! *verbatim* — physical replication, so the standby's retained log is
+//! byte-identical to the primary's over the shared LSN range — and applies
+//! the decoded records to its in-memory tables exactly the way crash
+//! replay would. Promotion is therefore trivial: open a normal
+//! [`crate::Database`] on the standby's environment and ordinary recovery
+//! sees an honest crash image of the primary as of the last applied frame.
+//!
+//! # Checkpoint shipping and bounded standby logs
+//!
+//! Two mechanisms keep a standby's log from growing forever:
+//!
+//! * **Lockstep truncation** — when the standby applies a
+//!   [`WalRecord::Checkpoint`] frame it writes its *own* snapshot (a
+//!   complete recovery image, same format the primary writes) covering the
+//!   log below that frame, then truncates its log below it — the same
+//!   slot-flip dance [`crate::wal::Wal::truncate_below`] performs, so a
+//!   primary with a retention budget bounds every standby automatically.
+//! * **Checkpoint install** — a newly-provisioned or badly-lagging standby
+//!   whose next frame was already truncated away on the primary receives
+//!   the primary's latest checkpoint image instead
+//!   ([`StandbyDb::install_checkpoint`], fed by
+//!   [`ReplicationFeed::latest_checkpoint`]): it persists the image to its
+//!   own snapshot slot, resets its log to empty at the image's base, and
+//!   resumes tailing only the WAL suffix — *delta catch-up*, instead of
+//!   replaying the primary's whole history.
 //!
 //! The standby serves read-committed lookups (token checks, file-entry
 //! reads) but no transactions: there is no lock manager, no WAL append
 //! path, no observers. Prepared-but-undecided transactions are carried in
 //! the same in-doubt form recovery uses, so a `Decide` frame arriving
-//! later settles them.
+//! later settles them. Readers that need *read-your-writes* freshness wait
+//! on [`StandbyDb::wait_applied`] for the standby to reach their write's
+//! commit LSN.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::db::apply_op;
 use crate::device::{Device, StorageEnv};
 use crate::error::{DbError, DbResult};
 use crate::ops::RowOp;
+use crate::snapshot::{
+    latest_valid_snapshot, slot_for_generation, write_snapshot, SnapshotData, SnapshotSource,
+};
 use crate::table::TableStore;
 use crate::value::{Row, Value};
-use crate::wal::{read_all, Lsn, ShippedFrames, TxId, WalRecord};
+use crate::wal::{
+    log_slot_name, parse_frames, read_log_ctl, swap_log_slot, Lsn, ShippedFrames, TxId, WalReader,
+    WalRecord,
+};
+
+/// The primary-side feed a replication shipper consumes: the live
+/// [`WalReader`] plus access to the primary's checkpoint images, so the
+/// shipper can fall back to installing a checkpoint when the frames it
+/// needs were truncated away (the reader reports
+/// [`DbError::TruncatedLog`]). Obtained from
+/// [`crate::Database::replication_feed`]; clones share the same source.
+#[derive(Clone)]
+pub struct ReplicationFeed {
+    reader: WalReader,
+    env: StorageEnv,
+}
+
+impl ReplicationFeed {
+    pub(crate) fn new(reader: WalReader, env: StorageEnv) -> ReplicationFeed {
+        ReplicationFeed { reader, env }
+    }
+
+    /// The live WAL tail reader.
+    pub fn reader(&self) -> &WalReader {
+        &self.reader
+    }
+
+    /// The newest valid checkpoint image the primary has on disk, if any.
+    /// May transiently return an older image (or `None`) while the primary
+    /// is mid-checkpoint — a shipper simply retries on its next round.
+    pub fn latest_checkpoint(&self) -> DbResult<Option<SnapshotData>> {
+        latest_valid_snapshot(&self.env, |_| true)
+    }
+}
 
 struct StandbyInner {
     tables: HashMap<String, TableStore>,
     /// Prepared-but-undecided participant transactions (in-doubt).
     prepared: HashMap<TxId, Vec<RowOp>>,
+    /// Coordinator outcomes replicated from `Commit` records that named
+    /// participants (persisted by the standby's own checkpoints so a
+    /// promotion after truncation still answers outcome queries).
+    outcomes: HashMap<TxId, bool>,
+    /// Highest transaction id seen in any applied record.
+    max_txid: TxId,
     /// Next expected frame base — everything below is applied.
     applied: Lsn,
+    /// Active log slot device (flips on truncation, like the primary's).
+    dev: Arc<dyn Device>,
+    /// Logical LSN of the device's first byte.
+    base: Lsn,
+    slot: u32,
+    ctl_seq: u64,
 }
 
 /// A standby database continuously applying a primary's shipped WAL.
 pub struct StandbyDb {
     env: StorageEnv,
-    dev: Arc<dyn Device>,
     inner: Mutex<StandbyInner>,
+    /// Signalled whenever `applied` advances ([`StandbyDb::wait_applied`]).
+    applied_grew: Condvar,
 }
 
 impl StandbyDb {
     /// Opens (or re-opens after a standby restart) the apply-only database:
-    /// replays whatever frames its own `wal` device already holds, exactly
-    /// like crash replay.
+    /// restores the newest valid checkpoint image, then replays whatever
+    /// log suffix its own devices already hold — exactly like crash replay.
+    /// A half-installed checkpoint (image durable, log not yet reset) is
+    /// completed here, so the install protocol is crash-safe end to end.
     pub fn open(env: StorageEnv) -> DbResult<StandbyDb> {
-        let dev = env.device("wal")?;
-        let mut tables: HashMap<String, TableStore> = HashMap::new();
-        let mut prepared: HashMap<TxId, Vec<RowOp>> = HashMap::new();
-        let mut applied: Lsn = 0;
-        for (lsn, rec, frame_len) in read_all(&dev)? {
-            Self::apply_record(&mut tables, &mut prepared, &rec)?;
-            applied = lsn + frame_len;
+        let (mut ctl_seq, mut base, mut slot) = read_log_ctl(&env)?;
+        let mut dev = env.device(log_slot_name(slot))?;
+
+        let snap = latest_valid_snapshot(&env, |_| true)?;
+        let (snap_base, mut tables, mut prepared, mut outcomes, mut max_txid) = match snap {
+            Some(s) => {
+                (s.base_lsn, s.tables, s.prepared, s.outcomes, s.next_txid.saturating_sub(1))
+            }
+            None => (0, HashMap::new(), HashMap::new(), HashMap::new(), 0),
+        };
+        if snap_base < base {
+            return Err(DbError::Corrupt(format!(
+                "standby log truncated to {base} but its newest snapshot covers only {snap_base}"
+            )));
         }
-        dev.set_len(applied)?;
-        Ok(StandbyDb { env, dev, inner: Mutex::new(StandbyInner { tables, prepared, applied }) })
+
+        // Replay the retained suffix, skipping what the snapshot covers.
+        let total = dev.len()?;
+        let mut bytes = vec![0u8; total as usize];
+        let got = dev.read_at(0, &mut bytes)?;
+        bytes.truncate(got);
+        let frames = parse_frames(&bytes, base);
+        let parsed_end = frames.last().map(|(lsn, _, flen)| lsn + flen).unwrap_or(base);
+        let mut applied = base;
+        if parsed_end >= snap_base {
+            for (lsn, rec, frame_len) in frames {
+                if lsn >= snap_base {
+                    Self::apply_record(&mut tables, &mut prepared, &mut outcomes, &rec)?;
+                    max_txid = max_txid.max(record_txid(&rec));
+                }
+                applied = lsn + frame_len;
+            }
+            applied = applied.max(snap_base);
+            dev.set_len(applied - base)?;
+        } else {
+            // The log predates the snapshot: a crash landed between a
+            // checkpoint install's image write and its log reset. Finish
+            // the reset now (flip to an empty slot at the image's base).
+            applied = snap_base;
+            let (dst, new_slot, new_seq) = swap_log_slot(&env, slot, ctl_seq, snap_base, &[])?;
+            slot = new_slot;
+            ctl_seq = new_seq;
+            base = snap_base;
+            dev = dst;
+        }
+
+        Ok(StandbyDb {
+            env,
+            inner: Mutex::new(StandbyInner {
+                tables,
+                prepared,
+                outcomes,
+                max_txid,
+                applied,
+                dev,
+                base,
+                slot,
+                ctl_seq,
+            }),
+            applied_grew: Condvar::new(),
+        })
     }
 
     fn apply_record(
         tables: &mut HashMap<String, TableStore>,
         prepared: &mut HashMap<TxId, Vec<RowOp>>,
+        outcomes: &mut HashMap<TxId, bool>,
         rec: &WalRecord,
     ) -> DbResult<()> {
         match rec {
             WalRecord::Ddl(op) => apply_op(tables, op)?,
-            WalRecord::Commit { ops, .. } => {
+            WalRecord::Commit { txid, participants, ops } => {
+                if !participants.is_empty() {
+                    outcomes.insert(*txid, true);
+                }
                 for op in ops {
                     apply_op(tables, op)?;
                 }
@@ -97,6 +224,11 @@ impl StandbyDb {
     /// overlap with already-applied frames is fine: the shipper re-sends
     /// from the slowest standby's position, so a faster standby skips the
     /// prefix it already holds (apply is idempotent per frame).
+    ///
+    /// A [`WalRecord::Checkpoint`] frame in the range makes the standby
+    /// write its own snapshot covering the log below that frame and then
+    /// truncate its log below it — the lockstep-truncation half of
+    /// checkpoint shipping (module docs).
     pub fn apply(&self, frames: &ShippedFrames) -> DbResult<()> {
         let mut inner = self.inner.lock();
         if frames.is_empty() {
@@ -114,22 +246,143 @@ impl StandbyDb {
         // The applied watermark always sits on a frame boundary, so the
         // byte skip is exactly the already-applied frame prefix.
         let skip = (inner.applied - frames.base) as usize;
-        self.dev.write_at(inner.applied, &frames.bytes[skip..])?;
-        self.dev.sync()?;
         let inner = &mut *inner;
+        inner.dev.write_at(inner.applied - inner.base, &frames.bytes[skip..])?;
+        inner.dev.sync()?;
+        let mut checkpoint_cut: Option<(u64, Lsn)> = None;
         for (lsn, rec) in &frames.records {
             if *lsn < inner.applied {
                 continue;
             }
-            Self::apply_record(&mut inner.tables, &mut inner.prepared, rec)?;
+            if let WalRecord::Checkpoint { generation } = rec {
+                // State right now covers every record strictly below this
+                // frame — exactly what a snapshot at base `lsn` promises.
+                self.write_local_snapshot(inner, *generation, *lsn)?;
+                checkpoint_cut = Some((*generation, *lsn));
+            }
+            Self::apply_record(&mut inner.tables, &mut inner.prepared, &mut inner.outcomes, rec)?;
+            inner.max_txid = inner.max_txid.max(record_txid(rec));
         }
         inner.applied = frames.end;
+        if let Some((_, cut)) = checkpoint_cut {
+            self.truncate_log(inner, cut)?;
+        }
+        self.applied_grew.notify_all();
         Ok(())
+    }
+
+    /// Persists a snapshot of the standby's current state as of `base_lsn`
+    /// into its own ping-pong slot (same slot parity rule as the primary).
+    fn write_local_snapshot(
+        &self,
+        inner: &mut StandbyInner,
+        generation: u64,
+        base_lsn: Lsn,
+    ) -> DbResult<()> {
+        write_snapshot(
+            &self.env.device(slot_for_generation(generation))?,
+            SnapshotSource {
+                generation,
+                base_lsn,
+                next_txid: inner.max_txid + 1,
+                outcomes: &inner.outcomes,
+                prepared: &inner.prepared,
+                tables: &inner.tables,
+            },
+        )
+    }
+
+    /// Standby-side log truncation: same crash-safe slot dance as
+    /// [`crate::wal::Wal::truncate_below`] — copy the surviving suffix into
+    /// the inactive slot, then flip the control record.
+    fn truncate_log(&self, inner: &mut StandbyInner, new_base: Lsn) -> DbResult<()> {
+        if new_base <= inner.base {
+            return Ok(());
+        }
+        let len = (inner.applied - new_base) as usize;
+        let mut suffix = vec![0u8; len];
+        let got = inner.dev.read_at(new_base - inner.base, &mut suffix)?;
+        if got < len {
+            return Err(DbError::Corrupt(format!(
+                "standby truncate: short read of suffix at {new_base} ({got} of {len} bytes)"
+            )));
+        }
+        let (dst, slot, seq) =
+            swap_log_slot(&self.env, inner.slot, inner.ctl_seq, new_base, &suffix)?;
+        inner.slot = slot;
+        inner.ctl_seq = seq;
+        inner.base = new_base;
+        inner.dev = dst;
+        Ok(())
+    }
+
+    /// Installs a primary checkpoint image: delta catch-up for a standby
+    /// whose next frame was truncated away on the primary (or a freshly
+    /// provisioned one). Persists the image into the standby's own
+    /// snapshot slot, resets the log to empty at the image's base, and
+    /// replaces the in-memory state. Returns `false` (and changes nothing)
+    /// when the standby is already at or past the image — the shipper then
+    /// just resumes framing. Crash-safe: the image is durable before the
+    /// log reset, and [`StandbyDb::open`] completes a reset that a crash
+    /// interrupted.
+    pub fn install_checkpoint(&self, snap: &SnapshotData) -> DbResult<bool> {
+        let mut inner = self.inner.lock();
+        if snap.base_lsn <= inner.applied {
+            return Ok(false);
+        }
+        write_snapshot(&self.env.device(slot_for_generation(snap.generation))?, snap.into())?;
+        // Log reset: empty inactive slot at the image's base, then flip.
+        let (dst, slot, seq) =
+            swap_log_slot(&self.env, inner.slot, inner.ctl_seq, snap.base_lsn, &[])?;
+        inner.slot = slot;
+        inner.ctl_seq = seq;
+        inner.base = snap.base_lsn;
+        inner.dev = dst;
+        inner.tables = snap.tables.clone();
+        inner.prepared = snap.prepared.clone();
+        inner.outcomes = snap.outcomes.clone();
+        inner.max_txid = inner.max_txid.max(snap.next_txid.saturating_sub(1));
+        inner.applied = snap.base_lsn;
+        self.applied_grew.notify_all();
+        Ok(true)
     }
 
     /// One past the last applied byte (lag = primary durable − this).
     pub fn applied_lsn(&self) -> Lsn {
         self.inner.lock().applied
+    }
+
+    /// Blocks until the applied watermark reaches `lsn` or `timeout`
+    /// elapses; returns whether the standby caught up. The read-your-writes
+    /// wait: a reader holding the commit LSN of its last write as a
+    /// freshness token parks here before reading from this standby.
+    pub fn wait_applied(&self, lsn: Lsn, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        while inner.applied < lsn {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self.applied_grew.wait_for(&mut inner, deadline - now).timed_out()
+                && inner.applied < lsn
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The standby's log low-water mark (0 until its first truncation).
+    pub fn wal_base_lsn(&self) -> Lsn {
+        self.inner.lock().base
+    }
+
+    /// Bytes of log the standby currently retains (`applied − base`): the
+    /// quantity checkpoint shipping keeps bounded.
+    pub fn wal_retained_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.applied.saturating_sub(inner.base)
     }
 
     /// The standby's storage environment. Promotion opens a normal
@@ -140,10 +393,12 @@ impl StandbyDb {
 
     // --- read-committed lookups (mirrors Database's helpers) ---------------
 
+    /// Whether the replicated catalog has a table `name`.
     pub fn has_table(&self, name: &str) -> bool {
         self.inner.lock().tables.contains_key(name)
     }
 
+    /// Point lookup of the replicated committed row at `key`.
     pub fn get_committed(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
         let inner = self.inner.lock();
         let store =
@@ -151,6 +406,7 @@ impl StandbyDb {
         Ok(store.get(key).cloned())
     }
 
+    /// All replicated committed rows of `table`.
     pub fn scan_committed(&self, table: &str) -> DbResult<Vec<Row>> {
         let inner = self.inner.lock();
         let store =
@@ -158,6 +414,7 @@ impl StandbyDb {
         Ok(store.iter().map(|(_, row)| row.clone()).collect())
     }
 
+    /// Replicated committed row count of `table`.
     pub fn count(&self, table: &str) -> DbResult<usize> {
         let inner = self.inner.lock();
         inner
@@ -173,6 +430,16 @@ impl StandbyDb {
         let mut ids: Vec<TxId> = self.inner.lock().prepared.keys().copied().collect();
         ids.sort_unstable();
         ids
+    }
+}
+
+/// The highest transaction id a record names (0 for txid-less records).
+fn record_txid(rec: &WalRecord) -> TxId {
+    match rec {
+        WalRecord::Commit { txid, .. }
+        | WalRecord::Prepare { txid, .. }
+        | WalRecord::Decide { txid, .. } => *txid,
+        _ => 0,
     }
 }
 
@@ -196,11 +463,24 @@ mod tests {
         vec![Value::Int(id), Value::Text(v.into())]
     }
 
-    /// Ships everything durable on `db` into `standby`.
+    /// Ships everything durable on `db` into `standby`, installing a
+    /// checkpoint when the frames were truncated away — the same protocol
+    /// `dl-repl`'s shipper runs.
     fn ship_all(db: &Database, standby: &StandbyDb) {
-        let reader = db.wal_reader();
-        let frames = reader.read_from(standby.applied_lsn()).unwrap();
-        standby.apply(&frames).unwrap();
+        let feed = db.replication_feed();
+        loop {
+            match feed.reader().read_from(standby.applied_lsn()) {
+                Ok(frames) => {
+                    standby.apply(&frames).unwrap();
+                    return;
+                }
+                Err(DbError::TruncatedLog { .. }) => {
+                    let snap = feed.latest_checkpoint().unwrap().expect("truncation => snapshot");
+                    standby.install_checkpoint(&snap).unwrap();
+                }
+                Err(e) => panic!("ship failed: {e}"),
+            }
+        }
     }
 
     #[test]
@@ -354,5 +634,135 @@ mod tests {
         ship_all(&db, &standby);
         assert_eq!(standby.count("t").unwrap(), 1, "decide applies the prepared ops");
         assert!(standby.in_doubt_txns().is_empty());
+    }
+
+    // --- checkpoint shipping ----------------------------------------------
+
+    #[test]
+    fn fresh_standby_installs_checkpoint_after_primary_truncation() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        for i in 0..20i64 {
+            let mut tx = db.begin();
+            tx.insert("t", row(i, "pre-truncation")).unwrap();
+            tx.commit().unwrap();
+        }
+        let (_, base) = db.checkpoint_and_truncate().unwrap();
+        assert!(base > 0);
+        let mut tx = db.begin();
+        tx.insert("t", row(100, "post-truncation")).unwrap();
+        tx.commit().unwrap();
+
+        // A fresh standby cannot tail from 0 — the frames are gone.
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+        let feed = db.replication_feed();
+        assert!(matches!(
+            feed.reader().read_from(0),
+            Err(DbError::TruncatedLog { base: b }) if b == base
+        ));
+        // Delta catch-up: install the image, then tail only the suffix.
+        ship_all(&db, &standby);
+        assert_eq!(standby.count("t").unwrap(), 21);
+        assert_eq!(standby.applied_lsn(), db.durable_lsn());
+        assert!(standby.wal_base_lsn() >= base, "standby log starts at the image base");
+    }
+
+    #[test]
+    fn standby_truncates_in_lockstep_with_primary_checkpoints() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+        for round in 0..3u64 {
+            for i in 0..10u64 {
+                let mut tx = db.begin();
+                tx.insert("t", row((round * 100 + i) as i64, "x")).unwrap();
+                tx.commit().unwrap();
+            }
+            db.checkpoint_and_truncate().unwrap();
+            ship_all(&db, &standby);
+            // Lockstep: the standby truncated at the shipped Checkpoint
+            // record, so its retained bytes match the primary's.
+            assert_eq!(standby.wal_base_lsn(), db.wal_base_lsn());
+            assert_eq!(standby.wal_retained_bytes(), db.wal_retained_bytes());
+        }
+        assert_eq!(standby.count("t").unwrap(), 30);
+
+        // A standby restart after lockstep truncation recovers from its own
+        // snapshot + suffix.
+        let env = standby.env().clone();
+        drop(standby);
+        let standby = StandbyDb::open(env).unwrap();
+        assert_eq!(standby.count("t").unwrap(), 30);
+        assert_eq!(standby.applied_lsn(), db.durable_lsn());
+    }
+
+    #[test]
+    fn install_checkpoint_is_skipped_when_already_ahead() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        tx.commit().unwrap();
+        db.checkpoint().unwrap();
+        ship_all(&db, &standby);
+
+        let snap = db.replication_feed().latest_checkpoint().unwrap().unwrap();
+        assert!(!standby.install_checkpoint(&snap).unwrap(), "already past the image");
+        assert_eq!(standby.count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn promotion_after_checkpoint_install_keeps_outcomes_and_txids() {
+        // Outcomes and the txid horizon must survive the image path: a
+        // promoted standby answers coordinator_outcome for transactions
+        // whose records were truncated away, and never re-issues txids.
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        struct Yes;
+        impl crate::db::Participant for Yes {
+            fn prepare(&self, _t: TxId) -> Result<(), String> {
+                Ok(())
+            }
+            fn commit(&self, _t: TxId) {}
+            fn abort(&self, _t: TxId) {}
+        }
+        let mut tx = db.begin();
+        let txid = tx.id();
+        db.enlist_participant(txid, "p", Arc::new(Yes));
+        tx.insert("t", row(1, "2pc")).unwrap();
+        tx.commit().unwrap();
+        db.checkpoint_and_truncate().unwrap();
+
+        let standby = StandbyDb::open(StorageEnv::mem()).unwrap();
+        ship_all(&db, &standby);
+        let promoted = Database::open(standby.env().clone()).unwrap();
+        assert_eq!(promoted.coordinator_outcome(txid), Some(true));
+        let tx = promoted.begin();
+        assert!(tx.id() > txid, "promoted primary must not reuse txids");
+        tx.abort();
+    }
+
+    #[test]
+    fn wait_applied_times_out_and_wakes() {
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let standby = Arc::new(StandbyDb::open(StorageEnv::mem()).unwrap());
+        let mut tx = db.begin();
+        tx.insert("t", row(1, "a")).unwrap();
+        let lsn = tx.commit().unwrap();
+
+        // Not shipped yet: the wait must time out.
+        assert!(!standby.wait_applied(lsn, std::time::Duration::from_millis(10)));
+
+        let waiter = {
+            let standby = Arc::clone(&standby);
+            std::thread::spawn(move || {
+                standby.wait_applied(lsn, std::time::Duration::from_secs(10))
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ship_all(&db, &standby);
+        assert!(waiter.join().unwrap(), "apply must wake freshness waiters");
     }
 }

@@ -5,43 +5,140 @@
 //! ("snap.a"/"snap.b") alternate so a crash mid-snapshot always leaves the
 //! previous generation intact; recovery picks the valid slot with the
 //! highest generation and replays the log from its `base_lsn`.
+//!
+//! Since format version 2 a snapshot is a **complete recovery image**, not
+//! just table data: it also carries the transaction-resolution state that
+//! recovery previously reconstructed by scanning the whole log — the next
+//! transaction id, coordinator outcomes of 2PC transactions, and the redo
+//! ops of transactions prepared but undecided as of `base_lsn`. That
+//! completeness is what makes WAL truncation below `base_lsn` safe
+//! ([`crate::wal::Wal::truncate_below`]): nothing recovery needs can hide
+//! in the truncated prefix.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::codec::{crc32, get_row, get_schema, put_row, put_schema, Dec, Enc};
-use crate::device::Device;
+use crate::device::{Device, StorageEnv};
 use crate::error::{DbError, DbResult};
+use crate::ops::RowOp;
 use crate::table::TableStore;
-use crate::wal::Lsn;
+use crate::wal::{Lsn, TxId};
 
 const MAGIC: u32 = 0x444C_534E; // "DLSN"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
-/// Decoded snapshot contents.
+/// The two ping-pong slot device names.
+pub(crate) const SNAPSHOT_SLOTS: [&str; 2] = ["snap.a", "snap.b"];
+
+/// The slot device a snapshot of `generation` is written to (alternating
+/// parity, so the previous generation always survives a torn write).
+pub(crate) fn slot_for_generation(generation: u64) -> &'static str {
+    if generation.is_multiple_of(2) {
+        SNAPSHOT_SLOTS[1]
+    } else {
+        SNAPSHOT_SLOTS[0]
+    }
+}
+
+/// Reads both ping-pong slots of `env` and returns the newest valid
+/// snapshot accepted by `usable` (recovery-time filtering, e.g. a
+/// point-in-time bound), if any. The single source of truth for snapshot
+/// selection — recovery, standby open and the replication feed all go
+/// through here.
+pub fn latest_valid_snapshot(
+    env: &StorageEnv,
+    usable: impl Fn(&SnapshotData) -> bool,
+) -> DbResult<Option<SnapshotData>> {
+    let mut best: Option<SnapshotData> = None;
+    for slot in SNAPSHOT_SLOTS {
+        if let Some(snap) = read_snapshot(&env.device(slot)?)? {
+            if usable(&snap) && best.as_ref().is_none_or(|b| snap.generation >= b.generation) {
+                best = Some(snap);
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Decoded snapshot contents — a complete recovery image of the database
+/// as of `base_lsn` (see the module docs).
+#[derive(Clone)]
 pub struct SnapshotData {
+    /// Monotonic snapshot generation (ping-pong slot selection).
     pub generation: u64,
+    /// The snapshot covers every log record strictly below this LSN.
     pub base_lsn: Lsn,
+    /// First transaction id recovery may hand out (ids below it may have
+    /// been used by records since truncated away).
+    pub next_txid: TxId,
+    /// Coordinator outcomes of transactions that had 2PC participants.
+    pub outcomes: HashMap<TxId, bool>,
+    /// Redo ops of transactions prepared but undecided as of `base_lsn`.
+    pub prepared: HashMap<TxId, Vec<RowOp>>,
+    /// Committed table stores.
     pub tables: HashMap<String, TableStore>,
 }
 
-/// Serializes `tables` into `dev` as generation `generation` covering the
-/// log up to `base_lsn`.
-pub fn write_snapshot(
-    dev: &Arc<dyn Device>,
-    generation: u64,
-    base_lsn: Lsn,
-    tables: &HashMap<String, TableStore>,
-) -> DbResult<()> {
+/// Borrowed write-side view of a snapshot: what [`write_snapshot`]
+/// serializes. Mirrors [`SnapshotData`] field-for-field but borrows the
+/// collections, so a checkpoint never has to clone the table stores just
+/// to persist them.
+pub struct SnapshotSource<'a> {
+    /// Monotonic snapshot generation.
+    pub generation: u64,
+    /// The snapshot covers every log record strictly below this LSN.
+    pub base_lsn: Lsn,
+    /// First transaction id recovery may hand out.
+    pub next_txid: TxId,
+    /// Coordinator outcomes of transactions that had 2PC participants.
+    pub outcomes: &'a HashMap<TxId, bool>,
+    /// Redo ops of transactions prepared but undecided as of `base_lsn`.
+    pub prepared: &'a HashMap<TxId, Vec<RowOp>>,
+    /// Committed table stores.
+    pub tables: &'a HashMap<String, TableStore>,
+}
+
+impl<'a> From<&'a SnapshotData> for SnapshotSource<'a> {
+    fn from(snap: &'a SnapshotData) -> SnapshotSource<'a> {
+        SnapshotSource {
+            generation: snap.generation,
+            base_lsn: snap.base_lsn,
+            next_txid: snap.next_txid,
+            outcomes: &snap.outcomes,
+            prepared: &snap.prepared,
+            tables: &snap.tables,
+        }
+    }
+}
+
+/// Serializes a complete recovery image into `dev` (see [`SnapshotData`]
+/// for the field meanings).
+pub fn write_snapshot(dev: &Arc<dyn Device>, snap: SnapshotSource<'_>) -> DbResult<()> {
     let mut body = Enc::with_capacity(4096);
-    body.put_u64(generation);
-    body.put_u64(base_lsn);
-    body.put_u32(tables.len() as u32);
+    body.put_u64(snap.generation);
+    body.put_u64(snap.base_lsn);
+    body.put_u64(snap.next_txid);
     // Deterministic order keeps snapshots byte-comparable in tests.
-    let mut names: Vec<&String> = tables.keys().collect();
+    let mut outcome_ids: Vec<&TxId> = snap.outcomes.keys().collect();
+    outcome_ids.sort();
+    body.put_u32(outcome_ids.len() as u32);
+    for txid in outcome_ids {
+        body.put_u64(*txid);
+        body.put_bool(snap.outcomes[txid]);
+    }
+    let mut prepared_ids: Vec<&TxId> = snap.prepared.keys().collect();
+    prepared_ids.sort();
+    body.put_u32(prepared_ids.len() as u32);
+    for txid in prepared_ids {
+        body.put_u64(*txid);
+        RowOp::encode_list(&snap.prepared[txid], &mut body);
+    }
+    body.put_u32(snap.tables.len() as u32);
+    let mut names: Vec<&String> = snap.tables.keys().collect();
     names.sort();
     for name in names {
-        let store = &tables[name];
+        let store = &snap.tables[name];
         put_schema(&mut body, &store.schema);
         let indexed = store.indexed_columns();
         body.put_u32(indexed.len() as u32);
@@ -102,6 +199,19 @@ pub fn read_snapshot(dev: &Arc<dyn Device>) -> DbResult<Option<SnapshotData>> {
     let mut dec = Dec::new(&payload);
     let generation = dec.get_u64()?;
     let base_lsn = dec.get_u64()?;
+    let next_txid = dec.get_u64()?;
+    let noutcomes = dec.get_u32()? as usize;
+    let mut outcomes = HashMap::with_capacity(noutcomes);
+    for _ in 0..noutcomes {
+        let txid = dec.get_u64()?;
+        outcomes.insert(txid, dec.get_bool()?);
+    }
+    let nprepared = dec.get_u32()? as usize;
+    let mut prepared = HashMap::with_capacity(nprepared);
+    for _ in 0..nprepared {
+        let txid = dec.get_u64()?;
+        prepared.insert(txid, RowOp::decode_list(&mut dec)?);
+    }
     let ntables = dec.get_u32()? as usize;
     let mut tables = HashMap::with_capacity(ntables);
     for _ in 0..ntables {
@@ -125,7 +235,7 @@ pub fn read_snapshot(dev: &Arc<dyn Device>) -> DbResult<Option<SnapshotData>> {
     if !dec.is_done() {
         return Err(DbError::Corrupt("trailing bytes in snapshot".into()));
     }
-    Ok(Some(SnapshotData { generation, base_lsn, tables }))
+    Ok(Some(SnapshotData { generation, base_lsn, next_txid, outcomes, prepared, tables }))
 }
 
 #[cfg(test)]
@@ -134,7 +244,7 @@ mod tests {
     use crate::device::MemDevice;
     use crate::value::{Column, ColumnType, Schema, Value};
 
-    fn sample_tables() -> HashMap<String, TableStore> {
+    fn sample() -> SnapshotData {
         let schema = Schema::new(
             "movies",
             vec![Column::new("id", ColumnType::Int), Column::new("title", ColumnType::Text)],
@@ -147,16 +257,31 @@ mod tests {
         store.create_index("title").unwrap();
         let mut tables = HashMap::new();
         tables.insert("movies".to_string(), store);
-        tables
+        let mut outcomes = HashMap::new();
+        outcomes.insert(7u64, true);
+        outcomes.insert(8u64, false);
+        let mut prepared = HashMap::new();
+        prepared.insert(
+            9u64,
+            vec![RowOp::Insert {
+                table: "movies".into(),
+                row: vec![Value::Int(3), Value::Text("Stalker".into())],
+            }],
+        );
+        SnapshotData { generation: 3, base_lsn: 128, next_txid: 10, outcomes, prepared, tables }
     }
 
     #[test]
     fn roundtrip() {
         let dev: Arc<dyn Device> = Arc::new(MemDevice::new());
-        write_snapshot(&dev, 3, 128, &sample_tables()).unwrap();
+        write_snapshot(&dev, (&sample()).into()).unwrap();
         let snap = read_snapshot(&dev).unwrap().expect("valid snapshot");
         assert_eq!(snap.generation, 3);
         assert_eq!(snap.base_lsn, 128);
+        assert_eq!(snap.next_txid, 10);
+        assert_eq!(snap.outcomes.get(&7), Some(&true));
+        assert_eq!(snap.outcomes.get(&8), Some(&false));
+        assert_eq!(snap.prepared.get(&9).map(|ops| ops.len()), Some(1));
         let movies = &snap.tables["movies"];
         assert_eq!(movies.len(), 2);
         assert!(movies.has_index("title"));
@@ -175,7 +300,7 @@ mod tests {
     #[test]
     fn corrupt_payload_reads_none() {
         let dev: Arc<dyn Device> = Arc::new(MemDevice::new());
-        write_snapshot(&dev, 1, 0, &sample_tables()).unwrap();
+        write_snapshot(&dev, (&sample()).into()).unwrap();
         // Flip a byte in the payload.
         let mut b = [0u8; 1];
         dev.read_at(20, &mut b).unwrap();
@@ -186,7 +311,7 @@ mod tests {
     #[test]
     fn truncated_payload_reads_none() {
         let dev: Arc<dyn Device> = Arc::new(MemDevice::new());
-        write_snapshot(&dev, 1, 0, &sample_tables()).unwrap();
+        write_snapshot(&dev, (&sample()).into()).unwrap();
         let len = dev.len().unwrap();
         dev.set_len(len - 4).unwrap();
         assert!(read_snapshot(&dev).unwrap().is_none());
@@ -195,9 +320,22 @@ mod tests {
     #[test]
     fn rewrite_replaces_generation() {
         let dev: Arc<dyn Device> = Arc::new(MemDevice::new());
-        write_snapshot(&dev, 1, 0, &sample_tables()).unwrap();
-        write_snapshot(&dev, 2, 99, &sample_tables()).unwrap();
+        write_snapshot(&dev, (&sample()).into()).unwrap();
+        let mut newer = sample();
+        newer.generation = 4;
+        newer.base_lsn = 99;
+        write_snapshot(&dev, (&newer).into()).unwrap();
         let snap = read_snapshot(&dev).unwrap().unwrap();
-        assert_eq!((snap.generation, snap.base_lsn), (2, 99));
+        assert_eq!((snap.generation, snap.base_lsn), (4, 99));
+    }
+
+    #[test]
+    fn outdated_format_version_reads_none() {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::new());
+        write_snapshot(&dev, (&sample()).into()).unwrap();
+        // Rewrite the version field to 1 (the pre-checkpoint-shipping
+        // format): the slot must read as invalid, not misparse.
+        dev.write_at(4, &1u32.to_le_bytes()).unwrap();
+        assert!(read_snapshot(&dev).unwrap().is_none());
     }
 }

@@ -328,6 +328,10 @@ impl Txn {
             p.commit(self.id);
         }
         self.finish_local();
+        // Log retention budget: an over-budget log checkpoints and
+        // truncates now that this commit is fully done (outside the shared
+        // latch, so it cannot deadlock with the exclusive checkpoint latch).
+        self.db.maybe_auto_checkpoint();
         Ok(lsn)
     }
 
@@ -365,7 +369,14 @@ impl Txn {
     /// only finish via [`Txn::commit_prepared`] / [`Txn::abort_prepared`].
     pub fn prepare(&mut self) -> DbResult<()> {
         self.ensure_active()?;
+        // The shared latch makes append + live-prepared registration atomic
+        // with respect to checkpoints: without it, a checkpoint could
+        // snapshot between the two — missing the registration — and then
+        // truncate the Prepare record, losing the only durable copy of an
+        // undecided transaction's redo ops.
+        let _latch = self.db.inner().commit_latch.read();
         self.db.inner().wal.append(&WalRecord::Prepare { txid: self.id, ops: self.ops.clone() })?;
+        self.db.register_prepared(self.id, self.ops.clone());
         self.state = TxnState::Prepared;
         Ok(())
     }
@@ -386,9 +397,16 @@ impl Txn {
             for op in &self.ops {
                 apply_op(&mut tables, op)?;
             }
+            // Deregister while still holding the latch: a checkpoint must
+            // never observe the decided state with the transaction still
+            // listed as prepared (it would resurface as in-doubt after the
+            // Decide record is truncated, and a re-resolution would
+            // double-apply or contradict the acknowledged decision).
+            self.db.unregister_prepared(self.id);
             lsn
         };
         self.finish_local();
+        self.db.maybe_auto_checkpoint();
         Ok(lsn)
     }
 
@@ -400,7 +418,13 @@ impl Txn {
                 self.id, self.state
             )));
         }
-        self.db.inner().wal.append(&WalRecord::Decide { txid: self.id, commit: false })?;
+        {
+            // Same latch discipline as commit_prepared: decision append and
+            // deregistration are atomic w.r.t. checkpoints.
+            let _latch = self.db.inner().commit_latch.read();
+            self.db.inner().wal.append(&WalRecord::Decide { txid: self.id, commit: false })?;
+            self.db.unregister_prepared(self.id);
+        }
         self.finish_local();
         Ok(())
     }
@@ -413,9 +437,17 @@ impl Drop for Txn {
             TxnState::Prepared => {
                 // A *dropped* prepared transaction is a programming bug, not
                 // a crash (crashes never run Drop). Settle it as an abort so
-                // locks and log state stay coherent.
-                let _ =
-                    self.db.inner().wal.append(&WalRecord::Decide { txid: self.id, commit: false });
+                // locks and log state stay coherent (same latch discipline
+                // as abort_prepared).
+                {
+                    let _latch = self.db.inner().commit_latch.read();
+                    let _ = self
+                        .db
+                        .inner()
+                        .wal
+                        .append(&WalRecord::Decide { txid: self.id, commit: false });
+                    self.db.unregister_prepared(self.id);
+                }
                 self.abort_in_place();
             }
             TxnState::Active => self.abort_in_place(),

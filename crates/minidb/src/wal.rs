@@ -18,7 +18,7 @@
 //!   resolved by the coordinator (the DataLinks recovery orchestrator does
 //!   this for DLFM repositories).
 //! * `Checkpoint` — marks that a snapshot with the given generation covers
-//!   the log up to this point.
+//!   the log strictly before this record.
 //!
 //! Replay stops at the first corrupt or torn frame and truncates the tail,
 //! the standard crash-consistency posture for a log.
@@ -37,6 +37,20 @@
 //! batch always holds exactly one frame, so the log bytes are identical to
 //! the per-commit-sync mode — recovery cannot tell the modes apart.
 //!
+//! # Truncation (bounded logs)
+//!
+//! LSNs are *logical* byte offsets that never restart, but the log device
+//! only has to hold the suffix `[base, end)`: everything below `base` is
+//! covered by a durable snapshot ([`crate::snapshot`], a complete recovery
+//! image since format v2). [`Wal::truncate_below`] advances `base` — the
+//! checkpoint low-water mark — by copying the surviving suffix into the
+//! *other* of two slot devices (`wal`/`wal.1`) and then flipping a tiny
+//! CRC-framed control record (two ping-pong slots inside `wal.ctl`) that
+//! names the active slot and its base. Every step lands in the inactive
+//! slot first, so a crash at any point leaves either the old (untruncated)
+//! or the new (truncated) state fully intact — never a half-shifted log.
+//! Readers see the flip atomically through a shared device view.
+//!
 //! # Log shipping
 //!
 //! Replication tails the log through a [`WalReader`] ([`Wal::reader`]):
@@ -45,19 +59,23 @@
 //! reader can wait for growth and then read the raw frames below the
 //! watermark straight from the device. The durable watermark always lands
 //! on a frame boundary, so a shipped range is a whole number of frames —
-//! what [`crate::replica::StandbyDb`] applies byte-identically.
+//! what [`crate::replica::StandbyDb`] applies byte-identically. A reader
+//! asking for frames below the truncation base gets
+//! [`DbError::TruncatedLog`] — the signal for a shipper to fall back to
+//! *checkpoint shipping* (install the latest snapshot, then tail the
+//! suffix).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::codec::{crc32, Dec, Enc};
-use crate::device::Device;
+use crate::device::{Device, StorageEnv};
 use crate::error::{DbError, DbResult};
 use crate::ops::RowOp;
 
-/// Log sequence number: byte offset of a record frame in the log device.
+/// Log sequence number: logical byte offset of a record frame in the log.
 pub type Lsn = u64;
 
 /// Transaction identifier.
@@ -141,6 +159,95 @@ impl WalRecord {
 
 const FRAME_HEADER: usize = 8; // len + crc
 
+// --- log control record (truncation metadata) ------------------------------
+
+const CTL_MAGIC: u32 = 0x444C_5743; // "DLWC"
+const CTL_SLOT_SIZE: u64 = 32;
+const CTL_RECORD_SIZE: usize = 28; // magic + seq + base + slot + crc
+
+/// Device name of wal slot `slot` (two slots ping-pong across truncations).
+pub(crate) fn log_slot_name(slot: u32) -> &'static str {
+    if slot == 0 {
+        "wal"
+    } else {
+        "wal.1"
+    }
+}
+
+/// Reads the newest valid log control record: `(seq, base, active slot)`.
+/// A missing or fully-torn control device means "never truncated":
+/// `(0, 0, slot 0)` — exactly the pre-truncation layout.
+pub(crate) fn read_log_ctl(env: &StorageEnv) -> DbResult<(u64, Lsn, u32)> {
+    let dev = env.device("wal.ctl")?;
+    let mut bytes = [0u8; (CTL_SLOT_SIZE * 2) as usize];
+    let got = dev.read_at(0, &mut bytes)?;
+    let mut best: Option<(u64, Lsn, u32)> = None;
+    for i in 0..2usize {
+        let off = i * CTL_SLOT_SIZE as usize;
+        if off + CTL_RECORD_SIZE > got {
+            continue;
+        }
+        let rec = &bytes[off..off + CTL_RECORD_SIZE];
+        let mut dec = Dec::new(rec);
+        let Ok(magic) = dec.get_u32() else { continue };
+        let Ok(seq) = dec.get_u64() else { continue };
+        let Ok(base) = dec.get_u64() else { continue };
+        let Ok(slot) = dec.get_u32() else { continue };
+        let Ok(crc) = dec.get_u32() else { continue };
+        if magic != CTL_MAGIC || slot > 1 || crc != crc32(&rec[..CTL_RECORD_SIZE - 4]) {
+            continue;
+        }
+        if best.map(|(s, _, _)| seq > s).unwrap_or(true) {
+            best = Some((seq, base, slot));
+        }
+    }
+    Ok(best.unwrap_or((0, 0, 0)))
+}
+
+/// The shared crash-safe truncation commit: writes `suffix` (the log bytes
+/// whose first byte is logical offset `new_base`) into the *inactive* slot
+/// device, syncs it, then flips the control record. The flip is the commit
+/// point — a crash before it leaves the old slot authoritative and
+/// untouched, a crash after it the new one, never a half-shifted log.
+/// [`Wal::truncate_below`] and the standby's lockstep truncation /
+/// checkpoint install all route through here. Returns the new
+/// `(device, slot, ctl seq)`.
+pub(crate) fn swap_log_slot(
+    env: &StorageEnv,
+    cur_slot: u32,
+    cur_ctl_seq: u64,
+    new_base: Lsn,
+    suffix: &[u8],
+) -> DbResult<(Arc<dyn Device>, u32, u64)> {
+    let next_slot = 1 - cur_slot;
+    let dst = env.device(log_slot_name(next_slot))?;
+    dst.set_len(0)?;
+    if !suffix.is_empty() {
+        dst.write_at(0, suffix)?;
+    }
+    dst.sync()?;
+    let seq = cur_ctl_seq + 1;
+    write_log_ctl(env, seq, new_base, next_slot)?;
+    Ok((dst, next_slot, seq))
+}
+
+/// Writes log control record `seq` (into the ctl slot `seq % 2`, so a torn
+/// write can only damage the slot *not* holding the previous record) and
+/// syncs it. After this returns, `(base, slot)` is the durable truth.
+pub(crate) fn write_log_ctl(env: &StorageEnv, seq: u64, base: Lsn, slot: u32) -> DbResult<()> {
+    let dev = env.device("wal.ctl")?;
+    let mut enc = Enc::with_capacity(CTL_RECORD_SIZE);
+    enc.put_u32(CTL_MAGIC);
+    enc.put_u64(seq);
+    enc.put_u64(base);
+    enc.put_u32(slot);
+    let mut bytes = enc.into_bytes();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    dev.write_at((seq % 2) * CTL_SLOT_SIZE, &bytes)?;
+    dev.sync()
+}
+
 /// Durability policy of the log (see the module docs on group commit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalOptions {
@@ -186,7 +293,7 @@ impl WalOptions {
 
 /// Mutable log state, guarded by one short-critical-section mutex.
 struct WalState {
-    /// Next unassigned byte offset (`durable` + in-flight + batched bytes).
+    /// Next unassigned logical offset (`durable` + in-flight + batched).
     end: Lsn,
     /// Everything below this offset is written *and* synced.
     durable: Lsn,
@@ -203,6 +310,10 @@ struct WalState {
     /// tell which frames made it, so every subsequent append fails loudly
     /// rather than risking a hole before acknowledged commits.
     poisoned: Option<String>,
+    /// Active wal slot (flips on truncation).
+    slot: u32,
+    /// Sequence of the newest durable control record.
+    ctl_seq: u64,
 }
 
 /// Shared durable-watermark signal between the log and its readers: the
@@ -223,6 +334,14 @@ impl ShipSignal {
     }
 }
 
+/// The truncation-aware device view shared by the log and its readers:
+/// which slot device currently holds the bytes and the LSN of its first
+/// byte. Truncation swaps both atomically under the write lock.
+struct LogView {
+    dev: Arc<dyn Device>,
+    base: Lsn,
+}
+
 /// A contiguous run of whole frames read from the log: the ship unit of the
 /// replication pipeline. `bytes` are the raw device bytes of
 /// `[base, end)` — a standby appends them verbatim so its log stays
@@ -230,7 +349,7 @@ impl ShipSignal {
 /// decoded for table apply.
 #[derive(Debug, Clone)]
 pub struct ShippedFrames {
-    /// Byte offset of the first frame.
+    /// Logical offset of the first frame.
     pub base: Lsn,
     /// One past the last byte (the standby's next expected base).
     pub end: Lsn,
@@ -245,6 +364,7 @@ impl ShippedFrames {
         ShippedFrames { base: at, end: at, bytes: Vec::new(), records: Vec::new() }
     }
 
+    /// True when the range carries no frames.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -257,7 +377,7 @@ impl ShippedFrames {
 /// primary's own durability).
 #[derive(Clone)]
 pub struct WalReader {
-    dev: Arc<dyn Device>,
+    view: Arc<RwLock<LogView>>,
     signal: Arc<ShipSignal>,
 }
 
@@ -265,6 +385,12 @@ impl WalReader {
     /// The current durable watermark.
     pub fn durable_lsn(&self) -> Lsn {
         *self.signal.durable.lock()
+    }
+
+    /// The truncation low-water mark: frames below it are gone from the
+    /// log and only reachable through a checkpoint image.
+    pub fn base_lsn(&self) -> Lsn {
+        self.view.read().base
     }
 
     /// Blocks until the durable watermark exceeds `seen` or `timeout`
@@ -279,15 +405,25 @@ impl WalReader {
 
     /// Reads all whole frames in `[from, durable)`. The watermark only ever
     /// lands on frame boundaries, so the parsed prefix covers the full
-    /// range; a shorter parse means the device bytes are corrupt.
+    /// range; a shorter parse means the device bytes are corrupt. Asking
+    /// for frames below the truncation base returns
+    /// [`DbError::TruncatedLog`] — the shipper's cue to install a
+    /// checkpoint instead.
     pub fn read_from(&self, from: Lsn) -> DbResult<ShippedFrames> {
+        // Hold the view read lock across the device read: truncation takes
+        // it exclusively, so the slot device cannot be swapped from under
+        // a half-finished read.
+        let view = self.view.read();
+        if from < view.base {
+            return Err(DbError::TruncatedLog { base: view.base });
+        }
         let durable = self.durable_lsn();
         if from >= durable {
             return Ok(ShippedFrames::empty(from));
         }
         let len = (durable - from) as usize;
         let mut bytes = vec![0u8; len];
-        let got = self.dev.read_at(from, &mut bytes)?;
+        let got = view.dev.read_at(from - view.base, &mut bytes)?;
         if got < len {
             return Err(DbError::Corrupt(format!(
                 "wal reader: short read at {from} ({got} of {len} durable bytes)"
@@ -312,7 +448,10 @@ impl WalReader {
 /// Append handle over the log device. Appends are serialized internally;
 /// under group commit concurrent appends share one `write_at` + `sync`.
 pub struct Wal {
-    dev: Arc<dyn Device>,
+    /// Storage environment, needed to reach the other wal slot and the
+    /// control device; `None` for bare-device logs (no truncation).
+    env: Option<StorageEnv>,
+    view: Arc<RwLock<LogView>>,
     opts: WalOptions,
     state: Mutex<WalState>,
     flushed: Condvar,
@@ -320,28 +459,51 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Opens the log with default options, scanning to find the end of the
-    /// valid prefix and truncating any torn tail.
+    /// Opens the log over a bare device with default options, scanning to
+    /// find the end of the valid prefix and truncating any torn tail.
+    /// Bare-device logs always have base 0 and cannot be truncated; a
+    /// database opens through [`Wal::open_env`] instead.
     pub fn open(dev: Arc<dyn Device>) -> DbResult<(Wal, Vec<(Lsn, WalRecord)>)> {
         Self::open_with(dev, WalOptions::default())
     }
 
-    /// Opens the log with explicit durability options.
+    /// Opens a bare-device log with explicit durability options.
     pub fn open_with(
         dev: Arc<dyn Device>,
         opts: WalOptions,
     ) -> DbResult<(Wal, Vec<(Lsn, WalRecord)>)> {
-        let records = read_all(&dev)?;
-        let mut valid_end: Lsn = 0;
+        Self::open_parts(None, dev, 0, 0, 0, opts)
+    }
+
+    /// Opens the log inside a storage environment, honouring the truncation
+    /// control record: the active slot device and the logical base come
+    /// from `wal.ctl` (absent means "never truncated": slot `wal`, base 0).
+    pub fn open_env(env: &StorageEnv, opts: WalOptions) -> DbResult<(Wal, Vec<(Lsn, WalRecord)>)> {
+        let (ctl_seq, base, slot) = read_log_ctl(env)?;
+        let dev = env.device(log_slot_name(slot))?;
+        Self::open_parts(Some(env.clone()), dev, base, slot, ctl_seq, opts)
+    }
+
+    fn open_parts(
+        env: Option<StorageEnv>,
+        dev: Arc<dyn Device>,
+        base: Lsn,
+        slot: u32,
+        ctl_seq: u64,
+        opts: WalOptions,
+    ) -> DbResult<(Wal, Vec<(Lsn, WalRecord)>)> {
+        let records = read_all(&dev, base)?;
+        let mut valid_end: Lsn = base;
         let mut out = Vec::with_capacity(records.len());
         for (lsn, rec, frame_len) in records {
             valid_end = lsn + frame_len;
             out.push((lsn, rec));
         }
-        dev.set_len(valid_end)?;
+        dev.set_len(valid_end - base)?;
         Ok((
             Wal {
-                dev,
+                env,
+                view: Arc::new(RwLock::new(LogView { dev, base })),
                 opts,
                 state: Mutex::new(WalState {
                     end: valid_end,
@@ -352,6 +514,8 @@ impl Wal {
                     leader_active: false,
                     spare: Vec::new(),
                     poisoned: None,
+                    slot,
+                    ctl_seq,
                 }),
                 flushed: Condvar::new(),
                 ship: Arc::new(ShipSignal { durable: Mutex::new(valid_end), grew: Condvar::new() }),
@@ -362,7 +526,7 @@ impl Wal {
 
     /// A tail-reading handle for replication shipping (see [`WalReader`]).
     pub fn reader(&self) -> WalReader {
-        WalReader { dev: Arc::clone(&self.dev), signal: Arc::clone(&self.ship) }
+        WalReader { view: Arc::clone(&self.view), signal: Arc::clone(&self.ship) }
     }
 
     /// Appends a record and returns only once it is durably synced. The
@@ -390,7 +554,11 @@ impl Wal {
         frame.clear();
         encode_frame(&mut frame, payload);
         let start = state.end;
-        let result = self.dev.write_at(start, &frame).and_then(|()| self.dev.sync());
+        let (dev, base) = {
+            let view = self.view.read();
+            (Arc::clone(&view.dev), view.base)
+        };
+        let result = dev.write_at(start - base, &frame).and_then(|()| dev.sync());
         state.spare = frame;
         result?;
         state.end = start + (FRAME_HEADER + payload.len()) as u64;
@@ -438,7 +606,9 @@ impl Wal {
     /// Leader duty: take the pending batch, write it with one `write_at`,
     /// sync once, advance `durable`, wake everyone. The state lock is
     /// dropped around the device I/O (and the optional commit-delay nap) so
-    /// followers keep appending into the next batch meanwhile.
+    /// followers keep appending into the next batch meanwhile. Truncation
+    /// cannot swap the slot device mid-flush: it waits for
+    /// `leader_active` to clear.
     fn lead_flush(&self, state: &mut parking_lot::MutexGuard<'_, WalState>) -> DbResult<()> {
         state.leader_active = true;
         if self.opts.commit_delay_us > 0 {
@@ -449,13 +619,17 @@ impl Wal {
         }
         let next = std::mem::take(&mut state.spare);
         let buf = std::mem::replace(&mut state.batch, next);
-        let base = state.batch_base;
+        let lsn_base = state.batch_base;
         let flush_to = state.end;
         state.batch_base = flush_to;
         state.batch_frames = 0;
+        let (dev, base) = {
+            let view = self.view.read();
+            (Arc::clone(&view.dev), view.base)
+        };
 
         let result = parking_lot::MutexGuard::unlocked(state, || {
-            self.dev.write_at(base, &buf).and_then(|()| self.dev.sync())
+            dev.write_at(lsn_base - base, &buf).and_then(|()| dev.sync())
         });
 
         match result {
@@ -489,6 +663,64 @@ impl Wal {
     /// One past the last *synced* byte.
     pub fn durable_lsn(&self) -> Lsn {
         self.state.lock().durable
+    }
+
+    /// The truncation low-water mark (0 until the first truncation).
+    pub fn base_lsn(&self) -> Lsn {
+        self.view.read().base
+    }
+
+    /// Bytes the log currently retains (`tail − base`): what a checkpoint
+    /// policy compares against its budget.
+    pub fn retained_bytes(&self) -> u64 {
+        let end = self.state.lock().end;
+        end.saturating_sub(self.view.read().base)
+    }
+
+    /// Truncates the log below `new_base` (clamped to the durable
+    /// watermark): everything `< new_base` must already be covered by a
+    /// durable snapshot. Quiesces the group-commit pipeline, copies the
+    /// surviving suffix into the inactive slot device, then flips the
+    /// control record — the crash-safe slot dance described in the module
+    /// docs. Returns the new base (unchanged if `new_base` was not an
+    /// advance). Bare-device logs ([`Wal::open`]) cannot truncate.
+    pub fn truncate_below(&self, new_base: Lsn) -> DbResult<Lsn> {
+        let Some(env) = &self.env else {
+            return Err(DbError::Io("wal has no storage environment; cannot truncate".into()));
+        };
+        let mut state = self.state.lock();
+        // Quiesce: no leader mid-flush, no batched frames waiting. Waiting
+        // on the flush condvar releases the state lock, so in-flight
+        // leaders finish and wake us.
+        loop {
+            if let Some(e) = &state.poisoned {
+                return Err(DbError::Io(format!("wal poisoned by earlier failure: {e}")));
+            }
+            if !state.leader_active && state.batch_frames == 0 {
+                break;
+            }
+            self.flushed.wait(&mut state);
+        }
+        let mut view = self.view.write();
+        let new_base = new_base.min(state.durable);
+        if new_base <= view.base {
+            return Ok(view.base);
+        }
+        // Copy the surviving suffix [new_base, end) into the other slot.
+        let len = (state.end - new_base) as usize;
+        let mut suffix = vec![0u8; len];
+        let got = view.dev.read_at(new_base - view.base, &mut suffix)?;
+        if got < len {
+            return Err(DbError::Corrupt(format!(
+                "wal truncate: short read of suffix at {new_base} ({got} of {len} bytes)"
+            )));
+        }
+        let (dst, slot, seq) = swap_log_slot(env, state.slot, state.ctl_seq, new_base, &suffix)?;
+        state.ctl_seq = seq;
+        state.slot = slot;
+        view.dev = dst;
+        view.base = new_base;
+        Ok(new_base)
     }
 }
 
@@ -527,22 +759,27 @@ pub(crate) fn parse_frames(bytes: &[u8], base: Lsn) -> Vec<(Lsn, WalRecord, u64)
     out
 }
 
-/// Reads every valid record with its LSN and frame length. Stops quietly at
-/// the first torn/corrupt frame.
-pub(crate) fn read_all(dev: &Arc<dyn Device>) -> DbResult<Vec<(Lsn, WalRecord, u64)>> {
+/// Reads every valid record with its LSN and frame length; the device's
+/// first byte sits at logical offset `base`. Stops quietly at the first
+/// torn/corrupt frame.
+pub(crate) fn read_all(dev: &Arc<dyn Device>, base: Lsn) -> DbResult<Vec<(Lsn, WalRecord, u64)>> {
     let total = dev.len()?;
     let mut bytes = vec![0u8; total as usize];
     let got = dev.read_at(0, &mut bytes)?;
     bytes.truncate(got);
-    Ok(parse_frames(&bytes, 0))
+    Ok(parse_frames(&bytes, base))
 }
 
 /// Reads records up to (but excluding) the state `stop_at`: a state
 /// identifier is a log tail, so it covers records whose frames lie strictly
-/// below it.
-pub fn read_until(dev: &Arc<dyn Device>, stop_at: Option<Lsn>) -> DbResult<Vec<(Lsn, WalRecord)>> {
+/// below it. The device's first byte sits at logical offset `base`.
+pub fn read_until(
+    dev: &Arc<dyn Device>,
+    base: Lsn,
+    stop_at: Option<Lsn>,
+) -> DbResult<Vec<(Lsn, WalRecord)>> {
     let mut out = Vec::new();
-    for (lsn, rec, _) in read_all(dev)? {
+    for (lsn, rec, _) in read_all(dev, base)? {
         if let Some(limit) = stop_at {
             if lsn >= limit {
                 break;
@@ -639,10 +876,10 @@ mod tests {
         wal.append(&WalRecord::Decide { txid: 3, commit: true }).unwrap();
 
         // A state id covers exactly the records logged before it.
-        assert_eq!(read_until(&d, Some(a)).unwrap().len(), 1);
-        assert_eq!(read_until(&d, Some(b)).unwrap().len(), 2);
-        assert_eq!(read_until(&d, None).unwrap().len(), 3);
-        assert_eq!(read_until(&d, Some(0)).unwrap().len(), 0);
+        assert_eq!(read_until(&d, 0, Some(a)).unwrap().len(), 1);
+        assert_eq!(read_until(&d, 0, Some(b)).unwrap().len(), 2);
+        assert_eq!(read_until(&d, 0, None).unwrap().len(), 3);
+        assert_eq!(read_until(&d, 0, Some(0)).unwrap().len(), 0);
     }
 
     #[test]
@@ -895,5 +1132,118 @@ mod tests {
             let bytes = rec.encode();
             assert_eq!(WalRecord::decode(&bytes).unwrap(), rec);
         }
+    }
+
+    // --- truncation -----------------------------------------------------------
+
+    #[test]
+    fn truncate_bounds_retained_bytes_and_reopens() {
+        let env = StorageEnv::mem();
+        let cut;
+        let tail;
+        {
+            let (wal, _) = Wal::open_env(&env, WalOptions::default()).unwrap();
+            for i in 0..10u64 {
+                wal.append(&WalRecord::Decide { txid: i, commit: true }).unwrap();
+            }
+            cut = wal.append(&WalRecord::Checkpoint { generation: 1 }).unwrap();
+            tail = wal.append(&WalRecord::Decide { txid: 99, commit: true }).unwrap();
+            let before = wal.retained_bytes();
+            assert_eq!(wal.truncate_below(cut).unwrap(), cut);
+            assert_eq!(wal.base_lsn(), cut);
+            assert_eq!(wal.tail_lsn(), tail, "tail LSN survives truncation");
+            assert!(wal.retained_bytes() < before);
+        }
+        // Reopen honours the control record: only the suffix replays, at
+        // its original logical LSNs.
+        let (wal, recs) = Wal::open_env(&env, WalOptions::default()).unwrap();
+        assert_eq!(wal.base_lsn(), cut);
+        assert_eq!(wal.tail_lsn(), tail);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].0, cut, "surviving record keeps its logical LSN");
+        assert!(matches!(recs[0].1, WalRecord::Decide { txid: 99, .. }));
+
+        // Appending after reopen continues the same address space.
+        let next = wal.append(&WalRecord::Decide { txid: 100, commit: true }).unwrap();
+        assert!(next > tail);
+    }
+
+    #[test]
+    fn truncate_is_clamped_and_idempotent() {
+        let env = StorageEnv::mem();
+        let (wal, _) = Wal::open_env(&env, WalOptions::default()).unwrap();
+        let a = wal.append(&WalRecord::Decide { txid: 1, commit: true }).unwrap();
+        wal.append(&WalRecord::Decide { txid: 2, commit: true }).unwrap();
+        assert_eq!(wal.truncate_below(a).unwrap(), a);
+        // Not an advance: stays put.
+        assert_eq!(wal.truncate_below(0).unwrap(), a);
+        assert_eq!(wal.truncate_below(a).unwrap(), a);
+        // Clamped to durable.
+        let end = wal.durable_lsn();
+        assert_eq!(wal.truncate_below(end + 10_000).unwrap(), end);
+    }
+
+    #[test]
+    fn reader_below_base_reports_truncation() {
+        let env = StorageEnv::mem();
+        let (wal, _) = Wal::open_env(&env, WalOptions::default()).unwrap();
+        let a = wal.append(&WalRecord::Decide { txid: 1, commit: true }).unwrap();
+        let b = wal.append(&WalRecord::Decide { txid: 2, commit: true }).unwrap();
+        let reader = wal.reader();
+        wal.truncate_below(a).unwrap();
+        assert_eq!(reader.base_lsn(), a);
+        match reader.read_from(0) {
+            Err(DbError::TruncatedLog { base }) => assert_eq!(base, a),
+            other => panic!("expected TruncatedLog, got {other:?}"),
+        }
+        // At or above the base, reading still works and LSNs are logical.
+        let frames = reader.read_from(a).unwrap();
+        assert_eq!(frames.base, a);
+        assert_eq!(frames.end, b);
+        assert_eq!(frames.records.len(), 1);
+    }
+
+    #[test]
+    fn repeated_truncations_flip_slots() {
+        let env = StorageEnv::mem();
+        let (wal, _) = Wal::open_env(&env, WalOptions::default()).unwrap();
+        let mut last = 0;
+        for round in 0..4u64 {
+            for i in 0..5u64 {
+                last =
+                    wal.append(&WalRecord::Decide { txid: round * 10 + i, commit: true }).unwrap();
+            }
+            let cut = wal.tail_lsn();
+            assert_eq!(wal.truncate_below(cut).unwrap(), cut);
+            assert_eq!(wal.retained_bytes(), 0);
+        }
+        let tail = wal.append(&WalRecord::Decide { txid: 1000, commit: true }).unwrap();
+        assert!(tail > last);
+        // Survives a reopen after four slot flips.
+        drop(wal);
+        let (wal, recs) = Wal::open_env(&env, WalOptions::default()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(wal.tail_lsn(), tail);
+    }
+
+    #[test]
+    fn truncate_unavailable_on_bare_device() {
+        let (wal, _) = Wal::open(dev()).unwrap();
+        wal.append(&WalRecord::Decide { txid: 1, commit: true }).unwrap();
+        assert!(wal.truncate_below(1).is_err());
+    }
+
+    #[test]
+    fn ctl_record_roundtrip_and_torn_slot_fallback() {
+        let env = StorageEnv::mem();
+        assert_eq!(read_log_ctl(&env).unwrap(), (0, 0, 0), "missing ctl means never truncated");
+        write_log_ctl(&env, 1, 100, 1).unwrap();
+        assert_eq!(read_log_ctl(&env).unwrap(), (1, 100, 1));
+        write_log_ctl(&env, 2, 200, 0).unwrap();
+        assert_eq!(read_log_ctl(&env).unwrap(), (2, 200, 0));
+        // Tear the newest record (seq 2 lives in ctl slot 0): the previous
+        // record must be recovered.
+        env.device("wal.ctl").unwrap().write_at(0, &[0xFF; 8]).unwrap();
+        assert_eq!(read_log_ctl(&env).unwrap(), (1, 100, 1));
     }
 }

@@ -32,6 +32,22 @@
 //! one-upcall-daemon-per-node prototype: a replica is one node's worth of
 //! validation capacity, and fan-out across replicas is where throughput
 //! scaling comes from (experiment a10).
+//!
+//! ## Checkpoint shipping
+//!
+//! The shipper consumes a [`ReplicationFeed`] rather than a bare
+//! `WalReader`: when the primary has truncated its log below the shipper's
+//! cursor (bounded-WAL operation, `DbOptions::checkpoint_every_bytes`),
+//! the read reports `TruncatedLog` and the shipper falls back to
+//! installing the primary's latest checkpoint image on every standby that
+//! is behind it — *delta catch-up*: install the image, then tail only the
+//! WAL suffix, instead of replaying the primary's whole history. Standbys
+//! also truncate their own logs when a `Checkpoint` record flows through
+//! ordinary shipping, so replica logs stay bounded in lockstep with the
+//! primary's (experiment a11 measures both effects; OPERATIONS.md is the
+//! operator runbook).
+
+#![warn(missing_docs)]
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -43,8 +59,8 @@ use dl_dlfm::repository::FileEntry;
 use dl_dlfm::{AccessToken, ArchiveStore, ContentSource, TokenKind};
 use dl_fskit::Clock;
 use dl_minidb::{
-    Column, ColumnType, Database, DbOptions, Lsn, Schema, ShippedFrames, StandbyDb, StorageEnv,
-    Value, WalReader,
+    Column, ColumnType, Database, DbError, DbOptions, Lsn, ReplicationFeed, Schema, ShippedFrames,
+    SnapshotData, StandbyDb, StorageEnv, Value,
 };
 use parking_lot::Mutex;
 
@@ -53,7 +69,12 @@ use parking_lot::Mutex;
 pub enum ReplError {
     /// A frame carried an epoch older than the standby's fence: the sender
     /// is a fenced (stale) primary and must stop shipping.
-    StaleEpoch { shipped: u64, fence: u64 },
+    StaleEpoch {
+        /// Epoch the sender was spawned under.
+        shipped: u64,
+        /// The standby fence's current epoch.
+        fence: u64,
+    },
     /// The standby refused or failed to apply (gap, I/O, corrupt frame).
     Apply(String),
     /// Reading the primary log failed.
@@ -82,10 +103,12 @@ pub struct EpochFence {
 }
 
 impl EpochFence {
+    /// A fence at epoch 0.
     pub fn new() -> EpochFence {
         EpochFence::default()
     }
 
+    /// The current epoch.
     pub fn current(&self) -> u64 {
         self.current.load(Ordering::SeqCst)
     }
@@ -99,14 +122,37 @@ impl EpochFence {
 /// Counters for shipping and replica reads (benchmarks and tests).
 #[derive(Debug, Default)]
 pub struct ReplStats {
+    /// Shipped frame ranges applied by every standby.
     pub batches_shipped: AtomicU64,
+    /// Records carried by those ranges.
     pub records_shipped: AtomicU64,
+    /// Raw log bytes carried by those ranges.
+    pub bytes_shipped: AtomicU64,
+    /// Checkpoint images installed on lagging standbys (delta catch-up).
+    pub checkpoints_shipped: AtomicU64,
+    /// Frame ranges or checkpoint installs rejected by the epoch fence.
     pub stale_rejections: AtomicU64,
 }
 
 impl ReplStats {
+    /// Frame ranges or checkpoint installs rejected by the epoch fence.
     pub fn stale_rejections(&self) -> u64 {
         self.stale_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint images installed on lagging standbys.
+    pub fn checkpoints_shipped(&self) -> u64 {
+        self.checkpoints_shipped.load(Ordering::Relaxed)
+    }
+
+    /// Records carried by shipped frame ranges.
+    pub fn records_shipped(&self) -> u64 {
+        self.records_shipped.load(Ordering::Relaxed)
+    }
+
+    /// Raw log bytes carried by shipped frame ranges.
+    pub fn bytes_shipped(&self) -> u64 {
+        self.bytes_shipped.load(Ordering::Relaxed)
     }
 }
 
@@ -135,11 +181,15 @@ pub struct Standby {
     /// archived version yet (the primary captures the before-image on the
     /// first write open).
     fallback: Option<ContentSource>,
+    /// Read tokens validated at this replica.
     pub validations: AtomicU64,
+    /// Reads served entirely from this replica (mirror archive/fallback).
     pub reads_served: AtomicU64,
 }
 
 impl Standby {
+    /// Opens a standby over `env` (the replicated repository) and
+    /// `session_env` (the replica-local durable token-session store).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: String,
@@ -190,16 +240,43 @@ impl Standby {
     /// Applies one shipped range, fencing stale epochs first. A rejected
     /// range leaves the standby untouched.
     pub fn apply(&self, epoch: u64, frames: &ShippedFrames) -> Result<(), ReplError> {
+        self.check_fence(epoch)?;
+        self.db.apply(frames).map_err(|e| ReplError::Apply(e.to_string()))
+    }
+
+    /// Installs a primary checkpoint image (delta catch-up), fencing stale
+    /// epochs first. Returns whether the standby actually installed it
+    /// (`false`: it was already at or past the image).
+    pub fn install_checkpoint(&self, epoch: u64, snap: &SnapshotData) -> Result<bool, ReplError> {
+        self.check_fence(epoch)?;
+        self.db.install_checkpoint(snap).map_err(|e| ReplError::Apply(e.to_string()))
+    }
+
+    fn check_fence(&self, epoch: u64) -> Result<(), ReplError> {
         let fence = self.fence.current();
         if epoch != fence {
             self.stats.stale_rejections.fetch_add(1, Ordering::Relaxed);
             return Err(ReplError::StaleEpoch { shipped: epoch, fence });
         }
-        self.db.apply(frames).map_err(|e| ReplError::Apply(e.to_string()))
+        Ok(())
     }
 
+    /// One past the last applied log byte (lag = primary durable − this).
     pub fn applied_lsn(&self) -> Lsn {
         self.db.applied_lsn()
+    }
+
+    /// Bytes of log this standby retains — bounded by checkpoint shipping.
+    pub fn wal_retained_bytes(&self) -> u64 {
+        self.db.wal_retained_bytes()
+    }
+
+    /// Blocks until this standby has applied at least `lsn` or `timeout`
+    /// elapses; returns whether it caught up. The read-your-writes wait:
+    /// the engine parks here before serving a freshness-token read from
+    /// this replica, and falls back to the primary on timeout.
+    pub fn wait_applied(&self, lsn: Lsn, timeout: Duration) -> bool {
+        self.db.wait_applied(lsn, timeout)
     }
 
     /// The standby's repository environment (promotion opens a normal
@@ -303,7 +380,7 @@ impl Standby {
 
 /// The shipping core shared by the daemon thread and synchronous callers.
 struct ShipCore {
-    reader: WalReader,
+    feed: ReplicationFeed,
     standbys: Vec<Arc<Standby>>,
     /// Epoch this shipper was spawned under; carried on every range.
     epoch: u64,
@@ -314,10 +391,37 @@ struct ShipCore {
 impl ShipCore {
     /// Ships everything durable past the cursor to every standby; the
     /// cursor only advances when *all* standbys applied (a lagging standby
-    /// re-receives from its gap, never skips it).
+    /// re-receives from its gap, never skips it). When the primary has
+    /// truncated the log below the cursor, falls back to checkpoint
+    /// shipping: install the latest image on every standby behind it, move
+    /// the cursor to the image's base, and resume framing from there —
+    /// delta catch-up instead of full-history replay.
     fn ship_once(&self) -> Result<usize, ReplError> {
         let mut cursor = self.cursor.lock();
-        let frames = self.reader.read_from(*cursor).map_err(|e| ReplError::Read(e.to_string()))?;
+        let frames = match self.feed.reader().read_from(*cursor) {
+            Ok(frames) => frames,
+            Err(DbError::TruncatedLog { base }) => {
+                let snap = self
+                    .feed
+                    .latest_checkpoint()
+                    .map_err(|e| ReplError::Read(e.to_string()))?
+                    .filter(|snap| snap.base_lsn >= base);
+                // A truncated log always has a covering snapshot; `None`
+                // only happens transiently while the primary is
+                // mid-checkpoint — retry on the next round.
+                let Some(snap) = snap else { return Ok(0) };
+                let mut installed = 0u64;
+                for standby in &self.standbys {
+                    if standby.install_checkpoint(self.epoch, &snap)? {
+                        installed += 1;
+                    }
+                }
+                *cursor = snap.base_lsn;
+                self.stats.checkpoints_shipped.fetch_add(installed, Ordering::Relaxed);
+                return Ok(0);
+            }
+            Err(e) => return Err(ReplError::Read(e.to_string())),
+        };
         if frames.is_empty() {
             return Ok(0);
         }
@@ -327,6 +431,7 @@ impl ShipCore {
         *cursor = frames.end;
         self.stats.batches_shipped.fetch_add(1, Ordering::Relaxed);
         self.stats.records_shipped.fetch_add(frames.records.len() as u64, Ordering::Relaxed);
+        self.stats.bytes_shipped.fetch_add(frames.bytes.len() as u64, Ordering::Relaxed);
         Ok(frames.records.len())
     }
 
@@ -341,6 +446,7 @@ impl ShipCore {
 pub struct Replicator {
     core: Arc<ShipCore>,
     stop: Arc<AtomicBool>,
+    paused: Arc<AtomicBool>,
     handle: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -348,24 +454,33 @@ impl Replicator {
     /// Spawns the daemon under the fence's current epoch.
     pub fn spawn(
         name: &str,
-        reader: WalReader,
+        feed: ReplicationFeed,
         standbys: Vec<Arc<Standby>>,
         epoch: u64,
         stats: Arc<ReplStats>,
     ) -> Replicator {
         let start = standbys.iter().map(|s| s.applied_lsn()).min().unwrap_or(0);
-        let core = Arc::new(ShipCore { reader, standbys, epoch, cursor: Mutex::new(start), stats });
+        let core = Arc::new(ShipCore { feed, standbys, epoch, cursor: Mutex::new(start), stats });
         let stop = Arc::new(AtomicBool::new(false));
+        let paused = Arc::new(AtomicBool::new(false));
         let worker_core = Arc::clone(&core);
         let worker_stop = Arc::clone(&stop);
+        let worker_paused = Arc::clone(&paused);
         let handle = std::thread::Builder::new()
             .name(format!("dlfm-repl-{name}"))
             .spawn(move || loop {
                 if worker_stop.load(Ordering::SeqCst) {
                     break;
                 }
+                if worker_paused.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
                 let seen = worker_core.cursor();
-                worker_core.reader.wait_past(seen, Duration::from_millis(20));
+                worker_core.feed.reader().wait_past(seen, Duration::from_millis(20));
+                if worker_paused.load(Ordering::SeqCst) {
+                    continue;
+                }
                 match worker_core.ship_once() {
                     Ok(_) => {}
                     // A fenced shipper belongs to a deposed primary: stop.
@@ -376,7 +491,7 @@ impl Replicator {
                 }
             })
             .expect("spawn replication shipper");
-        Replicator { core, stop, handle: Mutex::new(Some(handle)) }
+        Replicator { core, stop, paused, handle: Mutex::new(Some(handle)) }
     }
 
     /// Synchronously ships everything durable (tests, catch-up waits).
@@ -384,10 +499,18 @@ impl Replicator {
         self.core.ship_once()
     }
 
+    /// Pauses or resumes the background daemon. An operator drain hook
+    /// (OPERATIONS.md) and the deterministic way tests/experiments create
+    /// a staleness window; synchronous [`Replicator::ship_once`] calls
+    /// still work while paused.
+    pub fn set_paused(&self, paused: bool) {
+        self.paused.store(paused, Ordering::SeqCst);
+    }
+
     /// Primary durable watermark minus the slowest standby's applied
     /// watermark, in bytes.
     pub fn lag(&self) -> u64 {
-        let durable = self.core.reader.durable_lsn();
+        let durable = self.core.feed.reader().durable_lsn();
         let applied = self.core.standbys.iter().map(|s| s.applied_lsn()).min().unwrap_or(durable);
         durable.saturating_sub(applied)
     }
@@ -422,14 +545,20 @@ impl Drop for Replicator {
 
 /// Options for provisioning a replica set.
 pub struct ReplicaSetOptions {
+    /// Number of hot standbys to provision.
     pub replicas: usize,
+    /// DLFM server name (token verification scope, standby naming).
     pub server_name: String,
+    /// Shared HMAC token secret (matches the server's `DlfmConfig`).
     pub token_key: Vec<u8>,
     /// Per-sync latency of the standby/session environments — matched to
     /// the primary repository's so a replica's durability costs what the
     /// primary's does.
     pub sync_latency_ns: u64,
+    /// Clock for token expiry checks.
     pub clock: Arc<dyn Clock>,
+    /// Content fallback for linked-but-never-updated files (no archived
+    /// version exists yet).
     pub fallback: Option<ContentSource>,
 }
 
@@ -444,11 +573,12 @@ pub struct ReplicaSet {
 }
 
 impl ReplicaSet {
-    /// Provisions `opts.replicas` fresh standbys fed from `reader` (which
-    /// replays the primary's full log from offset zero — repositories
-    /// never truncate theirs) and spawns the shipper. The caller mirrors
-    /// the primary archive into each standby's store.
-    pub fn build(reader: WalReader, opts: ReplicaSetOptions) -> Result<ReplicaSet, String> {
+    /// Provisions `opts.replicas` fresh standbys fed from `feed` and
+    /// spawns the shipper. A fresh standby catches up by delta when the
+    /// primary's log is truncated (checkpoint install + WAL suffix) and by
+    /// full-log replay otherwise. The caller mirrors the primary archive
+    /// into each standby's store.
+    pub fn build(feed: ReplicationFeed, opts: ReplicaSetOptions) -> Result<ReplicaSet, String> {
         assert!(opts.replicas > 0, "a replica set needs at least one standby");
         let fence = Arc::new(EpochFence::new());
         let stats = Arc::new(ReplStats::default());
@@ -475,7 +605,7 @@ impl ReplicaSet {
         }
         let replicator = Replicator::spawn(
             &opts.server_name,
-            reader,
+            feed,
             standbys.clone(),
             fence.current(),
             Arc::clone(&stats),
@@ -483,6 +613,7 @@ impl ReplicaSet {
         Ok(ReplicaSet { standbys, replicator, fence, stats, next: AtomicUsize::new(0) })
     }
 
+    /// The set's standbys, in provisioning order.
     pub fn standbys(&self) -> &[Arc<Standby>] {
         &self.standbys
     }
@@ -493,10 +624,13 @@ impl ReplicaSet {
         &self.standbys[i]
     }
 
+    /// Primary durable watermark minus the slowest standby's applied
+    /// watermark, in bytes.
     pub fn lag(&self) -> u64 {
         self.replicator.lag()
     }
 
+    /// Drives shipping until the lag drains to zero or `timeout` elapses.
     pub fn wait_caught_up(&self, timeout: Duration) -> bool {
         self.replicator.wait_caught_up(timeout)
     }
@@ -507,10 +641,18 @@ impl ReplicaSet {
         self.replicator.ship_once()
     }
 
+    /// Pauses or resumes the background shipper (operator drain hook; see
+    /// [`Replicator::set_paused`]).
+    pub fn set_paused(&self, paused: bool) {
+        self.replicator.set_paused(paused);
+    }
+
+    /// Shipping and rejection counters.
     pub fn stats(&self) -> &Arc<ReplStats> {
         &self.stats
     }
 
+    /// The failover fence shared by this set's standbys.
     pub fn fence(&self) -> &Arc<EpochFence> {
         &self.fence
     }
@@ -608,7 +750,7 @@ mod tests {
         let (standby, _fence, stats) = standby_for(&db, "srv1#0");
         let repl = Replicator::spawn(
             "srv1",
-            db.wal_reader(),
+            db.replication_feed(),
             vec![Arc::clone(&standby)],
             0,
             Arc::clone(&stats),
@@ -632,7 +774,7 @@ mod tests {
         let (standby, fence, stats) = standby_for(&db, "srv1#0");
         let repl = Replicator::spawn(
             "srv1",
-            db.wal_reader(),
+            db.replication_feed(),
             vec![Arc::clone(&standby)],
             fence.current(),
             Arc::clone(&stats),
@@ -676,7 +818,8 @@ mod tests {
             )
             .unwrap(),
         );
-        let repl = Replicator::spawn("srv1", db.wal_reader(), vec![Arc::clone(&standby)], 0, stats);
+        let repl =
+            Replicator::spawn("srv1", db.replication_feed(), vec![Arc::clone(&standby)], 0, stats);
 
         let mut tx = db.begin();
         tx.insert("dl_files", file_row("/movies/clip.mpg", 2)).unwrap();
@@ -703,11 +846,82 @@ mod tests {
     }
 
     #[test]
+    fn truncated_primary_ships_checkpoint_to_fresh_standby() {
+        let env = StorageEnv::mem();
+        let db = repo_like_db(&env);
+        for i in 0..20i64 {
+            let mut tx = db.begin();
+            tx.insert("dl_files", file_row(&format!("/f{i}"), 1)).unwrap();
+            tx.commit().unwrap();
+        }
+        db.checkpoint_and_truncate().unwrap();
+        assert!(db.wal_base_lsn() > 0);
+
+        // A fresh standby's cursor (0) is below the primary's base: the
+        // shipper must install the checkpoint image, then tail the suffix.
+        let (standby, _fence, stats) = standby_for(&db, "srv1#0");
+        let repl = Replicator::spawn(
+            "srv1",
+            db.replication_feed(),
+            vec![Arc::clone(&standby)],
+            0,
+            Arc::clone(&stats),
+        );
+        assert!(repl.wait_caught_up(Duration::from_secs(5)));
+        assert_eq!(stats.checkpoints_shipped(), 1, "delta catch-up used the image once");
+        assert!(standby.file_entry("/f0").is_some());
+        assert!(standby.file_entry("/f19").is_some());
+        assert_eq!(
+            standby.wal_retained_bytes(),
+            db.wal_retained_bytes(),
+            "standby log is the same bounded suffix as the primary's"
+        );
+
+        // Subsequent commits ship as ordinary frames.
+        let mut tx = db.begin();
+        tx.insert("dl_files", file_row("/after", 1)).unwrap();
+        tx.commit().unwrap();
+        assert!(repl.wait_caught_up(Duration::from_secs(5)));
+        assert!(standby.file_entry("/after").is_some());
+        assert_eq!(stats.checkpoints_shipped(), 1, "no further installs needed");
+    }
+
+    #[test]
+    fn paused_shipper_holds_lag_until_resumed() {
+        let env = StorageEnv::mem();
+        let db = repo_like_db(&env);
+        let set = ReplicaSet::build(
+            db.replication_feed(),
+            ReplicaSetOptions {
+                replicas: 1,
+                server_name: "srv1".into(),
+                token_key: b"key".to_vec(),
+                sync_latency_ns: 0,
+                clock: Arc::new(SimClock::new(1_000)),
+                fallback: None,
+            },
+        )
+        .unwrap();
+        assert!(set.wait_caught_up(Duration::from_secs(5)));
+        set.set_paused(true);
+        let mut tx = db.begin();
+        tx.insert("dl_files", file_row("/held", 1)).unwrap();
+        tx.commit().unwrap();
+        // The daemon is parked: the lag stays.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(set.lag() > 0, "paused shipper must not drain the lag");
+        assert!(set.standbys()[0].file_entry("/held").is_none());
+        set.set_paused(false);
+        assert!(set.wait_caught_up(Duration::from_secs(5)));
+        assert!(set.standbys()[0].file_entry("/held").is_some());
+    }
+
+    #[test]
     fn replica_set_round_robins_and_catches_up() {
         let env = StorageEnv::mem();
         let db = repo_like_db(&env);
         let set = ReplicaSet::build(
-            db.wal_reader(),
+            db.replication_feed(),
             ReplicaSetOptions {
                 replicas: 3,
                 server_name: "srv1".into(),
@@ -740,7 +954,7 @@ mod tests {
         let env = StorageEnv::mem();
         let db = repo_like_db(&env);
         let set = ReplicaSet::build(
-            db.wal_reader(),
+            db.replication_feed(),
             ReplicaSetOptions {
                 replicas: 1,
                 server_name: "srv1".into(),

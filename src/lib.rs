@@ -7,8 +7,9 @@
 //!
 //! Start with [`core::DataLinksSystem`] (the assembled system) or the
 //! `quickstart` example. See README.md for the architecture map, DESIGN.md
-//! for the paper-to-module inventory, and EXPERIMENTS.md for the
-//! reproduced evaluation.
+//! for the paper-to-module inventory, EXPERIMENTS.md for the reproduced
+//! evaluation, and OPERATIONS.md for the replication/checkpoint runbook
+//! (provisioning, monitoring, failover, tuning).
 
 pub use dl_baselines;
 pub use dl_core;
@@ -30,5 +31,6 @@ pub use dl_dlfs as dlfs;
 pub use dl_fskit as fskit;
 /// Host-database substrate (WAL, 2PL, 2PC, restore).
 pub use dl_minidb as minidb;
-/// WAL-shipping replication: hot standbys, replica reads, failover.
+/// WAL-shipping replication: hot standbys, checkpoint shipping, replica
+/// reads, failover.
 pub use dl_repl as repl;

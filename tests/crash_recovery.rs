@@ -139,6 +139,161 @@ proptest! {
     }
 }
 
+/// Crash points of the checkpoint-and-truncate protocol, at the database
+/// level: whatever instant the crash lands on — before the checkpoint,
+/// after it, mid-truncation with a torn control record, or with a torn
+/// snapshot slot — recovery must produce the same committed state.
+mod checkpoint_truncation_crashes {
+    use datalinks::minidb::{
+        Column, ColumnType, Database, DbError, DbOptions, Schema, StorageEnv, Value,
+    };
+
+    fn open(env: &StorageEnv) -> Database {
+        Database::open(env.clone()).unwrap()
+    }
+
+    fn seeded(n: i64) -> (StorageEnv, Database) {
+        let env = StorageEnv::mem();
+        let db = open(&env);
+        db.create_table(
+            Schema::new(
+                "t",
+                vec![Column::new("id", ColumnType::Int), Column::new("v", ColumnType::Text)],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for i in 0..n {
+            let mut tx = db.begin();
+            tx.insert("t", vec![Value::Int(i), Value::Text(format!("v{i}"))]).unwrap();
+            tx.commit().unwrap();
+        }
+        (env, db)
+    }
+
+    fn state(db: &Database) -> Vec<Vec<Value>> {
+        let mut rows = db.scan_committed("t").unwrap();
+        rows.sort_by_key(|r| r[0].as_int().unwrap());
+        rows
+    }
+
+    #[test]
+    fn crash_after_checkpoint_truncate_equals_crash_before() {
+        let (env, db) = seeded(12);
+        let before = env.fork().unwrap(); // the disks the instant before
+        db.checkpoint_and_truncate().unwrap();
+        let after = env.fork().unwrap(); // ...and the instant after
+        assert!(db.wal_base_lsn() > 0);
+        drop(db);
+
+        let db_before = open(&before);
+        let db_after = open(&after);
+        assert_eq!(state(&db_before), state(&db_after), "recovery equivalence");
+        assert!(db_after.wal_base_lsn() > 0, "truncation survives the crash");
+        // Both recoveries accept new commits.
+        for db in [&db_before, &db_after] {
+            let mut tx = db.begin();
+            tx.insert("t", vec![Value::Int(100), Value::Text("post".into())]).unwrap();
+            tx.commit().unwrap();
+            assert_eq!(db.count("t").unwrap(), 13);
+        }
+    }
+
+    #[test]
+    fn torn_wal_ctl_record_recovers_pre_truncation_state() {
+        // The control-record flip is the truncation's commit point. Tear
+        // the record the flip wrote (the first truncation writes ctl seq 1,
+        // which lives in ctl slot 1 at byte offset 32): recovery must fall
+        // back to the untruncated slot — which still holds the full log —
+        // and lose nothing.
+        let (env, db) = seeded(8);
+        db.checkpoint_and_truncate().unwrap();
+        let expected = state(&db);
+        drop(db);
+        env.device("wal.ctl").unwrap().write_at(32, &[0xFF; 28]).unwrap();
+
+        let db = open(&env);
+        assert_eq!(db.wal_base_lsn(), 0, "torn flip means the truncation never happened");
+        assert_eq!(state(&db), expected, "no committed state lost either way");
+        let mut tx = db.begin();
+        tx.insert("t", vec![Value::Int(100), Value::Text("post".into())]).unwrap();
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn torn_snapshot_slot_without_truncation_falls_back_to_replay() {
+        // A crash mid-checkpoint (before any truncation) tears the slot
+        // being written; the full log is still there, so recovery replays
+        // it and the state is exactly the pre-checkpoint one.
+        let (env, db) = seeded(8);
+        db.checkpoint().unwrap(); // generation 1 lands in snap.a
+        let expected = state(&db);
+        drop(db);
+        env.device("snap.a").unwrap().write_at(0, &[0xFF; 64]).unwrap();
+
+        let db = open(&env);
+        assert_eq!(state(&db), expected);
+    }
+
+    #[test]
+    fn undecided_prepared_txn_survives_truncation_and_crash() {
+        // 2PC window: prepare, checkpoint+truncate (the Prepare record is
+        // cut away — its only durable copy is now the snapshot), crash
+        // undecided. Recovery must still surface the transaction in doubt
+        // and settle it correctly in both directions.
+        for commit in [true, false] {
+            let (env, db) = seeded(1);
+            let txid = {
+                let mut tx = db.begin();
+                tx.insert("t", vec![Value::Int(50), Value::Text("pending".into())]).unwrap();
+                tx.prepare().unwrap();
+                let txid = tx.id();
+                db.checkpoint_and_truncate().unwrap();
+                std::mem::forget(tx); // crash: no decision ever logged
+                txid
+            };
+            drop(db);
+
+            let db = open(&env);
+            assert_eq!(db.in_doubt_txns(), vec![txid], "in-doubt via the snapshot");
+            db.resolve_in_doubt(txid, commit).unwrap();
+            assert_eq!(db.count("t").unwrap(), if commit { 2 } else { 1 });
+            // The decision is durable across another crash.
+            drop(db);
+            let db = open(&env);
+            assert_eq!(db.count("t").unwrap(), if commit { 2 } else { 1 });
+            assert!(db.in_doubt_txns().is_empty());
+        }
+    }
+
+    #[test]
+    fn point_in_time_restore_below_low_water_mark_is_refused() {
+        // Truncation trades PITR depth for bounded logs; asking for a state
+        // below the low-water mark must fail loudly, not restore garbage.
+        let (env, db) = seeded(1);
+        let mut tx = db.begin();
+        tx.insert("t", vec![Value::Int(10), Value::Text("early".into())]).unwrap();
+        let early = tx.commit().unwrap();
+        for i in 20..30 {
+            let mut tx = db.begin();
+            tx.insert("t", vec![Value::Int(i), Value::Text("later".into())]).unwrap();
+            tx.commit().unwrap();
+        }
+        db.checkpoint_and_truncate().unwrap();
+        let backup = db.backup().unwrap();
+        match Database::open_with(
+            backup,
+            DbOptions { stop_at_lsn: Some(early), ..Default::default() },
+        ) {
+            Err(DbError::TruncatedLog { .. }) => {}
+            Err(e) => panic!("expected TruncatedLog, got {e}"),
+            Ok(_) => panic!("restore below the low-water mark must be refused"),
+        }
+        drop(env);
+    }
+}
+
 /// Deterministic companion: a crash exactly between the host commit and the
 /// archive completion must not lose the committed version (the
 /// needs_archive recovery path).

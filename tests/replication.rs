@@ -15,9 +15,18 @@ const SRV: &str = "srv";
 const CATCH_UP: Duration = Duration::from_secs(30);
 
 fn build(replicas: usize, n_files: usize) -> DataLinksSystem {
+    build_with(replicas, n_files, 0)
+}
+
+/// `repo_budget` is the repository's log-retention budget in bytes
+/// (`DbOptions::checkpoint_every_bytes`); 0 disables automatic
+/// checkpointing, the pre-checkpoint-shipping behaviour.
+fn build_with(replicas: usize, n_files: usize, repo_budget: u64) -> DataLinksSystem {
+    let mut spec = FileServerSpec::new(SRV).replicas(replicas);
+    spec.dlfm.db.checkpoint_every_bytes = repo_budget;
     let sys = DataLinksSystem::builder()
         .clock(Arc::new(SimClock::new(1_000_000)))
-        .file_server_with(FileServerSpec::new(SRV).replicas(replicas))
+        .file_server_with(spec)
         .build()
         .unwrap();
     let raw = sys.raw_fs(SRV).unwrap();
@@ -281,6 +290,103 @@ fn whole_system_crash_reprovisions_replicas() {
     assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
     let tp = read_token_path(&sys, 0);
     assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"after recover");
+}
+
+#[test]
+fn freshness_token_reads_never_observe_pre_write_state() {
+    let sys = build(1, 1);
+    write_once(&sys, 0, b"version two");
+    assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
+    let set = sys.node(SRV).unwrap().replication.clone().unwrap();
+
+    // Freeze shipping: the standby is now pinned at the v2 repository
+    // state while the primary moves on to v3.
+    set.set_paused(true);
+    write_once(&sys, 0, b"version three");
+
+    // The seam this closes, demonstrated: without a freshness token the
+    // routed read serves the replica's (stale but committed) version.
+    let stale = sys.serve_read(SRV, &read_token_path(&sys, 0), APP.uid).unwrap();
+    assert_eq!(stale, b"version two", "paused standby serves pre-write state without a token");
+
+    // With the freshness token the same read must observe the write: the
+    // standby cannot catch up (shipping is paused), so the router waits
+    // its bounded window and falls back to the primary.
+    let token = sys.freshness_token(SRV).unwrap();
+    let fresh = sys.serve_read_fresh(SRV, &read_token_path(&sys, 0), APP.uid, token).unwrap();
+    assert_eq!(fresh, b"version three");
+    let stats = &sys.engine().stats;
+    assert!(
+        stats.freshness_fallbacks.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        "the stalled standby must have been bypassed"
+    );
+
+    // Resume shipping: once the lag drains, the same freshness read is
+    // served by the (now fresh) replica again.
+    set.set_paused(false);
+    assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
+    let fresh = sys.serve_read_fresh(SRV, &read_token_path(&sys, 0), APP.uid, token).unwrap();
+    assert_eq!(fresh, b"version three");
+}
+
+#[test]
+fn freshness_reads_under_live_shipping_always_see_the_write() {
+    let sys = build(2, 1);
+    for round in 0..8 {
+        let content = format!("round {round}");
+        write_once(&sys, 0, content.as_bytes());
+        // Immediately after the write — no catch-up wait. Whatever replica
+        // the router picks, the token forbids pre-write answers.
+        let token = sys.freshness_token(SRV).unwrap();
+        let tp = read_token_path(&sys, 0);
+        assert_eq!(
+            sys.serve_read_fresh(SRV, &tp, APP.uid, token).unwrap(),
+            content.as_bytes(),
+            "freshness-token read observed pre-write state in round {round}"
+        );
+    }
+}
+
+#[test]
+fn failover_reprovisions_siblings_by_delta_with_bounded_logs() {
+    const BUDGET: u64 = 4 * 1024;
+    let mut sys = build_with(2, 1, BUDGET);
+    for round in 0..12 {
+        write_once(&sys, 0, format!("history {round}").as_bytes());
+    }
+    assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
+    // The budget kept the repository log bounded and truncated at least
+    // once — and every standby log in lockstep with it.
+    let repo = sys.node(SRV).unwrap().server.repository().db().clone();
+    assert!(repo.wal_base_lsn() > 0, "sustained updates must have crossed the budget");
+    assert!(repo.wal_retained_bytes() <= BUDGET + 8 * 1024);
+    for standby in sys.node(SRV).unwrap().replication.as_ref().unwrap().standbys() {
+        assert!(standby.wal_retained_bytes() <= BUDGET + 8 * 1024, "standby log unbounded");
+    }
+
+    sys.fail_over(SRV).unwrap();
+
+    // Promotion checkpointed the new primary, so the replacement standby
+    // was provisioned by delta (checkpoint install + WAL suffix), not by
+    // replaying the whole history.
+    let set = sys.node(SRV).unwrap().replication.clone().unwrap();
+    assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
+    assert!(
+        set.stats().checkpoints_shipped() >= 1,
+        "sibling re-provisioning must use delta catch-up"
+    );
+    let tp = read_token_path(&sys, 0);
+    assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"history 11");
+
+    // The promoted node keeps the budget: more load, still bounded.
+    for round in 0..6 {
+        write_once(&sys, 0, format!("post-failover {round}").as_bytes());
+    }
+    assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
+    let repo = sys.node(SRV).unwrap().server.repository().db().clone();
+    assert!(repo.wal_retained_bytes() <= BUDGET + 8 * 1024);
+    let tp = read_token_path(&sys, 0);
+    assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"post-failover 5");
 }
 
 #[test]

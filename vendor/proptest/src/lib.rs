@@ -475,7 +475,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Accepted element-count specifications for [`vec`].
+    /// Accepted element-count specifications for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
