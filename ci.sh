@@ -35,17 +35,20 @@ cargo bench -p dl-bench --no-run --quiet
 step "cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-# Regression tooling can't rot: run the commit-throughput, replication and
-# checkpoint-shipping experiments with --json, then self-compare the
-# just-written trajectories (must be zero regressions, exit 0). The a10 run
-# doubles as the replication smoke — its runner *asserts* that the lag
-# drains to zero and that failover preserves the repository's link state —
-# and a11 doubles as the checkpoint-shipping smoke: it asserts bounded WALs
-# under a retention budget and that delta catch-up ships a fraction of the
-# full-replay records. A broken pipeline fails this step outright. Quick
-# mode stays on the debug profile to avoid a release build it otherwise
-# skips.
-step "report --json (a9 a10 a11 incl. replication + checkpoint smokes) + --compare self-smoke"
+# Regression tooling can't rot: run the commit-throughput, replication,
+# checkpoint-shipping and front-end experiments with --json, then
+# self-compare the just-written trajectories (must be zero regressions,
+# exit 0). The a10 run doubles as the replication smoke — its runner
+# *asserts* that the lag drains to zero and that failover preserves the
+# repository's link state — a11 doubles as the checkpoint-shipping smoke
+# (bounded WALs under a retention budget; delta catch-up ships a fraction
+# of the full-replay records), and a12 doubles as the front-end smoke: it
+# asserts the adaptive upcall pool grows past the fixed-8 head count under
+# burst, meets or beats its throughput, sheds back to the floor, and that
+# the shared agent executor serves 256 connections on <64 OS threads. A
+# broken pipeline fails this step outright. Quick mode stays on the debug
+# profile to avoid a release build it otherwise skips.
+step "report --json (a9 a10 a11 a12 incl. replication/checkpoint/front-end smokes) + --compare self-smoke"
 profile_flag=""
 if [[ "${1:-}" != "quick" ]]; then
   profile_flag="--release"
@@ -54,7 +57,7 @@ bench_dir=$(mktemp -d)
 trap 'rm -rf "$bench_dir"' EXIT
 # shellcheck disable=SC2086  # $profile_flag is intentionally word-split
 cargo run -p dl-bench $profile_flag --quiet --bin report -- \
-  a9 a10 a11 --quick --json --json-dir "$bench_dir" > /dev/null
+  a9 a10 a11 a12 --quick --json --json-dir "$bench_dir" > /dev/null
 cargo run -p dl-bench $profile_flag --quiet --bin report -- \
   --compare "$bench_dir" --current "$bench_dir"
 

@@ -220,6 +220,13 @@ fn main() {
         let updates = if quick { 400 } else { 2000 };
         emit(exp::a11_checkpoint_shipping(updates, if quick { 0 } else { 20_000 }));
     }
+    if want("a12") {
+        let (cycles, agents) = if quick { (10, 256) } else { (30, 256) };
+        // 1 ms device sync: the admission path is then occupancy-bound
+        // (workers parked in fsync), so pool head count — not the host
+        // machine's core count — decides throughput deterministically.
+        emit(exp::a12_front_end(2, 32, cycles, agents, 1_000_000));
+    }
 
     if want("appendix") || filter.is_empty() {
         let mut rows = Vec::new();

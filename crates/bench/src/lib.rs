@@ -53,6 +53,12 @@ pub struct FixtureOptions {
     pub db_sync_latency_ns: u64,
     /// Hot-standby repositories per file server (replication experiments).
     pub replicas: usize,
+    /// Bounds of the elastic upcall pool; `None` keeps the `DlfmConfig`
+    /// defaults, `Some((n, n))` pins the PR 2 fixed shape (a12 arms).
+    pub upcall_pool: Option<(usize, usize)>,
+    /// Run one OS thread per agent connection (the paper's child-agent
+    /// model) instead of the shared executor (a12 contrast arm).
+    pub thread_per_agent: bool,
 }
 
 impl Default for FixtureOptions {
@@ -70,6 +76,8 @@ impl Default for FixtureOptions {
             db: DbOptions::default(),
             db_sync_latency_ns: 0,
             replicas: 0,
+            upcall_pool: None,
+            thread_per_agent: false,
         }
     }
 }
@@ -81,6 +89,10 @@ pub fn fixture(opts: FixtureOptions) -> Fixture {
     dlfm.track_read_sync = opts.track_read_sync;
     dlfm.strict_link = opts.strict;
     dlfm.db = opts.db;
+    dlfm.thread_per_agent = opts.thread_per_agent;
+    if let Some((min, max)) = opts.upcall_pool {
+        dlfm = dlfm.upcall_workers(min, max);
+    }
     let mem_env = || {
         if opts.db_sync_latency_ns > 0 {
             StorageEnv::mem_with_sync_latency(opts.db_sync_latency_ns)

@@ -34,12 +34,52 @@ pub const META_TABLE: &str = "__dl_meta";
 /// System table persisting DATALINK column definitions.
 pub const COLUMNS_TABLE: &str = "__dl_columns";
 
-/// How long a freshness-token read waits for its picked standby to catch
-/// up before falling back to the primary. Short on purpose: replication
-/// lag on a healthy set drains in microseconds, so the window exists only
-/// to ride out a ship-daemon scheduling hiccup — a genuinely stalled
-/// standby should cost the reader one bounded wait, not an unbounded one.
+/// Ceiling of the freshness-token catch-up wait: no read ever waits on a
+/// standby longer than this before falling back to the primary. Until PR 5
+/// this was the *fixed* wait; now it only caps the adaptive bound
+/// ([`LagEwma`]), so a persistently lagging set degrades exactly to the
+/// old behaviour while a healthy set costs readers microseconds.
 pub const FRESHNESS_WAIT: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// Floor of the adaptive freshness wait: even a perfectly caught-up set
+/// keeps a small window to ride out a ship-daemon scheduling hiccup.
+pub const FRESHNESS_WAIT_FLOOR: std::time::Duration = std::time::Duration::from_micros(500);
+
+/// EWMA of observed replication lag, measured where the engine actually
+/// feels it: how long a freshness-token read had to wait for its picked
+/// standby to reach the caller's write LSN (a timed-out wait records the
+/// full bound — a saturated observation, since the true lag exceeded it).
+/// The wait bound for the next read is `4 x EWMA`, clamped to
+/// [`FRESHNESS_WAIT_FLOOR`] .. [`FRESHNESS_WAIT`]: healthy sets converge
+/// to the floor, stalled sets back off to the PR 4 fixed wait.
+pub struct LagEwma {
+    lag: dl_dlfm::AtomicEwma,
+}
+
+impl Default for LagEwma {
+    fn default() -> Self {
+        // Seed at ceiling/4 so the very first reads use the conservative
+        // PR 4 bound and adapt *down* from evidence, never up from hope.
+        LagEwma { lag: dl_dlfm::AtomicEwma::seeded(FRESHNESS_WAIT / 4) }
+    }
+}
+
+impl LagEwma {
+    /// Folds one observed catch-up wait in (alpha = 1/4).
+    fn record(&self, observed: std::time::Duration) {
+        self.lag.record(observed, 2);
+    }
+
+    /// Smoothed lag estimate.
+    pub fn current(&self) -> std::time::Duration {
+        self.lag.current()
+    }
+
+    /// The wait bound the next freshness read should use.
+    pub fn bound(&self) -> std::time::Duration {
+        (self.current() * 4).clamp(FRESHNESS_WAIT_FLOOR, FRESHNESS_WAIT)
+    }
+}
 
 /// Engine operation counters.
 #[derive(Debug, Default)]
@@ -75,21 +115,57 @@ pub struct ServerRegistration {
     pub server: Arc<DlfmServer>,
     /// Hot standbys serving the routed read path, when provisioned.
     pub replication: Option<Arc<ReplicaSet>>,
+    /// Width of the node's routed-read validation lane — the same
+    /// capacity model as the node's front-end pools
+    /// (`DlfmConfig::read_lane_width`). 1 reproduces the paper's
+    /// one-validation-daemon prototype shape.
+    pub read_lane_width: usize,
 }
 
-/// Per-registration read lane: the primary arm of the routed read path is
-/// serialized the same way a replica's is (one validation daemon per node,
-/// the paper's prototype shape), so a10's replica-count sweep compares
-/// equal per-node capacity.
+/// Per-registration read lane: the primary arm of the routed read path
+/// admits at most `width` concurrent validations — the node's modelled
+/// daemon capacity. At width 1 (the default) this is the paper's
+/// prototype shape, serialized exactly like a replica's validation
+/// daemon, so a10's replica-count sweep compares equal per-node capacity;
+/// a wider front end (elastic upcall pool, shared agent executor) raises
+/// the width through `DlfmConfig::read_lane_width`.
 ///
 /// This is a deliberate *model*, not an accident: in-process, every
 /// "node" shares one machine, so without a per-node capacity bound the
 /// group-commit pipeline would batch all concurrent validations on the
 /// primary and replica fan-out could never show its distributed-capacity
 /// win. The lane applies only to the routed read path — the DLFS upcall
-/// path (PR 2's worker pool) is untouched.
-#[derive(Default)]
-struct ReadLane(Mutex<()>);
+/// path (the elastic pool) is untouched.
+struct ReadLane {
+    width: usize,
+    busy: Mutex<usize>,
+    freed: parking_lot::Condvar,
+}
+
+impl ReadLane {
+    fn new(width: usize) -> ReadLane {
+        ReadLane { width: width.max(1), busy: Mutex::new(0), freed: parking_lot::Condvar::new() }
+    }
+
+    fn acquire(self: &Arc<Self>) -> LaneGuard {
+        let mut busy = self.busy.lock();
+        while *busy >= self.width {
+            self.freed.wait(&mut busy);
+        }
+        *busy += 1;
+        LaneGuard(Arc::clone(self))
+    }
+}
+
+/// RAII permit on a [`ReadLane`].
+struct LaneGuard(Arc<ReadLane>);
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        *self.0.busy.lock() -= 1;
+        self.0.freed.notify_one();
+    }
+}
 
 /// Registered DATALINK columns of one table: (index, name, options).
 type TableDlColumns = Vec<(usize, String, DlColumnOptions)>;
@@ -102,6 +178,11 @@ pub struct DataLinksEngine {
     servers: RwLock<HashMap<String, ServerRegistration>>,
     columns: RwLock<HashMap<String, TableDlColumns>>,
     read_lanes: RwLock<HashMap<String, Arc<ReadLane>>>,
+    /// Observed replication lag per server. Keyed separately from the
+    /// registration so the estimate survives failover re-registration —
+    /// the new primary's standbys start from the learned bound, not the
+    /// conservative seed.
+    lag_ewmas: RwLock<HashMap<String, Arc<LagEwma>>>,
     pub stats: EngineStats,
 }
 
@@ -117,6 +198,7 @@ impl DataLinksEngine {
             servers: RwLock::new(HashMap::new()),
             columns: RwLock::new(HashMap::new()),
             read_lanes: RwLock::new(HashMap::new()),
+            lag_ewmas: RwLock::new(HashMap::new()),
             stats: EngineStats::default(),
         });
         engine.load_column_registry()?;
@@ -191,8 +273,17 @@ impl DataLinksEngine {
     /// Re-registering a name replaces the previous registration — failover
     /// swaps the promoted server in this way.
     pub fn register_server(&self, reg: ServerRegistration) {
-        self.read_lanes.write().insert(reg.name.clone(), Arc::new(ReadLane::default()));
+        self.read_lanes
+            .write()
+            .insert(reg.name.clone(), Arc::new(ReadLane::new(reg.read_lane_width)));
+        self.lag_ewmas.write().entry(reg.name.clone()).or_default();
         self.servers.write().insert(reg.name.clone(), reg);
+    }
+
+    /// The adaptive freshness-wait bound currently in force for `server`
+    /// (see [`LagEwma`]); `FRESHNESS_WAIT` when the server is unknown.
+    pub fn freshness_bound(&self, server: &str) -> std::time::Duration {
+        self.lag_ewmas.read().get(server).map(|e| e.bound()).unwrap_or(FRESHNESS_WAIT)
     }
 
     // --- routed read path (replica read routing) -------------------------------
@@ -262,11 +353,20 @@ impl DataLinksEngine {
         };
         // Read-your-writes: a standby that cannot reach the caller's write
         // LSN within the wait window is dropped from this read — the
-        // primary (trivially fresh) serves it instead.
+        // primary (trivially fresh) serves it instead. The window follows
+        // the observed lag (see `LagEwma`): a caught-up set costs readers
+        // the floor, a stalled one backs off to the `FRESHNESS_WAIT`
+        // ceiling — PR 4's fixed behaviour.
         if let (Some(standby), Some(min)) = (&replica, min_lsn) {
-            if standby.wait_applied(min, FRESHNESS_WAIT) {
+            let ewma = self.lag_ewmas.read().get(server).cloned().unwrap_or_default();
+            let bound = ewma.bound();
+            let started = std::time::Instant::now();
+            if standby.wait_applied(min, bound) {
+                ewma.record(started.elapsed());
                 self.stats.freshness_waits.fetch_add(1, Ordering::Relaxed);
             } else {
+                // Saturated observation: the true lag exceeded the bound.
+                ewma.record(bound);
                 self.stats.freshness_fallbacks.fetch_add(1, Ordering::Relaxed);
                 replica = None;
             }
@@ -300,7 +400,7 @@ impl DataLinksEngine {
                 // sweep compares equal per-node work.
                 let kind = {
                     let lane = self.read_lanes.read().get(server).cloned();
-                    let _serial = lane.as_ref().map(|l| l.0.lock());
+                    let _permit = lane.as_ref().map(|l| l.acquire());
                     primary.validate_token(path, token, uid)?
                 };
                 let bytes = if fetch { Some(primary.read_linked(path)?) } else { None };

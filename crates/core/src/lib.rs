@@ -77,7 +77,10 @@ pub mod engine;
 pub mod system;
 
 pub use datalink::{DatalinkUrl, DlColumnOptions, SCHEME};
-pub use engine::{DataLinksEngine, EngineStats, ServerRegistration, COLUMNS_TABLE, META_TABLE};
+pub use engine::{
+    DataLinksEngine, EngineStats, LagEwma, ServerRegistration, COLUMNS_TABLE, FRESHNESS_WAIT,
+    FRESHNESS_WAIT_FLOOR, META_TABLE,
+};
 pub use system::{
     CrashImage, DataLinksSystem, FileServerNode, FileServerSpec, SystemBackup, SystemBuilder,
     SystemRestoreReport,

@@ -56,13 +56,25 @@ pub struct FileServerNode {
     dlfs_cfg: DlfsConfig,
     replicas: usize,
     main: MainDaemon,
-    _upcall: UpcallDaemon,
+    upcall: UpcallDaemon,
 }
 
 impl FileServerNode {
     /// A fresh agent connection (per-database-connection in the paper).
     pub fn connect_agent(&self) -> AgentHandle {
         self.main.connect()
+    }
+
+    /// Live gauges of the node's elastic upcall pool (workers, queue
+    /// depth, growth/shrink/panic counters).
+    pub fn upcall_pool_stats(&self) -> &dl_dlfm::PoolStats {
+        self.upcall.pool_stats()
+    }
+
+    /// The main daemon fronting agent connections (connection counts,
+    /// executor thread gauges).
+    pub fn main_daemon(&self) -> &MainDaemon {
+        &self.main
     }
 }
 
@@ -101,6 +113,17 @@ impl FileServerSpec {
     /// Provisions `n` hot standbys for this file server.
     pub fn replicas(mut self, n: usize) -> FileServerSpec {
         self.replicas = n;
+        self
+    }
+
+    /// Sizes the node's elastic front end in one stroke: the upcall pool
+    /// grows between `min` and `max` workers, and the routed-read
+    /// validation lane follows the same capacity model (width = `min`,
+    /// the capacity the node always has resident).
+    pub fn front_end(mut self, min: usize, max: usize) -> FileServerSpec {
+        self.dlfm.upcall_workers_min = min.max(1);
+        self.dlfm.upcall_workers_max = max.max(min).max(1);
+        self.dlfm.read_lane_width = min.max(1);
         self
     }
 }
@@ -333,6 +356,7 @@ impl DataLinksSystem {
             token_key: part.dlfm_cfg.token_key.clone(),
             server: Arc::clone(&server),
             replication: replication.clone(),
+            read_lane_width: part.dlfm_cfg.read_lane_width,
         });
         Ok((
             FileServerNode {
@@ -348,7 +372,7 @@ impl DataLinksSystem {
                 dlfs_cfg: part.dlfs_cfg,
                 replicas: part.replicas,
                 main,
-                _upcall: upcall,
+                upcall,
             },
             report,
         ))
@@ -462,6 +486,13 @@ impl DataLinksSystem {
     ) -> Result<Vec<u8>, String> {
         let (path, token) = split_embedded_token(token_path)?;
         self.engine.serve_read_fresh(server, path, token, uid, min_lsn)
+    }
+
+    /// The adaptive freshness-wait bound currently in force for `server`
+    /// (see [`crate::engine::LagEwma`]): how long a freshness-token read
+    /// would wait for a lagging standby before rerouting to the primary.
+    pub fn freshness_bound(&self, server: &str) -> Duration {
+        self.engine.freshness_bound(server)
     }
 
     /// Promotes a standby of `server` after a primary crash: the old

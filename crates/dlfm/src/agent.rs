@@ -5,16 +5,28 @@
 //! requesting database agent. All subsequent requests (link/unlink
 //! operations) from the same connection are served by this child agent."
 //!
-//! Each child agent is a thread owning a request channel; the DataLinks
-//! engine holds an [`AgentHandle`] per (connection, file server) and also
-//! enlists it as the host transaction's 2PC participant.
+//! The paper's shape — one thread per connection — collapses under the
+//! "millions of users" north star: N database connections would pin N OS
+//! threads per file server, nearly all of them idle. Since PR 5 the main
+//! daemon instead multiplexes every connection over one **shared agent
+//! executor** (an [`ElasticPool`] bounded by
+//! `DlfmConfig::agent_executor_threads`): an [`AgentHandle`] is a queue
+//! endpoint, not a thread, so 256 connections ride on a handful of
+//! workers. The paper's model survives as the
+//! `DlfmConfig::thread_per_agent` compat knob.
+//!
+//! Each child agent serves link/unlink requests and participates in the
+//! host transaction's 2PC; the DataLinks engine holds an [`AgentHandle`]
+//! per (connection, file server).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 
 use crate::modes::{ControlMode, OnUnlink};
+use crate::pool::{ElasticPool, PoolOptions, PoolStats};
 use crate::server::DlfmServer;
 
 enum AgentRequest {
@@ -45,10 +57,40 @@ enum AgentRequest {
     },
 }
 
+/// Where a handle's requests go: a dedicated child-agent thread
+/// (`thread_per_agent`) or the shared executor pool.
+///
+/// The executor route carries the server handle too: 2PC settlement
+/// (prepare/commit/abort) runs *inline* on the coordinator's thread, never
+/// through the bounded pool. Queueing settlement would deadlock under
+/// contention — link/unlink handlers block on repository row locks until
+/// the lock-holding transaction settles, so a pool saturated with
+/// lock-waiting link requests would leave no worker for the one commit
+/// that releases them (the classic bounded-executor starvation cycle).
+/// Inline settlement matches the close path's `PreparedTxnParticipant`,
+/// which already prepares/commits on the host's committing thread.
+#[derive(Clone)]
+enum AgentRoute {
+    Thread(Sender<AgentRequest>),
+    Executor { pool: Arc<ElasticPool<AgentRequest>>, server: Arc<DlfmServer> },
+}
+
+impl AgentRoute {
+    fn send(&self, req: AgentRequest) -> Result<(), String> {
+        match self {
+            AgentRoute::Thread(tx) => tx.send(req).map_err(|_| "child agent is down".to_string()),
+            AgentRoute::Executor { pool, .. } => {
+                pool.submit(req);
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Handle to a child agent. One per database connection per file server.
 #[derive(Clone)]
 pub struct AgentHandle {
-    tx: Sender<AgentRequest>,
+    route: AgentRoute,
     server_name: String,
 }
 
@@ -63,25 +105,21 @@ impl AgentHandle {
         on_unlink: OnUnlink,
     ) -> Result<(), String> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(AgentRequest::Link {
-                host_txid,
-                path: path.to_string(),
-                mode,
-                recovery,
-                on_unlink,
-                reply,
-            })
-            .map_err(|_| "child agent is down".to_string())?;
+        self.route.send(AgentRequest::Link {
+            host_txid,
+            path: path.to_string(),
+            mode,
+            recovery,
+            on_unlink,
+            reply,
+        })?;
         rx.recv().map_err(|_| "child agent is down".to_string())?
     }
 
     /// Unlinks a file in the context of `host_txid`.
     pub fn unlink(&self, host_txid: u64, path: &str) -> Result<(), String> {
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(AgentRequest::Unlink { host_txid, path: path.to_string(), reply })
-            .map_err(|_| "child agent is down".to_string())?;
+        self.route.send(AgentRequest::Unlink { host_txid, path: path.to_string(), reply })?;
         rx.recv().map_err(|_| "child agent is down".to_string())?
     }
 
@@ -91,91 +129,177 @@ impl AgentHandle {
     }
 }
 
-/// The agent participates in the host transaction's two-phase commit,
-/// forwarding the phases to its thread (the paper's "operations done in
-/// DLFM are treated as a sub-transaction of the host database transaction").
+/// The agent participates in the host transaction's two-phase commit (the
+/// paper's "operations done in DLFM are treated as a sub-transaction of
+/// the host database transaction"). On the thread route the phases forward
+/// to the dedicated agent thread; on the executor route they run inline on
+/// the coordinator's thread — settlement must always make progress even
+/// when every pool worker is blocked on a row lock it is about to release
+/// (see the `AgentRoute` docs).
 impl dl_minidb::Participant for AgentHandle {
     fn prepare(&self, txid: u64) -> Result<(), String> {
+        if let AgentRoute::Executor { server, .. } = &self.route {
+            return server.prepare_host(txid);
+        }
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(AgentRequest::Prepare { host_txid: txid, reply })
-            .map_err(|_| "child agent is down".to_string())?;
+        self.route.send(AgentRequest::Prepare { host_txid: txid, reply })?;
         rx.recv().map_err(|_| "child agent is down".to_string())?
     }
 
     fn commit(&self, txid: u64) {
+        if let AgentRoute::Executor { server, .. } = &self.route {
+            return server.commit_host(txid);
+        }
         let (reply, rx) = bounded(1);
-        if self.tx.send(AgentRequest::Commit { host_txid: txid, reply }).is_ok() {
+        if self.route.send(AgentRequest::Commit { host_txid: txid, reply }).is_ok() {
             let _ = rx.recv();
         }
     }
 
     fn abort(&self, txid: u64) {
+        if let AgentRoute::Executor { server, .. } = &self.route {
+            return server.abort_host(txid);
+        }
         let (reply, rx) = bounded(1);
-        if self.tx.send(AgentRequest::Abort { host_txid: txid, reply }).is_ok() {
+        if self.route.send(AgentRequest::Abort { host_txid: txid, reply }).is_ok() {
             let _ = rx.recv();
         }
     }
 }
 
-/// The main daemon: accepts connections, spawning one child agent each.
+/// The main daemon: accepts connections. With the shared executor (the
+/// default) a connect is a queue registration; with `thread_per_agent` it
+/// spawns the paper's dedicated child-agent thread.
 pub struct MainDaemon {
     server: Arc<DlfmServer>,
+    /// Shared executor, lazily irrelevant in thread-per-agent mode.
+    executor: Option<Arc<ElasticPool<AgentRequest>>>,
     children: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    connections: AtomicUsize,
+}
+
+/// Answers a `Result`-replied agent request through the shared
+/// panic-containment helper ([`crate::pool::deliver_or_rethrow`]): the
+/// caller gets the panic context in-band instead of a dropped reply
+/// channel mis-reporting a healthy executor as "child agent is down". The
+/// panic is then re-thrown — the executor pool counts it and keeps its
+/// worker; a dedicated agent thread dies with it (the paper's child-agent
+/// failure model, now with a labelled reply).
+fn answer(reply: &Sender<Result<(), String>>, label: &str, f: impl FnOnce() -> Result<(), String>) {
+    crate::pool::deliver_or_rethrow(label, f, |outcome| {
+        let result = match outcome {
+            Ok(inner) => inner,
+            Err(msg) => Err(format!("agent {msg}")),
+        };
+        let _ = reply.send(result);
+    });
+}
+
+/// Runs one agent request against the server. Link/unlink/prepare panics
+/// are answered in-band (see [`answer`]); `Commit` panics stay loud by
+/// design (a failed commit after the coordinator's decision is an
+/// invariant break — `DlfmServer::commit_host` panics on purpose), so
+/// their reply sender is dropped mid-unwind and the caller unblocks on
+/// the closed channel.
+fn serve(server: &DlfmServer, req: AgentRequest) {
+    match req {
+        AgentRequest::Link { host_txid, path, mode, recovery, on_unlink, reply } => {
+            answer(&reply, "Link", || {
+                server.link_file(host_txid, &path, mode, recovery, on_unlink)
+            });
+        }
+        AgentRequest::Unlink { host_txid, path, reply } => {
+            answer(&reply, "Unlink", || server.unlink_file(host_txid, &path));
+        }
+        AgentRequest::Prepare { host_txid, reply } => {
+            answer(&reply, "Prepare", || server.prepare_host(host_txid));
+        }
+        AgentRequest::Commit { host_txid, reply } => {
+            server.commit_host(host_txid);
+            let _ = reply.send(());
+        }
+        AgentRequest::Abort { host_txid, reply } => {
+            server.abort_host(host_txid);
+            let _ = reply.send(());
+        }
+    }
 }
 
 impl MainDaemon {
     pub fn new(server: Arc<DlfmServer>) -> MainDaemon {
-        MainDaemon { server, children: parking_lot::Mutex::new(Vec::new()) }
+        let cfg = server.config();
+        let executor = if cfg.thread_per_agent {
+            None
+        } else {
+            let opts = PoolOptions::adaptive(
+                &format!("dlfm-agent-{}", cfg.server_name),
+                1,
+                cfg.agent_executor_threads.max(1),
+            );
+            let srv = Arc::clone(&server);
+            let handler: Arc<dyn Fn(AgentRequest) + Send + Sync> =
+                Arc::new(move |req| serve(&srv, req));
+            Some(Arc::new(ElasticPool::new(opts, handler)))
+        };
+        MainDaemon {
+            server,
+            executor,
+            children: parking_lot::Mutex::new(Vec::new()),
+            connections: AtomicUsize::new(0),
+        }
     }
 
-    /// Handles a connect request from a database agent: spawns a child
-    /// agent thread and returns its handle.
+    /// Handles a connect request from a database agent: registers the
+    /// connection on the shared executor (or, in `thread_per_agent` mode,
+    /// spawns a dedicated child-agent thread) and returns its handle.
     pub fn connect(&self) -> AgentHandle {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        let name = self.server.config().server_name.clone();
+        if let Some(pool) = &self.executor {
+            return AgentHandle {
+                route: AgentRoute::Executor {
+                    pool: Arc::clone(pool),
+                    server: Arc::clone(&self.server),
+                },
+                server_name: name,
+            };
+        }
         let (tx, rx) = unbounded::<AgentRequest>();
         let server = Arc::clone(&self.server);
-        let name = server.config().server_name.clone();
         let handle = std::thread::Builder::new()
             .name(format!("dlfm-agent-{name}"))
             .spawn(move || {
                 while let Ok(req) = rx.recv() {
-                    match req {
-                        AgentRequest::Link {
-                            host_txid,
-                            path,
-                            mode,
-                            recovery,
-                            on_unlink,
-                            reply,
-                        } => {
-                            let _ = reply.send(
-                                server.link_file(host_txid, &path, mode, recovery, on_unlink),
-                            );
-                        }
-                        AgentRequest::Unlink { host_txid, path, reply } => {
-                            let _ = reply.send(server.unlink_file(host_txid, &path));
-                        }
-                        AgentRequest::Prepare { host_txid, reply } => {
-                            let _ = reply.send(server.prepare_host(host_txid));
-                        }
-                        AgentRequest::Commit { host_txid, reply } => {
-                            server.commit_host(host_txid);
-                            let _ = reply.send(());
-                        }
-                        AgentRequest::Abort { host_txid, reply } => {
-                            server.abort_host(host_txid);
-                            let _ = reply.send(());
-                        }
-                    }
+                    serve(&server, req);
                 }
             })
             .expect("spawn child agent");
         self.children.lock().push(handle);
-        AgentHandle { tx, server_name: self.server.config().server_name.clone() }
+        AgentHandle { route: AgentRoute::Thread(tx), server_name: name }
     }
 
-    /// Number of child agents spawned so far.
+    /// Number of agent connections accepted so far (logical child agents).
     pub fn child_count(&self) -> usize {
-        self.children.lock().len()
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// OS threads currently serving agent requests: the executor pool's
+    /// live worker count, or — per-agent — the count of dedicated threads
+    /// still running (a dropped handle closes its channel and the thread
+    /// exits, so exited children are pruned before counting).
+    pub fn executor_threads(&self) -> usize {
+        match &self.executor {
+            Some(pool) => pool.stats().workers(),
+            None => {
+                let mut children = self.children.lock();
+                children.retain(|h| !h.is_finished());
+                children.len()
+            }
+        }
+    }
+
+    /// Shared-executor gauges; `None` in `thread_per_agent` mode.
+    pub fn executor_stats(&self) -> Option<&PoolStats> {
+        self.executor.as_deref().map(|pool| pool.stats())
     }
 }

@@ -13,8 +13,13 @@
 //!   metadata refresh, rollback), and crash recovery.
 //! * [`upcall`] — the upcall daemon servicing DLFS (§2.2) over channels,
 //!   standing in for the kernel↔user-space IPC of the original.
-//! * [`agent`] — the main daemon and per-connection child agents serving
-//!   link/unlink requests from database agents (§2.2).
+//! * [`agent`] — the main daemon and child agents serving link/unlink
+//!   requests from database agents (§2.2), multiplexed over a shared
+//!   executor since PR 5 (one thread per connection survives as the
+//!   `thread_per_agent` compat knob).
+//! * [`pool`] — the elastic worker pool behind both the upcall daemon and
+//!   the agent executor: queue-depth growth, idle shrink, panic
+//!   containment.
 //! * [`archive`] — the versioned archive server with asynchronous archiving
 //!   and database-state-identifier tagging (§4.4).
 //! * [`modes`] — the DATALINK control modes (Table 1 + the new rfd/rdd).
@@ -23,6 +28,7 @@
 pub mod agent;
 pub mod archive;
 pub mod modes;
+pub mod pool;
 pub mod repository;
 pub mod server;
 pub mod token;
@@ -31,6 +37,7 @@ pub mod upcall;
 pub use agent::{AgentHandle, MainDaemon};
 pub use archive::{ArchiveJob, ArchiveStore, Archiver, ContentSource};
 pub use modes::{AccessControl, ControlMode, OnUnlink};
+pub use pool::{AtomicEwma, ElasticPool, PoolOptions, PoolStats};
 pub use repository::{FileEntry, Repository, SyncEntry, UipEntry};
 pub use server::{
     DlfmConfig, DlfmServer, DlfmStats, HostHook, OpenDecision, RecoveryReport, RestoreOutcome,

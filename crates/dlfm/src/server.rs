@@ -48,10 +48,33 @@ pub struct DlfmConfig {
     /// Options for the repository's embedded minidb — notably the commit
     /// pipeline (group commit vs per-commit sync, batch size, delay).
     pub db: dl_minidb::DbOptions,
-    /// Worker threads in the upcall daemon pool. More than one lets
-    /// concurrent opens/closes drive concurrent repository commits (which
-    /// the group-commit pipeline then batches).
-    pub upcall_workers: usize,
+    /// Floor of the elastic upcall daemon pool: workers kept resident even
+    /// when idle. More than one lets concurrent opens/closes drive
+    /// concurrent repository commits (which the group-commit pipeline then
+    /// batches).
+    pub upcall_workers_min: usize,
+    /// Ceiling of the elastic upcall pool: how far a request burst may
+    /// grow the worker count before requests queue. Set equal to
+    /// `upcall_workers_min` for a fixed pool (the PR 2 shape).
+    pub upcall_workers_max: usize,
+    /// Base idle window (milliseconds) after which an above-floor upcall
+    /// worker retires; stretched automatically with observed service time
+    /// (see `crates/dlfm/src/pool.rs`).
+    pub upcall_idle_ms: u64,
+    /// Compat knob: run one OS thread per agent connection (the paper's
+    /// child-agent model) instead of multiplexing connections over the
+    /// shared agent executor.
+    pub thread_per_agent: bool,
+    /// Ceiling of the shared agent executor that serves all agent
+    /// connections when `thread_per_agent` is off. 256 connections
+    /// multiplex over at most this many OS threads.
+    pub agent_executor_threads: usize,
+    /// Concurrent routed-read validations the DataLinks engine may run
+    /// against this node (its per-node `ReadLane` width). The default of 1
+    /// models the paper's one-validation-daemon prototype so replica
+    /// fan-out experiments compare equal per-node capacity; scale it with
+    /// the upcall pool bounds when the front end is provisioned wider.
+    pub read_lane_width: usize,
 }
 
 impl DlfmConfig {
@@ -64,8 +87,28 @@ impl DlfmConfig {
             track_read_sync: true,
             strict_link: false,
             db: dl_minidb::DbOptions::default(),
-            upcall_workers: 8,
+            upcall_workers_min: 2,
+            upcall_workers_max: 64,
+            upcall_idle_ms: 100,
+            thread_per_agent: false,
+            agent_executor_threads: 16,
+            read_lane_width: 1,
         }
+    }
+
+    /// Pins the upcall pool at exactly `n` workers (min == max — the
+    /// PR 2 fixed shape, kept as an operator/ablation convenience).
+    pub fn fixed_upcall_workers(mut self, n: usize) -> DlfmConfig {
+        self.upcall_workers_min = n;
+        self.upcall_workers_max = n;
+        self
+    }
+
+    /// Sets the elastic upcall pool bounds.
+    pub fn upcall_workers(mut self, min: usize, max: usize) -> DlfmConfig {
+        self.upcall_workers_min = min;
+        self.upcall_workers_max = max.max(min);
+        self
     }
 }
 
@@ -725,7 +768,19 @@ impl DlfmServer {
                 self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
                 return OpenDecision::Busy;
             }
-            crate::repository::WriteClaim::NotLinked => return OpenDecision::NotManaged,
+            crate::repository::WriteClaim::NotLinked => {
+                // Unlinked between the caller's lookup and the claim. Keep
+                // the strict NotManaged arms symmetric: register the open.
+                if self.cfg.strict_link {
+                    let _ = self.repo.add_sync(&SyncEntry {
+                        path: entry.path.clone(),
+                        kind: TokenKind::Write,
+                        opener,
+                        uid,
+                    });
+                }
+                return OpenDecision::NotManaged;
+            }
         };
         // §4.4: "any new update request to the file is blocked until the
         // archiving completes." The close path pre-marks the archive before
@@ -769,7 +824,19 @@ impl DlfmServer {
         let now = self.clock.now_ms();
         if entry.mode.read_control() != crate::modes::AccessControl::Dbms {
             // FS-controlled reads never upcall in the fast path; reaching
-            // here means DLFS was configured strictly. Approve as the user.
+            // here means DLFS was configured strictly (e.g. a linked rff
+            // file whose original owner is the DLFM uid). Approve as the
+            // user — but register the open like every other NotManaged
+            // arm, or strict unlink could miss it (DLFS records the
+            // instance and unregisters at close).
+            if self.cfg.strict_link {
+                let _ = self.repo.add_sync(&SyncEntry {
+                    path: entry.path.clone(),
+                    kind: TokenKind::Read,
+                    opener,
+                    uid,
+                });
+            }
             return OpenDecision::NotManaged;
         }
         if !self.repo.check_token_entry(uid, &entry.path, TokenKind::Read, now) {
@@ -964,7 +1031,26 @@ impl DlfmServer {
         }
     }
 
-    /// Close of a strict-link registered open of an unmanaged file.
+    /// strict-link registration of an open (§4.5 future work, implemented
+    /// as an ablation): records the open in the Sync table so link (and,
+    /// for managed files, unlink) can detect it. Registration is pure
+    /// bookkeeping — it must **never** run the open-grant protocol. Routing
+    /// it through [`DlfmServer::open_check`] (the pre-PR 5 bug) either
+    /// acquired a conflict-checked read claim on a managed path that no
+    /// close-notify would release, or silently dropped the registration
+    /// when the grant came back `Busy`/`Rejected` — re-opening exactly the
+    /// window strict mode exists to close.
+    pub fn register_open(&self, path: &str, uid: u32, opener: u64) {
+        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+        let _ = self.repo.add_sync(&SyncEntry {
+            path: path.to_string(),
+            kind: TokenKind::Read,
+            opener,
+            uid,
+        });
+    }
+
+    /// Close of a strict-link registered open.
     pub fn unregister_open(&self, path: &str, opener: u64) {
         let _ = self.repo.remove_sync(path, opener);
         self.bump_epoch();

@@ -3,18 +3,27 @@
 //! files."
 //!
 //! DLFS runs in "the kernel" (our interposition layer); DLFM runs in user
-//! space. Their conversation is IPC — modelled here as a dedicated daemon
-//! thread draining a channel of requests, each carrying a one-shot reply
-//! channel. The round-trip through the channel is the cost the paper's
+//! space. Their conversation is IPC — modelled here as a pool of daemon
+//! threads draining a queue of requests, each carrying a one-shot reply
+//! channel. The round-trip through the queue is the cost the paper's
 //! design works so hard to keep off the read path (§3.2, §4.2), and is what
 //! benches E2/E4/A2/A3 measure.
+//!
+//! Since PR 5 the pool is *elastic* ([`crate::pool::ElasticPool`]): it
+//! grows from `DlfmConfig::upcall_workers_min` toward
+//! `DlfmConfig::upcall_workers_max` when the request backlog outruns the
+//! idle workers, and sheds back to the floor when the burst passes. A
+//! worker that panics mid-dispatch replies `Rejected` with the panic
+//! context and the pool lives on — a poisoned request costs one reply,
+//! never the daemon.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, Sender};
 
+use crate::pool::{ElasticPool, PoolOptions, PoolStats};
 use crate::server::{DlfmServer, OpenDecision};
 use crate::token::TokenKind;
 
@@ -29,7 +38,8 @@ pub enum UpcallRequest {
     CloseNotify { path: String, opener: u64, wrote: bool, size: u64, mtime: u64 },
     /// May `path` be removed or renamed?
     MutationCheck { path: String },
-    /// strict-link mode: register an open of an unmanaged file.
+    /// strict-link mode: register an open (managed or not) so link/unlink
+    /// can detect it. Pure bookkeeping — never acquires open-grant state.
     RegisterOpen { path: String, uid: u32, opener: u64 },
     /// strict-link mode: unregister such an open.
     UnregisterOpen { path: String, opener: u64 },
@@ -46,10 +56,18 @@ pub enum UpcallReply {
 
 type Envelope = (UpcallRequest, Sender<UpcallReply>);
 
+/// Test instrumentation: runs before every dispatch; a panicking hook
+/// simulates a worker dying mid-request (the PR 5 panic-containment
+/// regression tests inject through this).
+pub type FaultInjector = Arc<dyn Fn(&UpcallRequest) + Send + Sync>;
+
 /// Client handle held by DLFS. Cloneable; each call is one IPC round-trip.
+/// Clients keep the worker pool alive even after the [`UpcallDaemon`]
+/// handle is dropped (a crashing node abandons its daemons; a live mount
+/// does not lose its IPC endpoint).
 #[derive(Clone)]
 pub struct UpcallClient {
-    tx: Sender<Envelope>,
+    pool: Arc<ElasticPool<Envelope>>,
     server: Arc<DlfmServer>,
     round_trips: Arc<AtomicU64>,
 }
@@ -58,15 +76,21 @@ impl UpcallClient {
     fn call(&self, req: UpcallRequest) -> UpcallReply {
         self.round_trips.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = bounded(1);
-        if self.tx.send((req, reply_tx)).is_err() {
-            return UpcallReply::Rejected("upcall daemon is down".into());
-        }
+        self.pool.submit((req, reply_tx));
+        // A dropped reply sender no longer means the daemon died: worker
+        // panics are caught and answered in-band, so the only way the
+        // channel closes unreplied is the whole pool shutting down.
         reply_rx.recv().unwrap_or(UpcallReply::Rejected("upcall daemon is down".into()))
     }
 
     /// Number of upcall round-trips made through this client (benches).
     pub fn round_trip_count(&self) -> u64 {
         self.round_trips.load(Ordering::Relaxed)
+    }
+
+    /// Live worker-pool gauges (sizing experiments read these).
+    pub fn pool_stats(&self) -> &PoolStats {
+        self.pool.stats()
     }
 
     pub fn validate_token(&self, path: &str, token: &str, uid: u32) -> Result<TokenKind, String> {
@@ -147,43 +171,83 @@ impl UpcallClient {
     }
 }
 
-/// The daemon: a pool of worker threads draining one request channel.
+/// The daemon: an elastic pool of worker threads draining one request
+/// queue.
 ///
 /// The paper's prototype ran one upcall daemon; a single thread, however,
 /// serializes every token/open/close request and with it every repository
 /// commit — the group-commit pipeline never sees two committers at once.
-/// The pool (sized by `DlfmConfig::upcall_workers`) is the moral equivalent
-/// of the multiple daemon processes a production DLFM runs.
+/// The pool is the moral equivalent of the multiple daemon processes a
+/// production DLFM runs, and since PR 5 its head count follows load
+/// instead of a fixed `upcall_workers` knob (see `crates/dlfm/src/pool.rs`
+/// for the growth/shrink rules).
 pub struct UpcallDaemon {
-    handles: Vec<JoinHandle<()>>,
-    tx: Sender<Envelope>,
+    pool: Arc<ElasticPool<Envelope>>,
 }
 
 impl UpcallDaemon {
-    /// Spawns the daemon pool over `server` (worker count from
-    /// `server.config().upcall_workers`) and returns (daemon, client).
+    /// Spawns the daemon pool over `server` (bounds from
+    /// `server.config().upcall_workers_{min,max}`) and returns
+    /// (daemon, client).
     pub fn spawn(server: Arc<DlfmServer>) -> (UpcallDaemon, UpcallClient) {
-        let workers = server.config().upcall_workers.max(1);
-        let (tx, rx) = unbounded::<Envelope>();
-        let mut handles = Vec::with_capacity(workers);
-        for i in 0..workers {
-            let srv = Arc::clone(&server);
-            let rx = rx.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("dlfm-upcall-{}-{i}", server.config().server_name))
-                    .spawn(move || {
-                        while let Ok((req, reply_tx)) = rx.recv() {
-                            let reply = Self::dispatch(&srv, req);
-                            let _ = reply_tx.send(reply);
+        Self::spawn_with_fault_injector(server, None)
+    }
+
+    /// [`UpcallDaemon::spawn`] with a test-only fault injector invoked
+    /// before every dispatch (a panicking injector exercises the pool's
+    /// panic containment).
+    pub fn spawn_with_fault_injector(
+        server: Arc<DlfmServer>,
+        fault: Option<FaultInjector>,
+    ) -> (UpcallDaemon, UpcallClient) {
+        let cfg = server.config();
+        let opts = PoolOptions::adaptive(
+            &format!("dlfm-upcall-{}", cfg.server_name),
+            cfg.upcall_workers_min,
+            cfg.upcall_workers_max,
+        )
+        .idle_timeout(Duration::from_millis(cfg.upcall_idle_ms.max(1)));
+        let srv = Arc::clone(&server);
+        let handler: Arc<dyn Fn(Envelope) + Send + Sync> =
+            Arc::new(move |(req, reply_tx): Envelope| {
+                // Containment: a panic anywhere in dispatch is caught here
+                // so the waiting client gets an in-band `Rejected` (with
+                // the panic context) instead of a dropped reply channel
+                // mis-reporting a healthy pool as down. The label is a
+                // static discriminant — this closure is the admission hot
+                // path every E2/E4/A2/a12 cycle measures, so it must not
+                // allocate for a message only the rare panic arm emits.
+                let label = match &req {
+                    UpcallRequest::ValidateToken { .. } => "ValidateToken",
+                    UpcallRequest::OpenCheck { .. } => "OpenCheck",
+                    UpcallRequest::CloseNotify { .. } => "CloseNotify",
+                    UpcallRequest::MutationCheck { .. } => "MutationCheck",
+                    UpcallRequest::RegisterOpen { .. } => "RegisterOpen",
+                    UpcallRequest::UnregisterOpen { .. } => "UnregisterOpen",
+                };
+                crate::pool::deliver_or_rethrow(
+                    label,
+                    || {
+                        if let Some(f) = &fault {
+                            f(&req);
                         }
-                    })
-                    .expect("spawn upcall daemon"),
-            );
-        }
-        let client =
-            UpcallClient { tx: tx.clone(), server, round_trips: Arc::new(AtomicU64::new(0)) };
-        (UpcallDaemon { handles, tx }, client)
+                        Self::dispatch(&srv, req)
+                    },
+                    |outcome| {
+                        let reply = outcome.unwrap_or_else(|msg| {
+                            UpcallReply::Rejected(format!("upcall worker {msg}"))
+                        });
+                        let _ = reply_tx.send(reply);
+                    },
+                );
+            });
+        let pool = Arc::new(ElasticPool::new(opts, handler));
+        let client = UpcallClient {
+            pool: Arc::clone(&pool),
+            server,
+            round_trips: Arc::new(AtomicU64::new(0)),
+        };
+        (UpcallDaemon { pool }, client)
     }
 
     fn dispatch(server: &DlfmServer, req: UpcallRequest) -> UpcallReply {
@@ -208,8 +272,14 @@ impl UpcallDaemon {
                 Err(e) => UpcallReply::Rejected(e),
             },
             UpcallRequest::RegisterOpen { path, uid, opener } => {
-                let decision = server.open_check(&path, uid, TokenKind::Read, opener);
-                let _ = decision; // registration only; unmanaged files return NotManaged
+                // Registration is bookkeeping only: record the open so
+                // strict-link can detect it; never run the open-grant
+                // protocol. (The old dispatch routed this through
+                // `open_check`, which on a *managed* path either claimed
+                // conflict-checked sync state no close would release, or —
+                // on a Busy/Rejected decision — dropped the registration
+                // silently, re-opening the §4.5 window for linked files.)
+                server.register_open(&path, uid, opener);
                 UpcallReply::Ok
             }
             UpcallRequest::UnregisterOpen { path, opener } => {
@@ -221,16 +291,20 @@ impl UpcallDaemon {
 
     /// A second client on the same daemon (e.g. one per DLFS mount).
     pub fn client(&self, server: Arc<DlfmServer>) -> UpcallClient {
-        UpcallClient { tx: self.tx.clone(), server, round_trips: Arc::new(AtomicU64::new(0)) }
+        UpcallClient {
+            pool: Arc::clone(&self.pool),
+            server,
+            round_trips: Arc::new(AtomicU64::new(0)),
+        }
     }
-}
 
-impl Drop for UpcallDaemon {
-    fn drop(&mut self) {
-        // The worker threads exit when the last sender (including client
-        // clones) is dropped. Clients may outlive the daemon handle, so the
-        // threads are detached rather than joined — exactly how a crashing
-        // node abandons its daemons.
-        self.handles.clear();
+    /// Live worker-pool gauges.
+    pub fn pool_stats(&self) -> &PoolStats {
+        self.pool.stats()
+    }
+
+    /// Blocks until the queue drains and every worker parks (tests).
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        self.pool.wait_idle(timeout)
     }
 }

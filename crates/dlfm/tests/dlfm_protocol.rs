@@ -756,3 +756,100 @@ fn no_recovery_option_prunes_old_versions() {
     assert_eq!(versions.len(), 1, "only the last committed version is kept");
     assert_eq!(versions[0].0, 3);
 }
+
+// --- PR 5 front-door regressions ------------------------------------------------
+
+/// Regression (PR 5): strict-link registration of an open of a *managed*
+/// file must be recorded. The old dispatch routed `RegisterOpen` through
+/// `open_check`, whose managed arm returned `NotManaged` for FS-controlled
+/// reads without touching the Sync table — so an rff-linked file could be
+/// unlinked while an application held it open, the exact §4.5 window
+/// strict mode exists to close.
+#[test]
+fn strict_register_open_of_managed_file_blocks_unlink() {
+    let mut cfg = DlfmConfig::new("srv1");
+    cfg.strict_link = true;
+    let f = fixture_with(cfg);
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rff);
+
+    let (_daemon, client) = UpcallDaemon::spawn(Arc::clone(&f.server));
+    client.register_open("/data/clip.mpg", ALICE.uid, 41);
+    let err = f.server.unlink_file(2, "/data/clip.mpg").unwrap_err();
+    assert!(err.contains("open"), "registered open must block unlink: {err}");
+    f.server.abort_host(2);
+
+    // Close releases the registration — no leaked opener claims.
+    client.unregister_open("/data/clip.mpg", 41);
+    assert!(f.server.repository().sync_entries("/data/clip.mpg").is_empty());
+    assert!(f.server.repository().get_uip("/data/clip.mpg").is_none());
+    f.server.unlink_file(3, "/data/clip.mpg").unwrap();
+    f.server.prepare_host(3).unwrap();
+    f.server.commit_host(3);
+}
+
+/// Regression (PR 5): registration must not run the open-grant protocol.
+/// The old dispatch claimed a conflict-checked read open on managed paths,
+/// so a registration racing an in-flight write came back `Busy` and was
+/// silently dropped — link/unlink could no longer see that open at all.
+#[test]
+fn strict_register_open_never_runs_the_grant_protocol() {
+    let mut cfg = DlfmConfig::new("srv1");
+    cfg.strict_link = true;
+    let f = fixture_with(cfg);
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+
+    // A granted write is in flight (UIP + write Sync row held by opener 7).
+    let dlfm = approved_write_open(&f, "/data/clip.mpg", 7);
+
+    // Registration while the write is open must still be recorded (the
+    // grant protocol would answer Busy here and record nothing).
+    let (_daemon, client) = UpcallDaemon::spawn(Arc::clone(&f.server));
+    client.register_open("/data/clip.mpg", ALICE.uid, 8);
+    let sync = f.server.repository().sync_entries("/data/clip.mpg");
+    assert_eq!(sync.len(), 2, "write grant + registration must both be visible: {sync:?}");
+
+    // And it releases without disturbing the write's claim.
+    client.unregister_open("/data/clip.mpg", 8);
+    let sync = f.server.repository().sync_entries("/data/clip.mpg");
+    assert_eq!(sync.len(), 1);
+    assert_eq!(sync[0].opener, 7);
+    f.admin.write_file(&dlfm, "/data/clip.mpg", b"v2").unwrap();
+    f.server.close_notify("/data/clip.mpg", 7, true, 2, 99).unwrap();
+    assert!(f.server.repository().sync_entries("/data/clip.mpg").is_empty());
+    assert!(f.server.repository().get_uip("/data/clip.mpg").is_none());
+}
+
+/// Regression (PR 5): a worker panic mid-dispatch must cost that request
+/// only. The old one-shot reply channel was simply dropped on a panic, so
+/// the client reported "upcall daemon is down" against a healthy pool.
+#[test]
+fn upcall_worker_panic_is_contained_and_labelled() {
+    // A single pinned worker makes the claim sharpest: the one worker
+    // must survive its own panic and keep serving.
+    let f = fixture_with(DlfmConfig::new("srv1").fixed_upcall_workers(1));
+    link_committed(&f, 1, "/data/clip.mpg", ControlMode::Rdd);
+    let injector: dl_dlfm::upcall::FaultInjector = Arc::new(|req| {
+        if let dl_dlfm::UpcallRequest::MutationCheck { path } = req {
+            if path == "/data/boom" {
+                panic!("injected worker fault");
+            }
+        }
+    });
+    let (daemon, client) =
+        UpcallDaemon::spawn_with_fault_injector(Arc::clone(&f.server), Some(injector));
+
+    let err = client.mutation_check("/data/boom").unwrap_err();
+    assert!(
+        err.contains("panicked") && err.contains("injected worker fault"),
+        "panic must surface in-band with its context, got: {err}"
+    );
+    assert_ne!(err, "upcall daemon is down", "a healthy pool must not be reported down");
+
+    // The pool survives and keeps serving.
+    assert!(client.mutation_check("/data/clip.mpg").is_err(), "linked file still vetoes");
+    let tok = read_token(&f, "/data/clip.mpg");
+    client.validate_token("/data/clip.mpg", &tok.encode(), ALICE.uid).unwrap();
+    assert!(daemon.wait_idle(std::time::Duration::from_secs(5)));
+    assert_eq!(daemon.pool_stats().panics(), 1);
+    assert!(daemon.pool_stats().workers() >= 1);
+}

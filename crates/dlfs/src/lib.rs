@@ -258,8 +258,36 @@ impl FileSystem for Dlfs {
                 }
                 OpenDecision::NotManaged => {
                     // A file that *happens* to be owned by the DLFM uid but
-                    // is not linked: ordinary permission rules apply.
-                    self.inner.fs_open(cred, ino, flags)
+                    // is not linked (or is linked with FS-controlled
+                    // access): ordinary permission rules apply. When the
+                    // *server* runs strict-link, its open-check already
+                    // registered this open (its NotManaged arms), so
+                    // either the close must unregister it — record the
+                    // instance — or, if the physical open fails and no
+                    // close will ever come, the registration must be
+                    // undone here; leaking it would block link of the path
+                    // forever. Keyed on the server's flag, not this
+                    // layer's `strict`: the registration to balance is the
+                    // server's, and the two knobs are independent.
+                    let server_strict = self.upcall.strict_link();
+                    match self.inner.fs_open(cred, ino, flags) {
+                        Ok(()) => {
+                            if server_strict {
+                                self.record_open(
+                                    ino,
+                                    wants_write,
+                                    OpenInstance { opener, managed: false, registered: true },
+                                );
+                            }
+                            Ok(())
+                        }
+                        Err(e) => {
+                            if server_strict {
+                                self.upcall.unregister_open(&path, opener);
+                            }
+                            Err(e)
+                        }
+                    }
                 }
                 OpenDecision::Rejected(msg) => Err(FsError::Rejected(msg)),
                 OpenDecision::Busy => unreachable!("handled by checked_open"),
@@ -313,8 +341,16 @@ impl FileSystem for Dlfs {
                         Ok(())
                     }
                     // Plain read-only file, not linked: surface the original
-                    // error.
-                    OpenDecision::NotManaged => Err(FsError::AccessDenied),
+                    // error. The open failed, so no close will follow —
+                    // undo the registration a strict-link server's
+                    // open-check made (server flag, same reasoning as the
+                    // full-control NotManaged arm above).
+                    OpenDecision::NotManaged => {
+                        if self.upcall.strict_link() {
+                            self.upcall.unregister_open(&path, opener);
+                        }
+                        Err(FsError::AccessDenied)
+                    }
                     OpenDecision::Rejected(msg) => Err(FsError::Rejected(msg)),
                     OpenDecision::Busy => unreachable!("handled by checked_open"),
                 }

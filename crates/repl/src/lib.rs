@@ -520,12 +520,25 @@ impl Replicator {
         let deadline = Instant::now() + timeout;
         loop {
             if self.lag() == 0 {
-                return true;
+                break;
             }
             if self.ship_once().is_err() || Instant::now() >= deadline {
-                return self.lag() == 0;
+                if self.lag() != 0 {
+                    return false;
+                }
+                break;
             }
         }
+        // Drained — but the round that drained it may still be in flight
+        // on the daemon thread: a standby's applied watermark advances
+        // inside `apply`, *before* `ship_once` publishes its ReplStats
+        // counters. Taking the cursor lock (held for the whole of
+        // `ship_once`) fences that window, so a caller reading stats
+        // right after a successful wait sees the totals for everything
+        // applied. (The a11 full-replay arm flaked exactly here: caught
+        // up with `records_shipped() == 0`.)
+        drop(self.core.cursor.lock());
+        true
     }
 
     /// Signals the daemon to stop and joins it. Idempotent.

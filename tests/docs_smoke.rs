@@ -48,10 +48,15 @@ fn promised_docs_have_their_content() {
                 "Checkpoint & truncation tuning",
                 "Failover",
                 "freshness",
+                "Front-end capacity",
                 "BENCH_a10",
                 "BENCH_a11",
+                "BENCH_a12",
                 "checkpoint_every_bytes",
                 "replication_lag",
+                "upcall_workers_min",
+                "upcall_workers_max",
+                "agent_executor_threads",
             ],
         ),
     ] {

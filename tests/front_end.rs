@@ -1,0 +1,382 @@
+//! Front-end saturation scenarios (PR 5): the elastic upcall pool under
+//! bursty load, agent connect/disconnect storms over the shared executor,
+//! and a property test that interleaves strict-link registration with the
+//! managed open/close protocol asserting no opener claim ever leaks.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use datalinks::core::{DataLinksSystem, DlColumnOptions, FileServerSpec};
+use datalinks::dlfm::{
+    AccessToken, ArchiveStore, ControlMode, DlfmConfig, DlfmServer, OnUnlink, OpenDecision,
+    TokenKind, UpcallDaemon,
+};
+use datalinks::fskit::{Clock, Cred, FileSystem, Lfs, MemFs, SimClock};
+use datalinks::minidb::{Column, ColumnType, Participant, Schema, StorageEnv};
+
+const APP: Cred = Cred { uid: 100, gid: 100 };
+const SRV: &str = "srv";
+
+// ---------------------------------------------------------------------------
+// elastic upcall pool: burst growth, idle shrink
+// ---------------------------------------------------------------------------
+
+/// A standalone DLFM server whose repository pays a deterministic sync
+/// latency, so every token validation parks its upcall worker — the
+/// occupancy that forces pool growth.
+fn slow_repo_server(min: usize, max: usize) -> (Arc<DlfmServer>, Arc<SimClock>) {
+    let clock = Arc::new(SimClock::new(1_000_000));
+    let fs = Arc::new(MemFs::with_clock(clock.clone()));
+    let admin = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
+    admin.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
+    admin.write_file(&APP, "/d/f.bin", b"seed").unwrap();
+    let mut cfg = DlfmConfig::new(SRV).upcall_workers(min, max);
+    cfg.upcall_idle_ms = 15;
+    let server = Arc::new(
+        DlfmServer::new(
+            cfg,
+            fs as Arc<dyn FileSystem>,
+            StorageEnv::mem_with_sync_latency(400_000),
+            Arc::new(ArchiveStore::new()),
+            clock.clone(),
+        )
+        .unwrap(),
+    );
+    (server, clock)
+}
+
+#[test]
+fn upcall_burst_grows_the_pool_then_idles_back_to_the_floor() {
+    let (server, clock) = slow_repo_server(2, 24);
+    let (daemon, client) = UpcallDaemon::spawn(Arc::clone(&server));
+
+    // Burst: 16 threads each validating tokens (every validation commits a
+    // token entry into the slow repository, parking a worker ~400 µs).
+    std::thread::scope(|scope| {
+        for t in 0..16 {
+            let client = client.clone();
+            let key = server.config().token_key.clone();
+            let now = clock.now_ms();
+            scope.spawn(move || {
+                for k in 0..8 {
+                    let tok = AccessToken::generate(
+                        &key,
+                        SRV,
+                        "/d/f.bin",
+                        TokenKind::Read,
+                        now + 60_000 + (t * 100 + k) as u64,
+                    );
+                    client.validate_token("/d/f.bin", &tok.encode(), APP.uid).unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = daemon.pool_stats();
+    assert!(
+        stats.peak_workers() > 2,
+        "a 16-client burst must grow the pool past its floor (peaked at {})",
+        stats.peak_workers()
+    );
+    assert!(stats.grows() > 0);
+
+    // Idle: the burst is over; the pool must shed back to the floor.
+    assert!(daemon.wait_idle(Duration::from_secs(5)));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while daemon.pool_stats().workers() > 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(daemon.pool_stats().workers(), 2, "idle pool must return to upcall_workers_min");
+    assert!(daemon.pool_stats().retires() > 0);
+
+    // And it still serves after shrinking.
+    assert!(client.mutation_check("/d/f.bin").is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// shared agent executor: churn storms, thread bounds
+// ---------------------------------------------------------------------------
+
+fn system() -> DataLinksSystem {
+    let spec = FileServerSpec::new(SRV);
+    let sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_000_000)))
+        .file_server_with(spec)
+        .build()
+        .unwrap();
+    let raw = sys.raw_fs(SRV).unwrap();
+    raw.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
+    sys.create_table(
+        Schema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::nullable("body", ColumnType::DataLink),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    sys.define_datalink_column("t", "body", DlColumnOptions::new(ControlMode::Rff)).unwrap();
+    sys
+}
+
+#[test]
+fn agent_churn_storm_runs_on_a_bounded_executor() {
+    let sys = system();
+    let raw = sys.raw_fs(SRV).unwrap();
+    let node = sys.node(SRV).unwrap();
+    const STORMERS: usize = 8;
+    const ROUNDS: usize = 12;
+    for t in 0..STORMERS {
+        for r in 0..ROUNDS {
+            raw.write_file(&APP, &format!("/d/s{t}r{r}.bin"), b"x").unwrap();
+        }
+    }
+
+    // Connect/disconnect storm: every round opens a fresh connection,
+    // drives a full link + 2PC + unlink cycle, and drops the handle.
+    std::thread::scope(|scope| {
+        for t in 0..STORMERS {
+            let node = &node;
+            scope.spawn(move || {
+                for r in 0..ROUNDS {
+                    let agent = node.connect_agent();
+                    let path = format!("/d/s{t}r{r}.bin");
+                    let link_tx = 500_000 + (t * ROUNDS + r) as u64 * 2;
+                    agent.link(link_tx, &path, ControlMode::Rff, true, OnUnlink::Restore).unwrap();
+                    agent.prepare(link_tx).unwrap();
+                    agent.commit(link_tx);
+                    let unlink_tx = link_tx + 1;
+                    agent.unlink(unlink_tx, &path).unwrap();
+                    agent.prepare(unlink_tx).unwrap();
+                    agent.commit(unlink_tx);
+                    // handle drops here: disconnect
+                }
+            });
+        }
+    });
+
+    // Every churned link was cleanly unlinked — no residue in the repo.
+    assert!(node.server.repository().list_files().is_empty());
+    // One connection per round (plus the engine's own), far fewer threads.
+    let main = node.main_daemon();
+    assert_eq!(main.child_count(), STORMERS * ROUNDS + 1);
+    let stats = main.executor_stats().expect("shared executor is the default");
+    assert!(
+        stats.peak_workers() <= node.server.config().agent_executor_threads,
+        "executor must never exceed its bound (peaked at {})",
+        stats.peak_workers()
+    );
+}
+
+#[test]
+fn many_idle_connections_cost_no_threads() {
+    let sys = system();
+    let node = sys.node(SRV).unwrap();
+    let handles: Vec<_> = (0..256).map(|_| node.connect_agent()).collect();
+    assert_eq!(node.main_daemon().child_count(), 257);
+    assert!(
+        node.main_daemon().executor_threads() < 64,
+        "256 idle connections must not pin 256 OS threads"
+    );
+    // Connections are live endpoints, not dead weight.
+    let raw = sys.raw_fs(SRV).unwrap();
+    raw.write_file(&APP, "/d/one.bin", b"x").unwrap();
+    let agent = &handles[200];
+    agent.link(900_001, "/d/one.bin", ControlMode::Rff, true, OnUnlink::Restore).unwrap();
+    agent.prepare(900_001).unwrap();
+    agent.commit(900_001);
+    assert!(node.server.repository().get_file("/d/one.bin").is_some());
+}
+
+/// Regression (PR 5 review): link/unlink handlers block on repository row
+/// locks until the holding transaction settles, so 2PC settlement must
+/// run inline on the coordinator's thread — queued behind a bounded pool
+/// full of lock-waiting link requests, the one commit that would release
+/// them all starves and every connection hangs. A 2-worker executor with
+/// 8 threads fighting over one path deadlocked before the fix; now it
+/// must drain.
+#[test]
+fn contended_same_path_churn_cannot_deadlock_the_bounded_executor() {
+    let mut spec = FileServerSpec::new(SRV);
+    spec.dlfm.agent_executor_threads = 2;
+    let sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_000_000)))
+        .file_server_with(spec)
+        .build()
+        .unwrap();
+    let raw = sys.raw_fs(SRV).unwrap();
+    raw.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
+    raw.write_file(&APP, "/d/hot.bin", b"x").unwrap();
+    let node = sys.node(SRV).unwrap();
+
+    let linked = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let node = &node;
+            let linked = &linked;
+            scope.spawn(move || {
+                for r in 0..6usize {
+                    let agent = node.connect_agent();
+                    let txid = 700_000 + (t * 100 + r) as u64 * 2;
+                    match agent.link(txid, "/d/hot.bin", ControlMode::Rff, true, OnUnlink::Restore)
+                    {
+                        Ok(()) => {
+                            agent.prepare(txid).unwrap();
+                            agent.commit(txid);
+                            linked.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let untx = txid + 1;
+                            agent.unlink(untx, "/d/hot.bin").unwrap();
+                            agent.prepare(untx).unwrap();
+                            agent.commit(untx);
+                        }
+                        // Lost the race: someone else holds the link.
+                        Err(_) => agent.abort(txid),
+                    }
+                }
+            });
+        }
+    });
+    assert!(linked.load(std::sync::atomic::Ordering::Relaxed) > 0, "some links must win");
+    assert!(node.server.repository().list_files().is_empty(), "every win was unlinked");
+}
+
+#[test]
+fn thread_per_agent_compat_knob_still_spawns_dedicated_threads() {
+    let mut spec = FileServerSpec::new(SRV);
+    spec.dlfm.thread_per_agent = true;
+    let sys = DataLinksSystem::builder().file_server_with(spec).build().unwrap();
+    let node = sys.node(SRV).unwrap();
+    assert!(node.main_daemon().executor_stats().is_none());
+    let before = node.main_daemon().executor_threads();
+    let _a = node.connect_agent();
+    let _b = node.connect_agent();
+    assert_eq!(node.main_daemon().executor_threads(), before + 2);
+}
+
+// ---------------------------------------------------------------------------
+// property: strict registration interleaved with managed open/close never
+// leaks opener claims
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FrontOp {
+    /// strict-link registration of opener `i` (plain open through DLFS).
+    Register(u8),
+    /// unregister opener `i` if registered.
+    Unregister(u8),
+    /// managed write open attempt by opener `i` (token primed).
+    OpenWrite(u8),
+    /// close opener `i`'s write descriptor if granted.
+    CloseWrite(u8),
+}
+
+fn front_op() -> impl Strategy<Value = FrontOp> {
+    prop_oneof![
+        (0u8..6).prop_map(FrontOp::Register),
+        (0u8..6).prop_map(FrontOp::Unregister),
+        (0u8..6).prop_map(FrontOp::OpenWrite),
+        (0u8..6).prop_map(FrontOp::CloseWrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Any interleaving of strict-link register/unregister with managed
+    /// write open/close, followed by the matching releases, leaves the
+    /// repository with zero Sync rows and zero UIP entries — no opener
+    /// claim survives its descriptor.
+    #[test]
+    fn interleaved_register_and_open_close_leak_nothing(
+        ops in proptest::collection::vec(front_op(), 1..24)
+    ) {
+        let clock = Arc::new(SimClock::new(1_000_000));
+        let fs = Arc::new(MemFs::with_clock(clock.clone()));
+        let admin = Lfs::new(fs.clone() as Arc<dyn FileSystem>);
+        admin.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
+        admin.write_file(&APP, "/d/f.bin", b"seed").unwrap();
+        let mut cfg = DlfmConfig::new(SRV);
+        cfg.strict_link = true;
+        let server = Arc::new(DlfmServer::new(
+            cfg,
+            fs as Arc<dyn FileSystem>,
+            StorageEnv::mem(),
+            Arc::new(ArchiveStore::new()),
+            clock.clone(),
+        ).unwrap());
+        server.link_file(1, "/d/f.bin", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+        server.prepare_host(1).unwrap();
+        server.commit_host(1);
+
+        // Openers 0..6 of the registration flavour use ids 100+i; write
+        // openers use 200+i — mirrors DLFS's unique opener allocation.
+        let mut registered = [false; 6];
+        let mut writing = [false; 6];
+        for op in &ops {
+            match *op {
+                FrontOp::Register(i) => {
+                    if !registered[i as usize] {
+                        server.register_open("/d/f.bin", APP.uid, 100 + i as u64);
+                        registered[i as usize] = true;
+                    }
+                }
+                FrontOp::Unregister(i) => {
+                    if registered[i as usize] {
+                        server.unregister_open("/d/f.bin", 100 + i as u64);
+                        registered[i as usize] = false;
+                    }
+                }
+                FrontOp::OpenWrite(i) => {
+                    if writing[i as usize] {
+                        continue;
+                    }
+                    let tok = AccessToken::generate(
+                        &server.config().token_key,
+                        SRV,
+                        "/d/f.bin",
+                        TokenKind::Write,
+                        clock.now_ms() + 60_000,
+                    );
+                    server.validate_token("/d/f.bin", &tok.encode(), APP.uid).unwrap();
+                    match server.open_check("/d/f.bin", APP.uid, TokenKind::Write, 200 + i as u64) {
+                        OpenDecision::Approved { .. } => writing[i as usize] = true,
+                        // Busy against another writer (or a registration
+                        // racing in full-control mode) is legal; the claim
+                        // must then leave no residue — checked at the end.
+                        OpenDecision::Busy => {}
+                        other => prop_assert!(false, "unexpected decision {other:?}"),
+                    }
+                }
+                FrontOp::CloseWrite(i) => {
+                    if writing[i as usize] {
+                        server
+                            .close_notify("/d/f.bin", 200 + i as u64, false, 4, clock.now_ms())
+                            .unwrap();
+                        writing[i as usize] = false;
+                    }
+                }
+            }
+        }
+        // Release everything still open, as DLFS's close path would.
+        for i in 0..6u8 {
+            if writing[i as usize] {
+                server.close_notify("/d/f.bin", 200 + i as u64, false, 4, clock.now_ms()).unwrap();
+            }
+            if registered[i as usize] {
+                server.unregister_open("/d/f.bin", 100 + i as u64);
+            }
+        }
+        let sync = server.repository().sync_entries("/d/f.bin");
+        prop_assert!(sync.is_empty(), "leaked opener claims: {sync:?}");
+        prop_assert!(server.repository().get_uip("/d/f.bin").is_none(), "leaked UIP entry");
+        // The file is fully releasable: unlink now succeeds.
+        server.unlink_file(2, "/d/f.bin").unwrap();
+        server.prepare_host(2).unwrap();
+        server.commit_host(2);
+    }
+}

@@ -421,3 +421,57 @@ fn writes_stay_on_the_primary_while_reads_fan_out() {
     let tp = read_token_path(&sys, 0);
     assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"writer round 4");
 }
+
+// --- PR 5: adaptive freshness wait ---------------------------------------------
+
+#[test]
+fn freshness_bound_adapts_down_on_a_healthy_set_and_backs_off_when_stalled() {
+    use datalinks::core::{FRESHNESS_WAIT, FRESHNESS_WAIT_FLOOR};
+
+    let sys = build(1, 1);
+    write_once(&sys, 0, b"v2");
+    assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
+
+    // The bound starts at the conservative PR 4 ceiling.
+    assert_eq!(sys.freshness_bound(SRV), FRESHNESS_WAIT);
+
+    // A run of healthy freshness reads (standby caught up, waits ~0)
+    // drags the EWMA — and with it the bound — down toward the floor.
+    let token = sys.freshness_token(SRV).unwrap();
+    for _ in 0..40 {
+        let fresh = sys.serve_read_fresh(SRV, &read_token_path(&sys, 0), APP.uid, token).unwrap();
+        assert_eq!(fresh, b"v2");
+    }
+    let healthy_bound = sys.freshness_bound(SRV);
+    assert!(
+        healthy_bound < FRESHNESS_WAIT / 4,
+        "bound must adapt down from the 25 ms ceiling on a healthy set, got {healthy_bound:?}"
+    );
+    assert!(healthy_bound >= FRESHNESS_WAIT_FLOOR);
+
+    // Stall the set: read-your-writes must still hold (reads fall back to
+    // the primary within the *small* learned bound)...
+    let set = sys.node(SRV).unwrap().replication.clone().unwrap();
+    set.set_paused(true);
+    write_once(&sys, 0, b"v3");
+    let token = sys.freshness_token(SRV).unwrap();
+    let started = std::time::Instant::now();
+    let fresh = sys.serve_read_fresh(SRV, &read_token_path(&sys, 0), APP.uid, token).unwrap();
+    assert_eq!(fresh, b"v3", "read-your-writes holds through the adaptive bound");
+    assert!(
+        started.elapsed() < FRESHNESS_WAIT * 4,
+        "a healthy-trained bound must fail over to the primary quickly"
+    );
+
+    // ...and repeated timeouts teach the bound to back off toward the
+    // ceiling again (never past it).
+    for _ in 0..40 {
+        let _ = sys.serve_read_fresh(SRV, &read_token_path(&sys, 0), APP.uid, token).unwrap();
+    }
+    let stalled_bound = sys.freshness_bound(SRV);
+    assert!(stalled_bound > healthy_bound, "persistent lag must raise the bound");
+    assert!(stalled_bound <= FRESHNESS_WAIT);
+
+    set.set_paused(false);
+    assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
+}
