@@ -35,20 +35,18 @@ cargo bench -p dl-bench --no-run --quiet
 step "cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-# Regression tooling can't rot: run the commit-throughput, replication,
-# checkpoint-shipping and front-end experiments with --json, then
-# self-compare the just-written trajectories (must be zero regressions,
-# exit 0). The a10 run doubles as the replication smoke — its runner
-# *asserts* that the lag drains to zero and that failover preserves the
-# repository's link state — a11 doubles as the checkpoint-shipping smoke
-# (bounded WALs under a retention budget; delta catch-up ships a fraction
-# of the full-replay records), and a12 doubles as the front-end smoke: it
-# asserts the adaptive upcall pool grows past the fixed-8 head count under
-# burst, meets or beats its throughput, sheds back to the floor, and that
-# the shared agent executor serves 256 connections on <64 OS threads. A
-# broken pipeline fails this step outright. Quick mode stays on the debug
+# Regression tooling can't rot: run every shipped scenario through the
+# lab (the declarative successor of the bespoke a9-a12 runners;
+# EXPERIMENTS.md "Writing a scenario"). Each scenario declares its own
+# assertions — a9 the commit-throughput speedups, a10 lag-drain +
+# failover link preservation, a11 bounded WALs + delta catch-up, a12 the
+# adaptive upcall pool and shared agent executor — and the fault
+# scenarios cover crash-failover, standby stalls under freshness reads,
+# link-churn storms and upcall-worker kills. The lab exits non-zero on
+# any failed assertion, then the just-written BENCH_*.json self-compare
+# keeps the trajectory pipeline honest. Quick mode stays on the debug
 # profile to avoid a release build it otherwise skips.
-step "report --json (a9 a10 a11 a12 incl. replication/checkpoint/front-end smokes) + --compare self-smoke"
+step "lab --quick scenarios/*.jsonl (declared assertions) + report --compare self-smoke"
 profile_flag=""
 if [[ "${1:-}" != "quick" ]]; then
   profile_flag="--release"
@@ -56,8 +54,8 @@ fi
 bench_dir=$(mktemp -d)
 trap 'rm -rf "$bench_dir"' EXIT
 # shellcheck disable=SC2086  # $profile_flag is intentionally word-split
-cargo run -p dl-bench $profile_flag --quiet --bin report -- \
-  a9 a10 a11 a12 --quick --json --json-dir "$bench_dir" > /dev/null
+cargo run -p dl-bench $profile_flag --quiet --bin lab -- \
+  --quick --json-dir "$bench_dir" scenarios/*.jsonl > /dev/null
 cargo run -p dl-bench $profile_flag --quiet --bin report -- \
   --compare "$bench_dir" --current "$bench_dir"
 

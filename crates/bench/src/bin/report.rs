@@ -11,6 +11,11 @@
 //! `BENCH_<id>.json` trajectory file under `bench-results/` (override the
 //! directory with `--json-dir <dir>`); see EXPERIMENTS.md.
 //!
+//! The system-level experiments (the former a9–a12 runners) now live in
+//! the scenario lab: `cargo run -p dl-bench --bin lab -- scenarios/*.jsonl`
+//! emits the same `BENCH_a9..a12.json` trajectories, compatible with this
+//! binary's `--compare` history.
+//!
 //! Regression mode:
 //!
 //! ```text
@@ -208,26 +213,6 @@ fn main() {
     if want("a8") {
         emit(exp::a8_strict_link(iters));
     }
-    if want("a9") {
-        let (commits, cycles) = if quick { (15, 3) } else { (50, 8) };
-        emit(exp::a9_commit_throughput(commits, cycles, 100_000));
-    }
-    if want("a10") {
-        let (readers, reads) = if quick { (4, 10) } else { (8, 40) };
-        emit(exp::a10_replication(readers, reads, 100_000));
-    }
-    if want("a11") {
-        let updates = if quick { 400 } else { 2000 };
-        emit(exp::a11_checkpoint_shipping(updates, if quick { 0 } else { 20_000 }));
-    }
-    if want("a12") {
-        let (cycles, agents) = if quick { (10, 256) } else { (30, 256) };
-        // 1 ms device sync: the admission path is then occupancy-bound
-        // (workers parked in fsync), so pool head count — not the host
-        // machine's core count — decides throughput deterministically.
-        emit(exp::a12_front_end(2, 32, cycles, agents, 1_000_000));
-    }
-
     if want("appendix") || filter.is_empty() {
         let mut rows = Vec::new();
         for mode in
@@ -243,7 +228,7 @@ fn main() {
             ]);
         }
         emit(exp::Table {
-            id: "appendix",
+            id: "appendix".into(),
             title: "read-open latency distribution by mode".to_string(),
             header: vec!["mode".into(), "p50".into(), "p99".into(), "max".into()],
             rows,

@@ -8,19 +8,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dl_baselines::{CauManager, CicoManager, MergePolicy};
-use dl_core::{ControlMode, DataLinksSystem, TokenKind};
+use dl_core::{ControlMode, TokenKind};
 use dl_fskit::memfs::IoModel;
 use dl_fskit::{Cred, FileSystem, Lfs, MemFs, OpenOptions};
-use dl_minidb::{Column, ColumnType, Database, DbOptions, Schema, StorageEnv, Value, WalOptions};
+use dl_minidb::{Database, StorageEnv, Value};
 
 use crate::{
-    fixture, fmt_ns, make_content, percentile, run_threads, time_ns, time_once, Fixture,
-    FixtureOptions, APP, SRV, TABLE,
+    fixture, fmt_ns, make_content, percentile, run_threads, time_ns, Fixture, FixtureOptions, APP,
+    SRV, TABLE,
 };
 
 /// A printable experiment result.
 pub struct Table {
-    pub id: &'static str,
+    pub id: String,
     pub title: String,
     pub header: Vec<String>,
     pub rows: Vec<Vec<String>>,
@@ -87,7 +87,7 @@ impl Table {
         let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
         format!(
             "{{\"id\":\"{}\",\"title\":\"{}\",\"header\":{},\"rows\":[{}],\"notes\":{}}}",
-            esc(self.id),
+            esc(&self.id),
             esc(&self.title),
             arr(&self.header),
             rows.join(","),
@@ -164,7 +164,7 @@ pub fn t1_control_modes() -> Table {
         ]);
     }
     Table {
-        id: "T1",
+        id: "T1".into(),
         title: "control-mode semantics (observed behaviour; paper Table 1 + new rfd/rdd)".into(),
         header: [
             "mode",
@@ -204,7 +204,7 @@ pub fn e1_select_datalink(iters: u64) -> Table {
             .expect("select+token");
     });
     Table {
-        id: "E1",
+        id: "E1".into(),
         title: "DATALINK column retrieval at the host DB (paper §3.2: <3 ms incl. token)".into(),
         header: vec![s("operation"), s("ns/op"), s("time")],
         rows: vec![
@@ -247,7 +247,7 @@ pub fn e2_open_close_overhead(iters: u64) -> Table {
         f.managed_read(0);
     });
     Table {
-        id: "E2",
+        id: "E2".into(),
         title: "open+read+close of a 1 KiB file: DLFS+token vs plain (paper §3.2: ~1 ms added)".into(),
         header: vec![s("path"), s("ns/cycle"), s("time"), s("overhead")],
         rows: vec![
@@ -295,7 +295,7 @@ pub fn e3_read_overhead_sweep(iters: u64, with_io: bool) -> Table {
         ]);
     }
     Table {
-        id: "E3",
+        id: "E3".into(),
         title: format!(
             "full-file read overhead vs size ({}) — paper §3.2: <1% CPU+I/O, ~3% CPU-only at 1MB",
             if with_io { "CPU+I/O: disk-like model" } else { "CPU only" }
@@ -345,7 +345,7 @@ pub fn e4_open_write_modes(iters: u64) -> Table {
         ]);
     }
     Table {
-        id: "E4",
+        id: "E4".into(),
         title: "open-for-write + close latency by control mode (paper §5: minor difference; \
                 update-status maintenance 'insignificant')"
             .into(),
@@ -432,7 +432,7 @@ pub fn a1_disciplines(writers: usize, updates_per_writer: usize) -> Table {
     let total = (writers * updates_per_writer) as f64;
     let thr = |d: std::time::Duration| total / d.as_secs_f64();
     Table {
-        id: "A1",
+        id: "A1".into(),
         title: format!(
             "update disciplines, {writers} writers x {updates_per_writer} updates of one file (§3)"
         ),
@@ -502,7 +502,7 @@ pub fn a2_txn_boundary(writes_per_open: &[usize]) -> Table {
         rows.push(vec![s(n), s(actual), s(actual as usize + n), fmt_ns(upcall_ns * n as f64)]);
     }
     Table {
-        id: "A2",
+        id: "A2".into(),
         title: "transaction boundary ablation (§3.1): upcalls per update session".into(),
         header: vec![
             s("writes per open"),
@@ -551,7 +551,7 @@ pub fn a3_read_path(iters: u64) -> Table {
         ]);
     }
     Table {
-        id: "A3",
+        id: "A3".into(),
         title: "read-open cost: rfd (FS-controlled reads) vs rdd (DBMS-controlled) — §4.2".into(),
         header: vec![s("mode"), s("ns/open+close"), s("time"), s("upcalls/open")],
         rows,
@@ -595,7 +595,7 @@ pub fn a4_sync_table_cost(iters: u64) -> Table {
         ]);
     }
     Table {
-        id: "A4",
+        id: "A4".into(),
         title: "Sync-table read tracking (§4.5: 'two extra database update operations and one \
                 extra upcall for every request that opens file for read')"
             .into(),
@@ -644,7 +644,7 @@ pub fn a5_archive_async(sizes_kib: &[usize], iters: u64) -> Table {
         rows.push(cells);
     }
     Table {
-        id: "A5",
+        id: "A5".into(),
         title: "archiving policy (§4.4): close() latency, async (paper) vs sync (ablation)".into(),
         header: vec![s("file size"), s("close, async archive"), s("close, sync archive")],
         rows,
@@ -685,7 +685,7 @@ pub fn a6_crash_atomicity(rounds: usize) -> Table {
         survived += 1;
     }
     Table {
-        id: "A6",
+        id: "A6".into(),
         title: "atomicity: crash mid-update always restores the last committed version (§4.2)"
             .into(),
         header: vec![s("crash rounds"), s("recovered"), s("content == last committed")],
@@ -728,7 +728,7 @@ pub fn a7_point_in_time(versions: usize) -> Table {
         sys = restored;
     }
     Table {
-        id: "A7",
+        id: "A7".into(),
         title: "coordinated point-in-time restore: file content matches restored metadata (§4.4)"
             .into(),
         header: vec![
@@ -773,659 +773,13 @@ pub fn a8_strict_link(iters: u64) -> Table {
         ]);
     }
     Table {
-        id: "A8",
+        id: "A8".into(),
         title: "closing the §4.5 link window: per-open cost of registering *unlinked* opens".into(),
         header: vec![s("configuration"), s("ns/open+close"), s("time"), s("upcalls/open")],
         rows,
         notes: vec![
             "the paper rejects this ('undesirable for performance reasons') and leaves it as \
              future work; the measured cost quantifies why"
-                .into(),
-        ],
-    }
-}
-
-// ===========================================================================
-// a9 — group-commit throughput (this repo's commit pipeline, not the paper)
-// ===========================================================================
-
-/// Committed txns/sec of the bare database: `threads` committers each run
-/// `commits` single-row insert transactions against a WAL device with the
-/// given deterministic sync latency.
-fn bare_db_commit_rate(
-    threads: usize,
-    commits: usize,
-    sync_latency_ns: u64,
-    wal: WalOptions,
-) -> f64 {
-    let env = StorageEnv::mem_with_sync_latency(sync_latency_ns);
-    let db = Database::open_with(env, DbOptions { wal, ..Default::default() }).expect("db");
-    db.create_table(
-        Schema::new(
-            "t",
-            vec![Column::new("id", ColumnType::Int), Column::new("v", ColumnType::Int)],
-            "id",
-        )
-        .expect("schema"),
-    )
-    .expect("create table");
-    let elapsed = run_threads(threads, |t| {
-        for k in 0..commits {
-            let mut tx = db.begin();
-            tx.insert("t", vec![Value::Int((t * commits + k) as i64), Value::Int(1)])
-                .expect("insert");
-            tx.commit().expect("commit");
-        }
-    });
-    assert_eq!(db.count("t").expect("count"), threads * commits);
-    (threads * commits) as f64 / elapsed.as_secs_f64()
-}
-
-/// Committed open/write/close cycles/sec through the full DataLinks stack:
-/// each thread updates its own linked file; every cycle drives several
-/// repository transactions plus the 2PC host commit, all over WAL devices
-/// with the given sync latency.
-fn stack_commit_rate(threads: usize, cycles: usize, sync_latency_ns: u64, wal: WalOptions) -> f64 {
-    let f = fixture(FixtureOptions {
-        n_files: threads,
-        file_size: 1024,
-        sync_archive: true,
-        db: DbOptions { wal, ..Default::default() },
-        db_sync_latency_ns: sync_latency_ns,
-        ..Default::default()
-    });
-    let content = make_content(1024);
-    let elapsed = run_threads(threads, |t| {
-        for _ in 0..cycles {
-            f.managed_update_no_wait(t, &content);
-        }
-    });
-    (threads * cycles) as f64 / elapsed.as_secs_f64()
-}
-
-/// The commit-throughput experiment for the group-commit WAL pipeline:
-/// committer threads × {per-commit sync, group commit}, over the bare
-/// database and over the full open=begin/close=commit stack. The sync
-/// latency knob (`MemDevice::with_sync_latency_ns`) makes the win
-/// deterministic: group commit collapses N concurrent syncs into ~1.
-pub fn a9_commit_throughput(commits: usize, cycles: usize, sync_latency_ns: u64) -> Table {
-    let per_commit = WalOptions::per_commit_sync();
-    let mut rows = Vec::new();
-    for threads in [1usize, 2, 4, 8, 16] {
-        // The group arm self-tunes its gather window to the committer
-        // count (`WalOptions::tuned_for`): zero delay when a batch can't
-        // form, a bounded window once followers exist to collect.
-        let grouped = WalOptions::tuned_for(threads);
-        let bare_per = bare_db_commit_rate(threads, commits, sync_latency_ns, per_commit);
-        let bare_grp = bare_db_commit_rate(threads, commits, sync_latency_ns, grouped);
-        let stack_per = stack_commit_rate(threads, cycles, sync_latency_ns, per_commit);
-        let stack_grp = stack_commit_rate(threads, cycles, sync_latency_ns, grouped);
-        rows.push(vec![
-            s(threads),
-            s(format!("{bare_per:.0}")),
-            s(format!("{bare_grp:.0}")),
-            s(format!("{:.2}x", bare_grp / bare_per)),
-            s(format!("{stack_per:.0}")),
-            s(format!("{stack_grp:.0}")),
-            s(format!("{:.2}x", stack_grp / stack_per)),
-        ]);
-    }
-    Table {
-        id: "a9",
-        title: format!(
-            "commit throughput, per-commit sync vs group commit \
-             ({commits} txns/thread bare, {cycles} cycles/thread stack, \
-             {} µs device sync)",
-            sync_latency_ns / 1000
-        ),
-        header: vec![
-            s("threads"),
-            s("bare DB commit-sync tx/s"),
-            s("bare DB group tx/s"),
-            s("bare speedup"),
-            s("stack commit-sync cyc/s"),
-            s("stack group cyc/s"),
-            s("stack speedup"),
-        ],
-        rows,
-        notes: vec![
-            "bare DB: single-row insert transactions; stack: full token/open/write/close \
-             update cycles (several repository txns + the 2PC host commit each)"
-                .into(),
-            "expected shape: ~1x at 1 thread (identical log bytes), group commit pulling \
-             ahead from 4 threads as concurrent syncs collapse into one"
-                .into(),
-            "group arm uses WalOptions::tuned_for(threads): commit_delay_us 0 at <=2 \
-             committers, then ~20 µs/committer capped at 200 µs"
-                .into(),
-        ],
-    }
-}
-
-// ===========================================================================
-// a10 — WAL-shipping replication: replica reads, lag, failover (this repo)
-// ===========================================================================
-
-/// The replication experiment: read-token validation + replica-read
-/// throughput vs replica count, replication-lag drain after a write burst,
-/// and failover time with a link-state preservation check. Doubles as the
-/// CI smoke: the lag *must* drain to zero and failover *must* preserve the
-/// repository's link state — both are asserted, not just reported.
-pub fn a10_replication(readers: usize, reads_per: usize, sync_latency_ns: u64) -> Table {
-    const N_FILES: usize = 4;
-    let content = make_content(2048);
-    let mut rows = Vec::new();
-    let mut baseline_rate = 0.0f64;
-    for replicas in [0usize, 1, 2, 4] {
-        let f = fixture(FixtureOptions {
-            n_files: N_FILES,
-            file_size: 2048,
-            replicas,
-            sync_archive: true,
-            db_sync_latency_ns: sync_latency_ns,
-            ..Default::default()
-        });
-        // One committed update per file so every replica archive holds the
-        // current version's bytes.
-        for i in 0..N_FILES {
-            f.managed_update(i, &content);
-        }
-
-        // Replication lag after the write burst must drain to zero.
-        let drain = time_once(|| {
-            let drained = f
-                .sys
-                .wait_replicas_caught_up(SRV, std::time::Duration::from_secs(30))
-                .expect("known server");
-            assert!(drained, "replication lag must drain to zero");
-        });
-        assert_eq!(f.sys.replication_lag(SRV).expect("lag"), 0);
-
-        // Routed reads: token validation + last-committed bytes, spread
-        // round-robin over the standbys (all on the primary at 0 replicas).
-        let elapsed = run_threads(readers, |t| {
-            for k in 0..reads_per {
-                let i = (t + k) % N_FILES;
-                let tp = f.token_path(i, TokenKind::Read);
-                let data = f.sys.serve_read(SRV, &tp, APP.uid).expect("routed read");
-                assert_eq!(data, content, "replica must serve the committed bytes");
-            }
-        });
-        let rate = (readers * reads_per) as f64 / elapsed.as_secs_f64();
-        if replicas == 0 {
-            baseline_rate = rate;
-        }
-
-        // Failover: promote a standby and verify the link state survived.
-        let (failover_cell, preserved_cell) = if replicas == 0 {
-            (s("--"), s("--"))
-        } else {
-            let Fixture { mut sys, paths, .. } = f;
-            let snapshot = |sys: &DataLinksSystem| {
-                let mut files: Vec<(String, u64)> = sys
-                    .node(SRV)
-                    .expect("node")
-                    .server
-                    .repository()
-                    .list_files()
-                    .into_iter()
-                    .map(|e| (e.path, e.cur_version))
-                    .collect();
-                files.sort();
-                files
-            };
-            let before = snapshot(&sys);
-            let failover = time_once(|| {
-                sys.fail_over(SRV).expect("failover");
-            });
-            let after = snapshot(&sys);
-            assert_eq!(before, after, "failover must preserve link state");
-            // The promoted node serves the same committed bytes.
-            let (_, tp) = sys
-                .select_datalink(TABLE, &Value::Int(0), "body", TokenKind::Read)
-                .expect("select after failover");
-            let data = sys.serve_read(SRV, &tp, APP.uid).expect("read after failover");
-            assert_eq!(data, content, "promoted node must serve committed bytes");
-            let _ = paths;
-            (fmt_ns(failover.as_nanos() as f64), s(true))
-        };
-
-        rows.push(vec![
-            s(replicas),
-            s(format!("{rate:.0}")),
-            s(format!("{:.2}x", rate / baseline_rate)),
-            fmt_ns(drain.as_nanos() as f64),
-            failover_cell,
-            preserved_cell,
-        ]);
-    }
-    Table {
-        id: "a10",
-        title: format!(
-            "WAL-shipping replication: routed reads vs replica count \
-             ({readers} readers x {reads_per} reads, {} µs device sync)",
-            sync_latency_ns / 1000
-        ),
-        header: vec![
-            s("replicas"),
-            s("validated reads/s"),
-            s("speedup vs primary-only"),
-            s("lag drain"),
-            s("failover"),
-            s("links preserved"),
-        ],
-        rows,
-        notes: vec![
-            "each routed read = token validation (HMAC + durable token entry) + last \
-             committed bytes; one serialized validation lane per node (the paper's \
-             one-upcall-daemon prototype shape), so replicas multiply capacity"
-                .into(),
-            "lag drain: time for standbys to apply the preceding update burst; failover: \
-             fence + promote + DLFM recovery on the standby's applied state"
-                .into(),
-        ],
-    }
-}
-
-// ===========================================================================
-// a11 — checkpoint shipping: WAL bounds and delta catch-up (this repo)
-// ===========================================================================
-
-/// A primary database shaped like a DLFM repository workload: `rows` hot
-/// rows, updated round-robin with ~130-byte payloads.
-fn a11_primary(rows: usize, budget: u64, sync_latency_ns: u64) -> Database {
-    let env = if sync_latency_ns > 0 {
-        StorageEnv::mem_with_sync_latency(sync_latency_ns)
-    } else {
-        StorageEnv::mem()
-    };
-    let db = Database::open_with(
-        env,
-        DbOptions { checkpoint_every_bytes: budget, ..Default::default() },
-    )
-    .expect("db");
-    db.create_table(
-        Schema::new(
-            "t",
-            vec![Column::new("id", ColumnType::Int), Column::new("v", ColumnType::Text)],
-            "id",
-        )
-        .expect("schema"),
-    )
-    .expect("create table");
-    let mut tx = db.begin();
-    for i in 0..rows {
-        tx.insert("t", vec![Value::Int(i as i64), Value::Text("seed".into())]).expect("seed");
-    }
-    tx.commit().expect("seed commit");
-    db
-}
-
-fn a11_updates(db: &Database, rows: usize, updates: usize) {
-    for u in 0..updates {
-        let id = (u % rows) as i64;
-        let mut tx = db.begin();
-        tx.update("t", &Value::Int(id), vec![Value::Int(id), Value::Text(format!("{u:0>120}"))])
-            .expect("update");
-        tx.commit().expect("commit");
-    }
-}
-
-/// One fresh standby + ship daemon over `db`'s feed (a10-style plumbing
-/// with inert token machinery — a11 measures the storage layer).
-fn a11_standby(
-    db: &Database,
-) -> (Arc<dl_repl::Standby>, dl_repl::Replicator, Arc<dl_repl::ReplStats>) {
-    let fence = Arc::new(dl_repl::EpochFence::new());
-    let stats = Arc::new(dl_repl::ReplStats::default());
-    let standby = Arc::new(
-        dl_repl::Standby::new(
-            "a11#0".into(),
-            StorageEnv::mem(),
-            StorageEnv::mem(),
-            fence,
-            Arc::clone(&stats),
-            "a11".into(),
-            b"a11-key".to_vec(),
-            Arc::new(dl_fskit::SimClock::new(1_000)),
-            None,
-        )
-        .expect("standby"),
-    );
-    let repl = dl_repl::Replicator::spawn(
-        "a11",
-        db.replication_feed(),
-        vec![Arc::clone(&standby)],
-        0,
-        Arc::clone(&stats),
-    );
-    (standby, repl, stats)
-}
-
-/// The checkpoint-shipping experiment: (1) under sustained update load, a
-/// log-retention budget keeps both the primary's and the standby's WAL
-/// bounded (asserted, not just reported — unbudgeted growth is shown for
-/// contrast); (2) a fresh standby catching up to a long history is
-/// measurably cheaper by *delta* (install the latest checkpoint image,
-/// tail only the WAL suffix) than by full-log replay (record/byte counts
-/// asserted; wall time reported).
-pub fn a11_checkpoint_shipping(updates: usize, sync_latency_ns: u64) -> Table {
-    const ROWS: usize = 64;
-    const BUDGET: u64 = 32 * 1024;
-    let mut rows_out: Vec<Vec<String>> = Vec::new();
-
-    // --- sustained load: budget off vs on --------------------------------
-    let mut unbounded_retained = 0u64;
-    for budget in [0u64, BUDGET] {
-        let db = a11_primary(ROWS, budget, sync_latency_ns);
-        let (standby, repl, stats) = a11_standby(&db);
-        a11_updates(&db, ROWS, updates);
-        assert!(repl.wait_caught_up(std::time::Duration::from_secs(30)), "lag must drain");
-        let primary_wal = db.wal_retained_bytes();
-        let standby_wal = standby.wal_retained_bytes();
-        if budget == 0 {
-            unbounded_retained = primary_wal;
-        } else {
-            // The a11 claim: the budget bounds BOTH logs under sustained
-            // load (trigger slack: one commit past the budget, plus the
-            // Checkpoint record itself).
-            let bound = budget + 8 * 1024;
-            assert!(primary_wal <= bound, "primary WAL {primary_wal} exceeds bound {bound}");
-            assert!(standby_wal <= bound, "standby WAL {standby_wal} exceeds bound {bound}");
-            assert!(
-                primary_wal < unbounded_retained,
-                "budgeted log must retain less than the unbudgeted one"
-            );
-        }
-        rows_out.push(vec![
-            s(format!(
-                "sustained load, {}",
-                if budget == 0 { "no budget".to_string() } else { format!("{BUDGET} B budget") }
-            )),
-            s(primary_wal),
-            s(standby_wal),
-            s(stats.checkpoints_shipped()),
-            s(stats.records_shipped()),
-            s("--"),
-        ]);
-    }
-
-    // --- fresh-standby catch-up: full replay vs delta ---------------------
-    let mut full_records = 0u64;
-    for delta in [false, true] {
-        let db = a11_primary(ROWS, 0, sync_latency_ns);
-        a11_updates(&db, ROWS, updates);
-        if delta {
-            db.checkpoint_and_truncate().expect("checkpoint");
-        }
-        let (standby, repl, stats) = a11_standby(&db);
-        let catch_up = time_once(|| {
-            assert!(repl.wait_caught_up(std::time::Duration::from_secs(30)), "catch-up");
-        });
-        assert_eq!(standby.applied_lsn(), db.durable_lsn());
-        if delta {
-            assert_eq!(stats.checkpoints_shipped(), 1, "delta arm installs the image once");
-            // The headline claim: delta catch-up ships a small constant
-            // suffix instead of the whole history.
-            assert!(
-                stats.records_shipped() < full_records / 4,
-                "delta shipped {} records, full shipped {full_records} — not measurably cheaper",
-                stats.records_shipped()
-            );
-        } else {
-            full_records = stats.records_shipped();
-        }
-        rows_out.push(vec![
-            s(if delta {
-                "fresh standby, delta (image + suffix)"
-            } else {
-                "fresh standby, full-log replay"
-            }),
-            s(db.wal_retained_bytes()),
-            s(standby.wal_retained_bytes()),
-            s(stats.checkpoints_shipped()),
-            s(stats.records_shipped()),
-            fmt_ns(catch_up.as_nanos() as f64),
-        ]);
-    }
-
-    Table {
-        id: "a11",
-        title: format!(
-            "checkpoint shipping: WAL bounds and delta catch-up \
-             ({updates} updates over {ROWS} rows, {} µs device sync, {BUDGET} B budget)",
-            sync_latency_ns / 1000
-        ),
-        header: vec![
-            s("arm"),
-            s("primary WAL bytes"),
-            s("standby WAL bytes"),
-            s("ckpt installs"),
-            s("records shipped"),
-            s("catch-up"),
-        ],
-        rows: rows_out,
-        notes: vec![
-            "asserted, not just reported: with a budget both WALs stay under \
-             budget+slack; the delta arm installs exactly one image and ships <25% of the \
-             full arm's records"
-                .into(),
-            "the budget arm truncates in lockstep: the primary cuts at its checkpoint, the \
-             standby cuts when the shipped Checkpoint record flows through apply"
-                .into(),
-        ],
-    }
-}
-
-// ===========================================================================
-// a12 — elastic front end: adaptive upcall pool + shared agent executor
-// ===========================================================================
-
-/// One timed burst of token-read cycles against `f`, `clients` threads x
-/// `cycles` each, all funnelling through the node's upcall pool (token
-/// validation + claimed read open + close, two repository commits per
-/// cycle). Returns cycles/sec.
-fn a12_upcall_burst(f: &Fixture, clients: usize, cycles: usize) -> f64 {
-    // One token-embedded path per client, generated outside the timed
-    // region: the burst measures the upcall admission path, not SELECT.
-    let paths: Vec<String> =
-        (0..clients).map(|t| f.token_path(t % f.paths.len(), TokenKind::Read)).collect();
-    let fs = f.sys.fs(SRV).expect("fs");
-    let elapsed = run_threads(clients, |t| {
-        for _ in 0..cycles {
-            let fd = fs.open(&APP, &paths[t], OpenOptions::read_only()).expect("open");
-            fs.close(fd).expect("close");
-        }
-    });
-    (clients * cycles) as f64 / elapsed.as_secs_f64()
-}
-
-/// Waits out the pool's idle window and reports the settled worker count.
-fn a12_settled_workers(f: &Fixture) -> usize {
-    let node = f.sys.node(SRV).expect("node");
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-    loop {
-        let workers = node.upcall_pool_stats().workers();
-        if workers <= 2 || std::time::Instant::now() >= deadline {
-            return workers;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(20));
-    }
-}
-
-/// The front-end experiment: (1) a bursty token-read load at low and high
-/// client counts, fixed-8 pool (the PR 2 shape) vs the adaptive pool —
-/// asserting the adaptive pool at least matches the fixed pool at high
-/// concurrency and that it grows past 8 workers then sheds back to the
-/// floor; (2) agent churn — `agents` connections each driving a full
-/// link/2PC/unlink cycle — thread-per-agent vs the shared executor,
-/// asserting the shared executor serves them all on far fewer OS threads.
-pub fn a12_front_end(
-    low_clients: usize,
-    high_clients: usize,
-    cycles: usize,
-    agents: usize,
-    sync_latency_ns: u64,
-) -> Table {
-    let mut rows = Vec::new();
-
-    // --- bursty upcall load: fixed-8 vs adaptive --------------------------
-    let mut fixed_rate = [0.0f64; 2];
-    for (arm, pool) in [("fixed-8 pool", Some((8, 8))), ("adaptive pool", Some((2, 64)))] {
-        for (i, &clients) in [low_clients, high_clients].iter().enumerate() {
-            let f = fixture(FixtureOptions {
-                n_files: clients,
-                file_size: 1024,
-                db_sync_latency_ns: sync_latency_ns,
-                upcall_pool: pool,
-                // A gather window on the repository's group commit: each
-                // commit parks its upcall worker for the window, so served
-                // concurrency — the pool's head count — is the deterministic
-                // bottleneck (the point of this experiment), not the raw
-                // CPU of the machine running it.
-                db: DbOptions {
-                    wal: WalOptions { group_commit: true, max_batch: 64, commit_delay_us: 200 },
-                    ..Default::default()
-                },
-                ..Default::default()
-            });
-            let rate = a12_upcall_burst(&f, clients, cycles);
-            let node = f.sys.node(SRV).expect("node");
-            let peak = node.upcall_pool_stats().peak_workers();
-            let adaptive = pool == Some((2, 64));
-            let (vs_fixed, settled) = if adaptive {
-                let settled = a12_settled_workers(&f);
-                if clients == high_clients {
-                    // The a12 claims, asserted: under high concurrency the
-                    // adaptive pool must grow past the fixed-8 head count,
-                    // match-or-beat its throughput, and shed back afterwards.
-                    assert!(
-                        peak > 8,
-                        "adaptive pool peaked at {peak} workers; expected growth past 8"
-                    );
-                    assert!(
-                        rate >= fixed_rate[i],
-                        "adaptive pool ({rate:.0}/s) slower than fixed-8 ({:.0}/s) at \
-                         {clients} clients",
-                        fixed_rate[i]
-                    );
-                    assert!(
-                        settled <= 2,
-                        "adaptive pool still at {settled} workers after the burst; expected \
-                         shrink to the floor"
-                    );
-                }
-                // Bare "N.NNx" so `report --compare` diffs the ratio
-                // numerically instead of as must-match-exactly text.
-                (format!("{:.2}x", rate / fixed_rate[i]), s(settled))
-            } else {
-                fixed_rate[i] = rate;
-                (s("--"), s(peak))
-            };
-            // Row labels carry the client count: `report --compare` keys
-            // rows by their first cell, so labels must be unique.
-            rows.push(vec![
-                s(format!("upcall burst, {arm}, {clients} clients")),
-                s(clients),
-                s(format!("{rate:.0}")),
-                s(peak),
-                settled,
-                vs_fixed,
-            ]);
-        }
-    }
-
-    // --- agent churn: thread-per-agent vs shared executor -----------------
-    for thread_per_agent in [true, false] {
-        let f = fixture(FixtureOptions {
-            n_files: 1,
-            db_sync_latency_ns: sync_latency_ns,
-            thread_per_agent,
-            ..Default::default()
-        });
-        let raw = f.sys.raw_fs(SRV).expect("raw");
-        for i in 0..agents {
-            raw.write_file(&APP, &format!("/data/churn{i:04}.bin"), b"x").expect("seed");
-        }
-        let node = f.sys.node(SRV).expect("node");
-        let handles: Vec<_> = (0..agents).map(|_| node.connect_agent()).collect();
-        let drivers = 16.min(agents.max(1));
-        let elapsed = run_threads(drivers, |t| {
-            use dl_minidb::Participant;
-            for (i, agent) in handles.iter().enumerate() {
-                if i % drivers != t {
-                    continue;
-                }
-                let path = format!("/data/churn{i:04}.bin");
-                // Synthetic host txids well clear of the fixture's.
-                let link_tx = 1_000_000 + 2 * i as u64;
-                agent
-                    .link(link_tx, &path, ControlMode::Rff, true, dl_dlfm::OnUnlink::Restore)
-                    .expect("link");
-                agent.prepare(link_tx).expect("prepare");
-                agent.commit(link_tx);
-                let unlink_tx = link_tx + 1;
-                agent.unlink(unlink_tx, &path).expect("unlink");
-                agent.prepare(unlink_tx).expect("prepare");
-                agent.commit(unlink_tx);
-            }
-        });
-        let rate = (agents * 2) as f64 / elapsed.as_secs_f64();
-        let threads = match node.main_daemon().executor_stats() {
-            Some(stats) => stats.peak_workers(),
-            None => node.main_daemon().executor_threads(),
-        };
-        let connections = node.main_daemon().child_count();
-        if !thread_per_agent {
-            // The multiplexing claim, asserted: every connection served,
-            // on far fewer OS threads than connections.
-            assert!(
-                threads < 64,
-                "shared executor used {threads} threads for {connections} connections"
-            );
-            assert!(connections >= agents, "all churn connections must be accepted");
-        }
-        rows.push(vec![
-            s(format!(
-                "agent churn, {}",
-                if thread_per_agent { "thread-per-agent" } else { "shared executor" }
-            )),
-            s(connections),
-            s(format!("{rate:.0}")),
-            s(threads),
-            s("--"),
-            s(if thread_per_agent {
-                "one OS thread per connection"
-            } else {
-                "connections multiplexed over the shared executor"
-            }),
-        ]);
-    }
-
-    Table {
-        id: "a12",
-        title: format!(
-            "elastic front end: adaptive upcall pool + shared agent executor \
-             ({low_clients}/{high_clients} clients x {cycles} cycles, {agents} churn agents, \
-             {} µs device sync)",
-            sync_latency_ns / 1000
-        ),
-        header: vec![
-            s("arm"),
-            s("clients/conns"),
-            s("ops/s"),
-            s("peak workers"),
-            s("workers after idle"),
-            s("vs fixed-8 / note"),
-        ],
-        rows,
-        notes: vec![
-            "asserted, not just reported: at high concurrency the adaptive pool grows past \
-             8 workers, meets or beats the fixed-8 throughput, and sheds back to its floor \
-             once idle; the shared executor serves every churn connection on <64 OS threads"
-                .into(),
-            "upcall burst cycle = token validation + claimed read open + close-notify \
-             (two repository commits) — the §2.2 admission path end to end"
                 .into(),
         ],
     }

@@ -10,13 +10,14 @@ use std::time::{Duration, Instant};
 use dl_core::{
     ControlMode, DataLinksSystem, DlColumnOptions, FileServerSpec, SystemBuilder, TokenKind,
 };
-use dl_dlfm::{DlfmConfig, OnUnlink};
+use dl_dlfm::{DlfmConfig, FaultInjector, OnUnlink};
 use dl_dlfs::{DlfsConfig, WaitPolicy};
 use dl_fskit::memfs::IoModel;
 use dl_fskit::{Cred, OpenOptions};
 use dl_minidb::{Column, ColumnType, DbOptions, Schema, StorageEnv, Value};
 
 pub mod experiments;
+pub mod lab;
 pub mod trajectory;
 
 /// The benchmark application user.
@@ -84,6 +85,13 @@ impl Default for FixtureOptions {
 
 /// Builds a system, seeds files, creates the table and links every file.
 pub fn fixture(opts: FixtureOptions) -> Fixture {
+    fixture_with_fault(opts, None)
+}
+
+/// [`fixture`] with an optional upcall fault injector installed on the
+/// node (the scenario lab's `kill_upcall_workers` injection point).
+/// Separate from [`FixtureOptions`] so the options stay `Copy`.
+pub fn fixture_with_fault(opts: FixtureOptions, fault: Option<FaultInjector>) -> Fixture {
     let mut dlfm = DlfmConfig::new(SRV);
     dlfm.sync_archive = opts.sync_archive;
     dlfm.track_read_sync = opts.track_read_sync;
@@ -107,6 +115,7 @@ pub fn fixture(opts: FixtureOptions) -> Fixture {
         io: opts.io,
         repo_env: mem_env(),
         replicas: opts.replicas,
+        upcall_fault: fault,
     };
     let sys = SystemBuilder::new()
         .host_env(mem_env())

@@ -345,7 +345,7 @@ mod tests {
 
     fn table() -> Table {
         Table {
-            id: "X1",
+            id: "X1".into(),
             title: "a \"quoted\" title\nwith newline".into(),
             header: vec!["op".into(), "ns/op".into(), "time".into()],
             rows: vec![

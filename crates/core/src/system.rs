@@ -24,8 +24,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dl_dlfm::{
-    AgentHandle, ArchiveStore, ContentSource, DlfmConfig, DlfmServer, MainDaemon, RecoveryReport,
-    TokenKind, UpcallDaemon,
+    AgentHandle, ArchiveStore, ContentSource, DlfmConfig, DlfmServer, FaultInjector, MainDaemon,
+    RecoveryReport, TokenKind, UpcallDaemon,
 };
 use dl_dlfs::{Dlfs, DlfsConfig};
 use dl_fskit::memfs::IoModel;
@@ -55,6 +55,7 @@ pub struct FileServerNode {
     dlfm_cfg: DlfmConfig,
     dlfs_cfg: DlfsConfig,
     replicas: usize,
+    upcall_fault: Option<FaultInjector>,
     main: MainDaemon,
     upcall: UpcallDaemon,
 }
@@ -96,6 +97,13 @@ pub struct FileServerSpec {
     /// node's repository. Zero (the default) runs the node unreplicated —
     /// the paper's single-point-of-failure shape.
     pub replicas: usize,
+    /// Fault-injection hook for the upcall daemon: called with every
+    /// request before it is dispatched, on the pool worker's thread. A
+    /// panic inside the hook exercises the pool's containment path (the
+    /// caller sees a rejection, not a wedged daemon). `None` (the
+    /// default) runs the daemon unhooked; the scenario lab arms this for
+    /// kill-an-upcall-worker injections.
+    pub upcall_fault: Option<FaultInjector>,
 }
 
 impl FileServerSpec {
@@ -107,12 +115,21 @@ impl FileServerSpec {
             io: IoModel::default(),
             repo_env: StorageEnv::mem(),
             replicas: 0,
+            upcall_fault: None,
         }
     }
 
     /// Provisions `n` hot standbys for this file server.
     pub fn replicas(mut self, n: usize) -> FileServerSpec {
         self.replicas = n;
+        self
+    }
+
+    /// Installs a fault-injection hook on the node's upcall daemon (see
+    /// [`FileServerSpec::upcall_fault`]). The hook survives crash
+    /// recovery and failover — the rebuilt node keeps the same injector.
+    pub fn upcall_fault_injector(mut self, fault: FaultInjector) -> FileServerSpec {
+        self.upcall_fault = Some(fault);
         self
     }
 
@@ -187,6 +204,7 @@ impl SystemBuilder {
                 dlfm_cfg: spec.dlfm,
                 dlfs_cfg: spec.dlfs,
                 replicas: spec.replicas,
+                upcall_fault: spec.upcall_fault,
             });
         }
         DataLinksSystem::assemble(self.host_env, self.host_db, self.clock, parts, false)
@@ -212,6 +230,9 @@ struct NodeParts {
     /// crash: their envs re-ship from offset zero of the (recovered)
     /// primary log, the simplest correct re-seeding.
     replicas: usize,
+    /// Upcall fault-injection hook; re-installed on every rebuild so an
+    /// armed injector keeps firing across crash recovery and failover.
+    upcall_fault: Option<FaultInjector>,
 }
 
 /// What survives a simulated whole-system crash: the disks.
@@ -305,7 +326,8 @@ impl DataLinksSystem {
         )?);
         server.set_host_hook(engine.clone());
         let report = if run_recovery { Some(server.recover()?) } else { None };
-        let (upcall, client) = UpcallDaemon::spawn(Arc::clone(&server));
+        let (upcall, client) =
+            UpcallDaemon::spawn_with_fault_injector(Arc::clone(&server), part.upcall_fault.clone());
         let dlfs =
             Arc::new(Dlfs::new(part.fs.clone() as Arc<dyn FileSystem>, client, part.dlfs_cfg));
         let lfs = Arc::new(Lfs::new(dlfs.clone() as Arc<dyn FileSystem>));
@@ -371,6 +393,7 @@ impl DataLinksSystem {
                 dlfm_cfg: part.dlfm_cfg,
                 dlfs_cfg: part.dlfs_cfg,
                 replicas: part.replicas,
+                upcall_fault: part.upcall_fault,
                 main,
                 upcall,
             },
@@ -439,6 +462,21 @@ impl DataLinksSystem {
             .as_ref()
             .map(|r| r.wait_caught_up(timeout))
             .unwrap_or(true))
+    }
+
+    /// Pauses (or resumes) WAL shipping to `server`'s standbys — the
+    /// slow/stalled-standby fault the scenario lab injects. While paused
+    /// the standbys lag; routed reads still serve their (stale) applied
+    /// state, and freshness-token reads fall back to the primary once the
+    /// catch-up wait expires. Errors when `server` is unreplicated.
+    pub fn set_replication_paused(&self, server: &str, paused: bool) -> Result<(), String> {
+        match &self.node(server)?.replication {
+            Some(r) => {
+                r.set_paused(paused);
+                Ok(())
+            }
+            None => Err(format!("file server {server} has no replicas to pause")),
+        }
     }
 
     /// Validates a read token through the routed read path: a replica
@@ -537,6 +575,7 @@ impl DataLinksSystem {
             dlfm_cfg,
             dlfs_cfg,
             replicas,
+            upcall_fault,
             server: old_server,
             ..
         } = node;
@@ -553,6 +592,7 @@ impl DataLinksSystem {
             // One standby became the primary; re-provision the rest fresh
             // from the new primary's log.
             replicas: replicas.saturating_sub(1),
+            upcall_fault: upcall_fault.clone(),
         };
         match Self::build_node(&self.engine, &self.clock, parts, true) {
             Ok((new_node, report)) => {
@@ -571,6 +611,7 @@ impl DataLinksSystem {
                     dlfm_cfg,
                     dlfs_cfg,
                     replicas,
+                    upcall_fault,
                 };
                 let (old_node, _) = Self::build_node(&self.engine, &self.clock, fallback, true)
                     .map_err(|e| {
@@ -678,6 +719,7 @@ impl DataLinksSystem {
                 dlfm_cfg: node.dlfm_cfg,
                 dlfs_cfg: node.dlfs_cfg,
                 replicas: node.replicas,
+                upcall_fault: node.upcall_fault,
             });
         }
         CrashImage { host_env, host_db, clock, nodes: parts, stop_at_lsn: None }

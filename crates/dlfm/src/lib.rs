@@ -46,4 +46,4 @@ pub use token::{
     embed_token, hmac_sha256, sha256, split_token_suffix, AccessToken, TokenError, TokenKind,
     TOKEN_MARKER,
 };
-pub use upcall::{UpcallClient, UpcallDaemon, UpcallReply, UpcallRequest};
+pub use upcall::{FaultInjector, UpcallClient, UpcallDaemon, UpcallReply, UpcallRequest};

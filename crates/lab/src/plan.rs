@@ -1,0 +1,102 @@
+//! Plan expansion: scenario → deterministic `variant × repeat` trial list.
+//!
+//! Expansion is a pure function of the scenario text plus the quick flag:
+//! the same inputs always yield byte-identical plans (trial order, merged
+//! knobs, and seeds), which is what makes a lab failure reproducible from
+//! nothing but the scenario file.
+
+use crate::schema::{Params, Scenario, SchemaError};
+
+/// One runnable trial: a variant repeat with its merged knobs and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSpec {
+    /// The variant's row label.
+    pub variant: String,
+    /// Index of the variant within the scenario (row order).
+    pub variant_idx: usize,
+    /// Repeat number, `0..scenario.repeats`.
+    pub repeat: u64,
+    /// The trial's RNG seed, derived from the scenario seed (splitmix64
+    /// over (seed, variant index, repeat) — stable across lab versions).
+    pub seed: u64,
+    /// Fully merged knobs: scenario defaults ← variant ← quick overrides.
+    pub params: Params,
+}
+
+/// The expanded trial plan for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub scenario: String,
+    pub trials: Vec<TrialSpec>,
+}
+
+/// Expands a scenario into its trial plan. Quick overrides are applied
+/// last — they are the CI contract and win over per-variant knobs.
+pub fn expand(sc: &Scenario, quick: bool) -> Result<Plan, SchemaError> {
+    let mut trials = Vec::with_capacity(sc.variants.len() * sc.repeats as usize);
+    for (variant_idx, variant) in sc.variants.iter().enumerate() {
+        let mut params = sc.params.overridden_by(&variant.params);
+        if quick {
+            params = params.overridden_by(&sc.quick);
+        }
+        for repeat in 0..sc.repeats {
+            trials.push(TrialSpec {
+                variant: variant.label.clone(),
+                variant_idx,
+                repeat,
+                seed: trial_seed(sc.seed, variant_idx as u64, repeat),
+                params: params.clone(),
+            });
+        }
+    }
+    Ok(Plan { scenario: sc.name.clone(), trials })
+}
+
+/// splitmix64 — the standard 64-bit mixer (Steele et al.); one step.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn trial_seed(root: u64, variant_idx: u64, repeat: u64) -> u64 {
+    let mut s = root ^ variant_idx.rotate_left(24) ^ repeat.rotate_left(48);
+    let a = splitmix64(&mut s);
+    let b = splitmix64(&mut s);
+    a ^ b.rotate_left(17)
+}
+
+/// A small deterministic RNG for trial workloads (xorshift64*, seeded via
+/// splitmix so consecutive client ids diverge immediately).
+#[derive(Debug, Clone)]
+pub struct LabRng(u64);
+
+impl LabRng {
+    pub fn new(seed: u64) -> LabRng {
+        let mut s = seed;
+        // Run the seed through the mixer so 0/1/2... seeds don't correlate.
+        let mixed = splitmix64(&mut s).max(1);
+        LabRng(mixed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (n must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform ratio in `[0, 1)`.
+    pub fn ratio(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -15,11 +15,20 @@
 //! Two mechanisms keep a standby's log from growing forever:
 //!
 //! * **Lockstep truncation** — when the standby applies a
-//!   [`WalRecord::Checkpoint`] frame it writes its *own* snapshot (a
+//!   [`WalRecord::Checkpoint`] frame it schedules its *own* snapshot (a
 //!   complete recovery image, same format the primary writes) covering the
 //!   log below that frame, then truncates its log below it — the same
 //!   slot-flip dance [`crate::wal::Wal::truncate_below`] performs, so a
 //!   primary with a retention budget bounds every standby automatically.
+//!   The snapshot is written by a background snapshotter thread, *not*
+//!   inside [`StandbyDb::apply`]: the image write is the slow part
+//!   (full-state serialization plus a device sync), and doing it inline
+//!   would stall the ship round — and with it the standby's applied
+//!   watermark, which freshness-token readers wait on — for the whole
+//!   image write. `apply` only enqueues the (coalescing) snapshot job;
+//!   [`StandbyDb::wait_snapshot_idle`] exists for callers that need the
+//!   retained-bytes bound to be visible (operators, tests), and dropping
+//!   the `StandbyDb` drains the queue.
 //! * **Checkpoint install** — a newly-provisioned or badly-lagging standby
 //!   whose next frame was already truncated away on the primary receives
 //!   the primary's latest checkpoint image instead
@@ -104,14 +113,51 @@ struct StandbyInner {
     base: Lsn,
     slot: u32,
     ctl_seq: u64,
+    /// Bumped by [`StandbyDb::install_checkpoint`]; a queued snapshot job
+    /// from an older epoch is obsolete (the install superseded it) and the
+    /// snapshotter discards it instead of snapshotting/truncating state
+    /// the job was never about.
+    epoch: u64,
 }
 
-/// A standby database continuously applying a primary's shipped WAL.
-pub struct StandbyDb {
+/// One scheduled standby-side snapshot: write an image covering the log
+/// below `cut`, then truncate below `cut`. Jobs coalesce — only the newest
+/// checkpoint matters, since its image covers everything the older ones
+/// would have.
+#[derive(Clone, Copy)]
+struct SnapJob {
+    generation: u64,
+    cut: Lsn,
+    epoch: u64,
+}
+
+struct SnapQueue {
+    pending: Option<SnapJob>,
+    /// A job is being performed right now (popped but not finished).
+    busy: bool,
+    shutdown: bool,
+}
+
+/// State shared between the standby's callers and its snapshotter thread.
+struct StandbyShared {
     env: StorageEnv,
     inner: Mutex<StandbyInner>,
     /// Signalled whenever `applied` advances ([`StandbyDb::wait_applied`]).
     applied_grew: Condvar,
+    snap_queue: Mutex<SnapQueue>,
+    /// Signalled on enqueue, job completion, and shutdown.
+    snap_cv: Condvar,
+    /// Serializes snapshot-slot device writes between the snapshotter and
+    /// [`StandbyDb::install_checkpoint`]: both write images into the
+    /// ping-pong slots, and an interleaved write could tear the image an
+    /// install is about to rely on for its log reset.
+    snap_io: Mutex<()>,
+}
+
+/// A standby database continuously applying a primary's shipped WAL.
+pub struct StandbyDb {
+    shared: Arc<StandbyShared>,
+    snapshotter: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl StandbyDb {
@@ -167,7 +213,7 @@ impl StandbyDb {
             dev = dst;
         }
 
-        Ok(StandbyDb {
+        let shared = Arc::new(StandbyShared {
             env,
             inner: Mutex::new(StandbyInner {
                 tables,
@@ -179,9 +225,21 @@ impl StandbyDb {
                 base,
                 slot,
                 ctl_seq,
+                epoch: 0,
             }),
             applied_grew: Condvar::new(),
-        })
+            snap_queue: Mutex::new(SnapQueue { pending: None, busy: false, shutdown: false }),
+            snap_cv: Condvar::new(),
+            snap_io: Mutex::new(()),
+        });
+        let snapshotter = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("standby-snapshotter".into())
+                .spawn(move || shared.snapshot_loop())
+                .map_err(|e| DbError::Io(e.to_string()))?
+        };
+        Ok(StandbyDb { shared, snapshotter: Mutex::new(Some(snapshotter)) })
     }
 
     fn apply_record(
@@ -226,11 +284,13 @@ impl StandbyDb {
     /// prefix it already holds (apply is idempotent per frame).
     ///
     /// A [`WalRecord::Checkpoint`] frame in the range makes the standby
-    /// write its own snapshot covering the log below that frame and then
-    /// truncate its log below it — the lockstep-truncation half of
-    /// checkpoint shipping (module docs).
+    /// schedule its own snapshot covering the log below that frame and the
+    /// truncation of its log below it — the lockstep-truncation half of
+    /// checkpoint shipping (module docs). The snapshot itself is written
+    /// by the snapshotter thread; this call only enqueues the job, so a
+    /// slow snapshot device never stalls the ship round.
     pub fn apply(&self, frames: &ShippedFrames) -> DbResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.inner.lock();
         if frames.is_empty() {
             return Ok(());
         }
@@ -255,41 +315,261 @@ impl StandbyDb {
                 continue;
             }
             if let WalRecord::Checkpoint { generation } = rec {
-                // State right now covers every record strictly below this
-                // frame — exactly what a snapshot at base `lsn` promises.
-                self.write_local_snapshot(inner, *generation, *lsn)?;
                 checkpoint_cut = Some((*generation, *lsn));
             }
             Self::apply_record(&mut inner.tables, &mut inner.prepared, &mut inner.outcomes, rec)?;
             inner.max_txid = inner.max_txid.max(record_txid(rec));
         }
         inner.applied = frames.end;
-        if let Some((_, cut)) = checkpoint_cut {
-            self.truncate_log(inner, cut)?;
+        if let Some((generation, cut)) = checkpoint_cut {
+            // Coalescing enqueue: a newer checkpoint's image covers
+            // everything an older pending one would have, so the newest
+            // job simply replaces whatever is queued.
+            let mut q = self.shared.snap_queue.lock();
+            q.pending = Some(SnapJob { generation, cut, epoch: inner.epoch });
+            self.shared.snap_cv.notify_all();
         }
-        self.applied_grew.notify_all();
+        self.shared.applied_grew.notify_all();
         Ok(())
     }
 
-    /// Persists a snapshot of the standby's current state as of `base_lsn`
-    /// into its own ping-pong slot (same slot parity rule as the primary).
-    fn write_local_snapshot(
-        &self,
-        inner: &mut StandbyInner,
-        generation: u64,
-        base_lsn: Lsn,
-    ) -> DbResult<()> {
-        write_snapshot(
-            &self.env.device(slot_for_generation(generation))?,
-            SnapshotSource {
-                generation,
-                base_lsn,
-                next_txid: inner.max_txid + 1,
-                outcomes: &inner.outcomes,
-                prepared: &inner.prepared,
-                tables: &inner.tables,
-            },
-        )
+    /// Installs a primary checkpoint image: delta catch-up for a standby
+    /// whose next frame was truncated away on the primary (or a freshly
+    /// provisioned one). Persists the image into the standby's own
+    /// snapshot slot, resets the log to empty at the image's base, and
+    /// replaces the in-memory state. Returns `false` (and changes nothing)
+    /// when the standby is already at or past the image — the shipper then
+    /// just resumes framing. Crash-safe: the image is durable before the
+    /// log reset, and [`StandbyDb::open`] completes a reset that a crash
+    /// interrupted.
+    pub fn install_checkpoint(&self, snap: &SnapshotData) -> DbResult<bool> {
+        let mut inner = self.shared.inner.lock();
+        if snap.base_lsn <= inner.applied {
+            return Ok(false);
+        }
+        {
+            // Exclude the snapshotter from the slot devices while the
+            // install's image write is in flight (it must be durable and
+            // untorn before the log reset below relies on it).
+            let _slots = self.shared.snap_io.lock();
+            write_snapshot(
+                &self.shared.env.device(slot_for_generation(snap.generation))?,
+                snap.into(),
+            )?;
+        }
+        // Log reset: empty inactive slot at the image's base, then flip.
+        let (dst, slot, seq) =
+            swap_log_slot(&self.shared.env, inner.slot, inner.ctl_seq, snap.base_lsn, &[])?;
+        inner.slot = slot;
+        inner.ctl_seq = seq;
+        inner.base = snap.base_lsn;
+        inner.dev = dst;
+        inner.tables = snap.tables.clone();
+        inner.prepared = snap.prepared.clone();
+        inner.outcomes = snap.outcomes.clone();
+        inner.max_txid = inner.max_txid.max(snap.next_txid.saturating_sub(1));
+        inner.applied = snap.base_lsn;
+        // Obsolete any queued snapshot job: it described a pre-install
+        // checkpoint cut that the log reset just superseded.
+        inner.epoch += 1;
+        self.shared.applied_grew.notify_all();
+        Ok(true)
+    }
+
+    /// Blocks until the snapshotter has no queued or in-flight job, or
+    /// `timeout` elapses; returns whether it went idle. After a `true`
+    /// return (with no new checkpoints shipping concurrently), the
+    /// retained-bytes bound from the last shipped checkpoint is visible —
+    /// the wait operators and tests use before asserting on
+    /// [`StandbyDb::wal_retained_bytes`].
+    pub fn wait_snapshot_idle(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.shared.snap_queue.lock();
+        while q.pending.is_some() || q.busy {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self.shared.snap_cv.wait_for(&mut q, deadline - now).timed_out()
+                && (q.pending.is_some() || q.busy)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// One past the last applied byte (lag = primary durable − this).
+    pub fn applied_lsn(&self) -> Lsn {
+        self.shared.inner.lock().applied
+    }
+
+    /// Blocks until the applied watermark reaches `lsn` or `timeout`
+    /// elapses; returns whether the standby caught up. The read-your-writes
+    /// wait: a reader holding the commit LSN of its last write as a
+    /// freshness token parks here before reading from this standby.
+    pub fn wait_applied(&self, lsn: Lsn, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock();
+        while inner.applied < lsn {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self.shared.applied_grew.wait_for(&mut inner, deadline - now).timed_out()
+                && inner.applied < lsn
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The standby's log low-water mark (0 until its first truncation).
+    pub fn wal_base_lsn(&self) -> Lsn {
+        self.shared.inner.lock().base
+    }
+
+    /// Bytes of log the standby currently retains (`applied − base`): the
+    /// quantity checkpoint shipping keeps bounded (once the snapshotter
+    /// performed the truncation — [`StandbyDb::wait_snapshot_idle`]).
+    pub fn wal_retained_bytes(&self) -> u64 {
+        let inner = self.shared.inner.lock();
+        inner.applied.saturating_sub(inner.base)
+    }
+
+    /// The standby's storage environment. Promotion opens a normal
+    /// [`crate::Database`] on a clone of this.
+    pub fn env(&self) -> &StorageEnv {
+        &self.shared.env
+    }
+
+    // --- read-committed lookups (mirrors Database's helpers) ---------------
+
+    /// Whether the replicated catalog has a table `name`.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.shared.inner.lock().tables.contains_key(name)
+    }
+
+    /// Point lookup of the replicated committed row at `key`.
+    pub fn get_committed(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
+        let inner = self.shared.inner.lock();
+        let store =
+            inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        Ok(store.get(key).cloned())
+    }
+
+    /// All replicated committed rows of `table`.
+    pub fn scan_committed(&self, table: &str) -> DbResult<Vec<Row>> {
+        let inner = self.shared.inner.lock();
+        let store =
+            inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        Ok(store.iter().map(|(_, row)| row.clone()).collect())
+    }
+
+    /// Replicated committed row count of `table`.
+    pub fn count(&self, table: &str) -> DbResult<usize> {
+        let inner = self.shared.inner.lock();
+        inner
+            .tables
+            .get(table)
+            .map(|s| s.len())
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))
+    }
+
+    /// Transactions prepared on the primary but undecided as of the applied
+    /// watermark (visible in-doubt state; promotion recovery settles them).
+    pub fn in_doubt_txns(&self) -> Vec<TxId> {
+        let mut ids: Vec<TxId> = self.shared.inner.lock().prepared.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl Drop for StandbyDb {
+    /// Signals shutdown and joins the snapshotter, which drains any queued
+    /// job first — so dropping a standby (node restart in tests, graceful
+    /// stop in `dl-repl`) leaves the last shipped checkpoint's snapshot
+    /// and truncation durable on disk.
+    fn drop(&mut self) {
+        self.shared.snap_queue.lock().shutdown = true;
+        self.shared.snap_cv.notify_all();
+        if let Some(handle) = self.snapshotter.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl StandbyShared {
+    /// The snapshotter thread body: pop the (coalesced) job, perform it,
+    /// repeat. On shutdown it drains a pending job before exiting.
+    fn snapshot_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.snap_queue.lock();
+                loop {
+                    if let Some(job) = q.pending.take() {
+                        q.busy = true;
+                        break job;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    self.snap_cv.wait(&mut q);
+                }
+            };
+            // A failed snapshot leaves the standby's log unbounded but its
+            // state correct; the next shipped checkpoint retries. There is
+            // nowhere structured to report the error to from a detached
+            // thread, so it is intentionally dropped.
+            let _ = self.perform_snapshot(job);
+            let mut q = self.snap_queue.lock();
+            q.busy = false;
+            self.snap_cv.notify_all();
+        }
+    }
+
+    /// Writes one standby-side snapshot and truncates the log below the
+    /// job's cut. Clones the state under a brief lock, then performs the
+    /// slow image write unlocked so `apply` keeps streaming; the epoch is
+    /// re-checked before truncation in case a checkpoint install replaced
+    /// the world mid-write.
+    fn perform_snapshot(&self, job: SnapJob) -> DbResult<()> {
+        let (tables, prepared, outcomes, next_txid, base_lsn) = {
+            let inner = self.inner.lock();
+            if inner.epoch != job.epoch {
+                return Ok(());
+            }
+            (
+                inner.tables.clone(),
+                inner.prepared.clone(),
+                inner.outcomes.clone(),
+                inner.max_txid + 1,
+                // The applied watermark sits on a frame boundary and the
+                // cloned state covers everything below it — a valid (and
+                // possibly fresher-than-the-cut) snapshot base.
+                inner.applied,
+            )
+        };
+        {
+            let _slots = self.snap_io.lock();
+            write_snapshot(
+                &self.env.device(slot_for_generation(job.generation))?,
+                SnapshotSource {
+                    generation: job.generation,
+                    base_lsn,
+                    next_txid,
+                    outcomes: &outcomes,
+                    prepared: &prepared,
+                    tables: &tables,
+                },
+            )?;
+        }
+        let mut inner = self.inner.lock();
+        if inner.epoch == job.epoch {
+            self.truncate_log(&mut inner, job.cut)?;
+        }
+        Ok(())
     }
 
     /// Standby-side log truncation: same crash-safe slot dance as
@@ -314,122 +594,6 @@ impl StandbyDb {
         inner.base = new_base;
         inner.dev = dst;
         Ok(())
-    }
-
-    /// Installs a primary checkpoint image: delta catch-up for a standby
-    /// whose next frame was truncated away on the primary (or a freshly
-    /// provisioned one). Persists the image into the standby's own
-    /// snapshot slot, resets the log to empty at the image's base, and
-    /// replaces the in-memory state. Returns `false` (and changes nothing)
-    /// when the standby is already at or past the image — the shipper then
-    /// just resumes framing. Crash-safe: the image is durable before the
-    /// log reset, and [`StandbyDb::open`] completes a reset that a crash
-    /// interrupted.
-    pub fn install_checkpoint(&self, snap: &SnapshotData) -> DbResult<bool> {
-        let mut inner = self.inner.lock();
-        if snap.base_lsn <= inner.applied {
-            return Ok(false);
-        }
-        write_snapshot(&self.env.device(slot_for_generation(snap.generation))?, snap.into())?;
-        // Log reset: empty inactive slot at the image's base, then flip.
-        let (dst, slot, seq) =
-            swap_log_slot(&self.env, inner.slot, inner.ctl_seq, snap.base_lsn, &[])?;
-        inner.slot = slot;
-        inner.ctl_seq = seq;
-        inner.base = snap.base_lsn;
-        inner.dev = dst;
-        inner.tables = snap.tables.clone();
-        inner.prepared = snap.prepared.clone();
-        inner.outcomes = snap.outcomes.clone();
-        inner.max_txid = inner.max_txid.max(snap.next_txid.saturating_sub(1));
-        inner.applied = snap.base_lsn;
-        self.applied_grew.notify_all();
-        Ok(true)
-    }
-
-    /// One past the last applied byte (lag = primary durable − this).
-    pub fn applied_lsn(&self) -> Lsn {
-        self.inner.lock().applied
-    }
-
-    /// Blocks until the applied watermark reaches `lsn` or `timeout`
-    /// elapses; returns whether the standby caught up. The read-your-writes
-    /// wait: a reader holding the commit LSN of its last write as a
-    /// freshness token parks here before reading from this standby.
-    pub fn wait_applied(&self, lsn: Lsn, timeout: std::time::Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut inner = self.inner.lock();
-        while inner.applied < lsn {
-            let now = std::time::Instant::now();
-            if now >= deadline {
-                return false;
-            }
-            if self.applied_grew.wait_for(&mut inner, deadline - now).timed_out()
-                && inner.applied < lsn
-            {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// The standby's log low-water mark (0 until its first truncation).
-    pub fn wal_base_lsn(&self) -> Lsn {
-        self.inner.lock().base
-    }
-
-    /// Bytes of log the standby currently retains (`applied − base`): the
-    /// quantity checkpoint shipping keeps bounded.
-    pub fn wal_retained_bytes(&self) -> u64 {
-        let inner = self.inner.lock();
-        inner.applied.saturating_sub(inner.base)
-    }
-
-    /// The standby's storage environment. Promotion opens a normal
-    /// [`crate::Database`] on a clone of this.
-    pub fn env(&self) -> &StorageEnv {
-        &self.env
-    }
-
-    // --- read-committed lookups (mirrors Database's helpers) ---------------
-
-    /// Whether the replicated catalog has a table `name`.
-    pub fn has_table(&self, name: &str) -> bool {
-        self.inner.lock().tables.contains_key(name)
-    }
-
-    /// Point lookup of the replicated committed row at `key`.
-    pub fn get_committed(&self, table: &str, key: &Value) -> DbResult<Option<Row>> {
-        let inner = self.inner.lock();
-        let store =
-            inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
-        Ok(store.get(key).cloned())
-    }
-
-    /// All replicated committed rows of `table`.
-    pub fn scan_committed(&self, table: &str) -> DbResult<Vec<Row>> {
-        let inner = self.inner.lock();
-        let store =
-            inner.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
-        Ok(store.iter().map(|(_, row)| row.clone()).collect())
-    }
-
-    /// Replicated committed row count of `table`.
-    pub fn count(&self, table: &str) -> DbResult<usize> {
-        let inner = self.inner.lock();
-        inner
-            .tables
-            .get(table)
-            .map(|s| s.len())
-            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))
-    }
-
-    /// Transactions prepared on the primary but undecided as of the applied
-    /// watermark (visible in-doubt state; promotion recovery settles them).
-    pub fn in_doubt_txns(&self) -> Vec<TxId> {
-        let mut ids: Vec<TxId> = self.inner.lock().prepared.keys().copied().collect();
-        ids.sort_unstable();
-        ids
     }
 }
 
@@ -680,8 +844,10 @@ mod tests {
             }
             db.checkpoint_and_truncate().unwrap();
             ship_all(&db, &standby);
-            // Lockstep: the standby truncated at the shipped Checkpoint
-            // record, so its retained bytes match the primary's.
+            // Lockstep: the standby truncates at the shipped Checkpoint
+            // record — on its snapshotter thread, so wait for it — and
+            // then its retained bytes match the primary's.
+            assert!(standby.wait_snapshot_idle(std::time::Duration::from_secs(10)));
             assert_eq!(standby.wal_base_lsn(), db.wal_base_lsn());
             assert_eq!(standby.wal_retained_bytes(), db.wal_retained_bytes());
         }
@@ -693,6 +859,55 @@ mod tests {
         drop(standby);
         let standby = StandbyDb::open(env).unwrap();
         assert_eq!(standby.count("t").unwrap(), 30);
+        assert_eq!(standby.applied_lsn(), db.durable_lsn());
+    }
+
+    #[test]
+    fn apply_does_not_block_on_slow_snapshot_writes() {
+        // Regression guard for the async snapshotter: with a slow standby
+        // disk, applying a checkpoint-carrying range must cost apply()
+        // only its own log append sync — the (much bigger) snapshot image
+        // write happens on the snapshotter thread. The inline version
+        // paid image-write + truncation syncs inside apply, stalling the
+        // ship round and every freshness waiter behind it.
+        const SYNC_LATENCY: std::time::Duration = std::time::Duration::from_millis(25);
+        let db = Database::open(StorageEnv::mem()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        let standby =
+            StandbyDb::open(StorageEnv::mem_with_sync_latency(SYNC_LATENCY.as_nanos() as u64))
+                .unwrap();
+        for i in 0..50i64 {
+            let mut tx = db.begin();
+            tx.insert("t", row(i, "bulk")).unwrap();
+            tx.commit().unwrap();
+        }
+        ship_all(&db, &standby);
+        db.checkpoint_and_truncate().unwrap();
+
+        // The un-shipped range is exactly the Checkpoint frame: the apply
+        // below is all checkpoint handling, no bulk row replay.
+        let frames = db.replication_feed().reader().read_from(standby.applied_lsn()).unwrap();
+        let start = std::time::Instant::now();
+        standby.apply(&frames).unwrap();
+        let apply_took = start.elapsed();
+        // One append sync, plus slack for the apply loop itself. The old
+        // inline path paid >= 3 extra device syncs here (image write +
+        // slot-swap copy + control flip), i.e. >= 100ms at this latency.
+        assert!(
+            apply_took < SYNC_LATENCY * 3,
+            "apply() stalled on snapshot i/o: {apply_took:?} at {SYNC_LATENCY:?} sync latency"
+        );
+
+        // The snapshot + truncation still happen — asynchronously.
+        assert!(standby.wait_snapshot_idle(std::time::Duration::from_secs(30)));
+        assert_eq!(standby.wal_base_lsn(), db.wal_base_lsn());
+        assert_eq!(standby.count("t").unwrap(), 50);
+
+        // And a restart recovers from the async-written snapshot + suffix.
+        let env = standby.env().clone();
+        drop(standby);
+        let standby = StandbyDb::open(env).unwrap();
+        assert_eq!(standby.count("t").unwrap(), 50);
         assert_eq!(standby.applied_lsn(), db.durable_lsn());
     }
 

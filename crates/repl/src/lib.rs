@@ -279,6 +279,13 @@ impl Standby {
         self.db.wait_applied(lsn, timeout)
     }
 
+    /// Blocks until this standby's background snapshotter has no queued or
+    /// in-flight work; after a `true` return the retained-bytes bound from
+    /// the last shipped checkpoint is visible.
+    pub fn wait_snapshot_idle(&self, timeout: Duration) -> bool {
+        self.db.wait_snapshot_idle(timeout)
+    }
+
     /// The standby's repository environment (promotion opens a normal
     /// `Database` — and with it a full DLFM repository — on a clone).
     pub fn env(&self) -> &StorageEnv {
@@ -538,6 +545,16 @@ impl Replicator {
         // applied. (The a11 full-replay arm flaked exactly here: caught
         // up with `records_shipped() == 0`.)
         drop(self.core.cursor.lock());
+        // Caught up also means *bounded*: each standby truncates its log
+        // on its own snapshotter thread after a shipped checkpoint, so
+        // wait for those to go idle before callers assert on retained
+        // bytes.
+        for standby in &self.core.standbys {
+            let now = Instant::now();
+            if now >= deadline || !standby.wait_snapshot_idle(deadline - now) {
+                return false;
+            }
+        }
         true
     }
 

@@ -12,13 +12,18 @@
 //!   `(/[a-z0-9.]{1,10}){1,4}`, `\PC{0,24}`, …);
 //! * a deterministic per-test RNG (seeded from the test name) so failures
 //!   reproduce without persistence files;
-//! * **integer shrinking**: when a `prop_assert*` fails, the runner walks
-//!   [`strategy::Strategy::shrink`] candidates — integer-range strategies
-//!   bisect toward the range start, tuples shrink component-wise — and
-//!   panics with the *minimal* failing inputs it found. Strategies without
-//!   shrink support (`prop_map`, `prop_oneof`, collections, strings)
-//!   report the original failing case unshrunk; a plain `assert!`/`unwrap`
-//!   panic aborts immediately without shrinking.
+//! * **shrinking through every combinator**: generation returns a
+//!   [`strategy::ValueTree`] that remembers how the value was built, so
+//!   when a `prop_assert*` fails the runner walks `simplify`/`complicate`
+//!   moves — integer ranges bisect toward the range start, `any::<int>()`
+//!   bisects toward zero, tuples shrink component-wise, `prop_map` and
+//!   `prop_filter` shrink through their source, `prop_oneof` shrinks
+//!   within the chosen arm, `collection::vec` drops elements to the
+//!   minimum length then shrinks the survivors, and string strategies
+//!   drop repetitions to each quantifier's minimum then walk every
+//!   character toward its class's first char — and panics with the
+//!   *minimal* failing inputs it found. A plain `assert!`/`unwrap` panic
+//!   aborts immediately without shrinking.
 
 pub mod test_runner {
     /// Why a test case did not count toward `cases`.
@@ -95,8 +100,8 @@ pub mod test_runner {
         let mut successes = 0u32;
         let mut rejects = 0u32;
         while successes < config.cases {
-            let value = strategy.generate(&mut rng);
-            match case(value.clone()) {
+            let mut tree = strategy.new_tree(&mut rng);
+            match case(tree.current()) {
                 Ok(()) => successes += 1,
                 Err(TestCaseError::Reject) => {
                     rejects += 1;
@@ -109,7 +114,7 @@ pub mod test_runner {
                     }
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    let (min, min_msg, steps) = shrink_failure(strategy, value, msg, &mut case);
+                    let (min, min_msg, steps) = shrink_failure(&mut *tree, msg, &mut case);
                     panic!(
                         "proptest {name}: minimal failing input{}: {min:?}\n{min_msg}",
                         if steps > 0 {
@@ -123,59 +128,168 @@ pub mod test_runner {
         }
     }
 
-    /// Greedy shrink: repeatedly replace the failing value with the first
-    /// still-failing shrink candidate until no candidate fails (or the try
-    /// budget runs out). Integer ranges bisect toward their start, so this
-    /// converges to the range's smallest failing value in O(log) steps.
-    fn shrink_failure<S, F>(
-        strategy: &S,
-        mut cur: S::Value,
-        mut cur_msg: String,
+    /// Walks the failing case's value tree: `simplify` after a failing
+    /// candidate (accept the move, try simpler), `complicate` after a
+    /// passing one (back off toward the last failing value). The tree
+    /// converges — integer-backed trees bisect, so the search lands on the
+    /// exact threshold in O(log) candidates — and `best` tracks the
+    /// simplest candidate that actually failed.
+    fn shrink_failure<T, V, F>(
+        tree: &mut T,
+        mut best_msg: String,
         case: &mut F,
-    ) -> (S::Value, String, usize)
+    ) -> (V, String, usize)
     where
-        S: crate::strategy::Strategy,
-        S::Value: Clone + std::fmt::Debug,
-        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        T: crate::strategy::ValueTree<Value = V> + ?Sized,
+        V: Clone + std::fmt::Debug,
+        F: FnMut(V) -> Result<(), TestCaseError>,
     {
+        let mut best = tree.current();
         let mut steps = 0usize;
         let mut tried = 0usize;
-        'search: loop {
-            for candidate in strategy.shrink(&cur) {
-                tried += 1;
-                if tried > MAX_SHRINK_TRIES {
-                    break 'search;
-                }
-                if let Err(TestCaseError::Fail(msg)) = case(candidate.clone()) {
-                    cur = candidate;
-                    cur_msg = msg;
+        let mut moved = tree.simplify();
+        while moved && tried < MAX_SHRINK_TRIES {
+            tried += 1;
+            match case(tree.current()) {
+                Err(TestCaseError::Fail(msg)) => {
+                    best = tree.current();
+                    best_msg = msg;
                     steps += 1;
-                    continue 'search;
+                    moved = tree.simplify();
+                }
+                // `prop_assume!` rejections commit no bound; passes back
+                // off. Either way, when the axis is exhausted let
+                // `simplify` advance to the next one.
+                Err(TestCaseError::Reject) => {
+                    moved = tree.reject();
+                    if !moved {
+                        moved = tree.simplify();
+                    }
+                }
+                Ok(()) => {
+                    moved = tree.complicate();
+                    if !moved {
+                        moved = tree.simplify();
+                    }
                 }
             }
-            break;
         }
-        (cur, cur_msg, steps)
+        (best, best_msg, steps)
     }
 }
 
 pub mod strategy {
     use crate::test_runner::TestRng;
 
-    /// Generates values of `Self::Value`. Unlike real proptest there is no
-    /// full value tree; `generate` returns the final value and `shrink`
-    /// proposes smaller candidates for a failing one (integer ranges and
-    /// tuples of them — everything else reports failures unshrunk).
-    pub trait Strategy {
+    /// One generated value plus the search state to shrink it: `current`
+    /// is the candidate under test, `simplify` moves to a strictly simpler
+    /// candidate after `current` failed, `complicate` backs off after
+    /// `current` passed. Both return `false` when that axis of the search
+    /// is exhausted (after which `current` is the best known failing
+    /// value for integer-backed trees).
+    pub trait ValueTree {
         type Value;
 
-        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+        fn current(&self) -> Self::Value;
+        fn simplify(&mut self) -> bool;
+        fn complicate(&mut self) -> bool;
 
-        /// Candidate replacements for a failing `value`, "smaller" first.
-        /// An empty vec (the default) means this strategy cannot shrink.
-        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-            let _ = value;
-            Vec::new()
+        /// `current` was rejected (by `prop_filter` or `prop_assume!`):
+        /// it is neither evidence of passing nor failing, so propose a
+        /// different candidate *without* committing any search bound.
+        /// Integer-backed trees probe upward one step; the conservative
+        /// default backs off like a pass.
+        fn reject(&mut self) -> bool {
+            self.complicate()
+        }
+    }
+
+    /// A tree that cannot shrink: `current` forever, no moves.
+    pub struct NoShrink<T: Clone> {
+        pub value: T,
+    }
+
+    impl<T: Clone> ValueTree for NoShrink<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+        fn simplify(&mut self) -> bool {
+            false
+        }
+        fn complicate(&mut self) -> bool {
+            false
+        }
+    }
+
+    /// Binary search over `i128`, shared by every integer-backed tree.
+    /// Invariants: `hi` is the smallest known-failing value, everything
+    /// below `lo` is known-passing (or out of range), `curr` is the
+    /// candidate under test.
+    #[derive(Clone, Debug)]
+    pub(crate) struct BinSearch {
+        lo: i128,
+        hi: i128,
+        curr: i128,
+    }
+
+    impl BinSearch {
+        /// `failing` just failed; candidates live in `[lo_bound, failing]`.
+        pub(crate) fn new(lo_bound: i128, failing: i128) -> Self {
+            BinSearch { lo: lo_bound, hi: failing, curr: failing }
+        }
+
+        pub(crate) fn current(&self) -> i128 {
+            self.curr
+        }
+
+        pub(crate) fn simplify(&mut self) -> bool {
+            self.hi = self.curr;
+            if self.hi <= self.lo {
+                return false;
+            }
+            self.curr = self.lo + (self.hi - self.lo) / 2;
+            true
+        }
+
+        pub(crate) fn complicate(&mut self) -> bool {
+            self.lo = self.curr + 1;
+            if self.lo >= self.hi {
+                // Exhausted: settle on the smallest known-failing value.
+                self.curr = self.hi;
+                return false;
+            }
+            self.curr = self.lo + (self.hi - self.lo) / 2;
+            true
+        }
+
+        /// `curr` was filter-rejected: probe the next value toward the
+        /// known-failing bound, leaving `lo` untouched (a rejection says
+        /// nothing about the candidates below).
+        pub(crate) fn reject(&mut self) -> bool {
+            if self.curr + 1 >= self.hi {
+                self.curr = self.hi;
+                return false;
+            }
+            self.curr += 1;
+            true
+        }
+    }
+
+    /// Generates values of `Self::Value` as shrinkable [`ValueTree`]s.
+    pub trait Strategy {
+        /// Generated values are owned data, so the returned trees can
+        /// outlive the RNG borrow.
+        type Value: 'static;
+
+        fn new_tree<'a>(
+            &'a self,
+            rng: &mut TestRng,
+        ) -> Box<dyn ValueTree<Value = Self::Value> + 'a>;
+
+        /// Just the value, search state discarded.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.new_tree(rng).current()
         }
 
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -206,21 +320,15 @@ pub mod strategy {
 
     impl<S: Strategy + ?Sized> Strategy for Box<S> {
         type Value = S::Value;
-        fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (**self).generate(rng)
-        }
-        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-            (**self).shrink(value)
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S::Value> + 'a> {
+            (**self).new_tree(rng)
         }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
         type Value = S::Value;
-        fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            (**self).generate(rng)
-        }
-        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-            (**self).shrink(value)
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S::Value> + 'a> {
+            (**self).new_tree(rng)
         }
     }
 
@@ -229,10 +337,33 @@ pub mod strategy {
         map: F,
     }
 
-    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    /// Shrinks through the source tree; the map is re-applied per
+    /// candidate.
+    pub struct MapTree<'a, V, O> {
+        inner: Box<dyn ValueTree<Value = V> + 'a>,
+        map: &'a dyn Fn(V) -> O,
+    }
+
+    impl<V, O> ValueTree for MapTree<'_, V, O> {
         type Value = O;
-        fn generate(&self, rng: &mut TestRng) -> O {
-            (self.map)(self.source.generate(rng))
+        fn current(&self) -> O {
+            (self.map)(self.inner.current())
+        }
+        fn simplify(&mut self) -> bool {
+            self.inner.simplify()
+        }
+        fn complicate(&mut self) -> bool {
+            self.inner.complicate()
+        }
+        fn reject(&mut self) -> bool {
+            self.inner.reject()
+        }
+    }
+
+    impl<S: Strategy, O: 'static, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = O> + 'a> {
+            Box::new(MapTree { inner: self.source.new_tree(rng), map: &self.map })
         }
     }
 
@@ -242,20 +373,71 @@ pub mod strategy {
         whence: &'static str,
     }
 
+    /// Cap on consecutive filter-rejected candidates inside one shrink
+    /// move, so a sparse filter cannot stall the search.
+    const FILTER_SKIP_BOUND: usize = 64;
+
+    /// Shrinks through the source tree, treating candidates the filter
+    /// rejects as if they had passed the test (they are not valid
+    /// counterexamples), so the search backs off past them.
+    pub struct FilterTree<'a, V> {
+        inner: Box<dyn ValueTree<Value = V> + 'a>,
+        keep: &'a dyn Fn(&V) -> bool,
+    }
+
+    impl<V> ValueTree for FilterTree<'_, V> {
+        type Value = V;
+        fn current(&self) -> V {
+            self.inner.current()
+        }
+        fn simplify(&mut self) -> bool {
+            // One real `simplify` move (the last candidate failed), then
+            // step past filter-rejected candidates with `reject`, which
+            // commits no search bound — a rejection is evidence about
+            // nothing but that one value.
+            if !self.inner.simplify() {
+                return false;
+            }
+            self.skip_rejected()
+        }
+        fn complicate(&mut self) -> bool {
+            if !self.inner.complicate() {
+                return false;
+            }
+            self.skip_rejected()
+        }
+        fn reject(&mut self) -> bool {
+            if !self.inner.reject() {
+                return false;
+            }
+            self.skip_rejected()
+        }
+    }
+
+    impl<V> FilterTree<'_, V> {
+        fn skip_rejected(&mut self) -> bool {
+            for _ in 0..FILTER_SKIP_BOUND {
+                if (self.keep)(&self.inner.current()) {
+                    return true;
+                }
+                if !self.inner.reject() {
+                    return false;
+                }
+            }
+            false
+        }
+    }
+
     impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         type Value = S::Value;
-        fn generate(&self, rng: &mut TestRng) -> S::Value {
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S::Value> + 'a> {
             for _ in 0..10_000 {
-                let v = self.source.generate(rng);
-                if (self.keep)(&v) {
-                    return v;
+                let tree = self.source.new_tree(rng);
+                if (self.keep)(&tree.current()) {
+                    return Box::new(FilterTree { inner: tree, keep: &self.keep });
                 }
             }
             panic!("prop_filter {:?} rejected 10000 consecutive values", self.whence);
-        }
-        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
-            // Shrunk candidates must still satisfy the filter.
-            self.source.shrink(value).into_iter().filter(|v| (self.keep)(v)).collect()
         }
     }
 
@@ -263,14 +445,15 @@ pub mod strategy {
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);
 
-    impl<T: Clone> Strategy for Just<T> {
+    impl<T: Clone + 'static> Strategy for Just<T> {
         type Value = T;
-        fn generate(&self, _rng: &mut TestRng) -> T {
-            self.0.clone()
+        fn new_tree<'a>(&'a self, _rng: &mut TestRng) -> Box<dyn ValueTree<Value = T> + 'a> {
+            Box::new(NoShrink { value: self.0.clone() })
         }
     }
 
-    /// Weighted union used by `prop_oneof!`.
+    /// Weighted union used by `prop_oneof!`. Shrinking stays within the
+    /// arm that generated the failing value.
     pub struct Union<T> {
         arms: Vec<(u32, BoxedStrategy<T>)>,
         total: u64,
@@ -285,13 +468,13 @@ pub mod strategy {
         }
     }
 
-    impl<T> Strategy for Union<T> {
+    impl<T: 'static> Strategy for Union<T> {
         type Value = T;
-        fn generate(&self, rng: &mut TestRng) -> T {
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T> + 'a> {
             let mut pick = rng.below(self.total);
             for (w, s) in &self.arms {
                 if pick < *w as u64 {
-                    return s.generate(rng);
+                    return s.new_tree(rng);
                 }
                 pick -= *w as u64;
             }
@@ -299,125 +482,155 @@ pub mod strategy {
         }
     }
 
-    /// Shrink candidates for an integer `v` failing inside `[lo, v)`:
-    /// the range start (smallest possible), the midpoint toward it
-    /// (bisection — O(log) convergence), and the predecessor (so the
-    /// greedy search can land exactly on a threshold boundary).
-    fn int_shrink_candidates(lo: i128, v: i128) -> Vec<i128> {
-        if v <= lo {
-            return Vec::new();
-        }
-        let mut out = vec![lo, lo + (v - lo) / 2, v - 1];
-        out.dedup();
-        out.retain(|c| *c != v);
-        out
-    }
-
     macro_rules! int_range_strategy {
-        ($($t:ty),*) => {$(
+        ($($t:ty => $tree:ident),*) => {$(
+            /// Bisects toward the range start.
+            pub struct $tree {
+                search: BinSearch,
+            }
+
+            impl ValueTree for $tree {
+                type Value = $t;
+                fn current(&self) -> $t {
+                    self.search.current() as $t
+                }
+                fn simplify(&mut self) -> bool {
+                    self.search.simplify()
+                }
+                fn complicate(&mut self) -> bool {
+                    self.search.complicate()
+                }
+                fn reject(&mut self) -> bool {
+                    self.search.reject()
+                }
+            }
+
             impl Strategy for core::ops::Range<$t> {
                 type Value = $t;
-                fn generate(&self, rng: &mut TestRng) -> $t {
+                fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t> + 'a> {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end as i128 - self.start as i128) as u128;
                     let off = (rng.next_u64() as u128) % span;
-                    (self.start as i128 + off as i128) as $t
-                }
-                fn shrink(&self, value: &$t) -> Vec<$t> {
-                    int_shrink_candidates(self.start as i128, *value as i128)
-                        .into_iter()
-                        .map(|c| c as $t)
-                        .collect()
+                    let v = self.start as i128 + off as i128;
+                    Box::new($tree { search: BinSearch::new(self.start as i128, v) })
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
                 type Value = $t;
-                fn generate(&self, rng: &mut TestRng) -> $t {
+                fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t> + 'a> {
                     let (lo, hi) = (*self.start() as i128, *self.end() as i128);
                     assert!(lo <= hi, "empty range strategy");
                     let span = (hi - lo + 1) as u128;
                     let off = (rng.next_u64() as u128) % span;
-                    (lo + off as i128) as $t
-                }
-                fn shrink(&self, value: &$t) -> Vec<$t> {
-                    int_shrink_candidates(*self.start() as i128, *value as i128)
-                        .into_iter()
-                        .map(|c| c as $t)
-                        .collect()
+                    Box::new($tree { search: BinSearch::new(lo, lo + off as i128) })
                 }
             }
         )*};
     }
-    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+    int_range_strategy!(
+        i8 => I8Tree, i16 => I16Tree, i32 => I32Tree, i64 => I64Tree, isize => IsizeTree,
+        u8 => U8Tree, u16 => U16Tree, u32 => U32Tree, u64 => U64Tree, usize => UsizeTree
+    );
 
     macro_rules! tuple_strategy {
-        ($(($($n:ident $idx:tt),+))*) => {$(
+        ($($tree:ident: ($($f:ident $n:ident $idx:tt),+))*) => {$(
+            /// Shrinks component-wise: each position minimizes fully (its
+            /// own binary search) before the next one starts.
+            pub struct $tree<'a, $($n),+> {
+                $($f: Box<dyn ValueTree<Value = $n> + 'a>,)+
+                active: usize,
+            }
+
+            impl<$($n),+> ValueTree for $tree<'_, $($n),+> {
+                type Value = ($($n,)+);
+                fn current(&self) -> Self::Value {
+                    ($(self.$f.current(),)+)
+                }
+                fn simplify(&mut self) -> bool {
+                    $(
+                        if self.active <= $idx && self.$f.simplify() {
+                            self.active = $idx;
+                            return true;
+                        }
+                    )+
+                    false
+                }
+                fn complicate(&mut self) -> bool {
+                    match self.active {
+                        $($idx => self.$f.complicate(),)+
+                        _ => false,
+                    }
+                }
+                fn reject(&mut self) -> bool {
+                    match self.active {
+                        $($idx => self.$f.reject(),)+
+                        _ => false,
+                    }
+                }
+            }
+
             impl<$($n: Strategy),+> Strategy for ($($n,)+)
             where
                 $($n::Value: Clone),+
             {
                 type Value = ($($n::Value,)+);
-                fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    ($(self.$idx.generate(rng),)+)
-                }
-                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-                    // Component-wise: shrink one position at a time with
-                    // the others held fixed.
-                    let mut out = Vec::new();
-                    $(
-                        for candidate in self.$idx.shrink(&value.$idx) {
-                            let mut next = value.clone();
-                            next.$idx = candidate;
-                            out.push(next);
-                        }
-                    )+
-                    out
+                fn new_tree<'a>(
+                    &'a self,
+                    rng: &mut TestRng,
+                ) -> Box<dyn ValueTree<Value = Self::Value> + 'a> {
+                    Box::new($tree { $($f: self.$idx.new_tree(rng),)+ active: 0 })
                 }
             }
         )*};
     }
     tuple_strategy! {
-        (A 0)
-        (A 0, B 1)
-        (A 0, B 1, C 2)
-        (A 0, B 1, C 2, D 3)
-        (A 0, B 1, C 2, D 3, E 4)
-        (A 0, B 1, C 2, D 3, E 4, F 5)
+        TupleTree1: (t0 A 0)
+        TupleTree2: (t0 A 0, t1 B 1)
+        TupleTree3: (t0 A 0, t1 B 1, t2 C 2)
+        TupleTree4: (t0 A 0, t1 B 1, t2 C 2, t3 D 3)
+        TupleTree5: (t0 A 0, t1 B 1, t2 C 2, t3 D 3, t4 E 4)
+        TupleTree6: (t0 A 0, t1 B 1, t2 C 2, t3 D 3, t4 E 4, t5 F 5)
     }
 
     /// `&str` strategies interpret the string as the regex subset described
     /// in [`crate::string`].
     impl Strategy for &str {
         type Value = String;
-        fn generate(&self, rng: &mut TestRng) -> String {
-            crate::string::generate(self, rng)
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = String> + 'a> {
+            Box::new(crate::string::new_tree(self, rng))
         }
     }
 
     impl Strategy for String {
         type Value = String;
-        fn generate(&self, rng: &mut TestRng) -> String {
-            crate::string::generate(self, rng)
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = String> + 'a> {
+            Box::new(crate::string::new_tree(self, rng))
         }
     }
 }
 
 pub mod arbitrary {
-    use crate::strategy::Strategy;
+    use crate::strategy::{BinSearch, NoShrink, Strategy, ValueTree};
     use crate::test_runner::TestRng;
     use std::marker::PhantomData;
 
     /// Types with a canonical `any::<T>()` strategy.
-    pub trait Arbitrary: Sized {
+    pub trait Arbitrary: Sized + Clone + 'static {
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// The shrink tree for a generated `value`; unshrinkable by
+        /// default (floats, chars), integers bisect toward zero.
+        fn shrink_tree(value: Self) -> Box<dyn ValueTree<Value = Self>> {
+            Box::new(NoShrink { value })
+        }
     }
 
     pub struct Any<T>(PhantomData<T>);
 
     impl<T: Arbitrary> Strategy for Any<T> {
         type Value = T;
-        fn generate(&self, rng: &mut TestRng) -> T {
-            T::arbitrary(rng)
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T> + 'a> {
+            T::shrink_tree(T::arbitrary(rng))
         }
     }
 
@@ -425,8 +638,34 @@ pub mod arbitrary {
         Any(PhantomData)
     }
 
+    /// `any::<int>()` shrinks toward zero: the magnitude bisects while the
+    /// sign is preserved, so a failing `-3000` minimizes to the smallest
+    /// failing negative, not to the type's minimum.
+    struct SignedTree<T> {
+        neg: bool,
+        search: BinSearch,
+        _marker: PhantomData<T>,
+    }
+
     macro_rules! int_arbitrary {
         ($($t:ty),*) => {$(
+            impl ValueTree for SignedTree<$t> {
+                type Value = $t;
+                fn current(&self) -> $t {
+                    let m = self.search.current();
+                    (if self.neg { -m } else { m }) as $t
+                }
+                fn simplify(&mut self) -> bool {
+                    self.search.simplify()
+                }
+                fn complicate(&mut self) -> bool {
+                    self.search.complicate()
+                }
+                fn reject(&mut self) -> bool {
+                    self.search.reject()
+                }
+            }
+
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     // Half the draws cover the full bit range (negatives and
@@ -439,14 +678,57 @@ pub mod arbitrary {
                         _ => ((rng.next_u64() % 17) as $t).wrapping_neg(),
                     }
                 }
+                fn shrink_tree(value: Self) -> Box<dyn ValueTree<Value = Self>> {
+                    #[allow(unused_comparisons)]
+                    let wide = if (value as i128) < 0 && <$t>::MIN == 0 {
+                        // Unsigned types whose top bit is set widen
+                        // value-preserving through u64, not sign-extending.
+                        value as u64 as i128
+                    } else {
+                        value as i128
+                    };
+                    let (neg, mag) = if wide < 0 { (true, -wide) } else { (false, wide) };
+                    Box::new(SignedTree::<$t> {
+                        neg,
+                        search: BinSearch::new(0, mag),
+                        _marker: PhantomData,
+                    })
+                }
             }
         )*};
     }
     int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
+    /// `true` simplifies to `false` once.
+    struct BoolTree {
+        cur: bool,
+    }
+
+    impl ValueTree for BoolTree {
+        type Value = bool;
+        fn current(&self) -> bool {
+            self.cur
+        }
+        fn simplify(&mut self) -> bool {
+            if self.cur {
+                self.cur = false;
+                true
+            } else {
+                false
+            }
+        }
+        fn complicate(&mut self) -> bool {
+            self.cur = true;
+            false
+        }
+    }
+
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 0
+        }
+        fn shrink_tree(value: Self) -> Box<dyn ValueTree<Value = Self>> {
+            Box::new(BoolTree { cur: value })
         }
     }
 
@@ -472,7 +754,7 @@ pub mod arbitrary {
 }
 
 pub mod collection {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, ValueTree};
     use crate::test_runner::TestRng;
 
     /// Accepted element-count specifications for [`vec()`].
@@ -517,18 +799,107 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
+    /// Shrinks in two phases: first drop elements (front to back, down to
+    /// the minimum length), then shrink each survivor through its own
+    /// element tree. A drop the test tolerates is made permanent; one the
+    /// test needs (the case passes without the element) is restored and
+    /// that element kept for good.
+    pub struct VecTree<'a, T> {
+        elems: Vec<Box<dyn ValueTree<Value = T> + 'a>>,
+        included: Vec<bool>,
+        min: usize,
+        shrinking_elements: bool,
+        cursor: usize,
+        undo: Option<usize>,
+    }
+
+    impl<T> ValueTree for VecTree<'_, T> {
+        type Value = Vec<T>;
+        fn current(&self) -> Vec<T> {
+            self.elems
+                .iter()
+                .zip(&self.included)
+                .filter(|(_, inc)| **inc)
+                .map(|(e, _)| e.current())
+                .collect()
+        }
+        fn simplify(&mut self) -> bool {
+            if !self.shrinking_elements {
+                while self.cursor < self.elems.len() {
+                    let live = self.included.iter().filter(|i| **i).count();
+                    if live > self.min && self.included[self.cursor] {
+                        self.included[self.cursor] = false;
+                        self.undo = Some(self.cursor);
+                        self.cursor += 1;
+                        return true;
+                    }
+                    self.cursor += 1;
+                }
+                self.shrinking_elements = true;
+                self.cursor = 0;
+            }
+            while self.cursor < self.elems.len() {
+                if self.included[self.cursor] && self.elems[self.cursor].simplify() {
+                    return true;
+                }
+                self.cursor += 1;
+            }
+            false
+        }
+        fn complicate(&mut self) -> bool {
+            if !self.shrinking_elements {
+                match self.undo.take() {
+                    Some(i) => {
+                        // The test passed without elems[i]: it is part of
+                        // the counterexample. Restore it (the cursor has
+                        // already moved past, so it stays for good) and
+                        // propose the next drop.
+                        self.included[i] = true;
+                        self.simplify()
+                    }
+                    None => false,
+                }
+            } else if self.cursor < self.elems.len() {
+                self.elems[self.cursor].complicate()
+            } else {
+                false
+            }
+        }
+        fn reject(&mut self) -> bool {
+            if self.shrinking_elements && self.cursor < self.elems.len() {
+                self.elems[self.cursor].reject()
+            } else {
+                // A shorter vec was rejected outright: treat like a pass
+                // (restore the element) — rejection gives no license to
+                // keep it dropped.
+                self.complicate()
+            }
+        }
+    }
+
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
-        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        fn new_tree<'a>(
+            &'a self,
+            rng: &mut TestRng,
+        ) -> Box<dyn ValueTree<Value = Vec<S::Value>> + 'a> {
             let span = (self.size.hi - self.size.lo) as u64;
             let len = self.size.lo + rng.below(span.max(1)) as usize;
-            (0..len).map(|_| self.element.generate(rng)).collect()
+            let elems: Vec<_> = (0..len).map(|_| self.element.new_tree(rng)).collect();
+            Box::new(VecTree {
+                included: vec![true; elems.len()],
+                elems,
+                min: self.size.lo,
+                shrinking_elements: false,
+                cursor: 0,
+                undo: None,
+            })
         }
     }
 }
 
 pub mod char {
-    use crate::strategy::Strategy;
+    use crate::strategy::{BinSearch, Strategy, ValueTree};
     use crate::test_runner::TestRng;
 
     pub struct CharRange {
@@ -542,15 +913,41 @@ pub mod char {
         CharRange { lo: lo as u32, hi: hi as u32 }
     }
 
+    /// Bisects the codepoint offset toward the range's first char.
+    pub struct CharTree {
+        lo: u32,
+        search: BinSearch,
+    }
+
+    impl ValueTree for CharTree {
+        type Value = char;
+        fn current(&self) -> char {
+            let v = self.lo + self.search.current() as u32;
+            // Offsets that land in a codepoint gap settle on the range
+            // start (always valid: `range()` took it as a `char`).
+            char::from_u32(v).unwrap_or_else(|| char::from_u32(self.lo).unwrap())
+        }
+        fn simplify(&mut self) -> bool {
+            self.search.simplify()
+        }
+        fn complicate(&mut self) -> bool {
+            self.search.complicate()
+        }
+        fn reject(&mut self) -> bool {
+            self.search.reject()
+        }
+    }
+
     impl Strategy for CharRange {
         type Value = char;
-        fn generate(&self, rng: &mut TestRng) -> char {
-            loop {
-                let v = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
-                if let Some(c) = char::from_u32(v) {
-                    return c;
+        fn new_tree<'a>(&'a self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = char> + 'a> {
+            let off = loop {
+                let off = rng.below((self.hi - self.lo + 1) as u64) as u32;
+                if char::from_u32(self.lo + off).is_some() {
+                    break off;
                 }
-            }
+            };
+            Box::new(CharTree { lo: self.lo, search: BinSearch::new(0, off as i128) })
         }
     }
 }
@@ -560,7 +957,13 @@ pub mod string {
     //! literals, `[...]` classes (with ranges), `(...)` groups, `\PC`
     //! (any non-control char), and the `{n}` / `{m,n}` / `?` / `*` / `+`
     //! quantifiers.
+    //!
+    //! Generation builds a [`StringTree`] mirroring the pattern structure,
+    //! so failing strings shrink: quantified repetitions drop to each
+    //! quantifier's minimum (whole group repetitions included), then every
+    //! remaining character bisects toward its class's first char.
 
+    use crate::strategy::{BinSearch, ValueTree};
     use crate::test_runner::TestRng;
 
     #[derive(Debug, Clone)]
@@ -685,55 +1088,248 @@ pub mod string {
         out
     }
 
-    fn gen_pieces(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
-        for piece in pieces {
-            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
-            for _ in 0..count {
-                match &piece.atom {
-                    Atom::Lit(c) => out.push(*c),
-                    Atom::Class(ranges) => {
-                        let total: u64 =
-                            ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
-                        let mut pick = rng.below(total);
-                        for (lo, hi) in ranges {
-                            let span = (*hi as u64 - *lo as u64) + 1;
-                            if pick < span {
-                                out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
-                                break;
-                            }
-                            pick -= span;
-                        }
-                    }
-                    Atom::Group(inner) => gen_pieces(inner, rng, out),
-                    Atom::Printable => {
-                        // Mostly printable ASCII, sometimes multi-byte chars
-                        // so UTF-8 codec paths get exercised.
-                        if rng.below(8) == 0 {
-                            const EXOTIC: &[char] = &['é', 'ß', 'λ', '→', '中', 'Ω', 'ñ', '🦀'];
-                            out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
-                        } else {
-                            out.push(char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap());
-                        }
+    /// One generated character with its allowed codepoint ranges (in
+    /// class order — index 0 is the class's "simplest" char) and the
+    /// binary search over that index space.
+    struct CharSlot {
+        choices: Vec<(u32, u32)>,
+        search: BinSearch,
+    }
+
+    impl CharSlot {
+        fn new(choices: Vec<(u32, u32)>, idx: u64) -> Self {
+            CharSlot { choices, search: BinSearch::new(0, idx as i128) }
+        }
+
+        fn char_at(&self, mut idx: u64) -> char {
+            for (lo, hi) in &self.choices {
+                let span = (*hi - *lo + 1) as u64;
+                if idx < span {
+                    return char::from_u32(lo + idx as u32)
+                        .unwrap_or_else(|| char::from_u32(*lo).expect("class start is a char"));
+                }
+                idx -= span;
+            }
+            char::from_u32(self.choices[0].0).expect("class start is a char")
+        }
+
+        fn current(&self) -> char {
+            self.char_at(self.search.current() as u64)
+        }
+    }
+
+    /// One quantified piece instance: its repetitions (arena rep ids) and
+    /// the floor below which repetitions cannot be dropped. The floor
+    /// starts at the quantifier minimum and rises when the test turns out
+    /// to need a repetition the shrinker tried to drop.
+    struct PieceInst {
+        floor: usize,
+        rep_ids: Vec<usize>,
+    }
+
+    enum RepInst {
+        Char(CharSlot),
+        Group(Vec<usize>), // child piece ids
+    }
+
+    /// The shrinkable result of generating one string pattern.
+    pub struct StringTree {
+        pieces: Vec<PieceInst>,
+        reps: Vec<RepInst>,
+        root: Vec<usize>, // top-level piece ids
+        // Phase 1: drop repetitions; phase 2: shrink surviving chars.
+        shrinking_chars: bool,
+        cursor: usize,
+        undo: Option<(usize, usize)>, // (piece id, rep id) of last drop
+        live_slots: Vec<usize>,       // rep ids of reachable char slots
+    }
+
+    const EXOTIC: &[char] = &['é', 'ß', 'λ', '→', '中', 'Ω', 'ñ', '🦀'];
+
+    fn build_pieces(
+        pieces: &[Piece],
+        rng: &mut TestRng,
+        arena_pieces: &mut Vec<PieceInst>,
+        arena_reps: &mut Vec<RepInst>,
+    ) -> Vec<usize> {
+        pieces
+            .iter()
+            .map(|piece| {
+                let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+                let rep_ids = (0..count)
+                    .map(|_| build_rep(&piece.atom, rng, arena_pieces, arena_reps))
+                    .collect();
+                arena_pieces.push(PieceInst { floor: piece.min as usize, rep_ids });
+                arena_pieces.len() - 1
+            })
+            .collect()
+    }
+
+    fn build_rep(
+        atom: &Atom,
+        rng: &mut TestRng,
+        arena_pieces: &mut Vec<PieceInst>,
+        arena_reps: &mut Vec<RepInst>,
+    ) -> usize {
+        let rep = match atom {
+            Atom::Lit(c) => RepInst::Char(CharSlot::new(vec![(*c as u32, *c as u32)], 0)),
+            Atom::Class(ranges) => {
+                let choices: Vec<(u32, u32)> =
+                    ranges.iter().map(|(lo, hi)| (*lo as u32, *hi as u32)).collect();
+                let total: u64 = choices.iter().map(|(lo, hi)| (*hi - *lo + 1) as u64).sum();
+                let idx = rng.below(total);
+                RepInst::Char(CharSlot::new(choices, idx))
+            }
+            Atom::Printable => {
+                // Mostly printable ASCII, sometimes multi-byte chars so
+                // UTF-8 codec paths get exercised. The exotic chars sit
+                // after the ASCII range in index space, so they shrink
+                // back into it.
+                let mut choices = vec![(0x20u32, 0x7Eu32)];
+                choices.extend(EXOTIC.iter().map(|c| (*c as u32, *c as u32)));
+                let ascii_span = 0x5Fu64;
+                let idx = if rng.below(8) == 0 {
+                    ascii_span + rng.below(EXOTIC.len() as u64)
+                } else {
+                    rng.below(ascii_span)
+                };
+                RepInst::Char(CharSlot::new(choices, idx))
+            }
+            Atom::Group(inner) => {
+                RepInst::Group(build_pieces(inner, rng, arena_pieces, arena_reps))
+            }
+        };
+        arena_reps.push(rep);
+        arena_reps.len() - 1
+    }
+
+    impl StringTree {
+        fn emit(&self, piece_ids: &[usize], out: &mut String) {
+            for &pid in piece_ids {
+                for &rid in &self.pieces[pid].rep_ids {
+                    match &self.reps[rid] {
+                        RepInst::Char(slot) => out.push(slot.current()),
+                        RepInst::Group(children) => self.emit(children, out),
                     }
                 }
             }
+        }
+
+        fn collect_slots(&self, piece_ids: &[usize], out: &mut Vec<usize>) {
+            for &pid in piece_ids {
+                for &rid in &self.pieces[pid].rep_ids {
+                    match &self.reps[rid] {
+                        RepInst::Char(_) => out.push(rid),
+                        RepInst::Group(children) => self.collect_slots(children, out),
+                    }
+                }
+            }
+        }
+
+        fn slot_mut(&mut self, rid: usize) -> &mut CharSlot {
+            match &mut self.reps[rid] {
+                RepInst::Char(slot) => slot,
+                RepInst::Group(_) => unreachable!("live_slots holds only char slots"),
+            }
+        }
+    }
+
+    impl ValueTree for StringTree {
+        type Value = String;
+
+        fn current(&self) -> String {
+            let mut out = String::new();
+            self.emit(&self.root, &mut out);
+            out
+        }
+
+        fn simplify(&mut self) -> bool {
+            if !self.shrinking_chars {
+                while self.cursor < self.pieces.len() {
+                    let piece = &mut self.pieces[self.cursor];
+                    if piece.rep_ids.len() > piece.floor {
+                        let rid = piece.rep_ids.pop().expect("len > floor");
+                        self.undo = Some((self.cursor, rid));
+                        return true;
+                    }
+                    self.cursor += 1;
+                }
+                self.shrinking_chars = true;
+                self.cursor = 0;
+                let mut slots = Vec::new();
+                self.collect_slots(&self.root.clone(), &mut slots);
+                self.live_slots = slots;
+            }
+            while self.cursor < self.live_slots.len() {
+                let rid = self.live_slots[self.cursor];
+                if self.slot_mut(rid).search.simplify() {
+                    return true;
+                }
+                self.cursor += 1;
+            }
+            false
+        }
+
+        fn complicate(&mut self) -> bool {
+            if !self.shrinking_chars {
+                match self.undo.take() {
+                    Some((pid, rid)) => {
+                        // The test passed without this repetition, so it is
+                        // part of the counterexample: restore it and raise
+                        // the piece's floor so it is never dropped again.
+                        let piece = &mut self.pieces[pid];
+                        piece.rep_ids.push(rid);
+                        piece.floor = piece.rep_ids.len();
+                        self.simplify()
+                    }
+                    None => false,
+                }
+            } else if self.cursor < self.live_slots.len() {
+                let rid = self.live_slots[self.cursor];
+                self.slot_mut(rid).search.complicate()
+            } else {
+                false
+            }
+        }
+
+        fn reject(&mut self) -> bool {
+            if self.shrinking_chars && self.cursor < self.live_slots.len() {
+                let rid = self.live_slots[self.cursor];
+                self.slot_mut(rid).search.reject()
+            } else {
+                self.complicate()
+            }
+        }
+    }
+
+    /// Generates one shrinkable string tree matching `pattern`.
+    pub fn new_tree(pattern: &str, rng: &mut TestRng) -> StringTree {
+        let mut chars = pattern.chars().peekable();
+        let pieces = parse_pieces(&mut chars, pattern, false);
+        assert!(chars.next().is_none(), "unbalanced ')' in {pattern:?}");
+        let mut arena_pieces = Vec::new();
+        let mut arena_reps = Vec::new();
+        let root = build_pieces(&pieces, rng, &mut arena_pieces, &mut arena_reps);
+        StringTree {
+            pieces: arena_pieces,
+            reps: arena_reps,
+            root,
+            shrinking_chars: false,
+            cursor: 0,
+            undo: None,
+            live_slots: Vec::new(),
         }
     }
 
     /// Generates one string matching `pattern`.
     pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
-        let mut chars = pattern.chars().peekable();
-        let pieces = parse_pieces(&mut chars, pattern, false);
-        assert!(chars.next().is_none(), "unbalanced ')' in {pattern:?}");
-        let mut out = String::new();
-        gen_pieces(&pieces, rng, &mut out);
-        out
+        new_tree(pattern, rng).current()
     }
 }
 
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union, ValueTree};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
@@ -958,18 +1554,19 @@ mod tests {
 
     /// Runs a failing property through the real runner and returns the
     /// panic message (which must carry the shrunk minimal input).
-    fn failing_run_message<S>(strategy: S, threshold: S::Value) -> String
+    fn failing_message<S, F>(strategy: S, fails: F) -> String
     where
-        S: crate::strategy::Strategy + std::panic::RefUnwindSafe,
-        S::Value: Clone + std::fmt::Debug + PartialOrd + std::panic::RefUnwindSafe,
+        S: crate::strategy::Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: Fn(&S::Value) -> bool,
     {
-        let result = std::panic::catch_unwind(|| {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             crate::test_runner::run_cases(
                 "shrink_self_test",
                 &ProptestConfig { cases: 64, ..ProptestConfig::default() },
                 &strategy,
                 |v| {
-                    if v >= threshold {
+                    if fails(&v) {
                         return Err(crate::test_runner::TestCaseError::Fail(format!(
                             "value {v:?} crossed the threshold"
                         )));
@@ -977,7 +1574,7 @@ mod tests {
                     Ok(())
                 },
             );
-        });
+        }));
         let panic = result.expect_err("the property must fail");
         panic
             .downcast_ref::<String>()
@@ -991,7 +1588,7 @@ mod tests {
         // Predicate fails for v >= 17 over 0..10_000: the minimal failing
         // input is exactly 17, and the runner must report it — not
         // whatever large value the RNG happened to produce first.
-        let msg = failing_run_message(0u64..10_000, 17u64);
+        let msg = failing_message(0u64..10_000, |v| *v >= 17);
         assert!(
             msg.contains("minimal failing input") && msg.contains(": 17\n"),
             "expected the shrunk minimum 17 in: {msg}"
@@ -1003,41 +1600,80 @@ mod tests {
     fn signed_range_shrinks_toward_range_start() {
         // Over -50..50 with failure at v >= -3, the minimum is -3: the
         // shrinker bisects toward the range start, not toward zero.
-        let msg = failing_run_message(-50i64..50, -3i64);
+        let msg = failing_message(-50i64..50, |v| *v >= -3);
         assert!(msg.contains(": -3\n"), "expected the shrunk minimum -3 in: {msg}");
     }
 
     #[test]
     fn tuple_shrinking_minimizes_each_component() {
-        let result = std::panic::catch_unwind(|| {
-            crate::test_runner::run_cases(
-                "tuple_shrink_self_test",
-                &ProptestConfig { cases: 64, ..ProptestConfig::default() },
-                &((0u64..1_000), (0u64..1_000)),
-                |(a, b)| {
-                    if a >= 5 && b >= 9 {
-                        return Err(crate::test_runner::TestCaseError::Fail(
-                            "both over threshold".into(),
-                        ));
-                    }
-                    Ok(())
-                },
-            );
-        });
-        let panic = result.expect_err("the property must fail");
-        let msg = panic.downcast_ref::<String>().cloned().expect("message");
+        let msg = failing_message(((0u64..1_000), (0u64..1_000)), |(a, b)| *a >= 5 && *b >= 9);
         assert!(msg.contains("(5, 9)"), "expected component-wise minimum (5, 9) in: {msg}");
     }
 
     #[test]
-    fn int_shrink_candidates_move_toward_start_only() {
-        use crate::strategy::Strategy;
-        let strat = 10u64..100;
-        for cand in strat.shrink(&57) {
-            assert!((10..57).contains(&cand), "candidate {cand} not in [start, value)");
-        }
-        assert!(strat.shrink(&10).is_empty(), "the range start cannot shrink further");
-        // Unshrinkable strategies keep the default no-candidates behaviour.
-        assert!(Just(42i64).shrink(&42).is_empty());
+    fn prop_map_shrinks_through_the_source() {
+        // The map doubles; the minimal failing mapped value is 34 (source
+        // 17). Pre-tree shrinking reported whatever large value failed
+        // first, because the map could not be inverted.
+        let msg = failing_message((0u64..10_000).prop_map(|v| v * 2), |v| *v >= 34);
+        assert!(msg.contains(": 34\n"), "expected the shrunk minimum 34 in: {msg}");
+    }
+
+    #[test]
+    fn prop_filter_shrinks_to_the_minimal_kept_value() {
+        // Failing iff v >= 18 over even values only: rejected odd
+        // candidates are skipped, and the search still converges on 18.
+        let msg = failing_message((0u64..10_000).prop_filter("even", |v| v % 2 == 0), |v| *v >= 18);
+        assert!(msg.contains(": 18\n"), "expected the shrunk even minimum 18 in: {msg}");
+    }
+
+    #[test]
+    fn oneof_shrinks_within_the_chosen_arm() {
+        // The Just arm always passes; every failure comes from the range
+        // arm and must shrink within it to the threshold.
+        let msg = failing_message(prop_oneof![Just(3u64), 0u64..10_000], |v| *v >= 17);
+        assert!(msg.contains(": 17\n"), "expected the shrunk minimum 17 in: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinks_length_then_elements() {
+        // Failing iff the vec has >= 3 elements: the minimal case is
+        // exactly 3 elements, each shrunk to the element minimum 0.
+        let msg =
+            failing_message(crate::collection::vec(0u64..100, 0..10), |v: &Vec<u64>| v.len() >= 3);
+        assert!(msg.contains("[0, 0, 0]"), "expected three zeroed elements in: {msg}");
+    }
+
+    #[test]
+    fn string_shrinks_repetitions_and_chars() {
+        // Failing iff the string keeps >= 3 chars: quantifier repetitions
+        // drop to the failing minimum, chars walk to the class start.
+        let msg = failing_message("[a-z]{0,8}", |s: &String| s.len() >= 3);
+        assert!(msg.contains("\"aaa\""), "expected the minimal string \"aaa\" in: {msg}");
+    }
+
+    #[test]
+    fn string_shrinks_group_repetitions() {
+        // Failing iff >= 2 path segments: group repetitions drop to two,
+        // each segment to one 'a' (the class's first char).
+        let msg =
+            failing_message("(/[a-z0-9.]{1,10}){1,4}", |s: &String| s.matches('/').count() >= 2);
+        assert!(msg.contains("\"/a/a\""), "expected the minimal path \"/a/a\" in: {msg}");
+    }
+
+    #[test]
+    fn bool_shrinks_toward_false() {
+        // Everything fails: the reported minimum must be false, not
+        // whichever bool failed first.
+        let msg = failing_message(any::<bool>(), |_| true);
+        assert!(msg.contains(": false\n"), "expected the minimal bool false in: {msg}");
+    }
+
+    #[test]
+    fn any_int_shrinks_magnitude_toward_zero_keeping_sign() {
+        let msg = failing_message(any::<i64>(), |v| *v <= -20);
+        assert!(msg.contains(": -20\n"), "expected the shrunk minimum -20 in: {msg}");
+        let msg = failing_message(any::<u64>(), |v| *v >= 1_000);
+        assert!(msg.contains(": 1000\n"), "expected the shrunk minimum 1000 in: {msg}");
     }
 }
