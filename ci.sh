@@ -42,7 +42,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 # failover link preservation, a11 bounded WALs + delta catch-up, a12 the
 # adaptive upcall pool and shared agent executor — and the fault
 # scenarios cover crash-failover, standby stalls under freshness reads,
-# link-churn storms and upcall-worker kills. The lab exits non-zero on
+# link-churn storms, upcall-worker kills, ENOSPC write-fault bursts
+# (disk_fault) and host-coordinator loss mid-burst with promotion of a
+# host standby (kill_host_mid_burst). The lab exits non-zero on
 # any failed assertion, then the just-written BENCH_*.json self-compare
 # keeps the trajectory pipeline honest. Quick mode stays on the debug
 # profile to avoid a release build it otherwise skips.

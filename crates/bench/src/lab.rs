@@ -410,13 +410,17 @@ fn replication(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
 // ===========================================================================
 
 /// A primary database shaped like a DLFM repository workload: `rows` hot
-/// rows, updated round-robin with ~130-byte payloads.
+/// rows, updated round-robin with ~130-byte payloads. In this engine's
+/// scenario contract `budget == 0` means *unbounded* (the full-replay
+/// arms need the log intact), which since the self-tuning default maps
+/// to [`DbOptions::NO_AUTO_CHECKPOINT`].
 fn ckpt_primary(rows: usize, budget: u64, sync_latency_ns: u64) -> Database {
     let env = if sync_latency_ns > 0 {
         StorageEnv::mem_with_sync_latency(sync_latency_ns)
     } else {
         StorageEnv::mem()
     };
+    let budget = if budget == 0 { DbOptions::NO_AUTO_CHECKPOINT } else { budget };
     let db = Database::open_with(
         env,
         DbOptions { checkpoint_every_bytes: budget, ..Default::default() },
@@ -473,7 +477,7 @@ fn ckpt_standby(
     let repl = dl_repl::Replicator::spawn(
         "lab",
         db.replication_feed(),
-        vec![Arc::clone(&standby)],
+        vec![Arc::clone(&standby) as Arc<dyn dl_repl::ShipTarget>],
         0,
         Arc::clone(&stats),
     );
@@ -850,8 +854,20 @@ struct MixedOutcome {
     busy: Duration,
     worker_panics: u64,
     failovers: u64,
+    host_failovers: u64,
     lost_acked_links: u64,
     failover_ms: f64,
+    host_failover_ms: f64,
+    /// Replica-routed reads served successfully *while the host was down*
+    /// (between `crash_host` and `promote_host`).
+    outage_reads_ok: u64,
+    /// DLFM sub-transactions the promoted coordinator resolved from the
+    /// replicated WAL.
+    in_doubt_resolved: u64,
+    /// Late 2PC decisions from a deposed coordinator refused by the fence.
+    stale_coord_rejections: u64,
+    /// Injected ENOSPC write failures actually consumed by the repository.
+    enospc_hits: u64,
     stale_reads: u64,
     freshness_fallbacks: u64,
     leftover_links: u64,
@@ -911,6 +927,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
     let n_files = p.n_files.unwrap_or(clients);
     let file_size = p.file_size.unwrap_or(1024) as usize;
     let replicas = p.replicas.unwrap_or(0) as usize;
+    let host_replicas = p.host_replicas.unwrap_or(0) as usize;
     let route = p.read_route.unwrap_or_default();
     let sync_ns = p.sync_latency_us.unwrap_or(0) * 1000;
     let injections = p.injections.clone().unwrap_or_default();
@@ -937,11 +954,19 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
         None
     };
 
+    // The disk_enospc injection point: a fault layer under the DLFM
+    // repository's storage environment, armed at injection boundaries.
+    let repo_faults = injections
+        .iter()
+        .any(|i| matches!(i.action, InjectAction::DiskEnospc { .. }))
+        .then(dl_minidb::DiskFaults::new);
+
     let mut f = fixture_with_fault(
         FixtureOptions {
             n_files: n_files as usize,
             file_size,
             replicas,
+            host_replicas,
             sync_archive: true,
             db_sync_latency_ns: sync_ns,
             upcall_pool: match (p.pool_min, p.pool_max) {
@@ -951,6 +976,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
             ..Default::default()
         },
         fault,
+        repo_faults.clone(),
     );
 
     let mut out = MixedOutcome { end_lag_drained: true, ..Default::default() };
@@ -1122,6 +1148,64 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                 armed.fetch_add(*count as i64, Ordering::Relaxed);
                 out.events.push(format!("kill_upcall_workers@{end} x{count}"));
             }
+            InjectAction::CrashHost => {
+                if f.sys.host_replication().is_none() {
+                    return Err(format!(
+                        "scenario {}: crash_host at op {end} needs host_replicas >= 1",
+                        sc.name
+                    ));
+                }
+                // Only acked (committed + shipped) state is owed across a
+                // host failover; drain the ship lag the way a controlled
+                // promotion of a caught-up standby would.
+                if !f.sys.wait_host_replicas_caught_up(Duration::from_secs(30)) {
+                    return Err(format!(
+                        "scenario {}: host replication lag did not drain before crash_host",
+                        sc.name
+                    ));
+                }
+                let before = link_state(&f.sys);
+                // Mint read-token paths while the host can still mint them
+                // — during the outage no new SELECT is possible, but every
+                // token already handed out keeps working off the replicas.
+                let tokens: Vec<String> = (0..n_files)
+                    .map(|i| {
+                        f.sys
+                            .select_datalink(TABLE, &Value::Int(i as i64), "body", TokenKind::Read)
+                            .map(|(_, path)| path)
+                    })
+                    .collect::<Result<_, _>>()?;
+                let (mut outage_reads, mut resolved) = (0u64, 0u64);
+                let dur = time_once(|| {
+                    f.sys.crash_host().expect("crash host");
+                    // The coordinator is down and fenced; replica-routed
+                    // reads must keep flowing off the DLFM standbys.
+                    for path in &tokens {
+                        if f.sys.serve_read(SRV, path, APP.uid).is_ok() {
+                            outage_reads += 1;
+                        }
+                    }
+                    let report = f.sys.promote_host().expect("promote host");
+                    resolved = report.in_doubt_resolved.len() as u64;
+                });
+                let after = link_state(&f.sys);
+                let lost = before.iter().filter(|e| !after.contains(e)).count() as u64;
+                out.host_failovers += 1;
+                out.lost_acked_links += lost;
+                out.outage_reads_ok += outage_reads;
+                out.in_doubt_resolved += resolved;
+                out.host_failover_ms = out.host_failover_ms.max(dur.as_nanos() as f64 / 1e6);
+                out.events.push(format!(
+                    "crash_host@{end}: failover {}, {outage_reads} outage reads, \
+                     {resolved} in-doubt resolved, {lost} acked links lost",
+                    fmt_ns(dur.as_nanos() as f64)
+                ));
+            }
+            InjectAction::DiskEnospc { writes } => {
+                let faults = repo_faults.as_ref().expect("disk_enospc arms the fault layer");
+                faults.inject_enospc(*writes);
+                out.events.push(format!("disk_enospc@{end} x{writes}"));
+            }
         }
     }
 
@@ -1136,6 +1220,8 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
     out.peak_upcall_workers = node.upcall_pool_stats().peak_workers() as u64;
     out.leftover_links =
         (node.server.repository().list_files().len() as u64).saturating_sub(n_files);
+    out.stale_coord_rejections = node.server.stats.stale_coord_rejections.load(Ordering::Relaxed);
+    out.enospc_hits = repo_faults.as_ref().map(|f| f.enospc_hits()).unwrap_or(0);
     out.freshness_fallbacks = f.sys.engine().stats.freshness_fallbacks.load(Ordering::Relaxed);
     out.ops_ok = ops_ok.into_inner();
     out.ops_failed = ops_failed.into_inner();
@@ -1151,6 +1237,7 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
         *m.entry(k).or_insert(0.0) += v;
     };
     let (mut failover_ms, mut peak_workers) = (0.0f64, 0.0f64);
+    let mut host_failover_ms = 0.0f64;
     let mut end_lag_drained = 1.0f64;
     let (mut first_rate, mut last_rate) = (None, 0.0f64);
     for trials in per_variant(sc, plan) {
@@ -1165,11 +1252,17 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
             busy += o.busy;
             add(&mut sums, "worker_panics", o.worker_panics as f64);
             add(&mut sums, "failovers", o.failovers as f64);
+            add(&mut sums, "host_failovers", o.host_failovers as f64);
             add(&mut sums, "lost_acked_links", o.lost_acked_links as f64);
+            add(&mut sums, "outage_reads_ok", o.outage_reads_ok as f64);
+            add(&mut sums, "in_doubt_resolved", o.in_doubt_resolved as f64);
+            add(&mut sums, "stale_coord_rejections", o.stale_coord_rejections as f64);
+            add(&mut sums, "enospc_hits", o.enospc_hits as f64);
             add(&mut sums, "stale_reads", o.stale_reads as f64);
             add(&mut sums, "freshness_fallbacks", o.freshness_fallbacks as f64);
             add(&mut sums, "leftover_links", o.leftover_links as f64);
             failover_ms = failover_ms.max(o.failover_ms);
+            host_failover_ms = host_failover_ms.max(o.host_failover_ms);
             peak_workers = peak_workers.max(o.peak_upcall_workers as f64);
             if !o.end_lag_drained {
                 end_lag_drained = 0.0;
@@ -1198,6 +1291,7 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
         metrics.insert(k.to_string(), v);
     }
     metrics.insert("failover_ms".into(), failover_ms);
+    metrics.insert("host_failover_ms".into(), host_failover_ms);
     metrics.insert("peak_upcall_workers".into(), peak_workers);
     // The only OS-thread pool a mixed trial can grow without bound is the
     // upcall pool — expose it under the generic name the issue's example

@@ -54,6 +54,9 @@ pub struct FixtureOptions {
     pub db_sync_latency_ns: u64,
     /// Hot-standby repositories per file server (replication experiments).
     pub replicas: usize,
+    /// Hot standbys of the *host database* (coordinator failover
+    /// experiments). Zero keeps the paper's unreplicated coordinator.
+    pub host_replicas: usize,
     /// Bounds of the elastic upcall pool; `None` keeps the `DlfmConfig`
     /// defaults, `Some((n, n))` pins the PR 2 fixed shape (a12 arms).
     pub upcall_pool: Option<(usize, usize)>,
@@ -77,6 +80,7 @@ impl Default for FixtureOptions {
             db: DbOptions::default(),
             db_sync_latency_ns: 0,
             replicas: 0,
+            host_replicas: 0,
             upcall_pool: None,
             thread_per_agent: false,
         }
@@ -85,13 +89,19 @@ impl Default for FixtureOptions {
 
 /// Builds a system, seeds files, creates the table and links every file.
 pub fn fixture(opts: FixtureOptions) -> Fixture {
-    fixture_with_fault(opts, None)
+    fixture_with_fault(opts, None, None)
 }
 
-/// [`fixture`] with an optional upcall fault injector installed on the
-/// node (the scenario lab's `kill_upcall_workers` injection point).
-/// Separate from [`FixtureOptions`] so the options stay `Copy`.
-pub fn fixture_with_fault(opts: FixtureOptions, fault: Option<FaultInjector>) -> Fixture {
+/// [`fixture`] with optional fault hooks: an upcall fault injector on the
+/// node (the scenario lab's `kill_upcall_workers` injection point) and a
+/// [`dl_minidb::DiskFaults`] layer under the DLFM repository's storage environment
+/// (the lab's `disk_enospc` injection point). Separate from
+/// [`FixtureOptions`] so the options stay `Copy`.
+pub fn fixture_with_fault(
+    opts: FixtureOptions,
+    fault: Option<FaultInjector>,
+    repo_faults: Option<std::sync::Arc<dl_minidb::DiskFaults>>,
+) -> Fixture {
     let mut dlfm = DlfmConfig::new(SRV);
     dlfm.sync_archive = opts.sync_archive;
     dlfm.track_read_sync = opts.track_read_sync;
@@ -108,18 +118,25 @@ pub fn fixture_with_fault(opts: FixtureOptions, fault: Option<FaultInjector>) ->
             StorageEnv::mem()
         }
     };
+    let repo_env = match &repo_faults {
+        Some(faults) => {
+            StorageEnv::mem_with_faults(std::sync::Arc::clone(faults), opts.db_sync_latency_ns)
+        }
+        None => mem_env(),
+    };
     let spec = FileServerSpec {
         name: SRV.to_string(),
         dlfm,
         dlfs: DlfsConfig { wait_policy: opts.wait_policy, strict: opts.strict },
         io: opts.io,
-        repo_env: mem_env(),
+        repo_env,
         replicas: opts.replicas,
         upcall_fault: fault,
     };
     let sys = SystemBuilder::new()
         .host_env(mem_env())
         .host_db_opts(opts.db)
+        .host_replicas(opts.host_replicas)
         .file_server_with(spec)
         .build()
         .expect("build system");

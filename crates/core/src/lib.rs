@@ -82,10 +82,12 @@ pub use engine::{
     FRESHNESS_WAIT_FLOOR, META_TABLE,
 };
 pub use system::{
-    CrashImage, DataLinksSystem, FileServerNode, FileServerSpec, SystemBackup, SystemBuilder,
-    SystemRestoreReport,
+    CrashImage, DataLinksSystem, FileServerNode, FileServerSpec, HostFailoverReport, SystemBackup,
+    SystemBuilder, SystemRestoreReport,
 };
 
 // Re-export the vocabulary types users need.
 pub use dl_dlfm::{AccessControl, ControlMode, OnUnlink, TokenKind};
-pub use dl_repl::{EpochFence, ReplError, ReplicaSet, Replicator, Standby};
+pub use dl_repl::{
+    EpochFence, HostReplicaSet, HostStandby, ReplError, ReplicaSet, Replicator, Standby,
+};

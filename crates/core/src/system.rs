@@ -31,7 +31,7 @@ use dl_dlfs::{Dlfs, DlfsConfig};
 use dl_fskit::memfs::IoModel;
 use dl_fskit::{Clock, Cred, FileSystem, Lfs, MemFs, WallClock};
 use dl_minidb::{Database, DbOptions, Lsn, Schema, StorageEnv, Txn, Value};
-use dl_repl::{ReplicaSet, ReplicaSetOptions};
+use dl_repl::{HostReplicaSet, HostReplicaSetOptions, ReplicaSet, ReplicaSetOptions};
 
 use crate::datalink::{DatalinkUrl, DlColumnOptions};
 use crate::engine::{DataLinksEngine, ServerRegistration, META_TABLE};
@@ -149,6 +149,7 @@ impl FileServerSpec {
 pub struct SystemBuilder {
     host_env: StorageEnv,
     host_db: DbOptions,
+    host_replicas: usize,
     clock: Arc<dyn Clock>,
     servers: Vec<FileServerSpec>,
 }
@@ -158,6 +159,7 @@ impl SystemBuilder {
         SystemBuilder {
             host_env: StorageEnv::mem(),
             host_db: DbOptions::default(),
+            host_replicas: 0,
             clock: Arc::new(WallClock),
             servers: Vec::new(),
         }
@@ -177,6 +179,15 @@ impl SystemBuilder {
     /// (group commit vs per-commit sync). Survives crash/recover cycles.
     pub fn host_db_opts(mut self, opts: DbOptions) -> Self {
         self.host_db = opts;
+        self
+    }
+
+    /// Provisions `n` hot standbys of the *host database*, fed by the same
+    /// WAL-shipping stack the file-server repositories use. With standbys,
+    /// [`DataLinksSystem::fail_over_host`] can promote one after a host
+    /// crash — the coordinator is no longer the single point of failure.
+    pub fn host_replicas(mut self, n: usize) -> Self {
+        self.host_replicas = n;
         self
     }
 
@@ -207,8 +218,16 @@ impl SystemBuilder {
                 upcall_fault: spec.upcall_fault,
             });
         }
-        DataLinksSystem::assemble(self.host_env, self.host_db, self.clock, parts, false)
-            .map(|(sys, _)| sys)
+        DataLinksSystem::assemble(
+            self.host_env,
+            self.host_db,
+            self.host_replicas,
+            0,
+            self.clock,
+            parts,
+            false,
+        )
+        .map(|(sys, _)| sys)
     }
 }
 
@@ -239,6 +258,13 @@ struct NodeParts {
 pub struct CrashImage {
     host_env: StorageEnv,
     host_db: DbOptions,
+    /// Host standby count to re-provision on recovery (rebuilt fresh, like
+    /// the per-node standbys).
+    host_replicas: usize,
+    /// Coordinator generation to carry forward: recovery re-fences every
+    /// node at this epoch so agent connections minted before the last host
+    /// failover stay refused after the rebuild too.
+    coord_epoch: u64,
     clock: Arc<dyn Clock>,
     nodes: Vec<NodeParts>,
     /// Open the host database only up to this LSN (point-in-time restore).
@@ -271,6 +297,25 @@ fn split_embedded_token(token_path: &str) -> Result<(&str, &str), String> {
     }
 }
 
+/// The host-side pieces a [`DataLinksSystem::crash_host`] leaves behind:
+/// the frozen replica set holding the promotion target and the coordinator
+/// generation the fence moved to.
+struct HostOutage {
+    replication: Arc<HostReplicaSet>,
+    epoch: u64,
+}
+
+/// Outcome summary of a host failover ([`DataLinksSystem::fail_over_host`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct HostFailoverReport {
+    /// The coordinator generation the promoted host runs under.
+    pub epoch: u64,
+    /// DLFM sub-transactions left in doubt by the old coordinator's death,
+    /// as `(server, host_txid, committed)` — resolved on promotion from
+    /// the replicated WAL's outcomes (presumed abort when absent).
+    pub in_doubt_resolved: Vec<(String, u64, bool)>,
+}
+
 /// The assembled system.
 pub struct DataLinksSystem {
     db: Database,
@@ -278,13 +323,26 @@ pub struct DataLinksSystem {
     clock: Arc<dyn Clock>,
     host_env: StorageEnv,
     host_db: DbOptions,
+    /// Host standby count to (re-)provision after crashes and failovers.
+    host_replicas: usize,
+    /// Hot standbys of the host database, when provisioned and the host is
+    /// up. `None` while the host is down (see `host_outage`) or when the
+    /// system runs the paper's unreplicated single-coordinator shape.
+    host_replication: Option<Arc<HostReplicaSet>>,
+    /// Present exactly while the host is crashed but not yet promoted.
+    host_outage: Option<HostOutage>,
+    /// Current coordinator generation (the host fence epoch).
+    coord_epoch: u64,
     nodes: HashMap<String, FileServerNode>,
 }
 
 impl DataLinksSystem {
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         host_env: StorageEnv,
         host_db: DbOptions,
+        host_replicas: usize,
+        coord_epoch: u64,
         clock: Arc<dyn Clock>,
         parts: Vec<NodeParts>,
         run_recovery: bool,
@@ -293,17 +351,53 @@ impl DataLinksSystem {
         let engine =
             DataLinksEngine::install(db.clone(), Arc::clone(&clock)).map_err(|e| e.to_string())?;
 
+        let host_replication = if host_replicas > 0 {
+            // Same shape as the per-node sets: after a recovery, checkpoint
+            // first so the fresh standbys seed from an image and the
+            // recovered log stays bounded.
+            if run_recovery {
+                db.checkpoint_and_truncate()
+                    .map_err(|e| format!("post-recovery host checkpoint: {e}"))?;
+            }
+            let set = HostReplicaSet::build(
+                db.replication_feed(),
+                HostReplicaSetOptions {
+                    replicas: host_replicas,
+                    sync_latency_ns: host_env.sync_latency_ns(),
+                    epoch: coord_epoch,
+                },
+            )?;
+            Some(Arc::new(set))
+        } else {
+            None
+        };
+
         let mut nodes = HashMap::new();
         let mut reports = HashMap::new();
         for part in parts {
             let name = part.name.clone();
-            let (node, report) = Self::build_node(&engine, &clock, part, run_recovery)?;
+            let (node, report) =
+                Self::build_node(&engine, &clock, part, run_recovery, coord_epoch)?;
             if let Some(report) = report {
                 reports.insert(name.clone(), report);
             }
             nodes.insert(name, node);
         }
-        Ok((DataLinksSystem { db, engine, clock, host_env, host_db, nodes }, reports))
+        Ok((
+            DataLinksSystem {
+                db,
+                engine,
+                clock,
+                host_env,
+                host_db,
+                host_replicas,
+                host_replication,
+                host_outage: None,
+                coord_epoch,
+                nodes,
+            },
+            reports,
+        ))
     }
 
     /// Builds one file-server node from its durable parts: the DLFM server
@@ -316,6 +410,7 @@ impl DataLinksSystem {
         clock: &Arc<dyn Clock>,
         part: NodeParts,
         run_recovery: bool,
+        coord_epoch: u64,
     ) -> Result<(FileServerNode, Option<RecoveryReport>), String> {
         let server = Arc::new(DlfmServer::new(
             part.dlfm_cfg.clone(),
@@ -325,6 +420,10 @@ impl DataLinksSystem {
             Arc::clone(clock),
         )?);
         server.set_host_hook(engine.clone());
+        // Restore the coordinator fence *before* any agent connects, so the
+        // connections below are minted at the current generation and any
+        // connection minted under an older one stays refused.
+        server.fence_coordinator(coord_epoch);
         let report = if run_recovery { Some(server.recover()?) } else { None };
         let (upcall, client) =
             UpcallDaemon::spawn_with_fault_injector(Arc::clone(&server), part.upcall_fault.clone());
@@ -594,7 +693,7 @@ impl DataLinksSystem {
             replicas: replicas.saturating_sub(1),
             upcall_fault: upcall_fault.clone(),
         };
-        match Self::build_node(&self.engine, &self.clock, parts, true) {
+        match Self::build_node(&self.engine, &self.clock, parts, true, self.coord_epoch) {
             Ok((new_node, report)) => {
                 self.nodes.insert(server.to_string(), new_node);
                 Ok(report.expect("promotion runs recovery"))
@@ -613,8 +712,9 @@ impl DataLinksSystem {
                     replicas,
                     upcall_fault,
                 };
-                let (old_node, _) = Self::build_node(&self.engine, &self.clock, fallback, true)
-                    .map_err(|e| {
+                let (old_node, _) =
+                    Self::build_node(&self.engine, &self.clock, fallback, true, self.coord_epoch)
+                        .map_err(|e| {
                         format!(
                             "promotion failed ({promote_err}) and primary re-recovery \
                                  failed too ({e}); file server {server} is down"
@@ -626,6 +726,167 @@ impl DataLinksSystem {
                 ))
             }
         }
+    }
+
+    // --- host replication & coordinator failover --------------------------------
+
+    /// Current coordinator generation: the host fence epoch every DLFM
+    /// node checks 2PC traffic against. Starts at 0; each host failover
+    /// bumps it.
+    pub fn coordinator_epoch(&self) -> u64 {
+        self.coord_epoch
+    }
+
+    /// The host database's hot standbys, when provisioned and the host is
+    /// up.
+    pub fn host_replication(&self) -> Option<&Arc<HostReplicaSet>> {
+        self.host_replication.as_ref()
+    }
+
+    /// Whether the host database is currently crashed (fenced, awaiting
+    /// [`DataLinksSystem::promote_host`]).
+    pub fn host_is_down(&self) -> bool {
+        self.host_outage.is_some()
+    }
+
+    /// Bytes of host WAL not yet applied by the slowest host standby;
+    /// zero when the host is unreplicated.
+    pub fn host_replication_lag(&self) -> u64 {
+        self.host_replication.as_ref().map(|r| r.lag()).unwrap_or(0)
+    }
+
+    /// Drives host-WAL shipping until the standbys hold everything durable
+    /// on the host (trivially true unreplicated). Returns whether the lag
+    /// drained within `timeout`.
+    pub fn wait_host_replicas_caught_up(&self, timeout: Duration) -> bool {
+        self.host_replication.as_ref().map(|r| r.wait_caught_up(timeout)).unwrap_or(true)
+    }
+
+    /// Pauses (or resumes) WAL shipping to the host standbys — the
+    /// deterministic way to stage a "decision logged on the host but not
+    /// yet shipped" window. Errors when the host is unreplicated.
+    pub fn set_host_replication_paused(&self, paused: bool) -> Result<(), String> {
+        match &self.host_replication {
+            Some(r) => {
+                r.set_paused(paused);
+                Ok(())
+            }
+            None => Err("host database has no replicas to pause".to_string()),
+        }
+    }
+
+    /// Crashes the host database: the coordinator's volatile state is
+    /// gone, the shipping daemon is fenced and joined (nothing the dead
+    /// host's log ships after this applies anywhere), and every DLFM node
+    /// is told the new coordinator generation — a late 2PC decision from a
+    /// zombie of the old coordinator is refused from here on. Prepared
+    /// sub-transactions stay in doubt on the DLFM side until
+    /// [`DataLinksSystem::promote_host`] resolves them. Replica-routed
+    /// reads keep flowing throughout: token validation and content service
+    /// never touch the host. Returns the new coordinator generation.
+    pub fn crash_host(&mut self) -> Result<u64, String> {
+        if self.host_outage.is_some() {
+            return Err("host database is already down".to_string());
+        }
+        let Some(replication) = self.host_replication.take() else {
+            return Err("host database has no replicas to fail over to".to_string());
+        };
+        let epoch = replication.freeze();
+        for node in self.nodes.values() {
+            node.server.fence_coordinator(epoch);
+        }
+        self.coord_epoch = epoch;
+        self.host_outage = Some(HostOutage { replication, epoch });
+        Ok(epoch)
+    }
+
+    /// Promotes a host standby after [`DataLinksSystem::crash_host`]: the
+    /// replicated WAL opens as the new host database (recovery re-derives
+    /// committed outcomes, prepared transactions and the in-doubt set), a
+    /// fresh engine installs on it, every node re-registers under the new
+    /// coordinator generation, and DLFM sub-transactions the old
+    /// coordinator left in doubt are resolved against the replicated
+    /// outcomes — presumed abort for anything the shipped log prefix never
+    /// decided. Remaining host standby slots re-provision against the new
+    /// host, inheriting the fence generation.
+    pub fn promote_host(&mut self) -> Result<HostFailoverReport, String> {
+        let HostOutage { replication, epoch } =
+            self.host_outage.take().ok_or("host database is not down")?;
+        let promoted_env = replication.promote_target().env().clone();
+        drop(replication);
+
+        let db = Database::open_with(promoted_env.clone(), self.host_db)
+            .map_err(|e| format!("promoted host open: {e}"))?;
+        // Bound the inherited log and seed the rebuilt standbys below from
+        // an image + suffix rather than the whole history.
+        db.checkpoint_and_truncate().map_err(|e| format!("promoted host checkpoint: {e}"))?;
+        let engine = DataLinksEngine::install(db.clone(), Arc::clone(&self.clock))
+            .map_err(|e| format!("promoted host engine install: {e}"))?;
+
+        // One standby became the host; re-provision the rest fresh from
+        // the new host's log, under the promoted generation so a second
+        // failover still out-ranks this one.
+        let host_replicas = self.host_replicas.saturating_sub(1);
+        let host_replication = if host_replicas > 0 {
+            let set = HostReplicaSet::build(
+                db.replication_feed(),
+                HostReplicaSetOptions {
+                    replicas: host_replicas,
+                    sync_latency_ns: promoted_env.sync_latency_ns(),
+                    epoch,
+                },
+            )?;
+            Some(Arc::new(set))
+        } else {
+            None
+        };
+
+        // Re-point every node at the new coordinator: host hook, engine
+        // registration (the agent connection is minted at the promoted
+        // generation), and coordinator recovery for the node's in-doubt
+        // sub-transactions. "At all times there is no loss of integrity
+        // between the database and its linked files" — a claim the old
+        // coordinator prepared and then durably decided is finished the
+        // same way here; an undecided one is presumed aborted.
+        let mut report = HostFailoverReport { epoch, in_doubt_resolved: Vec::new() };
+        for (name, node) in &self.nodes {
+            node.server.set_host_hook(engine.clone());
+            engine.register_server(ServerRegistration {
+                name: name.clone(),
+                agent: node.main.connect(),
+                token_key: node.dlfm_cfg.token_key.clone(),
+                server: Arc::clone(&node.server),
+                replication: node.replication.clone(),
+                read_lane_width: node.dlfm_cfg.read_lane_width,
+            });
+            let mut pending = node.server.pending_host_txns();
+            pending.sort_unstable();
+            for (txid, _prepared) in pending {
+                let commit = db.coordinator_outcome(txid).unwrap_or(false);
+                if commit {
+                    node.server.commit_host(txid);
+                } else {
+                    node.server.abort_host(txid);
+                }
+                report.in_doubt_resolved.push((name.clone(), txid, commit));
+            }
+        }
+
+        self.db = db;
+        self.engine = engine;
+        self.host_env = promoted_env;
+        self.host_replicas = host_replicas;
+        self.host_replication = host_replication;
+        Ok(report)
+    }
+
+    /// Host failover in one stroke: [`DataLinksSystem::crash_host`] then
+    /// [`DataLinksSystem::promote_host`]. The split exists so tests and
+    /// the scenario lab can exercise the fenced window in between (reads
+    /// during the outage, zombie-coordinator decisions).
+    pub fn fail_over_host(&mut self) -> Result<HostFailoverReport, String> {
+        self.crash_host()?;
+        self.promote_host()
     }
 
     // --- SQL-ish conveniences ---------------------------------------------------
@@ -695,12 +956,39 @@ impl DataLinksSystem {
     /// caches, daemons, pending transactions, open descriptors) evaporates;
     /// what remains is the returned image of the disks.
     pub fn crash(self) -> CrashImage {
-        let DataLinksSystem { db, engine, clock, host_env, host_db, nodes } = self;
+        let DataLinksSystem {
+            db,
+            engine,
+            clock,
+            host_env,
+            host_db,
+            host_replicas,
+            host_replication,
+            host_outage,
+            coord_epoch,
+            nodes,
+        } = self;
         drop(engine);
         drop(db);
+        // Host standby daemons die with the system (Replicator joins on
+        // drop); recovery re-provisions fresh host standbys. If the crash
+        // hits *during* a host outage, the only usable host disk is the
+        // promotion target's — the dead host's own log is behind the fence.
+        let (host_env, host_replicas) = match host_outage {
+            Some(outage) => {
+                (outage.replication.promote_target().env().clone(), host_replicas.saturating_sub(1))
+            }
+            None => (host_env, host_replicas),
+        };
+        drop(host_replication);
+        // Crash-boundary disk faults: an armed torn tail shears *now* —
+        // the live process believed those bytes durable; only the crash
+        // reveals the suffix that never reached the platter.
+        let _ = host_env.apply_crash_faults();
         let mut parts = Vec::new();
         for (_, node) in nodes {
             node.server.simulate_crash();
+            let _ = node.repo_env.apply_crash_faults();
             // Standby daemons die with the node; recovery re-provisions
             // fresh standbys of the recovered primary (NodeParts.replicas).
             // Detach the dead standbys' archive mirrors from the surviving
@@ -722,7 +1010,15 @@ impl DataLinksSystem {
                 upcall_fault: node.upcall_fault,
             });
         }
-        CrashImage { host_env, host_db, clock, nodes: parts, stop_at_lsn: None }
+        CrashImage {
+            host_env,
+            host_db,
+            host_replicas,
+            coord_epoch,
+            clock,
+            nodes: parts,
+            stop_at_lsn: None,
+        }
     }
 
     /// Rebuilds a system from a crash image and runs coordinated recovery:
@@ -731,13 +1027,14 @@ impl DataLinksSystem {
     pub fn recover(
         image: CrashImage,
     ) -> Result<(DataLinksSystem, HashMap<String, RecoveryReport>), String> {
-        let CrashImage { host_env, host_db, clock, nodes, stop_at_lsn } = image;
+        let CrashImage { host_env, host_db, host_replicas, coord_epoch, clock, nodes, stop_at_lsn } =
+            image;
         if let Some(lsn) = stop_at_lsn {
             // Point-in-time open handled by restore(); plain recovery
             // ignores it.
             let _ = lsn;
         }
-        Self::assemble(host_env, host_db, clock, nodes, true)
+        Self::assemble(host_env, host_db, host_replicas, coord_epoch, clock, nodes, true)
     }
 
     // --- coordinated backup / restore (§4.4) ---------------------------------------
@@ -758,7 +1055,7 @@ impl DataLinksSystem {
         lsn: Lsn,
     ) -> Result<(DataLinksSystem, SystemRestoreReport), String> {
         let image = self.crash();
-        let CrashImage { host_db, clock, nodes, .. } = image;
+        let CrashImage { host_db, host_replicas, coord_epoch, clock, nodes, .. } = image;
 
         let restored_env = backup.host_env.fork().map_err(|e| e.to_string())?;
         let db = Database::open_with(
@@ -771,7 +1068,8 @@ impl DataLinksSystem {
         db.checkpoint().map_err(|e| e.to_string())?;
         drop(db);
 
-        let (sys, _) = Self::assemble(restored_env, host_db, clock, nodes, true)?;
+        let (sys, _) =
+            Self::assemble(restored_env, host_db, host_replicas, coord_epoch, clock, nodes, true)?;
         let report = sys.reconcile_files_with_metadata()?;
         Ok((sys, report))
     }

@@ -32,6 +32,7 @@ use crate::server::DlfmServer;
 enum AgentRequest {
     Link {
         host_txid: u64,
+        coord_epoch: u64,
         path: String,
         mode: ControlMode,
         recovery: bool,
@@ -40,19 +41,23 @@ enum AgentRequest {
     },
     Unlink {
         host_txid: u64,
+        coord_epoch: u64,
         path: String,
         reply: Sender<Result<(), String>>,
     },
     Prepare {
         host_txid: u64,
+        coord_epoch: u64,
         reply: Sender<Result<(), String>>,
     },
     Commit {
         host_txid: u64,
+        coord_epoch: u64,
         reply: Sender<()>,
     },
     Abort {
         host_txid: u64,
+        coord_epoch: u64,
         reply: Sender<()>,
     },
 }
@@ -88,10 +93,15 @@ impl AgentRoute {
 }
 
 /// Handle to a child agent. One per database connection per file server.
+/// The handle is stamped with the **coordinator epoch** current at connect
+/// time; every request carries it, so after a host failover raises the
+/// server's fence, traffic from handles minted under the deposed host is
+/// recognizably stale and refused (see `DlfmServer::fence_coordinator`).
 #[derive(Clone)]
 pub struct AgentHandle {
     route: AgentRoute,
     server_name: String,
+    coord_epoch: u64,
 }
 
 impl AgentHandle {
@@ -107,6 +117,7 @@ impl AgentHandle {
         let (reply, rx) = bounded(1);
         self.route.send(AgentRequest::Link {
             host_txid,
+            coord_epoch: self.coord_epoch,
             path: path.to_string(),
             mode,
             recovery,
@@ -119,13 +130,23 @@ impl AgentHandle {
     /// Unlinks a file in the context of `host_txid`.
     pub fn unlink(&self, host_txid: u64, path: &str) -> Result<(), String> {
         let (reply, rx) = bounded(1);
-        self.route.send(AgentRequest::Unlink { host_txid, path: path.to_string(), reply })?;
+        self.route.send(AgentRequest::Unlink {
+            host_txid,
+            coord_epoch: self.coord_epoch,
+            path: path.to_string(),
+            reply,
+        })?;
         rx.recv().map_err(|_| "child agent is down".to_string())?
     }
 
     /// The file server this agent fronts.
     pub fn server_name(&self) -> &str {
         &self.server_name
+    }
+
+    /// The coordinator epoch this handle was minted under.
+    pub fn coord_epoch(&self) -> u64 {
+        self.coord_epoch
     }
 }
 
@@ -139,29 +160,50 @@ impl AgentHandle {
 impl dl_minidb::Participant for AgentHandle {
     fn prepare(&self, txid: u64) -> Result<(), String> {
         if let AgentRoute::Executor { server, .. } = &self.route {
+            server.guard_coordinator(self.coord_epoch)?;
             return server.prepare_host(txid);
         }
         let (reply, rx) = bounded(1);
-        self.route.send(AgentRequest::Prepare { host_txid: txid, reply })?;
+        self.route.send(AgentRequest::Prepare {
+            host_txid: txid,
+            coord_epoch: self.coord_epoch,
+            reply,
+        })?;
         rx.recv().map_err(|_| "child agent is down".to_string())?
     }
 
     fn commit(&self, txid: u64) {
         if let AgentRoute::Executor { server, .. } = &self.route {
+            // A fenced coordinator's decision is dropped, not applied: the
+            // promoted host owns this transaction's outcome now.
+            if server.guard_coordinator(self.coord_epoch).is_err() {
+                return;
+            }
             return server.commit_host(txid);
         }
         let (reply, rx) = bounded(1);
-        if self.route.send(AgentRequest::Commit { host_txid: txid, reply }).is_ok() {
+        if self
+            .route
+            .send(AgentRequest::Commit { host_txid: txid, coord_epoch: self.coord_epoch, reply })
+            .is_ok()
+        {
             let _ = rx.recv();
         }
     }
 
     fn abort(&self, txid: u64) {
         if let AgentRoute::Executor { server, .. } = &self.route {
+            if server.guard_coordinator(self.coord_epoch).is_err() {
+                return;
+            }
             return server.abort_host(txid);
         }
         let (reply, rx) = bounded(1);
-        if self.route.send(AgentRequest::Abort { host_txid: txid, reply }).is_ok() {
+        if self
+            .route
+            .send(AgentRequest::Abort { host_txid: txid, coord_epoch: self.coord_epoch, reply })
+            .is_ok()
+        {
             let _ = rx.recv();
         }
     }
@@ -203,23 +245,37 @@ fn answer(reply: &Sender<Result<(), String>>, label: &str, f: impl FnOnce() -> R
 /// the closed channel.
 fn serve(server: &DlfmServer, req: AgentRequest) {
     match req {
-        AgentRequest::Link { host_txid, path, mode, recovery, on_unlink, reply } => {
+        AgentRequest::Link { host_txid, coord_epoch, path, mode, recovery, on_unlink, reply } => {
             answer(&reply, "Link", || {
+                server.guard_coordinator(coord_epoch)?;
                 server.link_file(host_txid, &path, mode, recovery, on_unlink)
             });
         }
-        AgentRequest::Unlink { host_txid, path, reply } => {
-            answer(&reply, "Unlink", || server.unlink_file(host_txid, &path));
+        AgentRequest::Unlink { host_txid, coord_epoch, path, reply } => {
+            answer(&reply, "Unlink", || {
+                server.guard_coordinator(coord_epoch)?;
+                server.unlink_file(host_txid, &path)
+            });
         }
-        AgentRequest::Prepare { host_txid, reply } => {
-            answer(&reply, "Prepare", || server.prepare_host(host_txid));
+        AgentRequest::Prepare { host_txid, coord_epoch, reply } => {
+            answer(&reply, "Prepare", || {
+                server.guard_coordinator(coord_epoch)?;
+                server.prepare_host(host_txid)
+            });
         }
-        AgentRequest::Commit { host_txid, reply } => {
-            server.commit_host(host_txid);
+        AgentRequest::Commit { host_txid, coord_epoch, reply } => {
+            // A fenced coordinator's decision is dropped, not applied (the
+            // promoted host owns the outcome); the reply still unblocks
+            // the zombie's committing thread.
+            if server.guard_coordinator(coord_epoch).is_ok() {
+                server.commit_host(host_txid);
+            }
             let _ = reply.send(());
         }
-        AgentRequest::Abort { host_txid, reply } => {
-            server.abort_host(host_txid);
+        AgentRequest::Abort { host_txid, coord_epoch, reply } => {
+            if server.guard_coordinator(coord_epoch).is_ok() {
+                server.abort_host(host_txid);
+            }
             let _ = reply.send(());
         }
     }
@@ -255,6 +311,10 @@ impl MainDaemon {
     pub fn connect(&self) -> AgentHandle {
         self.connections.fetch_add(1, Ordering::Relaxed);
         let name = self.server.config().server_name.clone();
+        // The handle inherits the coordinator epoch current right now: a
+        // handle minted before a host failover keeps the old epoch and is
+        // fenced out; re-connecting after promotion picks up the new one.
+        let coord_epoch = self.server.coordinator_epoch();
         if let Some(pool) = &self.executor {
             return AgentHandle {
                 route: AgentRoute::Executor {
@@ -262,6 +322,7 @@ impl MainDaemon {
                     server: Arc::clone(&self.server),
                 },
                 server_name: name,
+                coord_epoch,
             };
         }
         let (tx, rx) = unbounded::<AgentRequest>();
@@ -275,7 +336,7 @@ impl MainDaemon {
             })
             .expect("spawn child agent");
         self.children.lock().push(handle);
-        AgentHandle { route: AgentRoute::Thread(tx), server_name: name }
+        AgentHandle { route: AgentRoute::Thread(tx), server_name: name, coord_epoch }
     }
 
     /// Number of agent connections accepted so far (logical child agents).

@@ -125,6 +125,9 @@ pub struct DlfmStats {
     pub archives: AtomicU64,
     pub busy_responses: AtomicU64,
     pub rollbacks: AtomicU64,
+    /// 2PC traffic refused because it carried a stale coordinator epoch
+    /// (a zombie host's late decisions bouncing off the fence).
+    pub stale_coord_rejections: AtomicU64,
 }
 
 impl DlfmStats {
@@ -140,6 +143,7 @@ impl DlfmStats {
             ("archives", self.archives.load(Ordering::Relaxed)),
             ("busy_responses", self.busy_responses.load(Ordering::Relaxed)),
             ("rollbacks", self.rollbacks.load(Ordering::Relaxed)),
+            ("stale_coord_rejections", self.stale_coord_rejections.load(Ordering::Relaxed)),
         ]
     }
 }
@@ -249,6 +253,11 @@ pub struct DlfmServer {
     host: RwLock<Option<Arc<dyn HostHook>>>,
     pending: Mutex<HashMap<u64, Arc<Mutex<SubTxn>>>>,
     sync_epoch: Arc<SyncEpoch>,
+    /// Lowest coordinator epoch (= host generation) whose 2PC traffic this
+    /// server still accepts. Host failover raises it on every node; agent
+    /// connections minted under an older host carry the older epoch, so a
+    /// zombie coordinator's late decisions are refused rather than applied.
+    coord_fence: AtomicU64,
     pub stats: DlfmStats,
 }
 
@@ -301,6 +310,7 @@ impl DlfmServer {
             host: RwLock::new(None),
             pending: Mutex::new(HashMap::new()),
             sync_epoch,
+            coord_fence: AtomicU64::new(0),
             stats: DlfmStats::default(),
         })
     }
@@ -335,6 +345,48 @@ impl DlfmServer {
     /// Wires the host-database hook (the DataLinks engine).
     pub fn set_host_hook(&self, hook: Arc<dyn HostHook>) {
         *self.host.write() = Some(hook);
+    }
+
+    // =====================================================================
+    // Coordinator fencing (host failover)
+    // =====================================================================
+
+    /// The coordinator epoch (host generation) this server currently
+    /// trusts. Agent connections capture it at connect time and stamp it
+    /// on every 2PC request.
+    pub fn coordinator_epoch(&self) -> u64 {
+        self.coord_fence.load(Ordering::SeqCst)
+    }
+
+    /// Raises the coordinator fence to `epoch` (monotonic: a lower value
+    /// is a no-op). Host failover calls this on every DLFM node *before*
+    /// promoting the standby, so a deposed host that is still running —
+    /// a zombie coordinator — has its late 2PC decisions refused
+    /// everywhere rather than applied behind the new coordinator's back.
+    pub fn fence_coordinator(&self, epoch: u64) {
+        self.coord_fence.fetch_max(epoch, Ordering::SeqCst);
+    }
+
+    /// Admits or refuses 2PC traffic stamped with `epoch`. A refusal is
+    /// counted in [`DlfmStats::stale_coord_rejections`].
+    pub fn guard_coordinator(&self, epoch: u64) -> Result<(), String> {
+        let fence = self.coord_fence.load(Ordering::SeqCst);
+        if epoch < fence {
+            self.stats.stale_coord_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(format!(
+                "stale coordinator epoch {epoch} rejected by fence at epoch {fence}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Host transactions with live sub-transaction state on this server,
+    /// as `(host_txid, prepared)`. The promoted coordinator walks this
+    /// after a host failover: prepared entries settle by the replicated
+    /// outcome (presumed abort when no decision shipped), unprepared ones
+    /// — whose host transaction can never commit now — abort outright.
+    pub fn pending_host_txns(&self) -> Vec<(u64, bool)> {
+        self.pending.lock().iter().map(|(txid, cell)| (*txid, cell.lock().prepared)).collect()
     }
 
     /// Size and mtime of a file on this server (engine metadata

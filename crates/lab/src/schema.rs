@@ -105,6 +105,13 @@ pub enum InjectAction {
     ResumeStandby,
     /// Make the next `count` admission upcalls panic inside the pool worker.
     KillUpcallWorkers { count: u64 },
+    /// Crash the host database (the 2PC coordinator) and fail over to a
+    /// promoted host standby, exercising the fenced outage window.
+    CrashHost,
+    /// Inject a disk-full fault into the primary DLFM repository: the next
+    /// `writes` repository writes fail with ENOSPC, then the disk "frees
+    /// up" and writes succeed again.
+    DiskEnospc { writes: u64 },
 }
 
 /// The knob set a scenario (and each variant) may override. All fields are
@@ -117,6 +124,7 @@ pub struct Params {
     pub cycles: Option<u64>,
     pub sync_latency_us: Option<u64>,
     pub replicas: Option<u64>,
+    pub host_replicas: Option<u64>,
     pub readers: Option<u64>,
     pub reads_per: Option<u64>,
     pub n_files: Option<u64>,
@@ -150,6 +158,7 @@ impl Params {
             cycles,
             sync_latency_us,
             replicas,
+            host_replicas,
             readers,
             reads_per,
             n_files,
@@ -545,6 +554,7 @@ fn parse_params(file: &str, line: usize, v: &Value) -> Result<Params, SchemaErro
                 p.sync_latency_us = Some(expect_u64(file, line, key, val, 0, 1_000_000)?)
             }
             "replicas" => p.replicas = Some(expect_u64(file, line, key, val, 0, 8)?),
+            "host_replicas" => p.host_replicas = Some(expect_u64(file, line, key, val, 0, 8)?),
             "readers" => p.readers = Some(expect_u64(file, line, key, val, 1, 256)?),
             "reads_per" => p.reads_per = Some(expect_u64(file, line, key, val, 1, 100_000)?),
             "n_files" => p.n_files = Some(expect_u64(file, line, key, val, 1, 65_536)?),
@@ -610,27 +620,31 @@ fn parse_injections(file: &str, line: usize, v: &Value) -> Result<Vec<Injection>
         let mut at_op = None;
         let mut action = None;
         let mut count = None;
+        let mut writes = None;
         for (key, val) in obj {
             match key.as_str() {
                 "at_op" => at_op = Some(expect_u64(file, line, key, val, 0, 1_000_000_000)?),
                 "action" => action = Some(expect_str(file, line, key, val)?.to_string()),
                 "count" => count = Some(expect_u64(file, line, key, val, 1, 1024)?),
+                "writes" => writes = Some(expect_u64(file, line, key, val, 1, 1_000_000)?),
                 other => return Err(err(file, line, format!("unknown injection field {other:?}"))),
             }
         }
         let action = match action.as_deref() {
             Some("crash_primary") => InjectAction::CrashPrimary,
+            Some("crash_host") => InjectAction::CrashHost,
             Some("stall_standby") => InjectAction::StallStandby,
             Some("resume_standby") => InjectAction::ResumeStandby,
             Some("kill_upcall_workers") => {
                 InjectAction::KillUpcallWorkers { count: count.unwrap_or(1) }
             }
+            Some("disk_enospc") => InjectAction::DiskEnospc { writes: writes.unwrap_or(1) },
             Some(other) => {
                 return Err(err(
                     file,
                     line,
                     format!(
-                        "unknown injection action {other:?} (expected crash_primary, stall_standby, resume_standby or kill_upcall_workers)"
+                        "unknown injection action {other:?} (expected crash_primary, crash_host, stall_standby, resume_standby, kill_upcall_workers or disk_enospc)"
                     ),
                 ))
             }
@@ -638,6 +652,9 @@ fn parse_injections(file: &str, line: usize, v: &Value) -> Result<Vec<Injection>
         };
         if count.is_some() && !matches!(action, InjectAction::KillUpcallWorkers { .. }) {
             return Err(err(file, line, "\"count\" only applies to kill_upcall_workers"));
+        }
+        if writes.is_some() && !matches!(action, InjectAction::DiskEnospc { .. }) {
+            return Err(err(file, line, "\"writes\" only applies to disk_enospc"));
         }
         out.push(Injection {
             at_op: at_op.ok_or_else(|| err(file, line, "injection is missing \"at_op\""))?,

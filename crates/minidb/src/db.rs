@@ -76,14 +76,32 @@ pub struct DbOptions {
     /// Commit durability policy: group commit (default) or per-commit sync,
     /// batch bound and optional commit-delay window. See [`WalOptions`].
     pub wal: WalOptions,
-    /// Log retention budget in bytes. When non-zero, a commit that leaves
-    /// more than this many log bytes retained triggers an automatic
+    /// Log retention budget in bytes. A commit that leaves more than this
+    /// many log bytes retained triggers an automatic
     /// [`Database::checkpoint_and_truncate`], keeping the log (and every
-    /// standby log fed from it) bounded under sustained write load. Zero
-    /// (the default) never checkpoints automatically — the log grows until
-    /// an explicit checkpoint. Note: truncation limits point-in-time
-    /// restore to states at or above the low-water mark.
+    /// standby log fed from it) bounded under sustained write load.
+    ///
+    /// Zero (the default) **self-tunes**: the effective budget is
+    /// `max(128 KiB, 4 x last snapshot size)`, so small databases never
+    /// checkpoint just for churn noise while large ones bound their log
+    /// to a small multiple of the work a recovery replay would cost.
+    /// [`DbOptions::NO_AUTO_CHECKPOINT`] disables automatic checkpointing
+    /// entirely (the pre-self-tuning opt-out — full-replay experiments
+    /// and deep point-in-time restores need the log intact). Note:
+    /// truncation limits point-in-time restore to states at or above the
+    /// low-water mark.
     pub checkpoint_every_bytes: u64,
+}
+
+impl DbOptions {
+    /// Sentinel for [`DbOptions::checkpoint_every_bytes`]: never
+    /// checkpoint automatically; the log grows until an explicit
+    /// [`Database::checkpoint_and_truncate`].
+    pub const NO_AUTO_CHECKPOINT: u64 = u64::MAX;
+
+    /// Floor of the self-tuned retention budget: below this much retained
+    /// log, replay is so cheap that truncation is pure overhead.
+    pub const AUTO_CHECKPOINT_FLOOR: u64 = 128 * 1024;
 }
 
 /// Participants enlisted in one transaction, keyed by deduplication name.
@@ -116,6 +134,9 @@ pub(crate) struct DbInner {
     injected: Mutex<HashMap<TxId, Vec<InjectedDml>>>,
     /// Log retention budget ([`DbOptions::checkpoint_every_bytes`]).
     auto_checkpoint_bytes: u64,
+    /// Serialized size of the newest snapshot (0 = none yet) — what the
+    /// self-tuned retention budget keys off.
+    last_snapshot_bytes: AtomicU64,
     /// At most one automatic checkpoint runs at a time.
     checkpoint_running: AtomicBool,
 }
@@ -255,6 +276,11 @@ impl Database {
         let in_doubt: HashMap<TxId, Vec<RowOp>> =
             prepared.into_iter().filter(|(txid, _)| !decided.contains_key(txid)).collect();
 
+        // Seed the self-tuning checkpoint budget from the snapshot we
+        // recovered off (its slot device length is its serialized size).
+        let last_snapshot_bytes =
+            if generation > 0 { env.device(slot_for_generation(generation))?.len()? } else { 0 };
+
         Ok(Database {
             inner: Arc::new(DbInner {
                 env,
@@ -271,6 +297,7 @@ impl Database {
                 outcomes: Mutex::new(outcomes),
                 injected: Mutex::new(HashMap::new()),
                 auto_checkpoint_bytes: opts.checkpoint_every_bytes,
+                last_snapshot_bytes: AtomicU64::new(last_snapshot_bytes),
                 checkpoint_running: AtomicBool::new(false),
             }),
         })
@@ -528,17 +555,35 @@ impl Database {
         }
         self.inner.wal.append(&WalRecord::Checkpoint { generation })?;
         self.inner.snapshot_gen.store(generation, Ordering::SeqCst);
+        self.inner.last_snapshot_bytes.store(dev.len()?, Ordering::SeqCst);
         Ok((generation, base_lsn))
     }
 
-    /// Commit-path hook: when a retention budget is configured and the log
-    /// has outgrown it, checkpoint-and-truncate once (concurrent committers
-    /// skip rather than pile up behind the exclusive latch). Errors are
-    /// deliberately swallowed: the commit itself already succeeded, and a
-    /// failed automatic checkpoint surfaces on the next explicit one.
+    /// The log-retention budget currently in force: the configured value,
+    /// or — under the self-tuning default of 0 — `max(128 KiB, 4 x last
+    /// snapshot size)`, so the retained log is bounded by a small multiple
+    /// of what a recovery replay would re-derive from the snapshot anyway.
+    pub fn effective_checkpoint_budget(&self) -> u64 {
+        match self.inner.auto_checkpoint_bytes {
+            0 => DbOptions::AUTO_CHECKPOINT_FLOOR
+                .max(self.inner.last_snapshot_bytes.load(Ordering::SeqCst).saturating_mul(4)),
+            n => n,
+        }
+    }
+
+    /// Commit-path hook: when the log has outgrown the retention budget
+    /// (configured or self-tuned — see
+    /// [`Database::effective_checkpoint_budget`]), checkpoint-and-truncate
+    /// once (concurrent committers skip rather than pile up behind the
+    /// exclusive latch). Errors are deliberately swallowed: the commit
+    /// itself already succeeded, and a failed automatic checkpoint
+    /// surfaces on the next explicit one.
     pub(crate) fn maybe_auto_checkpoint(&self) {
-        let budget = self.inner.auto_checkpoint_bytes;
-        if budget == 0 || self.inner.wal.retained_bytes() <= budget {
+        if self.inner.auto_checkpoint_bytes == DbOptions::NO_AUTO_CHECKPOINT {
+            return;
+        }
+        let budget = self.effective_checkpoint_budget();
+        if self.inner.wal.retained_bytes() <= budget {
             return;
         }
         if self.inner.checkpoint_running.swap(true, Ordering::SeqCst) {
@@ -680,6 +725,43 @@ mod tests {
         assert_eq!(g2, g1 + 1);
         let db2 = Database::open(env).unwrap();
         assert!(db2.has_table("t"));
+    }
+
+    #[test]
+    fn self_tuned_default_bounds_the_log_under_sustained_churn() {
+        // Nobody configured a budget: insert-then-delete churn appends far
+        // more log than the floor, live data stays tiny, and the self-tuned
+        // default must keep truncating without an explicit checkpoint.
+        let env = StorageEnv::mem();
+        let db = Database::open(env.clone()).unwrap();
+        db.create_table(schema("t")).unwrap();
+        assert_eq!(db.effective_checkpoint_budget(), DbOptions::AUTO_CHECKPOINT_FLOOR);
+
+        let payload = "x".repeat(4096);
+        let mut peak = 0u64;
+        for i in 0..128i64 {
+            let mut tx = db.begin();
+            tx.insert("t", vec![Value::Int(i), Value::Text(payload.clone())]).unwrap();
+            tx.commit().unwrap();
+            let mut tx = db.begin();
+            tx.delete("t", &Value::Int(i)).unwrap();
+            tx.commit().unwrap();
+            peak = peak.max(db.wal_retained_bytes());
+        }
+
+        assert!(db.wal_base_lsn() > 0, "churn alone must have triggered truncation");
+        // The snapshot of a near-empty table stays under the floor, so the
+        // effective budget is the floor; a committer can overshoot it by at
+        // most the commit that noticed, before truncating synchronously.
+        let slack = 2 * payload.len() as u64;
+        assert!(
+            peak <= DbOptions::AUTO_CHECKPOINT_FLOOR + slack,
+            "retained log peaked at {peak} bytes against a {} budget",
+            DbOptions::AUTO_CHECKPOINT_FLOOR
+        );
+
+        let db2 = Database::open(env).unwrap();
+        assert_eq!(db2.count("t").unwrap(), 0, "recovery off the truncated log agrees");
     }
 
     #[test]

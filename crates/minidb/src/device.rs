@@ -10,11 +10,95 @@
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{DbError, DbResult};
+
+/// Injectable disk faults shared by every device of a faulted in-memory
+/// environment ([`StorageEnv::mem_with_faults`]). Lab scenarios and crash
+/// tests *declare* faults here instead of hand-editing device bytes:
+///
+/// - **ENOSPC budget** — [`DiskFaults::inject_enospc`] arms a budget of
+///   `n` *failures*: while the budget is positive every `write_at` on an
+///   attached device fails with an `ENOSPC` I/O error and decrements it.
+///   Failures are therefore a strict prefix of the writes that follow the
+///   injection (the device never interleaves success and failure), which
+///   keeps two-phase commit sane: once a prepare's log write has
+///   succeeded the budget is exhausted, so the decision record that
+///   follows it cannot be the one that fails.
+/// - **Torn tail on crash** — [`DiskFaults::arm_torn_tail`] declares that
+///   the last `bytes` of a named device never reached the platter. The
+///   shear is applied by [`StorageEnv::apply_crash_faults`], which crash
+///   simulations call before re-opening: the live process believed the
+///   write was durable; only the crash reveals the torn suffix.
+#[derive(Default)]
+pub struct DiskFaults {
+    /// Remaining writes that fail with ENOSPC (counts failures, not writes).
+    enospc_budget: AtomicU64,
+    /// Writes rejected so far (tests assert the fault actually fired).
+    enospc_hits: AtomicU64,
+    /// Armed torn tail: device name and bytes to shear off at crash.
+    torn: Mutex<Option<(String, u64)>>,
+}
+
+impl DiskFaults {
+    /// A fresh, quiescent fault handle (no faults armed).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arms `writes` consecutive write failures: the next `writes` calls
+    /// to `write_at` on any attached device fail with ENOSPC, then the
+    /// device recovers (the operator freed space).
+    pub fn inject_enospc(&self, writes: u64) {
+        self.enospc_budget.fetch_add(writes, Ordering::SeqCst);
+    }
+
+    /// Write failures still to be served from the armed budget.
+    pub fn enospc_remaining(&self) -> u64 {
+        self.enospc_budget.load(Ordering::SeqCst)
+    }
+
+    /// Writes rejected with ENOSPC since this handle was created.
+    pub fn enospc_hits(&self) -> u64 {
+        self.enospc_hits.load(Ordering::SeqCst)
+    }
+
+    /// Declares that the final `bytes` of device `name` were torn (never
+    /// durable). Applied by [`StorageEnv::apply_crash_faults`]; re-arming
+    /// replaces any previous declaration.
+    pub fn arm_torn_tail(&self, name: &str, bytes: u64) {
+        *self.torn.lock() = Some((name.to_string(), bytes));
+    }
+
+    /// Commit-path check used by attached devices: consumes one unit of
+    /// ENOSPC budget if any is armed.
+    fn check_write(&self) -> DbResult<()> {
+        // Decrement-if-positive without underflow under concurrency.
+        loop {
+            let cur = self.enospc_budget.load(Ordering::SeqCst);
+            if cur == 0 {
+                return Ok(());
+            }
+            if self
+                .enospc_budget
+                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.enospc_hits.fetch_add(1, Ordering::SeqCst);
+                return Err(DbError::Io("ENOSPC: injected disk-full fault".into()));
+            }
+        }
+    }
+
+    /// Takes the armed torn-tail declaration, if any.
+    fn take_torn(&self) -> Option<(String, u64)> {
+        self.torn.lock().take()
+    }
+}
 
 /// A flat byte store with positional I/O, the moral equivalent of a file.
 pub trait Device: Send + Sync {
@@ -37,9 +121,11 @@ pub trait Device: Send + Sync {
 
 /// In-memory device. The backing vector survives as long as the Arc does,
 /// which makes it the "disk" in crash-simulation tests.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct MemDevice {
     data: RwLock<Vec<u8>>,
+    /// Fault handle shared with the owning environment (None = never fails).
+    faults: Option<Arc<DiskFaults>>,
     /// Minimum cost charged by every [`Device::sync`] call. Unlike fskit's
     /// spin-based `IoModel`, this *sleeps*: a real fsync parks the calling
     /// thread in the kernel and leaves the CPU free for other committers —
@@ -90,6 +176,9 @@ impl Device for MemDevice {
     }
 
     fn write_at(&self, offset: u64, bytes: &[u8]) -> DbResult<()> {
+        if let Some(faults) = &self.faults {
+            faults.check_write()?;
+        }
         let mut data = self.data.write();
         let off = offset as usize;
         let end = off + bytes.len();
@@ -185,6 +274,8 @@ pub struct MemEnv {
     devices: RwLock<HashMap<String, Arc<MemDevice>>>,
     /// Sync latency handed to every device this environment creates.
     sync_latency_ns: u64,
+    /// Fault handle shared with every device this environment creates.
+    faults: Option<Arc<DiskFaults>>,
 }
 
 /// Provides the named devices a database needs and supports forking.
@@ -206,6 +297,41 @@ impl StorageEnv {
     /// `sync` — a deterministic stand-in for disk flush latency.
     pub fn mem_with_sync_latency(ns: u64) -> Self {
         StorageEnv::Mem(Arc::new(MemEnv { sync_latency_ns: ns, ..Default::default() }))
+    }
+
+    /// An in-memory environment whose devices consult `faults` on every
+    /// write — the injectable disk-fault layer lab scenarios declare
+    /// ENOSPC and torn-write faults through (see [`DiskFaults`]) — and
+    /// charge `sync_latency_ns` per `sync` (zero keeps sync free).
+    pub fn mem_with_faults(faults: Arc<DiskFaults>, sync_latency_ns: u64) -> Self {
+        StorageEnv::Mem(Arc::new(MemEnv {
+            faults: Some(faults),
+            sync_latency_ns,
+            ..Default::default()
+        }))
+    }
+
+    /// The fault handle attached at construction, if any.
+    pub fn faults(&self) -> Option<Arc<DiskFaults>> {
+        match self {
+            StorageEnv::Mem(env) => env.faults.clone(),
+            StorageEnv::Dir(_) => None,
+        }
+    }
+
+    /// Applies any armed crash-boundary fault (currently: the torn tail
+    /// declared via [`DiskFaults::arm_torn_tail`]) and returns the number
+    /// of bytes sheared. Crash simulations call this between "process
+    /// died" and "recovery re-opens the environment": the torn suffix was
+    /// never durable, so it must vanish exactly when the crash happens.
+    pub fn apply_crash_faults(&self) -> DbResult<u64> {
+        let Some(faults) = self.faults() else { return Ok(0) };
+        let Some((name, bytes)) = faults.take_torn() else { return Ok(0) };
+        let dev = self.device(&name)?;
+        let len = dev.len()?;
+        let torn = bytes.min(len);
+        dev.set_len(len - torn)?;
+        Ok(torn)
     }
 
     /// The per-`sync` latency this environment's devices charge (zero for
@@ -235,7 +361,11 @@ impl StorageEnv {
                 }
                 let mut w = env.devices.write();
                 let dev = w.entry(name.to_string()).or_insert_with(|| {
-                    Arc::new(MemDevice::with_sync_latency_ns(env.sync_latency_ns))
+                    Arc::new(MemDevice {
+                        sync_latency_ns: env.sync_latency_ns,
+                        faults: env.faults.clone(),
+                        ..Default::default()
+                    })
                 });
                 Ok(Arc::clone(dev) as Arc<dyn Device>)
             }
@@ -261,6 +391,7 @@ impl StorageEnv {
                         Arc::new(MemDevice {
                             data: RwLock::new(dev.snapshot()),
                             sync_latency_ns: env.sync_latency_ns,
+                            faults: env.faults.clone(),
                             syncs: Default::default(),
                         }),
                     );
@@ -268,6 +399,7 @@ impl StorageEnv {
                 Ok(StorageEnv::Mem(Arc::new(MemEnv {
                     devices: RwLock::new(dst),
                     sync_latency_ns: env.sync_latency_ns,
+                    faults: env.faults.clone(),
                 })))
             }
             StorageEnv::Dir(dir) => {
@@ -362,6 +494,66 @@ mod tests {
             d.sync().unwrap();
             assert!(t.elapsed() >= std::time::Duration::from_micros(150));
         }
+    }
+
+    #[test]
+    fn enospc_budget_fails_a_strict_prefix_then_recovers() {
+        let faults = DiskFaults::new();
+        let env = StorageEnv::mem_with_faults(Arc::clone(&faults), 0);
+        let dev = env.device("wal").unwrap();
+        dev.write_at(0, b"pre").unwrap();
+
+        faults.inject_enospc(2);
+        assert!(dev.write_at(3, b"a").is_err());
+        assert!(dev.write_at(3, b"b").is_err());
+        // Budget spent: the device recovers, no interleaved failures.
+        dev.write_at(3, b"c").unwrap();
+        dev.write_at(4, b"d").unwrap();
+        assert_eq!(faults.enospc_hits(), 2);
+        assert_eq!(faults.enospc_remaining(), 0);
+        // The failed writes left no bytes behind.
+        let mut buf = [0u8; 5];
+        assert_eq!(dev.read_at(0, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"precd");
+    }
+
+    #[test]
+    fn enospc_budget_covers_every_device_of_the_env() {
+        let faults = DiskFaults::new();
+        let env = StorageEnv::mem_with_faults(Arc::clone(&faults), 0);
+        let a = env.device("wal").unwrap();
+        let b = env.device("snap.a").unwrap();
+        faults.inject_enospc(1);
+        assert!(a.write_at(0, b"x").is_err());
+        b.write_at(0, b"y").unwrap();
+        assert_eq!(faults.enospc_hits(), 1);
+    }
+
+    #[test]
+    fn torn_tail_applies_only_at_crash_boundary() {
+        let faults = DiskFaults::new();
+        let env = StorageEnv::mem_with_faults(Arc::clone(&faults), 0);
+        let dev = env.device("wal").unwrap();
+        dev.write_at(0, b"0123456789").unwrap();
+
+        faults.arm_torn_tail("wal", 4);
+        // The live process still sees every byte it wrote.
+        assert_eq!(dev.len().unwrap(), 10);
+
+        assert_eq!(env.apply_crash_faults().unwrap(), 4);
+        assert_eq!(dev.len().unwrap(), 6, "torn suffix vanishes at the crash");
+        // One-shot: a second crash on the same env shears nothing more.
+        assert_eq!(env.apply_crash_faults().unwrap(), 0);
+    }
+
+    #[test]
+    fn torn_tail_is_clamped_to_device_length() {
+        let faults = DiskFaults::new();
+        let env = StorageEnv::mem_with_faults(Arc::clone(&faults), 0);
+        env.device("wal").unwrap().write_at(0, b"abc").unwrap();
+        faults.arm_torn_tail("wal", 1_000);
+        assert_eq!(env.apply_crash_faults().unwrap(), 3);
+        assert_eq!(env.device("wal").unwrap().len().unwrap(), 0);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod value;
 pub mod wal;
 
 pub use db::{Database, DbOptions, DmlEvent, DmlObserver, InjectedDml, OpKind, Participant};
-pub use device::{Device, FileDevice, MemDevice, StorageEnv};
+pub use device::{Device, DiskFaults, FileDevice, MemDevice, StorageEnv};
 pub use error::{DbError, DbResult};
 pub use lock::LockMode;
 pub use ops::RowOp;

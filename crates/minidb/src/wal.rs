@@ -306,10 +306,21 @@ struct WalState {
     leader_active: bool,
     /// Recycled batch buffer (micro-fix: no fresh frame `Vec` per append).
     spare: Vec<u8>,
-    /// Sticky I/O failure: once a batched write/sync fails the log cannot
-    /// tell which frames made it, so every subsequent append fails loudly
-    /// rather than risking a hole before acknowledged commits.
-    poisoned: Option<String>,
+    /// Durable watermark captured at each failed flush, in order. A failed
+    /// flush drops *every* non-durable frame (the failed batch and anything
+    /// batched while it was in flight) and rewinds the log to the durable
+    /// watermark; the log itself stays usable, so a transient device fault
+    /// (ENOSPC) costs exactly the commits caught in it. A waiter that
+    /// enqueued when this had length `e` decides its fate exactly: if a
+    /// failure `failures[e]` exists, its frame survived iff it was durable
+    /// before that first post-enqueue failure (`my_lsn <= failures[e]`) —
+    /// an LSN-only check would misread reused log address space. Grows 8
+    /// bytes per failed flush; device faults are rare enough not to bound
+    /// it.
+    failures: Vec<Lsn>,
+    /// Message of the most recent failed flush (error-text context for
+    /// waiters whose frame the failure dropped).
+    last_failure: Option<String>,
     /// Active wal slot (flips on truncation).
     slot: u32,
     /// Sequence of the newest durable control record.
@@ -513,7 +524,8 @@ impl Wal {
                     batch_frames: 0,
                     leader_active: false,
                     spare: Vec::new(),
-                    poisoned: None,
+                    failures: Vec::new(),
+                    last_failure: None,
                     slot,
                     ctl_seq,
                 }),
@@ -547,9 +559,6 @@ impl Wal {
     /// behaviour). Reuses the spare buffer instead of allocating a frame.
     fn append_per_commit(&self, payload: &[u8]) -> DbResult<Lsn> {
         let mut state = self.state.lock();
-        if let Some(e) = &state.poisoned {
-            return Err(DbError::Io(format!("wal poisoned by earlier failure: {e}")));
-        }
         let mut frame = std::mem::take(&mut state.spare);
         frame.clear();
         encode_frame(&mut frame, payload);
@@ -574,23 +583,34 @@ impl Wal {
     fn append_grouped(&self, payload: &[u8]) -> DbResult<Lsn> {
         let mut state = self.state.lock();
         // Back-pressure: a full batch must flush before growing further.
-        loop {
-            if let Some(e) = &state.poisoned {
-                return Err(DbError::Io(format!("wal poisoned by earlier failure: {e}")));
-            }
-            if state.batch_frames < self.opts.max_batch.max(1) {
-                break;
-            }
+        while state.batch_frames >= self.opts.max_batch.max(1) {
             self.flushed.wait(&mut state);
         }
+        // The failure epoch our frame enqueues under: a failed flush drops
+        // every non-durable frame and rewinds the log, so after a failure
+        // our LSN may be reassigned to a *different* frame. The failure
+        // log decides our fate exactly (see `WalState::failures`).
+        let epoch = state.failures.len();
         encode_frame(&mut state.batch, payload);
         state.batch_frames += 1;
         state.end += (FRAME_HEADER + payload.len()) as u64;
         let my_lsn = state.end;
 
-        while state.durable < my_lsn {
-            if let Some(e) = &state.poisoned {
-                return Err(DbError::Io(format!("wal poisoned by earlier failure: {e}")));
+        loop {
+            if let Some(&durable_at_failure) = state.failures.get(epoch) {
+                // A flush failed after we enqueued. It dropped every frame
+                // not yet durable, so ours survived iff it was durable
+                // before that first post-enqueue failure. (`state.durable`
+                // alone cannot tell: our log address space may since have
+                // been reassigned to a later frame and flushed.)
+                if my_lsn <= durable_at_failure {
+                    return Ok(my_lsn);
+                }
+                let e = state.last_failure.clone().unwrap_or_default();
+                return Err(DbError::Io(format!("wal flush failed; commit dropped: {e}")));
+            }
+            if state.durable >= my_lsn {
+                return Ok(my_lsn);
             }
             if state.leader_active {
                 // Follow: a leader is flushing; it (or a successor) will
@@ -600,7 +620,6 @@ impl Wal {
                 self.lead_flush(&mut state)?;
             }
         }
-        Ok(my_lsn)
     }
 
     /// Leader duty: take the pending batch, write it with one `write_at`,
@@ -644,7 +663,22 @@ impl Wal {
                 Ok(())
             }
             Err(e) => {
-                state.poisoned = Some(e.to_string());
+                // Transient failure: drop every non-durable frame — the
+                // failed batch *and* anything batched while it was in
+                // flight (later frames' device offsets assume the failed
+                // range was written) — and rewind to the durable
+                // watermark. Waiters read the failure log and report
+                // their commit as dropped; the log stays usable.
+                let durable = state.durable;
+                state.failures.push(durable);
+                state.last_failure = Some(e.to_string());
+                state.end = state.durable;
+                state.batch_base = state.durable;
+                state.batch.clear();
+                state.batch_frames = 0;
+                let mut buf = buf;
+                buf.clear();
+                state.spare = buf;
                 state.leader_active = false;
                 self.flushed.notify_all();
                 Err(e)
@@ -692,13 +726,7 @@ impl Wal {
         // Quiesce: no leader mid-flush, no batched frames waiting. Waiting
         // on the flush condvar releases the state lock, so in-flight
         // leaders finish and wake us.
-        loop {
-            if let Some(e) = &state.poisoned {
-                return Err(DbError::Io(format!("wal poisoned by earlier failure: {e}")));
-            }
-            if !state.leader_active && state.batch_frames == 0 {
-                break;
-            }
+        while state.leader_active || state.batch_frames > 0 {
             self.flushed.wait(&mut state);
         }
         let mut view = self.view.write();
@@ -1102,6 +1130,87 @@ mod tests {
         let frames = reader.read_from(0).unwrap();
         assert_eq!(frames.records.len(), 40);
         assert_eq!(frames.end, wal.durable_lsn());
+    }
+
+    #[test]
+    fn flush_failure_is_transient_and_costs_only_the_caught_commit() {
+        let faults = crate::device::DiskFaults::new();
+        let env = StorageEnv::mem_with_faults(Arc::clone(&faults), 0);
+        let (wal, _) = Wal::open_env(&env, WalOptions::default()).unwrap();
+        wal.append(&WalRecord::Decide { txid: 1, commit: true }).unwrap();
+
+        faults.inject_enospc(1);
+        let err = wal.append(&WalRecord::Decide { txid: 2, commit: true });
+        assert!(err.is_err(), "commit caught in the failed flush reports the error");
+
+        // The log stays usable: the next append reuses the dropped frame's
+        // address space and the tail rewinds over the failure.
+        let b = wal.append(&WalRecord::Decide { txid: 3, commit: true }).unwrap();
+        assert_eq!(wal.durable_lsn(), b);
+        assert_eq!(wal.tail_lsn(), b);
+
+        drop(wal);
+        let (_, recs) = Wal::open_env(&env, WalOptions::default()).unwrap();
+        let txids: Vec<u64> = recs
+            .iter()
+            .map(|(_, r)| match r {
+                WalRecord::Decide { txid, .. } => *txid,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(txids, vec![1, 3], "the dropped commit must not replay");
+    }
+
+    #[test]
+    fn concurrent_appends_are_acked_iff_they_replay_across_a_flush_failure() {
+        // The group-commit pipeline under an injected ENOSPC burst: every
+        // append that returned Ok must replay, every append that returned
+        // Err must not — no false acks through reused log address space,
+        // no lost acks from over-eager failure reporting.
+        let faults = crate::device::DiskFaults::new();
+        let env = StorageEnv::mem_with_faults(Arc::clone(&faults), 0);
+        let wal = Arc::new(Wal::open_env(&env, WalOptions::tuned_for(8)).unwrap().0);
+        for i in 0..4u64 {
+            wal.append(&WalRecord::Decide { txid: i, commit: true }).unwrap();
+        }
+
+        faults.inject_enospc(3);
+        let acked = parking_lot::Mutex::new(Vec::new());
+        let failed = parking_lot::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let wal = Arc::clone(&wal);
+                let (acked, failed) = (&acked, &failed);
+                scope.spawn(move || {
+                    for k in 0..10u64 {
+                        let txid = 100 + t * 100 + k;
+                        match wal.append(&WalRecord::Decide { txid, commit: true }) {
+                            Ok(_) => acked.lock().push(txid),
+                            Err(_) => failed.lock().push(txid),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(faults.enospc_hits(), 3, "the armed burst must actually fire");
+        let failed = failed.into_inner();
+        assert!(!failed.is_empty(), "some commit must have been caught in the failure");
+
+        drop(wal);
+        let (_, recs) = Wal::open_env(&env, WalOptions::default()).unwrap();
+        let replayed: std::collections::HashSet<u64> = recs
+            .iter()
+            .map(|(_, r)| match r {
+                WalRecord::Decide { txid, .. } => *txid,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        for txid in acked.into_inner() {
+            assert!(replayed.contains(&txid), "acked commit {txid} lost");
+        }
+        for txid in failed {
+            assert!(!replayed.contains(&txid), "failed commit {txid} replayed anyway");
+        }
     }
 
     #[test]

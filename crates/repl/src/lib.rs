@@ -108,6 +108,13 @@ impl EpochFence {
         EpochFence::default()
     }
 
+    /// A fence starting at `epoch` — how a replica set rebuilt after a
+    /// failover inherits the promoted coordinator's generation instead of
+    /// restarting at 0 (a second failover must still out-rank the first).
+    pub fn at(epoch: u64) -> EpochFence {
+        EpochFence { current: AtomicU64::new(epoch) }
+    }
+
     /// The current epoch.
     pub fn current(&self) -> u64 {
         self.current.load(Ordering::SeqCst)
@@ -154,6 +161,24 @@ impl ReplStats {
     pub fn bytes_shipped(&self) -> u64 {
         self.bytes_shipped.load(Ordering::Relaxed)
     }
+}
+
+/// Anything the ship daemon can feed: applies frame ranges in order and
+/// accepts checkpoint images for delta catch-up. Implemented by [`Standby`]
+/// (a DLFM repository replica with its token-session and mirrored-archive
+/// machinery) and [`HostStandby`] (a bare host-database replica — the 2PC
+/// coordinator needs durability and failover, not token validation).
+pub trait ShipTarget: Send + Sync {
+    /// Applies one shipped range, fencing stale epochs first.
+    fn apply(&self, epoch: u64, frames: &ShippedFrames) -> Result<(), ReplError>;
+    /// Installs a primary checkpoint image (delta catch-up), fencing
+    /// stale epochs first. Returns whether it actually installed.
+    fn install_checkpoint(&self, epoch: u64, snap: &SnapshotData) -> Result<bool, ReplError>;
+    /// One past the last applied log byte.
+    fn applied_lsn(&self) -> Lsn;
+    /// Blocks until the target's background snapshotter is idle (bounded
+    /// retained-bytes observations need this).
+    fn wait_snapshot_idle(&self, timeout: Duration) -> bool;
 }
 
 /// Name of the replica-local session table holding validated token entries.
@@ -385,10 +410,101 @@ impl Standby {
     }
 }
 
+impl ShipTarget for Standby {
+    fn apply(&self, epoch: u64, frames: &ShippedFrames) -> Result<(), ReplError> {
+        Standby::apply(self, epoch, frames)
+    }
+
+    fn install_checkpoint(&self, epoch: u64, snap: &SnapshotData) -> Result<bool, ReplError> {
+        Standby::install_checkpoint(self, epoch, snap)
+    }
+
+    fn applied_lsn(&self) -> Lsn {
+        Standby::applied_lsn(self)
+    }
+
+    fn wait_snapshot_idle(&self, timeout: Duration) -> bool {
+        Standby::wait_snapshot_idle(self, timeout)
+    }
+}
+
+/// A hot standby of the **host database** — the 2PC coordinator and
+/// system of record. Unlike [`Standby`] it carries no token-session or
+/// archive machinery: the host standby exists so coordinator state
+/// (prepared transactions, decisions, the `__dl_meta` linkage rows) is
+/// durable on another node and a promotion can recover it byte-for-byte.
+pub struct HostStandby {
+    /// `host#<ordinal>` (diagnostics).
+    pub name: String,
+    db: StandbyDb,
+    fence: Arc<EpochFence>,
+    stats: Arc<ReplStats>,
+}
+
+impl HostStandby {
+    /// Opens a host standby over `env` (the replicated host database).
+    pub fn new(
+        name: String,
+        env: StorageEnv,
+        fence: Arc<EpochFence>,
+        stats: Arc<ReplStats>,
+    ) -> Result<HostStandby, String> {
+        let db = StandbyDb::open(env).map_err(|e| e.to_string())?;
+        Ok(HostStandby { name, db, fence, stats })
+    }
+
+    fn check_fence(&self, epoch: u64) -> Result<(), ReplError> {
+        let fence = self.fence.current();
+        if epoch != fence {
+            self.stats.stale_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(ReplError::StaleEpoch { shipped: epoch, fence });
+        }
+        Ok(())
+    }
+
+    /// One past the last applied log byte.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.db.applied_lsn()
+    }
+
+    /// Bytes of log this standby retains — bounded by checkpoint shipping.
+    pub fn wal_retained_bytes(&self) -> u64 {
+        self.db.wal_retained_bytes()
+    }
+
+    /// The standby's storage environment. Promotion opens a normal
+    /// [`Database`] on a clone of this: recovery then
+    /// re-derives the coordinator state — outcomes, prepared-but-undecided
+    /// transactions, the next transaction id — from the replicated log.
+    pub fn env(&self) -> &StorageEnv {
+        self.db.env()
+    }
+}
+
+impl ShipTarget for HostStandby {
+    fn apply(&self, epoch: u64, frames: &ShippedFrames) -> Result<(), ReplError> {
+        self.check_fence(epoch)?;
+        self.db.apply(frames).map_err(|e| ReplError::Apply(e.to_string()))
+    }
+
+    fn install_checkpoint(&self, epoch: u64, snap: &SnapshotData) -> Result<bool, ReplError> {
+        self.check_fence(epoch)?;
+        self.db.install_checkpoint(snap).map_err(|e| ReplError::Apply(e.to_string()))
+    }
+
+    fn applied_lsn(&self) -> Lsn {
+        HostStandby::applied_lsn(self)
+    }
+
+    fn wait_snapshot_idle(&self, timeout: Duration) -> bool {
+        self.db.wait_snapshot_idle(timeout)
+    }
+}
+
 /// The shipping core shared by the daemon thread and synchronous callers.
 struct ShipCore {
     feed: ReplicationFeed,
-    standbys: Vec<Arc<Standby>>,
+    standbys: Vec<Arc<dyn ShipTarget>>,
     /// Epoch this shipper was spawned under; carried on every range.
     epoch: u64,
     cursor: Mutex<Lsn>,
@@ -458,11 +574,12 @@ pub struct Replicator {
 }
 
 impl Replicator {
-    /// Spawns the daemon under the fence's current epoch.
+    /// Spawns the daemon under the fence's current epoch. `standbys` is
+    /// any mix of [`ShipTarget`]s (DLFM [`Standby`]s, [`HostStandby`]s).
     pub fn spawn(
         name: &str,
         feed: ReplicationFeed,
-        standbys: Vec<Arc<Standby>>,
+        standbys: Vec<Arc<dyn ShipTarget>>,
         epoch: u64,
         stats: Arc<ReplStats>,
     ) -> Replicator {
@@ -633,10 +750,12 @@ impl ReplicaSet {
                 opts.fallback.clone(),
             )?));
         }
+        let targets: Vec<Arc<dyn ShipTarget>> =
+            standbys.iter().map(|s| Arc::clone(s) as Arc<dyn ShipTarget>).collect();
         let replicator = Replicator::spawn(
             &opts.server_name,
             feed,
-            standbys.clone(),
+            targets,
             fence.current(),
             Arc::clone(&stats),
         );
@@ -701,6 +820,120 @@ impl ReplicaSet {
     /// not affect durability, any standby is equally promotable after the
     /// fence).
     pub fn promote_target(&self) -> &Arc<Standby> {
+        &self.standbys[0]
+    }
+}
+
+/// Options for provisioning a host-database replica set.
+pub struct HostReplicaSetOptions {
+    /// Number of hot standbys to provision.
+    pub replicas: usize,
+    /// Per-sync latency of the standby environments (matched to the host
+    /// database's, so replica durability costs what the primary's does).
+    pub sync_latency_ns: u64,
+    /// Initial fence epoch — the **coordinator generation**. A first
+    /// provisioning passes 0; a set rebuilt after `fail_over_host` passes
+    /// the promoted epoch so a later failover still out-ranks this one.
+    pub epoch: u64,
+}
+
+/// The host database's hot standbys plus their shipping daemon — the
+/// coordinator half of "no single node loss stops traffic". The fence
+/// epoch here doubles as the **coordinator generation**: promotion bumps
+/// it, every DLFM node is told the new generation, and 2PC traffic from
+/// agent connections minted under an older generation is refused (the
+/// zombie-coordinator guard).
+pub struct HostReplicaSet {
+    standbys: Vec<Arc<HostStandby>>,
+    replicator: Replicator,
+    fence: Arc<EpochFence>,
+    stats: Arc<ReplStats>,
+}
+
+impl HostReplicaSet {
+    /// Provisions `opts.replicas` fresh host standbys fed from `feed`
+    /// (the host database's [`ReplicationFeed`]) and spawns the shipper
+    /// under `opts.epoch`.
+    pub fn build(
+        feed: ReplicationFeed,
+        opts: HostReplicaSetOptions,
+    ) -> Result<HostReplicaSet, String> {
+        assert!(opts.replicas > 0, "a host replica set needs at least one standby");
+        let fence = Arc::new(EpochFence::at(opts.epoch));
+        let stats = Arc::new(ReplStats::default());
+        let env = |latency: u64| {
+            if latency > 0 {
+                StorageEnv::mem_with_sync_latency(latency)
+            } else {
+                StorageEnv::mem()
+            }
+        };
+        let mut standbys = Vec::with_capacity(opts.replicas);
+        for i in 0..opts.replicas {
+            standbys.push(Arc::new(HostStandby::new(
+                format!("host#{i}"),
+                env(opts.sync_latency_ns),
+                Arc::clone(&fence),
+                Arc::clone(&stats),
+            )?));
+        }
+        let targets: Vec<Arc<dyn ShipTarget>> =
+            standbys.iter().map(|s| Arc::clone(s) as Arc<dyn ShipTarget>).collect();
+        let replicator = Replicator::spawn("host", feed, targets, fence.current(), stats.clone());
+        Ok(HostReplicaSet { standbys, replicator, fence, stats })
+    }
+
+    /// The set's standbys, in provisioning order.
+    pub fn standbys(&self) -> &[Arc<HostStandby>] {
+        &self.standbys
+    }
+
+    /// Host durable watermark minus the slowest standby's applied
+    /// watermark, in bytes.
+    pub fn lag(&self) -> u64 {
+        self.replicator.lag()
+    }
+
+    /// Drives shipping until the lag drains to zero or `timeout` elapses.
+    pub fn wait_caught_up(&self, timeout: Duration) -> bool {
+        self.replicator.wait_caught_up(timeout)
+    }
+
+    /// Synchronous ship (tests; also how a fenced shipper's rejection is
+    /// observed deterministically).
+    pub fn ship_once(&self) -> Result<usize, ReplError> {
+        self.replicator.ship_once()
+    }
+
+    /// Pauses or resumes the background shipper (the deterministic way to
+    /// hold back a standby — e.g. to stage a decision logged on the host
+    /// but not yet shipped).
+    pub fn set_paused(&self, paused: bool) {
+        self.replicator.set_paused(paused);
+    }
+
+    /// Shipping and rejection counters.
+    pub fn stats(&self) -> &Arc<ReplStats> {
+        &self.stats
+    }
+
+    /// The failover fence (= coordinator generation) of this set.
+    pub fn fence(&self) -> &Arc<EpochFence> {
+        &self.fence
+    }
+
+    /// Fences the set for host failover: bumps the coordinator generation
+    /// — every in-flight or future frame from the current shipper is now
+    /// stale — and joins the shipping daemon so no apply races the
+    /// promotion that follows. Returns the new generation.
+    pub fn freeze(&self) -> u64 {
+        let epoch = self.fence.bump();
+        self.replicator.stop();
+        epoch
+    }
+
+    /// The standby a host failover promotes.
+    pub fn promote_target(&self) -> &Arc<HostStandby> {
         &self.standbys[0]
     }
 }
@@ -781,7 +1014,7 @@ mod tests {
         let repl = Replicator::spawn(
             "srv1",
             db.replication_feed(),
-            vec![Arc::clone(&standby)],
+            vec![Arc::clone(&standby) as Arc<dyn ShipTarget>],
             0,
             Arc::clone(&stats),
         );
@@ -805,7 +1038,7 @@ mod tests {
         let repl = Replicator::spawn(
             "srv1",
             db.replication_feed(),
-            vec![Arc::clone(&standby)],
+            vec![Arc::clone(&standby) as Arc<dyn ShipTarget>],
             fence.current(),
             Arc::clone(&stats),
         );
@@ -848,8 +1081,13 @@ mod tests {
             )
             .unwrap(),
         );
-        let repl =
-            Replicator::spawn("srv1", db.replication_feed(), vec![Arc::clone(&standby)], 0, stats);
+        let repl = Replicator::spawn(
+            "srv1",
+            db.replication_feed(),
+            vec![Arc::clone(&standby) as Arc<dyn ShipTarget>],
+            0,
+            stats,
+        );
 
         let mut tx = db.begin();
         tx.insert("dl_files", file_row("/movies/clip.mpg", 2)).unwrap();
@@ -893,7 +1131,7 @@ mod tests {
         let repl = Replicator::spawn(
             "srv1",
             db.replication_feed(),
-            vec![Arc::clone(&standby)],
+            vec![Arc::clone(&standby) as Arc<dyn ShipTarget>],
             0,
             Arc::clone(&stats),
         );

@@ -294,6 +294,179 @@ mod checkpoint_truncation_crashes {
     }
 }
 
+/// In-doubt edges of the host-coordinator failover: the host dies at the
+/// worst moments of its own two-phase commit. The staging drives the DLFM
+/// agent protocol directly so the crash lands exactly between phases; the
+/// promoted standby must settle every sub-transaction the old coordinator
+/// left behind — by the replicated decision when one shipped, by presumed
+/// abort when none did.
+mod host_failover_2pc {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use datalinks::core::{DataLinksSystem, DlColumnOptions};
+    use datalinks::dlfm::{AgentHandle, ControlMode, OnUnlink};
+    use datalinks::fskit::{Cred, SimClock};
+    use datalinks::minidb::{Column, ColumnType, Participant, Schema, Value};
+
+    const APP: Cred = Cred { uid: 100, gid: 100 };
+    const SRV: &str = "srv";
+    const CATCH_UP: Duration = Duration::from_secs(30);
+
+    fn build(host_replicas: usize) -> DataLinksSystem {
+        let sys = DataLinksSystem::builder()
+            .clock(Arc::new(SimClock::new(1_000_000)))
+            .host_replicas(host_replicas)
+            .file_server(SRV)
+            .build()
+            .unwrap();
+        let raw = sys.raw_fs(SRV).unwrap();
+        raw.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
+        raw.write_file(&APP, "/d/new.bin", b"link candidate").unwrap();
+        sys.create_table(
+            Schema::new(
+                "t",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::nullable("body", ColumnType::DataLink),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sys.define_datalink_column("t", "body", DlColumnOptions::new(ControlMode::Rdd)).unwrap();
+        sys
+    }
+
+    /// A participant whose phase-two message dies with the coordinator:
+    /// prepare goes through, the decision never reaches the DLFM.
+    struct LostDecision(AgentHandle);
+
+    impl Participant for LostDecision {
+        fn prepare(&self, txid: u64) -> Result<(), String> {
+            self.0.prepare(txid)
+        }
+        fn commit(&self, _txid: u64) {}
+        fn abort(&self, txid: u64) {
+            self.0.abort(txid);
+        }
+    }
+
+    #[test]
+    fn crash_between_prepare_and_decision_presumed_aborts() {
+        let mut sys = build(1);
+        let agent = sys.node(SRV).unwrap().connect_agent();
+        let tx = sys.begin();
+        let txid = tx.id();
+        agent.link(txid, "/d/new.bin", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+        agent.prepare(txid).unwrap();
+        assert_eq!(sys.node(SRV).unwrap().server.pending_host_txns(), vec![(txid, true)]);
+        // The coordinator dies with the sub-transaction prepared and no
+        // decision logged anywhere.
+        std::mem::forget(tx);
+
+        let report = sys.fail_over_host().unwrap();
+        assert_eq!(
+            report.in_doubt_resolved,
+            vec![(SRV.to_string(), txid, false)],
+            "an undecided prepared claim is presumed aborted"
+        );
+        let server = Arc::clone(&sys.node(SRV).unwrap().server);
+        assert!(server.pending_host_txns().is_empty(), "promotion settles every claim");
+        assert!(
+            server.repository().get_file("/d/new.bin").is_none(),
+            "the aborted link leaves nothing behind"
+        );
+
+        // The promoted coordinator runs the same link to completion.
+        let mut tx = sys.begin();
+        tx.insert("t", vec![Value::Int(1), Value::DataLink(format!("dlfs://{SRV}/d/new.bin"))])
+            .unwrap();
+        tx.commit().unwrap();
+        assert!(server.repository().get_file("/d/new.bin").is_some());
+    }
+
+    #[test]
+    fn shipped_decision_is_finished_by_the_promoted_host() {
+        let mut sys = build(1);
+        let agent = sys.node(SRV).unwrap().connect_agent();
+        let tx = sys.begin();
+        let txid = tx.id();
+        agent.link(txid, "/d/new.bin", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+        sys.db().enlist_participant(txid, &format!("dlfm@{SRV}"), Arc::new(LostDecision(agent)));
+        // Prepares the DLFM and durably logs the commit decision — but the
+        // phase-two message dies with the coordinator.
+        tx.commit().unwrap();
+        assert_eq!(sys.node(SRV).unwrap().server.pending_host_txns(), vec![(txid, true)]);
+        assert!(sys.wait_host_replicas_caught_up(CATCH_UP), "the decision must ship");
+
+        let report = sys.fail_over_host().unwrap();
+        assert_eq!(
+            report.in_doubt_resolved,
+            vec![(SRV.to_string(), txid, true)],
+            "a decision in the replicated log is finished, not re-decided"
+        );
+        let server = &sys.node(SRV).unwrap().server;
+        assert!(server.pending_host_txns().is_empty());
+        assert!(
+            server.repository().get_file("/d/new.bin").is_some(),
+            "the decided link commits exactly once"
+        );
+    }
+}
+
+/// The crash-boundary torn write, end to end: a commit the live process
+/// believed durable never reached the platter; the crash — and only the
+/// crash — reveals the shear, and recovery loses exactly that commit.
+#[test]
+fn torn_host_wal_tail_loses_exactly_the_sheared_commit() {
+    use datalinks::minidb::{DiskFaults, StorageEnv};
+
+    let faults = DiskFaults::new();
+    let env = StorageEnv::mem_with_faults(Arc::clone(&faults), 0);
+    let sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_000_000)))
+        .host_env(env.clone())
+        .file_server("srv")
+        .build()
+        .unwrap();
+    sys.create_table(
+        Schema::new(
+            "p",
+            vec![Column::new("id", ColumnType::Int), Column::new("v", ColumnType::Text)],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut tx = sys.begin();
+    tx.insert("p", vec![Value::Int(1), Value::Text("durable".into())]).unwrap();
+    tx.commit().unwrap();
+
+    let before = env.device("wal").unwrap().len().unwrap();
+    let mut tx = sys.begin();
+    tx.insert("p", vec![Value::Int(2), Value::Text("torn".into())]).unwrap();
+    tx.commit().unwrap();
+    let after = env.device("wal").unwrap().len().unwrap();
+    faults.arm_torn_tail("wal", after - before);
+
+    // The live system still sees both rows — the tear is invisible until
+    // the crash applies it.
+    assert_eq!(sys.db().count("p").unwrap(), 2);
+    let image = sys.crash();
+    let (sys, _) = DataLinksSystem::recover(image).unwrap();
+
+    assert_eq!(sys.db().count("p").unwrap(), 1, "exactly the sheared commit is lost");
+    assert!(sys.db().get_committed("p", &Value::Int(1)).unwrap().is_some());
+    assert!(sys.db().get_committed("p", &Value::Int(2)).unwrap().is_none());
+    // The recovered log accepts new commits past the shear point.
+    let mut tx = sys.begin();
+    tx.insert("p", vec![Value::Int(3), Value::Text("post".into())]).unwrap();
+    tx.commit().unwrap();
+    assert_eq!(sys.db().count("p").unwrap(), 2);
+}
+
 /// Deterministic companion: a crash exactly between the host commit and the
 /// archive completion must not lose the committed version (the
 /// needs_archive recovery path).

@@ -19,8 +19,9 @@ fn build(replicas: usize, n_files: usize) -> DataLinksSystem {
 }
 
 /// `repo_budget` is the repository's log-retention budget in bytes
-/// (`DbOptions::checkpoint_every_bytes`); 0 disables automatic
-/// checkpointing, the pre-checkpoint-shipping behaviour.
+/// (`DbOptions::checkpoint_every_bytes`); 0 keeps the self-tuning
+/// default (sized from the last snapshot), and
+/// `DbOptions::NO_AUTO_CHECKPOINT` disables automatic checkpointing.
 fn build_with(replicas: usize, n_files: usize, repo_budget: u64) -> DataLinksSystem {
     let mut spec = FileServerSpec::new(SRV).replicas(replicas);
     spec.dlfm.db.checkpoint_every_bytes = repo_budget;
@@ -29,6 +30,22 @@ fn build_with(replicas: usize, n_files: usize, repo_budget: u64) -> DataLinksSys
         .file_server_with(spec)
         .build()
         .unwrap();
+    seed(sys, n_files)
+}
+
+/// A system whose *host database* runs with `host_replicas` hot standbys
+/// (the coordinator-failover experiments; DLFM-side replication off).
+fn build_host(host_replicas: usize, n_files: usize) -> DataLinksSystem {
+    let sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_000_000)))
+        .host_replicas(host_replicas)
+        .file_server(SRV)
+        .build()
+        .unwrap();
+    seed(sys, n_files)
+}
+
+fn seed(sys: DataLinksSystem, n_files: usize) -> DataLinksSystem {
     let raw = sys.raw_fs(SRV).unwrap();
     raw.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
     sys.create_table(
@@ -474,4 +491,135 @@ fn freshness_bound_adapts_down_on_a_healthy_set_and_backs_off_when_stalled() {
 
     set.set_paused(false);
     assert!(sys.wait_replicas_caught_up(SRV, CATCH_UP).unwrap());
+}
+
+// --- PR 7: host replication & coordinator failover -----------------------------
+
+/// A participant whose phase-two message dies with the coordinator (see
+/// the staging notes in tests/crash_recovery.rs).
+struct LostDecision(datalinks::dlfm::AgentHandle);
+
+impl datalinks::minidb::Participant for LostDecision {
+    fn prepare(&self, txid: u64) -> Result<(), String> {
+        self.0.prepare(txid)
+    }
+    fn commit(&self, _txid: u64) {}
+    fn abort(&self, txid: u64) {
+        self.0.abort(txid);
+    }
+}
+
+#[test]
+fn unshipped_decision_is_presumed_aborted_on_promotion() {
+    use datalinks::dlfm::OnUnlink;
+
+    let mut sys = build_host(1, 1);
+    let raw = sys.raw_fs(SRV).unwrap();
+    raw.write_file(&APP, "/d/cand.bin", b"candidate").unwrap();
+    assert!(sys.wait_host_replicas_caught_up(CATCH_UP));
+    // Freeze shipping: whatever the host logs from here on exists on the
+    // doomed coordinator's disk only.
+    sys.set_host_replication_paused(true).unwrap();
+
+    let agent = sys.node(SRV).unwrap().connect_agent();
+    let tx = sys.begin();
+    let txid = tx.id();
+    agent.link(txid, "/d/cand.bin", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+    sys.db().enlist_participant(txid, &format!("dlfm@{SRV}"), Arc::new(LostDecision(agent)));
+    tx.commit().unwrap();
+    assert!(sys.host_replication_lag() > 0, "the decision must still be unshipped");
+
+    let report = sys.fail_over_host().unwrap();
+    assert_eq!(
+        report.in_doubt_resolved,
+        vec![(SRV.to_string(), txid, false)],
+        "a decision the shipped log prefix never saw is presumed aborted"
+    );
+    let server = &sys.node(SRV).unwrap().server;
+    assert!(server.pending_host_txns().is_empty());
+    assert!(
+        server.repository().get_file("/d/cand.bin").is_none(),
+        "the aborted claim leaves no half-applied link"
+    );
+
+    // The promoted coordinator carries normal traffic.
+    write_once(&sys, 0, b"post failover");
+    let tp = read_token_path(&sys, 0);
+    assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"post failover");
+}
+
+#[test]
+fn zombie_coordinator_decisions_are_fenced_after_host_crash() {
+    use datalinks::dlfm::OnUnlink;
+    use datalinks::minidb::Participant;
+
+    let mut sys = build_host(1, 1);
+    let raw = sys.raw_fs(SRV).unwrap();
+    raw.write_file(&APP, "/d/cand.bin", b"candidate").unwrap();
+    let agent = sys.node(SRV).unwrap().connect_agent();
+    let tx = sys.begin();
+    let txid = tx.id();
+    agent.link(txid, "/d/cand.bin", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+    agent.prepare(txid).unwrap();
+    std::mem::forget(tx); // the coordinator "dies" holding the decision
+
+    // A read token minted before the outage keeps working through it.
+    let tp = read_token_path(&sys, 0);
+    assert!(sys.wait_host_replicas_caught_up(CATCH_UP));
+    let epoch = sys.crash_host().unwrap();
+    assert!(sys.host_is_down());
+    assert_eq!(sys.coordinator_epoch(), epoch);
+    assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"seed-0");
+
+    // The zombie wakes up and decides commit: the fence drops the
+    // decision instead of applying it behind the new coordinator's back.
+    let server = Arc::clone(&sys.node(SRV).unwrap().server);
+    let before = server.stats.stale_coord_rejections.load(std::sync::atomic::Ordering::Relaxed);
+    agent.commit(txid);
+    assert!(
+        server.stats.stale_coord_rejections.load(std::sync::atomic::Ordering::Relaxed) > before,
+        "the stale decision must be counted as rejected"
+    );
+    assert_eq!(
+        server.pending_host_txns(),
+        vec![(txid, true)],
+        "the fenced decision must not settle the claim"
+    );
+    // Fresh work under the old generation is refused outright.
+    raw.write_file(&APP, "/d/cand2.bin", b"late").unwrap();
+    let err = agent.link(txid + 1, "/d/cand2.bin", ControlMode::Rdd, true, OnUnlink::Restore);
+    assert!(err.unwrap_err().contains("stale coordinator"), "zombie link must be fenced");
+
+    // Promotion settles the claim by presumed abort — the zombie's
+    // decision never became durable on the surviving timeline.
+    let report = sys.promote_host().unwrap();
+    assert!(!sys.host_is_down());
+    assert_eq!(report.in_doubt_resolved, vec![(SRV.to_string(), txid, false)]);
+    assert!(server.repository().get_file("/d/cand.bin").is_none());
+
+    write_once(&sys, 0, b"post failover");
+    let tp = read_token_path(&sys, 0);
+    assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"post failover");
+}
+
+#[test]
+fn whole_system_crash_during_host_outage_recovers_from_the_promoted_disk() {
+    let mut sys = build_host(2, 1);
+    write_once(&sys, 0, b"replicated state");
+    assert!(sys.wait_host_replicas_caught_up(CATCH_UP));
+    let epoch = sys.crash_host().unwrap();
+
+    // The whole machine dies mid-outage: the dead host's own disk is
+    // behind the fence, so recovery must come up from the promotion
+    // target's replicated image — and keep the fence generation.
+    let image = sys.crash();
+    let (sys, _) = DataLinksSystem::recover(image).unwrap();
+    assert_eq!(sys.coordinator_epoch(), epoch, "the coordinator generation survives the crash");
+    assert!(sys.host_replication().is_some(), "the surviving standby slot re-provisions");
+
+    let tp = read_token_path(&sys, 0);
+    assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"replicated state");
+    write_once(&sys, 0, b"after recover");
+    let tp = read_token_path(&sys, 0);
+    assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"after recover");
 }
