@@ -28,17 +28,29 @@
 //! gauge-like metrics (`failover_ms`, `max_os_threads`, ...) take the
 //! max, and invariant flags (`lag_drained`, `links_preserved`, ...) take
 //! the min — one bad trial fails the predicate.
+//!
+//! The mixed engine additionally captures the system's telemetry snapshot
+//! ([`DataLinksSystem::metrics`]) at the end of every trial. Snapshots
+//! merge across trials ([`Snapshot::merge`]: counters add, gauges keep
+//! the max, histograms merge bucket-wise) and flatten into the same
+//! metric map ([`Snapshot::flatten`]), so a scenario predicate can name
+//! any exported registry metric — `dlfm_srv1_stale_coord_rejections`,
+//! `engine_freshness_wait_ns_p99`, `repl_srv1_records_shipped`, ... —
+//! exactly as it appears in the text exposition. Per-op latency rides the
+//! same pipe as the `lab.op_latency_ns` histogram, surfaced as
+//! `op_p50_ms` / `op_p99_ms` / `op_mean_ms` beside the mean-rate columns.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dl_core::{ControlMode, DataLinksSystem, TokenKind};
 use dl_dlfm::{FaultInjector, UpcallRequest};
 use dl_fskit::OpenOptions;
 use dl_lab::{expand, InjectAction, Kind, LabRng, Params, Plan, ReadRoute, Scenario, TrialSpec};
 use dl_minidb::{Column, ColumnType, Database, DbOptions, Schema, StorageEnv, Value, WalOptions};
+use dl_obs::{Histogram, HistogramSnapshot, Snapshot};
 
 use crate::experiments::Table;
 use crate::{
@@ -270,6 +282,7 @@ fn replication(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
     let mut max_lag = 0u64;
     let mut links_preserved = 1.0f64;
     let mut failover_ms = 0.0f64;
+    let mut read_lat_all = HistogramSnapshot::default();
     let read_mismatches = AtomicU64::new(0);
     let p0 = &plan.trials[0].params;
     let (title_readers, title_reads, title_sync) =
@@ -286,6 +299,7 @@ fn replication(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
         let content = make_content(file_size);
         let (mut rate_sum, mut drain_sum, mut failover_sum) = (0.0f64, 0.0f64, 0.0f64);
         let mut failover_cells = (s("--"), s("--"));
+        let read_lat = Histogram::new();
         for _ in &trials {
             let f = fixture(FixtureOptions {
                 n_files,
@@ -321,12 +335,14 @@ fn replication(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
                 for k in 0..reads_per {
                     let i = (t + k) % n_files;
                     let tp = f.token_path(i, TokenKind::Read);
+                    let started = Instant::now();
                     match f.sys.serve_read(SRV, &tp, APP.uid) {
                         Ok(data) if data == content => {}
                         _ => {
                             read_mismatches.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    read_lat.record_duration(started.elapsed());
                 }
             });
             rate_sum += (readers * reads_per) as f64 / elapsed.as_secs_f64();
@@ -368,15 +384,20 @@ fn replication(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
         if replicas > 0 {
             failover_cells.0 = fmt_ns(failover_sum / n);
         }
+        let vlat = read_lat.snapshot();
+        read_lat_all.merge(&vlat);
         rows.push(vec![
             t0.variant.clone(),
             s(format!("{rate:.0}")),
             s(format!("{:.2}x", rate / baseline_rate)),
+            fmt_ns(vlat.percentile(0.99) as f64),
             fmt_ns(drain_sum / n),
             failover_cells.0,
             failover_cells.1,
         ]);
     }
+    metrics.insert("read_p99_ms".into(), read_lat_all.percentile(0.99) as f64 / 1e6);
+    metrics.insert("read_mean_ms".into(), read_lat_all.mean() / 1e6);
     metrics.insert("lag_drained".into(), lag_drained);
     metrics.insert("max_lag".into(), max_lag as f64);
     metrics.insert("read_mismatches".into(), read_mismatches.into_inner() as f64);
@@ -394,6 +415,7 @@ fn replication(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
                 s("replicas"),
                 s("validated reads/s"),
                 s("speedup vs primary-only"),
+                s("read p99"),
                 s("lag drain"),
                 s("failover"),
                 s("links preserved"),
@@ -622,8 +644,8 @@ fn checkpoint_shipping(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String
 /// One timed burst of token-read cycles against `f`, `clients` threads x
 /// `cycles` each, all funnelling through the node's upcall pool (token
 /// validation + claimed read open + close, two repository commits per
-/// cycle). Returns cycles/sec.
-fn upcall_burst(f: &Fixture, clients: usize, cycles: usize) -> f64 {
+/// cycle). Records every cycle's latency into `lat`; returns cycles/sec.
+fn upcall_burst(f: &Fixture, clients: usize, cycles: usize, lat: &Histogram) -> f64 {
     // One token-embedded path per client, generated outside the timed
     // region: the burst measures the upcall admission path, not SELECT.
     let paths: Vec<String> =
@@ -631,8 +653,10 @@ fn upcall_burst(f: &Fixture, clients: usize, cycles: usize) -> f64 {
     let fs = f.sys.fs(SRV).expect("fs");
     let elapsed = run_threads(clients, |t| {
         for _ in 0..cycles {
+            let started = Instant::now();
             let fd = fs.open(&APP, &paths[t], OpenOptions::read_only()).expect("open");
             fs.close(fd).expect("close");
+            lat.record_duration(started.elapsed());
         }
     });
     (clients * cycles) as f64 / elapsed.as_secs_f64()
@@ -665,6 +689,7 @@ fn front_end(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
         .unwrap_or(0);
     let mut low_clients = u64::MAX;
     let mut fixed_rate: BTreeMap<u64, f64> = BTreeMap::new();
+    let burst_lat = Histogram::new();
     let p0 = &plan.trials[0].params;
     let (title_cycles, title_sync) = (p0.cycles.unwrap_or(10), p0.sync_latency_us.unwrap_or(0));
     let mut title_agents = 0u64;
@@ -704,7 +729,7 @@ fn front_end(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
                         },
                         ..Default::default()
                     });
-                    rate_sum += upcall_burst(&f, clients as usize, cycles);
+                    rate_sum += upcall_burst(&f, clients as usize, cycles, &burst_lat);
                     peak = f.sys.node(SRV).expect("node").upcall_pool_stats().peak_workers();
                     if adaptive {
                         settled = settled_workers(&f);
@@ -819,6 +844,9 @@ fn front_end(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
     if low_clients == u64::MAX {
         low_clients = 0;
     }
+    let lat = burst_lat.snapshot();
+    metrics.insert("burst_p99_ms".into(), lat.percentile(0.99) as f64 / 1e6);
+    metrics.insert("burst_mean_ms".into(), lat.mean() / 1e6);
     Ok(ScenarioRun {
         table: Table {
             id: sc.name.clone(),
@@ -874,6 +902,10 @@ struct MixedOutcome {
     end_lag_drained: bool,
     peak_upcall_workers: u64,
     events: Vec<String>,
+    /// The system's merged telemetry at the end of the trial — every
+    /// layer's counters/gauges/histograms plus the trial's own
+    /// `lab.op_latency_ns` distribution.
+    snapshot: Snapshot,
 }
 
 /// The operation chosen for global op index `g` — a pure function of the
@@ -978,6 +1010,12 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
         fault,
         repo_faults.clone(),
     );
+
+    // Per-op latency, adopted into the system registry so it rides the
+    // exported snapshot (`lab.op_latency_ns` flattens to the
+    // `lab_op_latency_ns_p99` predicate name and the text exposition).
+    let op_latency = Arc::new(Histogram::new());
+    f.sys.registry().register_histogram("lab.op_latency_ns", Arc::clone(&op_latency));
 
     let mut out = MixedOutcome { end_lag_drained: true, ..Default::default() };
     let total = clients * ops;
@@ -1094,6 +1132,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                     if g % clients != c {
                         continue;
                     }
+                    let started = Instant::now();
                     match run_op(g, c, &f) {
                         Ok(()) => {
                             ops_ok.fetch_add(1, Ordering::Relaxed);
@@ -1102,6 +1141,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                             ops_failed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    op_latency.record_duration(started.elapsed());
                 }
             });
             out.busy += seg;
@@ -1194,6 +1234,10 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                 out.lost_acked_links += lost;
                 out.outage_reads_ok += outage_reads;
                 out.in_doubt_resolved += resolved;
+                // Outage counters onto registry handles: the exported
+                // snapshot is the one place trial state is read from.
+                f.sys.registry().counter("lab.outage_reads_ok").add(outage_reads);
+                f.sys.registry().counter("lab.in_doubt_resolved").add(resolved);
                 out.host_failover_ms = out.host_failover_ms.max(dur.as_nanos() as f64 / 1e6);
                 out.events.push(format!(
                     "crash_host@{end}: failover {}, {outage_reads} outage reads, \
@@ -1215,14 +1259,25 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
         f.sys.set_replication_paused(SRV, false)?;
         out.end_lag_drained = f.sys.wait_replicas_caught_up(SRV, Duration::from_secs(30))?;
     }
-    let node = f.sys.node(SRV)?;
-    out.worker_panics = node.upcall_pool_stats().panics();
-    out.peak_upcall_workers = node.upcall_pool_stats().peak_workers() as u64;
     out.leftover_links =
-        (node.server.repository().list_files().len() as u64).saturating_sub(n_files);
-    out.stale_coord_rejections = node.server.stats.stale_coord_rejections.load(Ordering::Relaxed);
-    out.enospc_hits = repo_faults.as_ref().map(|f| f.enospc_hits()).unwrap_or(0);
-    out.freshness_fallbacks = f.sys.engine().stats.freshness_fallbacks.load(Ordering::Relaxed);
+        (f.sys.node(SRV)?.server.repository().list_files().len() as u64).saturating_sub(n_files);
+    if let Some(faults) = &repo_faults {
+        // The fault layer lives outside the system; mirror its hit count
+        // onto a registry handle so it exports like everything else.
+        f.sys.registry().counter("lab.enospc_hits").add(faults.enospc_hits());
+    }
+
+    // Everything the trial used to read from per-component stats structs
+    // now comes off the system's one merged telemetry snapshot.
+    let snap = f.sys.metrics();
+    let counter = |name: String| snap.counters.get(&name).copied().unwrap_or(0);
+    let gauge = |name: String| snap.gauges.get(&name).copied().unwrap_or(0.0);
+    out.worker_panics = gauge(format!("dlfm.{SRV}.upcall_pool.panics")) as u64;
+    out.peak_upcall_workers = gauge(format!("dlfm.{SRV}.upcall_pool.peak_workers")) as u64;
+    out.stale_coord_rejections = counter(format!("dlfm.{SRV}.stale_coord_rejections"));
+    out.freshness_fallbacks = counter("engine.freshness_fallbacks".into());
+    out.enospc_hits = counter("lab.enospc_hits".into());
+    out.snapshot = snap;
     out.ops_ok = ops_ok.into_inner();
     out.ops_failed = ops_failed.into_inner();
     out.stale_reads = stale_reads.into_inner();
@@ -1240,13 +1295,19 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
     let mut host_failover_ms = 0.0f64;
     let mut end_lag_drained = 1.0f64;
     let (mut first_rate, mut last_rate) = (None, 0.0f64);
+    let mut snap_all = Snapshot::default();
     for trials in per_variant(sc, plan) {
         let t0 = &trials[0];
         let clients = t0.params.clients.unwrap_or(4);
         let (mut ok, mut failed, mut busy) = (0u64, 0u64, Duration::ZERO);
         let mut events = Vec::new();
+        let mut vlat = HistogramSnapshot::default();
         for t in &trials {
             let o = mixed_trial(sc, t)?;
+            if let Some(lat) = o.snapshot.histograms.get("lab.op_latency_ns") {
+                vlat.merge(lat);
+            }
+            snap_all.merge(&o.snapshot);
             ok += o.ops_ok;
             failed += o.ops_failed;
             busy += o.busy;
@@ -1280,6 +1341,7 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
             t0.variant.clone(),
             s(clients),
             s(format!("{rate:.0}")),
+            fmt_ns(vlat.percentile(0.99) as f64),
             s(ok),
             s(failed),
             if events.is_empty() { s("--") } else { events.join("; ") },
@@ -1300,6 +1362,16 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
     metrics.insert("end_lag_drained".into(), end_lag_drained);
     metrics
         .insert("throughput_ratio".into(), last_rate / first_rate.unwrap_or(last_rate).max(1e-9));
+    // Latency percentiles alongside the wall-clock mean rate.
+    let lat = snap_all.histograms.get("lab.op_latency_ns").cloned().unwrap_or_default();
+    metrics.insert("op_p50_ms".into(), lat.percentile(0.50) as f64 / 1e6);
+    metrics.insert("op_p99_ms".into(), lat.percentile(0.99) as f64 / 1e6);
+    metrics.insert("op_mean_ms".into(), lat.mean() / 1e6);
+    // Every exported registry metric is assertable under its flattened
+    // name; the engine-level names above win any collision.
+    for (name, v) in snap_all.flatten() {
+        metrics.entry(name).or_insert(v);
+    }
     Ok(ScenarioRun {
         table: Table {
             id: sc.name.clone(),
@@ -1308,6 +1380,7 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
                 s("variant"),
                 s("clients"),
                 s("ops/s"),
+                s("op p99"),
                 s("ops ok"),
                 s("ops failed"),
                 s("events"),
@@ -1341,6 +1414,12 @@ mod tests {
         assert_eq!(run.table.rows.len(), 1);
         assert_eq!(run.metrics["ops_ok"], 16.0);
         assert_eq!(run.metrics["ops_failed"], 0.0);
+        // The registry snapshot rides the metric map under flattened names.
+        assert!(run.metrics["op_p99_ms"] > 0.0, "per-op latency must be recorded");
+        assert_eq!(run.metrics["lab_op_latency_ns_count"], 16.0);
+        assert_eq!(run.metrics["dlfm_srv1_stale_coord_rejections"], 0.0);
+        assert!(run.metrics.contains_key("engine_freshness_wait_ns_p99"));
+        assert!(run.metrics["minidb_host_fsync_ns_count"] > 0.0);
         let sc = parse_scenario(
             "test.jsonl",
             concat!(

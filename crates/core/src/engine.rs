@@ -15,7 +15,6 @@
 //!   for host-transaction outcomes.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dl_dlfm::{AccessToken, AgentHandle, ControlMode, DlfmServer, HostHook, OnUnlink, TokenKind};
@@ -81,26 +80,29 @@ impl LagEwma {
     }
 }
 
-/// Engine operation counters.
+/// Engine operation counters (and the freshness-wait distribution).
 #[derive(Debug, Default)]
 pub struct EngineStats {
-    pub links: AtomicU64,
-    pub unlinks: AtomicU64,
-    pub tokens_generated: AtomicU64,
-    pub meta_updates: AtomicU64,
+    pub links: dl_obs::Counter,
+    pub unlinks: dl_obs::Counter,
+    pub tokens_generated: dl_obs::Counter,
+    pub meta_updates: dl_obs::Counter,
     /// Read validations/reads routed to replicas (vs the primary).
-    pub replica_routed: AtomicU64,
-    pub primary_routed: AtomicU64,
+    pub replica_routed: dl_obs::Counter,
+    pub primary_routed: dl_obs::Counter,
     /// Replica-routed reads whose *content* fell back to the primary
     /// because the picked standby had not applied the link/version yet
     /// (replication lag; validation still happened at the replica).
-    pub replica_fallbacks: AtomicU64,
+    pub replica_fallbacks: dl_obs::Counter,
     /// Freshness-token reads whose picked standby caught up within the
     /// wait window and served the read itself.
-    pub freshness_waits: AtomicU64,
+    pub freshness_waits: dl_obs::Counter,
     /// Freshness-token reads rerouted to the primary because the picked
     /// standby stayed behind the token past the wait window.
-    pub freshness_fallbacks: AtomicU64,
+    pub freshness_fallbacks: dl_obs::Counter,
+    /// How long freshness-token reads stalled for the standby to catch up:
+    /// the elapsed wait when it did, the full window when it timed out.
+    pub freshness_wait_ns: dl_obs::Histogram,
 }
 
 /// A file server known to the engine.
@@ -183,6 +185,10 @@ pub struct DataLinksEngine {
     /// the new primary's standbys start from the learned bound, not the
     /// conservative seed.
     lag_ewmas: RwLock<HashMap<String, Arc<LagEwma>>>,
+    /// Coordinator-side trace ring: the DML interception and metadata
+    /// commits that open/close each 2PC cycle (the DLFM servers record the
+    /// participant side into their own rings).
+    recorder: Arc<dl_obs::FlightRecorder>,
     pub stats: EngineStats,
 }
 
@@ -199,6 +205,7 @@ impl DataLinksEngine {
             columns: RwLock::new(HashMap::new()),
             read_lanes: RwLock::new(HashMap::new()),
             lag_ewmas: RwLock::new(HashMap::new()),
+            recorder: Arc::new(dl_obs::FlightRecorder::new(256)),
             stats: EngineStats::default(),
         });
         engine.load_column_registry()?;
@@ -363,17 +370,19 @@ impl DataLinksEngine {
             let started = std::time::Instant::now();
             if standby.wait_applied(min, bound) {
                 ewma.record(started.elapsed());
-                self.stats.freshness_waits.fetch_add(1, Ordering::Relaxed);
+                self.stats.freshness_wait_ns.record_duration(started.elapsed());
+                self.stats.freshness_waits.inc();
             } else {
                 // Saturated observation: the true lag exceeded the bound.
                 ewma.record(bound);
-                self.stats.freshness_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.stats.freshness_wait_ns.record_duration(bound);
+                self.stats.freshness_fallbacks.inc();
                 replica = None;
             }
         }
         match replica {
             Some(standby) => {
-                self.stats.replica_routed.fetch_add(1, Ordering::Relaxed);
+                self.stats.replica_routed.inc();
                 let kind = standby.validate_read_token(path, token, uid)?;
                 let bytes = if fetch {
                     match standby.serve_read(path, uid) {
@@ -383,7 +392,7 @@ impl DataLinksEngine {
                         // fail on a healthy system — serve the content
                         // from the primary instead.
                         Err(_) => {
-                            self.stats.replica_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            self.stats.replica_fallbacks.inc();
                             Some(primary.read_linked(path)?)
                         }
                     }
@@ -393,7 +402,7 @@ impl DataLinksEngine {
                 Ok((kind, bytes))
             }
             None => {
-                self.stats.primary_routed.fetch_add(1, Ordering::Relaxed);
+                self.stats.primary_routed.inc();
                 // Lane covers validation only, exactly like a replica's
                 // (`Standby::validate_read_token`): content fetch is
                 // unserialized on both arms, so the a10 replica-count
@@ -488,7 +497,7 @@ impl DataLinksEngine {
             kind,
             self.clock.now_ms() + ttl_ms,
         );
-        self.stats.tokens_generated.fetch_add(1, Ordering::Relaxed);
+        self.stats.tokens_generated.inc();
         Ok(dl_dlfm::embed_token(&url.path, &token))
     }
 
@@ -502,6 +511,12 @@ impl DataLinksEngine {
     /// The host database this engine is attached to.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The coordinator-side flight recorder (dumped on crash/failover
+    /// alongside the per-node DLFM rings).
+    pub fn flight_recorder(&self) -> &Arc<dl_obs::FlightRecorder> {
+        &self.recorder
     }
 }
 
@@ -526,6 +541,13 @@ impl DmlObserver for DataLinksEngine {
                 let reg = servers
                     .get(&url.server)
                     .ok_or_else(|| format!("unknown file server {}", url.server))?;
+                self.recorder.record(
+                    "engine.host",
+                    "dml",
+                    event.txid,
+                    &url.path,
+                    format!("unlink server={}", url.server),
+                );
                 reg.agent.unlink(event.txid, &url.path)?;
                 db.enlist_participant(
                     event.txid,
@@ -539,12 +561,19 @@ impl DmlObserver for DataLinksEngine {
                         key: Value::Text(url.to_string()),
                     },
                 );
-                self.stats.unlinks.fetch_add(1, Ordering::Relaxed);
+                self.stats.unlinks.inc();
             }
             if let Some(url) = new_url {
                 let reg = servers
                     .get(&url.server)
                     .ok_or_else(|| format!("unknown file server {}", url.server))?;
+                self.recorder.record(
+                    "engine.host",
+                    "dml",
+                    event.txid,
+                    &url.path,
+                    format!("link server={} mode={:?}", url.server, opts.mode),
+                );
                 reg.agent.link(event.txid, &url.path, opts.mode, opts.recovery, opts.on_unlink)?;
                 db.enlist_participant(
                     event.txid,
@@ -564,7 +593,7 @@ impl DmlObserver for DataLinksEngine {
                         ],
                     },
                 );
-                self.stats.links.fetch_add(1, Ordering::Relaxed);
+                self.stats.links.inc();
             }
         }
         Ok(())
@@ -601,7 +630,14 @@ impl HostHook for DataLinksEngine {
             tx.insert(META_TABLE, row)
         };
         result.map_err(|e| e.to_string())?;
-        self.stats.meta_updates.fetch_add(1, Ordering::Relaxed);
+        self.stats.meta_updates.inc();
+        self.recorder.record(
+            "engine.host",
+            "commit_update",
+            tx.id(),
+            url,
+            format!("size={new_size} version={new_version}"),
+        );
         tx.commit().map_err(|e| e.to_string())
     }
 

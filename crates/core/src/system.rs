@@ -20,6 +20,7 @@
 //! standby after a primary crash, fencing the old primary by epoch.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,7 +32,9 @@ use dl_dlfs::{Dlfs, DlfsConfig};
 use dl_fskit::memfs::IoModel;
 use dl_fskit::{Clock, Cred, FileSystem, Lfs, MemFs, WallClock};
 use dl_minidb::{Database, DbOptions, Lsn, Schema, StorageEnv, Txn, Value};
+use dl_obs::Registry;
 use dl_repl::{HostReplicaSet, HostReplicaSetOptions, ReplicaSet, ReplicaSetOptions};
+use parking_lot::Mutex;
 
 use crate::datalink::{DatalinkUrl, DlColumnOptions};
 use crate::engine::{DataLinksEngine, ServerRegistration, META_TABLE};
@@ -269,6 +272,16 @@ pub struct CrashImage {
     nodes: Vec<NodeParts>,
     /// Open the host database only up to this LSN (point-in-time restore).
     stop_at_lsn: Option<Lsn>,
+    /// The flight-recorder dump taken at the crash boundary — the last
+    /// 2PC span events of every layer, for post-mortem reading.
+    flight_dump: Option<String>,
+}
+
+impl CrashImage {
+    /// The flight-recorder dump captured when the system crashed.
+    pub fn flight_dump(&self) -> Option<&str> {
+        self.flight_dump.as_deref()
+    }
 }
 
 /// A transaction-consistent backup of the host database. File versions are
@@ -334,6 +347,12 @@ pub struct DataLinksSystem {
     /// Current coordinator generation (the host fence epoch).
     coord_epoch: u64,
     nodes: HashMap<String, FileServerNode>,
+    /// The unified telemetry registry: every layer's counters, gauges and
+    /// histograms under dotted names (`minidb.*`, `repl.*`, `dlfm.*`,
+    /// `dlfs.*`, `engine.*`, `fskit.*`, `system.*`, `pool.*`).
+    registry: Arc<Registry>,
+    /// The most recent flight-recorder dump (crash or failover), if any.
+    last_flight_dump: Mutex<Option<String>>,
 }
 
 impl DataLinksSystem {
@@ -383,21 +402,30 @@ impl DataLinksSystem {
             }
             nodes.insert(name, node);
         }
-        Ok((
-            DataLinksSystem {
-                db,
-                engine,
-                clock,
-                host_env,
-                host_db,
-                host_replicas,
-                host_replication,
-                host_outage: None,
-                coord_epoch,
-                nodes,
-            },
-            reports,
-        ))
+        let registry = Arc::new(Registry::new());
+        // Pre-create the system-wide failover counters so assertions can
+        // reference them by name before the first failover happens.
+        registry.counter("system.failovers");
+        registry.counter("system.host_failovers");
+        let sys = DataLinksSystem {
+            db,
+            engine,
+            clock,
+            host_env,
+            host_db,
+            host_replicas,
+            host_replication,
+            host_outage: None,
+            coord_epoch,
+            nodes,
+            registry,
+            last_flight_dump: Mutex::new(None),
+        };
+        sys.register_host_metrics();
+        for node in sys.nodes.values() {
+            Self::register_node_metrics(&sys.registry, node);
+        }
+        Ok((sys, reports))
     }
 
     /// Builds one file-server node from its durable parts: the DLFM server
@@ -543,6 +571,275 @@ impl DataLinksSystem {
         self.db.state_id()
     }
 
+    // --- telemetry ---------------------------------------------------------------
+
+    /// The unified telemetry registry. Components register themselves at
+    /// assembly/failover time; prefer [`DataLinksSystem::metrics`] for a
+    /// consistent merged view.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// One merged snapshot of every layer's metrics: host and repository
+    /// minidb instances, WAL shipping, the DLFM daemon complexes, DLFS
+    /// interposition, the engine's read routing, and the worker pools
+    /// (refreshed from the live pools at call time).
+    pub fn metrics(&self) -> dl_obs::Snapshot {
+        self.refresh_pool_gauges();
+        self.registry.snapshot()
+    }
+
+    /// [`DataLinksSystem::metrics`] rendered as Prometheus-style text
+    /// exposition.
+    pub fn metrics_text(&self) -> String {
+        self.metrics().render_text()
+    }
+
+    /// The most recent flight-recorder dump (taken on `crash`, `fail_over`
+    /// or host failover), if one has been produced.
+    pub fn last_flight_dump(&self) -> Option<String> {
+        self.last_flight_dump.lock().clone()
+    }
+
+    /// Registers host-side instruments: the host database's WAL/checkpoint
+    /// telemetry, the engine's routing stats, and host WAL shipping.
+    /// Idempotent and re-entrant — host failover swaps the database and
+    /// engine, so stale registrations are dropped by prefix first.
+    fn register_host_metrics(&self) {
+        let registry = &self.registry;
+        registry.unregister_prefix("minidb.host");
+        registry.unregister_prefix("engine");
+        registry.unregister_prefix("repl.host");
+
+        let wal = self.db.wal_telemetry();
+        registry.register_histogram("minidb.host.fsync_ns", wal.fsync_ns);
+        registry.register_histogram("minidb.host.wal_batch_frames", wal.batch_frames);
+        let db_tel = self.db.telemetry();
+        registry.register_histogram("minidb.host.checkpoint_ns", db_tel.checkpoint_ns);
+        registry.register_gauge("minidb.host.checkpoint_bytes", db_tel.checkpoint_bytes);
+        let db = self.db.clone();
+        registry.register_gauge_fn("minidb.host.wal_retained_bytes", move || {
+            db.wal_retained_bytes() as f64
+        });
+
+        let engine = Arc::clone(&self.engine);
+        macro_rules! engine_counter {
+            ($field:ident) => {{
+                let e = Arc::clone(&engine);
+                registry.register_counter_fn(concat!("engine.", stringify!($field)), move || {
+                    e.stats.$field.get()
+                });
+            }};
+        }
+        engine_counter!(links);
+        engine_counter!(unlinks);
+        engine_counter!(tokens_generated);
+        engine_counter!(meta_updates);
+        engine_counter!(replica_routed);
+        engine_counter!(primary_routed);
+        engine_counter!(replica_fallbacks);
+        engine_counter!(freshness_waits);
+        engine_counter!(freshness_fallbacks);
+        let e = Arc::clone(&engine);
+        registry.register_histogram_fn("engine.freshness_wait_ns", move || {
+            e.stats.freshness_wait_ns.snapshot()
+        });
+
+        if let Some(set) = &self.host_replication {
+            Self::register_repl_metrics(registry, "host", set.stats(), {
+                let set = Arc::clone(set);
+                move || (set.lag(), set.snapshot_queue_depth())
+            });
+        }
+    }
+
+    /// Registers the WAL-shipping instruments of one replica set under
+    /// `repl.<who>.*`. `live` samples (lag bytes, snapshotter queue depth)
+    /// from the live set.
+    fn register_repl_metrics(
+        registry: &Registry,
+        who: &str,
+        stats: &Arc<dl_repl::ReplStats>,
+        live: impl Fn() -> (u64, usize) + Send + Sync + Clone + 'static,
+    ) {
+        macro_rules! repl_counter {
+            ($field:ident) => {{
+                let s = Arc::clone(stats);
+                registry.register_counter_fn(&format!("repl.{who}.{}", stringify!($field)), {
+                    move || s.$field.load(Ordering::Relaxed)
+                });
+            }};
+        }
+        repl_counter!(batches_shipped);
+        repl_counter!(records_shipped);
+        repl_counter!(bytes_shipped);
+        repl_counter!(checkpoints_shipped);
+        repl_counter!(stale_rejections);
+        let l = live.clone();
+        registry.register_gauge_fn(&format!("repl.{who}.ship_lag_bytes"), move || l().0 as f64);
+        registry.register_gauge_fn(&format!("repl.{who}.snapshot_queue_depth"), move || {
+            live().1 as f64
+        });
+    }
+
+    /// Registers one node's instruments: its DLFM server counters and
+    /// upcall round-trip distribution, repository minidb telemetry, DLFS
+    /// interposition counters, physical-FS op counters, and — when
+    /// replicated — WAL shipping. Stale registrations from a previous
+    /// incarnation of the node (failover, recovery) are dropped first.
+    fn register_node_metrics(registry: &Arc<Registry>, node: &FileServerNode) {
+        let name = &node.name;
+        for prefix in ["dlfm", "dlfs", "minidb", "repl", "fskit"] {
+            registry.unregister_prefix(&format!("{prefix}.{name}"));
+        }
+
+        let server = Arc::clone(&node.server);
+        macro_rules! dlfm_counter {
+            ($field:ident) => {{
+                let s = Arc::clone(&server);
+                registry.register_counter_fn(&format!("dlfm.{name}.{}", stringify!($field)), {
+                    move || s.stats.$field.get()
+                });
+            }};
+        }
+        dlfm_counter!(upcalls);
+        dlfm_counter!(token_validations);
+        dlfm_counter!(open_checks);
+        dlfm_counter!(close_notifies);
+        dlfm_counter!(links);
+        dlfm_counter!(unlinks);
+        dlfm_counter!(takeovers);
+        dlfm_counter!(archives);
+        dlfm_counter!(busy_responses);
+        dlfm_counter!(rollbacks);
+        dlfm_counter!(stale_coord_rejections);
+        registry.register_histogram(
+            &format!("dlfm.{name}.upcall_round_trip_ns"),
+            Arc::clone(node.upcall.round_trip_histogram()),
+        );
+
+        let repo_db = node.server.repository().db();
+        let wal = repo_db.wal_telemetry();
+        registry.register_histogram(&format!("minidb.{name}.fsync_ns"), wal.fsync_ns);
+        registry.register_histogram(&format!("minidb.{name}.wal_batch_frames"), wal.batch_frames);
+        let db_tel = repo_db.telemetry();
+        registry.register_histogram(&format!("minidb.{name}.checkpoint_ns"), db_tel.checkpoint_ns);
+        registry
+            .register_gauge(&format!("minidb.{name}.checkpoint_bytes"), db_tel.checkpoint_bytes);
+        let db = repo_db.clone();
+        registry.register_gauge_fn(&format!("minidb.{name}.wal_retained_bytes"), move || {
+            db.wal_retained_bytes() as f64
+        });
+
+        let dlfs = Arc::clone(&node.dlfs);
+        macro_rules! dlfs_counter {
+            ($field:ident) => {{
+                let d = Arc::clone(&dlfs);
+                registry.register_counter_fn(&format!("dlfs.{name}.{}", stringify!($field)), {
+                    move || d.stats.$field.get()
+                });
+            }};
+        }
+        dlfs_counter!(passthrough_opens);
+        dlfs_counter!(managed_opens);
+        dlfs_counter!(busy_waits);
+        dlfs_counter!(token_lookups);
+
+        let fs = Arc::clone(&node.fs);
+        macro_rules! fskit_counter {
+            ($field:ident) => {{
+                let f = Arc::clone(&fs);
+                registry.register_counter_fn(&format!("fskit.{name}.{}", stringify!($field)), {
+                    move || f.stats.$field.load(Ordering::Relaxed)
+                });
+            }};
+        }
+        fskit_counter!(lookups);
+        fskit_counter!(opens);
+        fskit_counter!(reads);
+        fskit_counter!(writes);
+        fskit_counter!(setattrs);
+
+        if let Some(set) = &node.replication {
+            Self::register_repl_metrics(registry, name, set.stats(), {
+                let set = Arc::clone(set);
+                move || (set.lag(), set.snapshot_queue_depth())
+            });
+        }
+    }
+
+    /// Pushes the live worker-pool gauges (the elastic upcall pools and the
+    /// shared agent executors, per node and aggregated system-wide) into
+    /// the registry. Pools live and die with their node, so their stats are
+    /// sampled here — at snapshot time — instead of holding them alive
+    /// through registered closures.
+    fn refresh_pool_gauges(&self) {
+        let set =
+            |name: String, v: u64| self.registry.gauge(&name).set(v.min(i64::MAX as u64) as i64);
+        let mut total_workers = 0u64;
+        let mut total_queue = 0u64;
+        for (name, node) in &self.nodes {
+            let pool = node.upcall_pool_stats();
+            total_workers += pool.workers() as u64;
+            total_queue += pool.queue_depth() as u64;
+            set(format!("dlfm.{name}.upcall_pool.workers"), pool.workers() as u64);
+            set(format!("dlfm.{name}.upcall_pool.peak_workers"), pool.peak_workers() as u64);
+            set(format!("dlfm.{name}.upcall_pool.idle_workers"), pool.idle_workers() as u64);
+            set(format!("dlfm.{name}.upcall_pool.queue_depth"), pool.queue_depth() as u64);
+            set(
+                format!("dlfm.{name}.upcall_pool.peak_queue_depth"),
+                pool.peak_queue_depth() as u64,
+            );
+            set(format!("dlfm.{name}.upcall_pool.tasks"), pool.tasks());
+            set(format!("dlfm.{name}.upcall_pool.grows"), pool.grows());
+            set(format!("dlfm.{name}.upcall_pool.retires"), pool.retires());
+            set(format!("dlfm.{name}.upcall_pool.panics"), pool.panics());
+            let main = node.main_daemon();
+            set(format!("dlfm.{name}.agent_executor.connections"), main.child_count() as u64);
+            set(format!("dlfm.{name}.agent_executor.threads"), main.executor_threads() as u64);
+            if let Some(exec) = main.executor_stats() {
+                total_workers += exec.workers() as u64;
+                total_queue += exec.queue_depth() as u64;
+                set(format!("dlfm.{name}.agent_executor.queue_depth"), exec.queue_depth() as u64);
+                set(format!("dlfm.{name}.agent_executor.tasks"), exec.tasks());
+                set(format!("dlfm.{name}.agent_executor.panics"), exec.panics());
+            }
+        }
+        set("pool.total_workers".to_string(), total_workers);
+        set("pool.total_queue_depth".to_string(), total_queue);
+    }
+
+    /// Renders every layer's flight recorder (the coordinator-side engine
+    /// ring plus each node's DLFM ring) into one dump, stores it as the
+    /// last dump, and — when `DL_FLIGHT_DUMP_DIR` is set — writes it to a
+    /// file there. Never prints to stdout/stderr (the lab's report pipeline
+    /// owns those streams).
+    fn dump_flight(&self, reason: &str) -> String {
+        let mut out = self.engine.flight_recorder().render("engine.host", reason);
+        let mut names: Vec<&String> = self.nodes.keys().collect();
+        names.sort();
+        for name in names {
+            let node = &self.nodes[name];
+            out.push('\n');
+            out.push_str(&node.server.flight_recorder().render(&format!("dlfm.{name}"), reason));
+        }
+        if let Ok(dir) = std::env::var("DL_FLIGHT_DUMP_DIR") {
+            if !dir.is_empty() {
+                use std::sync::atomic::AtomicU64;
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+                let safe: String = reason
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                    .collect();
+                let file = format!("flight-{}-{seq}-{safe}.log", std::process::id());
+                let _ = std::fs::write(std::path::Path::new(&dir).join(file), &out);
+            }
+        }
+        *self.last_flight_dump.lock() = Some(out.clone());
+        out
+    }
+
     // --- replication & failover -------------------------------------------------
 
     /// Bytes of primary repository WAL not yet applied by the slowest
@@ -641,6 +938,8 @@ impl DataLinksSystem {
     /// re-provisioned fresh against the new primary. Returns the
     /// promotion recovery report.
     pub fn fail_over(&mut self, server: &str) -> Result<RecoveryReport, String> {
+        // Post-mortem first: the crashed primary's recorder dies with it.
+        self.dump_flight(&format!("fail_over_{server}"));
         let node =
             self.nodes.remove(server).ok_or_else(|| format!("unknown file server {server}"))?;
         let Some(replication) = node.replication.clone() else {
@@ -695,6 +994,8 @@ impl DataLinksSystem {
         };
         match Self::build_node(&self.engine, &self.clock, parts, true, self.coord_epoch) {
             Ok((new_node, report)) => {
+                Self::register_node_metrics(&self.registry, &new_node);
+                self.registry.counter("system.failovers").inc();
                 self.nodes.insert(server.to_string(), new_node);
                 Ok(report.expect("promotion runs recovery"))
             }
@@ -720,6 +1021,7 @@ impl DataLinksSystem {
                                  failed too ({e}); file server {server} is down"
                         )
                     })?;
+                Self::register_node_metrics(&self.registry, &old_node);
                 self.nodes.insert(server.to_string(), old_node);
                 Err(format!(
                     "promotion failed: {promote_err}; crashed primary recovered in its place"
@@ -872,11 +1174,21 @@ impl DataLinksSystem {
             }
         }
 
+        // Dump the flight recorders while the deposed engine is still in
+        // place: its ring holds the pre-crash DML/commit spans, and the
+        // nodes' rings hold the fence_raise plus the fenced decide events
+        // of the in-doubt resolution above — one dump, the whole 2PC trail.
+        self.dump_flight("fail_over_host");
+
         self.db = db;
         self.engine = engine;
         self.host_env = promoted_env;
         self.host_replicas = host_replicas;
         self.host_replication = host_replication;
+        // The coordinator changed identity: swap the host-side instruments
+        // to the promoted database/engine and count the failover.
+        self.register_host_metrics();
+        self.registry.counter("system.host_failovers").inc();
         Ok(report)
     }
 
@@ -956,6 +1268,7 @@ impl DataLinksSystem {
     /// caches, daemons, pending transactions, open descriptors) evaporates;
     /// what remains is the returned image of the disks.
     pub fn crash(self) -> CrashImage {
+        let flight_dump = self.dump_flight("crash");
         let DataLinksSystem {
             db,
             engine,
@@ -967,6 +1280,8 @@ impl DataLinksSystem {
             host_outage,
             coord_epoch,
             nodes,
+            registry: _,
+            last_flight_dump: _,
         } = self;
         drop(engine);
         drop(db);
@@ -1018,6 +1333,7 @@ impl DataLinksSystem {
             clock,
             nodes: parts,
             stop_at_lsn: None,
+            flight_dump: Some(flight_dump),
         }
     }
 
@@ -1027,8 +1343,16 @@ impl DataLinksSystem {
     pub fn recover(
         image: CrashImage,
     ) -> Result<(DataLinksSystem, HashMap<String, RecoveryReport>), String> {
-        let CrashImage { host_env, host_db, host_replicas, coord_epoch, clock, nodes, stop_at_lsn } =
-            image;
+        let CrashImage {
+            host_env,
+            host_db,
+            host_replicas,
+            coord_epoch,
+            clock,
+            nodes,
+            stop_at_lsn,
+            flight_dump: _,
+        } = image;
         if let Some(lsn) = stop_at_lsn {
             // Point-in-time open handled by restore(); plain recovery
             // ignores it.

@@ -112,38 +112,38 @@ impl DlfmConfig {
     }
 }
 
-/// Operation counters (benchmarks read these).
+/// Operation counters (benchmarks and the telemetry registry read these).
 #[derive(Debug, Default)]
 pub struct DlfmStats {
-    pub upcalls: AtomicU64,
-    pub token_validations: AtomicU64,
-    pub open_checks: AtomicU64,
-    pub close_notifies: AtomicU64,
-    pub links: AtomicU64,
-    pub unlinks: AtomicU64,
-    pub takeovers: AtomicU64,
-    pub archives: AtomicU64,
-    pub busy_responses: AtomicU64,
-    pub rollbacks: AtomicU64,
+    pub upcalls: dl_obs::Counter,
+    pub token_validations: dl_obs::Counter,
+    pub open_checks: dl_obs::Counter,
+    pub close_notifies: dl_obs::Counter,
+    pub links: dl_obs::Counter,
+    pub unlinks: dl_obs::Counter,
+    pub takeovers: dl_obs::Counter,
+    pub archives: dl_obs::Counter,
+    pub busy_responses: dl_obs::Counter,
+    pub rollbacks: dl_obs::Counter,
     /// 2PC traffic refused because it carried a stale coordinator epoch
     /// (a zombie host's late decisions bouncing off the fence).
-    pub stale_coord_rejections: AtomicU64,
+    pub stale_coord_rejections: dl_obs::Counter,
 }
 
 impl DlfmStats {
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
         vec![
-            ("upcalls", self.upcalls.load(Ordering::Relaxed)),
-            ("token_validations", self.token_validations.load(Ordering::Relaxed)),
-            ("open_checks", self.open_checks.load(Ordering::Relaxed)),
-            ("close_notifies", self.close_notifies.load(Ordering::Relaxed)),
-            ("links", self.links.load(Ordering::Relaxed)),
-            ("unlinks", self.unlinks.load(Ordering::Relaxed)),
-            ("takeovers", self.takeovers.load(Ordering::Relaxed)),
-            ("archives", self.archives.load(Ordering::Relaxed)),
-            ("busy_responses", self.busy_responses.load(Ordering::Relaxed)),
-            ("rollbacks", self.rollbacks.load(Ordering::Relaxed)),
-            ("stale_coord_rejections", self.stale_coord_rejections.load(Ordering::Relaxed)),
+            ("upcalls", self.upcalls.get()),
+            ("token_validations", self.token_validations.get()),
+            ("open_checks", self.open_checks.get()),
+            ("close_notifies", self.close_notifies.get()),
+            ("links", self.links.get()),
+            ("unlinks", self.unlinks.get()),
+            ("takeovers", self.takeovers.get()),
+            ("archives", self.archives.get()),
+            ("busy_responses", self.busy_responses.get()),
+            ("rollbacks", self.rollbacks.get()),
+            ("stale_coord_rejections", self.stale_coord_rejections.get()),
         ]
     }
 }
@@ -258,6 +258,11 @@ pub struct DlfmServer {
     /// connections minted under an older host carry the older epoch, so a
     /// zombie coordinator's late decisions are refused rather than applied.
     coord_fence: AtomicU64,
+    /// Trace ring for 2PC span events (claim/prepare/decide/fence/archive);
+    /// dumped by the system layer on crash or failover.
+    recorder: Arc<dl_obs::FlightRecorder>,
+    /// `dlfm.<server_name>` — the `source` stamped on every span event.
+    flight_source: String,
     pub stats: DlfmStats,
 }
 
@@ -300,6 +305,7 @@ impl DlfmServer {
                 cb_epoch.bump();
             });
         let archiver = Archiver::spawn_with(Arc::clone(&archive), Some(source), Some(on_complete));
+        let flight_source = format!("dlfm.{}", cfg.server_name);
         Ok(DlfmServer {
             cfg,
             repo,
@@ -311,6 +317,8 @@ impl DlfmServer {
             pending: Mutex::new(HashMap::new()),
             sync_epoch,
             coord_fence: AtomicU64::new(0),
+            recorder: Arc::new(dl_obs::FlightRecorder::new(256)),
+            flight_source,
             stats: DlfmStats::default(),
         })
     }
@@ -347,6 +355,12 @@ impl DlfmServer {
         *self.host.write() = Some(hook);
     }
 
+    /// This node's flight recorder: the span events of every 2PC cycle that
+    /// touched this server, retained in a fixed ring for post-mortem dumps.
+    pub fn flight_recorder(&self) -> &Arc<dl_obs::FlightRecorder> {
+        &self.recorder
+    }
+
     // =====================================================================
     // Coordinator fencing (host failover)
     // =====================================================================
@@ -365,6 +379,7 @@ impl DlfmServer {
     /// everywhere rather than applied behind the new coordinator's back.
     pub fn fence_coordinator(&self, epoch: u64) {
         self.coord_fence.fetch_max(epoch, Ordering::SeqCst);
+        self.recorder.record(&self.flight_source, "fence_raise", 0, "", format!("epoch={epoch}"));
     }
 
     /// Admits or refuses 2PC traffic stamped with `epoch`. A refusal is
@@ -372,7 +387,14 @@ impl DlfmServer {
     pub fn guard_coordinator(&self, epoch: u64) -> Result<(), String> {
         let fence = self.coord_fence.load(Ordering::SeqCst);
         if epoch < fence {
-            self.stats.stale_coord_rejections.fetch_add(1, Ordering::Relaxed);
+            self.stats.stale_coord_rejections.inc();
+            self.recorder.record(
+                &self.flight_source,
+                "fence_reject",
+                0,
+                "",
+                format!("epoch={epoch} fence={fence}"),
+            );
             return Err(format!(
                 "stale coordinator epoch {epoch} rejected by fence at epoch {fence}"
             ));
@@ -484,7 +506,14 @@ impl DlfmServer {
         recovery: bool,
         on_unlink: OnUnlink,
     ) -> Result<(), String> {
-        self.stats.links.fetch_add(1, Ordering::Relaxed);
+        self.stats.links.inc();
+        self.recorder.record(
+            &self.flight_source,
+            "claim",
+            host_txid,
+            path,
+            format!("link mode={mode:?}"),
+        );
         let attr = self.admin.stat(&ROOT, path).map_err(|e| format!("cannot link {path}: {e}"))?;
         if attr.kind != FileKind::File {
             return Err(format!("cannot link {path}: not a regular file"));
@@ -544,7 +573,7 @@ impl DlfmServer {
         if constrained {
             self.repo.remove_intent_in(txn, host_txid, path).map_err(|e| e.to_string())?;
             if mode.takes_over_at_link() {
-                self.stats.takeovers.fetch_add(1, Ordering::Relaxed);
+                self.stats.takeovers.inc();
             }
             self.set_attrs(path, uid, gid, bits)?;
             sub.undo.push(UndoFs::RestoreAttrs {
@@ -561,7 +590,8 @@ impl DlfmServer {
     /// while the file is open (§4.5: the Sync table check). File-system
     /// restoration (or deletion, per ON UNLINK) is deferred to commit.
     pub fn unlink_file(&self, host_txid: u64, path: &str) -> Result<(), String> {
-        self.stats.unlinks.fetch_add(1, Ordering::Relaxed);
+        self.stats.unlinks.inc();
+        self.recorder.record(&self.flight_source, "claim", host_txid, path, "unlink");
         let entry = self.repo.get_file(path).ok_or_else(|| format!("file {path} is not linked"))?;
         let sync = self.repo.sync_entries(path);
         if !sync.is_empty() {
@@ -636,6 +666,7 @@ impl DlfmServer {
             Some(txn) => {
                 txn.prepare().map_err(|e| e.to_string())?;
                 sub.prepared = true;
+                self.recorder.record(&self.flight_source, "prepare", host_txid, "", "vote=yes");
                 Ok(())
             }
             None => Err("sub-transaction already settled".into()),
@@ -651,6 +682,13 @@ impl DlfmServer {
                 None => return,
             }
         };
+        self.recorder.record(
+            &self.flight_source,
+            "decide",
+            host_txid,
+            "",
+            format!("outcome=commit fence={}", self.coord_fence.load(Ordering::SeqCst)),
+        );
         let mut sub = cell.lock();
         if let Some(txn) = sub.txn.take() {
             let result = if sub.prepared {
@@ -692,6 +730,13 @@ impl DlfmServer {
                 None => return,
             }
         };
+        self.recorder.record(
+            &self.flight_source,
+            "decide",
+            host_txid,
+            "",
+            format!("outcome=abort fence={}", self.coord_fence.load(Ordering::SeqCst)),
+        );
         let mut sub = cell.lock();
         if let Some(txn) = sub.txn.take() {
             if sub.prepared {
@@ -740,8 +785,8 @@ impl DlfmServer {
         token_str: &str,
         uid: u32,
     ) -> Result<TokenKind, String> {
-        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
-        self.stats.token_validations.fetch_add(1, Ordering::Relaxed);
+        self.stats.upcalls.inc();
+        self.stats.token_validations.inc();
         let token = AccessToken::decode(token_str).map_err(|e| e.to_string())?;
         let now = self.clock.now_ms();
         token
@@ -759,8 +804,8 @@ impl DlfmServer {
     /// an upcall only if the fs_open() entry point of the file system
     /// fails", §4.2) as well as the full-control (rdd) mandatory path.
     pub fn open_check(&self, path: &str, uid: u32, wanted: TokenKind, opener: u64) -> OpenDecision {
-        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
-        self.stats.open_checks.fetch_add(1, Ordering::Relaxed);
+        self.stats.upcalls.inc();
+        self.stats.open_checks.inc();
         let Some(entry) = self.repo.get_file(path) else {
             if self.cfg.strict_link {
                 // Register the open anyway so link can see it.
@@ -810,14 +855,14 @@ impl DlfmServer {
         let claim = match self.repo.claim_write_open(&entry.path, opener, uid, read_conflicts) {
             Ok(claim) => claim,
             Err(_) => {
-                self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+                self.stats.busy_responses.inc();
                 return OpenDecision::Busy;
             }
         };
         let (entry, _new_version) = match claim {
             crate::repository::WriteClaim::Granted { entry, new_version } => (entry, new_version),
             crate::repository::WriteClaim::Conflict => {
-                self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+                self.stats.busy_responses.inc();
                 return OpenDecision::Busy;
             }
             crate::repository::WriteClaim::NotLinked => {
@@ -839,7 +884,7 @@ impl DlfmServer {
         // its commit, so post-claim this check cannot miss an in-flight job.
         if self.archive.is_archiving(&entry.path) {
             self.repo.release_write_claim(&entry.path, opener);
-            self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+            self.stats.busy_responses.inc();
             return OpenDecision::Busy;
         }
 
@@ -862,7 +907,7 @@ impl DlfmServer {
         // take-over (§4.2: "DLFM ... takes-over the file granting it write
         // permission"); rdd already owns the file.
         if !entry.mode.takes_over_at_link() {
-            self.stats.takeovers.fetch_add(1, Ordering::Relaxed);
+            self.stats.takeovers.inc();
         }
         let dlfm = self.cfg.dlfm_cred;
         if self.set_attrs(&entry.path, dlfm.uid, dlfm.gid, 0o600).is_err() {
@@ -906,12 +951,12 @@ impl DlfmServer {
             match self.repo.claim_read_sync(&entry.path, opener, uid) {
                 Ok(true) => {}
                 _ => {
-                    self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+                    self.stats.busy_responses.inc();
                     return OpenDecision::Busy;
                 }
             }
         } else if self.repo.sync_entries(&entry.path).iter().any(|s| s.kind == TokenKind::Write) {
-            self.stats.busy_responses.fetch_add(1, Ordering::Relaxed);
+            self.stats.busy_responses.inc();
             return OpenDecision::Busy;
         }
         OpenDecision::Approved { open_as: self.cfg.dlfm_cred }
@@ -928,8 +973,8 @@ impl DlfmServer {
         new_size: u64,
         new_mtime: u64,
     ) -> Result<(), String> {
-        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
-        self.stats.close_notifies.fetch_add(1, Ordering::Relaxed);
+        self.stats.upcalls.inc();
+        self.stats.close_notifies.inc();
         let Some(entry) = self.repo.get_file(path) else {
             if self.cfg.strict_link {
                 let _ = self.repo.remove_sync(path, opener);
@@ -1030,7 +1075,14 @@ impl DlfmServer {
     }
 
     fn submit_archive(&self, entry: &FileEntry, version: u64, state_id: u64) {
-        self.stats.archives.fetch_add(1, Ordering::Relaxed);
+        self.stats.archives.inc();
+        self.recorder.record(
+            &self.flight_source,
+            "archive",
+            0,
+            &entry.path,
+            format!("version={version} state_id={state_id}"),
+        );
         // Asynchronous jobs carry no data: the worker reads the (stable,
         // update-blocked) file itself, keeping the copy entirely off the
         // close path (§4.4).
@@ -1055,7 +1107,7 @@ impl DlfmServer {
 
     /// Restores the last committed version after a failed close-commit.
     fn rollback_update(&self, entry: &FileEntry) {
-        self.stats.rollbacks.fetch_add(1, Ordering::Relaxed);
+        self.stats.rollbacks.inc();
         if let Ok(dirty) = self.admin.read_file(&ROOT, &entry.path) {
             self.archive.quarantine(&entry.path, dirty);
         }
@@ -1073,7 +1125,7 @@ impl DlfmServer {
     /// Remove/rename veto (§2.3): linked files with referential integrity
     /// cannot be removed or renamed — that would dangle the DATALINK.
     pub fn mutation_check(&self, path: &str) -> Result<(), String> {
-        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+        self.stats.upcalls.inc();
         match self.repo.get_file(path) {
             Some(entry) if entry.mode.referential_integrity() => Err(format!(
                 "{path} is linked to the database (mode {}); remove/rename rejected",
@@ -1093,7 +1145,7 @@ impl DlfmServer {
     /// when the grant came back `Busy`/`Rejected` — re-opening exactly the
     /// window strict mode exists to close.
     pub fn register_open(&self, path: &str, uid: u32, opener: u64) {
-        self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+        self.stats.upcalls.inc();
         let _ = self.repo.add_sync(&SyncEntry {
             path: path.to_string(),
             kind: TokenKind::Read,

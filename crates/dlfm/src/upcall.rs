@@ -19,9 +19,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
+use dl_obs::Histogram;
 
 use crate::pool::{ElasticPool, PoolOptions, PoolStats};
 use crate::server::{DlfmServer, OpenDecision};
@@ -70,17 +71,25 @@ pub struct UpcallClient {
     pool: Arc<ElasticPool<Envelope>>,
     server: Arc<DlfmServer>,
     round_trips: Arc<AtomicU64>,
+    /// Queue wait + dispatch + reply, per round-trip — the IPC cost the
+    /// paper's zero-upcall read path avoids. Shared with the daemon so the
+    /// telemetry registry sees every client's calls in one distribution.
+    round_trip_ns: Arc<Histogram>,
 }
 
 impl UpcallClient {
     fn call(&self, req: UpcallRequest) -> UpcallReply {
         self.round_trips.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let (reply_tx, reply_rx) = bounded(1);
         self.pool.submit((req, reply_tx));
         // A dropped reply sender no longer means the daemon died: worker
         // panics are caught and answered in-band, so the only way the
         // channel closes unreplied is the whole pool shutting down.
-        reply_rx.recv().unwrap_or(UpcallReply::Rejected("upcall daemon is down".into()))
+        let reply =
+            reply_rx.recv().unwrap_or(UpcallReply::Rejected("upcall daemon is down".into()));
+        self.round_trip_ns.record_duration(started.elapsed());
+        reply
     }
 
     /// Number of upcall round-trips made through this client (benches).
@@ -183,6 +192,7 @@ impl UpcallClient {
 /// for the growth/shrink rules).
 pub struct UpcallDaemon {
     pool: Arc<ElasticPool<Envelope>>,
+    round_trip_ns: Arc<Histogram>,
 }
 
 impl UpcallDaemon {
@@ -242,12 +252,14 @@ impl UpcallDaemon {
                 );
             });
         let pool = Arc::new(ElasticPool::new(opts, handler));
+        let round_trip_ns = Arc::new(Histogram::new());
         let client = UpcallClient {
             pool: Arc::clone(&pool),
             server,
             round_trips: Arc::new(AtomicU64::new(0)),
+            round_trip_ns: Arc::clone(&round_trip_ns),
         };
-        (UpcallDaemon { pool }, client)
+        (UpcallDaemon { pool, round_trip_ns }, client)
     }
 
     fn dispatch(server: &DlfmServer, req: UpcallRequest) -> UpcallReply {
@@ -295,12 +307,18 @@ impl UpcallDaemon {
             pool: Arc::clone(&self.pool),
             server,
             round_trips: Arc::new(AtomicU64::new(0)),
+            round_trip_ns: Arc::clone(&self.round_trip_ns),
         }
     }
 
     /// Live worker-pool gauges.
     pub fn pool_stats(&self) -> &PoolStats {
         self.pool.stats()
+    }
+
+    /// Round-trip latency distribution across every client of this daemon.
+    pub fn round_trip_histogram(&self) -> &Arc<Histogram> {
+        &self.round_trip_ns
     }
 
     /// Blocks until the queue drains and every worker parks (tests).

@@ -2,7 +2,6 @@
 //! sub-transactions with 2PC, the open/close update protocol, take-over,
 //! archiving, rollback and crash recovery.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use dl_dlfm::{
@@ -442,7 +441,7 @@ fn failed_close_commit_rolls_back_to_last_committed_version() {
     let entry = f.server.repository().get_file("/data/clip.mpg").unwrap();
     assert_eq!(entry.cur_version, 1);
     assert_eq!(f.server.archive_store().quarantined().len(), 1);
-    assert_eq!(f.server.stats.rollbacks.load(Ordering::Relaxed), 1);
+    assert_eq!(f.server.stats.rollbacks.get(), 1);
 }
 
 // --- crash recovery ----------------------------------------------------------

@@ -69,17 +69,17 @@ impl Default for DlfsConfig {
     }
 }
 
-/// Operation counters (benchmarks read these).
+/// Operation counters (benchmarks and the telemetry registry read these).
 #[derive(Debug, Default)]
 pub struct DlfsStats {
     /// Opens that bypassed DLFM entirely.
-    pub passthrough_opens: AtomicU64,
+    pub passthrough_opens: dl_obs::Counter,
     /// Opens approved by DLFM (managed path).
-    pub managed_opens: AtomicU64,
+    pub managed_opens: dl_obs::Counter,
     /// Busy retries performed.
-    pub busy_waits: AtomicU64,
+    pub busy_waits: dl_obs::Counter,
     /// Token suffixes found and validated during lookup.
-    pub token_lookups: AtomicU64,
+    pub token_lookups: dl_obs::Counter,
 }
 
 struct OpenInstance {
@@ -171,7 +171,7 @@ impl Dlfs {
                 OpenDecision::Busy => match self.cfg.wait_policy {
                     WaitPolicy::Fail => return Err(FsError::Busy),
                     WaitPolicy::Block => {
-                        self.stats.busy_waits.fetch_add(1, Ordering::Relaxed);
+                        self.stats.busy_waits.inc();
                         self.upcall.wait_epoch_change(epoch);
                     }
                 },
@@ -192,7 +192,7 @@ impl FileSystem for Dlfs {
         let full_path = fspath::join(&parent_path, real_name);
 
         if let Some(token_str) = token {
-            self.stats.token_lookups.fetch_add(1, Ordering::Relaxed);
+            self.stats.token_lookups.inc();
             self.upcall
                 .validate_token(&full_path, token_str, cred.uid)
                 .map_err(FsError::Rejected)?;
@@ -248,7 +248,7 @@ impl FileSystem for Dlfs {
             return match self.checked_open(&path, cred, wanted, opener)? {
                 OpenDecision::Approved { open_as } => {
                     self.inner.fs_open(&open_as, ino, flags)?;
-                    self.stats.managed_opens.fetch_add(1, Ordering::Relaxed);
+                    self.stats.managed_opens.inc();
                     self.record_open(
                         ino,
                         wants_write,
@@ -298,7 +298,7 @@ impl FileSystem for Dlfs {
         // fast path: no upcall, no lock (§4.2).
         if !wants_write {
             self.inner.fs_open(cred, ino, flags)?;
-            self.stats.passthrough_opens.fetch_add(1, Ordering::Relaxed);
+            self.stats.passthrough_opens.inc();
             if self.cfg.strict {
                 let opener = self.new_opener();
                 self.upcall.register_open(&path, cred.uid, opener);
@@ -315,7 +315,7 @@ impl FileSystem for Dlfs {
         // triggers the upcall (§4.2's rfd protocol).
         match self.inner.fs_open(cred, ino, flags) {
             Ok(()) => {
-                self.stats.passthrough_opens.fetch_add(1, Ordering::Relaxed);
+                self.stats.passthrough_opens.inc();
                 if self.cfg.strict {
                     let opener = self.new_opener();
                     self.upcall.register_open(&path, cred.uid, opener);
@@ -332,7 +332,7 @@ impl FileSystem for Dlfs {
                 match self.checked_open(&path, cred, TokenKind::Write, opener)? {
                     OpenDecision::Approved { open_as } => {
                         self.inner.fs_open(&open_as, ino, flags)?;
-                        self.stats.managed_opens.fetch_add(1, Ordering::Relaxed);
+                        self.stats.managed_opens.inc();
                         self.record_open(
                             ino,
                             true,

@@ -88,7 +88,7 @@ fn unlinked_files_behave_normally_with_zero_upcalls() {
     s.lfs.close(fd).unwrap();
 
     assert_eq!(s.dlfs.upcall_client().round_trip_count(), 0, "no DLFM involvement");
-    assert_eq!(s.dlfs.stats.passthrough_opens.load(Ordering::Relaxed), 2);
+    assert_eq!(s.dlfs.stats.passthrough_opens.get(), 2);
 }
 
 #[test]
@@ -109,8 +109,8 @@ fn rdd_read_requires_token_in_name() {
     let data = s.lfs.read_to_end(fd).unwrap();
     s.lfs.close(fd).unwrap();
     assert_eq!(data, b"<html>v1</html>");
-    assert_eq!(s.dlfs.stats.token_lookups.load(Ordering::Relaxed), 1);
-    assert_eq!(s.dlfs.stats.managed_opens.load(Ordering::Relaxed), 1);
+    assert_eq!(s.dlfs.stats.token_lookups.get(), 1);
+    assert_eq!(s.dlfs.stats.managed_opens.get(), 1);
 }
 
 #[test]

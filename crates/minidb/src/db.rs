@@ -139,6 +139,29 @@ pub(crate) struct DbInner {
     last_snapshot_bytes: AtomicU64,
     /// At most one automatic checkpoint runs at a time.
     checkpoint_running: AtomicBool,
+    /// Checkpoint telemetry (see [`DbTelemetry`]).
+    telemetry: DbTelemetry,
+}
+
+/// Telemetry handles for one database, beyond what the WAL itself records
+/// ([`crate::wal::WalTelemetry`]): shared `Arc`s a metric registry adopts.
+#[derive(Clone)]
+pub struct DbTelemetry {
+    /// Wall-clock duration of each checkpoint (snapshot write + log
+    /// record), in nanoseconds. Checkpoints run under the exclusive commit
+    /// latch, so this is also how long the commit pipeline stalls.
+    pub checkpoint_ns: Arc<dl_obs::Histogram>,
+    /// Serialized size of the newest snapshot, in bytes.
+    pub checkpoint_bytes: Arc<dl_obs::Gauge>,
+}
+
+impl DbTelemetry {
+    fn new() -> DbTelemetry {
+        DbTelemetry {
+            checkpoint_ns: Arc::new(dl_obs::Histogram::new()),
+            checkpoint_bytes: Arc::new(dl_obs::Gauge::new()),
+        }
+    }
 }
 
 /// Handle to a database. Clone freely; all clones share state.
@@ -299,6 +322,7 @@ impl Database {
                 auto_checkpoint_bytes: opts.checkpoint_every_bytes,
                 last_snapshot_bytes: AtomicU64::new(last_snapshot_bytes),
                 checkpoint_running: AtomicBool::new(false),
+                telemetry: DbTelemetry::new(),
             }),
         })
     }
@@ -489,6 +513,17 @@ impl Database {
         self.inner.wal.retained_bytes()
     }
 
+    /// Checkpoint telemetry handles (see [`DbTelemetry`]).
+    pub fn telemetry(&self) -> DbTelemetry {
+        self.inner.telemetry.clone()
+    }
+
+    /// The WAL's telemetry handles: fsync latency and group-commit batch
+    /// sizes (see [`crate::wal::WalTelemetry`]).
+    pub fn wal_telemetry(&self) -> crate::wal::WalTelemetry {
+        self.inner.wal.telemetry().clone()
+    }
+
     /// A tail-reading handle over this database's live WAL, fed by the
     /// group-commit leader after every batch sync — the feed a replication
     /// shipper tails (see [`crate::wal::WalReader`] and
@@ -528,6 +563,7 @@ impl Database {
 
     fn checkpoint_inner(&self) -> DbResult<(u64, Lsn)> {
         let _latch = self.inner.commit_latch.write();
+        let started = std::time::Instant::now();
         let generation = self.inner.snapshot_gen.load(Ordering::SeqCst) + 1;
         let dev = self.inner.env.device(slot_for_generation(generation))?;
         let base_lsn = self.inner.wal.tail_lsn();
@@ -555,7 +591,10 @@ impl Database {
         }
         self.inner.wal.append(&WalRecord::Checkpoint { generation })?;
         self.inner.snapshot_gen.store(generation, Ordering::SeqCst);
-        self.inner.last_snapshot_bytes.store(dev.len()?, Ordering::SeqCst);
+        let snapshot_bytes = dev.len()?;
+        self.inner.last_snapshot_bytes.store(snapshot_bytes, Ordering::SeqCst);
+        self.inner.telemetry.checkpoint_ns.record_duration(started.elapsed());
+        self.inner.telemetry.checkpoint_bytes.set(snapshot_bytes.min(i64::MAX as u64) as i64);
         Ok((generation, base_lsn))
     }
 

@@ -60,7 +60,9 @@ pub mod txn;
 pub mod value;
 pub mod wal;
 
-pub use db::{Database, DbOptions, DmlEvent, DmlObserver, InjectedDml, OpKind, Participant};
+pub use db::{
+    Database, DbOptions, DbTelemetry, DmlEvent, DmlObserver, InjectedDml, OpKind, Participant,
+};
 pub use device::{Device, DiskFaults, FileDevice, MemDevice, StorageEnv};
 pub use error::{DbError, DbResult};
 pub use lock::LockMode;
@@ -69,4 +71,4 @@ pub use replica::{ReplicationFeed, StandbyDb};
 pub use snapshot::SnapshotData;
 pub use txn::Txn;
 pub use value::{Column, ColumnType, Row, Schema, Value};
-pub use wal::{Lsn, ShippedFrames, TxId, WalOptions, WalReader};
+pub use wal::{Lsn, ShippedFrames, TxId, WalOptions, WalReader, WalTelemetry};

@@ -404,6 +404,14 @@ impl StandbyDb {
         self.shared.inner.lock().applied
     }
 
+    /// Snapshotter backlog: queued plus in-progress snapshot jobs (0–2;
+    /// jobs coalesce, so `pending` never holds more than one). A depth
+    /// stuck at 2 means checkpoints arrive faster than images are written.
+    pub fn snapshot_queue_depth(&self) -> usize {
+        let q = self.shared.snap_queue.lock();
+        usize::from(q.pending.is_some()) + usize::from(q.busy)
+    }
+
     /// Blocks until the applied watermark reaches `lsn` or `timeout`
     /// elapses; returns whether the standby caught up. The read-your-writes
     /// wait: a reader holding the commit LSN of its last write as a

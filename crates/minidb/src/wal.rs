@@ -66,8 +66,9 @@
 //! suffix).
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use dl_obs::Histogram;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::codec::{crc32, Dec, Enc};
@@ -467,6 +468,28 @@ pub struct Wal {
     state: Mutex<WalState>,
     flushed: Condvar,
     ship: Arc<ShipSignal>,
+    telemetry: WalTelemetry,
+}
+
+/// Telemetry handles for one log: shared `Arc`s so the assembled system can
+/// adopt them into a metric registry while the log keeps recording.
+#[derive(Clone)]
+pub struct WalTelemetry {
+    /// Latency of each durable flush (the `write_at` + `sync` pair), in
+    /// nanoseconds — one observation per device sync, both commit modes.
+    pub fsync_ns: Arc<Histogram>,
+    /// Frames made durable per flush: the group-commit batch-size
+    /// distribution (always 1 in per-commit-sync mode).
+    pub batch_frames: Arc<Histogram>,
+}
+
+impl WalTelemetry {
+    fn new() -> WalTelemetry {
+        WalTelemetry {
+            fsync_ns: Arc::new(Histogram::new()),
+            batch_frames: Arc::new(Histogram::new()),
+        }
+    }
 }
 
 impl Wal {
@@ -531,9 +554,15 @@ impl Wal {
                 }),
                 flushed: Condvar::new(),
                 ship: Arc::new(ShipSignal { durable: Mutex::new(valid_end), grew: Condvar::new() }),
+                telemetry: WalTelemetry::new(),
             },
             out,
         ))
+    }
+
+    /// Telemetry handles for this log (see [`WalTelemetry`]).
+    pub fn telemetry(&self) -> &WalTelemetry {
+        &self.telemetry
     }
 
     /// A tail-reading handle for replication shipping (see [`WalReader`]).
@@ -567,9 +596,12 @@ impl Wal {
             let view = self.view.read();
             (Arc::clone(&view.dev), view.base)
         };
+        let flush_start = Instant::now();
         let result = dev.write_at(start - base, &frame).and_then(|()| dev.sync());
         state.spare = frame;
         result?;
+        self.telemetry.fsync_ns.record_duration(flush_start.elapsed());
+        self.telemetry.batch_frames.record(1);
         state.end = start + (FRAME_HEADER + payload.len()) as u64;
         state.durable = state.end;
         state.batch_base = state.end;
@@ -640,6 +672,7 @@ impl Wal {
         let buf = std::mem::replace(&mut state.batch, next);
         let lsn_base = state.batch_base;
         let flush_to = state.end;
+        let frames = state.batch_frames as u64;
         state.batch_base = flush_to;
         state.batch_frames = 0;
         let (dev, base) = {
@@ -647,12 +680,15 @@ impl Wal {
             (Arc::clone(&view.dev), view.base)
         };
 
+        let flush_start = Instant::now();
         let result = parking_lot::MutexGuard::unlocked(state, || {
             dev.write_at(lsn_base - base, &buf).and_then(|()| dev.sync())
         });
 
         match result {
             Ok(()) => {
+                self.telemetry.fsync_ns.record_duration(flush_start.elapsed());
+                self.telemetry.batch_frames.record(frames);
                 state.durable = flush_to;
                 let mut buf = buf;
                 buf.clear();

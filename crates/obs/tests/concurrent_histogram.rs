@@ -1,0 +1,97 @@
+//! Property: the histogram is merge-consistent under concurrency. Recording
+//! a value set in parallel — whether striped across threads into one shared
+//! histogram, or into per-thread histograms merged afterwards — must yield
+//! exactly the snapshot of recording the same values sequentially:
+//! bucket-for-bucket, count and sum included. (Bucketing is deterministic,
+//! so within bucket resolution "equal" really is `==`.)
+
+use proptest::prelude::*;
+
+use dl_obs::{Histogram, HistogramSnapshot};
+
+fn record_all(h: &Histogram, values: &[u64], thread: usize, threads: usize) {
+    for (i, &v) in values.iter().enumerate() {
+        if i % threads == thread {
+            h.record(v);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #[test]
+    fn parallel_record_and_merge_match_sequential(
+        // Bounded so the running sum stays exact (256 × 2^48 < 2^57): the
+        // equality below includes `sum`, and a wrapped sequential total
+        // would diverge from a saturated merged one.
+        values in proptest::collection::vec(0u64..=1 << 48, 1..256),
+        threads in 2usize..6,
+    ) {
+        let sequential = Histogram::new();
+        for &v in &values {
+            sequential.record(v);
+        }
+        let expected = sequential.snapshot();
+
+        // One shared histogram, values striped over the threads.
+        let shared = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let (shared, values) = (&shared, &values);
+                scope.spawn(move || record_all(shared, values, t, threads));
+            }
+        });
+        prop_assert_eq!(shared.snapshot(), expected.clone());
+
+        // Per-thread histograms snapshotted concurrently, merged after.
+        let parts: Vec<Histogram> = (0..threads).map(|_| Histogram::new()).collect();
+        let snaps: Vec<HistogramSnapshot> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .enumerate()
+                .map(|(t, part)| {
+                    let values = &values;
+                    scope.spawn(move || {
+                        record_all(part, values, t, threads);
+                        part.snapshot()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("recorder thread")).collect()
+        });
+        let mut merged = HistogramSnapshot::default();
+        for snap in &snaps {
+            merged.merge(snap);
+        }
+        prop_assert_eq!(merged.count, values.len() as u64);
+        prop_assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn percentile_never_underestimates(
+        values in proptest::collection::vec(1u64..=u64::MAX / 4, 1..256),
+    ) {
+        // The reported quantile is the containing bucket's upper bound, so
+        // it must sit at or above the exact sample quantile.
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            // Same rank the implementation targets: the ceil(p·count)-th
+            // smallest observation (1-indexed, floored at rank 1).
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            prop_assert!(
+                snap.percentile(p) >= exact,
+                "p{}: reported {} < exact {}",
+                p,
+                snap.percentile(p),
+                exact
+            );
+        }
+    }
+}

@@ -311,6 +311,13 @@ impl Standby {
         self.db.wait_snapshot_idle(timeout)
     }
 
+    /// Snapshotter backlog of this standby (0–2): queued plus in-progress
+    /// snapshot jobs. Stuck at 2 means checkpoints arrive faster than the
+    /// standby writes images.
+    pub fn snapshot_queue_depth(&self) -> usize {
+        self.db.snapshot_queue_depth()
+    }
+
     /// The standby's repository environment (promotion opens a normal
     /// `Database` — and with it a full DLFM repository — on a clone).
     pub fn env(&self) -> &StorageEnv {
@@ -470,6 +477,12 @@ impl HostStandby {
     /// Bytes of log this standby retains — bounded by checkpoint shipping.
     pub fn wal_retained_bytes(&self) -> u64 {
         self.db.wal_retained_bytes()
+    }
+
+    /// Snapshotter backlog of this standby (0–2): queued plus in-progress
+    /// snapshot jobs.
+    pub fn snapshot_queue_depth(&self) -> usize {
+        self.db.snapshot_queue_depth()
     }
 
     /// The standby's storage environment. Promotion opens a normal
@@ -801,6 +814,11 @@ impl ReplicaSet {
         &self.stats
     }
 
+    /// Deepest snapshotter backlog across this set's standbys (each 0–2).
+    pub fn snapshot_queue_depth(&self) -> usize {
+        self.standbys.iter().map(|s| s.snapshot_queue_depth()).max().unwrap_or(0)
+    }
+
     /// The failover fence shared by this set's standbys.
     pub fn fence(&self) -> &Arc<EpochFence> {
         &self.fence
@@ -915,6 +933,11 @@ impl HostReplicaSet {
     /// Shipping and rejection counters.
     pub fn stats(&self) -> &Arc<ReplStats> {
         &self.stats
+    }
+
+    /// Deepest snapshotter backlog across this set's standbys (each 0–2).
+    pub fn snapshot_queue_depth(&self) -> usize {
+        self.standbys.iter().map(|s| s.snapshot_queue_depth()).max().unwrap_or(0)
     }
 
     /// The failover fence (= coordinator generation) of this set.

@@ -17,6 +17,7 @@ pub use dl_dlfm;
 pub use dl_dlfs;
 pub use dl_fskit;
 pub use dl_minidb;
+pub use dl_obs;
 pub use dl_repl;
 
 /// §3's baseline update disciplines (CICO, CAU).
@@ -31,6 +32,8 @@ pub use dl_dlfs as dlfs;
 pub use dl_fskit as fskit;
 /// Host-database substrate (WAL, 2PL, 2PC, restore).
 pub use dl_minidb as minidb;
+/// Unified telemetry: metric registry, histograms, the flight recorder.
+pub use dl_obs as obs;
 /// WAL-shipping replication: hot standbys, checkpoint shipping, replica
 /// reads, failover.
 pub use dl_repl as repl;

@@ -115,24 +115,12 @@ fn replicas_serve_reads_without_the_primary_and_lag_drains() {
     assert_eq!(sys.replication_lag(SRV).unwrap(), 0);
 
     // Routed reads validate at a replica and serve its mirrored archive.
-    let primary_validations_before = sys
-        .node(SRV)
-        .unwrap()
-        .server
-        .stats
-        .token_validations
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let primary_validations_before = sys.node(SRV).unwrap().server.stats.token_validations.get();
     for _ in 0..6 {
         let tp = read_token_path(&sys, 0);
         assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"version two bytes");
     }
-    let primary_validations_after = sys
-        .node(SRV)
-        .unwrap()
-        .server
-        .stats
-        .token_validations
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let primary_validations_after = sys.node(SRV).unwrap().server.stats.token_validations.get();
     assert_eq!(
         primary_validations_before, primary_validations_after,
         "replica-served reads must not touch the primary's validation path"
@@ -333,10 +321,7 @@ fn freshness_token_reads_never_observe_pre_write_state() {
     let fresh = sys.serve_read_fresh(SRV, &read_token_path(&sys, 0), APP.uid, token).unwrap();
     assert_eq!(fresh, b"version three");
     let stats = &sys.engine().stats;
-    assert!(
-        stats.freshness_fallbacks.load(std::sync::atomic::Ordering::Relaxed) >= 1,
-        "the stalled standby must have been bypassed"
-    );
+    assert!(stats.freshness_fallbacks.get() >= 1, "the stalled standby must have been bypassed");
 
     // Resume shipping: once the lag drains, the same freshness read is
     // served by the (now fresh) replica again.
@@ -574,10 +559,10 @@ fn zombie_coordinator_decisions_are_fenced_after_host_crash() {
     // The zombie wakes up and decides commit: the fence drops the
     // decision instead of applying it behind the new coordinator's back.
     let server = Arc::clone(&sys.node(SRV).unwrap().server);
-    let before = server.stats.stale_coord_rejections.load(std::sync::atomic::Ordering::Relaxed);
+    let before = server.stats.stale_coord_rejections.get();
     agent.commit(txid);
     assert!(
-        server.stats.stale_coord_rejections.load(std::sync::atomic::Ordering::Relaxed) > before,
+        server.stats.stale_coord_rejections.get() > before,
         "the stale decision must be counted as rejected"
     );
     assert_eq!(

@@ -1,0 +1,112 @@
+//! End-to-end coverage of the unified telemetry layer: the system-wide
+//! metric registry (`DataLinksSystem::metrics` / `metrics_text`) must
+//! expose live instruments from every layer of the stack, and the crash
+//! flight recorder must dump the 2PC span trail — claim, prepare, fenced
+//! decide — when a fault scenario kills the host coordinator mid-burst.
+
+use dl_bench::{fixture, make_content, FixtureOptions, SRV};
+
+/// One snapshot carries counters and histograms from all four layers —
+/// host database, replication, DLFM, DLFS — plus the engine and the
+/// interposed file system, and the text exposition renders them under
+/// their flattened names.
+#[test]
+fn metrics_snapshot_spans_every_layer() {
+    let f = fixture(FixtureOptions {
+        n_files: 2,
+        file_size: 512,
+        replicas: 1,
+        sync_archive: true,
+        ..Default::default()
+    });
+    let content = make_content(512);
+    f.managed_update(0, &content);
+    f.managed_read(0);
+
+    let snap = f.sys.metrics();
+    // Counters from DLFM, DLFS, engine, fskit and repl layers.
+    for name in [
+        "dlfm.srv1.links",
+        "dlfm.srv1.token_validations",
+        "dlfs.srv1.managed_opens",
+        "engine.links",
+        "engine.tokens_generated",
+        "fskit.srv1.opens",
+        "repl.srv1.records_shipped",
+        "system.failovers",
+        "system.host_failovers",
+    ] {
+        assert!(snap.counters.contains_key(name), "missing counter {name}: {snap:?}");
+    }
+    assert!(snap.counters["dlfm.srv1.links"] >= 2, "both fixture files were linked");
+    assert!(snap.counters["dlfs.srv1.managed_opens"] >= 1, "the managed read went through dlfs");
+    // Histograms from the host database (2PC fsync path), the DLFM upcall
+    // round trip and the engine's freshness machinery.
+    for name in [
+        "minidb.host.fsync_ns",
+        "minidb.srv1.fsync_ns",
+        "dlfm.srv1.upcall_round_trip_ns",
+        "engine.freshness_wait_ns",
+    ] {
+        assert!(snap.histograms.contains_key(name), "missing histogram {name}");
+    }
+    assert!(snap.histograms["minidb.host.fsync_ns"].count > 0, "host commits fsynced");
+    assert!(snap.histograms["dlfm.srv1.upcall_round_trip_ns"].count > 0, "upcalls were timed");
+    // Pool gauges are refreshed at snapshot time (the PR 5 PoolStats seam).
+    for name in ["dlfm.srv1.upcall_pool.workers", "pool.total_workers"] {
+        assert!(snap.gauges.contains_key(name), "missing gauge {name}");
+    }
+    assert!(snap.gauges["pool.total_workers"] >= 1.0);
+
+    // The exposition is the same data under flattened names.
+    let text = f.sys.metrics_text();
+    assert!(text.contains("# TYPE dlfm_srv1_links counter"), "exposition:\n{text}");
+    assert!(text.contains("minidb_host_fsync_ns{quantile=\"0.99\"}"), "exposition:\n{text}");
+    assert!(text.contains("pool_total_workers"), "exposition:\n{text}");
+}
+
+/// Running the shipped `kill_host_mid_burst` scenario with
+/// `DL_FLIGHT_DUMP_DIR` set must leave flight-recorder dumps on disk, and
+/// the host-failover dump must contain the cross-layer 2PC span trail:
+/// engine-side DML spans, DLFM claims/prepares, the fence being raised at
+/// the new coordinator generation, and the promoted coordinator's fenced
+/// decide events.
+#[test]
+fn kill_host_mid_burst_dumps_fenced_decision_spans() {
+    let dump_dir = std::env::temp_dir().join(format!("dl-flight-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dump_dir).expect("create dump dir");
+    std::env::set_var("DL_FLIGHT_DUMP_DIR", &dump_dir);
+
+    let file = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("kill_host_mid_burst.jsonl");
+    let sc = dl_lab::load_scenario(&file).expect("shipped scenario parses");
+    let run = dl_bench::lab::run_scenario(&sc, true).expect("scenario runs");
+    assert_eq!(run.metrics.get("host_failovers"), Some(&1.0), "metrics: {:?}", run.metrics);
+
+    let mut dumps = Vec::new();
+    for entry in std::fs::read_dir(&dump_dir).expect("dump dir readable") {
+        let path = entry.expect("dir entry").path();
+        dumps.push(std::fs::read_to_string(&path).expect("dump readable"));
+    }
+    std::env::remove_var("DL_FLIGHT_DUMP_DIR");
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    assert!(!dumps.is_empty(), "crash_host must write at least one flight dump");
+
+    let promo = dumps
+        .iter()
+        .find(|d| d.contains("reason: fail_over_host"))
+        .expect("the host-failover dump is written at promotion");
+    // Every recorder section is present...
+    assert!(promo.contains("=== flight recorder engine.host"), "dump:\n{promo}");
+    assert!(promo.contains(&format!("=== flight recorder dlfm.{SRV}")), "dump:\n{promo}");
+    // ...and the 2PC trail crosses the layers: host-side DML spans, DLFM
+    // claim + prepare votes, the raised fence, and fenced decide events
+    // from the promoted coordinator's in-doubt resolution.
+    for needle in ["dml", "claim", "prepare", "vote=yes", "fence_raise", "decide", "outcome="] {
+        assert!(promo.contains(needle), "dump lacks {needle:?}:\n{promo}");
+    }
+    // The decide events carry the coordinator generation they were fenced
+    // against.
+    assert!(promo.contains("fence="), "decides must carry the fence epoch:\n{promo}");
+}
