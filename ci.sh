@@ -40,14 +40,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 # EXPERIMENTS.md "Writing a scenario"). Each scenario declares its own
 # assertions — a9 the commit-throughput speedups, a10 lag-drain +
 # failover link preservation, a11 bounded WALs + delta catch-up, a12 the
-# adaptive upcall pool and shared agent executor — and the fault
+# adaptive upcall pool and shared agent executor, a13 near-linear
+# write-cycle scaling across DLFM namespace shards — and the fault
 # scenarios cover crash-failover, standby stalls under freshness reads,
 # link-churn storms, upcall-worker kills, ENOSPC write-fault bursts
-# (disk_fault) and host-coordinator loss mid-burst with promotion of a
-# host standby (kill_host_mid_burst). The lab exits non-zero on
-# any failed assertion, then the just-written BENCH_*.json self-compare
-# keeps the trajectory pipeline honest. Quick mode stays on the debug
-# profile to avoid a release build it otherwise skips.
+# (disk_fault, repository- or host-targeted), host-coordinator loss
+# mid-burst with promotion of a host standby (kill_host_mid_burst, its
+# flight-recorder span trail gated as lab_flight_* metrics) and a torn
+# host-WAL tail at a crash boundary (host_wal_torn_tail). The lab exits
+# non-zero on any failed assertion, then the just-written BENCH_*.json
+# self-compare keeps the trajectory pipeline honest. Quick mode stays on
+# the debug profile to avoid a release build it otherwise skips.
 step "lab --quick scenarios/*.jsonl (declared assertions) + report --compare self-smoke"
 profile_flag=""
 if [[ "${1:-}" != "quick" ]]; then

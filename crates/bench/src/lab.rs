@@ -15,7 +15,11 @@
 //!   churn, fixed vs adaptive, thread-per-agent vs shared executor.
 //! * [`Kind::Mixed`] — the generic client-mix loop with fault-injection
 //!   points (crash the primary at op N, stall/resume a standby, kill
-//!   upcall workers).
+//!   upcall workers, exhaust the repository or host disk, shear the host
+//!   WAL tail at a crash boundary).
+//! * [`Kind::Sharding`] — the a13 sweep: write-cycle throughput vs shard
+//!   count through the sharded DLFM front, fan-out proven off the
+//!   per-shard registry counters.
 //!
 //! Everything the old bespoke a9–a12 runners *asserted* is emitted here
 //! as a named **metric**; the acceptance thresholds live in the scenario
@@ -45,16 +49,18 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dl_core::{ControlMode, DataLinksSystem, TokenKind};
+use dl_core::{
+    ControlMode, DataLinksSystem, DlColumnOptions, FileServerSpec, ShardRouter, TokenKind,
+};
 use dl_dlfm::{FaultInjector, UpcallRequest};
-use dl_fskit::OpenOptions;
+use dl_fskit::{Cred, OpenOptions};
 use dl_lab::{expand, InjectAction, Kind, LabRng, Params, Plan, ReadRoute, Scenario, TrialSpec};
 use dl_minidb::{Column, ColumnType, Database, DbOptions, Schema, StorageEnv, Value, WalOptions};
 use dl_obs::{Histogram, HistogramSnapshot, Snapshot};
 
 use crate::experiments::Table;
 use crate::{
-    fixture, fixture_with_fault, fmt_ns, make_content, run_threads, time_once, Fixture,
+    fixture, fixture_with_faults, fmt_ns, make_content, run_threads, time_once, Fixture,
     FixtureOptions, APP, SRV, TABLE,
 };
 
@@ -82,6 +88,7 @@ pub fn run_scenario(sc: &Scenario, quick: bool) -> Result<ScenarioRun, String> {
         Kind::CheckpointShipping => checkpoint_shipping(sc, &plan),
         Kind::FrontEnd => front_end(sc, &plan),
         Kind::Mixed => mixed(sc, &plan),
+        Kind::Sharding => sharding(sc, &plan),
     }?;
     if let Some(title) = &sc.title {
         run.table.title = title.clone();
@@ -894,8 +901,15 @@ struct MixedOutcome {
     in_doubt_resolved: u64,
     /// Late 2PC decisions from a deposed coordinator refused by the fence.
     stale_coord_rejections: u64,
-    /// Injected ENOSPC write failures actually consumed by the repository.
+    /// Injected ENOSPC write failures actually consumed (repository or
+    /// host side, whichever the scenario targeted).
     enospc_hits: u64,
+    /// Torn-WAL probe commits the crash boundary sheared away — recovery
+    /// must lose exactly these.
+    torn_commits_lost: u64,
+    /// Torn-WAL probe commits from *before* the shear that survived the
+    /// crash.
+    torn_pre_commit_survived: u64,
     stale_reads: u64,
     freshness_fallbacks: u64,
     leftover_links: u64,
@@ -990,10 +1004,23 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
     // repository's storage environment, armed at injection boundaries.
     let repo_faults = injections
         .iter()
-        .any(|i| matches!(i.action, InjectAction::DiskEnospc { .. }))
+        .any(|i| matches!(i.action, InjectAction::DiskEnospc { host: false, .. }))
         .then(dl_minidb::DiskFaults::new);
 
-    let mut f = fixture_with_fault(
+    // The host-side fault surface: `disk_enospc` with `"target": "host"`
+    // and the torn-tail crash boundary both attach a fault layer under the
+    // *coordinator's* storage environment instead of the repository's.
+    let host_faults = injections
+        .iter()
+        .any(|i| {
+            matches!(
+                i.action,
+                InjectAction::DiskEnospc { host: true, .. } | InjectAction::TornHostWal
+            )
+        })
+        .then(dl_minidb::DiskFaults::new);
+
+    let mut f = fixture_with_faults(
         FixtureOptions {
             n_files: n_files as usize,
             file_size,
@@ -1009,6 +1036,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
         },
         fault,
         repo_faults.clone(),
+        host_faults.clone(),
     );
 
     // Per-op latency, adopted into the system registry so it rides the
@@ -1120,6 +1148,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
     // boundary, join, apply the fault with exclusive access to the
     // system, resume. Op `g` is executed by client `g % clients`.
     let mut start = 0u64;
+    let mut torn_probes = 0i64;
     let mut boundaries: Vec<(u64, &InjectAction)> =
         injections.iter().map(|i| (i.at_op.min(total), &i.action)).collect();
     boundaries.push((total, &InjectAction::ResumeStandby)); // sentinel; never applied
@@ -1245,10 +1274,67 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                     fmt_ns(dur.as_nanos() as f64)
                 ));
             }
-            InjectAction::DiskEnospc { writes } => {
-                let faults = repo_faults.as_ref().expect("disk_enospc arms the fault layer");
+            InjectAction::DiskEnospc { writes, host } => {
+                let faults = if *host { host_faults.as_ref() } else { repo_faults.as_ref() }
+                    .expect("disk_enospc arms its fault layer");
                 faults.inject_enospc(*writes);
-                out.events.push(format!("disk_enospc@{end} x{writes}"));
+                out.events.push(format!(
+                    "disk_enospc@{end} x{writes} ({})",
+                    if *host { "host" } else { "repo" }
+                ));
+            }
+            InjectAction::TornHostWal => {
+                let faults = host_faults.as_ref().expect("torn_host_wal arms the host fault layer");
+                // A probe pair on a scratch table: one commit that must
+                // survive the shear, then one whose exact WAL footprint the
+                // armed tear covers. The live process believes both are
+                // durable — only the crash reveals the torn tail.
+                if torn_probes == 0 {
+                    f.sys
+                        .create_table(
+                            Schema::new(
+                                "lab_torn",
+                                vec![
+                                    Column::new("id", ColumnType::Int),
+                                    Column::new("v", ColumnType::Text),
+                                ],
+                                "id",
+                            )
+                            .map_err(|e| e.to_string())?,
+                        )
+                        .map_err(|e| e.to_string())?;
+                }
+                let seq = 2 * torn_probes;
+                torn_probes += 1;
+                let mut tx = f.sys.begin();
+                tx.insert("lab_torn", vec![Value::Int(seq), Value::Text("pre".into())])
+                    .map_err(|e| e.to_string())?;
+                tx.commit().map_err(|e| e.to_string())?;
+                let wal = f.host_env.device("wal").map_err(|e| e.to_string())?;
+                let before = wal.len().map_err(|e| e.to_string())?;
+                let mut tx = f.sys.begin();
+                tx.insert("lab_torn", vec![Value::Int(seq + 1), Value::Text("torn".into())])
+                    .map_err(|e| e.to_string())?;
+                tx.commit().map_err(|e| e.to_string())?;
+                let sheared = wal.len().map_err(|e| e.to_string())? - before;
+                faults.arm_torn_tail("wal", sheared);
+                // Crash the whole system and recover it; the workload's
+                // remaining segments then run against the recovered stack.
+                let Fixture { sys, paths, urls, host_env } = f;
+                let (sys, _) = DataLinksSystem::recover(sys.crash())?;
+                f = Fixture { sys, paths, urls, host_env };
+                // Recovery rebuilds the registry; re-adopt the trial's
+                // latency histogram so it keeps riding the snapshot.
+                f.sys.registry().register_histogram("lab.op_latency_ns", Arc::clone(&op_latency));
+                let db = f.sys.db();
+                let pre =
+                    db.get_committed("lab_torn", &Value::Int(seq)).map_err(|e| e.to_string())?;
+                let torn = db
+                    .get_committed("lab_torn", &Value::Int(seq + 1))
+                    .map_err(|e| e.to_string())?;
+                out.torn_pre_commit_survived += u64::from(pre.is_some());
+                out.torn_commits_lost += u64::from(torn.is_none());
+                out.events.push(format!("torn_host_wal@{end}: sheared {sheared} B"));
             }
         }
     }
@@ -1261,14 +1347,28 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
     }
     out.leftover_links =
         (f.sys.node(SRV)?.server.repository().list_files().len() as u64).saturating_sub(n_files);
-    if let Some(faults) = &repo_faults {
-        // The fault layer lives outside the system; mirror its hit count
-        // onto a registry handle so it exports like everything else.
+    for faults in [&repo_faults, &host_faults].into_iter().flatten() {
+        // The fault layers live outside the system; mirror their hit
+        // counts onto a registry handle so they export like everything
+        // else (one combined counter — a scenario targets one side).
         f.sys.registry().counter("lab.enospc_hits").add(faults.enospc_hits());
     }
 
+    // The last flight dump's 2PC span trail, surfaced as assertable
+    // metrics: a scenario can pin that the crash left (say) fenced decide
+    // spans in the recorder without string-matching the dump itself.
+    let dump = f.sys.last_flight_dump().unwrap_or_default();
+    for stage in ["claim", "prepare", "decide", "fence_raise", "fence_reject", "archive"] {
+        let events = dump.matches(stage).count() as u64;
+        f.sys.registry().counter(&format!("lab.flight_{stage}_events")).add(events);
+    }
+
     // Everything the trial used to read from per-component stats structs
-    // now comes off the system's one merged telemetry snapshot.
+    // now comes off the system's one merged telemetry snapshot. Park the
+    // upcall pools first: a killed worker reports its failure to the
+    // waiting client before it finishes unwinding, so without the
+    // quiesce the pool's panic counter can lag the last failed op.
+    f.sys.quiesce_upcalls(Duration::from_secs(5));
     let snap = f.sys.metrics();
     let counter = |name: String| snap.counters.get(&name).copied().unwrap_or(0);
     let gauge = |name: String| snap.gauges.get(&name).copied().unwrap_or(0.0);
@@ -1319,6 +1419,8 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
             add(&mut sums, "in_doubt_resolved", o.in_doubt_resolved as f64);
             add(&mut sums, "stale_coord_rejections", o.stale_coord_rejections as f64);
             add(&mut sums, "enospc_hits", o.enospc_hits as f64);
+            add(&mut sums, "torn_commits_lost", o.torn_commits_lost as f64);
+            add(&mut sums, "torn_pre_commit_survived", o.torn_pre_commit_survived as f64);
             add(&mut sums, "stale_reads", o.stale_reads as f64);
             add(&mut sums, "freshness_fallbacks", o.freshness_fallbacks as f64);
             add(&mut sums, "leftover_links", o.leftover_links as f64);
@@ -1384,6 +1486,158 @@ fn mixed(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
                 s("ops ok"),
                 s("ops failed"),
                 s("events"),
+            ],
+            rows,
+            notes: Vec::new(),
+        },
+        metrics,
+    })
+}
+
+// ===========================================================================
+// sharding — the a13 engine loop
+// ===========================================================================
+
+/// Committed open/write/close cycles/sec through a `shards`-way sharded
+/// file server, plus the run's telemetry snapshot. Each writer thread owns
+/// one file placed on shard `thread % shards`; the repository WALs run
+/// per-commit sync over devices with the given sync latency while the host
+/// database's devices are free — so the cycle rate is gated by how many
+/// repository WALs can sync concurrently, i.e. by the shard count.
+fn sharded_stack_rate(
+    shards: usize,
+    threads: usize,
+    cycles: usize,
+    file_size: usize,
+    sync_latency_ns: u64,
+) -> (f64, Snapshot) {
+    let mut spec = FileServerSpec::new(SRV).shards(shards);
+    spec.dlfm.sync_archive = true;
+    spec.dlfm.db = DbOptions { wal: WalOptions::per_commit_sync(), ..Default::default() };
+    spec.repo_env = StorageEnv::mem_with_sync_latency(sync_latency_ns);
+    let sys = DataLinksSystem::builder().file_server_with(spec).build().expect("build system");
+    let raw = sys.raw_fs(SRV).expect("raw fs");
+    raw.mkdir_p(&Cred::root(), "/data", 0o777).expect("mkdir");
+    sys.create_table(
+        Schema::new(
+            TABLE,
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::nullable("body", ColumnType::DataLink),
+            ],
+            "id",
+        )
+        .expect("schema"),
+    )
+    .expect("create table");
+    sys.define_datalink_column(
+        TABLE,
+        "body",
+        DlColumnOptions::new(ControlMode::Rdd)
+            .on_unlink(dl_dlfm::OnUnlink::Restore)
+            .token_ttl_ms(600_000),
+    )
+    .expect("define column");
+    // Deterministic placement: thread `t` writes a file owned by shard
+    // `t % shards`, so the thread→shard fan-out is exact, not hash luck.
+    let router = ShardRouter::new(SRV, shards);
+    let content = make_content(file_size);
+    for t in 0..threads {
+        let path = (0..)
+            .map(|k| format!("/data/w{t}_{k}.bin"))
+            .find(|p| router.shard_of(p) == t % shards)
+            .expect("some candidate path hashes to every shard");
+        raw.write_file(&APP, &path, &content).expect("seed file");
+        let mut tx = sys.begin();
+        tx.insert(
+            TABLE,
+            vec![Value::Int(t as i64), Value::DataLink(format!("dlfs://{SRV}{path}"))],
+        )
+        .expect("insert");
+        tx.commit().expect("link");
+    }
+    let fs = sys.fs(SRV).expect("fs");
+    let elapsed = run_threads(threads, |t| {
+        for _ in 0..cycles {
+            let (_, tp) = sys
+                .select_datalink(TABLE, &Value::Int(t as i64), "body", TokenKind::Write)
+                .expect("select");
+            let fd = fs.open(&APP, &tp, OpenOptions::write_truncate()).expect("open");
+            fs.write(fd, &content).expect("write");
+            fs.close(fd).expect("close");
+        }
+    });
+    ((threads * cycles) as f64 / elapsed.as_secs_f64(), sys.metrics())
+}
+
+fn sharding(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
+    let mut rows = Vec::new();
+    let mut metrics = BTreeMap::new();
+    let mut snap_all = Snapshot::default();
+    let mut baseline_rate = 0.0f64;
+    let p0 = &plan.trials[0].params;
+    let (title_threads, title_cycles, title_sync) =
+        (p0.threads.unwrap_or(8), p0.cycles.unwrap_or(8), p0.sync_latency_us.unwrap_or(0));
+    for trials in per_variant(sc, plan) {
+        let t0 = &trials[0];
+        let p = &t0.params;
+        let shards = need(sc, t0, "shards", p.shards)? as usize;
+        let threads = need(sc, t0, "threads", p.threads)? as usize;
+        let cycles = need(sc, t0, "cycles", p.cycles)? as usize;
+        let file_size = p.file_size.unwrap_or(1024) as usize;
+        let sync_ns = p.sync_latency_us.unwrap_or(0) * 1000;
+        let (mut rate_sum, mut busy_min) = (0.0f64, u64::MAX);
+        for _ in &trials {
+            let (rate, snap) = sharded_stack_rate(shards, threads, cycles, file_size, sync_ns);
+            rate_sum += rate;
+            // Fan-out proof off the registry: every shard node's DLFS must
+            // have served managed opens (the unsharded arm keeps the
+            // logical node name, shard nodes register as `<srv>.s<i>`).
+            let busy = (0..shards)
+                .filter(|&i| {
+                    let node =
+                        if shards > 1 { ShardRouter::shard_name(SRV, i) } else { SRV.to_string() };
+                    snap.counters.get(&format!("dlfs.{node}.managed_opens")).is_some_and(|&c| c > 0)
+                })
+                .count() as u64;
+            busy_min = busy_min.min(busy);
+            snap_all.merge(&snap);
+        }
+        let rate = rate_sum / trials.len() as f64;
+        if rows.is_empty() {
+            baseline_rate = rate;
+        }
+        metrics.insert(format!("write_rate_s{shards}"), rate);
+        metrics.insert(format!("write_speedup_s{shards}"), rate / baseline_rate);
+        metrics.insert(format!("busy_shards_s{shards}"), busy_min as f64);
+        rows.push(vec![
+            t0.variant.clone(),
+            s(shards),
+            s(format!("{rate:.0}")),
+            s(format!("{:.2}x", rate / baseline_rate)),
+            s(busy_min),
+        ]);
+    }
+    // Every exported registry metric — per-shard router counters included
+    // (`engine_shard_srv1_s0_routed`, ...) — is assertable by its
+    // flattened name; the engine-level names above win any collision.
+    for (name, v) in snap_all.flatten() {
+        metrics.entry(name).or_insert(v);
+    }
+    Ok(ScenarioRun {
+        table: Table {
+            id: sc.name.clone(),
+            title: format!(
+                "sharded write scale-out: update cycles/s vs shard count \
+                 ({title_threads} writers x {title_cycles} cycles, per-commit sync, \
+                 {title_sync} µs device sync)"
+            ),
+            header: vec![
+                s("shards"),
+                s("shard nodes"),
+                s("write cyc/s"),
+                s("speedup vs 1 shard"),
+                s("busy shards"),
             ],
             rows,
             notes: Vec::new(),

@@ -32,6 +32,10 @@ pub struct Fixture {
     pub sys: DataLinksSystem,
     pub paths: Vec<String>,
     pub urls: Vec<String>,
+    /// The host database's storage environment — kept so fault scenarios
+    /// can arm crash-boundary faults (torn WAL tails) on the *host* side,
+    /// not just the repository side.
+    pub host_env: StorageEnv,
 }
 
 /// Options for building a fixture.
@@ -102,6 +106,19 @@ pub fn fixture_with_fault(
     fault: Option<FaultInjector>,
     repo_faults: Option<std::sync::Arc<dl_minidb::DiskFaults>>,
 ) -> Fixture {
+    fixture_with_faults(opts, fault, repo_faults, None)
+}
+
+/// [`fixture_with_fault`] with one more fault surface: a
+/// [`dl_minidb::DiskFaults`] layer under the *host database's* storage
+/// environment, so lab scenarios can exhaust or shear the coordinator's
+/// WAL rather than the repository's.
+pub fn fixture_with_faults(
+    opts: FixtureOptions,
+    fault: Option<FaultInjector>,
+    repo_faults: Option<std::sync::Arc<dl_minidb::DiskFaults>>,
+    host_faults: Option<std::sync::Arc<dl_minidb::DiskFaults>>,
+) -> Fixture {
     let mut dlfm = DlfmConfig::new(SRV);
     dlfm.sync_archive = opts.sync_archive;
     dlfm.track_read_sync = opts.track_read_sync;
@@ -132,9 +149,16 @@ pub fn fixture_with_fault(
         repo_env,
         replicas: opts.replicas,
         upcall_fault: fault,
+        shards: 1,
+    };
+    let host_env = match &host_faults {
+        Some(faults) => {
+            StorageEnv::mem_with_faults(std::sync::Arc::clone(faults), opts.db_sync_latency_ns)
+        }
+        None => mem_env(),
     };
     let sys = SystemBuilder::new()
-        .host_env(mem_env())
+        .host_env(host_env.clone())
         .host_db_opts(opts.db)
         .host_replicas(opts.host_replicas)
         .file_server_with(spec)
@@ -179,7 +203,7 @@ pub fn fixture_with_fault(
         paths.push(path);
         urls.push(url);
     }
-    Fixture { sys, paths, urls }
+    Fixture { sys, paths, urls, host_env }
 }
 
 /// Deterministic pseudo-random content of `size` bytes.

@@ -27,6 +27,7 @@ use dl_repl::ReplicaSet;
 use parking_lot::{Mutex, RwLock};
 
 use crate::datalink::{DatalinkUrl, DlColumnOptions};
+use crate::shard::ShardRouter;
 
 /// System table holding per-file metadata (§4.3).
 pub const META_TABLE: &str = "__dl_meta";
@@ -185,6 +186,11 @@ pub struct DataLinksEngine {
     /// the new primary's standbys start from the learned bound, not the
     /// conservative seed.
     lag_ewmas: RwLock<HashMap<String, Arc<LagEwma>>>,
+    /// Shard routers of *logical* servers whose namespace is partitioned
+    /// across several registered shard nodes. A DATALINK URL names the
+    /// logical server; the router resolves it (plus the file path) to the
+    /// shard registration that owns the link.
+    routers: RwLock<HashMap<String, Arc<ShardRouter>>>,
     /// Coordinator-side trace ring: the DML interception and metadata
     /// commits that open/close each 2PC cycle (the DLFM servers record the
     /// participant side into their own rings).
@@ -205,6 +211,7 @@ impl DataLinksEngine {
             columns: RwLock::new(HashMap::new()),
             read_lanes: RwLock::new(HashMap::new()),
             lag_ewmas: RwLock::new(HashMap::new()),
+            routers: RwLock::new(HashMap::new()),
             recorder: Arc::new(dl_obs::FlightRecorder::new(256)),
             stats: EngineStats::default(),
         });
@@ -287,6 +294,41 @@ impl DataLinksEngine {
         self.servers.write().insert(reg.name.clone(), reg);
     }
 
+    /// Registers the shard router of a partitioned logical server.
+    /// Traffic addressed to `router.logical()` resolves per path to one of
+    /// the shard registrations (which register under their shard names via
+    /// [`DataLinksEngine::register_server`] as usual).
+    pub fn register_router(&self, router: Arc<ShardRouter>) {
+        self.routers.write().insert(router.logical().to_string(), router);
+    }
+
+    /// Resolves `server` (possibly a sharded logical name) plus the file
+    /// `path` to the owning registration. `dml` marks a link/unlink
+    /// routing decision, which the router counts for the
+    /// `engine.shard.*.routed` metrics — token generation and reads
+    /// resolve silently.
+    fn resolve<'a>(
+        &self,
+        servers: &'a HashMap<String, ServerRegistration>,
+        server: &str,
+        path: &str,
+        dml: bool,
+    ) -> Result<&'a ServerRegistration, String> {
+        if let Some(reg) = servers.get(server) {
+            return Ok(reg);
+        }
+        let routers = self.routers.read();
+        let Some(router) = routers.get(server) else {
+            return Err(format!("unknown file server {server}"));
+        };
+        let shard = if dml {
+            router.route(path).to_string()
+        } else {
+            router.name_of(router.shard_of(path)).to_string()
+        };
+        servers.get(&shard).ok_or_else(|| format!("shard {shard} of {server} is not registered"))
+    }
+
     /// The adaptive freshness-wait bound currently in force for `server`
     /// (see [`LagEwma`]); `FRESHNESS_WAIT` when the server is unknown.
     pub fn freshness_bound(&self, server: &str) -> std::time::Duration {
@@ -353,11 +395,16 @@ impl DataLinksEngine {
         fetch: bool,
         min_lsn: Option<Lsn>,
     ) -> Result<(TokenKind, Option<Vec<u8>>), String> {
-        let (mut replica, primary) = {
+        let (mut replica, primary, node) = {
             let servers = self.servers.read();
-            let reg = servers.get(server).ok_or_else(|| format!("unknown file server {server}"))?;
-            (reg.replication.as_ref().map(|set| Arc::clone(set.pick())), Arc::clone(&reg.server))
+            let reg = self.resolve(&servers, server, path, false)?;
+            (
+                reg.replication.as_ref().map(|set| Arc::clone(set.pick())),
+                Arc::clone(&reg.server),
+                reg.name.clone(),
+            )
         };
+        let node = node.as_str();
         // Read-your-writes: a standby that cannot reach the caller's write
         // LSN within the wait window is dropped from this read — the
         // primary (trivially fresh) serves it instead. The window follows
@@ -365,7 +412,7 @@ impl DataLinksEngine {
         // the floor, a stalled one backs off to the `FRESHNESS_WAIT`
         // ceiling — PR 4's fixed behaviour.
         if let (Some(standby), Some(min)) = (&replica, min_lsn) {
-            let ewma = self.lag_ewmas.read().get(server).cloned().unwrap_or_default();
+            let ewma = self.lag_ewmas.read().get(node).cloned().unwrap_or_default();
             let bound = ewma.bound();
             let started = std::time::Instant::now();
             if standby.wait_applied(min, bound) {
@@ -408,7 +455,7 @@ impl DataLinksEngine {
                 // unserialized on both arms, so the a10 replica-count
                 // sweep compares equal per-node work.
                 let kind = {
-                    let lane = self.read_lanes.read().get(server).cloned();
+                    let lane = self.read_lanes.read().get(node).cloned();
                     let _permit = lane.as_ref().map(|l| l.acquire());
                     primary.validate_token(path, token, uid)?
                 };
@@ -487,9 +534,10 @@ impl DataLinksEngine {
         ttl_ms: u64,
     ) -> Result<String, String> {
         let servers = self.servers.read();
-        let reg = servers
-            .get(&url.server)
-            .ok_or_else(|| format!("unknown file server {}", url.server))?;
+        let reg = self.resolve(&servers, &url.server, &url.path, false)?;
+        // The token is signed with the *logical* server name — every shard
+        // of a partitioned server validates under that name with the same
+        // shared secret, so routing never invalidates a token.
         let token = AccessToken::generate(
             &reg.token_key,
             &url.server,
@@ -538,20 +586,22 @@ impl DmlObserver for DataLinksEngine {
 
             let servers = self.servers.read();
             if let Some(url) = old_url {
-                let reg = servers
-                    .get(&url.server)
-                    .ok_or_else(|| format!("unknown file server {}", url.server))?;
+                let reg = self.resolve(&servers, &url.server, &url.path, true)?;
                 self.recorder.record(
                     "engine.host",
                     "dml",
                     event.txid,
                     &url.path,
-                    format!("unlink server={}", url.server),
+                    format!("unlink server={}", reg.name),
                 );
                 reg.agent.unlink(event.txid, &url.path)?;
+                // Enlisted under the *shard* name: a transaction touching
+                // files on several shards holds one participant per shard
+                // (the host dedupes by name), so prepare-all/decide-all
+                // fans out across exactly the shards it touched.
                 db.enlist_participant(
                     event.txid,
-                    &format!("dlfm@{}", url.server),
+                    &format!("dlfm@{}", reg.name),
                     Arc::new(reg.agent.clone()),
                 );
                 db.inject_dml(
@@ -564,20 +614,18 @@ impl DmlObserver for DataLinksEngine {
                 self.stats.unlinks.inc();
             }
             if let Some(url) = new_url {
-                let reg = servers
-                    .get(&url.server)
-                    .ok_or_else(|| format!("unknown file server {}", url.server))?;
+                let reg = self.resolve(&servers, &url.server, &url.path, true)?;
                 self.recorder.record(
                     "engine.host",
                     "dml",
                     event.txid,
                     &url.path,
-                    format!("link server={} mode={:?}", url.server, opts.mode),
+                    format!("link server={} mode={:?}", reg.name, opts.mode),
                 );
                 reg.agent.link(event.txid, &url.path, opts.mode, opts.recovery, opts.on_unlink)?;
                 db.enlist_participant(
                     event.txid,
-                    &format!("dlfm@{}", url.server),
+                    &format!("dlfm@{}", reg.name),
                     Arc::new(reg.agent.clone()),
                 );
                 let (size, mtime) = reg.server.stat_file(&url.path).unwrap_or((0, 0));

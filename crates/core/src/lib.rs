@@ -74,6 +74,7 @@
 
 pub mod datalink;
 pub mod engine;
+pub mod shard;
 pub mod system;
 
 pub use datalink::{DatalinkUrl, DlColumnOptions, SCHEME};
@@ -81,6 +82,7 @@ pub use engine::{
     DataLinksEngine, EngineStats, LagEwma, ServerRegistration, COLUMNS_TABLE, FRESHNESS_WAIT,
     FRESHNESS_WAIT_FLOOR, META_TABLE,
 };
+pub use shard::{ShardRouter, ShardedFs};
 pub use system::{
     CrashImage, DataLinksSystem, FileServerNode, FileServerSpec, HostFailoverReport, SystemBackup,
     SystemBuilder, SystemRestoreReport,

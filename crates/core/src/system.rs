@@ -38,6 +38,7 @@ use parking_lot::Mutex;
 
 use crate::datalink::{DatalinkUrl, DlColumnOptions};
 use crate::engine::{DataLinksEngine, ServerRegistration, META_TABLE};
+use crate::shard::{ShardRouter, ShardedFs};
 
 /// Everything one file-server node runs (Figure 1, right-hand side).
 pub struct FileServerNode {
@@ -59,6 +60,9 @@ pub struct FileServerNode {
     dlfs_cfg: DlfsConfig,
     replicas: usize,
     upcall_fault: Option<FaultInjector>,
+    /// `(logical, idx, count)` when this node is one shard of a
+    /// partitioned logical server; `None` for a plain node.
+    shard: Option<(String, usize, usize)>,
     main: MainDaemon,
     upcall: UpcallDaemon,
 }
@@ -79,6 +83,16 @@ impl FileServerNode {
     /// executor thread gauges).
     pub fn main_daemon(&self) -> &MainDaemon {
         &self.main
+    }
+
+    /// Blocks until the node's upcall pool drains and every worker parks
+    /// (or `timeout` elapses); returns whether it went idle. Test/bench
+    /// helper: a panicking upcall delivers its failure to the waiting
+    /// client *before* the worker finishes unwinding, so a metrics
+    /// snapshot taken the moment the client returns can read the pool's
+    /// panic counter one short.
+    pub fn quiesce_upcalls(&self, timeout: Duration) -> bool {
+        self.upcall.wait_idle(timeout)
     }
 }
 
@@ -107,6 +121,16 @@ pub struct FileServerSpec {
     /// default) runs the daemon unhooked; the scenario lab arms this for
     /// kill-an-upcall-worker injections.
     pub upcall_fault: Option<FaultInjector>,
+    /// Number of shard nodes this *logical* server's namespace is
+    /// partitioned across. 1 (the default) builds the classic single
+    /// node. With `n > 1`, the builder expands the spec into `n` full
+    /// DLFM/DLFS nodes named `<name>.s0 .. <name>.s{n-1}`, all
+    /// interposed on one shared physical file system; a [`ShardRouter`]
+    /// hashes each file path to its owning shard and the engine fans 2PC
+    /// out across exactly the shards a transaction touches. Each shard
+    /// keeps its own repository, archive store and (with
+    /// [`FileServerSpec::replicas`]) its own standbys.
+    pub shards: usize,
 }
 
 impl FileServerSpec {
@@ -119,12 +143,20 @@ impl FileServerSpec {
             repo_env: StorageEnv::mem(),
             replicas: 0,
             upcall_fault: None,
+            shards: 1,
         }
     }
 
     /// Provisions `n` hot standbys for this file server.
     pub fn replicas(mut self, n: usize) -> FileServerSpec {
         self.replicas = n;
+        self
+    }
+
+    /// Partitions this server's namespace across `n` shard nodes (see
+    /// [`FileServerSpec::shards`]).
+    pub fn shards(mut self, n: usize) -> FileServerSpec {
+        self.shards = n.max(1);
         self
     }
 
@@ -210,16 +242,44 @@ impl SystemBuilder {
         let mut parts = Vec::new();
         for spec in self.servers {
             let fs = Arc::new(MemFs::with_clock(Arc::clone(&self.clock)).with_io_model(spec.io));
-            parts.push(NodeParts {
-                name: spec.name,
-                fs,
-                repo_env: spec.repo_env,
-                archive: Arc::new(ArchiveStore::new()),
-                dlfm_cfg: spec.dlfm,
-                dlfs_cfg: spec.dlfs,
-                replicas: spec.replicas,
-                upcall_fault: spec.upcall_fault,
-            });
+            if spec.shards <= 1 {
+                parts.push(NodeParts {
+                    name: spec.name,
+                    fs,
+                    repo_env: spec.repo_env,
+                    archive: Arc::new(ArchiveStore::new()),
+                    dlfm_cfg: spec.dlfm,
+                    dlfs_cfg: spec.dlfs,
+                    replicas: spec.replicas,
+                    upcall_fault: spec.upcall_fault,
+                    shard: None,
+                });
+                continue;
+            }
+            // One logical server over N shard nodes: every shard
+            // interposes on the same physical file system but runs its own
+            // repository, archive store and standbys. The shard's DLFM
+            // keeps the *logical* server name (tokens are signed and
+            // validated under it); the node registers everywhere else —
+            // engine, 2PC participant keys, metrics — under its shard name.
+            for i in 0..spec.shards {
+                let repo_env = if i == 0 {
+                    spec.repo_env.clone()
+                } else {
+                    StorageEnv::mem_with_sync_latency(spec.repo_env.sync_latency_ns())
+                };
+                parts.push(NodeParts {
+                    name: ShardRouter::shard_name(&spec.name, i),
+                    fs: Arc::clone(&fs),
+                    repo_env,
+                    archive: Arc::new(ArchiveStore::new()),
+                    dlfm_cfg: spec.dlfm.clone(),
+                    dlfs_cfg: spec.dlfs,
+                    replicas: spec.replicas,
+                    upcall_fault: spec.upcall_fault.clone(),
+                    shard: Some((spec.name.clone(), i, spec.shards)),
+                });
+            }
         }
         DataLinksSystem::assemble(
             self.host_env,
@@ -255,6 +315,10 @@ struct NodeParts {
     /// Upcall fault-injection hook; re-installed on every rebuild so an
     /// armed injector keeps firing across crash recovery and failover.
     upcall_fault: Option<FaultInjector>,
+    /// `(logical, idx, count)` when this node is one shard of a
+    /// partitioned logical server; recovery rebuilds the router and the
+    /// sharded front from this.
+    shard: Option<(String, usize, usize)>,
 }
 
 /// What survives a simulated whole-system crash: the disks.
@@ -347,6 +411,15 @@ pub struct DataLinksSystem {
     /// Current coordinator generation (the host fence epoch).
     coord_epoch: u64,
     nodes: HashMap<String, FileServerNode>,
+    /// Shard routers of logical servers built with
+    /// [`FileServerSpec::shards`], keyed by logical name.
+    routers: HashMap<String, Arc<ShardRouter>>,
+    /// Application-facing sharded fronts (one namespace over all shards),
+    /// keyed by logical name.
+    shard_fronts: HashMap<String, Arc<Lfs>>,
+    /// The sharded-front file systems themselves, for swapping a promoted
+    /// shard's DLFS layer in after [`DataLinksSystem::fail_over`].
+    sharded: HashMap<String, Arc<ShardedFs>>,
     /// The unified telemetry registry: every layer's counters, gauges and
     /// histograms under dotted names (`minidb.*`, `repl.*`, `dlfm.*`,
     /// `dlfs.*`, `engine.*`, `fskit.*`, `system.*`, `pool.*`).
@@ -402,6 +475,44 @@ impl DataLinksSystem {
             }
             nodes.insert(name, node);
         }
+
+        // Group shard nodes back under their logical servers: build the
+        // router and the sharded front, and register the router with the
+        // engine so DML/token/read traffic addressed to the logical name
+        // resolves per path to the owning shard.
+        let mut shard_counts: HashMap<String, usize> = HashMap::new();
+        for node in nodes.values() {
+            if let Some((logical, _, count)) = &node.shard {
+                shard_counts.insert(logical.clone(), *count);
+            }
+        }
+        let mut routers = HashMap::new();
+        let mut shard_fronts = HashMap::new();
+        let mut sharded = HashMap::new();
+        for (logical, count) in shard_counts {
+            let router = Arc::new(ShardRouter::new(&logical, count));
+            let mut dlfs_shards = Vec::with_capacity(count);
+            for i in 0..count {
+                let shard = nodes
+                    .get(&ShardRouter::shard_name(&logical, i))
+                    .ok_or_else(|| format!("missing shard {i} of {logical}"))?;
+                dlfs_shards.push(Arc::clone(&shard.dlfs));
+            }
+            let fs = Arc::clone(&nodes[&ShardRouter::shard_name(&logical, 0)].fs);
+            let front = Arc::new(ShardedFs::new(
+                fs as Arc<dyn FileSystem>,
+                dlfs_shards,
+                Arc::clone(&router),
+            ));
+            engine.register_router(Arc::clone(&router));
+            shard_fronts.insert(
+                logical.clone(),
+                Arc::new(Lfs::new(Arc::clone(&front) as Arc<dyn FileSystem>)),
+            );
+            sharded.insert(logical.clone(), front);
+            routers.insert(logical, router);
+        }
+
         let registry = Arc::new(Registry::new());
         // Pre-create the system-wide failover counters so assertions can
         // reference them by name before the first failover happens.
@@ -418,6 +529,9 @@ impl DataLinksSystem {
             host_outage: None,
             coord_epoch,
             nodes,
+            routers,
+            shard_fronts,
+            sharded,
             registry,
             last_flight_dump: Mutex::new(None),
         };
@@ -483,7 +597,10 @@ impl DataLinksSystem {
                 server.repository().db().replication_feed(),
                 ReplicaSetOptions {
                     replicas: part.replicas,
-                    server_name: part.name.clone(),
+                    // The *logical* server name (== the node name except
+                    // for shard nodes): standbys validate tokens, and
+                    // tokens are signed under the logical name.
+                    server_name: part.dlfm_cfg.server_name.clone(),
                     token_key: part.dlfm_cfg.token_key.clone(),
                     sync_latency_ns: part.repo_env.sync_latency_ns(),
                     clock: Arc::clone(clock),
@@ -521,6 +638,7 @@ impl DataLinksSystem {
                 dlfs_cfg: part.dlfs_cfg,
                 replicas: part.replicas,
                 upcall_fault: part.upcall_fault,
+                shard: part.shard,
                 main,
                 upcall,
             },
@@ -550,20 +668,48 @@ impl DataLinksSystem {
         self.nodes.get(name).ok_or_else(|| format!("unknown file server {name}"))
     }
 
-    /// Application-facing file system of a node (mounted over DLFS).
+    /// Application-facing file system of a node (mounted over DLFS). For a
+    /// sharded logical server this is the sharded front: one namespace,
+    /// with every operation routed to the owning shard's DLFS.
     pub fn fs(&self, name: &str) -> Result<Arc<Lfs>, String> {
+        if let Some(front) = self.shard_fronts.get(name) {
+            return Ok(Arc::clone(front));
+        }
         Ok(Arc::clone(&self.node(name)?.lfs))
     }
 
-    /// Raw (root) file system of a node for fixtures and admin tasks.
+    /// Raw (root) file system of a node for fixtures and admin tasks. For
+    /// a sharded logical server all shards interpose on one physical file
+    /// system, so any shard's raw handle is *the* raw handle.
     pub fn raw_fs(&self, name: &str) -> Result<Arc<Lfs>, String> {
+        if self.routers.contains_key(name) {
+            return Ok(Arc::clone(&self.node(&ShardRouter::shard_name(name, 0))?.raw));
+        }
         Ok(Arc::clone(&self.node(name)?.raw))
+    }
+
+    /// The shard router of a logical server built with
+    /// [`FileServerSpec::shards`], if any.
+    pub fn shard_router(&self, logical: &str) -> Option<&Arc<ShardRouter>> {
+        self.routers.get(logical)
     }
 
     pub fn server_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.nodes.keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// The node names `server` stands for: itself for a plain node, the
+    /// shard nodes (in shard order) for a sharded logical server.
+    fn member_names(&self, server: &str) -> Result<Vec<String>, String> {
+        if self.nodes.contains_key(server) {
+            Ok(vec![server.to_string()])
+        } else if let Some(router) = self.routers.get(server) {
+            Ok(router.names().to_vec())
+        } else {
+            Err(format!("unknown file server {server}"))
+        }
     }
 
     /// Current database state identifier (§4.4).
@@ -593,6 +739,15 @@ impl DataLinksSystem {
     /// exposition.
     pub fn metrics_text(&self) -> String {
         self.metrics().render_text()
+    }
+
+    /// [`FileServerNode::quiesce_upcalls`] across every node; returns
+    /// whether all upcall pools went idle within their window. Call
+    /// before snapshotting metrics whose value a just-delivered upcall
+    /// failure may still be about to bump (the pool counts a contained
+    /// panic only after the worker finishes unwinding).
+    pub fn quiesce_upcalls(&self, timeout: Duration) -> bool {
+        self.nodes.values().all(|n| n.quiesce_upcalls(timeout))
     }
 
     /// The most recent flight-recorder dump (taken on `crash`, `fail_over`
@@ -644,6 +799,18 @@ impl DataLinksSystem {
         registry.register_histogram_fn("engine.freshness_wait_ns", move || {
             e.stats.freshness_wait_ns.snapshot()
         });
+
+        // Per-shard routing decisions of every sharded logical server —
+        // the balance evidence the a13 scenario and the routing/metrics
+        // agreement proptest assert on.
+        for (logical, router) in &self.routers {
+            for i in 0..router.shard_count() {
+                let r = Arc::clone(router);
+                registry.register_counter_fn(&format!("engine.shard.{logical}.s{i}.routed"), {
+                    move || r.routed(i)
+                });
+            }
+        }
 
         if let Some(set) = &self.host_replication {
             Self::register_repl_metrics(registry, "host", set.stats(), {
@@ -843,35 +1010,52 @@ impl DataLinksSystem {
     // --- replication & failover -------------------------------------------------
 
     /// Bytes of primary repository WAL not yet applied by the slowest
-    /// standby of `server`; zero when unreplicated.
+    /// standby of `server` (the slowest across all shards for a sharded
+    /// logical server); zero when unreplicated.
     pub fn replication_lag(&self, server: &str) -> Result<u64, String> {
-        Ok(self.node(server)?.replication.as_ref().map(|r| r.lag()).unwrap_or(0))
+        let mut worst = 0;
+        for name in self.member_names(server)? {
+            let lag = self.node(&name)?.replication.as_ref().map(|r| r.lag()).unwrap_or(0);
+            worst = worst.max(lag);
+        }
+        Ok(worst)
     }
 
-    /// Drives shipping until `server`'s standbys hold everything durable on
-    /// the primary (trivially true unreplicated). Returns whether the lag
-    /// drained within `timeout`.
+    /// Drives shipping until `server`'s standbys (every shard's, for a
+    /// sharded logical server) hold everything durable on the primary
+    /// (trivially true unreplicated). Returns whether the lag drained
+    /// within `timeout`.
     pub fn wait_replicas_caught_up(&self, server: &str, timeout: Duration) -> Result<bool, String> {
-        Ok(self
-            .node(server)?
-            .replication
-            .as_ref()
-            .map(|r| r.wait_caught_up(timeout))
-            .unwrap_or(true))
+        let mut all = true;
+        for name in self.member_names(server)? {
+            all &= self
+                .node(&name)?
+                .replication
+                .as_ref()
+                .map(|r| r.wait_caught_up(timeout))
+                .unwrap_or(true);
+        }
+        Ok(all)
     }
 
     /// Pauses (or resumes) WAL shipping to `server`'s standbys — the
     /// slow/stalled-standby fault the scenario lab injects. While paused
     /// the standbys lag; routed reads still serve their (stale) applied
     /// state, and freshness-token reads fall back to the primary once the
-    /// catch-up wait expires. Errors when `server` is unreplicated.
+    /// catch-up wait expires. Errors when `server` is unreplicated. For a
+    /// sharded logical server, pauses every shard's shipping.
     pub fn set_replication_paused(&self, server: &str, paused: bool) -> Result<(), String> {
-        match &self.node(server)?.replication {
-            Some(r) => {
+        let mut any = false;
+        for name in self.member_names(server)? {
+            if let Some(r) = &self.node(&name)?.replication {
                 r.set_paused(paused);
-                Ok(())
+                any = true;
             }
-            None => Err(format!("file server {server} has no replicas to pause")),
+        }
+        if any {
+            Ok(())
+        } else {
+            Err(format!("file server {server} has no replicas to pause"))
         }
     }
 
@@ -904,6 +1088,18 @@ impl DataLinksSystem {
     /// routes. Cheap: one atomic load, no I/O.
     pub fn freshness_token(&self, server: &str) -> Result<Lsn, String> {
         Ok(self.node(server)?.server.repository().db().durable_lsn())
+    }
+
+    /// [`DataLinksSystem::freshness_token`] for a sharded logical server:
+    /// each shard has its own repository — its own LSN domain — so the
+    /// token must come from the shard owning `path`. Equivalent to
+    /// `freshness_token(server)` for a plain node.
+    pub fn freshness_token_for(&self, server: &str, path: &str) -> Result<Lsn, String> {
+        let name = match self.routers.get(server) {
+            Some(router) => router.name_of(router.shard_of(path)).to_string(),
+            None => server.to_string(),
+        };
+        self.freshness_token(&name)
     }
 
     /// [`DataLinksSystem::serve_read`] with read-your-writes: the routed
@@ -974,6 +1170,7 @@ impl DataLinksSystem {
             dlfs_cfg,
             replicas,
             upcall_fault,
+            shard,
             server: old_server,
             ..
         } = node;
@@ -991,11 +1188,19 @@ impl DataLinksSystem {
             // from the new primary's log.
             replicas: replicas.saturating_sub(1),
             upcall_fault: upcall_fault.clone(),
+            shard: shard.clone(),
         };
         match Self::build_node(&self.engine, &self.clock, parts, true, self.coord_epoch) {
             Ok((new_node, report)) => {
                 Self::register_node_metrics(&self.registry, &new_node);
                 self.registry.counter("system.failovers").inc();
+                // A shard node's promoted DLFS must replace the dead one
+                // inside the logical server's sharded front.
+                if let Some((logical, idx, _)) = &new_node.shard {
+                    if let Some(front) = self.sharded.get(logical) {
+                        front.replace_shard(*idx, Arc::clone(&new_node.dlfs));
+                    }
+                }
                 self.nodes.insert(server.to_string(), new_node);
                 Ok(report.expect("promotion runs recovery"))
             }
@@ -1012,6 +1217,7 @@ impl DataLinksSystem {
                     dlfs_cfg,
                     replicas,
                     upcall_fault,
+                    shard,
                 };
                 let (old_node, _) =
                     Self::build_node(&self.engine, &self.clock, fallback, true, self.coord_epoch)
@@ -1022,6 +1228,11 @@ impl DataLinksSystem {
                         )
                     })?;
                 Self::register_node_metrics(&self.registry, &old_node);
+                if let Some((logical, idx, _)) = &old_node.shard {
+                    if let Some(front) = self.sharded.get(logical) {
+                        front.replace_shard(*idx, Arc::clone(&old_node.dlfs));
+                    }
+                }
                 self.nodes.insert(server.to_string(), old_node);
                 Err(format!(
                     "promotion failed: {promote_err}; crashed primary recovered in its place"
@@ -1124,6 +1335,10 @@ impl DataLinksSystem {
         db.checkpoint_and_truncate().map_err(|e| format!("promoted host checkpoint: {e}"))?;
         let engine = DataLinksEngine::install(db.clone(), Arc::clone(&self.clock))
             .map_err(|e| format!("promoted host engine install: {e}"))?;
+        // The promoted engine must keep resolving sharded logical names.
+        for router in self.routers.values() {
+            engine.register_router(Arc::clone(router));
+        }
 
         // One standby became the host; re-provision the rest fresh from
         // the new host's log, under the promoted generation so a second
@@ -1280,6 +1495,9 @@ impl DataLinksSystem {
             host_outage,
             coord_epoch,
             nodes,
+            routers: _,
+            shard_fronts: _,
+            sharded: _,
             registry: _,
             last_flight_dump: _,
         } = self;
@@ -1323,6 +1541,7 @@ impl DataLinksSystem {
                 dlfs_cfg: node.dlfs_cfg,
                 replicas: node.replicas,
                 upcall_fault: node.upcall_fault,
+                shard: node.shard,
             });
         }
         CrashImage {
@@ -1404,16 +1623,23 @@ impl DataLinksSystem {
     fn reconcile_files_with_metadata(&self) -> Result<SystemRestoreReport, String> {
         let mut report = SystemRestoreReport::default();
 
-        // Desired state per server from the restored metadata.
+        // Desired state per *node* from the restored metadata — a sharded
+        // logical server's URLs resolve to the shard owning each path.
         let mut desired: HashMap<String, HashMap<String, u64>> = HashMap::new();
         for row in self.db.scan_committed(META_TABLE).map_err(|e| e.to_string())? {
             let url = DatalinkUrl::parse(row[0].as_text().unwrap_or_default())?;
             let version = row[3].as_int().unwrap_or(1) as u64;
-            desired.entry(url.server).or_default().insert(url.path, version);
+            let owner = match self.routers.get(&url.server) {
+                Some(router) => router.name_of(router.shard_of(&url.path)).to_string(),
+                None => url.server,
+            };
+            desired.entry(owner).or_default().insert(url.path, version);
         }
 
         for (name, node) in &self.nodes {
             let want = desired.remove(name).unwrap_or_default();
+            // Row URLs name the logical server; shard nodes re-link under it.
+            let url_server = node.shard.as_ref().map(|(l, _, _)| l.as_str()).unwrap_or(name);
 
             // Re-link files the restored database references but the
             // repository no longer knows (unlinked after the restore point).
@@ -1424,7 +1650,7 @@ impl DataLinksSystem {
                     continue;
                 }
                 let (mode, recovery, on_unlink) = self
-                    .column_options_for_url(&DatalinkUrl::new(name, path)?)
+                    .column_options_for_url(&DatalinkUrl::new(url_server, path)?)
                     .map(|o| (o.mode, o.recovery, o.on_unlink))
                     .unwrap_or((dl_dlfm::ControlMode::Rff, true, dl_dlfm::OnUnlink::Restore));
                 let txid = u64::MAX - report.files_relinked; // synthetic restore txn

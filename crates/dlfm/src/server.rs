@@ -75,6 +75,12 @@ pub struct DlfmConfig {
     /// fan-out experiments compare equal per-node capacity; scale it with
     /// the upcall pool bounds when the front end is provisioned wider.
     pub read_lane_width: usize,
+    /// Capacity of the server's flight-recorder ring (span events retained
+    /// for the crash/failover dump). An undersized ring still keeps the
+    /// *most recent* events — the fenced decides of an in-doubt
+    /// resolution survive even when the burst that led up to them has
+    /// been evicted.
+    pub flight_ring_capacity: usize,
 }
 
 impl DlfmConfig {
@@ -93,7 +99,15 @@ impl DlfmConfig {
             thread_per_agent: false,
             agent_executor_threads: 16,
             read_lane_width: 1,
+            flight_ring_capacity: 256,
         }
+    }
+
+    /// Sets the flight-recorder ring capacity (see
+    /// [`DlfmConfig::flight_ring_capacity`]).
+    pub fn flight_ring(mut self, capacity: usize) -> DlfmConfig {
+        self.flight_ring_capacity = capacity;
+        self
     }
 
     /// Pins the upcall pool at exactly `n` workers (min == max — the
@@ -306,6 +320,7 @@ impl DlfmServer {
             });
         let archiver = Archiver::spawn_with(Arc::clone(&archive), Some(source), Some(on_complete));
         let flight_source = format!("dlfm.{}", cfg.server_name);
+        let flight_ring_capacity = cfg.flight_ring_capacity;
         Ok(DlfmServer {
             cfg,
             repo,
@@ -317,7 +332,7 @@ impl DlfmServer {
             pending: Mutex::new(HashMap::new()),
             sync_epoch,
             coord_fence: AtomicU64::new(0),
-            recorder: Arc::new(dl_obs::FlightRecorder::new(256)),
+            recorder: Arc::new(dl_obs::FlightRecorder::new(flight_ring_capacity)),
             flight_source,
             stats: DlfmStats::default(),
         })

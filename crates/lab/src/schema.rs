@@ -48,6 +48,8 @@ pub enum Kind {
     FrontEnd,
     /// The generic client-mix engine with fault injection points.
     Mixed,
+    /// Write-cycle scale-out across DLFM namespace shards (the a13 shape).
+    Sharding,
 }
 
 impl Kind {
@@ -58,6 +60,7 @@ impl Kind {
             "checkpoint_shipping" => Kind::CheckpointShipping,
             "front_end" => Kind::FrontEnd,
             "mixed" => Kind::Mixed,
+            "sharding" => Kind::Sharding,
             _ => return None,
         })
     }
@@ -70,6 +73,7 @@ impl Kind {
             Kind::CheckpointShipping => "checkpoint_shipping",
             Kind::FrontEnd => "front_end",
             Kind::Mixed => "mixed",
+            Kind::Sharding => "sharding",
         }
     }
 }
@@ -108,10 +112,17 @@ pub enum InjectAction {
     /// Crash the host database (the 2PC coordinator) and fail over to a
     /// promoted host standby, exercising the fenced outage window.
     CrashHost,
-    /// Inject a disk-full fault into the primary DLFM repository: the next
-    /// `writes` repository writes fail with ENOSPC, then the disk "frees
-    /// up" and writes succeed again.
-    DiskEnospc { writes: u64 },
+    /// Inject a disk-full fault: the next `writes` writes against the
+    /// targeted storage environment fail with ENOSPC, then the disk
+    /// "frees up" and writes succeed again. `host` targets the host
+    /// database's environment (the coordinator's WAL); the default
+    /// targets the primary DLFM repository.
+    DiskEnospc { writes: u64, host: bool },
+    /// Arm a torn tail on the *host* WAL covering exactly the next
+    /// commit, then crash and recover the whole system: the commit the
+    /// live process believed durable is sheared off at the crash
+    /// boundary and recovery must lose exactly that one.
+    TornHostWal,
 }
 
 /// The knob set a scenario (and each variant) may override. All fields are
@@ -120,6 +131,7 @@ pub enum InjectAction {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Params {
     pub threads: Option<u64>,
+    pub shards: Option<u64>,
     pub commits: Option<u64>,
     pub cycles: Option<u64>,
     pub sync_latency_us: Option<u64>,
@@ -154,6 +166,7 @@ impl Params {
         }
         pick!(
             threads,
+            shards,
             commits,
             cycles,
             sync_latency_us,
@@ -385,7 +398,7 @@ fn parse_header(file: &str, line: usize, v: &Value) -> Result<Scenario, SchemaEr
                         file,
                         line,
                         format!(
-                            "unknown kind {s:?} (expected commit_throughput, replication, checkpoint_shipping, front_end or mixed)"
+                            "unknown kind {s:?} (expected commit_throughput, replication, checkpoint_shipping, front_end, mixed or sharding)"
                         ),
                     )
                 })?);
@@ -548,6 +561,7 @@ fn parse_params(file: &str, line: usize, v: &Value) -> Result<Params, SchemaErro
     for (key, val) in obj {
         match key.as_str() {
             "threads" => p.threads = Some(expect_u64(file, line, key, val, 1, 256)?),
+            "shards" => p.shards = Some(expect_u64(file, line, key, val, 1, 64)?),
             "commits" => p.commits = Some(expect_u64(file, line, key, val, 1, 1_000_000)?),
             "cycles" => p.cycles = Some(expect_u64(file, line, key, val, 1, 1_000_000)?),
             "sync_latency_us" => {
@@ -621,12 +635,26 @@ fn parse_injections(file: &str, line: usize, v: &Value) -> Result<Vec<Injection>
         let mut action = None;
         let mut count = None;
         let mut writes = None;
+        let mut target = None;
         for (key, val) in obj {
             match key.as_str() {
                 "at_op" => at_op = Some(expect_u64(file, line, key, val, 0, 1_000_000_000)?),
                 "action" => action = Some(expect_str(file, line, key, val)?.to_string()),
                 "count" => count = Some(expect_u64(file, line, key, val, 1, 1024)?),
                 "writes" => writes = Some(expect_u64(file, line, key, val, 1, 1_000_000)?),
+                "target" => {
+                    target = Some(match expect_str(file, line, key, val)? {
+                        "repo" => false,
+                        "host" => true,
+                        other => {
+                            return Err(err(
+                                file,
+                                line,
+                                format!("unknown target {other:?} (expected repo or host)"),
+                            ))
+                        }
+                    })
+                }
                 other => return Err(err(file, line, format!("unknown injection field {other:?}"))),
             }
         }
@@ -638,13 +666,17 @@ fn parse_injections(file: &str, line: usize, v: &Value) -> Result<Vec<Injection>
             Some("kill_upcall_workers") => {
                 InjectAction::KillUpcallWorkers { count: count.unwrap_or(1) }
             }
-            Some("disk_enospc") => InjectAction::DiskEnospc { writes: writes.unwrap_or(1) },
+            Some("disk_enospc") => InjectAction::DiskEnospc {
+                writes: writes.unwrap_or(1),
+                host: target.unwrap_or(false),
+            },
+            Some("torn_host_wal") => InjectAction::TornHostWal,
             Some(other) => {
                 return Err(err(
                     file,
                     line,
                     format!(
-                        "unknown injection action {other:?} (expected crash_primary, crash_host, stall_standby, resume_standby, kill_upcall_workers or disk_enospc)"
+                        "unknown injection action {other:?} (expected crash_primary, crash_host, stall_standby, resume_standby, kill_upcall_workers, disk_enospc or torn_host_wal)"
                     ),
                 ))
             }
@@ -655,6 +687,9 @@ fn parse_injections(file: &str, line: usize, v: &Value) -> Result<Vec<Injection>
         }
         if writes.is_some() && !matches!(action, InjectAction::DiskEnospc { .. }) {
             return Err(err(file, line, "\"writes\" only applies to disk_enospc"));
+        }
+        if target.is_some() && !matches!(action, InjectAction::DiskEnospc { .. }) {
+            return Err(err(file, line, "\"target\" only applies to disk_enospc"));
         }
         out.push(Injection {
             at_op: at_op.ok_or_else(|| err(file, line, "injection is missing \"at_op\""))?,

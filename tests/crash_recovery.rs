@@ -416,6 +416,169 @@ mod host_failover_2pc {
     }
 }
 
+/// PR 9: the same in-doubt edges with the logical server partitioned
+/// across shards — the coordinator's 2PC fans out to one participant per
+/// shard, and its crash must leave *both* shards consistent with the one
+/// durable truth (the replicated decision, or its absence).
+mod sharded_host_failover_2pc {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use datalinks::core::{DataLinksSystem, DlColumnOptions, FileServerSpec, ShardRouter};
+    use datalinks::dlfm::{AgentHandle, ControlMode, OnUnlink};
+    use datalinks::fskit::{Cred, SimClock};
+    use datalinks::minidb::{Column, ColumnType, Participant, Schema, Value};
+
+    const APP: Cred = Cred { uid: 100, gid: 100 };
+    const SRV: &str = "srv1";
+    const CATCH_UP: Duration = Duration::from_secs(30);
+
+    fn shard_name(i: usize) -> String {
+        ShardRouter::shard_name(SRV, i)
+    }
+
+    /// A `/d` path the two-way router places on shard `want`.
+    fn path_on(want: usize, tag: &str) -> String {
+        let router = ShardRouter::new(SRV, 2);
+        (0..).map(|k| format!("/d/{tag}{k}.bin")).find(|p| router.shard_of(p) == want).unwrap()
+    }
+
+    fn build() -> DataLinksSystem {
+        let sys = DataLinksSystem::builder()
+            .clock(Arc::new(SimClock::new(1_000_000)))
+            .host_replicas(1)
+            .file_server_with(FileServerSpec::new(SRV).shards(2))
+            .build()
+            .unwrap();
+        let raw = sys.raw_fs(SRV).unwrap();
+        raw.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
+        sys.create_table(
+            Schema::new(
+                "t",
+                vec![
+                    Column::new("id", ColumnType::Int),
+                    Column::nullable("body", ColumnType::DataLink),
+                ],
+                "id",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sys.define_datalink_column("t", "body", DlColumnOptions::new(ControlMode::Rdd)).unwrap();
+        sys
+    }
+
+    /// A participant whose phase-two message dies with the coordinator.
+    struct LostDecision(AgentHandle);
+
+    impl Participant for LostDecision {
+        fn prepare(&self, txid: u64) -> Result<(), String> {
+            self.0.prepare(txid)
+        }
+        fn commit(&self, _txid: u64) {}
+        fn abort(&self, txid: u64) {
+            self.0.abort(txid);
+        }
+    }
+
+    #[test]
+    fn prepare_on_shard_a_without_any_decision_presumed_aborts_both_shards() {
+        // The prepare fan-out reached shard A; the coordinator died before
+        // asking shard B or logging an outcome. Failover must settle both
+        // shards by presumed abort: the voted shard and the unvoted one
+        // come out identical — untouched.
+        let mut sys = build();
+        let pa = path_on(0, "vote");
+        let pb = path_on(1, "vote");
+        let raw = sys.raw_fs(SRV).unwrap();
+        raw.write_file(&APP, &pa, b"cand-a").unwrap();
+        raw.write_file(&APP, &pb, b"cand-b").unwrap();
+
+        let a = sys.node(&shard_name(0)).unwrap().connect_agent();
+        let b = sys.node(&shard_name(1)).unwrap().connect_agent();
+        let tx = sys.begin();
+        let txid = tx.id();
+        a.link(txid, &pa, ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+        b.link(txid, &pb, ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+        a.prepare(txid).unwrap(); // shard A votes yes; shard B never hears phase one
+        std::mem::forget(tx);
+
+        let report = sys.fail_over_host().unwrap();
+        let mut resolved = report.in_doubt_resolved.clone();
+        resolved.sort();
+        assert_eq!(
+            resolved,
+            vec![(shard_name(0), txid, false), (shard_name(1), txid, false)],
+            "both shards settle by presumed abort"
+        );
+        for (i, p) in [&pa, &pb].into_iter().enumerate() {
+            let node = sys.node(&shard_name(i)).unwrap();
+            assert!(node.server.pending_host_txns().is_empty(), "shard {i} fully settled");
+            assert!(
+                node.server.repository().get_file(p).is_none(),
+                "presumed abort may leave no link on shard {i}"
+            );
+        }
+
+        // The promoted coordinator runs the same cross-shard link cleanly.
+        let mut tx = sys.begin();
+        tx.insert("t", vec![Value::Int(0), Value::DataLink(format!("dlfs://{SRV}{pa}"))]).unwrap();
+        tx.insert("t", vec![Value::Int(1), Value::DataLink(format!("dlfs://{SRV}{pb}"))]).unwrap();
+        tx.commit().unwrap();
+        assert!(sys.node(&shard_name(0)).unwrap().server.repository().get_file(&pa).is_some());
+        assert!(sys.node(&shard_name(1)).unwrap().server.repository().get_file(&pb).is_some());
+    }
+
+    #[test]
+    fn decision_unshipped_to_shard_b_is_finished_from_the_replicated_log() {
+        // Both shards voted yes and the commit decision is durable in the
+        // replicated host log — but the phase-two message to shard B died
+        // with the coordinator. The promoted host must *finish* B from the
+        // logged decision, not re-decide it: both shards end committed.
+        let mut sys = build();
+        let pa = path_on(0, "done");
+        let pb = path_on(1, "done");
+        let raw = sys.raw_fs(SRV).unwrap();
+        raw.write_file(&APP, &pa, b"cand-a").unwrap();
+        raw.write_file(&APP, &pb, b"cand-b").unwrap();
+
+        let a = sys.node(&shard_name(0)).unwrap().connect_agent();
+        let b = sys.node(&shard_name(1)).unwrap().connect_agent();
+        let tx = sys.begin();
+        let txid = tx.id();
+        a.link(txid, &pa, ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+        b.link(txid, &pb, ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+        sys.db().enlist_participant(txid, &format!("dlfm@{}", shard_name(0)), Arc::new(a));
+        sys.db().enlist_participant(
+            txid,
+            &format!("dlfm@{}", shard_name(1)),
+            Arc::new(LostDecision(b)),
+        );
+        tx.commit().unwrap(); // phase two lands on A, dies on the way to B
+        assert!(sys.node(&shard_name(0)).unwrap().server.pending_host_txns().is_empty());
+        assert_eq!(
+            sys.node(&shard_name(1)).unwrap().server.pending_host_txns(),
+            vec![(txid, true)]
+        );
+        assert!(sys.wait_host_replicas_caught_up(CATCH_UP), "the decision must ship");
+
+        let report = sys.fail_over_host().unwrap();
+        assert_eq!(
+            report.in_doubt_resolved,
+            vec![(shard_name(1), txid, true)],
+            "shard B is finished from the replicated decision, not re-decided"
+        );
+        for (i, p) in [&pa, &pb].into_iter().enumerate() {
+            let node = sys.node(&shard_name(i)).unwrap();
+            assert!(node.server.pending_host_txns().is_empty());
+            assert!(
+                node.server.repository().get_file(p).is_some(),
+                "the decided link commits exactly once on shard {i}"
+            );
+        }
+    }
+}
+
 /// The crash-boundary torn write, end to end: a commit the live process
 /// believed durable never reached the platter; the crash — and only the
 /// crash — reveals the shear, and recovery loses exactly that commit.

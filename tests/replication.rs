@@ -588,6 +588,79 @@ fn zombie_coordinator_decisions_are_fenced_after_host_crash() {
 }
 
 #[test]
+fn host_failover_reprovisions_standbys_by_delta_with_bounded_shipping() {
+    use datalinks::minidb::DbOptions;
+
+    // A deep host history under a tight checkpoint budget, with a fleet of
+    // standbys. After promotion the rebuilt fleet must be seeded by delta
+    // (checkpoint install + WAL suffix), never by replaying the full
+    // history — pinned by a hard bound on the re-shipped bytes.
+    const BUDGET: u64 = 4 * 1024;
+    let mut sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_000_000)))
+        .host_db_opts(DbOptions { checkpoint_every_bytes: BUDGET, ..Default::default() })
+        .host_replicas(3)
+        .file_server(SRV)
+        .build()
+        .unwrap();
+    sys = seed(sys, 1);
+    sys.create_table(
+        Schema::new(
+            "history",
+            vec![Column::new("id", ColumnType::Int), Column::new("v", ColumnType::Text)],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for i in 0..200i64 {
+        let mut tx = sys.begin();
+        tx.insert(
+            "history",
+            vec![Value::Int(i), Value::Text(format!("row {i} {}", "x".repeat(128)))],
+        )
+        .unwrap();
+        tx.commit().unwrap();
+    }
+    assert!(sys.wait_host_replicas_caught_up(CATCH_UP));
+    // The budget forced truncation, so the history is provably deeper than
+    // the retained log — full replay is no longer even possible.
+    assert!(sys.db().wal_base_lsn() > 0, "the budget must have truncated the host log");
+    // Full replay would carry at least the 200 rows' payloads — an
+    // analytic floor independent of framing overhead.
+    let full_history_floor: u64 = 200 * 128;
+    assert!(full_history_floor > 4 * BUDGET, "the history must dwarf the budget");
+
+    sys.fail_over_host().unwrap();
+    assert!(sys.wait_host_replicas_caught_up(CATCH_UP));
+    let set = sys.host_replication().unwrap();
+    assert!(
+        set.stats().checkpoints_shipped() >= 1,
+        "fleet re-provisioning must install a checkpoint image, not replay history"
+    );
+    // The regression pin: per-standby delta shipping stays within the
+    // checkpoint budget (plus frame slack), far under the full history.
+    let reshipped_per_standby = set.stats().bytes_shipped() / 3;
+    assert!(
+        reshipped_per_standby <= BUDGET + 8 * 1024,
+        "delta catch-up shipped {reshipped_per_standby} bytes per standby (budget {BUDGET})"
+    );
+    assert!(
+        reshipped_per_standby < full_history_floor / 2,
+        "re-seeding must beat full replay, shipped {reshipped_per_standby} of {full_history_floor}"
+    );
+
+    // The promoted coordinator with its rebuilt fleet carries traffic and
+    // keeps the budget.
+    assert_eq!(sys.db().count("history").unwrap(), 200);
+    write_once(&sys, 0, b"post failover");
+    let tp = read_token_path(&sys, 0);
+    assert_eq!(sys.serve_read(SRV, &tp, APP.uid).unwrap(), b"post failover");
+    assert!(sys.wait_host_replicas_caught_up(CATCH_UP));
+    assert!(sys.db().wal_retained_bytes() <= BUDGET + 8 * 1024);
+}
+
+#[test]
 fn whole_system_crash_during_host_outage_recovers_from_the_promoted_disk() {
     let mut sys = build_host(2, 1);
     write_once(&sys, 0, b"replicated state");

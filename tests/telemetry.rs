@@ -110,3 +110,88 @@ fn kill_host_mid_burst_dumps_fenced_decision_spans() {
     // against.
     assert!(promo.contains("fence="), "decides must carry the fence epoch:\n{promo}");
 }
+
+/// The flight-recorder ring capacity is a `DlfmConfig` knob (PR 9). Even a
+/// drastically undersized ring must still capture the span that matters
+/// most at failover — the promoted coordinator's decide on the in-doubt
+/// transaction — because the ring keeps the *most recent* events and the
+/// decide is by construction the last thing that happens before the dump.
+#[test]
+fn undersized_flight_ring_still_captures_the_fenced_decide_span() {
+    use std::sync::Arc;
+
+    use datalinks::core::{DataLinksSystem, DlColumnOptions, FileServerSpec};
+    use datalinks::dlfm::{ControlMode, OnUnlink};
+    use datalinks::fskit::{Cred, SimClock};
+    use datalinks::minidb::{Column, ColumnType, Participant, Schema, Value};
+
+    const APP: Cred = Cred { uid: 100, gid: 100 };
+    let mut spec = FileServerSpec::new("srv");
+    spec.dlfm = spec.dlfm.flight_ring(4);
+    let mut sys = DataLinksSystem::builder()
+        .clock(Arc::new(SimClock::new(1_000_000)))
+        .host_replicas(1)
+        .file_server_with(spec)
+        .build()
+        .unwrap();
+    let raw = sys.raw_fs("srv").unwrap();
+    raw.mkdir_p(&Cred::root(), "/d", 0o777).unwrap();
+    sys.create_table(
+        Schema::new(
+            "t",
+            vec![
+                Column::new("id", ColumnType::Int),
+                Column::nullable("body", ColumnType::DataLink),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    sys.define_datalink_column("t", "body", DlColumnOptions::new(ControlMode::Rdd)).unwrap();
+
+    // Enough committed links to overflow the 4-slot ring several times.
+    for i in 0..6i64 {
+        raw.write_file(&APP, &format!("/d/f{i}.bin"), b"seed").unwrap();
+        let mut tx = sys.begin();
+        tx.insert("t", vec![Value::Int(i), Value::DataLink(format!("dlfs://srv/d/f{i}.bin"))])
+            .unwrap();
+        tx.commit().unwrap();
+    }
+
+    // Stage the in-doubt transaction, then kill and fail over the host.
+    raw.write_file(&APP, "/d/cand.bin", b"candidate").unwrap();
+    let agent = sys.node("srv").unwrap().connect_agent();
+    let tx = sys.begin();
+    let txid = tx.id();
+    agent.link(txid, "/d/cand.bin", ControlMode::Rdd, true, OnUnlink::Restore).unwrap();
+    agent.prepare(txid).unwrap();
+    std::mem::forget(tx);
+    let report = sys.fail_over_host().unwrap();
+    assert_eq!(report.in_doubt_resolved, vec![("srv".to_string(), txid, false)]);
+
+    let dump = sys.last_flight_dump().expect("failover leaves a dump behind");
+    let dlfm = dump
+        .split("=== flight recorder ")
+        .find(|s| s.starts_with("dlfm.srv"))
+        .expect("the DLFM recorder section is present");
+    // The header proves the ring was undersized and truncating...
+    let header = dlfm.lines().next().unwrap();
+    let retained: usize = header
+        .split(", ")
+        .nth(1)
+        .and_then(|part| part.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("header lacks the retained count: {header}"));
+    let recorded: usize = header
+        .split(" retained of ")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("header lacks the recorded count: {header}"));
+    assert!(retained <= 4, "ring capacity must cap retention: {header}");
+    assert!(recorded > 4, "the workload must have overflowed the ring: {header}");
+    // ...and the retained window still holds the promotion's decide span.
+    assert!(dlfm.contains("decide"), "undersized ring lost the decide span:\n{dlfm}");
+    assert!(dlfm.contains("outcome="), "the decide must carry its outcome:\n{dlfm}");
+}
