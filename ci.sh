@@ -24,6 +24,13 @@ fi
 step "cargo test --workspace -q (every crate: unit + integration + doctests)"
 cargo test --workspace -q
 
+# The socket path is load-bearing (Transport::Socket routes the whole
+# agent/upcall protocol through the framed codec and the reactor), so its
+# smoke suite gets a named step even though the workspace run above
+# already includes it — a failure here points straight at the wire.
+step "wire-transport socket smoke"
+cargo test -q --test wire_transport
+
 step "examples compile"
 cargo build --examples --quiet
 
@@ -63,5 +70,16 @@ cargo run -p dl-bench $profile_flag --quiet --bin lab -- \
   --quick --json-dir "$bench_dir" scenarios/*.jsonl > /dev/null
 cargo run -p dl-bench $profile_flag --quiet --bin report -- \
   --compare "$bench_dir" --current "$bench_dir"
+
+# Cross-table throughput gate: the a14 wire churn (full 2PC cycles over
+# real sockets) must hold a sane fraction of the a12 in-process churn
+# throughput. The floor is a collapse detector, not a benchmark — it
+# fails if the framed transport's round trips ever balloon, while
+# staying insensitive to this machine's absolute numbers.
+step "wire gate: a14 socket churn vs a12 in-process churn"
+cargo run -p dl-bench $profile_flag --quiet --bin report -- \
+  --gate "$bench_dir/BENCH_a12.json::agent churn, shared executor" \
+         "$bench_dir/BENCH_a14.json::wire churn" \
+  --column "ops/s" --min-ratio 0.2
 
 step "OK"

@@ -28,6 +28,17 @@
 //! Exits non-zero when any metric regressed beyond the threshold (percent,
 //! default 25): numeric cells by relative drift, text cells by inequality,
 //! disappeared rows always.
+//!
+//! Cross-table gate mode (no experiments run): compare one numeric cell
+//! across two *different* trajectories — e.g. a14's wire churn throughput
+//! against a12's in-process churn throughput — and fail if the ratio
+//! candidate/baseline falls below a floor:
+//!
+//! ```text
+//! report --gate 'bench-results/BENCH_a12.json::agent churn, shared executor' \
+//!               'bench-results/BENCH_a14.json::wire churn' \
+//!               --column ops/s --min-ratio 0.05
+//! ```
 
 use dl_bench::experiments as exp;
 use dl_bench::trajectory;
@@ -88,11 +99,53 @@ fn compare_dirs(baseline_dir: &str, current_dir: &str, threshold: f64) -> usize 
     regressions
 }
 
+/// Loads one side of a `--gate` comparison: `<path>::<row label>`.
+fn load_gate_cell(spec: &str, column: &str) -> Result<f64, String> {
+    let (path, row) = spec
+        .split_once("::")
+        .ok_or_else(|| format!("--gate arguments look like <file.json>::<row label>: {spec:?}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("gate: cannot read {path}: {e}"))?;
+    let t = trajectory::parse(&text).map_err(|e| format!("gate: {path}: {e}"))?;
+    trajectory::read_cell(&t, row, column)
+}
+
+/// Cross-table single-cell gate; returns the process exit code.
+fn run_gate(baseline_spec: &str, candidate_spec: &str, column: &str, min_ratio: f64) -> i32 {
+    let cells = load_gate_cell(baseline_spec, column)
+        .and_then(|b| load_gate_cell(candidate_spec, column).map(|c| (b, c)));
+    let (base, cand) = match cells {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if base <= 0.0 {
+        eprintln!("gate: baseline cell {baseline_spec:?} / {column:?} is {base}, cannot ratio");
+        return 2;
+    }
+    let ratio = cand / base;
+    let verdict = if ratio >= min_ratio { "PASS" } else { "FAIL" };
+    println!(
+        "gate [{column}]: candidate {cand:.1} vs baseline {base:.1} -> ratio {ratio:.3} \
+         (floor {min_ratio}) {verdict}"
+    );
+    if ratio >= min_ratio {
+        0
+    } else {
+        1
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut json_dir: Option<String> = None;
     let mut compare_dir: Option<String> = None;
     let mut current_dir: Option<String> = None;
+    let mut gate: Option<(String, String)> = None;
+    let mut gate_column = "ops/s".to_string();
+    let mut min_ratio: f64 = 0.05;
     let mut threshold: f64 = 25.0;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.iter();
@@ -113,6 +166,20 @@ fn main() {
                     .and_then(|v| v.parse::<f64>().ok())
                     .expect("--threshold needs a percent value");
             }
+            "--gate" => {
+                let base = it.next().expect("--gate needs <file.json>::<row> twice").clone();
+                let cand = it.next().expect("--gate needs a second <file.json>::<row>").clone();
+                gate = Some((base, cand));
+            }
+            "--column" => {
+                gate_column = it.next().expect("--column needs a header name").clone();
+            }
+            "--min-ratio" => {
+                min_ratio = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .expect("--min-ratio needs a number");
+            }
             _ => {
                 if let Some(dir) = a.strip_prefix("--json-dir=") {
                     json_dir = Some(dir.to_string());
@@ -127,6 +194,12 @@ fn main() {
                 }
             }
         }
+    }
+
+    // Cross-table gate mode: one cell from each of two files, no
+    // experiments run.
+    if let Some((base, cand)) = &gate {
+        std::process::exit(run_gate(base, cand, &gate_column, min_ratio));
     }
 
     // Pure diff mode: two saved directories, no experiments run.

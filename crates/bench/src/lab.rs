@@ -20,6 +20,11 @@
 //! * [`Kind::Sharding`] — the a13 sweep: write-cycle throughput vs shard
 //!   count through the sharded DLFM front, fan-out proven off the
 //!   per-shard registry counters.
+//! * [`Kind::WireFrontEnd`] — the a14 arms: connection-scale churn over
+//!   real Unix sockets (`Transport::Socket`), with a `sever_connections`
+//!   injection cutting live connections mid-2PC; the in-doubt claims must
+//!   resolve by presumed abort with zero atomicity violations, proven off
+//!   the `net.*` registry instruments.
 //!
 //! Everything the old bespoke a9–a12 runners *asserted* is emitted here
 //! as a named **metric**; the acceptance thresholds live in the scenario
@@ -52,7 +57,7 @@ use std::time::{Duration, Instant};
 use dl_core::{
     ControlMode, DataLinksSystem, DlColumnOptions, FileServerSpec, ShardRouter, TokenKind,
 };
-use dl_dlfm::{FaultInjector, UpcallRequest};
+use dl_dlfm::{FaultInjector, Transport, UpcallRequest, WireAgent};
 use dl_fskit::{Cred, OpenOptions};
 use dl_lab::{expand, InjectAction, Kind, LabRng, Params, Plan, ReadRoute, Scenario, TrialSpec};
 use dl_minidb::{Column, ColumnType, Database, DbOptions, Schema, StorageEnv, Value, WalOptions};
@@ -89,6 +94,7 @@ pub fn run_scenario(sc: &Scenario, quick: bool) -> Result<ScenarioRun, String> {
         Kind::FrontEnd => front_end(sc, &plan),
         Kind::Mixed => mixed(sc, &plan),
         Kind::Sharding => sharding(sc, &plan),
+        Kind::WireFrontEnd => wire_front_end(sc, &plan),
     }?;
     if let Some(title) = &sc.title {
         run.table.title = title.clone();
@@ -266,14 +272,10 @@ fn commit_throughput(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> 
 // replication — the a10 engine loop
 // ===========================================================================
 
-fn link_state(sys: &DataLinksSystem) -> Vec<(String, u64)> {
-    let mut files: Vec<(String, u64)> = sys
-        .node(SRV)
-        .expect("node")
-        .server
-        .repository()
-        .list_files()
-        .into_iter()
+fn link_state(sys: &DataLinksSystem, nodes: &[String]) -> Vec<(String, u64)> {
+    let mut files: Vec<(String, u64)> = nodes
+        .iter()
+        .flat_map(|n| sys.node(n).expect("node").server.repository().list_files())
         .map(|e| (e.path, e.cur_version))
         .collect();
     files.sort();
@@ -358,11 +360,11 @@ fn replication(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
             // Failover: promote a standby and check the link state survived.
             if replicas > 0 {
                 let Fixture { mut sys, .. } = f;
-                let before = link_state(&sys);
+                let before = link_state(&sys, &[SRV.to_string()]);
                 let failover = time_once(|| {
                     sys.fail_over(SRV).expect("failover");
                 });
-                let after = link_state(&sys);
+                let after = link_state(&sys, &[SRV.to_string()]);
                 let preserved = before == after;
                 if !preserved {
                     links_preserved = 0.0;
@@ -974,9 +976,27 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
     let file_size = p.file_size.unwrap_or(1024) as usize;
     let replicas = p.replicas.unwrap_or(0) as usize;
     let host_replicas = p.host_replicas.unwrap_or(0) as usize;
+    let shards = p.shards.unwrap_or(1) as usize;
     let route = p.read_route.unwrap_or_default();
     let sync_ns = p.sync_latency_us.unwrap_or(0) * 1000;
     let injections = p.injections.clone().unwrap_or_default();
+
+    // Shard topology (PR 9 seam): with `shards > 1` the fixture builds
+    // the sharded front, nodes register as `<srv>.s<i>` and every
+    // node-addressed step below routes by the file's owning shard.
+    let router = ShardRouter::new(SRV, shards);
+    let node_names: Vec<String> = if shards > 1 {
+        (0..shards).map(|i| ShardRouter::shard_name(SRV, i)).collect()
+    } else {
+        vec![SRV.to_string()]
+    };
+    let owner = |path: &str| -> String {
+        if shards > 1 {
+            ShardRouter::shard_name(SRV, router.shard_of(path))
+        } else {
+            SRV.to_string()
+        }
+    };
 
     // The kill_upcall_workers injection point: an armed countdown the
     // upcall fault hook decrements — while positive, admission upcalls
@@ -1026,6 +1046,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
             file_size,
             replicas,
             host_replicas,
+            shards,
             sync_archive: true,
             db_sync_latency_ns: sync_ns,
             upcall_pool: match (p.pool_min, p.pool_max) {
@@ -1076,14 +1097,18 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                 res?;
                 // The ack: the update is committed and archived. Anything
                 // the system loses past this point is a lost acked write.
-                f.sys.node(SRV)?.server.archive_store().wait_archived(&f.paths[file]);
+                f.sys
+                    .node(&owner(&f.paths[file]))?
+                    .server
+                    .archive_store()
+                    .wait_archived(&f.paths[file]);
                 acked[file].fetch_max(version, Ordering::Relaxed);
                 Ok(())
             }
             Op::Churn => {
                 let path = format!("/data/churn_c{client:03}_{g:08}.bin");
                 f.sys.raw_fs(SRV)?.write_file(&APP, &path, b"churn").map_err(|e| e.to_string())?;
-                let agent = f.sys.node(SRV)?.connect_agent();
+                let agent = f.sys.node(&owner(&path))?.connect_agent();
                 use dl_minidb::Participant;
                 let link_tx = 2_000_000 + 2 * g;
                 agent.link(link_tx, &path, ControlMode::Rff, true, dl_dlfm::OnUnlink::Restore)?;
@@ -1181,7 +1206,10 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
         }
         match action {
             InjectAction::CrashPrimary => {
-                if f.sys.node(SRV)?.replication.is_none() {
+                // With shards the victim is the first shard's primary; the
+                // other shards keep serving through its outage.
+                let victim = node_names[0].clone();
+                if f.sys.node(&victim)?.replication.is_none() {
                     return Err(format!(
                         "scenario {}: crash_primary at op {end} needs replicas >= 1",
                         sc.name
@@ -1191,11 +1219,11 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                 // failover; drain the ship lag the same way a real
                 // controlled promotion of a caught-up standby would.
                 f.sys.wait_replicas_caught_up(SRV, Duration::from_secs(30))?;
-                let before = link_state(&f.sys);
+                let before = link_state(&f.sys, &node_names);
                 let dur = time_once(|| {
-                    f.sys.fail_over(SRV).expect("failover");
+                    f.sys.fail_over(&victim).expect("failover");
                 });
-                let after = link_state(&f.sys);
+                let after = link_state(&f.sys, &node_names);
                 let lost = before.iter().filter(|e| !after.contains(e)).count() as u64;
                 out.failovers += 1;
                 out.lost_acked_links += lost;
@@ -1233,7 +1261,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                         sc.name
                     ));
                 }
-                let before = link_state(&f.sys);
+                let before = link_state(&f.sys, &node_names);
                 // Mint read-token paths while the host can still mint them
                 // — during the outage no new SELECT is possible, but every
                 // token already handed out keeps working off the replicas.
@@ -1257,7 +1285,7 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                     let report = f.sys.promote_host().expect("promote host");
                     resolved = report.in_doubt_resolved.len() as u64;
                 });
-                let after = link_state(&f.sys);
+                let after = link_state(&f.sys, &node_names);
                 let lost = before.iter().filter(|e| !after.contains(e)).count() as u64;
                 out.host_failovers += 1;
                 out.lost_acked_links += lost;
@@ -1336,17 +1364,35 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
                 out.torn_commits_lost += u64::from(torn.is_none());
                 out.events.push(format!("torn_host_wal@{end}: sheared {sheared} B"));
             }
+            InjectAction::SeverConnections { .. } => {
+                return Err(format!(
+                    "scenario {}: sever_connections needs the socket transport — use kind \
+                     \"wire_front_end\"",
+                    sc.name
+                ));
+            }
         }
     }
 
     // Settle: resume any stalled shipping and drain the lag, so the trial
     // ends with a consistent, comparable system.
-    if f.sys.node(SRV)?.replication.is_some() {
+    let any_replicated = node_names
+        .iter()
+        .any(|n| f.sys.node(n).map(|node| node.replication.is_some()).unwrap_or(false));
+    if any_replicated {
         f.sys.set_replication_paused(SRV, false)?;
         out.end_lag_drained = f.sys.wait_replicas_caught_up(SRV, Duration::from_secs(30))?;
     }
-    out.leftover_links =
-        (f.sys.node(SRV)?.server.repository().list_files().len() as u64).saturating_sub(n_files);
+    out.leftover_links = node_names
+        .iter()
+        .map(|n| {
+            f.sys
+                .node(n)
+                .map(|node| node.server.repository().list_files().len() as u64)
+                .unwrap_or(0)
+        })
+        .sum::<u64>()
+        .saturating_sub(n_files);
     for faults in [&repo_faults, &host_faults].into_iter().flatten() {
         // The fault layers live outside the system; mirror their hit
         // counts onto a registry handle so they export like everything
@@ -1372,9 +1418,13 @@ fn mixed_trial(sc: &Scenario, t: &TrialSpec) -> Result<MixedOutcome, String> {
     let snap = f.sys.metrics();
     let counter = |name: String| snap.counters.get(&name).copied().unwrap_or(0);
     let gauge = |name: String| snap.gauges.get(&name).copied().unwrap_or(0.0);
-    out.worker_panics = gauge(format!("dlfm.{SRV}.upcall_pool.panics")) as u64;
-    out.peak_upcall_workers = gauge(format!("dlfm.{SRV}.upcall_pool.peak_workers")) as u64;
-    out.stale_coord_rejections = counter(format!("dlfm.{SRV}.stale_coord_rejections"));
+    for name in &node_names {
+        out.worker_panics += gauge(format!("dlfm.{name}.upcall_pool.panics")) as u64;
+        out.peak_upcall_workers = out
+            .peak_upcall_workers
+            .max(gauge(format!("dlfm.{name}.upcall_pool.peak_workers")) as u64);
+        out.stale_coord_rejections += counter(format!("dlfm.{name}.stale_coord_rejections"));
+    }
     out.freshness_fallbacks = counter("engine.freshness_fallbacks".into());
     out.enospc_hits = counter("lab.enospc_hits".into());
     out.snapshot = snap;
@@ -1646,6 +1696,297 @@ fn sharding(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
     })
 }
 
+// ===========================================================================
+// wire_front_end — the a14 engine loop
+// ===========================================================================
+
+/// What one a14 trial measured.
+struct WireOutcome {
+    rate: f64,
+    severed: u64,
+    presumed_aborts: u64,
+    atomicity_violations: u64,
+    executor_peak_threads: u64,
+    peak_connections: f64,
+    snapshot: Snapshot,
+}
+
+/// The same churn workload as [`wire_trial`]'s surviving connections, but
+/// over the in-process `Transport::Local` path — the baseline the wire
+/// path's throughput is budgeted against.
+fn local_churn_rate(workers: usize, cycles: usize) -> f64 {
+    let f = fixture(FixtureOptions { n_files: 1, file_size: 256, ..Default::default() });
+    let raw = f.sys.raw_fs(SRV).expect("raw fs");
+    for i in 0..workers {
+        raw.write_file(&APP, &format!("/data/wchurn{i:04}.bin"), b"x").expect("seed");
+    }
+    let node = f.sys.node(SRV).expect("node");
+    let handles: Vec<_> = (0..workers).map(|_| node.connect_agent()).collect();
+    let drivers = 16.min(workers.max(1));
+    let elapsed = run_threads(drivers, |d| {
+        use dl_minidb::Participant;
+        for (i, agent) in handles.iter().enumerate() {
+            if i % drivers != d {
+                continue;
+            }
+            let path = format!("/data/wchurn{i:04}.bin");
+            for r in 0..cycles {
+                let link_tx = 1_000_000 + 2 * (i * cycles + r) as u64;
+                agent
+                    .link(link_tx, &path, ControlMode::Rff, true, dl_dlfm::OnUnlink::Restore)
+                    .expect("link");
+                agent.prepare(link_tx).expect("prepare");
+                agent.commit(link_tx);
+                let unlink_tx = link_tx + 1;
+                agent.unlink(unlink_tx, &path).expect("unlink");
+                agent.prepare(unlink_tx).expect("prepare");
+                agent.commit(unlink_tx);
+            }
+        }
+    });
+    (workers * cycles * 2) as f64 / elapsed.as_secs_f64()
+}
+
+/// One a14 trial: `agents` real socket connections held open together
+/// against a `Transport::Socket` node. The scenario's `sever_connections`
+/// injections name how many of them link + prepare and then have their
+/// socket cut mid-2PC — the host never heard of those transactions, so
+/// the dropped claims must resolve by presumed abort. Every other
+/// connection drives `cycles` full link/2PC/unlink rounds over the wire,
+/// multiplexed over 16 driver threads. Afterwards the repository must
+/// hold exactly the fixture's own links and no claim may still be
+/// pending — anything else counts as an atomicity violation.
+fn wire_trial(sc: &Scenario, t: &TrialSpec) -> Result<WireOutcome, String> {
+    use dl_dlfm::AgentConnection;
+    let p = &t.params;
+    let agents = need(sc, t, "agents", p.agents)? as usize;
+    let cycles = p.cycles.unwrap_or(1) as usize;
+    let sever: usize = p
+        .injections
+        .as_deref()
+        .unwrap_or_default()
+        .iter()
+        .map(|i| match i.action {
+            InjectAction::SeverConnections { count } => count as usize,
+            _ => 0,
+        })
+        .sum();
+    if sever >= agents {
+        return Err(format!(
+            "scenario {}: sever_connections total {sever} must stay below agents = {agents}",
+            sc.name
+        ));
+    }
+    let f = fixture(FixtureOptions {
+        n_files: 1,
+        file_size: 256,
+        transport: Transport::Socket,
+        ..Default::default()
+    });
+    let node = f.sys.node(SRV)?;
+    let wire = node.wire().ok_or("Transport::Socket must bring the wire front end up")?;
+    let raw = f.sys.raw_fs(SRV)?;
+    let workers = agents - sever;
+    for i in 0..workers {
+        raw.write_file(&APP, &format!("/data/wchurn{i:04}.bin"), b"x")
+            .map_err(|e| e.to_string())?;
+    }
+    for j in 0..sever {
+        raw.write_file(&APP, &format!("/data/doomed{j:04}.bin"), b"x")
+            .map_err(|e| e.to_string())?;
+    }
+
+    // Every connection is a real socket, and they are all open at once:
+    // the concurrency the scenario claims is whatever peak the net gauge
+    // records, not an extrapolation.
+    let conns: Vec<_> =
+        (0..agents).map(|i| wire.connect(&format!("a14-{i}"))).collect::<Result<_, _>>()?;
+
+    // Mid-2PC severing: the doomed connections link and prepare, then die
+    // holding the in-doubt claim.
+    let aborts_before = wire.daemon.presumed_aborts().get();
+    for (j, conn) in conns[workers..].iter().enumerate() {
+        let agent = WireAgent(Arc::clone(conn));
+        let txid = 3_000_000 + 2 * j as u64;
+        let path = format!("/data/doomed{j:04}.bin");
+        agent.link(txid, &path, ControlMode::Rff, true, dl_dlfm::OnUnlink::Restore)?;
+        agent.prepare(txid).map_err(|e| e.to_string())?;
+        conn.sever();
+    }
+
+    // Churn: the surviving connections drive full link/2PC/unlink rounds
+    // over the wire while the severed claims resolve underneath.
+    let drivers = 16.min(workers.max(1));
+    let elapsed = run_threads(drivers, |d| {
+        for (i, conn) in conns[..workers].iter().enumerate() {
+            if i % drivers != d {
+                continue;
+            }
+            let agent = WireAgent(Arc::clone(conn));
+            let path = format!("/data/wchurn{i:04}.bin");
+            for r in 0..cycles {
+                let link_tx = 1_000_000 + 2 * (i * cycles + r) as u64;
+                agent
+                    .link(link_tx, &path, ControlMode::Rff, true, dl_dlfm::OnUnlink::Restore)
+                    .expect("link");
+                agent.prepare(link_tx).expect("prepare");
+                agent.commit(link_tx);
+                let unlink_tx = link_tx + 1;
+                agent.unlink(unlink_tx, &path).expect("unlink");
+                agent.prepare(unlink_tx).expect("prepare");
+                agent.commit(unlink_tx);
+            }
+        }
+    });
+    let rate = (workers * cycles * 2) as f64 / elapsed.as_secs_f64();
+
+    // The severed claims must drain: presumed abort resolves each one and
+    // the pending table empties.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while (wire.daemon.presumed_aborts().get() < aborts_before + sever as u64
+        || !node.server.pending_host_txns().is_empty())
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let presumed_aborts = wire.daemon.presumed_aborts().get() - aborts_before;
+
+    // Atomicity audit, straight off the repository: any file beyond the
+    // fixture's own links (a doomed link that survived its abort, a churn
+    // link whose unlink never settled) or any still-pending claim is a
+    // violation.
+    let leftovers = node
+        .server
+        .repository()
+        .list_files()
+        .into_iter()
+        .filter(|e| !f.paths.contains(&e.path))
+        .count() as u64;
+    let unresolved = node.server.pending_host_txns().len() as u64;
+    let atomicity_violations = leftovers + unresolved;
+
+    let executor_peak_threads = (node
+        .main_daemon()
+        .executor_stats()
+        .map(|s| s.peak_workers())
+        .unwrap_or_else(|| node.main_daemon().executor_threads())
+        + wire.daemon.settle_stats().peak_workers()) as u64;
+
+    // Snapshot while the surviving connections are still open, so the
+    // live `net.*.connections` gauge backs the concurrency claim too.
+    let snapshot = f.sys.metrics();
+    let peak_connections =
+        snapshot.gauges.get(&format!("net.{SRV}.peak_connections")).copied().unwrap_or(0.0);
+    drop(conns);
+    Ok(WireOutcome {
+        rate,
+        severed: sever as u64,
+        presumed_aborts,
+        atomicity_violations,
+        executor_peak_threads,
+        peak_connections,
+        snapshot,
+    })
+}
+
+fn wire_front_end(sc: &Scenario, plan: &Plan) -> Result<ScenarioRun, String> {
+    let mut rows = Vec::new();
+    let mut metrics = BTreeMap::new();
+    let mut snap_all = Snapshot::default();
+    let (mut severed, mut presumed, mut violations) = (0u64, 0u64, 0u64);
+    let (mut peak_conns, mut exec_peak) = (0.0f64, 0u64);
+    let mut wire_rate_first = None;
+    let p0 = &plan.trials[0].params;
+    let (title_agents, title_cycles) = (p0.agents.unwrap_or(0), p0.cycles.unwrap_or(1));
+
+    // The in-process baseline the wire path is budgeted against: the same
+    // churn workload shape as the first variant, over `Transport::Local`.
+    let base_workers = (p0.agents.unwrap_or(64) as usize).saturating_sub(
+        p0.injections
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .map(|i| match i.action {
+                InjectAction::SeverConnections { count } => count as usize,
+                _ => 0,
+            })
+            .sum(),
+    );
+    let local_rate = local_churn_rate(base_workers, p0.cycles.unwrap_or(1) as usize);
+    metrics.insert("local_ops_s".into(), local_rate);
+    rows.push(vec![
+        s("local baseline"),
+        s(base_workers),
+        s(format!("{local_rate:.0}")),
+        s("--"),
+        s("--"),
+        s("in-process Transport::Local, same churn shape"),
+    ]);
+
+    for trials in per_variant(sc, plan) {
+        let t0 = &trials[0];
+        let mut rate_sum = 0.0f64;
+        let mut conns_cell = 0u64;
+        for t in &trials {
+            let o = wire_trial(sc, t)?;
+            rate_sum += o.rate;
+            severed += o.severed;
+            presumed += o.presumed_aborts;
+            violations += o.atomicity_violations;
+            peak_conns = peak_conns.max(o.peak_connections);
+            exec_peak = exec_peak.max(o.executor_peak_threads);
+            conns_cell = t.params.agents.unwrap_or(0);
+            snap_all.merge(&o.snapshot);
+        }
+        let rate = rate_sum / trials.len() as f64;
+        if wire_rate_first.is_none() {
+            wire_rate_first = Some(rate);
+        }
+        rows.push(vec![
+            t0.variant.clone(),
+            s(conns_cell),
+            s(format!("{rate:.0}")),
+            s(format!("{peak_conns:.0}")),
+            s(exec_peak),
+            s(format!("{severed} severed mid-2PC, {presumed} presumed aborts")),
+        ]);
+    }
+    let wire_rate = wire_rate_first.unwrap_or(0.0);
+    metrics.insert("wire_ops_s".into(), wire_rate);
+    metrics.insert("wire_vs_local".into(), wire_rate / local_rate.max(1e-9));
+    metrics.insert("peak_connections".into(), peak_conns);
+    metrics.insert("executor_peak_threads".into(), exec_peak as f64);
+    metrics.insert("severed".into(), severed as f64);
+    metrics.insert("presumed_aborts".into(), presumed as f64);
+    metrics.insert("atomicity_violations".into(), violations as f64);
+    // Every exported registry metric — the `net.*` frame counters and
+    // round-trip histogram included — is assertable by its flattened name.
+    for (name, v) in snap_all.flatten() {
+        metrics.entry(name).or_insert(v);
+    }
+    Ok(ScenarioRun {
+        table: Table {
+            id: sc.name.clone(),
+            title: format!(
+                "wire front end: {title_agents} socket connections x {title_cycles} churn \
+                 cycles over the framed transport, severed mid-2PC connections resolved by \
+                 presumed abort"
+            ),
+            header: vec![
+                s("arm"),
+                s("conns"),
+                s("ops/s"),
+                s("peak conns"),
+                s("exec threads"),
+                s("note"),
+            ],
+            rows,
+            notes: Vec::new(),
+        },
+        metrics,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1717,6 +2058,72 @@ mod tests {
         assert_eq!(run.metrics["stale_reads"], 0.0, "freshness tokens must hold under stall");
         assert_eq!(run.metrics["ops_failed"], 0.0);
         assert_eq!(run.metrics["end_lag_drained"], 1.0);
+    }
+
+    #[test]
+    fn mixed_engine_runs_the_fault_matrix_on_the_sharded_stack() {
+        // The PR 9 sharded front under the PR 7 fault matrix: crash the
+        // first shard's primary mid-workload while the other shard keeps
+        // serving, then kill upcall workers. Only acked links survive the
+        // failover and nothing leaks.
+        let run = run(concat!(
+            r#"{"scenario":"ms","kind":"mixed","seed":5,"#,
+            r#""params":{"clients":2,"ops":12,"shards":2,"replicas":1,"#,
+            r#""write_ratio":0.4,"churn_ratio":0.3,"file_size":64,"#,
+            r#""injections":[{"at_op":6,"action":"crash_primary"},"#,
+            r#"{"at_op":10,"action":"kill_upcall_workers","count":1}]}}"#,
+            "\n",
+            r#"{"variant":"sharded"}"#,
+        ));
+        assert_eq!(run.metrics["failovers"], 1.0);
+        assert_eq!(run.metrics["lost_acked_links"], 0.0, "acked links must ride the standby");
+        assert_eq!(run.metrics["worker_panics"], 1.0);
+        assert_eq!(run.metrics["leftover_links"], 0.0, "churn links must all unwind");
+        // Per-shard instruments are summed across `<srv>.s<i>` nodes, so
+        // the panic shows up even though it hit only one shard.
+        assert!(run.metrics["ops_ok"] > 0.0);
+    }
+
+    #[test]
+    fn wire_engine_severs_mid_2pc_and_presumes_abort() {
+        let run = run(concat!(
+            r#"{"scenario":"w","kind":"wire_front_end","seed":2,"#,
+            r#""params":{"agents":12,"cycles":1,"#,
+            r#""injections":[{"at_op":0,"action":"sever_connections","count":3}]}}"#,
+            "\n",
+            r#"{"variant":"wire"}"#,
+        ));
+        assert_eq!(run.metrics["severed"], 3.0);
+        assert_eq!(run.metrics["presumed_aborts"], 3.0, "every severed claim resolves by abort");
+        assert_eq!(run.metrics["atomicity_violations"], 0.0);
+        // 12 agent sockets + engine + DLFS standing connections.
+        assert!(run.metrics["peak_connections"] >= 14.0);
+        assert!(run.metrics["executor_peak_threads"] <= 32.0);
+        assert!(run.metrics["wire_ops_s"] > 0.0);
+        assert!(run.metrics["local_ops_s"] > 0.0);
+        // The net instruments ride the metric map under flattened names.
+        assert_eq!(run.metrics["net_srv1_decode_errors"], 0.0);
+        assert!(run.metrics["net_srv1_frames_in"] > 0.0);
+        assert!(run.metrics["net_srv1_round_trip_ns_count"] > 0.0);
+        // Two rows: the in-process baseline and the wire arm.
+        assert_eq!(run.table.rows.len(), 2);
+    }
+
+    #[test]
+    fn sever_injection_is_rejected_off_the_wire() {
+        let sc = parse_scenario(
+            "test.jsonl",
+            concat!(
+                r#"{"scenario":"bad","kind":"mixed","seed":1,"#,
+                r#""params":{"clients":1,"ops":4,"file_size":64,"#,
+                r#""injections":[{"at_op":2,"action":"sever_connections"}]}}"#,
+                "\n",
+                r#"{"variant":"x"}"#,
+            ),
+        )
+        .unwrap();
+        let err = run_scenario(&sc, true).err().expect("sever off the wire must fail");
+        assert!(err.contains("wire_front_end"), "must point at the wire kind: {err}");
     }
 
     #[test]

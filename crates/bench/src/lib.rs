@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 use dl_core::{
     ControlMode, DataLinksSystem, DlColumnOptions, FileServerSpec, SystemBuilder, TokenKind,
 };
-use dl_dlfm::{DlfmConfig, FaultInjector, OnUnlink};
+use dl_dlfm::{DlfmConfig, FaultInjector, OnUnlink, Transport};
 use dl_dlfs::{DlfsConfig, WaitPolicy};
 use dl_fskit::memfs::IoModel;
 use dl_fskit::{Cred, OpenOptions};
@@ -67,6 +67,11 @@ pub struct FixtureOptions {
     /// Run one OS thread per agent connection (the paper's child-agent
     /// model) instead of the shared executor (a12 contrast arm).
     pub thread_per_agent: bool,
+    /// DLFM namespace shards behind the node (a13 scale-out arms).
+    pub shards: usize,
+    /// How the engine and DLFS reach the node: in-process queues or the
+    /// framed socket transport (a14 wire front-end arms).
+    pub transport: Transport,
 }
 
 impl Default for FixtureOptions {
@@ -87,6 +92,8 @@ impl Default for FixtureOptions {
             host_replicas: 0,
             upcall_pool: None,
             thread_per_agent: false,
+            shards: 1,
+            transport: Transport::Local,
         }
     }
 }
@@ -125,6 +132,7 @@ pub fn fixture_with_faults(
     dlfm.strict_link = opts.strict;
     dlfm.db = opts.db;
     dlfm.thread_per_agent = opts.thread_per_agent;
+    dlfm.transport = opts.transport;
     if let Some((min, max)) = opts.upcall_pool {
         dlfm = dlfm.upcall_workers(min, max);
     }
@@ -149,7 +157,7 @@ pub fn fixture_with_faults(
         repo_env,
         replicas: opts.replicas,
         upcall_fault: fault,
-        shards: 1,
+        shards: opts.shards.max(1),
     };
     let host_env = match &host_faults {
         Some(faults) => {

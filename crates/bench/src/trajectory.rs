@@ -224,6 +224,30 @@ fn numeric(cell: &str) -> Option<f64> {
     None
 }
 
+/// Reads one numeric cell out of a trajectory, addressed by row label
+/// (first cell) and column header name. The report binary's `--gate` mode
+/// uses this to compare one figure across two *different* tables (a12's
+/// in-process churn vs a14's wire churn), where a full [`compare`] would
+/// drown in missing-row noise.
+pub fn read_cell(t: &Trajectory, row_label: &str, column: &str) -> Result<f64, String> {
+    let row = t
+        .rows
+        .iter()
+        .find(|r| r.first().map(String::as_str) == Some(row_label))
+        .ok_or_else(|| format!("table {}: no row labelled {row_label:?}", t.id))?;
+    let idx = t
+        .header
+        .iter()
+        .position(|h| h == column)
+        .ok_or_else(|| format!("table {}: no column {column:?} in {:?}", t.id, t.header))?;
+    let cell = row
+        .get(idx)
+        .ok_or_else(|| format!("table {}: row {row_label:?} has no cell {idx}", t.id))?;
+    numeric(cell).ok_or_else(|| {
+        format!("table {}: cell {row_label:?}/{column:?} = {cell:?} is not numeric", t.id)
+    })
+}
+
 /// One per-metric delta between a baseline cell and the current cell.
 #[derive(Debug, Clone)]
 pub struct MetricDelta {
@@ -377,6 +401,15 @@ mod tests {
         assert_eq!(numeric("+1.25 µs"), Some(1250.0));
         assert_eq!(numeric("1.23x"), Some(1.23));
         assert_eq!(numeric("allow"), None);
+    }
+
+    #[test]
+    fn read_cell_addresses_by_row_label_and_header() {
+        let t = parse(&table().to_json()).unwrap();
+        assert_eq!(read_cell(&t, "write", "ns/op").unwrap(), 2500.0);
+        assert_eq!(read_cell(&t, "read", "time").unwrap(), 1000.0);
+        assert!(read_cell(&t, "nope", "ns/op").unwrap_err().contains("no row"));
+        assert!(read_cell(&t, "read", "nope").unwrap_err().contains("no column"));
     }
 
     #[test]

@@ -25,20 +25,38 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dl_dlfm::{
-    AgentHandle, ArchiveStore, ContentSource, DlfmConfig, DlfmServer, FaultInjector, MainDaemon,
-    RecoveryReport, TokenKind, UpcallDaemon,
+    AgentConnection, AgentHandle, ArchiveStore, ContentSource, DlfmConfig, DlfmServer,
+    FaultInjector, MainDaemon, PoolProbe, RecoveryReport, TokenKind, Transport, UpcallDaemon,
+    WireAgent, WireConn, WireConnector, WireDaemon, WireUpcall,
 };
 use dl_dlfs::{Dlfs, DlfsConfig};
 use dl_fskit::memfs::IoModel;
 use dl_fskit::{Clock, Cred, FileSystem, Lfs, MemFs, WallClock};
 use dl_minidb::{Database, DbOptions, Lsn, Schema, StorageEnv, Txn, Value};
-use dl_obs::Registry;
+use dl_obs::{NetStats, Registry};
 use dl_repl::{HostReplicaSet, HostReplicaSetOptions, ReplicaSet, ReplicaSetOptions};
 use parking_lot::Mutex;
 
 use crate::datalink::{DatalinkUrl, DlColumnOptions};
 use crate::engine::{DataLinksEngine, ServerRegistration, META_TABLE};
 use crate::shard::{ShardRouter, ShardedFs};
+
+/// The wire front of a `Transport::Socket` node: the server-side
+/// [`WireDaemon`] listening on its Unix socket, plus the node-local
+/// [`WireConnector`] the engine and DLFS connections were minted from
+/// (extra client connections — scenario drivers, tests — ride the same
+/// connector).
+pub struct WireLink {
+    pub daemon: WireDaemon,
+    pub connector: Arc<WireConnector>,
+}
+
+impl WireLink {
+    /// Opens a fresh framed connection to this node's wire daemon.
+    pub fn connect(&self, client: &str) -> Result<Arc<WireConn>, String> {
+        self.connector.connect(self.daemon.socket_path(), client)
+    }
+}
 
 /// Everything one file-server node runs (Figure 1, right-hand side).
 pub struct FileServerNode {
@@ -55,6 +73,9 @@ pub struct FileServerNode {
     pub raw: Arc<Lfs>,
     /// Hot standbys of the DLFM repository, when provisioned.
     pub replication: Option<Arc<ReplicaSet>>,
+    /// The wire transport, when the node runs `Transport::Socket`: every
+    /// engine/DLFS round-trip of this node crosses real framed sockets.
+    pub wire: Option<WireLink>,
     repo_env: StorageEnv,
     dlfm_cfg: DlfmConfig,
     dlfs_cfg: DlfsConfig,
@@ -71,6 +92,11 @@ impl FileServerNode {
     /// A fresh agent connection (per-database-connection in the paper).
     pub fn connect_agent(&self) -> AgentHandle {
         self.main.connect()
+    }
+
+    /// The node's wire front, when it runs `Transport::Socket`.
+    pub fn wire(&self) -> Option<&WireLink> {
+        self.wire.as_ref()
     }
 
     /// Live gauges of the node's elastic upcall pool (workers, queue
@@ -170,12 +196,23 @@ impl FileServerSpec {
 
     /// Sizes the node's elastic front end in one stroke: the upcall pool
     /// grows between `min` and `max` workers, and the routed-read
-    /// validation lane follows the same capacity model (width = `min`,
-    /// the capacity the node always has resident).
+    /// validation lane *follows the live pool size* — its width is the
+    /// system's `pool.total_workers` gauge sampled on every admission
+    /// (floor `min`), so a pool that grew under load widens the lane with
+    /// it instead of pinning it to a static knob.
     pub fn front_end(mut self, min: usize, max: usize) -> FileServerSpec {
         self.dlfm.upcall_workers_min = min.max(1);
         self.dlfm.upcall_workers_max = max.max(min).max(1);
         self.dlfm.read_lane_width = min.max(1);
+        self.dlfm.read_lane_auto = true;
+        self
+    }
+
+    /// Selects the node's agent/upcall transport: in-process handles (the
+    /// default) or real framed Unix-domain sockets served by a
+    /// [`WireDaemon`].
+    pub fn transport(mut self, transport: Transport) -> FileServerSpec {
+        self.dlfm.transport = transport;
         self
     }
 }
@@ -393,6 +430,32 @@ pub struct HostFailoverReport {
     pub in_doubt_resolved: Vec<(String, u64, bool)>,
 }
 
+/// Live worker-pool probes of every node, keyed by node name. The
+/// aggregate `pool.total_*` gauges and the auto-width read lanes sample
+/// it *live* — a pool that grew under load is visible at the very next
+/// admission/snapshot, not at some later refresh. Failover replaces a
+/// node's probes in place.
+#[derive(Default)]
+pub struct PoolRoster {
+    pools: Mutex<HashMap<String, Vec<Arc<dyn PoolProbe>>>>,
+}
+
+impl PoolRoster {
+    fn set(&self, node: &str, probes: Vec<Arc<dyn PoolProbe>>) {
+        self.pools.lock().insert(node.to_string(), probes);
+    }
+
+    /// Workers currently alive across every registered pool.
+    pub fn total_workers(&self) -> usize {
+        self.pools.lock().values().flatten().map(|p| p.workers()).sum()
+    }
+
+    /// Jobs currently queued across every registered pool.
+    pub fn total_queue_depth(&self) -> usize {
+        self.pools.lock().values().flatten().map(|p| p.queue_depth()).sum()
+    }
+}
+
 /// The assembled system.
 pub struct DataLinksSystem {
     db: Database,
@@ -424,6 +487,8 @@ pub struct DataLinksSystem {
     /// histograms under dotted names (`minidb.*`, `repl.*`, `dlfm.*`,
     /// `dlfs.*`, `engine.*`, `fskit.*`, `system.*`, `pool.*`).
     registry: Arc<Registry>,
+    /// Live pool probes per node (see [`PoolRoster`]).
+    pool_roster: Arc<PoolRoster>,
     /// The most recent flight-recorder dump (crash or failover), if any.
     last_flight_dump: Mutex<Option<String>>,
 }
@@ -533,11 +598,26 @@ impl DataLinksSystem {
             shard_fronts,
             sharded,
             registry,
+            pool_roster: Arc::new(PoolRoster::default()),
             last_flight_dump: Mutex::new(None),
         };
         sys.register_host_metrics();
-        for node in sys.nodes.values() {
-            Self::register_node_metrics(&sys.registry, node);
+        // The aggregate pool gauges read the roster live — registered as
+        // functions, they reflect elastic growth at snapshot time without
+        // any refresh pass.
+        {
+            let roster = Arc::clone(&sys.pool_roster);
+            sys.registry
+                .register_gauge_fn("pool.total_workers", move || roster.total_workers() as f64);
+            let roster = Arc::clone(&sys.pool_roster);
+            sys.registry.register_gauge_fn("pool.total_queue_depth", move || {
+                roster.total_queue_depth() as f64
+            });
+        }
+        let names: Vec<String> = sys.nodes.keys().cloned().collect();
+        for name in &names {
+            Self::register_node_metrics(&sys.registry, &sys.nodes[name]);
+            sys.adopt_node_pools(name);
         }
         Ok((sys, reports))
     }
@@ -569,8 +649,38 @@ impl DataLinksSystem {
         let report = if run_recovery { Some(server.recover()?) } else { None };
         let (upcall, client) =
             UpcallDaemon::spawn_with_fault_injector(Arc::clone(&server), part.upcall_fault.clone());
-        let dlfs =
-            Arc::new(Dlfs::new(part.fs.clone() as Arc<dyn FileSystem>, client, part.dlfs_cfg));
+        let main = MainDaemon::new(Arc::clone(&server));
+
+        // Transport selection. Local hands the engine and DLFS in-process
+        // handles — the fast path. Socket stands up the node's wire daemon
+        // and mints real framed connections for both; from here down the
+        // node is identical either way, because everything speaks the
+        // `AgentConnection`/`UpcallTransport` traits.
+        let (wire, agent, upcall_transport): (
+            Option<WireLink>,
+            Arc<dyn AgentConnection>,
+            Arc<dyn dl_dlfm::UpcallTransport>,
+        ) = match part.dlfm_cfg.transport {
+            Transport::Local => (None, Arc::new(main.connect()), Arc::new(client)),
+            Transport::Socket => {
+                let daemon = WireDaemon::spawn(
+                    Arc::clone(&server),
+                    &main,
+                    client,
+                    Arc::new(NetStats::new()),
+                )?;
+                let connector =
+                    Arc::new(WireConnector::new(&part.name, Arc::new(NetStats::new()))?);
+                let agent = Arc::new(WireAgent(connector.connect(daemon.socket_path(), "engine")?));
+                let upc = Arc::new(WireUpcall(connector.connect(daemon.socket_path(), "dlfs")?));
+                (Some(WireLink { daemon, connector }), agent, upc)
+            }
+        };
+        let dlfs = Arc::new(Dlfs::with_transport(
+            part.fs.clone() as Arc<dyn FileSystem>,
+            upcall_transport,
+            part.dlfs_cfg,
+        ));
         let lfs = Arc::new(Lfs::new(dlfs.clone() as Arc<dyn FileSystem>));
         let raw = Arc::new(Lfs::new(part.fs.clone() as Arc<dyn FileSystem>));
 
@@ -615,14 +725,14 @@ impl DataLinksSystem {
             None
         };
 
-        let main = MainDaemon::new(Arc::clone(&server));
         engine.register_server(ServerRegistration {
             name: part.name.clone(),
-            agent: main.connect(),
+            agent,
             token_key: part.dlfm_cfg.token_key.clone(),
             server: Arc::clone(&server),
             replication: replication.clone(),
             read_lane_width: part.dlfm_cfg.read_lane_width,
+            read_lane_width_fn: None,
         });
         Ok((
             FileServerNode {
@@ -633,6 +743,7 @@ impl DataLinksSystem {
                 lfs,
                 raw,
                 replication,
+                wire,
                 repo_env: part.repo_env,
                 dlfm_cfg: part.dlfm_cfg,
                 dlfs_cfg: part.dlfs_cfg,
@@ -933,6 +1044,67 @@ impl DataLinksSystem {
                 move || (set.lag(), set.snapshot_queue_depth())
             });
         }
+
+        registry.unregister_prefix(&format!("net.{name}"));
+        if let Some(wire) = &node.wire {
+            // Server-side frame/connection instruments under
+            // `net.<name>.*`; the client connector contributes the
+            // caller-observed round-trip distribution and the node's
+            // presumed-abort resolution count rides alongside.
+            let stats = Arc::clone(wire.daemon.stats());
+            macro_rules! net_counter {
+                ($field:ident) => {{
+                    let s = Arc::clone(&stats);
+                    registry.register_counter_fn(&format!("net.{name}.{}", stringify!($field)), {
+                        move || s.$field.get()
+                    });
+                }};
+            }
+            net_counter!(frames_in);
+            net_counter!(frames_out);
+            net_counter!(bytes_in);
+            net_counter!(bytes_out);
+            net_counter!(decode_errors);
+            net_counter!(backpressure_stalls);
+            net_counter!(accepts);
+            net_counter!(disconnects);
+            let s = Arc::clone(&stats);
+            registry.register_gauge_fn(&format!("net.{name}.connections"), move || {
+                s.connections.get() as f64
+            });
+            let s = Arc::clone(&stats);
+            registry.register_gauge_fn(&format!("net.{name}.peak_connections"), move || {
+                s.peak_connections.get() as f64
+            });
+            let aborts = Arc::clone(wire.daemon.presumed_aborts());
+            registry
+                .register_counter_fn(&format!("net.{name}.presumed_aborts"), move || aborts.get());
+            let cli = Arc::clone(wire.connector.stats());
+            registry.register_histogram_fn(&format!("net.{name}.round_trip_ns"), move || {
+                cli.round_trip_ns.snapshot()
+            });
+        }
+    }
+
+    /// (Re-)registers `name`'s live pools with the roster and — when the
+    /// node asked for it (`DlfmConfig::read_lane_auto`, set by
+    /// [`FileServerSpec::front_end`]) — points the node's read lane at
+    /// the roster's live worker total, floored at the configured width.
+    /// Called at assembly and after every failover rebuild, so the lane
+    /// keeps tracking the *current* incarnation's pools.
+    fn adopt_node_pools(&self, name: &str) {
+        let Some(node) = self.nodes.get(name) else { return };
+        let mut probes: Vec<Arc<dyn PoolProbe>> = vec![node.upcall.pool_probe()];
+        if let Some(exec) = node.main.executor_probe() {
+            probes.push(exec);
+        }
+        self.pool_roster.set(name, probes);
+        if node.dlfm_cfg.read_lane_auto {
+            let roster = Arc::clone(&self.pool_roster);
+            let floor = node.dlfm_cfg.read_lane_width.max(1);
+            self.engine
+                .set_read_lane_source(name, Arc::new(move || roster.total_workers().max(floor)));
+        }
     }
 
     /// Pushes the live worker-pool gauges (the elastic upcall pools and the
@@ -943,12 +1115,8 @@ impl DataLinksSystem {
     fn refresh_pool_gauges(&self) {
         let set =
             |name: String, v: u64| self.registry.gauge(&name).set(v.min(i64::MAX as u64) as i64);
-        let mut total_workers = 0u64;
-        let mut total_queue = 0u64;
         for (name, node) in &self.nodes {
             let pool = node.upcall_pool_stats();
-            total_workers += pool.workers() as u64;
-            total_queue += pool.queue_depth() as u64;
             set(format!("dlfm.{name}.upcall_pool.workers"), pool.workers() as u64);
             set(format!("dlfm.{name}.upcall_pool.peak_workers"), pool.peak_workers() as u64);
             set(format!("dlfm.{name}.upcall_pool.idle_workers"), pool.idle_workers() as u64);
@@ -965,15 +1133,14 @@ impl DataLinksSystem {
             set(format!("dlfm.{name}.agent_executor.connections"), main.child_count() as u64);
             set(format!("dlfm.{name}.agent_executor.threads"), main.executor_threads() as u64);
             if let Some(exec) = main.executor_stats() {
-                total_workers += exec.workers() as u64;
-                total_queue += exec.queue_depth() as u64;
                 set(format!("dlfm.{name}.agent_executor.queue_depth"), exec.queue_depth() as u64);
                 set(format!("dlfm.{name}.agent_executor.tasks"), exec.tasks());
                 set(format!("dlfm.{name}.agent_executor.panics"), exec.panics());
             }
         }
-        set("pool.total_workers".to_string(), total_workers);
-        set("pool.total_queue_depth".to_string(), total_queue);
+        // `pool.total_workers` / `pool.total_queue_depth` are registered
+        // as live gauge functions over the roster (see `assemble`), not
+        // pushed here: the read lanes sample the same source.
     }
 
     /// Renders every layer's flight recorder (the coordinator-side engine
@@ -1202,6 +1369,7 @@ impl DataLinksSystem {
                     }
                 }
                 self.nodes.insert(server.to_string(), new_node);
+                self.adopt_node_pools(server);
                 Ok(report.expect("promotion runs recovery"))
             }
             Err(promote_err) => {
@@ -1234,6 +1402,7 @@ impl DataLinksSystem {
                     }
                 }
                 self.nodes.insert(server.to_string(), old_node);
+                self.adopt_node_pools(server);
                 Err(format!(
                     "promotion failed: {promote_err}; crashed primary recovered in its place"
                 ))
@@ -1368,13 +1537,22 @@ impl DataLinksSystem {
         let mut report = HostFailoverReport { epoch, in_doubt_resolved: Vec::new() };
         for (name, node) in &self.nodes {
             node.server.set_host_hook(engine.clone());
+            // Mint the agent connection fresh under the promoted
+            // generation, over whichever transport the node runs — a wire
+            // node's new connection handshakes the promoted epoch exactly
+            // like a local handle is stamped with it.
+            let agent: Arc<dyn AgentConnection> = match &node.wire {
+                Some(wire) => Arc::new(WireAgent(wire.connect("engine")?)),
+                None => Arc::new(node.main.connect()),
+            };
             engine.register_server(ServerRegistration {
                 name: name.clone(),
-                agent: node.main.connect(),
+                agent,
                 token_key: node.dlfm_cfg.token_key.clone(),
                 server: Arc::clone(&node.server),
                 replication: node.replication.clone(),
                 read_lane_width: node.dlfm_cfg.read_lane_width,
+                read_lane_width_fn: None,
             });
             let mut pending = node.server.pending_host_txns();
             pending.sort_unstable();
@@ -1401,8 +1579,14 @@ impl DataLinksSystem {
         self.host_replicas = host_replicas;
         self.host_replication = host_replication;
         // The coordinator changed identity: swap the host-side instruments
-        // to the promoted database/engine and count the failover.
+        // to the promoted database/engine, re-point the auto read lanes at
+        // it (the re-registrations above reset them to fixed widths on the
+        // new engine), and count the failover.
         self.register_host_metrics();
+        let names: Vec<String> = self.nodes.keys().cloned().collect();
+        for name in &names {
+            self.adopt_node_pools(name);
+        }
         self.registry.counter("system.host_failovers").inc();
         Ok(report)
     }
@@ -1499,6 +1683,7 @@ impl DataLinksSystem {
             shard_fronts: _,
             sharded: _,
             registry: _,
+            pool_roster: _,
             last_flight_dump: _,
         } = self;
         drop(engine);

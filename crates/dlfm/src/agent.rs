@@ -29,7 +29,16 @@ use crate::modes::{ControlMode, OnUnlink};
 use crate::pool::{ElasticPool, PoolOptions, PoolStats};
 use crate::server::DlfmServer;
 
-enum AgentRequest {
+/// One unit of work on the shared agent executor. Local handles submit
+/// protocol requests; the wire daemon submits closures (a decoded frame
+/// plus its reply path), so socket connections multiplex over the *same*
+/// bounded pool as in-process ones — one capacity model, two transports.
+pub(crate) enum AgentJob {
+    Request(AgentRequest),
+    Wire(Box<dyn FnOnce() + Send>),
+}
+
+pub(crate) enum AgentRequest {
     Link {
         host_txid: u64,
         coord_epoch: u64,
@@ -77,7 +86,7 @@ enum AgentRequest {
 #[derive(Clone)]
 enum AgentRoute {
     Thread(Sender<AgentRequest>),
-    Executor { pool: Arc<ElasticPool<AgentRequest>>, server: Arc<DlfmServer> },
+    Executor { pool: Arc<ElasticPool<AgentJob>>, server: Arc<DlfmServer> },
 }
 
 impl AgentRoute {
@@ -85,7 +94,7 @@ impl AgentRoute {
         match self {
             AgentRoute::Thread(tx) => tx.send(req).map_err(|_| "child agent is down".to_string()),
             AgentRoute::Executor { pool, .. } => {
-                pool.submit(req);
+                pool.submit(AgentJob::Request(req));
                 Ok(())
             }
         }
@@ -209,13 +218,98 @@ impl dl_minidb::Participant for AgentHandle {
     }
 }
 
+/// What the DataLinks engine needs from an agent connection, independent
+/// of how it reaches the file server: the in-process [`AgentHandle`]
+/// fast path ([`crate::server::Transport::Local`]) and the framed socket
+/// client (`crate::wire::WireAgent`, [`crate::server::Transport::Socket`])
+/// implement the same surface, so sharded routing, failover fencing and
+/// 2PC enlistment work identically over both.
+pub trait AgentConnection: Send + Sync {
+    /// Links a file in the context of `host_txid`.
+    fn link(
+        &self,
+        host_txid: u64,
+        path: &str,
+        mode: ControlMode,
+        recovery: bool,
+        on_unlink: OnUnlink,
+    ) -> Result<(), String>;
+    /// Unlinks a file in the context of `host_txid`.
+    fn unlink(&self, host_txid: u64, path: &str) -> Result<(), String>;
+    /// 2PC phase one for this connection's sub-transaction of `host_txid`.
+    fn prepare(&self, host_txid: u64) -> Result<(), String>;
+    /// 2PC decision, commit path.
+    fn commit(&self, host_txid: u64);
+    /// 2PC decision, abort path.
+    fn abort(&self, host_txid: u64);
+    /// The file server this connection fronts.
+    fn server_name(&self) -> &str;
+    /// The coordinator epoch the connection was minted under.
+    fn coord_epoch(&self) -> u64;
+}
+
+impl AgentConnection for AgentHandle {
+    fn link(
+        &self,
+        host_txid: u64,
+        path: &str,
+        mode: ControlMode,
+        recovery: bool,
+        on_unlink: OnUnlink,
+    ) -> Result<(), String> {
+        AgentHandle::link(self, host_txid, path, mode, recovery, on_unlink)
+    }
+
+    fn unlink(&self, host_txid: u64, path: &str) -> Result<(), String> {
+        AgentHandle::unlink(self, host_txid, path)
+    }
+
+    fn prepare(&self, host_txid: u64) -> Result<(), String> {
+        dl_minidb::Participant::prepare(self, host_txid)
+    }
+
+    fn commit(&self, host_txid: u64) {
+        dl_minidb::Participant::commit(self, host_txid)
+    }
+
+    fn abort(&self, host_txid: u64) {
+        dl_minidb::Participant::abort(self, host_txid)
+    }
+
+    fn server_name(&self) -> &str {
+        AgentHandle::server_name(self)
+    }
+
+    fn coord_epoch(&self) -> u64 {
+        AgentHandle::coord_epoch(self)
+    }
+}
+
+/// Adapter enlisting any [`AgentConnection`] as a minidb 2PC participant
+/// (the engine registers one per touched file server per transaction).
+pub struct AgentParticipant(pub Arc<dyn AgentConnection>);
+
+impl dl_minidb::Participant for AgentParticipant {
+    fn prepare(&self, txid: u64) -> Result<(), String> {
+        self.0.prepare(txid)
+    }
+
+    fn commit(&self, txid: u64) {
+        self.0.commit(txid)
+    }
+
+    fn abort(&self, txid: u64) {
+        self.0.abort(txid)
+    }
+}
+
 /// The main daemon: accepts connections. With the shared executor (the
 /// default) a connect is a queue registration; with `thread_per_agent` it
 /// spawns the paper's dedicated child-agent thread.
 pub struct MainDaemon {
     server: Arc<DlfmServer>,
     /// Shared executor, lazily irrelevant in thread-per-agent mode.
-    executor: Option<Arc<ElasticPool<AgentRequest>>>,
+    executor: Option<Arc<ElasticPool<AgentJob>>>,
     children: parking_lot::Mutex<Vec<JoinHandle<()>>>,
     connections: AtomicUsize,
 }
@@ -293,8 +387,10 @@ impl MainDaemon {
                 cfg.agent_executor_threads.max(1),
             );
             let srv = Arc::clone(&server);
-            let handler: Arc<dyn Fn(AgentRequest) + Send + Sync> =
-                Arc::new(move |req| serve(&srv, req));
+            let handler: Arc<dyn Fn(AgentJob) + Send + Sync> = Arc::new(move |job| match job {
+                AgentJob::Request(req) => serve(&srv, req),
+                AgentJob::Wire(f) => f(),
+            });
             Some(Arc::new(ElasticPool::new(opts, handler)))
         };
         MainDaemon {
@@ -362,5 +458,17 @@ impl MainDaemon {
     /// Shared-executor gauges; `None` in `thread_per_agent` mode.
     pub fn executor_stats(&self) -> Option<&PoolStats> {
         self.executor.as_deref().map(|pool| pool.stats())
+    }
+
+    /// Type-erased live size of the shared executor, for capacity
+    /// aggregation (`None` in `thread_per_agent` mode).
+    pub fn executor_probe(&self) -> Option<Arc<dyn crate::pool::PoolProbe>> {
+        self.executor.as_ref().map(|p| Arc::clone(p) as Arc<dyn crate::pool::PoolProbe>)
+    }
+
+    /// The shared executor itself, for the wire daemon to submit decoded
+    /// frames onto.
+    pub(crate) fn wire_executor(&self) -> Option<Arc<ElasticPool<AgentJob>>> {
+        self.executor.as_ref().map(Arc::clone)
     }
 }

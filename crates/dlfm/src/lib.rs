@@ -33,17 +33,22 @@ pub mod repository;
 pub mod server;
 pub mod token;
 pub mod upcall;
+pub mod wire;
 
-pub use agent::{AgentHandle, MainDaemon};
+pub use agent::{AgentConnection, AgentHandle, AgentParticipant, MainDaemon};
 pub use archive::{ArchiveJob, ArchiveStore, Archiver, ContentSource};
 pub use modes::{AccessControl, ControlMode, OnUnlink};
-pub use pool::{AtomicEwma, ElasticPool, PoolOptions, PoolStats};
+pub use pool::{AtomicEwma, ElasticPool, PoolOptions, PoolProbe, PoolStats};
 pub use repository::{FileEntry, Repository, SyncEntry, UipEntry};
 pub use server::{
     DlfmConfig, DlfmServer, DlfmStats, HostHook, OpenDecision, RecoveryReport, RestoreOutcome,
+    Transport,
 };
 pub use token::{
     embed_token, hmac_sha256, sha256, split_token_suffix, AccessToken, TokenError, TokenKind,
     TOKEN_MARKER,
 };
-pub use upcall::{FaultInjector, UpcallClient, UpcallDaemon, UpcallReply, UpcallRequest};
+pub use upcall::{
+    FaultInjector, UpcallClient, UpcallDaemon, UpcallReply, UpcallRequest, UpcallTransport,
+};
+pub use wire::{WireAgent, WireConn, WireConnector, WireDaemon, WireUpcall};

@@ -143,6 +143,28 @@ impl AtomicEwma {
     }
 }
 
+/// Type-erased live view of a pool's size, for components that aggregate
+/// capacity across pools of different task types (the system facade sums
+/// these into its `pool.total_workers` gauge and the auto-width read
+/// lane). Object-safe on purpose: an `ElasticPool<T>` is generic, a
+/// `dyn PoolProbe` is not.
+pub trait PoolProbe: Send + Sync {
+    /// Worker threads currently alive.
+    fn workers(&self) -> usize;
+    /// Tasks queued but not yet picked up.
+    fn queue_depth(&self) -> usize;
+}
+
+impl<T: Send + 'static> PoolProbe for ElasticPool<T> {
+    fn workers(&self) -> usize {
+        self.stats().workers()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.stats().queue_depth()
+    }
+}
+
 /// Live gauges and lifetime counters of one pool. All reads are relaxed
 /// atomics — cheap enough for benches to sample mid-run.
 #[derive(Debug, Default)]

@@ -23,6 +23,21 @@ use crate::modes::{ControlMode, OnUnlink};
 use crate::repository::{FileEntry, IntentAction, IntentEntry, Repository, SyncEntry, UipEntry};
 use crate::token::{AccessToken, TokenKind};
 
+/// How the host database and DLFS reach this DLFM instance.
+///
+/// `Local` is the in-process fast path: agent handles and upcall clients
+/// are queue endpoints straight into the daemon pools. `Socket` puts the
+/// same protocol on the wire — the node runs a `WireDaemon` serving
+/// framed Unix-socket connections (see `crate::wire`), which is how the
+/// paper's host↔DLFM boundary actually ships. Both paths drive identical
+/// server machinery; the choice is per-node via [`DlfmConfig::transport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    #[default]
+    Local,
+    Socket,
+}
+
 /// Server configuration.
 #[derive(Clone)]
 pub struct DlfmConfig {
@@ -75,6 +90,16 @@ pub struct DlfmConfig {
     /// fan-out experiments compare equal per-node capacity; scale it with
     /// the upcall pool bounds when the front end is provisioned wider.
     pub read_lane_width: usize,
+    /// Derive the engine's per-node `ReadLane` width from the live worker
+    /// count of this node's daemon pools instead of the static
+    /// `read_lane_width` knob. Set by `FileServerSpec::front_end`; the
+    /// default stays static so capacity-comparison experiments (equal
+    /// per-node lanes) are unaffected.
+    pub read_lane_auto: bool,
+    /// How agents and upcalls reach this node: in-process queues
+    /// ([`Transport::Local`], the default) or framed Unix-socket
+    /// connections served by a `WireDaemon` ([`Transport::Socket`]).
+    pub transport: Transport,
     /// Capacity of the server's flight-recorder ring (span events retained
     /// for the crash/failover dump). An undersized ring still keeps the
     /// *most recent* events — the fenced decides of an in-doubt
@@ -99,6 +124,8 @@ impl DlfmConfig {
             thread_per_agent: false,
             agent_executor_threads: 16,
             read_lane_width: 1,
+            read_lane_auto: false,
+            transport: Transport::default(),
             flight_ring_capacity: 256,
         }
     }
@@ -775,6 +802,31 @@ impl DlfmServer {
         }
         sub.deferred.clear();
         self.bump_epoch();
+    }
+
+    /// Settles a host transaction whose agent connection died mid-flight
+    /// (the wire daemon calls this for every txid a severed connection
+    /// left open). Same rule as crash recovery: ask the host for the
+    /// recorded outcome, and with no commit record, **presume abort** —
+    /// a client that vanished between prepare and decide never committed.
+    /// Returns `true` when the transaction committed. Idempotent: a
+    /// decision that raced in through another path finds no pending
+    /// sub-transaction and settles nothing.
+    pub fn resolve_client_loss(&self, host_txid: u64) -> bool {
+        let outcome = self.host.read().as_ref().and_then(|h| h.outcome(host_txid)).unwrap_or(false);
+        self.recorder.record(
+            &self.flight_source,
+            "client_loss",
+            host_txid,
+            "",
+            format!("outcome={}", if outcome { "commit" } else { "presumed-abort" }),
+        );
+        if outcome {
+            self.commit_host(host_txid);
+        } else {
+            self.abort_host(host_txid);
+        }
+        outcome
     }
 
     fn set_attrs(&self, path: &str, uid: u32, gid: u32, mode: u16) -> Result<(), String> {

@@ -55,7 +55,26 @@ pub enum UpcallReply {
     Rejected(String),
 }
 
-type Envelope = (UpcallRequest, Sender<UpcallReply>);
+/// Where a worker delivers its reply: the blocking client's one-shot
+/// channel, or a closure (the wire daemon replies by encoding a frame —
+/// it must never park a reactor thread on a channel).
+pub(crate) enum ReplySink {
+    Chan(Sender<UpcallReply>),
+    Fn(Box<dyn FnOnce(UpcallReply) + Send>),
+}
+
+impl ReplySink {
+    fn deliver(self, reply: UpcallReply) {
+        match self {
+            ReplySink::Chan(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Fn(f) => f(reply),
+        }
+    }
+}
+
+type Envelope = (UpcallRequest, ReplySink);
 
 /// Test instrumentation: runs before every dispatch; a panicking hook
 /// simulates a worker dying mid-request (the PR 5 panic-containment
@@ -82,7 +101,7 @@ impl UpcallClient {
         self.round_trips.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let (reply_tx, reply_rx) = bounded(1);
-        self.pool.submit((req, reply_tx));
+        self.pool.submit((req, ReplySink::Chan(reply_tx)));
         // A dropped reply sender no longer means the daemon died: worker
         // panics are caught and answered in-band, so the only way the
         // channel closes unreplied is the whole pool shutting down.
@@ -90,6 +109,19 @@ impl UpcallClient {
             reply_rx.recv().unwrap_or(UpcallReply::Rejected("upcall daemon is down".into()));
         self.round_trip_ns.record_duration(started.elapsed());
         reply
+    }
+
+    /// Submits a request whose reply goes to `f` on the worker thread
+    /// instead of blocking the caller — the wire daemon's path: a reactor
+    /// thread hands the decoded frame to the pool and returns to polling;
+    /// the closure encodes the reply frame when dispatch finishes.
+    pub(crate) fn submit_with(
+        &self,
+        req: UpcallRequest,
+        f: impl FnOnce(UpcallReply) + Send + 'static,
+    ) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.pool.submit((req, ReplySink::Fn(Box::new(f))));
     }
 
     /// Number of upcall round-trips made through this client (benches).
@@ -178,6 +210,95 @@ impl UpcallClient {
     pub fn wait_epoch_change(&self, seen: u64) {
         self.server.wait_epoch_change(seen)
     }
+
+    /// Type-erased live size of the daemon pool, for capacity aggregation.
+    pub fn pool_probe(&self) -> Arc<dyn crate::pool::PoolProbe> {
+        Arc::clone(&self.pool) as Arc<dyn crate::pool::PoolProbe>
+    }
+}
+
+/// Everything DLFS needs from its upcall endpoint, independent of how the
+/// conversation reaches DLFM: in-process queues ([`UpcallClient`], the
+/// `Transport::Local` fast path) or framed socket connections
+/// (`crate::wire::WireUpcall`). One trait keeps the filter's open/close
+/// protocol identical over both.
+pub trait UpcallTransport: Send + Sync {
+    fn validate_token(&self, path: &str, token: &str, uid: u32) -> Result<TokenKind, String>;
+    fn open_check(&self, path: &str, uid: u32, wanted: TokenKind, opener: u64) -> OpenDecision;
+    fn close_notify(
+        &self,
+        path: &str,
+        opener: u64,
+        wrote: bool,
+        size: u64,
+        mtime: u64,
+    ) -> Result<(), String>;
+    fn mutation_check(&self, path: &str) -> Result<(), String>;
+    fn register_open(&self, path: &str, uid: u32, opener: u64);
+    fn unregister_open(&self, path: &str, opener: u64);
+    /// Is strict-link registration enabled on the server?
+    fn strict_link(&self) -> bool;
+    /// The identity DLFM daemons run as (DLFS compares file owners to it).
+    fn dlfm_uid(&self) -> u32;
+    /// Current sync epoch, for `Busy` retry loops.
+    fn epoch(&self) -> u64;
+    /// Blocks until the epoch moves past `seen`.
+    fn wait_epoch_change(&self, seen: u64);
+    /// Round-trips made through this endpoint (benches).
+    fn round_trip_count(&self) -> u64;
+}
+
+impl UpcallTransport for UpcallClient {
+    fn validate_token(&self, path: &str, token: &str, uid: u32) -> Result<TokenKind, String> {
+        UpcallClient::validate_token(self, path, token, uid)
+    }
+
+    fn open_check(&self, path: &str, uid: u32, wanted: TokenKind, opener: u64) -> OpenDecision {
+        UpcallClient::open_check(self, path, uid, wanted, opener)
+    }
+
+    fn close_notify(
+        &self,
+        path: &str,
+        opener: u64,
+        wrote: bool,
+        size: u64,
+        mtime: u64,
+    ) -> Result<(), String> {
+        UpcallClient::close_notify(self, path, opener, wrote, size, mtime)
+    }
+
+    fn mutation_check(&self, path: &str) -> Result<(), String> {
+        UpcallClient::mutation_check(self, path)
+    }
+
+    fn register_open(&self, path: &str, uid: u32, opener: u64) {
+        UpcallClient::register_open(self, path, uid, opener)
+    }
+
+    fn unregister_open(&self, path: &str, opener: u64) {
+        UpcallClient::unregister_open(self, path, opener)
+    }
+
+    fn strict_link(&self) -> bool {
+        UpcallClient::strict_link(self)
+    }
+
+    fn dlfm_uid(&self) -> u32 {
+        UpcallClient::dlfm_uid(self)
+    }
+
+    fn epoch(&self) -> u64 {
+        UpcallClient::epoch(self)
+    }
+
+    fn wait_epoch_change(&self, seen: u64) {
+        UpcallClient::wait_epoch_change(self, seen)
+    }
+
+    fn round_trip_count(&self) -> u64 {
+        UpcallClient::round_trip_count(self)
+    }
 }
 
 /// The daemon: an elastic pool of worker threads draining one request
@@ -219,7 +340,7 @@ impl UpcallDaemon {
         .idle_timeout(Duration::from_millis(cfg.upcall_idle_ms.max(1)));
         let srv = Arc::clone(&server);
         let handler: Arc<dyn Fn(Envelope) + Send + Sync> =
-            Arc::new(move |(req, reply_tx): Envelope| {
+            Arc::new(move |(req, reply_sink): Envelope| {
                 // Containment: a panic anywhere in dispatch is caught here
                 // so the waiting client gets an in-band `Rejected` (with
                 // the panic context) instead of a dropped reply channel
@@ -247,7 +368,7 @@ impl UpcallDaemon {
                         let reply = outcome.unwrap_or_else(|msg| {
                             UpcallReply::Rejected(format!("upcall worker {msg}"))
                         });
-                        let _ = reply_tx.send(reply);
+                        reply_sink.deliver(reply);
                     },
                 );
             });
@@ -314,6 +435,11 @@ impl UpcallDaemon {
     /// Live worker-pool gauges.
     pub fn pool_stats(&self) -> &PoolStats {
         self.pool.stats()
+    }
+
+    /// Type-erased live size of the daemon pool, for capacity aggregation.
+    pub fn pool_probe(&self) -> Arc<dyn crate::pool::PoolProbe> {
+        Arc::clone(&self.pool) as Arc<dyn crate::pool::PoolProbe>
     }
 
     /// Round-trip latency distribution across every client of this daemon.

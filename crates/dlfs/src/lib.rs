@@ -37,7 +37,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dl_dlfm::{OpenDecision, TokenKind, UpcallClient};
+use dl_dlfm::{OpenDecision, TokenKind, UpcallClient, UpcallTransport};
 use dl_fskit::flock::{LockOp, LockOwner};
 use dl_fskit::{path as fspath, FileSystem};
 use dl_fskit::{Cred, DirEntry, FileAttr, FileKind, FsError, FsResult, Ino, OpenFlags, SetAttr};
@@ -94,7 +94,7 @@ struct OpenInstance {
 /// constructing the application-facing `Lfs` over it.
 pub struct Dlfs {
     inner: Arc<dyn FileSystem>,
-    upcall: UpcallClient,
+    upcall: Arc<dyn UpcallTransport>,
     cfg: DlfsConfig,
     /// ino → absolute path (volatile dentry-style cache).
     paths: RwLock<HashMap<Ino, String>>,
@@ -107,8 +107,21 @@ pub struct Dlfs {
 const ROOT: Cred = Cred::root();
 
 impl Dlfs {
-    /// Wraps `inner`, talking to DLFM through `upcall`.
+    /// Wraps `inner`, talking to DLFM through an in-process `upcall`
+    /// channel client. Shorthand for [`Dlfs::with_transport`] with the
+    /// local transport — the common single-node construction.
     pub fn new(inner: Arc<dyn FileSystem>, upcall: UpcallClient, cfg: DlfsConfig) -> Dlfs {
+        Dlfs::with_transport(inner, Arc::new(upcall), cfg)
+    }
+
+    /// Wraps `inner`, talking to DLFM through any [`UpcallTransport`] —
+    /// the in-process channel client or a wire connection. DLFS itself is
+    /// transport-blind; every interception below speaks the trait.
+    pub fn with_transport(
+        inner: Arc<dyn FileSystem>,
+        upcall: Arc<dyn UpcallTransport>,
+        cfg: DlfsConfig,
+    ) -> Dlfs {
         let mut paths = HashMap::new();
         paths.insert(inner.root(), "/".to_string());
         Dlfs {
@@ -122,8 +135,8 @@ impl Dlfs {
         }
     }
 
-    /// The upcall client (benches inspect its round-trip counter).
-    pub fn upcall_client(&self) -> &UpcallClient {
+    /// The upcall transport (benches inspect its round-trip counter).
+    pub fn upcall_client(&self) -> &Arc<dyn UpcallTransport> {
         &self.upcall
     }
 

@@ -50,6 +50,9 @@ pub enum Kind {
     Mixed,
     /// Write-cycle scale-out across DLFM namespace shards (the a13 shape).
     Sharding,
+    /// Connection churn over real sockets against the wire front end,
+    /// with mid-2PC connection severing (the a14 shape).
+    WireFrontEnd,
 }
 
 impl Kind {
@@ -61,6 +64,7 @@ impl Kind {
             "front_end" => Kind::FrontEnd,
             "mixed" => Kind::Mixed,
             "sharding" => Kind::Sharding,
+            "wire_front_end" => Kind::WireFrontEnd,
             _ => return None,
         })
     }
@@ -74,6 +78,7 @@ impl Kind {
             Kind::FrontEnd => "front_end",
             Kind::Mixed => "mixed",
             Kind::Sharding => "sharding",
+            Kind::WireFrontEnd => "wire_front_end",
         }
     }
 }
@@ -123,6 +128,10 @@ pub enum InjectAction {
     /// live process believed durable is sheared off at the crash
     /// boundary and recovery must lose exactly that one.
     TornHostWal,
+    /// Sever `count` live wire connections mid-flight (socket transport
+    /// only): in-doubt transactions on the dropped connections must
+    /// resolve by presumed abort with no atomicity violation.
+    SeverConnections { count: u64 },
 }
 
 /// The knob set a scenario (and each variant) may override. All fields are
@@ -398,7 +407,7 @@ fn parse_header(file: &str, line: usize, v: &Value) -> Result<Scenario, SchemaEr
                         file,
                         line,
                         format!(
-                            "unknown kind {s:?} (expected commit_throughput, replication, checkpoint_shipping, front_end, mixed or sharding)"
+                            "unknown kind {s:?} (expected commit_throughput, replication, checkpoint_shipping, front_end, mixed, sharding or wire_front_end)"
                         ),
                     )
                 })?);
@@ -671,19 +680,31 @@ fn parse_injections(file: &str, line: usize, v: &Value) -> Result<Vec<Injection>
                 host: target.unwrap_or(false),
             },
             Some("torn_host_wal") => InjectAction::TornHostWal,
+            Some("sever_connections") => {
+                InjectAction::SeverConnections { count: count.unwrap_or(1) }
+            }
             Some(other) => {
                 return Err(err(
                     file,
                     line,
                     format!(
-                        "unknown injection action {other:?} (expected crash_primary, crash_host, stall_standby, resume_standby, kill_upcall_workers, disk_enospc or torn_host_wal)"
+                        "unknown injection action {other:?} (expected crash_primary, crash_host, stall_standby, resume_standby, kill_upcall_workers, disk_enospc, torn_host_wal or sever_connections)"
                     ),
                 ))
             }
             None => return Err(err(file, line, "injection is missing \"action\"")),
         };
-        if count.is_some() && !matches!(action, InjectAction::KillUpcallWorkers { .. }) {
-            return Err(err(file, line, "\"count\" only applies to kill_upcall_workers"));
+        if count.is_some()
+            && !matches!(
+                action,
+                InjectAction::KillUpcallWorkers { .. } | InjectAction::SeverConnections { .. }
+            )
+        {
+            return Err(err(
+                file,
+                line,
+                "\"count\" only applies to kill_upcall_workers and sever_connections",
+            ));
         }
         if writes.is_some() && !matches!(action, InjectAction::DiskEnospc { .. }) {
             return Err(err(file, line, "\"writes\" only applies to disk_enospc"));

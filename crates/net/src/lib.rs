@@ -1,0 +1,31 @@
+//! The wire transport: a length-prefixed binary frame codec for the DLFM
+//! agent/upcall protocol plus a small poll(2)-driven reactor serving many
+//! nonblocking Unix-domain socket connections from one thread.
+//!
+//! The paper's DataLinks architecture is a *networked* protocol — DLFS
+//! clients and the DLFM daemon complex exchange link/unlink, open/close
+//! and 2PC messages across a host boundary (§2.2) — and this crate is
+//! that boundary made real. It is deliberately self-contained:
+//!
+//! * [`Message`] / [`encode_frame`] / [`FrameDecoder`] — the codec. Every
+//!   protocol operation (link, unlink, 2PC prepare/decide with
+//!   coordinator-epoch stamps, token validation, open/close claims,
+//!   freshness tokens) round-trips through a `[u32 len][u64 request-id]
+//!   [u8 tag][payload]` frame. The decoder is incremental: partial reads
+//!   and torn frames park until more bytes arrive, garbage fails with a
+//!   [`DecodeError`] instead of a panic.
+//! * [`Reactor`] / [`ReactorHandle`] / [`NetEvent`] — the runtime. One
+//!   poller thread drives readiness over nonblocking
+//!   `std::os::unix::net` sockets (hand-declared poll(2), no tokio/mio),
+//!   keeping per-connection read buffers and bounded write queues; frame
+//!   and connection events surface through a caller-supplied handler.
+//!
+//! Higher layers (`dl-dlfm`'s `WireDaemon` and wire clients) map these
+//! frames onto the in-process server machinery; this crate knows nothing
+//! about DLFM itself.
+
+mod frame;
+mod reactor;
+
+pub use frame::{encode_frame, DecodeError, FrameDecoder, Message, MAX_FRAME_LEN};
+pub use reactor::{NetEvent, Reactor, ReactorHandle};

@@ -1,0 +1,500 @@
+//! A small poll(2)-driven reactor over nonblocking Unix-domain sockets.
+//!
+//! One thread owns every socket: it polls for readiness, drains readable
+//! connections through a [`FrameDecoder`], flushes bounded write queues,
+//! and accepts new connections from an optional listener. Everything the
+//! caller sees arrives as a [`NetEvent`] through the handler closure —
+//! the handler runs *on the poller thread*, so it must never block on
+//! work that itself needs the poller (hand such work to an executor and
+//! reply later through the [`ReactorHandle`]).
+//!
+//! Built only on `std::os::unix::net` plus a hand-declared poll(2) FFI —
+//! no tokio, no mio. A `UnixStream::pair` serves as the waker: any
+//! thread with a handle writes one byte to nudge the poller out of its
+//! wait.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use dl_obs::NetStats;
+use parking_lot::Mutex;
+
+use crate::frame::{encode_frame, FrameDecoder, Message};
+
+// poll(2), declared by hand: the only libc surface this crate needs.
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// What the reactor tells its owner. `Frame` carries the request-id so a
+/// server can stamp its reply and a client can correlate it.
+pub enum NetEvent {
+    /// A connection is up: accepted from the listener, or registered by
+    /// a client through [`ReactorHandle::register`].
+    Accepted(u64),
+    /// A complete frame arrived on `conn`.
+    Frame { conn: u64, request_id: u64, msg: Message },
+    /// The connection is gone — peer hangup, I/O error, decode failure,
+    /// or an explicit [`ReactorHandle::close`]. Emitted exactly once per
+    /// connection that saw `Accepted`.
+    Disconnected(u64),
+}
+
+enum Cmd {
+    Register { id: u64, stream: UnixStream },
+    Send { id: u64, bytes: Vec<u8> },
+    Close { id: u64 },
+    Shutdown,
+}
+
+/// A clonable handle for talking to the poller thread from outside.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    cmds: Arc<Mutex<Vec<Cmd>>>,
+    waker: Arc<UnixStream>,
+    next_conn: Arc<AtomicU64>,
+    stats: Arc<NetStats>,
+}
+
+impl ReactorHandle {
+    fn push(&self, cmd: Cmd) {
+        self.cmds.lock().push(cmd);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        // A full pipe already guarantees a wakeup is pending.
+        let _ = (&*self.waker).write(&[1u8]);
+    }
+
+    /// Adopts an already-connected stream (client side). Returns the
+    /// connection id; the poller emits `Accepted` once it takes over.
+    pub fn register(&self, stream: UnixStream) -> io::Result<u64> {
+        stream.set_nonblocking(true)?;
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.push(Cmd::Register { id, stream });
+        Ok(id)
+    }
+
+    /// Queues one frame for transmission on `conn`. Unknown or
+    /// already-dead connections drop the frame silently — the caller
+    /// learns of the death through `Disconnected`.
+    pub fn send(&self, conn: u64, request_id: u64, msg: &Message) {
+        let bytes = encode_frame(request_id, msg);
+        self.stats.frames_out.inc();
+        self.push(Cmd::Send { id: conn, bytes });
+    }
+
+    /// Tears down `conn` (flushing nothing): the a14 scenario's
+    /// `sever_connections` injection lands here.
+    pub fn close(&self, conn: u64) {
+        self.push(Cmd::Close { id: conn });
+    }
+
+    /// Stops the poller thread; every live connection gets a final
+    /// `Disconnected`.
+    pub fn shutdown(&self) {
+        self.push(Cmd::Shutdown);
+    }
+}
+
+struct Conn {
+    stream: UnixStream,
+    decoder: FrameDecoder,
+    outq: VecDeque<Vec<u8>>,
+    /// Bytes of `outq.front()` already written.
+    out_pos: usize,
+}
+
+/// The poller. Owned by its thread after [`Reactor::spawn`]; callers
+/// keep only [`ReactorHandle`]s.
+pub struct Reactor {
+    handle: ReactorHandle,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Spawns the poller thread. `listener`, when present, feeds the
+    /// accept loop (server side); clients pass `None` and register
+    /// outbound streams through the handle. `make_handler` receives the
+    /// handle first so the handler it builds can reply to frames.
+    pub fn spawn<F>(
+        name: &str,
+        listener: Option<UnixListener>,
+        stats: Arc<NetStats>,
+        make_handler: impl FnOnce(&ReactorHandle) -> F,
+    ) -> io::Result<Reactor>
+    where
+        F: FnMut(NetEvent) + Send + 'static,
+    {
+        if let Some(l) = &listener {
+            l.set_nonblocking(true)?;
+        }
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let handle = ReactorHandle {
+            cmds: Arc::new(Mutex::new(Vec::new())),
+            waker: Arc::new(wake_tx),
+            next_conn: Arc::new(AtomicU64::new(1)),
+            stats: Arc::clone(&stats),
+        };
+        let mut handler = make_handler(&handle);
+        let loop_handle = handle.clone();
+        let join = thread::Builder::new().name(format!("dl-net-{name}")).spawn(move || {
+            poll_loop(loop_handle, listener, wake_rx, stats, &mut handler);
+        })?;
+        Ok(Reactor { handle, join: Some(join) })
+    }
+
+    pub fn handle(&self) -> ReactorHandle {
+        self.handle.clone()
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn poll_loop(
+    handle: ReactorHandle,
+    listener: Option<UnixListener>,
+    wake_rx: UnixStream,
+    stats: Arc<NetStats>,
+    handler: &mut dyn FnMut(NetEvent),
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    // pollfds[i] -> connection id, for the entries past waker/listener.
+    let mut slot_ids: Vec<u64> = Vec::new();
+    let mut wake_buf = [0u8; 64];
+    let mut read_buf = vec![0u8; 64 * 1024];
+
+    loop {
+        // Drain pending commands first so a Register+Send burst lands in
+        // one poll cycle.
+        let cmds: Vec<Cmd> = std::mem::take(&mut *handle.cmds.lock());
+        let mut shutdown = false;
+        for cmd in cmds {
+            match cmd {
+                Cmd::Register { id, stream } => {
+                    conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            outq: VecDeque::new(),
+                            out_pos: 0,
+                        },
+                    );
+                    stats.connection_opened();
+                    handler(NetEvent::Accepted(id));
+                }
+                Cmd::Send { id, bytes } => {
+                    if let Some(c) = conns.get_mut(&id) {
+                        stats.bytes_out.add(bytes.len() as u64);
+                        c.outq.push_back(bytes);
+                    }
+                }
+                Cmd::Close { id } => {
+                    // Bind the removed conn so its socket stays open until
+                    // after the stats/handler calls: dropping it first
+                    // lets the peer observe the hangup before this side's
+                    // accounting exists.
+                    if let Some(c) = conns.remove(&id) {
+                        stats.connection_closed();
+                        handler(NetEvent::Disconnected(id));
+                        drop(c);
+                    }
+                }
+                Cmd::Shutdown => shutdown = true,
+            }
+        }
+        if shutdown {
+            for (&id, _) in conns.iter() {
+                stats.connection_closed();
+                handler(NetEvent::Disconnected(id));
+            }
+            return;
+        }
+
+        // Rebuild the poll set: waker, listener, then every connection.
+        pollfds.clear();
+        slot_ids.clear();
+        pollfds.push(PollFd { fd: wake_rx.as_raw_fd(), events: POLLIN, revents: 0 });
+        if let Some(l) = &listener {
+            pollfds.push(PollFd { fd: l.as_raw_fd(), events: POLLIN, revents: 0 });
+        }
+        let fixed = pollfds.len();
+        for (&id, c) in conns.iter() {
+            let mut events = POLLIN;
+            if !c.outq.is_empty() {
+                events |= POLLOUT;
+            }
+            pollfds.push(PollFd { fd: c.stream.as_raw_fd(), events, revents: 0 });
+            slot_ids.push(id);
+        }
+
+        let rc = unsafe { poll(pollfds.as_mut_ptr(), pollfds.len() as u64, 250) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            // poll(2) failing for any other reason is unrecoverable.
+            return;
+        }
+
+        // Waker: drain whatever bytes accumulated.
+        if pollfds[0].revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+            while let Ok(n) = (&wake_rx).read(&mut wake_buf) {
+                if n < wake_buf.len() {
+                    break;
+                }
+            }
+        }
+
+        let mut dead: Vec<u64> = Vec::new();
+        for (i, &id) in slot_ids.iter().enumerate() {
+            let revents = pollfds[fixed + i].revents;
+            if revents == 0 {
+                continue;
+            }
+            let c = match conns.get_mut(&id) {
+                Some(c) => c,
+                None => continue,
+            };
+            // Read side: drain until WouldBlock, decoding as we go.
+            if revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                'read: loop {
+                    match c.stream.read(&mut read_buf) {
+                        Ok(0) => {
+                            dead.push(id);
+                            break 'read;
+                        }
+                        Ok(n) => {
+                            stats.bytes_in.add(n as u64);
+                            c.decoder.feed(&read_buf[..n]);
+                            loop {
+                                match c.decoder.next_frame() {
+                                    Ok(Some((request_id, msg))) => {
+                                        stats.frames_in.inc();
+                                        handler(NetEvent::Frame { conn: id, request_id, msg });
+                                    }
+                                    Ok(None) => break,
+                                    Err(_) => {
+                                        stats.decode_errors.inc();
+                                        dead.push(id);
+                                        break 'read;
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'read,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead.push(id);
+                            break 'read;
+                        }
+                    }
+                }
+            }
+            if dead.last() == Some(&id) {
+                continue;
+            }
+            // Write side: flush the queue until it empties or the kernel
+            // buffer fills.
+            if revents & POLLOUT != 0 {
+                while let Some(front) = c.outq.front() {
+                    match c.stream.write(&front[c.out_pos..]) {
+                        Ok(n) => {
+                            c.out_pos += n;
+                            if c.out_pos >= front.len() {
+                                c.outq.pop_front();
+                                c.out_pos = 0;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            stats.backpressure_stalls.inc();
+                            break;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            dead.push(id);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fresh sends on idle connections: try an eager flush so a
+        // request doesn't wait a full poll cycle when the socket is
+        // writable anyway.
+        for (&id, c) in conns.iter_mut() {
+            if dead.contains(&id) {
+                continue;
+            }
+            while let Some(front) = c.outq.front() {
+                match c.stream.write(&front[c.out_pos..]) {
+                    Ok(n) => {
+                        c.out_pos += n;
+                        if c.out_pos >= front.len() {
+                            c.outq.pop_front();
+                            c.out_pos = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        stats.backpressure_stalls.inc();
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead.push(id);
+                        break;
+                    }
+                }
+            }
+        }
+
+        for id in dead {
+            if let Some(c) = conns.remove(&id) {
+                stats.connection_closed();
+                handler(NetEvent::Disconnected(id));
+                drop(c);
+            }
+        }
+
+        // Accept loop: adopt every pending connection.
+        if let Some(l) = &listener {
+            loop {
+                match l.accept() {
+                    Ok((stream, _addr)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let id = handle.next_conn.fetch_add(1, Ordering::Relaxed);
+                        conns.insert(
+                            id,
+                            Conn {
+                                stream,
+                                decoder: FrameDecoder::new(),
+                                outq: VecDeque::new(),
+                                out_pos: 0,
+                            },
+                        );
+                        stats.connection_opened();
+                        handler(NetEvent::Accepted(id));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn temp_sock(tag: &str) -> std::path::PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("dl-net-test-{}-{}.sock", std::process::id(), tag));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn echo_round_trip_over_socket() {
+        let path = temp_sock("echo");
+        let listener = UnixListener::bind(&path).unwrap();
+        let server_stats = Arc::new(NetStats::new());
+        let _server = Reactor::spawn("echo-srv", Some(listener), Arc::clone(&server_stats), |h| {
+            let h = h.clone();
+            move |ev| {
+                if let NetEvent::Frame { conn, request_id, msg } = ev {
+                    h.send(conn, request_id, &msg);
+                }
+            }
+        })
+        .unwrap();
+
+        let client_stats = Arc::new(NetStats::new());
+        let (tx, rx) = mpsc::channel();
+        let client = Reactor::spawn("echo-cli", None, Arc::clone(&client_stats), |_h| {
+            move |ev| {
+                if let NetEvent::Frame { request_id, msg, .. } = ev {
+                    tx.send((request_id, msg)).unwrap();
+                }
+            }
+        })
+        .unwrap();
+
+        let stream = UnixStream::connect(&path).unwrap();
+        let conn = client.handle().register(stream).unwrap();
+        let msg = Message::Prepare { txid: 99, coord_epoch: 1 };
+        client.handle().send(conn, 7, &msg);
+        let (rid, echoed) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(rid, 7);
+        assert_eq!(echoed, msg);
+        assert!(server_stats.frames_in.get() >= 1);
+        assert!(client_stats.frames_in.get() >= 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn close_emits_disconnect_on_both_ends() {
+        let path = temp_sock("close");
+        let listener = UnixListener::bind(&path).unwrap();
+        let (srv_tx, srv_rx) = mpsc::channel();
+        let server_stats = Arc::new(NetStats::new());
+        let _server = Reactor::spawn("close-srv", Some(listener), server_stats, |_h| {
+            move |ev| {
+                if let NetEvent::Disconnected(id) = ev {
+                    srv_tx.send(id).unwrap();
+                }
+            }
+        })
+        .unwrap();
+
+        let client_stats = Arc::new(NetStats::new());
+        let client =
+            Reactor::spawn("close-cli", None, Arc::clone(&client_stats), |_h| move |_ev| {})
+                .unwrap();
+        let stream = UnixStream::connect(&path).unwrap();
+        let conn = client.handle().register(stream).unwrap();
+        // Give the server a beat to accept, then sever from the client.
+        std::thread::sleep(Duration::from_millis(50));
+        client.handle().close(conn);
+        let dead = srv_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(dead >= 1);
+        assert_eq!(client_stats.disconnects.get(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -17,6 +17,10 @@
 //!   stats structs. [`Registry::snapshot`] returns a mergeable [`Snapshot`]
 //!   with Prometheus-style text exposition and a flat `f64` view whose
 //!   names fit the scenario lab's `[a-z0-9_]` predicate grammar.
+//! * [`NetStats`] — the wire transport's per-connection instruments
+//!   (frames in/out, decode errors, backpressure stalls, round-trip
+//!   latency), shared by a reactor and all of its connections and adopted
+//!   under `net.<node>.*` names.
 //! * [`FlightRecorder`] — a per-node ring buffer of [`SpanEvent`]s tracing
 //!   one link/unlink/update through the full 2PC cycle (coordinator
 //!   prepare → DLFM claim → WAL commit → archive → decision). The system
@@ -27,9 +31,11 @@
 //! workspace crate.
 
 mod metrics;
+mod net;
 mod registry;
 mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use net::NetStats;
 pub use registry::{flat_name, Registry, Snapshot};
 pub use trace::{FlightRecorder, SpanEvent};

@@ -1,0 +1,92 @@
+//! Per-connection wire-transport instruments.
+//!
+//! The socket transport (`crates/net`) moves the agent/upcall protocol
+//! across a process-style boundary, and the failure modes that matter
+//! there — torn frames, backpressure, a connection dying mid-2PC — are
+//! invisible to the in-process counters. One `NetStats` is shared by a
+//! reactor and all of its connections; the assembled system adopts it
+//! under `net.<node>.*` names.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// Instruments of one wire endpoint (a server's accept loop or a client
+/// connector), aggregated across its connections.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Complete frames decoded off the wire.
+    pub frames_in: Counter,
+    /// Frames queued for transmission.
+    pub frames_out: Counter,
+    /// Raw bytes read / written (partial reads and writes included).
+    pub bytes_in: Counter,
+    pub bytes_out: Counter,
+    /// Byte streams that failed to decode (bad tag, oversized frame,
+    /// malformed payload). Each one costs the connection.
+    pub decode_errors: Counter,
+    /// Writes that could not complete because the peer's socket buffer
+    /// was full — the frame stayed queued and the poller retried on the
+    /// next writability wakeup.
+    pub backpressure_stalls: Counter,
+    /// Connections accepted (server) or registered (client).
+    pub accepts: Counter,
+    /// Connections torn down, for any reason.
+    pub disconnects: Counter,
+    /// Currently open connections.
+    pub connections: Gauge,
+    /// High-water mark of `connections`.
+    pub peak_connections: Gauge,
+    /// Request/reply round-trip latency as the *caller* saw it: send,
+    /// poller wakeups on both ends, dispatch, reply decode.
+    pub round_trip_ns: Histogram,
+}
+
+impl NetStats {
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    /// Records a connection coming up, maintaining the peak gauge.
+    pub fn connection_opened(&self) {
+        self.accepts.inc();
+        self.connections.add(1);
+        self.peak_connections.set_max(self.connections.get());
+    }
+
+    /// Records a connection going away.
+    pub fn connection_closed(&self) {
+        self.disconnects.inc();
+        self.connections.add(-1);
+    }
+
+    /// Counter totals by name (telemetry adoption and tests).
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("frames_in", self.frames_in.get()),
+            ("frames_out", self.frames_out.get()),
+            ("bytes_in", self.bytes_in.get()),
+            ("bytes_out", self.bytes_out.get()),
+            ("decode_errors", self.decode_errors.get()),
+            ("backpressure_stalls", self.backpressure_stalls.get()),
+            ("accepts", self.accepts.get()),
+            ("disconnects", self.disconnects.get()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_lifecycle_tracks_peak() {
+        let s = NetStats::new();
+        s.connection_opened();
+        s.connection_opened();
+        s.connection_closed();
+        s.connection_opened();
+        assert_eq!(s.connections.get(), 2);
+        assert_eq!(s.peak_connections.get(), 2);
+        assert_eq!(s.accepts.get(), 3);
+        assert_eq!(s.disconnects.get(), 1);
+    }
+}
